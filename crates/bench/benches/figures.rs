@@ -1,0 +1,36 @@
+//! `cargo bench --bench figures` — regenerates every table and figure
+//! of the paper at the `quick` scale (override with
+//! `DISTTGL_SCALE=full`). Not a criterion bench: the experiments print
+//! their tables directly, which is the artifact EXPERIMENTS.md records.
+
+use disttgl_bench::{figures, Scale};
+use std::time::Instant;
+
+fn main() {
+    // cargo bench passes --bench; ignore filter args.
+    let scale = Scale::from_env();
+    println!("DistTGL paper reproduction — all tables and figures");
+    println!("scale profile: {scale:?}\n");
+
+    let experiments: &[(&str, fn(&Scale))] = &[
+        ("Table 2", figures::table2),
+        ("Figure 8", figures::fig08_captured_events),
+        ("Figure 2(b)", figures::fig02b_memsync),
+        ("Table 1", figures::table1_properties),
+        ("Figure 1", figures::fig01_convergence),
+        ("Figure 2(a)", figures::fig02a_batchsize),
+        ("Figure 5", figures::fig05_static_vs_dynamic),
+        ("Figure 6", figures::fig06_static_memory),
+        ("Figure 9(a)", figures::fig09a_epoch_parallel),
+        ("Figure 9(b)", figures::fig09b_memory_parallel),
+        ("Figure 10", figures::fig10_jk_grid),
+        ("Figure 11", figures::fig11_gdelt),
+        ("Figure 12(a)", figures::fig12a_throughput),
+        ("Figure 12(b)", figures::fig12b_per_gpu),
+    ];
+    for (name, f) in experiments {
+        let t0 = Instant::now();
+        f(&scale);
+        println!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

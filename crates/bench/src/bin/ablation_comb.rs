@@ -1,0 +1,41 @@
+//! Ablation: the `COMB` mail-combination policy (Eq. 8).
+//!
+//! TGN-attn (and the paper) keep the most recent mail; the TGN paper
+//! also evaluated mean pooling. This ablation quantifies the design
+//! choice DESIGN.md calls out: how much accuracy each policy retains
+//! as the batch size grows (mean pooling mixes mails instead of
+//! dropping them, trading information loss for mail smearing).
+
+use disttgl_bench::{dataset, model_for, print_table, Scale};
+use disttgl_core::{train_single, CombPolicy, ParallelConfig, TrainConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let d = dataset(&scale, "wikipedia");
+    let mut rows = Vec::new();
+    for bs in [scale.local_batch, scale.local_batch * 4] {
+        for comb in [CombPolicy::MostRecent, CombPolicy::Mean] {
+            let mut mc = model_for(&d);
+            mc.comb = comb;
+            let mut cfg = TrainConfig::new(ParallelConfig::single());
+            cfg.local_batch = bs;
+            cfg.epochs = scale.epochs / 2;
+            cfg.eval_negs = scale.eval_negs;
+            cfg.eval_max_events = scale.eval_max_events;
+            cfg.base_lr = 2e-3 * 600.0 / bs as f32;
+            cfg.seed = 0xC0B;
+            let res = train_single(&d, &mc, &cfg);
+            rows.push(vec![
+                format!("{bs}"),
+                format!("{comb:?}"),
+                format!("{:.4}", res.best_val_metric),
+                format!("{:.4}", res.test_metric),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: COMB policy vs batch size (wikipedia analog)",
+        &["batch", "COMB", "best val MRR", "test MRR"],
+        &rows,
+    );
+}

@@ -1,0 +1,151 @@
+//! `disttgl_cli` — command-line front-end for training, planning, and
+//! dataset analysis (hand-rolled flags; no extra dependencies).
+//!
+//! ```sh
+//! cargo run --release -p disttgl-bench --bin disttgl_cli -- train \
+//!     --dataset wikipedia --scale 0.02 --ijk 1,1,4 --epochs 16
+//! cargo run --release -p disttgl-bench --bin disttgl_cli -- plan \
+//!     --dataset reddit --scale 0.01 --machines 4 --gpus 8
+//! cargo run --release -p disttgl-bench --bin disttgl_cli -- analyze \
+//!     --dataset wikipedia --scale 0.02
+//! ```
+
+use disttgl_cluster::ClusterSpec;
+use disttgl_core::{
+    plan_from_graph, train_distributed, train_single, ModelConfig, ParallelConfig, TrainConfig,
+};
+use disttgl_data::generators;
+use disttgl_graph::capture;
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: disttgl_cli <train|plan|analyze|generate> [--dataset NAME] [--scale F] \
+         [--ijk I,J,K] [--epochs N] [--batch N] [--seed N] [--machines P] [--gpus Q] \
+         [--threshold F] [--saturation N] [--replicas N] [--no-static] \
+         [--out FILE] [--in FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key} value: {v}")))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    let name = flags.get("dataset").map(String::as_str).unwrap_or("wikipedia");
+    let scale: f64 = get(&flags, "scale", if name == "gdelt" { 5e-5 } else { 0.02 });
+    let seed: u64 = get(&flags, "seed", 42);
+    // --in loads a snapshot produced by `generate --out` instead of
+    // regenerating (the pre-sampled-inputs workflow of §4.0.2).
+    let dataset = match flags.get("in") {
+        Some(path) => {
+            let mut f = std::fs::File::open(path).expect("open --in file");
+            disttgl_data::Dataset::load(&mut f).expect("load dataset snapshot")
+        }
+        None => generators::by_name(name, scale, seed),
+    };
+    println!("dataset: {:?}", dataset.stats());
+
+    match cmd.as_str() {
+        "train" => {
+            let ijk = flags.get("ijk").cloned().unwrap_or_else(|| "1,1,1".into());
+            let parts: Vec<usize> = ijk
+                .split(',')
+                .map(|p| p.trim().parse().expect("bad --ijk"))
+                .collect();
+            assert_eq!(parts.len(), 3, "--ijk needs I,J,K");
+            let parallel = ParallelConfig::new(parts[0], parts[1], parts[2]);
+            let mut mc = ModelConfig::compact(dataset.edge_features.cols());
+            if dataset.num_classes() > 0 {
+                mc = mc.with_classes(dataset.num_classes());
+            }
+            if flags.contains_key("no-static") {
+                mc = mc.without_static_memory();
+            }
+            let mut cfg = TrainConfig::new(parallel);
+            cfg.local_batch = get(&flags, "batch", 200);
+            cfg.epochs = get(&flags, "epochs", 16);
+            cfg.seed = seed;
+            cfg.base_lr = 2e-3 * 600.0 / (cfg.local_batch as f32 * parallel.i as f32);
+            cfg.eval_max_events = 2000;
+            let spec = ClusterSpec::new(1, parallel.world());
+            let res = if parallel.world() == 1 {
+                train_single(&dataset, &mc, &cfg)
+            } else {
+                train_distributed(&dataset, &mc, &cfg, spec)
+            };
+            println!("\nvalidation curve:");
+            for p in &res.convergence {
+                println!("  iter {:>6}  wall {:>7.1}s  metric {:.4}", p.iteration, p.wall_secs, p.metric);
+            }
+            println!("\ntest metric      : {:.4}", res.test_metric);
+            println!("throughput       : {:.0} events/s", res.throughput_events_per_sec);
+            println!("gradient variance: {:.3e}", res.grad_variance);
+            println!("daemon rows R/W  : {} / {}", res.daemon_rows_read, res.daemon_rows_written);
+        }
+        "plan" => {
+            let machines = get(&flags, "machines", 1usize);
+            let gpus = get(&flags, "gpus", 8usize);
+            let threshold: f64 = get(&flags, "threshold", 0.10);
+            let saturation = get(&flags, "saturation", 600usize);
+            let replicas = get(&flags, "replicas", 8usize);
+            let spec = ClusterSpec::new(machines, gpus);
+            let (parallel, max_batch) =
+                plan_from_graph(&dataset.graph, spec, threshold, saturation, replicas);
+            println!("missing-information threshold: {threshold}");
+            println!("largest admissible global batch: {max_batch}");
+            println!(
+                "recommended configuration: {}x{}x{} (mini-batch x epoch x memory) on {}x{} GPUs",
+                parallel.i, parallel.j, parallel.k, machines, gpus
+            );
+        }
+        "analyze" => {
+            println!("\ncaptured-events / missing-information profile:");
+            for shift in 0..6 {
+                let bs = 100usize << shift;
+                println!(
+                    "  batch {:>5}: missing information {:.3}",
+                    bs,
+                    capture::missing_information(&dataset.graph, bs)
+                );
+            }
+            let degrees = dataset.graph.degrees();
+            let max_deg = degrees.iter().max().copied().unwrap_or(0);
+            let mean_deg =
+                degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len().max(1) as f64;
+            println!("\ndegree: max {max_deg}, mean {mean_deg:.1}");
+        }
+        "generate" => {
+            let out = flags.get("out").cloned().unwrap_or_else(|| format!("{name}.dtgl"));
+            let mut f = std::fs::File::create(&out).expect("create --out file");
+            dataset.save(&mut f).expect("write dataset snapshot");
+            println!("wrote snapshot to {out}");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig01_convergence` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig01_convergence(&scale);
+}

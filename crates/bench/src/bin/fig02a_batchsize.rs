@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig02a_batchsize` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig02a_batchsize(&scale);
+}

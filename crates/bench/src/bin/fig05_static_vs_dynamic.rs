@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig05_static_vs_dynamic` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig05_static_vs_dynamic(&scale);
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig08_captured_events` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig08_captured_events(&scale);
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig09b_memory_parallel` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig09b_memory_parallel(&scale);
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig11_gdelt` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig11_gdelt(&scale);
+}

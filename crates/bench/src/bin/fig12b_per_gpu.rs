@@ -1,0 +1,5 @@
+//! Standalone runner for the `fig12b_per_gpu` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::fig12b_per_gpu(&scale);
+}

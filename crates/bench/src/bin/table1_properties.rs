@@ -1,0 +1,5 @@
+//! Standalone runner for the `table1_properties` experiment (see DESIGN.md §5).
+fn main() {
+    let scale = disttgl_bench::Scale::from_env();
+    disttgl_bench::figures::table1_properties(&scale);
+}

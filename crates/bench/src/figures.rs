@@ -1,0 +1,688 @@
+//! One function per paper table/figure. See `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for recorded outcomes.
+
+use crate::modeled;
+use crate::{dataset, model_for, print_table, Scale};
+use disttgl_cluster::{ClusterSpec, NetworkModel};
+use disttgl_core::{
+    baseline, replay_memory, train_distributed, train_single, ModelConfig,
+    ParallelConfig, RunResult, StaticMemory, TgnModel, TrainConfig,
+};
+use disttgl_data::Dataset;
+use disttgl_graph::{capture, TCsr};
+use disttgl_mem::MemoryState;
+use disttgl_tensor::seeded_rng;
+
+fn train_cfg(scale: &Scale, parallel: ParallelConfig) -> TrainConfig {
+    let mut cfg = TrainConfig::new(parallel);
+    cfg.local_batch = scale.local_batch;
+    cfg.epochs = scale.epochs;
+    cfg.eval_negs = scale.eval_negs;
+    cfg.eval_max_events = scale.eval_max_events;
+    // Keep the effective LR near 2e-3 at the harness batch sizes (the
+    // paper's linear scaling rule, re-anchored to the scaled batches).
+    cfg.base_lr = 2e-3 * 600.0 / (scale.local_batch as f32 * parallel.i as f32);
+    cfg.seed = 0xD157;
+    cfg
+}
+
+fn run(d: &Dataset, mc: &ModelConfig, cfg: &TrainConfig) -> RunResult {
+    let spec = ClusterSpec::new(1, cfg.parallel.world());
+    if cfg.parallel.world() == 1 {
+        train_single(d, mc, cfg)
+    } else {
+        train_distributed(d, mc, cfg, spec)
+    }
+}
+
+/// Iterations to reach `frac` of the run's best validation metric
+/// (the paper's convergence-speed readout).
+fn iters_to_frac(res: &RunResult, frac: f64) -> usize {
+    let target = res.best_val_metric * frac;
+    res.convergence
+        .iter()
+        .find(|p| p.metric >= target)
+        .map(|p| p.iteration)
+        .unwrap_or(usize::MAX)
+}
+
+/// **Table 2** — dataset statistics (scaled synthetics vs paper).
+pub fn table2(scale: &Scale) {
+    let paper: &[(&str, usize, usize, f64, usize)] = &[
+        ("wikipedia", 9_227, 157_474, 2.7e6, 172),
+        ("reddit", 10_984, 672_447, 2.7e6, 172),
+        ("mooc", 7_144, 411_749, 2.6e7, 0),
+        ("flights", 13_169, 1_927_145, 1.0e7, 0),
+        ("gdelt", 16_682, 191_290_882, 1.6e8, 130),
+    ];
+    let mut rows = Vec::new();
+    for (name, pv, pe, pt, pde) in paper {
+        let d = dataset(scale, name);
+        let s = d.stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{}/{}", s.num_nodes, pv),
+            format!("{}/{}", s.num_events, pe),
+            format!("{:.1e}/{:.1e}", s.max_t, pt),
+            format!("{}/{}", s.d_e, pde),
+            format!("{}", s.bipartite),
+            format!("{:?}", d.task),
+        ]);
+    }
+    print_table(
+        "Table 2: dataset statistics (ours/paper)",
+        &["dataset", "|V|", "|E|", "max(t)", "|d_e|", "bipartite", "task"],
+        &rows,
+    );
+}
+
+/// **Figure 1** — convergence of TGN, TGL-TGN, and DistTGL
+/// (validation MRR against wall time and iterations).
+pub fn fig01_convergence(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d);
+    let mut rows = Vec::new();
+
+    // TGN baseline (1 GPU, naive pipeline, no static memory).
+    let mut cfg = train_cfg(scale, ParallelConfig::single());
+    cfg.epochs = scale.epochs / 2; // TGN is slow; half budget suffices for the curve
+    let tgn = baseline::train_tgn(&d, &mc.without_static_memory(), &cfg);
+    rows.push(vec![
+        "TGN (1 GPU)".into(),
+        format!("{}", tgn.loss_history.len()),
+        format!("{:.1}", tgn.wall_secs),
+        format!("{:.4}", tgn.best_val_metric),
+        format!("{:.4}", tgn.test_metric),
+    ]);
+
+    // DistTGL single GPU.
+    let cfg = train_cfg(scale, ParallelConfig::single());
+    let single = run(&d, &mc, &cfg);
+    rows.push(vec![
+        "DistTGL 1x1x1".into(),
+        format!("{}", single.loss_history.len()),
+        format!("{:.1}", single.wall_secs),
+        format!("{:.4}", single.best_val_metric),
+        format!("{:.4}", single.test_metric),
+    ]);
+
+    // DistTGL memory parallelism on "8 GPUs" (threads).
+    let world = scale.max_world.min(8);
+    let cfg = train_cfg(scale, ParallelConfig::new(1, 1, world));
+    let dist = run(&d, &mc, &cfg);
+    rows.push(vec![
+        format!("DistTGL 1x1x{world}"),
+        format!("{}", dist.loss_history.len()),
+        format!("{:.1}", dist.wall_secs),
+        format!("{:.4}", dist.best_val_metric),
+        format!("{:.4}", dist.test_metric),
+    ]);
+
+    print_table(
+        "Figure 1: convergence comparison (wikipedia analog)",
+        &["method", "iterations", "wall s", "best val MRR", "test MRR"],
+        &rows,
+    );
+    println!("convergence series (iteration, val MRR):");
+    for (name, res) in [("DistTGL 1x1x1", &single), ("DistTGL dist", &dist)] {
+        let series: Vec<String> = res
+            .convergence
+            .iter()
+            .map(|p| format!("({}, {:.4})", p.iteration, p.metric))
+            .collect();
+        println!("  {:<16} {}", name, series.join(" "));
+    }
+}
+
+/// **Figure 2(a)** — test accuracy vs batch size (GDELT analog).
+pub fn fig02a_batchsize(scale: &Scale) {
+    let d = dataset(scale, "gdelt");
+    let mc = model_for(&d);
+    let mut rows = Vec::new();
+    for bs in [100usize, 200, 400, 800, 1600] {
+        let mut cfg = train_cfg(scale, ParallelConfig::single());
+        cfg.local_batch = bs;
+        cfg.epochs = (scale.epochs / 2).max(2);
+        cfg.eval_every_epoch = false;
+        let res = run(&d, &mc, &cfg);
+        rows.push(vec![
+            format!("{bs}"),
+            format!("{}", res.loss_history.len()),
+            format!("{:.4}", res.test_metric),
+        ]);
+    }
+    print_table(
+        "Figure 2(a): test F1 vs batch size (gdelt analog; paper: F1 decreases with batch size)",
+        &["batch size", "iterations", "test F1"],
+        &rows,
+    );
+}
+
+/// **Figure 2(b)** — per-epoch node-memory read/write time when the
+/// memory is partitioned across machines (the motivation figure).
+pub fn fig02b_memsync(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d);
+    let net = NetworkModel::t4_testbed();
+    // Rows touched per epoch: every batch reads roots+negatives+slots
+    // and writes roots — measured from one real single-GPU epoch.
+    let csr = TCsr::build(&d.graph);
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    let bytes_per_row = (mc.d_mem + mc.mail_dim() + 2) * 4;
+    // Per-batch read/write row counts from one real pass: reads cover
+    // roots + supporting slots; writes cover the roots. Each batch is
+    // two serialized rounds (read, then write) — the strict temporal
+    // dependency of §1 prevents batching them across mini-batches.
+    let mut round_bytes: Vec<(usize, usize)> = Vec::new();
+    {
+        let prep = disttgl_core::BatchPreparer::new(&d, &csr, &mc);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+        for range in disttgl_graph::batching::chronological_batches(0..train_end, scale.local_batch)
+        {
+            let b = prep.prepare(range.clone(), &[], 1, &mut mem);
+            round_bytes
+                .push((b.pos.readout.mem.rows() * bytes_per_row, 2 * range.len() * bytes_per_row));
+        }
+    }
+    let volume: usize = round_bytes.iter().map(|(r, w)| r + w).sum();
+    let mut rows = Vec::new();
+    for machines in [1usize, 2, 4] {
+        let t: f64 = round_bytes
+            .iter()
+            .map(|&(r, w)| {
+                net.partitioned_round(r, machines).as_secs_f64()
+                    + net.partitioned_round(w, machines).as_secs_f64()
+            })
+            .sum();
+        rows.push(vec![
+            format!("{machines} (partitioned)"),
+            format!("{:.1}", volume as f64 / 1e6),
+            format!("{:.3}", t),
+        ]);
+    }
+    // DistTGL's answer: memory parallelism keeps every replica local,
+    // so the rounds never leave the machine regardless of scale.
+    let local: f64 = round_bytes
+        .iter()
+        .map(|&(r, w)| {
+            net.partitioned_round(r, 1).as_secs_f64() + net.partitioned_round(w, 1).as_secs_f64()
+        })
+        .sum();
+    rows.push(vec![
+        "any (DistTGL k-replicas)".into(),
+        format!("{:.1}", volume as f64 / 1e6),
+        format!("{:.3}", local),
+    ]);
+    print_table(
+        "Figure 2(b): per-epoch node-memory R/W time, partitioned memory (paper: grows with machines; DistTGL flat)",
+        &["machines", "volume MB", "modeled time s"],
+        &rows,
+    );
+}
+
+/// **Figure 5** — per-node accuracy difference, static vs dynamic node
+/// memory, grouped by degree decile (paper: no degree inclination).
+pub fn fig05_static_vs_dynamic(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d).without_static_memory();
+    let csr = TCsr::build(&d.graph);
+    let (train_end, val_end) = d.graph.chronological_split(0.70, 0.15);
+
+    // Train a dynamic-memory model (the probe needs the model itself,
+    // so the loop lives here instead of going through `train_single`).
+    let cfg = {
+        let mut c = train_cfg(scale, ParallelConfig::single());
+        c.eval_every_epoch = false;
+        c.epochs = (scale.epochs / 2).max(4);
+        c
+    };
+    let mut rng = seeded_rng(cfg.seed);
+    let mut model = TgnModel::new(mc, &mut rng);
+    {
+        let mut adam = model.optimizer(cfg.scaled_lr());
+        let prep = disttgl_core::BatchPreparer::new(&d, &csr, &mc);
+        let store = disttgl_data::NegativeStore::generate(&d.graph, train_end, 10, 1, 77);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+        for epoch in 0..cfg.epochs {
+            mem.reset();
+            for range in
+                disttgl_graph::batching::chronological_batches(0..train_end, cfg.local_batch)
+            {
+                let negs = store.slice(store.group_for_epoch(epoch), range.clone());
+                let batch = prep.prepare(range, &[negs], 1, &mut mem);
+                model.params.zero_grads();
+                let out = model.train_step(&batch.pos, Some(&batch.negs[0]), None);
+                model.params.clip_grad_norm(5.0);
+                adam.step(&mut model.params);
+                mem.write(&out.write);
+            }
+        }
+    }
+
+    // Static embeddings trained on the same split.
+    let static_mem = StaticMemory::pretrain(&d, mc.d_mem, train_end, 20, 99);
+
+    // Per-source-node MRR on validation events, dynamic vs static.
+    let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    replay_memory(&model, &mc, &d, &csr, &mut mem, None, 0..train_end, scale.local_batch);
+    let mut dyn_score = vec![(0.0f64, 0u32); d.graph.num_nodes()];
+    let mut stat_score = vec![(0.0f64, 0u32); d.graph.num_nodes()];
+    let mut sampler = disttgl_data::EvalNegatives::new(&d.graph, 5);
+    let prep = disttgl_core::BatchPreparer::new(&d, &csr, &mc);
+    let probe_end = val_end.min(train_end + scale.eval_max_events);
+    for range in
+        disttgl_graph::batching::chronological_batches(train_end..probe_end, scale.local_batch)
+    {
+        let events: Vec<_> = d.graph.events()[range.clone()].to_vec();
+        let negs: Vec<u32> = events
+            .iter()
+            .flat_map(|e| sampler.draw_excluding(scale.eval_negs, e.dst))
+            .collect();
+        let batch = prep.prepare(range, &[&negs], scale.eval_negs, &mut mem);
+        let out = model.infer_step(&batch.pos, Some(&batch.negs[0]), None);
+        for (b, e) in events.iter().enumerate() {
+            let pos = out.pos_scores[b];
+            let block = &out.neg_scores[b * scale.eval_negs..(b + 1) * scale.eval_negs];
+            let rank = 1 + block.iter().filter(|&&n| n >= pos).count();
+            let entry = &mut dyn_score[e.src as usize];
+            entry.0 += 1.0 / rank as f64;
+            entry.1 += 1;
+            // Static scorer: dot-product ranking with the same negatives.
+            let eu = static_mem.rows(&[e.src]);
+            let evv = static_mem.rows(&[e.dst]);
+            let pos_s: f32 = eu.row(0).iter().zip(evv.row(0)).map(|(a, b)| a * b).sum();
+            let neg_block = &negs[b * scale.eval_negs..(b + 1) * scale.eval_negs];
+            let rank_s = 1 + neg_block
+                .iter()
+                .filter(|&&n| {
+                    let en = static_mem.rows(&[n]);
+                    let s: f32 = eu.row(0).iter().zip(en.row(0)).map(|(a, b)| a * b).sum();
+                    s >= pos_s
+                })
+                .count();
+            let entry = &mut stat_score[e.src as usize];
+            entry.0 += 1.0 / rank_s as f64;
+            entry.1 += 1;
+        }
+        mem.write(&out.write);
+    }
+
+    // Aggregate by degree decile.
+    let degrees = d.graph.degrees();
+    let mut nodes: Vec<usize> = (0..d.graph.num_nodes())
+        .filter(|&v| dyn_score[v].1 > 0)
+        .collect();
+    nodes.sort_by_key(|&v| std::cmp::Reverse(degrees[v]));
+    let deciles = 5usize;
+    let mut rows = Vec::new();
+    let chunk = (nodes.len() / deciles).max(1);
+    for (di, group) in nodes.chunks(chunk).take(deciles).enumerate() {
+        let (mut dsum, mut ssum, mut cnt) = (0.0, 0.0, 0u32);
+        for &v in group {
+            dsum += dyn_score[v].0;
+            ssum += stat_score[v].0;
+            cnt += dyn_score[v].1;
+        }
+        rows.push(vec![
+            format!("{}", di + 1),
+            format!("{}", group.len()),
+            format!("{:.4}", dsum / cnt as f64),
+            format!("{:.4}", ssum / cnt as f64),
+            format!("{:+.4}", (dsum - ssum) / cnt as f64),
+        ]);
+    }
+    print_table(
+        "Figure 5: per-node MRR, dynamic vs static memory by degree group (paper: no degree inclination)",
+        &["degree group (high→low)", "nodes", "dynamic MRR", "static MRR", "dyn − static"],
+        &rows,
+    );
+}
+
+/// **Figure 6** — convergence with and without pre-trained static node
+/// memory (flights + mooc analogs).
+pub fn fig06_static_memory(scale: &Scale) {
+    let mut rows = Vec::new();
+    for name in ["flights", "mooc"] {
+        let d = dataset(scale, name);
+        for static_on in [true, false] {
+            let mc = if static_on { model_for(&d) } else { model_for(&d).without_static_memory() };
+            let cfg = train_cfg(scale, ParallelConfig::single());
+            let res = run(&d, &mc, &cfg);
+            rows.push(vec![
+                name.into(),
+                if static_on { "with static".into() } else { "w/o static".to_string() },
+                format!("{:.4}", res.best_val_metric),
+                format!("{:.4}", res.test_metric),
+                format!("{}", iters_to_frac(&res, 0.9)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 6: static node memory ablation (paper: static memory improves accuracy & smoothness)",
+        &["dataset", "model", "best val MRR", "test MRR", "iters to 90% best"],
+        &rows,
+    );
+}
+
+/// **Figure 8** — events captured in node memory vs batch size, by
+/// node-degree group.
+pub fn fig08_captured_events(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let degrees = d.graph.degrees();
+    let mut order: Vec<usize> = (0..d.graph.num_nodes()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(degrees[v]));
+    let batch_sizes = [75usize, 150, 300, 600, 1200];
+    let groups = 5usize;
+    let chunk = (order.len() / groups).max(1);
+
+    let mut rows = Vec::new();
+    let all: Vec<Vec<u32>> =
+        batch_sizes.iter().map(|&bs| capture::captured_events(&d.graph, bs)).collect();
+    for (gi, group) in order.chunks(chunk).take(groups).enumerate() {
+        let mut row = vec![format!("{}", gi + 1)];
+        let deg_sum: u64 = group.iter().map(|&v| degrees[v] as u64).sum();
+        row.push(format!("{}", deg_sum / group.len() as u64));
+        for cap in &all {
+            let cap_sum: u64 = group.iter().map(|&v| cap[v] as u64).sum();
+            row.push(format!("{:.1}", cap_sum as f64 / group.len() as f64));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["degree group (high→low)", "mean degree"];
+    let labels: Vec<String> = batch_sizes.iter().map(|b| format!("bs={b}")).collect();
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    print_table(
+        "Figure 8: captured events per node vs batch size (paper: high-degree nodes lose most)",
+        &headers,
+        &rows,
+    );
+    for &bs in &batch_sizes {
+        println!(
+            "  bs={:>5}: overall missing information {:.3}",
+            bs,
+            capture::missing_information(&d.graph, bs)
+        );
+    }
+}
+
+/// **Figure 9(a)** — convergence with epoch parallelism j ∈ {1,2,4,8}.
+pub fn fig09a_epoch_parallel(scale: &Scale) {
+    let mut rows = Vec::new();
+    for name in ["wikipedia", "mooc"] {
+        let d = dataset(scale, name);
+        let mc = model_for(&d);
+        for j in [1usize, 2, 4, 8] {
+            if j > scale.max_world {
+                continue;
+            }
+            let cfg = train_cfg(scale, ParallelConfig::new(1, j, 1));
+            let res = run(&d, &mc, &cfg);
+            rows.push(vec![
+                name.into(),
+                format!("1x{j}x1"),
+                format!("{}", res.loss_history.len()),
+                format!("{}", iters_to_frac(&res, 0.9)),
+                format!("{:.4}", res.best_val_metric),
+                format!("{:.4}", res.test_metric),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 9(a): epoch parallelism (paper: near-linear to j=4, degrades at j=8)",
+        &["dataset", "config", "iterations", "iters to 90% best", "best val", "test MRR"],
+        &rows,
+    );
+}
+
+/// **Figure 9(b)** — j×k combinations at j·k = 8.
+pub fn fig09b_memory_parallel(scale: &Scale) {
+    let mut rows = Vec::new();
+    let world = scale.max_world.min(8);
+    let combos: Vec<(usize, usize)> = match world {
+        8 => vec![(8, 1), (4, 2), (2, 4), (1, 8)],
+        4 => vec![(4, 1), (2, 2), (1, 4)],
+        _ => vec![(world, 1), (1, world)],
+    };
+    for name in ["wikipedia", "mooc"] {
+        let d = dataset(scale, name);
+        let mc = model_for(&d);
+        for &(j, k) in &combos {
+            let cfg = train_cfg(scale, ParallelConfig::new(1, j, k));
+            let res = run(&d, &mc, &cfg);
+            rows.push(vec![
+                name.into(),
+                format!("1x{j}x{k}"),
+                format!("{}", res.loss_history.len()),
+                format!("{:.4}", res.best_val_metric),
+                format!("{:.4}", res.test_metric),
+                format!("{:.3e}", res.grad_variance),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 9(b): epoch×memory combos at fixed world (paper: larger k ⇒ better test MRR)",
+        &["dataset", "config", "iterations", "best val", "test MRR", "grad variance"],
+        &rows,
+    );
+}
+
+/// **Figure 10** — test MRR and iterations-to-best over the j×k grid.
+pub fn fig10_jk_grid(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d);
+    let world_cap = scale.max_world.min(8);
+    let js = [1usize, 2, 4, 8];
+    let ks = [1usize, 2, 4, 8];
+    let mut mrr_rows = Vec::new();
+    let mut iter_rows = Vec::new();
+    for &j in &js {
+        let mut mrr_row = vec![format!("j={j}")];
+        let mut iter_row = vec![format!("j={j}")];
+        for &k in &ks {
+            if j * k > world_cap {
+                mrr_row.push("-".into());
+                iter_row.push("-".into());
+                continue;
+            }
+            let cfg = train_cfg(scale, ParallelConfig::new(1, j, k));
+            let res = run(&d, &mc, &cfg);
+            mrr_row.push(format!("{:.4}", res.test_metric));
+            let it = iters_to_frac(&res, 0.95);
+            iter_row.push(if it == usize::MAX { "-".into() } else { format!("{it}") });
+        }
+        mrr_rows.push(mrr_row);
+        iter_rows.push(iter_row);
+    }
+    print_table(
+        "Figure 10(a): test MRR over j×k (paper: larger k better at fixed j·k)",
+        &["", "k=1", "k=2", "k=4", "k=8"],
+        &mrr_rows,
+    );
+    print_table(
+        "Figure 10(b): iterations to 95% of best val MRR",
+        &["", "k=1", "k=2", "k=4", "k=8"],
+        &iter_rows,
+    );
+}
+
+/// **Figure 11** — GDELT convergence with mini-batch × memory combos.
+pub fn fig11_gdelt(scale: &Scale) {
+    let d = dataset(scale, "gdelt");
+    let mc = model_for(&d);
+    let world = scale.max_world.min(8);
+    let configs = [
+        ParallelConfig::new(1, 1, 1),
+        ParallelConfig::new(world / 2, 1, 1),
+        ParallelConfig::new(world / 2, 1, 2),
+    ];
+    let mut rows = Vec::new();
+    for parallel in configs {
+        let mut cfg = train_cfg(scale, parallel);
+        cfg.epochs = (scale.epochs / 2).max(parallel.j * parallel.k);
+        // The paper's protocol scales LR linearly with the global
+        // batch ("We set the learning rate to be linear with the
+        // global batch size") — essential for mini-batch parallelism,
+        // which is the whole point of this figure.
+        cfg.base_lr = 2e-3 * 600.0 / scale.local_batch as f32;
+        let res = run(&d, &mc, &cfg);
+        rows.push(vec![
+            format!("{}x{}x{}", parallel.i, parallel.j, parallel.k),
+            format!("{}", res.loss_history.len()),
+            format!("{:.4}", res.best_val_metric),
+            format!("{:.4}", res.test_metric),
+        ]);
+    }
+    print_table(
+        "Figure 11: GDELT analog (paper: mini-batch parallelism wins; memory parallelism extends it)",
+        &["config", "iterations", "best val F1", "test F1"],
+        &rows,
+    );
+}
+
+/// **Figure 12(a)** — modeled training throughput, 1–32 GPUs, all five
+/// datasets, using the calibration + cluster network model.
+pub fn fig12a_throughput(scale: &Scale) {
+    let mut rows = Vec::new();
+    for name in ["wikipedia", "reddit", "mooc", "flights", "gdelt"] {
+        let d = dataset(scale, name);
+        let mc = model_for(&d);
+        let local_batch =
+            if name == "gdelt" { scale.local_batch * 2 } else { scale.local_batch };
+        let cal = modeled::calibrate(&d, &mc, local_batch);
+        let events = d.graph.num_events() * 7 / 10;
+        let mut row = vec![name.to_string()];
+        let base = modeled::disttgl_throughput(
+            &cal,
+            &ClusterSpec::new(1, 1),
+            &ParallelConfig::single(),
+            events,
+            local_batch,
+        );
+        for (machines, gpus) in [(1usize, 1usize), (1, 2), (1, 4), (1, 8), (2, 8), (4, 8)] {
+            let world = machines * gpus;
+            // Optimal strategy: memory parallelism for the small
+            // datasets; mini-batch × memory for gdelt (§4.1).
+            let parallel = if name == "gdelt" && world >= 4 {
+                ParallelConfig::new(4.min(world), 1, world / 4.min(world))
+            } else {
+                ParallelConfig::new(1, 1, world)
+            };
+            let spec = ClusterSpec::new(machines, gpus);
+            let t = modeled::disttgl_throughput(&cal, &spec, &parallel, events, local_batch);
+            row.push(format!("{:.0} ({:.2}x)", t, t / base));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 12(a): modeled DistTGL throughput ev/s (speedup) — paper: ~7.3x at 8 GPUs, ~25x at 32",
+        &["dataset", "1 GPU", "2 GPU", "4 GPU", "8 GPU", "2x8 GPU", "4x8 GPU"],
+        &rows,
+    );
+}
+
+/// **Figure 12(b)** — per-GPU throughput: TGN vs TGL-TGN vs DistTGL.
+pub fn fig12b_per_gpu(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d);
+    let cal = modeled::calibrate(&d, &mc, scale.local_batch);
+    let events = d.graph.num_events() * 7 / 10;
+
+    // Calibrate the naive-pipeline factor from real short runs
+    // (training-only: per-root sampling/memory overhead vs batched).
+    let mut cfg = train_cfg(scale, ParallelConfig::single());
+    cfg.epochs = 2;
+    cfg.eval_every_epoch = false;
+    let tgn_real = baseline::train_tgn(&d, &mc.without_static_memory(), &cfg);
+    let fast_real = train_single(&d, &mc.without_static_memory(), &cfg);
+    // Compare pure per-iteration training time (prep + compute), not
+    // wall time — final-test evaluation would otherwise dominate both.
+    let tgn_iter =
+        (tgn_real.timing.prep_secs + tgn_real.timing.compute_secs) / tgn_real.loss_history.len().max(1) as f64;
+    let fast_iter = (fast_real.timing.prep_secs + fast_real.timing.compute_secs)
+        / fast_real.loss_history.len().max(1) as f64;
+    let naive_factor = (tgn_iter / fast_iter.max(1e-12)).max(1.0);
+
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "TGN (1 GPU)".into(),
+        format!("{:.0}", modeled::tgn_throughput(&cal, naive_factor, scale.local_batch)),
+    ]);
+    for n in [1usize, 2, 4, 8] {
+        let t = modeled::tgl_throughput(&cal, n, events, scale.local_batch);
+        rows.push(vec![format!("TGL-TGN ({n} GPU)"), format!("{:.0}", t / n as f64)]);
+    }
+    for (label, parallel, spec) in [
+        ("DistTGL 1x1x1", ParallelConfig::new(1, 1, 1), ClusterSpec::new(1, 1)),
+        ("DistTGL 1x2x1", ParallelConfig::new(1, 2, 1), ClusterSpec::new(1, 2)),
+        ("DistTGL 1x1x8", ParallelConfig::new(1, 1, 8), ClusterSpec::new(1, 8)),
+        ("DistTGL 1x1x16 (2 nodes)", ParallelConfig::new(1, 1, 16), ClusterSpec::new(2, 8)),
+        ("DistTGL 1x1x32 (4 nodes)", ParallelConfig::new(1, 1, 32), ClusterSpec::new(4, 8)),
+    ] {
+        let t = modeled::disttgl_throughput(&cal, &spec, &parallel, events, scale.local_batch);
+        rows.push(vec![label.into(), format!("{:.0}", t / parallel.world() as f64)]);
+    }
+    print_table(
+        "Figure 12(b): modeled throughput per GPU, wikipedia analog (paper: DistTGL ≫ TGL ≫ TGN; per-GPU decays slowly)",
+        &["method", "events/s per GPU"],
+        &rows,
+    );
+    println!("  (naive-pipeline factor measured from real runs: {naive_factor:.2}x)");
+}
+
+/// **Table 1** — measured properties of the three strategies.
+pub fn table1_properties(scale: &Scale) {
+    let d = dataset(scale, "wikipedia");
+    let mc = model_for(&d);
+    let world = 4usize.min(scale.max_world);
+    let strategies = [
+        ("mini-batch", ParallelConfig::new(world, 1, 1)),
+        ("epoch", ParallelConfig::new(1, world, 1)),
+        ("memory", ParallelConfig::new(1, 1, world)),
+    ];
+    let single_cfg = train_cfg(scale, ParallelConfig::single());
+    let single = run(&d, &mc, &single_cfg);
+    let replica_bytes =
+        MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim()).bytes();
+
+    let mut rows = vec![vec![
+        "single GPU".into(),
+        "1.000".into(),
+        format!("{:.3}", single.timing.prep_secs / single.loss_history.len().max(1) as f64),
+        format!("{:.1}", replica_bytes as f64 / 1e6),
+        "-".into(),
+        format!("{:.3e}", single.grad_variance),
+    ]];
+    for (name, parallel) in strategies {
+        let cfg = train_cfg(scale, parallel);
+        let res = run(&d, &mc, &cfg);
+        // Captured dependency: events captured at the *effective* batch
+        // size relative to the single-GPU local batch.
+        let eff_batch = scale.local_batch * parallel.i;
+        let captured: u64 =
+            capture::captured_events(&d.graph, eff_batch).iter().map(|&c| c as u64).sum();
+        let captured_single: u64 = capture::captured_events(&d.graph, scale.local_batch)
+            .iter()
+            .map(|&c| c as u64)
+            .sum();
+        rows.push(vec![
+            name.into(),
+            format!("{:.3}", captured as f64 / captured_single as f64),
+            format!("{:.3}", res.timing.prep_secs / res.loss_history.len().max(1) as f64),
+            format!("{:.1}", (replica_bytes * parallel.k) as f64 / 1e6),
+            format!("{:.1} MB weights", res.comm_bytes as f64 / 1e6),
+            format!("{:.3e}", res.grad_variance),
+        ]);
+    }
+    print_table(
+        "Table 1: measured strategy properties (captured deps ↓ only for mini-batch; prep ↑ for epoch; memory ↑ for memory; variance ↑ for epoch)",
+        &[
+            "strategy",
+            "captured deps (vs 1 GPU)",
+            "prep s/iter",
+            "node-mem MB",
+            "cross-trainer sync",
+            "grad variance",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,160 @@
+//! # disttgl-bench
+//!
+//! The experiment harness that regenerates **every table and figure**
+//! of the DistTGL paper (see `DESIGN.md` §5 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! Each experiment is a library function in [`figures`] so that it can
+//! run three ways:
+//! * as a standalone binary (`cargo run --release -p disttgl-bench
+//!   --bin fig09a_epoch_parallel`),
+//! * all together through the `figures` bench target
+//!   (`cargo bench -p disttgl-bench --bench figures`),
+//! * at a larger scale with `DISTTGL_SCALE=full`.
+//!
+//! ## Throughput modeling
+//!
+//! The paper's throughput figures ran on 8×T4 machines; this harness
+//! runs trainers as threads, and the host may have fewer cores than
+//! simulated GPUs. Convergence experiments are unaffected (their
+//! x-axis is iterations), but wall-clock throughput would measure host
+//! oversubscription instead of the simulated cluster. [`modeled`]
+//! therefore derives throughput from a calibrated per-iteration
+//! compute cost plus the cluster network model — the same
+//! quantity the paper plots, on the simulated hardware.
+
+pub mod figures;
+pub mod modeled;
+
+use disttgl_core::ModelConfig;
+use disttgl_data::{generators, Dataset};
+
+/// Experiment scale knobs, selected by the `DISTTGL_SCALE` env var
+/// (`quick` default, `full` for longer runs).
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Dataset scale for the four small datasets.
+    pub small: f64,
+    /// Dataset scale for the GDELT analog (its full size is 191M).
+    pub gdelt: f64,
+    /// Single-GPU-equivalent epochs for convergence runs.
+    pub epochs: usize,
+    /// Local batch size for the small datasets.
+    pub local_batch: usize,
+    /// Negatives per event at evaluation.
+    pub eval_negs: usize,
+    /// Max events per evaluation pass.
+    pub eval_max_events: usize,
+    /// Largest trainer count exercised with real threads.
+    pub max_world: usize,
+}
+
+impl Scale {
+    /// Fast profile: every figure in minutes on a small host.
+    pub fn quick() -> Self {
+        Self {
+            small: 0.01,
+            gdelt: 3e-5,
+            epochs: 12,
+            local_batch: 100,
+            eval_negs: 10,
+            eval_max_events: 400,
+            max_world: 8,
+        }
+    }
+
+    /// Larger profile for overnight runs.
+    pub fn full() -> Self {
+        Self {
+            small: 0.05,
+            gdelt: 2e-4,
+            epochs: 48,
+            local_batch: 200,
+            eval_negs: 49,
+            eval_max_events: 4000,
+            max_world: 8,
+        }
+    }
+
+    /// Reads `DISTTGL_SCALE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("DISTTGL_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// Builds the named dataset at this scale (seeded for repeatability).
+///
+/// Flights is 12× Wikipedia at paper scale; the harness shrinks it a
+/// further 3× so the per-dataset experiment runtimes stay balanced.
+pub fn dataset(scale: &Scale, name: &str) -> Dataset {
+    let s = match name {
+        "gdelt" => scale.gdelt,
+        "flights" => scale.small / 3.0,
+        _ => scale.small,
+    };
+    generators::by_name(name, s, 0xD157)
+}
+
+/// The harness-standard compact model for a dataset.
+pub fn model_for(d: &Dataset) -> ModelConfig {
+    let mc = ModelConfig::compact(d.edge_features.cols());
+    if d.num_classes() > 0 {
+        mc.with_classes(d.num_classes())
+    } else {
+        mc
+    }
+}
+
+/// Prints a fixed-width table (markdown-ish) to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}", w = w))
+        .collect();
+    println!("| {} |", header_line.join(" | "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        std::env::remove_var("DISTTGL_SCALE");
+        let s = Scale::from_env();
+        assert_eq!(s.epochs, Scale::quick().epochs);
+    }
+
+    #[test]
+    fn dataset_helper_builds_all_names() {
+        let s = Scale { small: 0.003, gdelt: 2e-5, ..Scale::quick() };
+        for name in ["wikipedia", "reddit", "mooc", "flights", "gdelt"] {
+            let d = dataset(&s, name);
+            assert_eq!(d.name, name);
+            d.validate().unwrap();
+            let mc = model_for(&d);
+            assert_eq!(mc.d_edge, d.edge_features.cols());
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic shared-memory collectives (the NCCL stand-in).
+//!
+//! [`CommunicatorGroup::new(world)`] creates one [`Communicator`] per
+//! rank; trainer threads move their communicator in and call
+//! collectives symmetrically (every rank must call every collective in
+//! the same order — the NCCL contract).
+//!
+//! All-reduce sums contributions in **fixed rank order**, so every rank
+//! computes a bit-identical result; combined with identical Adam state
+//! this keeps all model replicas exactly equal across training, which
+//! the tests assert.
+
+use crate::netsim::NetworkModel;
+use crate::spec::ClusterSpec;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Reusable sense-reversing barrier.
+struct Barrier {
+    lock: StdMutex<(usize, u64)>, // (waiting count, generation)
+    cvar: Condvar,
+    world: usize,
+}
+
+impl Barrier {
+    fn new(world: usize) -> Self {
+        Self { lock: StdMutex::new((0, 0)), cvar: Condvar::new(), world }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        let gen = guard.1;
+        guard.0 += 1;
+        if guard.0 == self.world {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cvar.notify_all();
+        } else {
+            while guard.1 == gen {
+                guard = self.cvar.wait(guard).unwrap();
+            }
+        }
+    }
+}
+
+/// Aggregate communication counters for one group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommStats {
+    /// All-reduce invocations (per group, not per rank).
+    pub allreduce_count: u64,
+    /// Payload bytes per rank summed over invocations.
+    pub allreduce_bytes: u64,
+    /// Modeled wire time (ns) accumulated from the network model.
+    pub modeled_comm_nanos: u64,
+}
+
+struct Shared {
+    world: usize,
+    barrier: Barrier,
+    /// Per-rank contribution slots for the current collective.
+    slots: Vec<Mutex<Vec<f32>>>,
+    allreduce_count: AtomicU64,
+    allreduce_bytes: AtomicU64,
+    modeled_comm_nanos: AtomicU64,
+    /// Ranks that still have a live Communicator (signals misuse).
+    live: AtomicUsize,
+    spec: ClusterSpec,
+    net: NetworkModel,
+}
+
+/// Factory for a group of communicators.
+pub struct CommunicatorGroup {
+    shared: Arc<Shared>,
+}
+
+impl CommunicatorGroup {
+    /// Creates a group of `spec.world()` ranks metered by `net`.
+    pub fn new(spec: ClusterSpec, net: NetworkModel) -> Self {
+        let world = spec.world();
+        let shared = Arc::new(Shared {
+            world,
+            barrier: Barrier::new(world),
+            slots: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
+            allreduce_count: AtomicU64::new(0),
+            allreduce_bytes: AtomicU64::new(0),
+            modeled_comm_nanos: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            spec,
+            net,
+        });
+        Self { shared }
+    }
+
+    /// Single-machine group with `world` ranks (tests, baselines).
+    pub fn single_machine(world: usize) -> Self {
+        Self::new(ClusterSpec::new(1, world), NetworkModel::t4_testbed())
+    }
+
+    /// Hands out the communicator for `rank`. Each rank must be taken
+    /// exactly once.
+    pub fn communicator(&self, rank: usize) -> Communicator {
+        assert!(rank < self.shared.world, "rank out of range");
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        Communicator { shared: Arc::clone(&self.shared), rank }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            allreduce_count: self.shared.allreduce_count.load(Ordering::Relaxed),
+            allreduce_bytes: self.shared.allreduce_bytes.load(Ordering::Relaxed),
+            modeled_comm_nanos: self.shared.modeled_comm_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One rank's endpoint into the group's collectives.
+pub struct Communicator {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+impl Communicator {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    /// Blocks until every rank arrives.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Averages `data` across all ranks in place.
+    ///
+    /// Deterministic: the reduction sums rank 0's slice first, then
+    /// rank 1's, etc., so all ranks end with bit-identical contents.
+    /// Records the modeled ring-all-reduce wire time once per call.
+    ///
+    /// # Panics
+    /// Panics if ranks pass different lengths.
+    pub fn allreduce_mean(&self, data: &mut [f32]) {
+        let shared = &self.shared;
+        *shared.slots[self.rank].lock() = data.to_vec();
+        shared.barrier.wait();
+        // Every rank reduces independently in rank order → identical
+        // results without a broadcast round.
+        let mut acc = vec![0.0f32; data.len()];
+        for slot in &shared.slots {
+            let s = slot.lock();
+            assert_eq!(s.len(), data.len(), "allreduce: length mismatch across ranks");
+            for (a, &v) in acc.iter_mut().zip(s.iter()) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / shared.world as f32;
+        for (d, a) in data.iter_mut().zip(acc) {
+            *d = a * inv;
+        }
+        shared.barrier.wait();
+        if self.rank == 0 {
+            let bytes = std::mem::size_of_val(data);
+            shared.allreduce_count.fetch_add(1, Ordering::Relaxed);
+            shared.allreduce_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            let t = shared.net.ring_allreduce(bytes, &shared.spec);
+            shared
+                .modeled_comm_nanos
+                .fetch_add(t.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies `root`'s buffer into every rank's `data` (initial model
+    /// replication).
+    pub fn broadcast(&self, root: usize, data: &mut [f32]) {
+        let shared = &self.shared;
+        if self.rank == root {
+            *shared.slots[root].lock() = data.to_vec();
+        }
+        shared.barrier.wait();
+        if self.rank != root {
+            let s = shared.slots[root].lock();
+            assert_eq!(s.len(), data.len(), "broadcast: length mismatch");
+            data.copy_from_slice(&s);
+        }
+        shared.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group<T: Send + 'static>(
+        world: usize,
+        f: impl Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let group = CommunicatorGroup::single_machine(world);
+        let handles: Vec<_> = (0..world)
+            .map(|r| {
+                let comm = group.communicator(r);
+                let f = f.clone();
+                std::thread::spawn(move || f(comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let results = run_group(4, |comm| {
+            let mut v = vec![comm.rank() as f32; 3];
+            comm.allreduce_mean(&mut v);
+            v
+        });
+        // mean of 0..4 = 1.5
+        for v in results {
+            assert_eq!(v, vec![1.5, 1.5, 1.5]);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_bitwise_identical_across_ranks() {
+        let results = run_group(8, |comm| {
+            // Values whose FP sum depends on order — determinism check.
+            let mut v: Vec<f32> = (0..64)
+                .map(|i| ((comm.rank() * 64 + i) as f32).sin() * 1e3)
+                .collect();
+            comm.allreduce_mean(&mut v);
+            v
+        });
+        for r in 1..8 {
+            assert_eq!(results[0], results[r], "rank {} diverged", r);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduce_rounds() {
+        let results = run_group(3, |comm| {
+            let mut v = vec![(comm.rank() + 1) as f32];
+            for _ in 0..10 {
+                comm.allreduce_mean(&mut v);
+            }
+            v[0]
+        });
+        // After the first round all ranks hold 2.0; stays 2.0.
+        for v in results {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = run_group(4, |comm| {
+            let mut v = if comm.rank() == 2 { vec![9.0, 8.0] } else { vec![0.0, 0.0] };
+            comm.broadcast(2, &mut v);
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn stats_account_calls_and_bytes() {
+        let group = CommunicatorGroup::new(ClusterSpec::new(2, 2), NetworkModel::t4_testbed());
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let comm = group.communicator(r);
+                std::thread::spawn(move || {
+                    let mut v = vec![1.0f32; 100];
+                    comm.allreduce_mean(&mut v);
+                    comm.allreduce_mean(&mut v);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.allreduce_count, 2);
+        assert_eq!(stats.allreduce_bytes, 2 * 400);
+        assert!(stats.modeled_comm_nanos > 0);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::AtomicUsize;
+        let flag = Arc::new(AtomicUsize::new(0));
+        let group = CommunicatorGroup::single_machine(2);
+        let f2 = Arc::clone(&flag);
+        let c0 = group.communicator(0);
+        let c1 = group.communicator(1);
+        let t = std::thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+            c1.barrier();
+            c1.barrier();
+        });
+        c0.barrier(); // After this, rank 1 must have set the flag.
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        c0.barrier();
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # disttgl-cluster
+//!
+//! Simulated distributed-GPU-cluster substrate.
+//!
+//! The paper trains on up to four AWS `g4dn.metal` machines (8 × T4
+//! GPUs each, 100 Gbps Ethernet, NCCL weight synchronization). This
+//! crate replaces that hardware with:
+//!
+//! * [`ClusterSpec`] — the `p machines × q GPUs` topology; "trainers"
+//!   are threads, and rank→machine mapping decides which transfers are
+//!   local;
+//! * [`NetworkModel`] — an analytic latency + bandwidth cost model
+//!   (PCIe-class intra-machine, Ethernet-class inter-machine) used to
+//!   *meter* communication instead of performing it — the quantity
+//!   behind Figure 2(b) and the throughput scaling of Figure 12;
+//! * [`Communicator`] — a deterministic shared-memory collective group
+//!   (barrier / all-reduce-mean / broadcast) standing in for NCCL.
+//!   All-reduce sums in fixed rank order so every replica computes
+//!   bit-identical averaged gradients, which keeps replicas in
+//!   lock-step exactly like NCCL's deterministic reductions.
+//!
+//! The schedule-level behaviour (who communicates what, when) is real;
+//! only the wire is simulated. See `DESIGN.md` §1.
+
+mod comm;
+mod netsim;
+mod spec;
+
+pub use comm::{CommStats, Communicator, CommunicatorGroup};
+pub use netsim::NetworkModel;
+pub use spec::ClusterSpec;

@@ -1,0 +1,169 @@
+//! Analytic network cost model.
+//!
+//! Communication is *metered*, not performed: the experiments that need
+//! network effects (Figure 2(b), Figure 12 scaling, Table 1 sync
+//! volume) charge simulated wall time through this model. The default
+//! parameters approximate the paper's testbed: PCIe 3.0-class links
+//! inside a g4dn.metal box and 100 Gbps Ethernet between boxes.
+
+use crate::spec::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Latency + bandwidth model with separate intra-/inter-machine links.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message latency within a machine (PCIe hop).
+    pub intra_latency_ns: u64,
+    /// Intra-machine bandwidth in bytes/second.
+    pub intra_bytes_per_sec: f64,
+    /// Per-message latency between machines (Ethernet RTT/2-ish).
+    pub inter_latency_ns: u64,
+    /// Inter-machine bandwidth in bytes/second.
+    pub inter_bytes_per_sec: f64,
+    /// Effective bandwidth of remote *memory-service* operations
+    /// (RPC-style gather/scatter of node-memory rows). Far below NIC
+    /// line rate: each request serializes sparse rows through the
+    /// framework's RPC stack — this is why Figure 2(b)'s distributed
+    /// node memory is catastrophically slow while NCCL weight sync is
+    /// not.
+    pub rpc_bytes_per_sec: f64,
+    /// Fixed overhead per remote memory-service request.
+    pub rpc_overhead_ns: u64,
+}
+
+impl NetworkModel {
+    /// The paper's testbed: ~12 GB/s effective PCIe, 100 Gbps
+    /// (≈ 12.5 GB/s line rate, ~10 GB/s effective) Ethernet, in-rack
+    /// latency ("we create the instances in the same group of rack").
+    pub fn t4_testbed() -> Self {
+        Self {
+            intra_latency_ns: 5_000,
+            intra_bytes_per_sec: 12.0e9,
+            inter_latency_ns: 50_000,
+            inter_bytes_per_sec: 10.0e9,
+            rpc_bytes_per_sec: 1.5e9,
+            rpc_overhead_ns: 200_000,
+        }
+    }
+
+    /// Time for one point-to-point transfer of `bytes`.
+    pub fn transfer(&self, bytes: usize, cross_machine: bool) -> Duration {
+        let (lat, bw) = if cross_machine {
+            (self.inter_latency_ns, self.inter_bytes_per_sec)
+        } else {
+            (self.intra_latency_ns, self.intra_bytes_per_sec)
+        };
+        Duration::from_nanos(lat) + Duration::from_secs_f64(bytes as f64 / bw)
+    }
+
+    /// Modeled time of a ring all-reduce of `bytes` per rank.
+    ///
+    /// Bandwidth term: `2·(n−1)/n · bytes` traverses every link; the
+    /// slowest link (Ethernet when the ring spans machines) bounds it.
+    /// Latency term: NCCL pipelines chunks, so per-hop latency is paid
+    /// for one traversal of the ring, with each link charged at its own
+    /// rate — a machine-spanning ring crosses Ethernet `p` times and
+    /// PCIe `n − p` times. Weight sync therefore stays cheap at any
+    /// scale (small `bytes`), unlike node-memory sync (§1, Fig 2(b)).
+    pub fn ring_allreduce(&self, bytes: usize, spec: &ClusterSpec) -> Duration {
+        let n = spec.world();
+        if n <= 1 {
+            return Duration::ZERO;
+        }
+        let p = spec.machines;
+        let bw = if p > 1 { self.inter_bytes_per_sec } else { self.intra_bytes_per_sec };
+        let inter_hops = if p > 1 { p as u64 } else { 0 };
+        let intra_hops = n as u64 - inter_hops;
+        let latency =
+            inter_hops * self.inter_latency_ns + intra_hops * self.intra_latency_ns;
+        let volume = 2.0 * (n - 1) as f64 / n as f64 * bytes as f64;
+        Duration::from_nanos(latency) + Duration::from_secs_f64(volume / bw)
+    }
+
+    /// Modeled time for **one serialized memory operation round** (a
+    /// mini-batch read or write) against node memory partitioned
+    /// uniformly over `machines` machines — the Figure 2(b) layout
+    /// ("each machine owns a unique equally-sized portion").
+    ///
+    /// A fraction `(machines − 1)/machines` of the rows is remote and
+    /// moves at RPC speed with per-request overhead; the local share
+    /// moves at host-memory/PCIe speed. Rounds cannot be batched
+    /// across mini-batches because of the strict temporal dependencies
+    /// (§1), so epoch time = rounds × this.
+    pub fn partitioned_round(&self, bytes: usize, machines: usize) -> Duration {
+        assert!(machines >= 1);
+        if machines == 1 {
+            return self.transfer(bytes, false);
+        }
+        let remote_frac = (machines - 1) as f64 / machines as f64;
+        let remote_bytes = bytes as f64 * remote_frac;
+        let local_bytes = bytes - remote_bytes as usize;
+        // One RPC round per remote machine (issued in parallel; the
+        // per-request overheads still serialize in the sender's stack).
+        let mut t =
+            Duration::from_nanos(self.rpc_overhead_ns * (machines as u64 - 1));
+        t += Duration::from_secs_f64(remote_bytes / self.rpc_bytes_per_sec);
+        t += self.transfer(local_bytes, false);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_is_slower_than_intra() {
+        let m = NetworkModel::t4_testbed();
+        let b = 1 << 20;
+        assert!(m.transfer(b, true) > m.transfer(b, false));
+    }
+
+    #[test]
+    fn transfer_monotone_in_bytes() {
+        let m = NetworkModel::t4_testbed();
+        assert!(m.transfer(2 << 20, false) > m.transfer(1 << 20, false));
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_free() {
+        let m = NetworkModel::t4_testbed();
+        assert_eq!(m.ring_allreduce(1 << 20, &ClusterSpec::new(1, 1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_crossing_machines_pays_ethernet() {
+        let m = NetworkModel::t4_testbed();
+        let single = m.ring_allreduce(1 << 20, &ClusterSpec::new(1, 8));
+        let multi = m.ring_allreduce(1 << 20, &ClusterSpec::new(2, 4));
+        assert!(multi > single, "{:?} vs {:?}", multi, single);
+    }
+
+    #[test]
+    fn allreduce_volume_saturates_with_world() {
+        // 2(n−1)/n → 2, so doubling world from 8 to 16 adds little
+        // volume (but adds latency steps).
+        let m = NetworkModel::t4_testbed();
+        let w8 = m.ring_allreduce(8 << 20, &ClusterSpec::new(2, 4));
+        let w16 = m.ring_allreduce(8 << 20, &ClusterSpec::new(2, 8));
+        let ratio = w16.as_secs_f64() / w8.as_secs_f64();
+        assert!(ratio < 1.5, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn partitioned_round_grows_sharply_with_machine_count() {
+        // The Figure 2(b) shape: distributing the node memory makes
+        // every fetch mostly remote at RPC speed, so per-round (and
+        // hence per-epoch) memory time grows steeply with machines.
+        let m = NetworkModel::t4_testbed();
+        let bytes = 2 << 20; // a mini-batch's rows
+        let t1 = m.partitioned_round(bytes, 1);
+        let t2 = m.partitioned_round(bytes, 2);
+        let t4 = m.partitioned_round(bytes, 4);
+        assert!(t2 > t1);
+        assert!(t4 > t2);
+        // Remote rounds are several times the local round.
+        assert!(t2.as_secs_f64() > 2.0 * t1.as_secs_f64(), "{:?} vs {:?}", t2, t1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Cluster topology: `p` machines × `q` GPUs.
+
+use serde::{Deserialize, Serialize};
+
+/// A `p × q` cluster: ranks `0..p*q` are laid out machine-major
+/// (machine 0 hosts ranks `0..q`, machine 1 hosts `q..2q`, …) exactly
+/// like the trainer layout in the paper's Figure 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Machine count `p`.
+    pub machines: usize,
+    /// GPUs (trainers) per machine `q`.
+    pub gpus_per_machine: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(machines: usize, gpus_per_machine: usize) -> Self {
+        assert!(machines >= 1 && gpus_per_machine >= 1, "cluster dims must be >= 1");
+        Self { machines, gpus_per_machine }
+    }
+
+    /// The paper's largest testbed: 4 × g4dn.metal (8 GPUs each).
+    pub fn paper_testbed() -> Self {
+        Self::new(4, 8)
+    }
+
+    /// Total trainer count `p·q`.
+    pub fn world(&self) -> usize {
+        self.machines * self.gpus_per_machine
+    }
+
+    /// Machine hosting `rank`.
+    pub fn machine_of(&self, rank: usize) -> usize {
+        assert!(rank < self.world(), "rank {} out of world {}", rank, self.world());
+        rank / self.gpus_per_machine
+    }
+
+    /// True when both ranks share a machine (transfer stays on
+    /// PCIe/NVLink instead of Ethernet).
+    pub fn same_machine(&self, a: usize, b: usize) -> bool {
+        self.machine_of(a) == self.machine_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_major_layout() {
+        let c = ClusterSpec::new(2, 4);
+        assert_eq!(c.world(), 8);
+        assert_eq!(c.machine_of(0), 0);
+        assert_eq!(c.machine_of(3), 0);
+        assert_eq!(c.machine_of(4), 1);
+        assert_eq!(c.machine_of(7), 1);
+    }
+
+    #[test]
+    fn same_machine_symmetry() {
+        let c = ClusterSpec::new(2, 4);
+        assert!(c.same_machine(1, 2));
+        assert!(!c.same_machine(3, 4));
+        assert!(c.same_machine(5, 5));
+    }
+
+    #[test]
+    fn paper_testbed_dims() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!((c.machines, c.gpus_per_machine, c.world()), (4, 8, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of world")]
+    fn rank_out_of_range_panics() {
+        ClusterSpec::new(1, 2).machine_of(2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Mini-batch preparation.
+//!
+//! A training iteration needs, for every root node (positive sources,
+//! positive destinations, and sampled negative destinations): its node
+//! memory + cached mail, its k most recent supporting neighbors, and
+//! their memory/mails/edge features. Epoch parallelism (§3.2.2)
+//! prepares **one positive input and `j` negative inputs** in a single
+//! serialized memory read so the same batch can be retrained `j` times
+//! with different negatives without touching the memory daemon again.
+
+use crate::config::ModelConfig;
+use disttgl_data::Dataset;
+use disttgl_graph::{NeighborBlock, RecentNeighborSampler, TCsr};
+use disttgl_mem::{MemoryClient, MemoryReadout, MemoryState, MemoryWrite};
+use disttgl_tensor::Matrix;
+use std::ops::Range;
+
+/// Uniform interface over the two ways a trainer reaches node memory:
+/// directly (single-process baselines, evaluation) or through the
+/// memory daemon (distributed training).
+pub trait MemoryAccess {
+    /// Gathers memory/mail rows for `nodes`.
+    fn read(&mut self, nodes: &[u32]) -> MemoryReadout;
+    /// Applies a write in serialized order.
+    fn write(&mut self, w: MemoryWrite);
+}
+
+impl MemoryAccess for MemoryState {
+    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
+        MemoryState::read(self, nodes)
+    }
+    fn write(&mut self, w: MemoryWrite) {
+        MemoryState::write(self, &w);
+    }
+}
+
+impl MemoryAccess for MemoryClient {
+    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
+        MemoryClient::read(self, nodes)
+    }
+    fn write(&mut self, w: MemoryWrite) {
+        MemoryClient::write(self, w);
+    }
+}
+
+/// The positive half of a prepared batch: `B` chronological events.
+///
+/// Readout layout: rows `0..2B` are the roots (`srcs` then `dsts`),
+/// rows `2B..2B(1+k)` the flattened neighbor slots.
+#[derive(Clone, Debug)]
+pub struct PositivePart {
+    /// Event sources.
+    pub srcs: Vec<u32>,
+    /// Event destinations.
+    pub dsts: Vec<u32>,
+    /// Event timestamps.
+    pub times: Vec<f32>,
+    /// Event ids (edge-feature rows).
+    pub eids: Vec<u32>,
+    /// Supporting neighbors of the `2B` roots.
+    pub nbrs: NeighborBlock,
+    /// Memory/mail rows for roots then slots.
+    pub readout: MemoryReadout,
+    /// Edge features of the events, `B × d_e`.
+    pub event_feats: Matrix,
+    /// Edge features of the neighbor slots, `2B·k × d_e`.
+    pub nbr_feats: Matrix,
+    /// Multi-label targets for classification datasets.
+    pub labels: Option<Matrix>,
+}
+
+impl PositivePart {
+    /// Number of events `B`.
+    pub fn len(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.srcs.is_empty()
+    }
+}
+
+/// One negative set: `B·K` sampled destinations with the same
+/// per-event timestamps.
+#[derive(Clone, Debug)]
+pub struct NegativePart {
+    /// Negative destination ids, `B·K`.
+    pub negs: Vec<u32>,
+    /// Query times (event time repeated `K×`).
+    pub times: Vec<f32>,
+    /// Supporting neighbors of the negatives.
+    pub nbrs: NeighborBlock,
+    /// Memory/mail rows for negative roots then their slots.
+    pub readout: MemoryReadout,
+    /// Edge features of the negative neighbor slots.
+    pub nbr_feats: Matrix,
+}
+
+/// A fully prepared batch: positives plus `j ≥ 0` negative sets.
+#[derive(Clone, Debug)]
+pub struct PreparedBatch {
+    /// The shared positive input.
+    pub pos: PositivePart,
+    /// Independent negative sets (one per epoch-parallel pass).
+    pub negs: Vec<NegativePart>,
+}
+
+/// Builds prepared batches from a dataset + T-CSR index.
+pub struct BatchPreparer<'a> {
+    dataset: &'a Dataset,
+    csr: &'a TCsr,
+    sampler: RecentNeighborSampler,
+}
+
+impl<'a> BatchPreparer<'a> {
+    /// Creates a preparer sampling `cfg.n_neighbors` supporting nodes.
+    pub fn new(dataset: &'a Dataset, csr: &'a TCsr, cfg: &ModelConfig) -> Self {
+        Self { dataset, csr, sampler: RecentNeighborSampler::new(cfg.n_neighbors) }
+    }
+
+    /// Gathers edge features for arbitrary eids (zero-width safe).
+    fn edge_rows(&self, eids: &[u32]) -> Matrix {
+        let d_e = self.dataset.edge_features.cols();
+        if d_e == 0 {
+            return Matrix::zeros(eids.len(), 0);
+        }
+        let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
+        self.dataset.edge_features.gather_rows(&idx)
+    }
+
+    /// Prepares events `range` with the given negative sets
+    /// (`neg_sets[g]` is a flat `range.len() · K` destination list)
+    /// using **one** serialized memory read.
+    pub fn prepare(
+        &self,
+        range: Range<usize>,
+        neg_sets: &[&[u32]],
+        negs_per_event: usize,
+        mem: &mut dyn MemoryAccess,
+    ) -> PreparedBatch {
+        let events = &self.dataset.graph.events()[range.clone()];
+        let b = events.len();
+        let srcs: Vec<u32> = events.iter().map(|e| e.src).collect();
+        let dsts: Vec<u32> = events.iter().map(|e| e.dst).collect();
+        let times: Vec<f32> = events.iter().map(|e| e.t).collect();
+        let eids: Vec<u32> = events.iter().map(|e| e.eid).collect();
+
+        // Roots of the positive part: sources then destinations, each
+        // queried at its event time.
+        let mut pos_roots = srcs.clone();
+        pos_roots.extend_from_slice(&dsts);
+        let mut pos_times = times.clone();
+        pos_times.extend_from_slice(&times);
+        let pos_nbrs = self.sampler.sample(self.csr, &pos_roots, &pos_times);
+
+        // Negative roots per set.
+        let mut neg_meta = Vec::with_capacity(neg_sets.len());
+        for set in neg_sets {
+            assert_eq!(set.len(), b * negs_per_event, "negative set length");
+            let neg_times: Vec<f32> = times
+                .iter()
+                .flat_map(|&t| std::iter::repeat_n(t, negs_per_event))
+                .collect();
+            let nbrs = self.sampler.sample(self.csr, set, &neg_times);
+            neg_meta.push((set.to_vec(), neg_times, nbrs));
+        }
+
+        // One read covering everything, in a fixed layout.
+        let mut all_nodes = Vec::new();
+        all_nodes.extend_from_slice(&pos_roots);
+        all_nodes.extend_from_slice(&pos_nbrs.nbrs);
+        for (set, _, nbrs) in &neg_meta {
+            all_nodes.extend_from_slice(set);
+            all_nodes.extend_from_slice(&nbrs.nbrs);
+        }
+        let full = mem.read(&all_nodes);
+
+        // Split the readout back into parts.
+        let mut cursor = 0usize;
+        let mut take = |n: usize| {
+            let r = cursor..cursor + n;
+            cursor += n;
+            r
+        };
+        let slice_readout = |r: Range<usize>| MemoryReadout {
+            mem: full.mem.slice_rows(r.start, r.end),
+            mem_ts: full.mem_ts[r.clone()].to_vec(),
+            mail: full.mail.slice_rows(r.start, r.end),
+            mail_ts: full.mail_ts[r].to_vec(),
+        };
+
+        let pos_rows = take(pos_roots.len() + pos_nbrs.nbrs.len());
+        let pos_readout = slice_readout(pos_rows);
+        let labels = self.dataset.labels.as_ref().map(|l| {
+            let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
+            l.gather_rows(&idx)
+        });
+        let pos = PositivePart {
+            event_feats: self.edge_rows(&eids),
+            nbr_feats: self.edge_rows(&pos_nbrs.eids),
+            srcs,
+            dsts,
+            times,
+            eids,
+            nbrs: pos_nbrs,
+            readout: pos_readout,
+            labels,
+        };
+
+        let mut negs = Vec::with_capacity(neg_meta.len());
+        for (set, neg_times, nbrs) in neg_meta {
+            let rows = take(set.len() + nbrs.nbrs.len());
+            let readout = slice_readout(rows);
+            negs.push(NegativePart {
+                nbr_feats: self.edge_rows(&nbrs.eids),
+                negs: set,
+                times: neg_times,
+                nbrs,
+                readout,
+            });
+        }
+        debug_assert_eq!(cursor, all_nodes.len());
+        PreparedBatch { pos, negs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_data::generators;
+
+    fn small_setup() -> (Dataset, TCsr, ModelConfig) {
+        let d = generators::wikipedia(0.005, 3);
+        let csr = TCsr::build(&d.graph);
+        let cfg = ModelConfig::compact(d.edge_features.cols());
+        (d, csr, cfg)
+    }
+
+    #[test]
+    fn prepared_layout_is_consistent() {
+        let (d, csr, cfg) = small_setup();
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let b = 16;
+        let negs: Vec<u32> = (0..b).map(|i| d.graph.events()[i].dst).collect();
+        let batch = prep.prepare(0..b, &[&negs], 1, &mut mem);
+
+        assert_eq!(batch.pos.len(), b);
+        let k = cfg.n_neighbors;
+        // Roots: 2B; slots: 2B·k.
+        assert_eq!(batch.pos.readout.mem.rows(), 2 * b + 2 * b * k);
+        assert_eq!(batch.pos.nbr_feats.rows(), 2 * b * k);
+        assert_eq!(batch.pos.event_feats.shape(), (b, 172));
+        assert_eq!(batch.negs.len(), 1);
+        assert_eq!(batch.negs[0].readout.mem.rows(), b + b * k);
+    }
+
+    #[test]
+    fn multiple_negative_sets_share_one_positive() {
+        let (d, csr, cfg) = small_setup();
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let b = 8;
+        let n1: Vec<u32> = (0..b).map(|i| d.graph.events()[i].dst).collect();
+        let n2: Vec<u32> = (0..b).map(|i| d.graph.events()[i + b].dst).collect();
+        let batch = prep.prepare(0..b, &[&n1, &n2], 1, &mut mem);
+        assert_eq!(batch.negs.len(), 2);
+        assert_eq!(batch.negs[0].negs, n1);
+        assert_eq!(batch.negs[1].negs, n2);
+        // Negative query times repeat the event times.
+        assert_eq!(batch.negs[0].times, batch.pos.times);
+    }
+
+    #[test]
+    fn neighbor_queries_respect_event_times() {
+        let (d, csr, cfg) = small_setup();
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        // Mid-stream batch: neighbors must all precede the event time.
+        let batch = prep.prepare(100..116, &[], 1, &mut mem);
+        let b = batch.pos.len();
+        for r in 0..2 * b {
+            let t_query = batch.pos.times[r % b];
+            for s in 0..batch.pos.nbrs.counts[r] {
+                let dt = batch.pos.nbrs.dts[batch.pos.nbrs.slot(r, s)];
+                assert!(dt >= 0.0, "negative Δt at root {r} slot {s}: {dt} (query {t_query})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_edge_dim_dataset_prepares_empty_features() {
+        let d = generators::mooc(0.002, 5);
+        let csr = TCsr::build(&d.graph);
+        let cfg = ModelConfig::compact(0);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let batch = prep.prepare(0..8, &[], 1, &mut mem);
+        assert_eq!(batch.pos.event_feats.cols(), 0);
+        assert_eq!(batch.pos.nbr_feats.cols(), 0);
+        assert_eq!(batch.pos.nbr_feats.rows(), 16 * cfg.n_neighbors);
+    }
+}

@@ -1,0 +1,576 @@
+//! The DistTGL distributed trainer (paper Figure 4).
+//!
+//! `train_distributed` runs any `i × j × k` configuration on the
+//! simulated cluster: it spawns `k` memory daemons (one node-memory
+//! replica each), `i·j·k` trainer threads (the "GPUs"), and a global
+//! NCCL-style communicator for weight synchronization. All replicas
+//! start from the same seeded initialization and stay bit-identical
+//! through the deterministic all-reduce, mirroring NCCL's behaviour.
+//!
+//! Every trainer executes the same step loop in lock-step:
+//!
+//! 1. consult its [`GroupSchedule`] — acquire a batch (serialized
+//!    memory read → pass-0 training → serialized write), continue a
+//!    previously acquired batch with a fresh negative set, or idle;
+//! 2. all-reduce gradients across **all** trainers;
+//! 3. Adam step.
+//!
+//! Rank 0 additionally evaluates the validation split at each sweep
+//! boundary from the epoch snapshot of memory replica 0 — "using the
+//! node memory in the first memory process" (§4.0.1).
+
+use crate::batch::{BatchPreparer, MemoryAccess, PreparedBatch};
+use crate::config::{ModelConfig, TrainConfig};
+use crate::eval::evaluate;
+use crate::metrics::{ConvergencePoint, RunResult, TimingBreakdown};
+use crate::model::TgnModel;
+use crate::sched::{GroupSchedule, StepPlan};
+use crate::static_mem::StaticMemory;
+use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
+use disttgl_data::{Dataset, NegativeStore, Task};
+use disttgl_graph::TCsr;
+use disttgl_mem::{MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite};
+use disttgl_tensor::{seeded_rng, Matrix};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wraps a memory access to meter read-wait time (the daemon overlap
+/// measurement in the timing breakdown).
+struct TimedAccess<'a, M: MemoryAccess> {
+    inner: &'a mut M,
+    wait_secs: &'a mut f64,
+}
+
+impl<M: MemoryAccess> MemoryAccess for TimedAccess<'_, M> {
+    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
+        let t0 = Instant::now();
+        let r = self.inner.read(nodes);
+        *self.wait_secs += t0.elapsed().as_secs_f64();
+        r
+    }
+    fn write(&mut self, w: MemoryWrite) {
+        self.inner.write(w);
+    }
+}
+
+struct TrainerReturn {
+    timing: TimingBreakdown,
+    loss_history: Vec<f32>,
+    convergence: Vec<ConvergencePoint>,
+    grad_sq_dev_sum: f64,
+    grad_probes: u64,
+    /// Rank 0's time spent evaluating (excluded from throughput).
+    eval_secs: f64,
+}
+
+/// How often trainers probe gradient variance (Table 1's variance row).
+const VARIANCE_PROBE_EVERY: usize = 16;
+
+/// Trains `dataset` with the full DistTGL system. `spec.world()` must
+/// equal `cfg.parallel.world()`.
+pub fn train_distributed(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+    spec: ClusterSpec,
+) -> RunResult {
+    let parallel = cfg.parallel;
+    assert_eq!(
+        spec.world(),
+        parallel.world(),
+        "cluster world {} != parallel world {}",
+        spec.world(),
+        parallel.world()
+    );
+    let (i, j, k) = (parallel.i, parallel.j, parallel.k);
+    let world = parallel.world();
+
+    let csr = Arc::new(TCsr::build(&dataset.graph));
+    let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
+    assert!(train_end > 0, "empty training split");
+
+    // Static memory pre-training happens once, before the timed run
+    // (the paper pre-trains separately; <30 s on its datasets).
+    let static_mem = Arc::new(if model_cfg.static_memory {
+        Some(StaticMemory::pretrain(dataset, model_cfg.d_mem, train_end, 10, cfg.seed ^ 0x5747))
+    } else {
+        None
+    });
+
+    let store = Arc::new(match dataset.task {
+        Task::LinkPrediction => Some(NegativeStore::generate(
+            &dataset.graph,
+            train_end,
+            cfg.neg_groups,
+            cfg.train_negs,
+            cfg.seed ^ 0x4e45,
+        )),
+        Task::EdgeClassification => None,
+    });
+
+    let sweeps = cfg.sweeps();
+    let global_batch = cfg.local_batch * i;
+    // One schedule per group (clones are cheap; built per thread too).
+    let schedules: Vec<GroupSchedule> = (0..k)
+        .map(|g| GroupSchedule::new(0..train_end, global_batch, &parallel, g, sweeps))
+        .collect();
+
+    // Memory daemons: one per group, with wrap-aligned epoch schedules.
+    let daemons: Arc<Vec<MemoryDaemon>> = Arc::new(
+        schedules
+            .iter()
+            .map(|s| {
+                MemoryDaemon::spawn_schedule(
+                    MemoryState::new(dataset.graph.num_nodes(), model_cfg.d_mem, model_cfg.mail_dim()),
+                    i,
+                    j,
+                    s.daemon_epoch_lengths(),
+                )
+            })
+            .collect(),
+    );
+
+    let comm_group = CommunicatorGroup::new(spec, NetworkModel::t4_testbed());
+    let dataset_arc: Arc<Dataset> = Arc::new(dataset.clone());
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(world);
+    for rank in 0..world {
+        let (group, jg, ig) = parallel.decompose(rank);
+        let comm = comm_group.communicator(rank);
+        let daemons = Arc::clone(&daemons);
+        let dataset = Arc::clone(&dataset_arc);
+        let csr = Arc::clone(&csr);
+        let static_mem = Arc::clone(&static_mem);
+        let store = Arc::clone(&store);
+        let schedule = schedules[group].clone();
+        let model_cfg = *model_cfg;
+        let cfg = cfg.clone();
+
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("disttgl-trainer-{rank}"))
+                .spawn(move || {
+                    trainer_main(TrainerCtx {
+                        rank,
+                        group,
+                        jg,
+                        ig,
+                        comm,
+                        daemons,
+                        dataset,
+                        csr,
+                        static_mem,
+                        store,
+                        schedule,
+                        model_cfg,
+                        cfg,
+                        train_end,
+                        val_end,
+                        start,
+                    })
+                })
+                .expect("spawn trainer"),
+        );
+    }
+
+    let returns: Vec<TrainerReturn> = handles
+        .into_iter()
+        .map(|h| h.join().expect("trainer thread panicked"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+
+    let (mut result, eval_secs) = assemble_results(returns, wall);
+    for d in daemons.iter() {
+        result.absorb_daemon(&d.stats());
+    }
+    result.absorb_comm(&comm_group.stats());
+
+    // Throughput counts training time only (evaluation excluded, as in
+    // the paper): total traversed events / (wall − rank-0 eval time).
+    let traversed: usize = schedules.iter().map(|s| s.events_traversed_per_group()).sum();
+    result.throughput_events_per_sec = traversed as f64 / (wall - eval_secs).max(1e-9);
+    result.finalize_convergence();
+
+    // Tear down daemons (their schedules are complete).
+    if let Ok(daemons) = Arc::try_unwrap(daemons) {
+        for d in daemons {
+            let _ = d.join();
+        }
+    }
+    result
+}
+
+struct TrainerCtx {
+    rank: usize,
+    group: usize,
+    jg: usize,
+    ig: usize,
+    comm: disttgl_cluster::Communicator,
+    daemons: Arc<Vec<MemoryDaemon>>,
+    dataset: Arc<Dataset>,
+    csr: Arc<TCsr>,
+    static_mem: Arc<Option<StaticMemory>>,
+    store: Arc<Option<NegativeStore>>,
+    schedule: GroupSchedule,
+    model_cfg: ModelConfig,
+    cfg: TrainConfig,
+    train_end: usize,
+    val_end: usize,
+    start: Instant,
+}
+
+fn empty_write(model_cfg: &ModelConfig) -> MemoryWrite {
+    MemoryWrite {
+        nodes: Vec::new(),
+        mem: Matrix::zeros(0, model_cfg.d_mem),
+        mem_ts: Vec::new(),
+        mail: Matrix::zeros(0, model_cfg.mail_dim()),
+        mail_ts: Vec::new(),
+    }
+}
+
+fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
+    let TrainerCtx {
+        rank,
+        group,
+        jg,
+        ig,
+        comm,
+        daemons,
+        dataset,
+        csr,
+        static_mem,
+        store,
+        schedule,
+        model_cfg,
+        cfg,
+        train_end,
+        val_end,
+        start,
+    } = ctx;
+    let parallel = cfg.parallel;
+    let (i, j) = (parallel.i, parallel.j);
+    let mut client = daemons[group].client(jg * i + ig);
+    let prep = BatchPreparer::new(&dataset, &csr, &model_cfg);
+
+    // Identical seeded init on every replica (equivalent to broadcast).
+    let mut rng = seeded_rng(cfg.seed);
+    let mut model = TgnModel::new(model_cfg, &mut rng);
+    let mut adam = model.optimizer(cfg.scaled_lr());
+
+    let mut ret = TrainerReturn {
+        timing: TimingBreakdown::default(),
+        loss_history: Vec::new(),
+        convergence: Vec::new(),
+        grad_sq_dev_sum: 0.0,
+        grad_probes: 0,
+        eval_secs: 0.0,
+    };
+
+    let b = schedule.num_batches();
+    let total_steps = schedule.total_steps();
+    let mut cached: Option<PreparedBatch> = None;
+    let mut sweep_done = 0usize;
+
+    for step in 0..total_steps {
+        let plan = schedule.plan(jg, step);
+        model.params.zero_grads();
+        let mut loss = 0.0f32;
+        let mut did_work = false;
+
+        match plan {
+            StepPlan::Acquire { batch, epoch_equiv } => {
+                let local = schedule.local_slice(&batch, ig);
+                let t_prep = Instant::now();
+                let prepared = if local.is_empty() {
+                    // Still take the serialized memory turn with an
+                    // empty request to keep the daemon protocol moving.
+                    let mut timed =
+                        TimedAccess { inner: &mut client, wait_secs: &mut ret.timing.mem_wait_secs };
+                    let _ = timed.read(&[]);
+                    timed.write(empty_write(&model_cfg));
+                    None
+                } else {
+                    // One read covering the positives and all j
+                    // negative sets (epoch-parallel prefetch).
+                    let mut neg_slices: Vec<&[u32]> = Vec::new();
+                    let storage;
+                    if let Some(store) = store.as_ref() {
+                        storage = (0..j)
+                            .map(|p| {
+                                let g = store.group_for_epoch(epoch_equiv + p);
+                                store.slice(g, local.clone())
+                            })
+                            .collect::<Vec<_>>();
+                        neg_slices = storage.to_vec();
+                    }
+                    let mut timed =
+                        TimedAccess { inner: &mut client, wait_secs: &mut ret.timing.mem_wait_secs };
+                    let prepared =
+                        prep.prepare(local.clone(), &neg_slices, cfg.train_negs, &mut timed);
+                    ret.timing.prep_secs += t_prep.elapsed().as_secs_f64() - 0.0;
+
+                    let t_compute = Instant::now();
+                    let out = model.train_step(
+                        &prepared.pos,
+                        prepared.negs.first(),
+                        static_mem.as_ref().as_ref(),
+                    );
+                    ret.timing.compute_secs += t_compute.elapsed().as_secs_f64();
+                    loss = out.loss;
+                    did_work = true;
+                    client.write(out.write);
+                    Some(prepared)
+                };
+                cached = prepared;
+            }
+            StepPlan::Continue { pass, .. } => {
+                if let Some(prepared) = &cached {
+                    let t_compute = Instant::now();
+                    let neg = if prepared.negs.is_empty() {
+                        None
+                    } else {
+                        Some(&prepared.negs[pass.min(prepared.negs.len() - 1)])
+                    };
+                    let out =
+                        model.train_step(&prepared.pos, neg, static_mem.as_ref().as_ref());
+                    ret.timing.compute_secs += t_compute.elapsed().as_secs_f64();
+                    loss = out.loss;
+                    did_work = true;
+                    // Non-owner passes never write (RAW hazard, §3.2.2).
+                }
+            }
+            StepPlan::Idle => {}
+        }
+
+        // Global weight synchronization (the only cross-group and
+        // cross-machine traffic, Table 1).
+        let t_comm = Instant::now();
+        let mut grads = model.params.flatten_grads();
+        let probe = step % VARIANCE_PROBE_EVERY == 0 && did_work;
+        let pre = if probe { Some(grads.clone()) } else { None };
+        comm.allreduce_mean(&mut grads);
+        if let Some(pre) = pre {
+            let n = grads.len().max(1);
+            let dev: f64 = pre
+                .iter()
+                .zip(&grads)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            ret.grad_sq_dev_sum += dev;
+            ret.grad_probes += 1;
+        }
+        model.params.unflatten_grads(&grads);
+        model.params.clip_grad_norm(5.0);
+        adam.step(&mut model.params);
+        ret.timing.allreduce_secs += t_comm.elapsed().as_secs_f64();
+
+        if rank == 0 {
+            ret.loss_history.push(loss);
+        }
+
+        // Sweep boundary: rank 0 evaluates from replica 0's snapshot.
+        let ownership_steps = cfg.sweeps() * b;
+        if rank == 0
+            && cfg.eval_every_epoch
+            && val_end > train_end
+            && step < ownership_steps
+            && (step + 1) % b == 0
+        {
+            let t_eval = Instant::now();
+            let sweep_idx = (step + 1) / b - 1;
+            let mut snap = daemons[0].epoch_snapshot(sweep_idx as u64);
+            let eval_end = val_end.min(train_end.saturating_add(cfg.eval_max_events));
+            let res = evaluate(
+                &model,
+                &model_cfg,
+                &dataset,
+                &csr,
+                &mut snap,
+                static_mem.as_ref().as_ref(),
+                train_end..eval_end,
+                cfg.local_batch,
+                cfg.eval_negs,
+                cfg.seed ^ sweep_idx as u64,
+            );
+            ret.eval_secs += t_eval.elapsed().as_secs_f64();
+            ret.convergence.push(ConvergencePoint {
+                iteration: step + 1,
+                wall_secs: start.elapsed().as_secs_f64(),
+                metric: res.metric,
+            });
+            sweep_done = sweep_idx + 1;
+        }
+    }
+    let _ = sweep_done;
+
+    // Rank 0 computes the final test metric: replay val then test from
+    // the final snapshot of replica 0.
+    if rank == 0 {
+        let t_eval = Instant::now();
+        let final_sweep = cfg.sweeps() as u64 - 1;
+        let mut mem = daemons[0].epoch_snapshot(final_sweep);
+        if val_end > train_end {
+            crate::eval::replay_memory(
+                &model,
+                &model_cfg,
+                &dataset,
+                &csr,
+                &mut mem,
+                static_mem.as_ref().as_ref(),
+                train_end..val_end,
+                cfg.local_batch,
+            );
+        }
+        let test_end = dataset.graph.num_events().min(val_end.saturating_add(cfg.eval_max_events));
+        let test = evaluate(
+            &model,
+            &model_cfg,
+            &dataset,
+            &csr,
+            &mut mem,
+            static_mem.as_ref().as_ref(),
+            val_end..test_end,
+            cfg.local_batch,
+            cfg.eval_negs,
+            cfg.seed ^ 0x7e57,
+        );
+        ret.eval_secs += t_eval.elapsed().as_secs_f64();
+        // Smuggle the test metric through a sentinel convergence point
+        // consumed by `assemble_results`.
+        ret.convergence.push(ConvergencePoint {
+            iteration: usize::MAX,
+            wall_secs: start.elapsed().as_secs_f64(),
+            metric: test.metric,
+        });
+    }
+    ret
+}
+
+fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) {
+    let world = returns.len() as f64;
+    let mut result = RunResult::default();
+    let mut dev_sum = 0.0;
+    let mut probes = 0u64;
+    for r in &returns {
+        result.timing.prep_secs += r.timing.prep_secs / world;
+        result.timing.mem_wait_secs += r.timing.mem_wait_secs / world;
+        result.timing.compute_secs += r.timing.compute_secs / world;
+        result.timing.allreduce_secs += r.timing.allreduce_secs / world;
+        dev_sum += r.grad_sq_dev_sum;
+        probes += r.grad_probes;
+    }
+    result.grad_variance = if probes > 0 { dev_sum / probes as f64 } else { 0.0 };
+
+    let rank0 = returns.into_iter().next().expect("at least one trainer");
+    result.loss_history = rank0.loss_history;
+    let mut convergence = rank0.convergence;
+    if let Some(last) = convergence.last() {
+        if last.iteration == usize::MAX {
+            let sentinel = convergence.pop().expect("sentinel");
+            result.test_metric = sentinel.metric;
+        }
+    }
+    result.convergence = convergence;
+    result.wall_secs = wall;
+    (result, rank0.eval_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParallelConfig;
+    use disttgl_data::generators;
+
+    fn quick_cfg(parallel: ParallelConfig, epochs: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::new(parallel);
+        cfg.local_batch = 64;
+        cfg.epochs = epochs;
+        cfg.eval_negs = 9;
+        cfg.eval_every_epoch = true;
+        cfg.seed = 3;
+        cfg.base_lr = 2e-2; // keep effective LR ≈ 2e-3 at bs 64
+        cfg
+    }
+
+    fn tiny_model(d_edge: usize) -> ModelConfig {
+        let mut mc = ModelConfig::compact(d_edge);
+        mc.d_mem = 16;
+        mc.d_time = 8;
+        mc.d_emb = 16;
+        mc.n_neighbors = 5;
+        mc.static_memory = false;
+        mc
+    }
+
+    #[test]
+    fn one_by_one_by_one_matches_single_reference_shape() {
+        let d = generators::wikipedia(0.004, 51);
+        let mc = tiny_model(d.edge_features.cols());
+        let cfg = quick_cfg(ParallelConfig::single(), 2);
+        let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 1));
+        assert_eq!(res.convergence.len(), 2);
+        assert!(res.test_metric > 0.0);
+        assert!(res.loss_history.iter().all(|l| l.is_finite()));
+        assert!(res.daemon_rows_written > 0);
+    }
+
+    #[test]
+    fn memory_parallelism_runs_and_learns() {
+        let d = generators::wikipedia(0.008, 52);
+        let mc = tiny_model(d.edge_features.cols());
+        // k = 4 trainers, epochs = 16 → 4 sweeps.
+        let cfg = quick_cfg(ParallelConfig::new(1, 1, 4), 16);
+        let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+        assert_eq!(res.convergence.len(), 4);
+        assert!(res.test_metric > 0.3, "test MRR {}", res.test_metric);
+        // Memory parallelism: no node-memory sync across groups, only
+        // weights — comm bytes > 0, and 4 daemons saw writes.
+        assert!(res.comm_bytes > 0);
+        assert!(res.daemon_rows_written > 0);
+    }
+
+    #[test]
+    fn epoch_parallelism_runs() {
+        let d = generators::wikipedia(0.004, 53);
+        let mc = tiny_model(d.edge_features.cols());
+        let cfg = quick_cfg(ParallelConfig::new(1, 2, 1), 4);
+        let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+        assert_eq!(res.convergence.len(), 2);
+        assert!(res.test_metric > 0.0);
+    }
+
+    #[test]
+    fn minibatch_parallelism_runs() {
+        let d = generators::wikipedia(0.004, 54);
+        let mc = tiny_model(d.edge_features.cols());
+        let cfg = quick_cfg(ParallelConfig::new(2, 1, 1), 2);
+        let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+        assert_eq!(res.convergence.len(), 2);
+        assert!(res.test_metric > 0.0);
+    }
+
+    #[test]
+    fn full_ijk_combination_runs() {
+        let d = generators::wikipedia(0.004, 55);
+        let mc = tiny_model(d.edge_features.cols());
+        let cfg = quick_cfg(ParallelConfig::new(2, 2, 2), 8);
+        let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(2, 4));
+        assert!(res.test_metric > 0.0);
+        assert!(res.grad_variance >= 0.0);
+        assert!(res.throughput_events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn distributed_run_is_deterministic() {
+        let d = generators::mooc(0.0015, 56);
+        let mc = tiny_model(0);
+        let cfg = quick_cfg(ParallelConfig::new(1, 1, 2), 4);
+        let a = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+        let b = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.test_metric, b.test_metric);
+    }
+}

@@ -1,0 +1,39 @@
+//! # disttgl-core
+//!
+//! The DistTGL training system (paper §3): the TGN-attn model enhanced
+//! with static node memory, the three parallel training strategies
+//! (mini-batch × epoch × memory parallelism), the optimal-configuration
+//! planner, and the distributed training loop that wires them to the
+//! memory daemon (`disttgl-mem`) and the simulated cluster
+//! (`disttgl-cluster`).
+//!
+//! Entry points:
+//! * [`TrainConfig`] / [`ParallelConfig`] / [`plan`] — configure a run;
+//! * [`train_distributed`] — the DistTGL trainer (any `i × j × k`);
+//! * [`train_single`] — the sequential reference trainer (exact
+//!   single-GPU semantics, also the correctness oracle for schedules);
+//! * [`baseline`] — TGN- and TGL-style baselines for Figures 1 and 12;
+//! * [`evaluate`] — MRR / F1-micro evaluation.
+
+mod batch;
+pub mod baseline;
+mod config;
+mod dist;
+mod eval;
+mod metrics;
+mod model;
+mod sched;
+mod single;
+mod static_mem;
+
+pub use batch::{BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch};
+pub use config::{
+    plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,
+};
+pub use dist::train_distributed;
+pub use eval::{evaluate, replay_memory, EvalResult};
+pub use metrics::{ConvergencePoint, RunResult, TimingBreakdown};
+pub use model::{StepOutput, TgnModel};
+pub use sched::{GroupSchedule, StepPlan};
+pub use single::train_single;
+pub use static_mem::StaticMemory;

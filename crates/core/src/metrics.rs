@@ -1,0 +1,123 @@
+//! Run-result records: convergence curves, timing breakdowns, and
+//! communication accounting — the raw material for every figure.
+
+use disttgl_cluster::CommStats;
+use disttgl_mem::DaemonStats;
+use serde::{Deserialize, Serialize};
+
+/// One point on a convergence curve (Figures 1, 6, 9, 11).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Training iterations completed (per trainer; global since
+    /// trainers step in lock-step).
+    pub iteration: usize,
+    /// Wall-clock seconds since training start.
+    pub wall_secs: f64,
+    /// Validation metric (MRR or F1-micro).
+    pub metric: f64,
+}
+
+/// Per-trainer wall-time breakdown (averaged over trainers), the basis
+/// of the throughput analysis (Figure 12) and Table 1's overhead rows.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Mini-batch preparation (sampling + feature slicing).
+    pub prep_secs: f64,
+    /// Waiting on the memory daemon (reads).
+    pub mem_wait_secs: f64,
+    /// Forward + backward compute.
+    pub compute_secs: f64,
+    /// Gradient all-reduce (includes barrier wait).
+    pub allreduce_secs: f64,
+}
+
+/// Complete record of one training run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Mean training loss per iteration (trainer 0's view).
+    pub loss_history: Vec<f32>,
+    /// Validation metric at every epoch/sweep boundary.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Final test metric.
+    pub test_metric: f64,
+    /// Best validation metric reached.
+    pub best_val_metric: f64,
+    /// Iterations until the best validation metric (the Figure 10(b)
+    /// quantity).
+    pub iters_to_best: usize,
+    /// Total training wall time.
+    pub wall_secs: f64,
+    /// Events trained per second, aggregated over trainers (the
+    /// Figure 12 y-axis).
+    pub throughput_events_per_sec: f64,
+    /// Mean per-trainer timing breakdown.
+    pub timing: TimingBreakdown,
+    /// Modeled communication (weight all-reduce) volume/time.
+    pub comm_bytes: u64,
+    /// Modeled wire nanoseconds for all collectives.
+    pub comm_modeled_nanos: u64,
+    /// Memory-daemon counters summed over the k daemons.
+    pub daemon_rows_read: u64,
+    /// Rows written through the daemons.
+    pub daemon_rows_written: u64,
+    /// Gradient-variance probe: mean squared deviation of per-trainer
+    /// gradients from the all-reduced mean, sampled over iterations
+    /// (Table 1's "gradient descent variance" row).
+    pub grad_variance: f64,
+}
+
+impl RunResult {
+    /// Folds daemon counters into the record.
+    pub fn absorb_daemon(&mut self, stats: &DaemonStats) {
+        self.daemon_rows_read += stats.rows_read;
+        self.daemon_rows_written += stats.rows_written;
+    }
+
+    /// Folds communicator counters into the record.
+    pub fn absorb_comm(&mut self, stats: &CommStats) {
+        self.comm_bytes += stats.allreduce_bytes;
+        self.comm_modeled_nanos += stats.modeled_comm_nanos;
+    }
+
+    /// Updates best/iters-to-best from the convergence curve.
+    pub fn finalize_convergence(&mut self) {
+        let mut best = f64::MIN;
+        let mut iters = 0;
+        for p in &self.convergence {
+            if p.metric > best {
+                best = p.metric;
+                iters = p.iteration;
+            }
+        }
+        if !self.convergence.is_empty() {
+            self.best_val_metric = best;
+            self.iters_to_best = iters;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_tracks_best_point() {
+        let mut r = RunResult::default();
+        r.convergence = vec![
+            ConvergencePoint { iteration: 10, wall_secs: 1.0, metric: 0.5 },
+            ConvergencePoint { iteration: 20, wall_secs: 2.0, metric: 0.8 },
+            ConvergencePoint { iteration: 30, wall_secs: 3.0, metric: 0.7 },
+        ];
+        r.finalize_convergence();
+        assert_eq!(r.best_val_metric, 0.8);
+        assert_eq!(r.iters_to_best, 20);
+    }
+
+    #[test]
+    fn empty_convergence_is_noop() {
+        let mut r = RunResult::default();
+        r.finalize_convergence();
+        assert_eq!(r.best_val_metric, 0.0);
+        assert_eq!(r.iters_to_best, 0);
+    }
+}

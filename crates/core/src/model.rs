@@ -1,0 +1,787 @@
+//! The TGN-attn model with DistTGL's static-node-memory enhancement.
+//!
+//! Forward data flow per batch (paper Eq. 1–8, §3.1):
+//!
+//! 1. **Memory update** (Eq. 3/8): for every fetched node with a
+//!    pending mail, `ŝ = GRU(s, mail)`; nodes without mail history keep
+//!    `s` (zero until first event). Computed per *occurrence row* so
+//!    gradients reach the GRU from every usage, but never across
+//!    events (no BPTT).
+//! 2. **Static combine** (§3.1): `c = ŝ + s_static` when static node
+//!    memory is enabled — the time-irrelevant information enters every
+//!    read of the node state.
+//! 3. **Temporal attention** (Eq. 4–7) over the k most recent
+//!    neighbors with `Φ(Δt)` computed against the *memory update time*
+//!    of each neighbor.
+//! 4. **Combine layer**: `emb = ReLU(W_o·{c_root || h_att})` (the TGN
+//!    output MLP combining root state with aggregated neighborhood).
+//! 5. **Decoder**: link MLP on `{emb_src || emb_dst}` (1 positive + K
+//!    sampled negatives per event), or the multi-label classifier.
+//! 6. **Write-back** (delayed update, §2.1): the batch's root nodes
+//!    get `mem ← ŝ` (detached) and a fresh mail
+//!    `{ŝ_u || ŝ_v || Φ(t − t⁻) || e_uv}` applied at their *next*
+//!    occurrence — the reversed computation order that avoids the
+//!    information leak.
+
+use crate::batch::{NegativePart, PositivePart};
+use crate::config::{CombPolicy, ModelConfig};
+use crate::static_mem::StaticMemory;
+use disttgl_mem::{MemoryReadout, MemoryWrite};
+use disttgl_nn::{
+    loss, Adam, AttentionCache, EdgeClassifier, EdgePredictor, GruCache, GruCell, Linear,
+    LinearCache, ParamSet, TemporalAttention, TimeEncoding,
+};
+use disttgl_tensor::Matrix;
+use rand::Rng;
+
+/// Decoder head selected by the dataset task.
+enum Head {
+    Link(EdgePredictor),
+    Class(EdgeClassifier),
+}
+
+/// The model: module handles plus the shared [`ParamSet`].
+pub struct TgnModel {
+    /// Model hyper-parameters.
+    pub cfg: ModelConfig,
+    /// All learnable parameters (flat layout shared across replicas).
+    pub params: ParamSet,
+    time_enc: TimeEncoding,
+    gru: GruCell,
+    attn: TemporalAttention,
+    combine: Linear,
+    head: Head,
+}
+
+/// Per-root-set forward state kept for the backward pass.
+struct EmbedCache {
+    gru_cache: GruCache,
+    /// 1.0 where the GRU output was selected (node had a mail).
+    mask: Matrix,
+    slot_dts: Vec<f32>,
+    attn_cache: AttentionCache,
+    combine_cache: LinearCache,
+    /// Pre-ReLU combine output.
+    z: Matrix,
+}
+
+/// Result of one training step.
+#[derive(Clone, Debug)]
+pub struct StepOutput {
+    /// Mean loss of the step.
+    pub loss: f32,
+    /// Positive decoder scores (link task).
+    pub pos_scores: Vec<f32>,
+    /// Negative decoder scores, `B·K` (link task).
+    pub neg_scores: Vec<f32>,
+    /// The node-memory write-back for this batch's root nodes; the
+    /// scheduler decides whether this trainer applies it.
+    pub write: MemoryWrite,
+}
+
+impl TgnModel {
+    /// Builds the model with seeded initialization.
+    pub fn new(cfg: ModelConfig, rng: &mut impl Rng) -> Self {
+        let mut params = ParamSet::new();
+        let time_enc = TimeEncoding::new(&mut params, "time", cfg.d_time, cfg.learnable_time);
+        let gru = GruCell::new(&mut params, "gru", cfg.mail_dim(), cfg.d_mem, rng);
+        let q_dim = cfg.d_mem + cfg.d_time;
+        let kv_dim = cfg.d_mem + cfg.d_edge + cfg.d_time;
+        let attn = TemporalAttention::new(
+            &mut params,
+            "attn",
+            q_dim,
+            kv_dim,
+            cfg.d_emb,
+            cfg.n_neighbors,
+            rng,
+        );
+        let combine = Linear::new(&mut params, "combine", cfg.d_mem + cfg.d_emb, cfg.d_emb, rng);
+        let head = if cfg.num_classes > 0 {
+            Head::Class(EdgeClassifier::new(
+                &mut params,
+                "head",
+                cfg.d_emb,
+                cfg.d_emb,
+                cfg.num_classes,
+                rng,
+            ))
+        } else {
+            Head::Link(EdgePredictor::new(&mut params, "head", cfg.d_emb, cfg.d_emb, rng))
+        };
+        Self { cfg, params, time_enc, gru, attn, combine, head }
+    }
+
+    /// Creates an Adam optimizer shaped for this model.
+    pub fn optimizer(&self, lr: f32) -> Adam {
+        Adam::new(&self.params, lr)
+    }
+
+    /// Updated memory `ŝ`, its selection mask, and effective update
+    /// timestamps for a readout block (Eq. 3 with the has-mail guard).
+    fn update_memory(
+        &self,
+        readout_mem: &Matrix,
+        readout_mail: &Matrix,
+        mem_ts: &[f32],
+        mail_ts: &[f32],
+    ) -> (Matrix, Matrix, Vec<f32>, GruCache) {
+        let (gru_out, cache) = self.gru.forward(&self.params, readout_mail, readout_mem);
+        let rows = readout_mem.rows();
+        let mut mask = Matrix::zeros(rows, self.cfg.d_mem);
+        let mut s_hat = readout_mem.clone();
+        let mut ts = vec![0.0f32; rows];
+        for r in 0..rows {
+            if mail_ts[r] > 0.0 {
+                mask.row_mut(r).fill(1.0);
+                s_hat.row_mut(r).copy_from_slice(gru_out.row(r));
+                ts[r] = mail_ts[r];
+            } else {
+                ts[r] = mem_ts[r];
+            }
+        }
+        (s_hat, mask, ts, cache)
+    }
+
+    /// Embeds a root set. `readout` rows: `R` roots then `R·k` slots.
+    /// Returns `(embeddings, ŝ_roots, root update ts, cache)`.
+    fn embed(
+        &self,
+        roots: &[u32],
+        times: &[f32],
+        counts: &[usize],
+        slot_nodes: &[u32],
+        readout: &MemoryReadout,
+        nbr_feats: &Matrix,
+        static_mem: Option<&StaticMemory>,
+    ) -> (Matrix, Matrix, Vec<f32>, EmbedCache) {
+        let r = roots.len();
+        let k = self.cfg.n_neighbors;
+        debug_assert_eq!(readout.mem.rows(), r + r * k, "readout rows");
+        debug_assert_eq!(slot_nodes.len(), r * k);
+
+        // One fused GRU pass over roots + slots.
+        let (s_hat, mask, ts, gru_cache) =
+            self.update_memory(&readout.mem, &readout.mail, &readout.mem_ts, &readout.mail_ts);
+
+        // Static combine.
+        let mut combined = s_hat.clone();
+        if let Some(sm) = static_mem {
+            if self.cfg.static_memory {
+                let mut all_nodes = Vec::with_capacity(r + r * k);
+                all_nodes.extend_from_slice(roots);
+                all_nodes.extend_from_slice(slot_nodes);
+                combined.add_assign(&sm.rows(&all_nodes));
+            }
+        }
+        let c_roots = combined.slice_rows(0, r);
+        let c_slots = combined.slice_rows(r, r + r * k);
+
+        // Query features {c_root || Φ(0)}.
+        let zeros = vec![0.0f32; r];
+        let phi0 = self.time_enc.forward(&self.params, &zeros);
+        let q_feat = Matrix::hcat(&[&c_roots, &phi0]);
+
+        // Key/value features {c_slot || E || Φ(Δt)}, Δt against the
+        // slot's memory-update time (Eq. 5).
+        let mut slot_dts = vec![0.0f32; r * k];
+        for root in 0..r {
+            for s in 0..k {
+                let idx = root * k + s;
+                slot_dts[idx] = (times[root] - ts[r + idx]).max(0.0);
+            }
+        }
+        let phi_dt = self.time_enc.forward(&self.params, &slot_dts);
+        let kv_feat = Matrix::hcat(&[&c_slots, nbr_feats, &phi_dt]);
+
+        let (h_att, attn_cache) = self.attn.forward(&self.params, &q_feat, &kv_feat, counts);
+
+        // Combine layer with ReLU.
+        let x = Matrix::hcat(&[&c_roots, &h_att]);
+        let (z, combine_cache) = self.combine.forward(&self.params, &x);
+        let emb = z.relu();
+
+        let s_hat_roots = s_hat.slice_rows(0, r);
+        let root_ts = ts[0..r].to_vec();
+        let cache = EmbedCache {
+            gru_cache,
+            mask,
+
+            slot_dts,
+            attn_cache,
+            combine_cache,
+            z,
+        };
+        (emb, s_hat_roots, root_ts, cache)
+    }
+
+    /// Backward through one embed: accumulates all parameter gradients.
+    fn embed_backward(&mut self, cache: &EmbedCache, demb: &Matrix) {
+        let d_mem = self.cfg.d_mem;
+        let r = demb.rows();
+        let k = self.cfg.n_neighbors;
+
+        let dz = demb.hadamard(&cache.z.relu_deriv_from_input());
+        let dx = self.combine.backward(&mut self.params, &cache.combine_cache, &dz);
+        let mut d_c_roots = dx.slice_cols(0, d_mem);
+        let d_h = dx.slice_cols(d_mem, dx.cols());
+
+        let (dq_feat, dkv_feat) = self.attn.backward(&mut self.params, &cache.attn_cache, &d_h);
+        d_c_roots.add_assign(&dq_feat.slice_cols(0, d_mem));
+        if self.cfg.learnable_time {
+            let zeros = vec![0.0f32; r];
+            let dphi0 = dq_feat.slice_cols(d_mem, d_mem + self.cfg.d_time);
+            self.time_enc.backward(&mut self.params, &zeros, &dphi0);
+        }
+
+        let d_c_slots = dkv_feat.slice_cols(0, d_mem);
+        if self.cfg.learnable_time {
+            let start = d_mem + self.cfg.d_edge;
+            let dphi = dkv_feat.slice_cols(start, start + self.cfg.d_time);
+            self.time_enc.backward(&mut self.params, &cache.slot_dts, &dphi);
+        }
+
+        // d(ŝ) for roots + slots; GRU gradient only where the mail was
+        // applied (the mask), per the selection in `update_memory`.
+        debug_assert_eq!(d_c_slots.rows(), r * k);
+        let d_s_hat = Matrix::vcat(&[&d_c_roots, &d_c_slots]);
+        let d_gru_out = d_s_hat.hadamard(&cache.mask);
+        let (_dmail, _dmem) = self.gru.backward(&mut self.params, &cache.gru_cache, &d_gru_out);
+        // No BPTT: gradients stop at the fetched memory and mails.
+    }
+
+    /// Builds the delayed-update write-back for a batch's root nodes.
+    ///
+    /// Write order is `u₀, v₀, u₁, v₁, …` (chronological), so the
+    /// last-write-wins scatter realizes the most-recent-mail `COMB`.
+    fn build_write(
+        &self,
+        pos: &PositivePart,
+        s_hat_roots: &Matrix,
+        root_ts: &[f32],
+    ) -> MemoryWrite {
+        let b = pos.len();
+        let d_mem = self.cfg.d_mem;
+        let mail_dim = self.cfg.mail_dim();
+        let mut nodes = Vec::with_capacity(2 * b);
+        let mut mem = Matrix::zeros(2 * b, d_mem);
+        let mut mem_ts = Vec::with_capacity(2 * b);
+        let mut mail = Matrix::zeros(2 * b, mail_dim);
+        let mut mail_ts = Vec::with_capacity(2 * b);
+
+        // Time encodings of the mail deltas Φ(t − t⁻) for both
+        // endpoints of every event.
+        let mut deltas = Vec::with_capacity(2 * b);
+        for e in 0..b {
+            deltas.push((pos.times[e] - root_ts[e]).max(0.0));
+            deltas.push((pos.times[e] - root_ts[b + e]).max(0.0));
+        }
+        let phi = self.time_enc.forward(&self.params, &deltas);
+
+        for e in 0..b {
+            let (u, v, t) = (pos.srcs[e], pos.dsts[e], pos.times[e]);
+            let su = s_hat_roots.row(e);
+            let sv = s_hat_roots.row(b + e);
+            let feats = pos.event_feats.row(e);
+
+            let row = 2 * e;
+            nodes.push(u);
+            mem.row_mut(row).copy_from_slice(su);
+            mem_ts.push(root_ts[e]);
+            {
+                let m = mail.row_mut(row);
+                m[0..d_mem].copy_from_slice(su);
+                m[d_mem..2 * d_mem].copy_from_slice(sv);
+                m[2 * d_mem..2 * d_mem + self.cfg.d_time].copy_from_slice(phi.row(row));
+                m[2 * d_mem + self.cfg.d_time..].copy_from_slice(feats);
+            }
+            mail_ts.push(t);
+
+            let row = 2 * e + 1;
+            nodes.push(v);
+            mem.row_mut(row).copy_from_slice(sv);
+            mem_ts.push(root_ts[b + e]);
+            {
+                let m = mail.row_mut(row);
+                m[0..d_mem].copy_from_slice(sv);
+                m[d_mem..2 * d_mem].copy_from_slice(su);
+                m[2 * d_mem..2 * d_mem + self.cfg.d_time].copy_from_slice(phi.row(row));
+                m[2 * d_mem + self.cfg.d_time..].copy_from_slice(feats);
+            }
+            mail_ts.push(t);
+        }
+        match self.cfg.comb {
+            CombPolicy::MostRecent => MemoryWrite { nodes, mem, mem_ts, mail, mail_ts },
+            CombPolicy::Mean => combine_mean(MemoryWrite { nodes, mem, mem_ts, mail, mail_ts }),
+        }
+    }
+
+    /// Replicates each source-embedding row `K×` to pair with the
+    /// negatives.
+    fn repeat_rows(m: &Matrix, k: usize) -> Matrix {
+        let idx: Vec<usize> = (0..m.rows() * k).map(|i| i / k).collect();
+        m.gather_rows(&idx)
+    }
+
+    /// Folds `B·K` row gradients back to `B` by summing each K-block.
+    fn fold_rows(m: &Matrix, k: usize) -> Matrix {
+        let b = m.rows() / k;
+        let mut out = Matrix::zeros(b, m.cols());
+        for r in 0..m.rows() {
+            let dst = r / k;
+            for (o, &v) in out.row_mut(dst).iter_mut().zip(m.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// One **training** step: forward + loss + full backward, gradient
+    /// accumulation into `self.params`. Link-prediction datasets need
+    /// `neg`; classification datasets need `pos.labels`.
+    pub fn train_step(
+        &mut self,
+        pos: &PositivePart,
+        neg: Option<&NegativePart>,
+        static_mem: Option<&StaticMemory>,
+    ) -> StepOutput {
+        let b = pos.len();
+        let (pos_emb, s_hat_roots, root_ts, pos_cache) = self.embed(
+            &pos_roots(pos),
+            &pos_times(pos),
+            &pos.nbrs.counts,
+            &pos.nbrs.nbrs,
+            &pos.readout,
+            &pos.nbr_feats,
+            static_mem,
+        );
+        let write = self.build_write(pos, &s_hat_roots, &root_ts);
+        let src_emb = pos_emb.slice_rows(0, b);
+        let dst_emb = pos_emb.slice_rows(b, 2 * b);
+
+        match (&self.head, neg) {
+            (Head::Link(pred), Some(neg)) => {
+                let pred = *pred;
+                let kneg = neg.negs.len() / b;
+                let (neg_emb, _, _, neg_cache) = self.embed(
+                    &neg.negs,
+                    &neg.times,
+                    &neg.nbrs.counts,
+                    &neg.nbrs.nbrs,
+                    &neg.readout,
+                    &neg.nbr_feats,
+                    static_mem,
+                );
+                let (pos_logits, pc) = pred.forward(&self.params, &src_emb, &dst_emb);
+                let src_rep = Self::repeat_rows(&src_emb, kneg);
+                let (neg_logits, nc) = pred.forward(&self.params, &src_rep, &neg_emb);
+                let (l, dp, dn) = loss::link_prediction_loss(&pos_logits, &neg_logits);
+
+                let (dsrc1, ddst) = pred.backward(&mut self.params, &pc, &dp);
+                let (dsrc_rep, dneg) = pred.backward(&mut self.params, &nc, &dn);
+                let mut dsrc = dsrc1;
+                dsrc.add_assign(&Self::fold_rows(&dsrc_rep, kneg));
+                let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
+                self.embed_backward(&pos_cache, &dpos_emb);
+                self.embed_backward(&neg_cache, &dneg);
+
+                StepOutput {
+                    loss: l,
+                    pos_scores: pos_logits.into_vec(),
+                    neg_scores: neg_logits.into_vec(),
+                    write,
+                }
+            }
+            (Head::Class(clf), _) => {
+                let clf = *clf;
+                let labels = pos.labels.as_ref().expect("classification needs labels");
+                let (logits, pc) = clf.forward(&self.params, &src_emb, &dst_emb);
+                let (l, dl) = loss::multi_label_bce(&logits, labels);
+                let (dsrc, ddst) = clf.backward(&mut self.params, &pc, &dl);
+                let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
+                self.embed_backward(&pos_cache, &dpos_emb);
+                StepOutput {
+                    loss: l,
+                    pos_scores: logits.into_vec(),
+                    neg_scores: Vec::new(),
+                    write,
+                }
+            }
+            (Head::Link(_), None) => panic!("link prediction training needs a negative part"),
+        }
+    }
+
+    /// Inference-only step: scores + write-back, no gradients. Used by
+    /// evaluation (which must keep updating node memory as it walks
+    /// the stream) and by throughput measurements of the baselines.
+    pub fn infer_step(
+        &self,
+        pos: &PositivePart,
+        neg: Option<&NegativePart>,
+        static_mem: Option<&StaticMemory>,
+    ) -> StepOutput {
+        let b = pos.len();
+        let (pos_emb, s_hat_roots, root_ts, _) = self.embed(
+            &pos_roots(pos),
+            &pos_times(pos),
+            &pos.nbrs.counts,
+            &pos.nbrs.nbrs,
+            &pos.readout,
+            &pos.nbr_feats,
+            static_mem,
+        );
+        let write = self.build_write(pos, &s_hat_roots, &root_ts);
+        let src_emb = pos_emb.slice_rows(0, b);
+        let dst_emb = pos_emb.slice_rows(b, 2 * b);
+
+        match (&self.head, neg) {
+            (Head::Link(pred), Some(neg)) => {
+                let kneg = neg.negs.len() / b;
+                let (neg_emb, _, _, _) = self.embed(
+                    &neg.negs,
+                    &neg.times,
+                    &neg.nbrs.counts,
+                    &neg.nbrs.nbrs,
+                    &neg.readout,
+                    &neg.nbr_feats,
+                    static_mem,
+                );
+                let pos_logits = pred.infer(&self.params, &src_emb, &dst_emb);
+                let src_rep = Self::repeat_rows(&src_emb, kneg);
+                let neg_logits = pred.infer(&self.params, &src_rep, &neg_emb);
+                let ones = Matrix::full(b, 1, 1.0);
+                let zeros = Matrix::zeros(neg_logits.rows(), 1);
+                let (lp, _) = loss::bce_with_logits(&pos_logits, &ones);
+                let (ln, _) = loss::bce_with_logits(&neg_logits, &zeros);
+                StepOutput {
+                    loss: 0.5 * (lp + ln),
+                    pos_scores: pos_logits.into_vec(),
+                    neg_scores: neg_logits.into_vec(),
+                    write,
+                }
+            }
+            (Head::Class(clf), _) => {
+                let logits = clf.infer(&self.params, &src_emb, &dst_emb);
+                let l = pos
+                    .labels
+                    .as_ref()
+                    .map(|lab| loss::multi_label_bce(&logits, lab).0)
+                    .unwrap_or(0.0);
+                StepOutput {
+                    loss: l,
+                    pos_scores: logits.into_vec(),
+                    neg_scores: Vec::new(),
+                    write,
+                }
+            }
+            (Head::Link(_), None) => {
+                // Memory-maintenance pass (no scoring): used when
+                // replaying a stream purely to advance node memory.
+                StepOutput { loss: 0.0, pos_scores: Vec::new(), neg_scores: Vec::new(), write }
+            }
+        }
+    }
+}
+
+/// Mean-`COMB` post-processing: collapse duplicate nodes by averaging
+/// their mails; memory rows and timestamps keep the latest occurrence
+/// (the memory itself is identical across a node's occurrences — all
+/// were read at batch start).
+fn combine_mean(w: MemoryWrite) -> MemoryWrite {
+    use std::collections::HashMap;
+    let mut index: HashMap<u32, usize> = HashMap::new();
+    let mut order: Vec<u32> = Vec::new();
+    let mut counts: Vec<f32> = Vec::new();
+    let d_mem = w.mem.cols();
+    let mail_dim = w.mail.cols();
+    let mut mem_rows: Vec<Vec<f32>> = Vec::new();
+    let mut mail_sums: Vec<Vec<f32>> = Vec::new();
+    let mut mem_ts = Vec::new();
+    let mut mail_ts = Vec::new();
+    for (row, &node) in w.nodes.iter().enumerate() {
+        match index.get(&node) {
+            Some(&slot) => {
+                counts[slot] += 1.0;
+                for (a, &b) in mail_sums[slot].iter_mut().zip(w.mail.row(row)) {
+                    *a += b;
+                }
+                // Latest occurrence wins for memory and timestamps.
+                mem_rows[slot].copy_from_slice(w.mem.row(row));
+                mem_ts[slot] = w.mem_ts[row];
+                mail_ts[slot] = w.mail_ts[row];
+            }
+            None => {
+                index.insert(node, order.len());
+                order.push(node);
+                counts.push(1.0);
+                mem_rows.push(w.mem.row(row).to_vec());
+                mail_sums.push(w.mail.row(row).to_vec());
+                mem_ts.push(w.mem_ts[row]);
+                mail_ts.push(w.mail_ts[row]);
+            }
+        }
+    }
+    let n = order.len();
+    let mut mem = Matrix::zeros(n, d_mem);
+    let mut mail = Matrix::zeros(n, mail_dim);
+    for slot in 0..n {
+        mem.row_mut(slot).copy_from_slice(&mem_rows[slot]);
+        let inv = 1.0 / counts[slot];
+        for (o, &s) in mail.row_mut(slot).iter_mut().zip(&mail_sums[slot]) {
+            *o = s * inv;
+        }
+    }
+    MemoryWrite { nodes: order, mem, mem_ts, mail, mail_ts }
+}
+
+fn pos_roots(pos: &PositivePart) -> Vec<u32> {
+    let mut v = pos.srcs.clone();
+    v.extend_from_slice(&pos.dsts);
+    v
+}
+
+fn pos_times(pos: &PositivePart) -> Vec<f32> {
+    let mut v = pos.times.clone();
+    v.extend_from_slice(&pos.times);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchPreparer, MemoryAccess};
+    use disttgl_data::{generators, NegativeStore};
+    use disttgl_graph::TCsr;
+    use disttgl_mem::MemoryState;
+    use disttgl_tensor::seeded_rng;
+
+    fn setup() -> (disttgl_data::Dataset, TCsr, ModelConfig) {
+        let d = generators::wikipedia(0.005, 11);
+        let csr = TCsr::build(&d.graph);
+        let mut cfg = ModelConfig::compact(d.edge_features.cols());
+        cfg.n_neighbors = 5;
+        (d, csr, cfg)
+    }
+
+    #[test]
+    fn train_step_produces_finite_loss_and_write() {
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(1);
+        let mut model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let store = NegativeStore::generate(&d.graph, 64, 2, 1, 3);
+
+        let batch = prep.prepare(0..32, &[store.slice(0, 0..32)], 1, &mut mem);
+        let out = model.train_step(&batch.pos, Some(&batch.negs[0]), None);
+        assert!(out.loss.is_finite() && out.loss > 0.0);
+        assert_eq!(out.pos_scores.len(), 32);
+        assert_eq!(out.neg_scores.len(), 32);
+        assert_eq!(out.write.nodes.len(), 64);
+        assert!(!out.write.mem.has_non_finite());
+        // Gradients were accumulated.
+        assert!(model.params.flatten_grads().iter().any(|&g| g != 0.0));
+        assert!(!model.params.has_non_finite());
+    }
+
+    #[test]
+    fn memory_write_feeds_next_batch() {
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(2);
+        let mut model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let store = NegativeStore::generate(&d.graph, 128, 1, 1, 3);
+
+        let b0 = prep.prepare(0..32, &[store.slice(0, 0..32)], 1, &mut mem);
+        let out0 = model.train_step(&b0.pos, Some(&b0.negs[0]), None);
+        MemoryAccess::write(&mut mem, out0.write);
+
+        // Second batch: roots that appeared in batch 0 now carry
+        // non-zero memory and mails.
+        let b1 = prep.prepare(32..64, &[store.slice(0, 32..64)], 1, &mut mem);
+        let touched: std::collections::HashSet<u32> =
+            b0.pos.srcs.iter().chain(&b0.pos.dsts).copied().collect();
+        let roots = pos_roots(&b1.pos);
+        let mut saw_nonzero = false;
+        for (r, node) in roots.iter().enumerate() {
+            if touched.contains(node) {
+                saw_nonzero |= b1.pos.readout.mail_ts[r] > 0.0;
+            }
+        }
+        assert!(saw_nonzero, "batch-0 writes never surfaced in batch 1 reads");
+        let out1 = model.train_step(&b1.pos, Some(&b1.negs[0]), None);
+        assert!(out1.loss.is_finite());
+    }
+
+    /// Training on repeated batches must reduce the loss — the
+    /// end-to-end learning sanity check for the full manual backward.
+    #[test]
+    fn loss_decreases_with_training() {
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(3);
+        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut adam = model.optimizer(5e-3);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let store = NegativeStore::generate(&d.graph, 64, 1, 1, 7);
+
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for iter in 0..30 {
+            // Fresh memory each pass: isolates weight learning.
+            let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+            let batch = prep.prepare(0..64, &[store.slice(0, 0..64)], 1, &mut mem);
+            model.params.zero_grads();
+            let out = model.train_step(&batch.pos, Some(&batch.negs[0]), None);
+            model.params.clip_grad_norm(5.0);
+            adam.step(&mut model.params);
+            if iter == 0 {
+                first = out.loss;
+            }
+            last = out.loss;
+        }
+        assert!(
+            last < first * 0.8,
+            "loss failed to decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn static_memory_changes_predictions() {
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(4);
+        let model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let store = NegativeStore::generate(&d.graph, 32, 1, 1, 3);
+        let batch = prep.prepare(0..16, &[store.slice(0, 0..16)], 1, &mut mem);
+
+        let plain = model.infer_step(&batch.pos, Some(&batch.negs[0]), None);
+        let sm = StaticMemory::random(d.graph.num_nodes(), cfg.d_mem, 5);
+        let with_static = model.infer_step(&batch.pos, Some(&batch.negs[0]), Some(&sm));
+        assert_ne!(plain.pos_scores, with_static.pos_scores);
+    }
+
+    #[test]
+    fn classification_head_trains() {
+        let d = generators::gdelt(2e-5, 9);
+        let csr = TCsr::build(&d.graph);
+        let mut cfg = ModelConfig::compact(d.edge_features.cols()).with_classes(56);
+        cfg.n_neighbors = 5;
+        let mut rng = seeded_rng(5);
+        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut adam = model.optimizer(5e-3);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for iter in 0..25 {
+            let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+            let batch = prep.prepare(0..64, &[], 1, &mut mem);
+            model.params.zero_grads();
+            let out = model.train_step(&batch.pos, None, None);
+            model.params.clip_grad_norm(5.0);
+            adam.step(&mut model.params);
+            if iter == 0 {
+                first = out.loss;
+            }
+            last = out.loss;
+        }
+        assert!(last < first, "classification loss: first {first}, last {last}");
+    }
+
+    #[test]
+    fn write_respects_comb_most_recent() {
+        // If a node appears in two events of the batch, the write must
+        // leave the *later* event's mail.
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(6);
+        let model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let batch = prep.prepare(0..64, &[], 1, &mut mem);
+        let out = model.infer_step(&batch.pos, None, None);
+        MemoryAccess::write(&mut mem, out.write);
+        // For every node, stored mail_ts must equal its *last* event
+        // time within the batch.
+        let mut expect: std::collections::HashMap<u32, f32> = Default::default();
+        for e in 0..batch.pos.len() {
+            expect.insert(batch.pos.srcs[e], batch.pos.times[e]);
+            expect.insert(batch.pos.dsts[e], batch.pos.times[e]);
+        }
+        for (&node, &t) in &expect {
+            let r = MemoryState::read(&mem, &[node]);
+            assert_eq!(r.mail_ts[0], t, "node {node}");
+        }
+    }
+
+    #[test]
+    fn mean_comb_averages_duplicate_mails() {
+        let (d, csr, mut cfg) = setup();
+        cfg.comb = crate::config::CombPolicy::Mean;
+        let mut rng = seeded_rng(8);
+        let model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let batch = prep.prepare(0..64, &[], 1, &mut mem);
+        let out = model.infer_step(&batch.pos, None, None);
+        // Nodes are unique after mean combination.
+        let mut sorted = out.write.nodes.clone();
+        sorted.sort_unstable();
+        let len_before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), len_before, "mean COMB must dedup nodes");
+        // Timestamps still carry the node's latest event.
+        let mut expect: std::collections::HashMap<u32, f32> = Default::default();
+        for e in 0..batch.pos.len() {
+            expect.insert(batch.pos.srcs[e], batch.pos.times[e]);
+            expect.insert(batch.pos.dsts[e], batch.pos.times[e]);
+        }
+        for (node, &ts) in out.write.nodes.iter().zip(&out.write.mail_ts) {
+            assert_eq!(ts, expect[node], "node {node}");
+        }
+        assert!(!out.write.mail.has_non_finite());
+    }
+
+    #[test]
+    fn mean_and_most_recent_agree_when_no_duplicates() {
+        let (d, csr, cfg) = setup();
+        let mut cfg_mean = cfg;
+        cfg_mean.comb = crate::config::CombPolicy::Mean;
+        let mut rng = seeded_rng(9);
+        let model_a = TgnModel::new(cfg, &mut rng);
+        let mut rng = seeded_rng(9);
+        let model_b = TgnModel::new(cfg_mean, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        // Find a small prefix without duplicate endpoints.
+        let mut end = 0;
+        let mut seen = std::collections::HashSet::new();
+        for (idx, e) in d.graph.events().iter().enumerate().take(64) {
+            if !seen.insert(e.src) || !seen.insert(e.dst) {
+                break;
+            }
+            end = idx + 1;
+        }
+        assert!(end >= 2, "need a duplicate-free prefix");
+        let batch = prep.prepare(0..end, &[], 1, &mut mem);
+        let wa = model_a.infer_step(&batch.pos, None, None).write;
+        let wb = model_b.infer_step(&batch.pos, None, None).write;
+        assert_eq!(wa.nodes, wb.nodes);
+        assert_eq!(wa.mail, wb.mail);
+        assert_eq!(wa.mem, wb.mem);
+    }
+
+    #[test]
+    fn infer_step_has_no_gradient_side_effects() {
+        let (d, csr, cfg) = setup();
+        let mut rng = seeded_rng(7);
+        let model = TgnModel::new(cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let store = NegativeStore::generate(&d.graph, 16, 1, 1, 3);
+        let batch = prep.prepare(0..16, &[store.slice(0, 0..16)], 1, &mut mem);
+        let _ = model.infer_step(&batch.pos, Some(&batch.negs[0]), None);
+        assert!(model.params.flatten_grads().iter().all(|&g| g == 0.0));
+    }
+}

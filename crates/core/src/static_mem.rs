@@ -1,0 +1,176 @@
+//! Static node memory (paper §3.1).
+//!
+//! DistTGL keeps the GRU dynamic node memory and adds a per-node
+//! **static** vector capturing time-irrelevant information. Following
+//! the paper we realize it as "learnable node embeddings pre-trained
+//! with the same task" — a structure-only link predictor trained on
+//! stochastically selected mini-batches (order does not matter since
+//! no memory is involved), then frozen for the main M-TGNN training.
+//!
+//! Because the static memory is trained on *static* information only,
+//! it contains nothing from the test period (the paper's information-
+//! leak argument for why this is safe), and because it is batch-size
+//! independent it recovers the high-frequency information that the
+//! `COMB` batching filters out of the dynamic memory.
+
+use disttgl_data::{negative_range, Dataset};
+use disttgl_tensor::{seeded_rng, Matrix};
+use rand::Rng;
+
+/// Frozen per-node static embeddings.
+#[derive(Clone, Debug)]
+pub struct StaticMemory {
+    emb: Matrix,
+}
+
+impl StaticMemory {
+    /// All-zero static memory (neutral element for the combine).
+    pub fn zeros(num_nodes: usize, dim: usize) -> Self {
+        Self { emb: Matrix::zeros(num_nodes, dim) }
+    }
+
+    /// Random static memory (tests / ablation control).
+    pub fn random(num_nodes: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        Self { emb: Matrix::normal(num_nodes, dim, 0.1, &mut rng) }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.emb.cols()
+    }
+
+    /// Gathers rows for a node list.
+    pub fn rows(&self, nodes: &[u32]) -> Matrix {
+        let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
+        self.emb.gather_rows(&idx)
+    }
+
+    /// Full embedding table.
+    pub fn table(&self) -> &Matrix {
+        &self.emb
+    }
+
+    /// Pre-trains static embeddings on the dataset's *training* events
+    /// (`train_end` bounds the usable stream) with the same
+    /// link-prediction objective but no temporal state:
+    /// `score(u, v) = e_u · e_v`, BCE against uniformly sampled
+    /// negatives, stochastic batches (order-free since there is no
+    /// memory). The paper pre-trains 10 epochs in under 30 seconds;
+    /// this is the same recipe at reproduction scale.
+    pub fn pretrain(
+        dataset: &Dataset,
+        dim: usize,
+        train_end: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        let n = dataset.graph.num_nodes();
+        let mut rng = seeded_rng(seed);
+        let mut emb = Matrix::normal(n, dim, 0.1, &mut rng);
+
+        let events = &dataset.graph.events()[..train_end];
+        if events.is_empty() {
+            return Self { emb };
+        }
+        let neg_range = negative_range(&dataset.graph);
+        let bs = 512.min(events.len()).max(1);
+        let batches_per_epoch = events.len().div_ceil(bs);
+        let lr = 0.5 / bs as f32;
+
+        for _epoch in 0..epochs {
+            for _ in 0..batches_per_epoch {
+                // Accumulate (σ(e_u·e_v) − y) gradients for the batch.
+                let mut updates: Vec<(usize, Vec<f32>)> = Vec::with_capacity(4 * bs);
+                for _ in 0..bs {
+                    let ev = &events[rng.gen_range(0..events.len())];
+                    let (u, v) = (ev.src as usize, ev.dst as usize);
+                    let w = rng.gen_range(neg_range.clone()) as usize;
+                    let eu = emb.row(u).to_vec();
+                    let evv = emb.row(v).to_vec();
+                    let ew = emb.row(w).to_vec();
+                    let s_pos: f32 = eu.iter().zip(&evv).map(|(a, b)| a * b).sum();
+                    let s_neg: f32 = eu.iter().zip(&ew).map(|(a, b)| a * b).sum();
+                    let g_pos = disttgl_tensor::sigmoid_scalar(s_pos) - 1.0;
+                    let g_neg = disttgl_tensor::sigmoid_scalar(s_neg);
+                    updates.push((u, evv.iter().map(|x| g_pos * x).collect()));
+                    updates.push((v, eu.iter().map(|x| g_pos * x).collect()));
+                    updates.push((u, ew.iter().map(|x| g_neg * x).collect()));
+                    updates.push((w, eu.iter().map(|x| g_neg * x).collect()));
+                }
+                for (node, grad) in updates {
+                    for (e, g) in emb.row_mut(node).iter_mut().zip(grad) {
+                        *e -= lr * g;
+                    }
+                }
+            }
+        }
+        Self { emb }
+    }
+
+    /// Pre-training quality probe: mean score margin (positive −
+    /// negative logit) of a fresh decoder trained jointly — used by
+    /// tests and the Fig 5/6 harness to confirm the embeddings carry
+    /// signal.
+    pub fn holdout_margin(&self, dataset: &Dataset, range: std::ops::Range<usize>, seed: u64) -> f32 {
+        let events = &dataset.graph.events()[range];
+        if events.is_empty() {
+            return 0.0;
+        }
+        let mut rng = seeded_rng(seed);
+        let neg_range = negative_range(&dataset.graph);
+        let mut pos_sim = 0.0f32;
+        let mut neg_sim = 0.0f32;
+        for e in events {
+            let u = self.emb.row(e.src as usize);
+            let v = self.emb.row(e.dst as usize);
+            let w = rng.gen_range(neg_range.clone()) as usize;
+            let wv = self.emb.row(w);
+            pos_sim += u.iter().zip(v).map(|(a, b)| a * b).sum::<f32>();
+            neg_sim += u.iter().zip(wv).map(|(a, b)| a * b).sum::<f32>();
+        }
+        (pos_sim - neg_sim) / events.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_data::generators;
+
+    #[test]
+    fn zeros_are_neutral() {
+        let sm = StaticMemory::zeros(10, 4);
+        let rows = sm.rows(&[0, 5, 9]);
+        assert_eq!(rows.shape(), (3, 4));
+        assert!(rows.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pretraining_learns_structure() {
+        let d = generators::wikipedia(0.02, 21);
+        let (train_end, _) = d.graph.chronological_split(0.7, 0.15);
+        let sm = StaticMemory::pretrain(&d, 16, train_end, 20, 1);
+        // Embedding similarity of true pairs must beat random pairs on
+        // held-out (later) events — the static structure generalizes
+        // because the generator's preference sets are stable in time.
+        let margin = sm.holdout_margin(&d, train_end..d.graph.num_events(), 2);
+        assert!(margin > 0.05, "static pre-training margin too small: {margin}");
+    }
+
+    #[test]
+    fn pretrain_is_deterministic() {
+        let d = generators::mooc(0.002, 3);
+        let (train_end, _) = d.graph.chronological_split(0.7, 0.15);
+        let a = StaticMemory::pretrain(&d, 8, train_end, 2, 7);
+        let b = StaticMemory::pretrain(&d, 8, train_end, 2, 7);
+        assert_eq!(a.table(), b.table());
+    }
+
+    #[test]
+    fn pretrain_handles_empty_training_range() {
+        let d = generators::mooc(0.002, 3);
+        let sm = StaticMemory::pretrain(&d, 8, 0, 3, 1);
+        assert_eq!(sm.table().rows(), d.graph.num_nodes());
+    }
+}

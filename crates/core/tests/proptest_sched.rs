@@ -1,0 +1,150 @@
+//! Property-based invariants of the i×j×k scheduler and the planner —
+//! the properties the daemon protocol's liveness and the training
+//! semantics depend on.
+
+use disttgl_cluster::ClusterSpec;
+use disttgl_core::{plan, GroupSchedule, ParallelConfig, PlannerInput, StepPlan};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = ParallelConfig> {
+    (1usize..=4, 1usize..=4, 1usize..=4).prop_map(|(i, j, k)| ParallelConfig::new(i, j, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactly one sub-group acquires at every ownership step, and the
+    /// acquirer is step % j — the invariant the memory daemon's turn
+    /// order relies on (violations deadlock the serialized protocol).
+    #[test]
+    fn exactly_one_acquirer_per_ownership_step(
+        cfg in config(),
+        events in 50usize..400,
+        batch in 5usize..40,
+        group_sel in 0usize..4,
+        sweeps in 1usize..4,
+    ) {
+        let group = group_sel % cfg.k;
+        let s = GroupSchedule::new(0..events, batch * cfg.i, &cfg, group, sweeps);
+        for step in 0..s.total_turns() {
+            let acquirers: Vec<usize> = (0..cfg.j)
+                .filter(|&jg| matches!(s.plan(jg, step), StepPlan::Acquire { .. }))
+                .collect();
+            prop_assert_eq!(acquirers.len(), 1, "step {}", step);
+            prop_assert_eq!(acquirers[0], step % cfg.j);
+        }
+        // Drain steps have no acquirer.
+        for step in s.total_turns()..s.total_steps() {
+            let acquirers = (0..cfg.j)
+                .filter(|&jg| matches!(s.plan(jg, step), StepPlan::Acquire { .. }))
+                .count();
+            prop_assert_eq!(acquirers, 0, "drain step {}", step);
+        }
+    }
+
+    /// Every sub-group's plans follow the pass pattern: Acquire then
+    /// exactly j−1 Continues with ascending pass numbers.
+    #[test]
+    fn passes_follow_acquire(
+        cfg in config(),
+        events in 50usize..300,
+        batch in 5usize..30,
+        sweeps in 1usize..3,
+    ) {
+        let s = GroupSchedule::new(0..events, batch * cfg.i, &cfg, 0, sweeps);
+        for jg in 0..cfg.j {
+            let mut last_acquire: Option<usize> = None;
+            for step in 0..s.total_steps() {
+                match s.plan(jg, step) {
+                    StepPlan::Acquire { .. } => last_acquire = Some(step),
+                    StepPlan::Continue { pass, .. } => {
+                        let a = last_acquire.expect("continue before acquire");
+                        prop_assert_eq!(step - a, pass, "step {} jg {}", step, jg);
+                        prop_assert!(pass < cfg.j);
+                    }
+                    StepPlan::Idle => {}
+                }
+            }
+        }
+    }
+
+    /// Each sweep covers every training event exactly once through the
+    /// acquired batches (cyclic order is a permutation).
+    #[test]
+    fn sweep_covers_all_events_once(
+        cfg in config(),
+        events in 50usize..300,
+        batch in 5usize..30,
+        group_sel in 0usize..4,
+    ) {
+        let group = group_sel % cfg.k;
+        let s = GroupSchedule::new(0..events, batch * cfg.i, &cfg, group, 1);
+        let mut covered = vec![0u32; events];
+        for step in 0..s.total_turns() {
+            let jg = step % cfg.j;
+            if let StepPlan::Acquire { batch, .. } = s.plan(jg, step) {
+                for e in batch {
+                    covered[e] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "coverage {:?}", &covered[..10.min(events)]);
+    }
+
+    /// Daemon epoch lengths always sum to the total turn count and
+    /// reset exactly at the wrap.
+    #[test]
+    fn daemon_epochs_partition_turns(
+        cfg in config(),
+        events in 50usize..300,
+        batch in 5usize..30,
+        group_sel in 0usize..4,
+        sweeps in 1usize..4,
+    ) {
+        let group = group_sel % cfg.k;
+        let s = GroupSchedule::new(0..events, batch * cfg.i, &cfg, group, sweeps);
+        let lens = s.daemon_epoch_lengths();
+        prop_assert_eq!(lens.iter().sum::<usize>(), s.total_turns());
+        prop_assert!(lens.iter().all(|&l| l > 0), "zero-length epoch: {:?}", lens);
+    }
+
+    /// The planner always returns a configuration that exactly fills
+    /// the cluster and respects k ≥ p whenever feasible.
+    #[test]
+    fn planner_fills_world(
+        machines in 1usize..=4,
+        gpus in 1usize..=8,
+        max_batch in 100usize..10_000,
+        saturation in 100usize..2_000,
+        replicas in 1usize..=8,
+    ) {
+        let spec = ClusterSpec::new(machines, gpus);
+        let cfg = plan(&PlannerInput {
+            spec,
+            max_global_batch: max_batch,
+            gpu_saturation_batch: saturation,
+            replicas_per_machine: replicas,
+        });
+        prop_assert_eq!(cfg.world(), machines * gpus);
+        // k ≥ p whenever the per-group trainer count allows it.
+        let per_group = machines * gpus / cfg.i;
+        if per_group >= machines && per_group.is_multiple_of(machines) && replicas >= 1 {
+            prop_assert!(
+                cfg.k >= machines || cfg.k == per_group,
+                "k {} < machines {} (cfg {:?})", cfg.k, machines, cfg
+            );
+        }
+    }
+
+    /// Rank decomposition is a bijection onto (group, jg, ig).
+    #[test]
+    fn rank_decomposition_bijective(cfg in config()) {
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..cfg.world() {
+            let (g, jg, ig) = cfg.decompose(rank);
+            prop_assert!(g < cfg.k && jg < cfg.j && ig < cfg.i);
+            prop_assert!(seen.insert((g, jg, ig)), "duplicate for rank {}", rank);
+        }
+        prop_assert_eq!(seen.len(), cfg.world());
+    }
+}

@@ -1,0 +1,108 @@
+//! The in-memory dataset bundle and its Table-2 statistics.
+
+use disttgl_graph::TemporalGraph;
+use disttgl_tensor::Matrix;
+
+/// The downstream task a dataset is evaluated on (paper §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Temporal link prediction, reported as MRR over 49 sampled
+    /// negatives (Wikipedia, Reddit, MOOC, Flights).
+    LinkPrediction,
+    /// Multi-label dynamic edge classification, reported as F1-micro
+    /// (GDELT: 56-class, 6-label).
+    EdgeClassification,
+}
+
+/// A complete dataset: the event log plus per-event features/labels.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (`wikipedia`, `reddit`, `mooc`, `flights`, `gdelt`).
+    pub name: String,
+    /// The temporal graph (chronologically sorted event log).
+    pub graph: TemporalGraph,
+    /// Edge features, `num_events × d_e` (`d_e` may be 0 — MOOC and
+    /// Flights carry none, matching Table 2).
+    pub edge_features: Matrix,
+    /// Multi-label 0/1 targets `num_events × num_classes` for
+    /// edge-classification datasets; `None` for link prediction.
+    pub labels: Option<Matrix>,
+    /// The evaluation task.
+    pub task: Task,
+}
+
+/// One row of the paper's Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Node count |V|.
+    pub num_nodes: usize,
+    /// Event count |E|.
+    pub num_events: usize,
+    /// Maximum edge timestamp.
+    pub max_t: f32,
+    /// Edge feature width |d_e|.
+    pub d_e: usize,
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+}
+
+impl Dataset {
+    /// Edge feature width.
+    pub fn edge_dim(&self) -> usize {
+        self.edge_features.cols()
+    }
+
+    /// Number of label classes (0 for link-prediction datasets).
+    pub fn num_classes(&self) -> usize {
+        self.labels.as_ref().map_or(0, |l| l.cols())
+    }
+
+    /// Table-2 statistics row.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            num_nodes: self.graph.num_nodes(),
+            num_events: self.graph.num_events(),
+            max_t: self.graph.max_time(),
+            d_e: self.edge_dim(),
+            bipartite: self.graph.bipartite_boundary().is_some(),
+        }
+    }
+
+    /// Consistency checks tying the bundle together; used by tests and
+    /// debug assertions in the trainer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.edge_features.rows() != self.graph.num_events() && self.edge_dim() > 0 {
+            return Err(format!(
+                "edge feature rows {} != events {}",
+                self.edge_features.rows(),
+                self.graph.num_events()
+            ));
+        }
+        if let Some(labels) = &self.labels {
+            if labels.rows() != self.graph.num_events() {
+                return Err(format!(
+                    "label rows {} != events {}",
+                    labels.rows(),
+                    self.graph.num_events()
+                ));
+            }
+            if labels.as_slice().iter().any(|&v| v != 0.0 && v != 1.0) {
+                return Err("labels must be 0/1".into());
+            }
+        }
+        if self.task == Task::EdgeClassification && self.labels.is_none() {
+            return Err("edge classification requires labels".into());
+        }
+        if let Some(b) = self.graph.bipartite_boundary() {
+            for e in self.graph.events() {
+                if (e.src >= b) == (e.dst >= b) {
+                    return Err(format!("bipartite violation: {:?}", e));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+//! # disttgl-data
+//!
+//! Synthetic temporal-graph datasets for the DistTGL reproduction.
+//!
+//! The paper evaluates on Wikipedia, Reddit, MOOC, Flights (temporal
+//! link prediction) and GDELT (dynamic edge classification) — see its
+//! Table 2. Those datasets are external downloads; this crate builds
+//! **statistically matched synthetic analogs** with planted structure
+//! (recurrence, popularity skew, recency, community labels) so that
+//! every experiment exercises the same code paths and produces
+//! meaningful learning curves. See `DESIGN.md` §1 for the substitution
+//! rationale.
+//!
+//! * [`Dataset`] — event log + edge features + labels + task;
+//! * [`generators`] — the five named generators, each with a `scale`
+//!   knob that shrinks Table-2 sizes proportionally;
+//! * [`NegativeStore`] / [`EvalNegatives`] — the paper's pre-sampled
+//!   negative-group scheme and the 49-negative MRR evaluation draws.
+
+mod dataset;
+pub mod generators;
+mod negative;
+mod persist;
+
+pub use dataset::{Dataset, DatasetStats, Task};
+pub use negative::{negative_range, EvalNegatives, NegativeStore};

@@ -1,0 +1,206 @@
+//! Dataset persistence.
+//!
+//! The paper pre-samples mini-batches and stores them on NVMe so the
+//! training critical path never touches the sampler ("we sample the
+//! mini-batch in advance and store them on the two NVMe SSDs",
+//! §4.0.2). The analogous capability here is snapshotting a generated
+//! dataset — graph, features, labels — so that long experiment suites
+//! regenerate bit-identical inputs without re-running the generators.
+//!
+//! Format: a one-line JSON header (name/task/shape metadata) followed
+//! by little-endian `f32`/`u32` binary sections framed with `bytes` —
+//! JSON alone would bloat feature matrices ~4×.
+
+use crate::dataset::{Dataset, Task};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use disttgl_graph::{Event, TemporalGraph};
+use disttgl_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    name: String,
+    num_nodes: usize,
+    num_events: usize,
+    bipartite_boundary: Option<u32>,
+    edge_dim: usize,
+    num_classes: usize,
+    task: String,
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes) -> io::Result<Matrix> {
+    if buf.remaining() < 16 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "matrix header"));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let n = rows.checked_mul(cols).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflow")
+    })?;
+    if buf.remaining() < n * 4 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "matrix body"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+impl Dataset {
+    /// Serializes the dataset to `w`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        let header = Header {
+            name: self.name.clone(),
+            num_nodes: self.graph.num_nodes(),
+            num_events: self.graph.num_events(),
+            bipartite_boundary: self.graph.bipartite_boundary(),
+            edge_dim: self.edge_features.cols(),
+            num_classes: self.num_classes(),
+            task: match self.task {
+                Task::LinkPrediction => "link".into(),
+                Task::EdgeClassification => "class".into(),
+            },
+        };
+        let header_json = serde_json::to_string(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{header_json}")?;
+
+        let mut buf = BytesMut::new();
+        for e in self.graph.events() {
+            buf.put_u32_le(e.src);
+            buf.put_u32_le(e.dst);
+            buf.put_f32_le(e.t);
+            buf.put_u32_le(e.eid);
+        }
+        put_matrix(&mut buf, &self.edge_features);
+        match &self.labels {
+            Some(l) => {
+                buf.put_u8(1);
+                put_matrix(&mut buf, l);
+            }
+            None => buf.put_u8(0),
+        }
+        w.write_all(&buf)
+    }
+
+    /// Deserializes a dataset produced by [`Dataset::save`].
+    pub fn load(r: &mut impl Read) -> io::Result<Dataset> {
+        // Header line.
+        let mut header_bytes = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            r.read_exact(&mut byte)?;
+            if byte[0] == b'\n' {
+                break;
+            }
+            header_bytes.push(byte[0]);
+        }
+        let header: Header = serde_json::from_slice(&header_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest)?;
+        let mut buf = Bytes::from(rest);
+
+        if buf.remaining() < header.num_events * 16 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "event log"));
+        }
+        let mut events = Vec::with_capacity(header.num_events);
+        for _ in 0..header.num_events {
+            events.push(Event {
+                src: buf.get_u32_le(),
+                dst: buf.get_u32_le(),
+                t: buf.get_f32_le(),
+                eid: buf.get_u32_le(),
+            });
+        }
+        let mut graph = TemporalGraph::new(header.num_nodes, events);
+        if let Some(b) = header.bipartite_boundary {
+            graph = graph.with_bipartite_boundary(b);
+        }
+        let edge_features = get_matrix(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "label flag"));
+        }
+        let labels = if buf.get_u8() == 1 { Some(get_matrix(&mut buf)?) } else { None };
+        let task = match header.task.as_str() {
+            "link" => Task::LinkPrediction,
+            "class" => Task::EdgeClassification,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown task {other}"),
+                ))
+            }
+        };
+        let d = Dataset { name: header.name, graph, edge_features, labels, task };
+        d.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_link_dataset() {
+        let d = generators::wikipedia(0.005, 33);
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.name, d.name);
+        assert_eq!(loaded.graph.events(), d.graph.events());
+        assert_eq!(loaded.edge_features, d.edge_features);
+        assert_eq!(loaded.graph.bipartite_boundary(), d.graph.bipartite_boundary());
+        assert_eq!(loaded.task, d.task);
+        assert!(loaded.labels.is_none());
+    }
+
+    #[test]
+    fn roundtrip_classification_dataset() {
+        let d = generators::gdelt(2e-5, 34);
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.labels, d.labels);
+        assert_eq!(loaded.task, Task::EdgeClassification);
+        loaded.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_zero_edge_dim() {
+        let d = generators::mooc(0.002, 35);
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.edge_features.cols(), 0);
+        assert_eq!(loaded.graph.num_events(), d.graph.num_events());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let d = generators::mooc(0.002, 36);
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(Dataset::load(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let garbage = b"not json\nrest";
+        assert!(Dataset::load(&mut &garbage[..]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Chronological mini-batching and time-segment partitioning.
+//!
+//! M-TGNN training consumes events in chronological order in fixed-size
+//! batches (paper §2.1.1). Memory parallelism additionally partitions
+//! the training range into `k` contiguous *time segments*, one per
+//! node-memory replica (paper §3.2.3).
+
+use std::ops::Range;
+
+/// Splits `range` (event indices into the sorted log) into fixed-size
+/// chronological mini-batches; the last batch may be short.
+pub fn chronological_batches(range: Range<usize>, batch_size: usize) -> Vec<Range<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut out = Vec::with_capacity((range.len() + batch_size - 1) / batch_size.max(1));
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + batch_size).min(range.end);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Splits a list of mini-batches into `k` contiguous segments of
+/// near-equal batch count (segment sizes differ by at most one batch).
+/// Segment `s` is what memory replica `s` trains on in iteration-step
+/// `s` of the reordered memory-parallel schedule.
+pub fn time_segments(num_batches: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(k > 0, "k must be positive");
+    let base = num_batches / k;
+    let extra = num_batches % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for s in 0..k {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits one global batch chronologically into `i` local batches
+/// (mini-batch parallelism, §3.2.1): trainer `r` of the i-group gets
+/// the `r`-th chronological slice.
+pub fn split_local(global: Range<usize>, i: usize) -> Vec<Range<usize>> {
+    assert!(i > 0, "i must be positive");
+    let n = global.len();
+    let base = n / i;
+    let extra = n % i;
+    let mut out = Vec::with_capacity(i);
+    let mut start = global.start;
+    for r in 0..i {
+        let len = base + usize::from(r < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_range_without_overlap() {
+        let batches = chronological_batches(10..47, 8);
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches[0], 10..18);
+        assert_eq!(batches[4], 42..47);
+        let total: usize = batches.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 37);
+        for w in batches.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn exact_division_has_no_short_batch() {
+        let batches = chronological_batches(0..40, 8);
+        assert!(batches.iter().all(|r| r.len() == 8));
+    }
+
+    #[test]
+    fn segments_are_balanced_and_contiguous() {
+        let segs = time_segments(10, 3);
+        assert_eq!(segs, vec![0..4, 4..7, 7..10]);
+        let segs = time_segments(9, 3);
+        assert!(segs.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn segments_handle_fewer_batches_than_k() {
+        let segs = time_segments(2, 4);
+        assert_eq!(segs.len(), 4);
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 2);
+        assert!(segs[2].is_empty() && segs[3].is_empty());
+    }
+
+    #[test]
+    fn split_local_is_chronological_partition() {
+        let locals = split_local(100..110, 4);
+        assert_eq!(locals, vec![100..103, 103..106, 106..108, 108..110]);
+        // Earlier trainer ranks get earlier events — the paper splits
+        // global batches chronologically across the i-group.
+        for w in locals.windows(2) {
+            assert!(w[0].end == w[1].start);
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_no_batches() {
+        assert!(chronological_batches(5..5, 4).is_empty());
+    }
+}

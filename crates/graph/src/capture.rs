@@ -1,0 +1,181 @@
+//! Captured-events analysis (paper Figure 8 and the planner's
+//! batch-size threshold, §3.2.4).
+//!
+//! With batched node-memory updates, `COMB` keeps only the most recent
+//! mail per node per batch (TGN-attn), so a node interacting `m` times
+//! inside one batch contributes only **one** memory update — `m − 1`
+//! events are lost. The number of *captured* events for a node is the
+//! number of batches in which it appears at least once. Larger batches
+//! capture fewer events, and high-degree nodes lose the most — exactly
+//! the curves of Figure 8.
+
+use crate::event::TemporalGraph;
+
+/// Per-node captured-event counts when training with `batch_size`:
+/// entry `v` is the number of mini-batches in which node `v` occurs as
+/// an endpoint (= number of memory updates node `v` receives).
+pub fn captured_events(graph: &TemporalGraph, batch_size: usize) -> Vec<u32> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = graph.num_nodes();
+    let mut captured = vec![0u32; n];
+    // last_batch_seen[v] = 1-based batch index of v's last occurrence.
+    let mut last_batch_seen = vec![0u32; n];
+    for (i, e) in graph.events().iter().enumerate() {
+        let batch = (i / batch_size) as u32 + 1;
+        for node in [e.src as usize, e.dst as usize] {
+            if last_batch_seen[node] != batch {
+                last_batch_seen[node] = batch;
+                captured[node] += 1;
+            }
+        }
+    }
+    captured
+}
+
+/// Fraction of events whose mails are *lost* to `COMB` batching:
+/// `1 − Σ captured / Σ degree`, in `[0, 1)`.
+pub fn missing_information(graph: &TemporalGraph, batch_size: usize) -> f64 {
+    let captured: u64 = captured_events(graph, batch_size).iter().map(|&c| c as u64).sum();
+    let total: u64 = graph.degrees().iter().map(|&d| d as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - captured as f64 / total as f64
+}
+
+/// Missing-information fraction restricted to the `top_frac` highest-
+/// degree nodes. The paper suggests a *stricter* threshold on
+/// high-degree nodes for applications where high-frequency information
+/// is crucial (§3.2.4).
+pub fn missing_information_high_degree(
+    graph: &TemporalGraph,
+    batch_size: usize,
+    top_frac: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&top_frac));
+    let captured = captured_events(graph, batch_size);
+    let degrees = graph.degrees();
+    let mut order: Vec<usize> = (0..graph.num_nodes()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(degrees[v]));
+    let take = ((graph.num_nodes() as f64 * top_frac).ceil() as usize).max(1);
+    let (mut cap, mut tot) = (0u64, 0u64);
+    for &v in order.iter().take(take.min(order.len())) {
+        cap += captured[v] as u64;
+        tot += degrees[v] as u64;
+    }
+    if tot == 0 {
+        0.0
+    } else {
+        1.0 - cap as f64 / tot as f64
+    }
+}
+
+/// Finds the largest batch size among `candidates` whose
+/// missing-information fraction stays within `threshold` — the
+/// "reversely find out the largest batch size" step of the planner.
+/// Returns the smallest candidate if none qualifies.
+pub fn max_batch_size_for_threshold(
+    graph: &TemporalGraph,
+    threshold: f64,
+    candidates: &[usize],
+) -> usize {
+    assert!(!candidates.is_empty(), "need at least one candidate batch size");
+    let mut sorted = candidates.to_vec();
+    sorted.sort_unstable();
+    let mut best = sorted[0];
+    for &bs in &sorted {
+        if missing_information(graph, bs) <= threshold {
+            best = bs;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(src: u32, dst: u32, t: f32, eid: u32) -> Event {
+        Event { src, dst, t, eid }
+    }
+
+    /// A hub node touching every event plus leaf nodes touched once.
+    fn hub_graph(events_n: usize) -> TemporalGraph {
+        let events = (0..events_n)
+            .map(|i| ev(0, 1 + i as u32, i as f32, i as u32))
+            .collect();
+        TemporalGraph::new(events_n + 1, events)
+    }
+
+    #[test]
+    fn batch_size_one_captures_everything() {
+        let g = hub_graph(10);
+        let cap = captured_events(&g, 1);
+        assert_eq!(cap[0], 10);
+        assert!(cap[1..].iter().all(|&c| c == 1));
+        assert_eq!(missing_information(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn hub_node_loses_events_as_batch_grows() {
+        let g = hub_graph(12);
+        // bs = 4 → hub appears in 3 batches.
+        assert_eq!(captured_events(&g, 4)[0], 3);
+        // bs = 12 → 1 batch.
+        assert_eq!(captured_events(&g, 12)[0], 1);
+        // Leaves are unaffected (one event each).
+        assert!(captured_events(&g, 12)[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn missing_information_monotone_in_batch_size() {
+        let g = hub_graph(32);
+        let m1 = missing_information(&g, 1);
+        let m4 = missing_information(&g, 4);
+        let m16 = missing_information(&g, 16);
+        let m32 = missing_information(&g, 32);
+        assert!(m1 <= m4 && m4 <= m16 && m16 <= m32);
+        assert!(m32 > 0.0);
+    }
+
+    #[test]
+    fn high_degree_nodes_lose_more() {
+        let g = hub_graph(32);
+        let all = missing_information(&g, 8);
+        // Top node (the hub) only.
+        let top = missing_information_high_degree(&g, 8, 1.0 / 33.0);
+        assert!(top > all, "hub missing {} vs overall {}", top, all);
+    }
+
+    #[test]
+    fn planner_picks_largest_batch_within_threshold() {
+        let g = hub_graph(64);
+        let candidates = [1, 2, 4, 8, 16, 32, 64];
+        // Very strict threshold → smallest batch.
+        assert_eq!(max_batch_size_for_threshold(&g, 0.0, &candidates), 1);
+        // Fully permissive → largest batch.
+        assert_eq!(max_batch_size_for_threshold(&g, 1.0, &candidates), 64);
+        // Mid threshold is monotone between the extremes.
+        let mid = max_batch_size_for_threshold(&g, 0.2, &candidates);
+        assert!((1..=64).contains(&mid));
+    }
+
+    #[test]
+    fn self_loop_counts_one_update_per_batch() {
+        // A self-loop generates two mails for the same node in one
+        // event; COMB keeps one, so captured < degree even at bs = 1.
+        let g = TemporalGraph::new(1, vec![ev(0, 0, 1.0, 0)]);
+        assert_eq!(captured_events(&g, 1), vec![1]);
+        assert_eq!(g.degrees(), vec![2]);
+    }
+
+    #[test]
+    fn captured_counts_sum_bounded_by_degree() {
+        let g = hub_graph(20);
+        let cap = captured_events(&g, 5);
+        for (c, d) in cap.iter().zip(g.degrees()) {
+            assert!(*c <= d);
+        }
+    }
+}

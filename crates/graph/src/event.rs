@@ -1,0 +1,160 @@
+//! Graph events and the event log.
+
+use serde::{Deserialize, Serialize};
+
+/// One graph event: an edge with id `eid` appearing between `src` and
+/// `dst` at time `t`. `eid` indexes the dataset's edge-feature table
+/// and is unique per event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// Event timestamp (seconds; `0 ≤ t ≤ max_t` as in Table 2).
+    pub t: f32,
+    /// Edge/event id (row into the edge feature matrix).
+    pub eid: u32,
+}
+
+/// A continuous-time dynamic graph: a chronologically sorted event log
+/// over `num_nodes` nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalGraph {
+    num_nodes: usize,
+    events: Vec<Event>,
+    /// For bipartite graphs (Wikipedia/Reddit/MOOC user–item graphs):
+    /// nodes `0..boundary` are the source partition and
+    /// `boundary..num_nodes` the destination partition. `None` for
+    /// general graphs (Flights, GDELT).
+    bipartite_boundary: Option<u32>,
+}
+
+impl TemporalGraph {
+    /// Builds a graph from an event list, sorting it chronologically
+    /// (stable, so simultaneous events keep their input order — the
+    /// same convention TGL uses for same-timestamp edges).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range.
+    pub fn new(num_nodes: usize, mut events: Vec<Event>) -> Self {
+        for e in &events {
+            assert!(
+                (e.src as usize) < num_nodes && (e.dst as usize) < num_nodes,
+                "event endpoint out of range: {:?} (num_nodes {})",
+                e,
+                num_nodes
+            );
+        }
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("NaN timestamp"));
+        Self { num_nodes, events, bipartite_boundary: None }
+    }
+
+    /// Marks the graph bipartite with sources `0..boundary`.
+    pub fn with_bipartite_boundary(mut self, boundary: u32) -> Self {
+        assert!((boundary as usize) <= self.num_nodes);
+        self.bipartite_boundary = Some(boundary);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of events (|E| in Table 2).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The chronologically sorted event log.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Largest timestamp (`max(t)` in Table 2); 0 for an empty graph.
+    pub fn max_time(&self) -> f32 {
+        self.events.last().map_or(0.0, |e| e.t)
+    }
+
+    /// Bipartite boundary if the graph is bipartite.
+    pub fn bipartite_boundary(&self) -> Option<u32> {
+        self.bipartite_boundary
+    }
+
+    /// Per-node total degree (in + out) over the whole log — the
+    /// quantity Figures 5 and 8 sort nodes by.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for e in &self.events {
+            deg[e.src as usize] += 1;
+            deg[e.dst as usize] += 1;
+        }
+        deg
+    }
+
+    /// Splits the event log chronologically into train/validation/test
+    /// by event fraction (TGN/TGL use 70/15/15).
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_frac`, `0 ≤ val_frac`, and
+    /// `train_frac + val_frac ≤ 1`.
+    pub fn chronological_split(&self, train_frac: f64, val_frac: f64) -> (usize, usize) {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+        let n = self.events.len();
+        let train_end = (n as f64 * train_frac).round() as usize;
+        let val_end = (n as f64 * (train_frac + val_frac)).round() as usize;
+        (train_end.min(n), val_end.min(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: u32, dst: u32, t: f32, eid: u32) -> Event {
+        Event { src, dst, t, eid }
+    }
+
+    #[test]
+    fn events_are_sorted_on_construction() {
+        let g = TemporalGraph::new(4, vec![ev(0, 1, 5.0, 0), ev(1, 2, 1.0, 1), ev(2, 3, 3.0, 2)]);
+        let ts: Vec<f32> = g.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.0, 3.0, 5.0]);
+        assert_eq!(g.max_time(), 5.0);
+    }
+
+    #[test]
+    fn stable_sort_preserves_simultaneous_order() {
+        let g = TemporalGraph::new(3, vec![ev(0, 1, 2.0, 7), ev(1, 2, 2.0, 8)]);
+        assert_eq!(g.events()[0].eid, 7);
+        assert_eq!(g.events()[1].eid, 8);
+    }
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let g = TemporalGraph::new(3, vec![ev(0, 1, 1.0, 0), ev(0, 2, 2.0, 1)]);
+        assert_eq!(g.degrees(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn chronological_split_fractions() {
+        let events = (0..100).map(|i| ev(0, 1, i as f32, i)).collect();
+        let g = TemporalGraph::new(2, events);
+        let (tr, va) = g.chronological_split(0.7, 0.15);
+        assert_eq!(tr, 70);
+        assert_eq!(va, 85);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_out_of_range_panics() {
+        TemporalGraph::new(2, vec![ev(0, 5, 1.0, 0)]);
+    }
+
+    #[test]
+    fn bipartite_marker() {
+        let g = TemporalGraph::new(10, vec![]).with_bipartite_boundary(4);
+        assert_eq!(g.bipartite_boundary(), Some(4));
+    }
+}

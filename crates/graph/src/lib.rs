@@ -1,0 +1,26 @@
+//! # disttgl-graph
+//!
+//! Temporal graph storage and sampling for the DistTGL reproduction.
+//!
+//! A dynamic graph is a time-ordered series of events
+//! `{(u, v, e_uv, t)}` (paper §2.1). This crate provides:
+//!
+//! * [`Event`] / [`TemporalGraph`] — the event log plus a **T-CSR**
+//!   index (per-node, time-sorted adjacency) for O(log d + k) queries
+//!   of the *k most recent neighbors before a timestamp*, the
+//!   supporting-node query of TGN-attn;
+//! * [`RecentNeighborSampler`] — the batched most-recent-k sampler;
+//! * [`batching`] — chronological fixed-size mini-batching and the
+//!   time-segment partitioning used by memory parallelism;
+//! * [`capture`] — the captured-events analysis behind Figure 8 and
+//!   the planner's batch-size threshold (§3.2.4).
+
+pub mod batching;
+pub mod capture;
+mod event;
+mod sampler;
+mod tcsr;
+
+pub use event::{Event, TemporalGraph};
+pub use sampler::{NeighborBlock, RecentNeighborSampler};
+pub use tcsr::TCsr;

@@ -1,0 +1,164 @@
+//! T-CSR: time-sorted compressed sparse row adjacency.
+//!
+//! The supporting-node query of TGN-attn — "the k most recent neighbors
+//! of v strictly before time t" — needs per-node adjacency sorted by
+//! time. T-CSR stores every (undirected) incidence once per endpoint in
+//! CSR layout with each node's slice ascending in time, so the query is
+//! one binary search plus a k-element tail walk.
+
+use crate::event::TemporalGraph;
+
+#[cfg(test)]
+use crate::event::Event;
+
+/// One adjacency entry: the opposite endpoint, the event time, and the
+/// event id (for edge features and mail lookup).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TCsrEntry {
+    /// Opposite endpoint of the edge.
+    pub nbr: u32,
+    /// Event timestamp.
+    pub t: f32,
+    /// Event id.
+    pub eid: u32,
+}
+
+/// Time-sorted CSR index over a [`TemporalGraph`].
+#[derive(Clone, Debug)]
+pub struct TCsr {
+    indptr: Vec<usize>,
+    entries: Vec<TCsrEntry>,
+}
+
+impl TCsr {
+    /// Builds the index in O(|E|) after the graph's own sort: events
+    /// are already chronological, so two counting passes produce
+    /// per-node time-sorted slices without re-sorting.
+    pub fn build(graph: &TemporalGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut counts = vec![0usize; n + 1];
+        for e in graph.events() {
+            counts[e.src as usize + 1] += 1;
+            counts[e.dst as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![TCsrEntry { nbr: 0, t: 0.0, eid: 0 }; graph.num_events() * 2];
+        for e in graph.events() {
+            let s = e.src as usize;
+            entries[cursor[s]] = TCsrEntry { nbr: e.dst, t: e.t, eid: e.eid };
+            cursor[s] += 1;
+            let d = e.dst as usize;
+            entries[cursor[d]] = TCsrEntry { nbr: e.src, t: e.t, eid: e.eid };
+            cursor[d] += 1;
+        }
+        Self { indptr, entries }
+    }
+
+    /// Number of nodes indexed.
+    pub fn num_nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Full (time-ascending) adjacency slice of `node`.
+    pub fn neighbors(&self, node: u32) -> &[TCsrEntry] {
+        &self.entries[self.indptr[node as usize]..self.indptr[node as usize + 1]]
+    }
+
+    /// Degree of `node` over the whole log.
+    pub fn degree(&self, node: u32) -> usize {
+        self.indptr[node as usize + 1] - self.indptr[node as usize]
+    }
+
+    /// The most recent `k` incidences of `node` strictly before `t`,
+    /// most recent first. Returns fewer than `k` if the node has fewer
+    /// qualifying events.
+    pub fn recent_before(&self, node: u32, t: f32, k: usize) -> &[TCsrEntry] {
+        let adj = self.neighbors(node);
+        // partition_point: first index with entry.t >= t.
+        let end = adj.partition_point(|e| e.t < t);
+        let start = end.saturating_sub(k);
+        &adj[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: u32, dst: u32, t: f32, eid: u32) -> Event {
+        Event { src, dst, t, eid }
+    }
+
+    fn sample_graph() -> TemporalGraph {
+        TemporalGraph::new(
+            4,
+            vec![
+                ev(0, 1, 1.0, 0),
+                ev(0, 2, 2.0, 1),
+                ev(1, 2, 3.0, 2),
+                ev(0, 1, 4.0, 3),
+                ev(3, 0, 5.0, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn per_node_slices_are_time_sorted() {
+        let csr = TCsr::build(&sample_graph());
+        for node in 0..4 {
+            let adj = csr.neighbors(node);
+            for w in adj.windows(2) {
+                assert!(w[0].t <= w[1].t, "node {} not sorted", node);
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = sample_graph();
+        let csr = TCsr::build(&g);
+        let deg = g.degrees();
+        for node in 0..4u32 {
+            assert_eq!(csr.degree(node), deg[node as usize] as usize);
+        }
+    }
+
+    #[test]
+    fn recent_before_excludes_t_and_later() {
+        let csr = TCsr::build(&sample_graph());
+        // Node 0 events at t = 1, 2, 4, 5. Query before t = 4 with k = 10.
+        let recent = csr.recent_before(0, 4.0, 10);
+        let ts: Vec<f32> = recent.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn recent_before_takes_most_recent_k() {
+        let csr = TCsr::build(&sample_graph());
+        let recent = csr.recent_before(0, 6.0, 2);
+        let eids: Vec<u32> = recent.iter().map(|e| e.eid).collect();
+        // Node 0's events: eid 0 (t1), 1 (t2), 3 (t4), 4 (t5); last two.
+        assert_eq!(eids, vec![3, 4]);
+    }
+
+    #[test]
+    fn isolated_node_has_empty_adjacency() {
+        let g = TemporalGraph::new(3, vec![ev(0, 1, 1.0, 0)]);
+        let csr = TCsr::build(&g);
+        assert!(csr.neighbors(2).is_empty());
+        assert!(csr.recent_before(2, 10.0, 5).is_empty());
+    }
+
+    #[test]
+    fn both_endpoints_indexed() {
+        let g = TemporalGraph::new(2, vec![ev(0, 1, 1.0, 9)]);
+        let csr = TCsr::build(&g);
+        assert_eq!(csr.neighbors(0)[0].nbr, 1);
+        assert_eq!(csr.neighbors(1)[0].nbr, 0);
+        assert_eq!(csr.neighbors(1)[0].eid, 9);
+    }
+}

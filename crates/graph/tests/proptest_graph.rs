@@ -1,0 +1,119 @@
+//! Property-based invariants of the temporal graph structures.
+
+use disttgl_graph::{batching, capture, Event, RecentNeighborSampler, TCsr, TemporalGraph};
+use proptest::prelude::*;
+
+/// Random self-loop-free event logs over a small node universe
+/// (the paper's datasets — bipartite interaction graphs, flights,
+/// GDELT actor events — contain no self-loops).
+fn events(max_nodes: u32, max_events: usize) -> impl Strategy<Value = (u32, Vec<Event>)> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let ev = (0..n, 0..n - 1, 0.0f32..1000.0).prop_map(move |(src, dst_raw, t)| {
+            // Shift dst past src to rule out self-loops.
+            let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+            Event { src, dst, t, eid: 0 }
+        });
+        (Just(n), proptest::collection::vec(ev, 1..max_events))
+    })
+}
+
+fn build(n: u32, mut evs: Vec<Event>) -> TemporalGraph {
+    for (i, e) in evs.iter_mut().enumerate() {
+        e.eid = i as u32;
+    }
+    TemporalGraph::new(n as usize, evs)
+}
+
+proptest! {
+    #[test]
+    fn tcsr_entry_count_is_twice_events((n, evs) in events(16, 60)) {
+        let g = build(n, evs);
+        let csr = TCsr::build(&g);
+        let total: usize = (0..n).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, g.num_events() * 2);
+    }
+
+    #[test]
+    fn tcsr_recent_before_is_sound((n, evs) in events(16, 60), t in 0.0f32..1200.0, k in 1usize..8) {
+        let g = build(n, evs);
+        let csr = TCsr::build(&g);
+        for v in 0..n {
+            let recent = csr.recent_before(v, t, k);
+            prop_assert!(recent.len() <= k);
+            for e in recent {
+                prop_assert!(e.t < t);
+            }
+            // Completeness: count of qualifying events, capped at k.
+            let qualifying = csr.neighbors(v).iter().filter(|e| e.t < t).count();
+            prop_assert_eq!(recent.len(), qualifying.min(k));
+        }
+    }
+
+    #[test]
+    fn sampler_counts_match_tcsr((n, evs) in events(12, 40), k in 1usize..6) {
+        let g = build(n, evs);
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::new(k);
+        let t = g.max_time() + 1.0;
+        let roots: Vec<u32> = (0..n).collect();
+        let times = vec![t; n as usize];
+        let block = s.sample(&csr, &roots, &times);
+        for v in 0..n as usize {
+            prop_assert_eq!(block.counts[v], csr.degree(v as u32).min(k));
+        }
+    }
+
+    #[test]
+    fn captured_never_exceeds_degree_and_bs1_is_exact((n, evs) in events(12, 50), bs in 1usize..20) {
+        let g = build(n, evs);
+        let cap = capture::captured_events(&g, bs);
+        let deg = g.degrees();
+        for v in 0..n as usize {
+            prop_assert!(cap[v] <= deg[v]);
+        }
+        let cap1 = capture::captured_events(&g, 1);
+        for v in 0..n as usize {
+            prop_assert_eq!(cap1[v], deg[v]);
+        }
+    }
+
+    #[test]
+    fn missing_information_bounded((n, evs) in events(12, 50), bs in 1usize..30) {
+        let g = build(n, evs);
+        let m = capture::missing_information(&g, bs);
+        prop_assert!((0.0..1.0).contains(&m));
+    }
+
+    #[test]
+    fn batches_partition_any_range(start in 0usize..100, len in 0usize..200, bs in 1usize..17) {
+        let batches = batching::chronological_batches(start..start + len, bs);
+        let total: usize = batches.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = start;
+        for b in &batches {
+            prop_assert_eq!(b.start, cursor);
+            prop_assert!(b.len() <= bs);
+            cursor = b.end;
+        }
+    }
+
+    #[test]
+    fn segments_partition_batches(nb in 0usize..100, k in 1usize..9) {
+        let segs = batching::time_segments(nb, k);
+        prop_assert_eq!(segs.len(), k);
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, nb);
+        // Balanced: sizes differ by at most 1.
+        let min = segs.iter().map(|s| s.len()).min().unwrap();
+        let max = segs.iter().map(|s| s.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn split_local_partitions_global(start in 0usize..50, len in 0usize..100, i in 1usize..9) {
+        let locals = batching::split_local(start..start + len, i);
+        prop_assert_eq!(locals.len(), i);
+        let total: usize = locals.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, len);
+    }
+}

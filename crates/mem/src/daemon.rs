@@ -1,0 +1,521 @@
+//! The memory daemon of Algorithm 1.
+//!
+//! One daemon thread owns the [`MemoryState`] of an `i × j` trainer
+//! group and serves all reads/writes in the serialized order
+//!
+//! ```text
+//! (R₀…Rᵢ₋₁)(W₀…Wᵢ₋₁)(Rᵢ…R₂ᵢ₋₁)(Wᵢ…W₂ᵢ₋₁) …
+//! ```
+//!
+//! cycling through the `j` epoch-parallel sub-groups, `i` ranks at a
+//! time. Requests travel through per-rank shared buffers guarded by an
+//! atomic status word (the paper's `read_status` / `write_status`
+//! arrays); the daemon and trainers spin on the status words instead of
+//! taking a cross-process lock — "instead of implementing an expensive
+//! cross-process lock mechanism, we launch an additional memory daemon
+//! process" (§3.3).
+//!
+//! Orderings: a requester fills the buffer under its mutex, then
+//! publishes with a `Release` store; the daemon observes with an
+//! `Acquire` load before locking the buffer (and vice versa for
+//! responses), so buffer contents are always synchronized-with the
+//! status transition that announces them.
+
+use crate::state::{MemoryReadout, MemoryState, MemoryWrite};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const IDLE: u8 = 0;
+const REQUESTED: u8 = 1;
+const READY: u8 = 2;
+
+/// Aggregate daemon counters (Fig 2(b)-style accounting and the
+/// Table 1 synchronization-volume measurements).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DaemonStats {
+    /// Node-memory + mail rows served to read requests.
+    pub rows_read: u64,
+    /// Rows applied from write requests.
+    pub rows_written: u64,
+    /// Read requests served.
+    pub reads_served: u64,
+    /// Write requests served.
+    pub writes_served: u64,
+    /// Nanoseconds the daemon spent actively serving (excludes waiting).
+    pub serve_nanos: u64,
+}
+
+struct Slot {
+    read_status: AtomicU8,
+    write_status: AtomicU8,
+    read_req: Mutex<Vec<u32>>,
+    read_resp: Mutex<MemoryReadout>,
+    write_req: Mutex<MemoryWrite>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            read_status: AtomicU8::new(IDLE),
+            write_status: AtomicU8::new(IDLE),
+            read_req: Mutex::new(Vec::new()),
+            read_resp: Mutex::new(MemoryReadout::default()),
+            write_req: Mutex::new(MemoryWrite::default()),
+        }
+    }
+}
+
+struct Shared {
+    slots: Vec<Slot>,
+    shutdown: AtomicBool,
+    rows_read: AtomicU64,
+    rows_written: AtomicU64,
+    reads_served: AtomicU64,
+    writes_served: AtomicU64,
+    serve_nanos: AtomicU64,
+    /// Epoch-end snapshot of the state, refreshed before each reset.
+    /// The paper evaluates "using the node memory in the first memory
+    /// process" after every epoch; the evaluating trainer takes this
+    /// copy instead of injecting reads into the serialized schedule.
+    snapshot: Mutex<Option<MemoryState>>,
+    epochs_done: AtomicU64,
+}
+
+/// Spin-wait until `cond` is true; returns false if `shutdown` fires
+/// first.
+fn spin_until(cond: impl Fn() -> bool, shutdown: &AtomicBool) -> bool {
+    let mut spins = 0u32;
+    loop {
+        if cond() {
+            return true;
+        }
+        if shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Handle for one trainer rank to issue memory requests.
+///
+/// Clone-free by design: exactly one client per rank, matching the
+/// paper's one-buffer-per-trainer layout.
+pub struct MemoryClient {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+impl MemoryClient {
+    /// This client's trainer rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Issues a read for `nodes` and blocks until the daemon serves it
+    /// (the paper's trainers overlap this wait with static-data
+    /// prefetch; callers here do the same by issuing late).
+    ///
+    /// # Panics
+    /// Panics if the daemon shut down mid-request.
+    pub fn read(&self, nodes: &[u32]) -> MemoryReadout {
+        let slot = &self.shared.slots[self.rank];
+        // Previous cycle must be fully consumed.
+        assert_eq!(
+            slot.read_status.load(Ordering::Acquire),
+            IDLE,
+            "rank {}: overlapping read requests",
+            self.rank
+        );
+        *slot.read_req.lock() = nodes.to_vec();
+        slot.read_status.store(REQUESTED, Ordering::Release);
+        let ok = spin_until(
+            || slot.read_status.load(Ordering::Acquire) == READY,
+            &self.shared.shutdown,
+        );
+        assert!(ok, "memory daemon shut down during read (rank {})", self.rank);
+        let resp = std::mem::take(&mut *slot.read_resp.lock());
+        slot.read_status.store(IDLE, Ordering::Release);
+        resp
+    }
+
+    /// Posts a write and returns once the daemon has accepted the
+    /// buffer hand-off (it is applied in serialized order; a subsequent
+    /// `read` from any rank of a later turn observes it).
+    ///
+    /// # Panics
+    /// Panics if the daemon shut down mid-request.
+    pub fn write(&self, w: MemoryWrite) {
+        let slot = &self.shared.slots[self.rank];
+        let ok = spin_until(
+            || slot.write_status.load(Ordering::Acquire) == IDLE,
+            &self.shared.shutdown,
+        );
+        assert!(ok, "memory daemon shut down during write (rank {})", self.rank);
+        *slot.write_req.lock() = w;
+        slot.write_status.store(REQUESTED, Ordering::Release);
+    }
+}
+
+/// The daemon: owns the state, serves an `i × j` group for a fixed
+/// number of epochs of `steps_per_epoch` serialized turns each.
+pub struct MemoryDaemon {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<MemoryState>>,
+    group_size: usize,
+}
+
+impl MemoryDaemon {
+    /// Spawns the daemon.
+    ///
+    /// * `i` — mini-batch-parallel sub-group size;
+    /// * `j` — number of epoch-parallel sub-groups;
+    /// * `steps_per_epoch` — serialized (read, write) turns per epoch;
+    ///   turn `s` serves sub-group `s % j`;
+    /// * `num_epochs` — the state resets between epochs (node memory
+    ///   restarts from zero each epoch, §2.1).
+    pub fn spawn(
+        state: MemoryState,
+        i: usize,
+        j: usize,
+        steps_per_epoch: usize,
+        num_epochs: usize,
+    ) -> Self {
+        Self::spawn_schedule(state, i, j, vec![steps_per_epoch; num_epochs])
+    }
+
+    /// Spawns the daemon with an explicit epoch-length schedule.
+    ///
+    /// Memory-parallel groups whose cyclic batch order starts mid-
+    /// stream reset their replica when the order *wraps* (their true
+    /// epoch boundary), making the first and last epochs partial —
+    /// `epoch_lengths` encodes that. The sub-group turn owner is the
+    /// **global** turn counter mod `j`, continuous across epochs.
+    pub fn spawn_schedule(
+        mut state: MemoryState,
+        i: usize,
+        j: usize,
+        epoch_lengths: Vec<usize>,
+    ) -> Self {
+        assert!(i >= 1 && j >= 1, "daemon: need i, j >= 1");
+        let group_size = i * j;
+        let shared = Arc::new(Shared {
+            slots: (0..group_size).map(|_| Slot::new()).collect(),
+            shutdown: AtomicBool::new(false),
+            rows_read: AtomicU64::new(0),
+            rows_written: AtomicU64::new(0),
+            reads_served: AtomicU64::new(0),
+            writes_served: AtomicU64::new(0),
+            serve_nanos: AtomicU64::new(0),
+            snapshot: Mutex::new(None),
+            epochs_done: AtomicU64::new(0),
+        });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("disttgl-mem-daemon".into())
+            .spawn(move || {
+                daemon_loop(&mut state, &shared2, i, j, &epoch_lengths);
+                state
+            })
+            .expect("spawn memory daemon");
+        Self { shared, handle: Some(handle), group_size }
+    }
+
+    /// Creates the client for `rank` (call once per rank).
+    pub fn client(&self, rank: usize) -> MemoryClient {
+        assert!(rank < self.group_size, "rank {} out of group {}", rank, self.group_size);
+        MemoryClient { shared: Arc::clone(&self.shared), rank }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            rows_read: self.shared.rows_read.load(Ordering::Relaxed),
+            rows_written: self.shared.rows_written.load(Ordering::Relaxed),
+            reads_served: self.shared.reads_served.load(Ordering::Relaxed),
+            writes_served: self.shared.writes_served.load(Ordering::Relaxed),
+            serve_nanos: self.shared.serve_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Waits for the daemon to finish its schedule and returns the
+    /// final state and counters.
+    pub fn join(mut self) -> (MemoryState, DaemonStats) {
+        let stats = self.stats();
+        let handle = self.handle.take().expect("already joined");
+        let state = handle.join().expect("daemon thread panicked");
+        let stats = DaemonStats {
+            rows_read: self.shared.rows_read.load(Ordering::Relaxed),
+            rows_written: self.shared.rows_written.load(Ordering::Relaxed),
+            reads_served: self.shared.reads_served.load(Ordering::Relaxed),
+            writes_served: self.shared.writes_served.load(Ordering::Relaxed),
+            serve_nanos: stats.serve_nanos.max(self.shared.serve_nanos.load(Ordering::Relaxed)),
+        };
+        (state, stats)
+    }
+
+    /// Requests early termination (failure paths / tests). Clients
+    /// blocked in `read`/`write` will panic rather than hang.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the daemon has finished at least `epoch + 1`
+    /// epochs, then returns the state snapshot taken at that epoch's
+    /// end (before the reset). Callers must not hold up their own
+    /// memory schedule while waiting — take the snapshot from a rank
+    /// whose group turn is over.
+    pub fn epoch_snapshot(&self, epoch: u64) -> MemoryState {
+        let ok = spin_until(
+            || self.shared.epochs_done.load(Ordering::Acquire) > epoch,
+            &self.shared.shutdown,
+        );
+        assert!(ok, "daemon shut down before epoch {epoch} snapshot");
+        self.shared
+            .snapshot
+            .lock()
+            .clone()
+            .expect("snapshot present after epoch end")
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs_done(&self) -> u64 {
+        self.shared.epochs_done.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for MemoryDaemon {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epochs: &[usize]) {
+    let mut turn = 0usize; // global turn counter — owner is turn % j
+    for &epoch_len in epochs {
+        // "reset memory and mail" (Algorithm 1).
+        state.reset();
+        for _ in 0..epoch_len {
+            let g = turn % j;
+            turn += 1;
+            let ranks = g * i..(g + 1) * i;
+            // Serve the sub-group's reads.
+            for r in ranks.clone() {
+                let slot = &shared.slots[r];
+                if !spin_until(
+                    || slot.read_status.load(Ordering::Acquire) == REQUESTED,
+                    &shared.shutdown,
+                ) {
+                    return;
+                }
+                let t0 = std::time::Instant::now();
+                let req = slot.read_req.lock();
+                let resp = state.read(&req);
+                shared.rows_read.fetch_add(req.len() as u64, Ordering::Relaxed);
+                drop(req);
+                *slot.read_resp.lock() = resp;
+                shared.reads_served.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .serve_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                slot.read_status.store(READY, Ordering::Release);
+            }
+            // Serve the sub-group's writes.
+            for r in ranks {
+                let slot = &shared.slots[r];
+                if !spin_until(
+                    || slot.write_status.load(Ordering::Acquire) == REQUESTED,
+                    &shared.shutdown,
+                ) {
+                    return;
+                }
+                let t0 = std::time::Instant::now();
+                let w = std::mem::take(&mut *slot.write_req.lock());
+                state.write(&w);
+                shared.rows_written.fetch_add(w.nodes.len() as u64, Ordering::Relaxed);
+                shared.writes_served.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .serve_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                slot.write_status.store(IDLE, Ordering::Release);
+            }
+        }
+        *shared.snapshot.lock() = Some(state.clone());
+        shared.epochs_done.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_tensor::Matrix;
+
+    fn write_of(nodes: Vec<u32>, d_mem: usize, mail_dim: usize, fill: f32, ts: f32) -> MemoryWrite {
+        let n = nodes.len();
+        MemoryWrite {
+            nodes,
+            mem: Matrix::full(n, d_mem, fill),
+            mem_ts: vec![ts; n],
+            mail: Matrix::full(n, mail_dim, fill),
+            mail_ts: vec![ts; n],
+        }
+    }
+
+    #[test]
+    fn single_trainer_roundtrip_matches_plain_state() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 3), 1, 1, 3, 1);
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(8, 2, 3);
+
+        for step in 0..3u32 {
+            let nodes = vec![step, step + 1];
+            let got = client.read(&nodes);
+            let want = reference.read(&nodes);
+            assert_eq!(got.mem, want.mem, "step {}", step);
+            assert_eq!(got.mail_ts, want.mail_ts);
+            let w = write_of(nodes, 2, 3, step as f32 + 1.0, step as f32);
+            reference.write(&w);
+            client.write(w);
+        }
+        let (final_state, stats) = daemon.join();
+        assert_eq!(final_state.read(&[0, 1, 2, 3]).mem, reference.read(&[0, 1, 2, 3]).mem);
+        assert_eq!(stats.reads_served, 3);
+        assert_eq!(stats.writes_served, 3);
+        assert_eq!(stats.rows_read, 6);
+        assert_eq!(stats.rows_written, 6);
+    }
+
+    #[test]
+    fn later_subgroup_sees_earlier_subgroup_write() {
+        // i = 1, j = 2: turn order R0 W0 R1 W1. Rank 1's read must
+        // observe rank 0's write (serialized ordering).
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 2, 2, 1);
+        let c0 = daemon.client(0);
+        let c1 = daemon.client(1);
+
+        let t1 = std::thread::spawn(move || {
+            let r = c1.read(&[0]);
+            c1.write(write_of(vec![1], 1, 1, 7.0, 2.0));
+            r
+        });
+        // Rank 0 goes first in the serialized order.
+        let r0 = c0.read(&[0]);
+        assert_eq!(r0.mem.get(0, 0), 0.0);
+        c0.write(write_of(vec![0], 1, 1, 5.0, 1.0));
+
+        let r1 = t1.join().unwrap();
+        assert_eq!(r1.mem.get(0, 0), 5.0, "rank 1 must see rank 0's write");
+        let (state, _) = daemon.join();
+        assert_eq!(state.read(&[1]).mem.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn two_by_two_group_matches_sequential_reference() {
+        // Full i×j = 2×2 schedule over 4 steps, executed by 4 threads,
+        // compared against a sequential replay of the same serialized
+        // order.
+        let (i, j, steps) = (2usize, 2usize, 4usize);
+        let daemon = MemoryDaemon::spawn(MemoryState::new(16, 2, 2), i, j, steps, 1);
+
+        let mut handles = Vec::new();
+        for rank in 0..i * j {
+            let client = daemon.client(rank);
+            handles.push(std::thread::spawn(move || {
+                let g = rank / i; // sub-group id
+                let mut log = Vec::new();
+                // Sub-group g owns steps s with s % j == g.
+                for s in (g..steps).step_by(j) {
+                    let node = (s * i + (rank % i)) as u32;
+                    let r = client.read(&[node]);
+                    log.push((node, r.mem.get(0, 0)));
+                    client.write(write_of(vec![node], 2, 2, (s + 1) as f32, s as f32));
+                }
+                log
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (state, stats) = daemon.join();
+        assert_eq!(stats.reads_served as usize, steps * i);
+        assert_eq!(stats.writes_served as usize, steps * i);
+
+        // Sequential reference: same serialized order.
+        let mut reference = MemoryState::new(16, 2, 2);
+        for s in 0..steps {
+            let g = s % j;
+            for r in g * i..(g + 1) * i {
+                let node = (s * i + (r % i)) as u32;
+                let _ = reference.read(&[node]);
+                reference.write(&write_of(vec![node], 2, 2, (s + 1) as f32, s as f32));
+            }
+        }
+        let all: Vec<u32> = (0..16).collect();
+        assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+    }
+
+    #[test]
+    fn epoch_boundary_resets_memory() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 1, 2);
+        let client = daemon.client(0);
+        // Epoch 0.
+        let r = client.read(&[0]);
+        assert_eq!(r.mem.get(0, 0), 0.0);
+        client.write(write_of(vec![0], 1, 1, 42.0, 1.0));
+        // Epoch 1: daemon reset must have cleared node 0.
+        let r = client.read(&[0]);
+        assert_eq!(r.mem.get(0, 0), 0.0, "epoch reset failed");
+        client.write(write_of(vec![0], 1, 1, 7.0, 1.0));
+        let (state, _) = daemon.join();
+        assert_eq!(state.read(&[0]).mem.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn epoch_snapshot_captures_pre_reset_state() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 1, 2);
+        let client = daemon.client(0);
+        let _ = client.read(&[0]);
+        client.write(write_of(vec![0], 1, 1, 42.0, 1.0));
+        // Snapshot of epoch 0 must contain the write even though the
+        // live state is reset for epoch 1.
+        let snap = daemon.epoch_snapshot(0);
+        assert_eq!(snap.read(&[0]).mem.get(0, 0), 42.0);
+        let _ = client.read(&[0]);
+        client.write(write_of(vec![0], 1, 1, 7.0, 1.0));
+        let snap1 = daemon.epoch_snapshot(1);
+        assert_eq!(snap1.read(&[0]).mem.get(0, 0), 7.0);
+        let _ = daemon.join();
+    }
+
+    #[test]
+    fn shutdown_unblocks_daemon() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 10, 1);
+        // Never send any request; drop must not hang.
+        daemon.shutdown();
+        let (_, stats) = daemon.join();
+        assert_eq!(stats.reads_served, 0);
+    }
+
+    #[test]
+    fn serve_time_is_recorded() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(64, 8, 8), 1, 1, 2, 1);
+        let client = daemon.client(0);
+        let nodes: Vec<u32> = (0..64).collect();
+        for s in 0..2 {
+            let _ = client.read(&nodes);
+            client.write(write_of(nodes.clone(), 8, 8, 1.0, s as f32));
+        }
+        let (_, stats) = daemon.join();
+        assert!(stats.serve_nanos > 0);
+        assert_eq!(stats.rows_read, 128);
+    }
+}

@@ -1,0 +1,218 @@
+//! The plain node-memory + mailbox store.
+
+use disttgl_tensor::Matrix;
+
+/// A read result for a batch of nodes: gathered memory rows, mail rows,
+/// and their timestamps, in query order.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryReadout {
+    /// Node memory rows, `nodes × d_mem`.
+    pub mem: Matrix,
+    /// Last-update timestamp of each node's memory.
+    pub mem_ts: Vec<f32>,
+    /// Cached mail rows, `nodes × mail_dim`.
+    pub mail: Matrix,
+    /// Timestamp of each cached mail (0 when none has arrived yet).
+    pub mail_ts: Vec<f32>,
+}
+
+/// A write request: new memory and mail rows for `nodes` (the batch's
+/// root nodes only — supporting nodes are never written back, §3.2.1).
+#[derive(Clone, Debug, Default)]
+pub struct MemoryWrite {
+    /// Target node ids.
+    pub nodes: Vec<u32>,
+    /// New memory rows, `nodes.len() × d_mem`.
+    pub mem: Matrix,
+    /// New memory timestamps.
+    pub mem_ts: Vec<f32>,
+    /// New mail rows, `nodes.len() × mail_dim`.
+    pub mail: Matrix,
+    /// New mail timestamps.
+    pub mail_ts: Vec<f32>,
+}
+
+/// Dense node-memory + mailbox store for one memory replica.
+///
+/// Memory-parallel training (`k > 1`) instantiates `k` of these; the
+/// paper's Table 1 "Main memory requirement: k times single-GPU" is
+/// exactly this replication.
+#[derive(Clone, Debug)]
+pub struct MemoryState {
+    num_nodes: usize,
+    d_mem: usize,
+    mail_dim: usize,
+    mem: Matrix,
+    mem_ts: Vec<f32>,
+    mail: Matrix,
+    mail_ts: Vec<f32>,
+}
+
+impl MemoryState {
+    /// Allocates a zeroed store (`s_v` initialized to zero vectors,
+    /// §2.1).
+    pub fn new(num_nodes: usize, d_mem: usize, mail_dim: usize) -> Self {
+        Self {
+            num_nodes,
+            d_mem,
+            mail_dim,
+            mem: Matrix::zeros(num_nodes, d_mem),
+            mem_ts: vec![0.0; num_nodes],
+            mail: Matrix::zeros(num_nodes, mail_dim),
+            mail_ts: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Memory width.
+    pub fn d_mem(&self) -> usize {
+        self.d_mem
+    }
+
+    /// Mail width (`2·d_mem + d_time + d_edge`).
+    pub fn mail_dim(&self) -> usize {
+        self.mail_dim
+    }
+
+    /// Resets everything to zero (epoch boundary).
+    pub fn reset(&mut self) {
+        self.mem.zero();
+        self.mem_ts.fill(0.0);
+        self.mail.zero();
+        self.mail_ts.fill(0.0);
+    }
+
+    /// Gathers rows for `nodes` in query order.
+    pub fn read(&self, nodes: &[u32]) -> MemoryReadout {
+        let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
+        MemoryReadout {
+            mem: self.mem.gather_rows(&idx),
+            mem_ts: idx.iter().map(|&i| self.mem_ts[i]).collect(),
+            mail: self.mail.gather_rows(&idx),
+            mail_ts: idx.iter().map(|&i| self.mail_ts[i]).collect(),
+        }
+    }
+
+    /// Applies a write. Duplicate nodes resolve to the **last**
+    /// occurrence (chronological order ⇒ most recent mail wins, the
+    /// TGN-attn `COMB`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn write(&mut self, w: &MemoryWrite) {
+        assert_eq!(w.mem.rows(), w.nodes.len(), "write: mem rows");
+        assert_eq!(w.mail.rows(), w.nodes.len(), "write: mail rows");
+        assert_eq!(w.mem_ts.len(), w.nodes.len(), "write: mem_ts len");
+        assert_eq!(w.mail_ts.len(), w.nodes.len(), "write: mail_ts len");
+        assert_eq!(w.mem.cols(), self.d_mem, "write: d_mem");
+        assert_eq!(w.mail.cols(), self.mail_dim, "write: mail_dim");
+        let idx: Vec<usize> = w.nodes.iter().map(|&n| n as usize).collect();
+        self.mem.scatter_rows(&idx, &w.mem);
+        self.mail.scatter_rows(&idx, &w.mail);
+        for (&i, (&mts, &lts)) in idx.iter().zip(w.mem_ts.iter().zip(&w.mail_ts)) {
+            self.mem_ts[i] = mts;
+            self.mail_ts[i] = lts;
+        }
+    }
+
+    /// Byte size of one full replica (for the Table 1 memory-footprint
+    /// accounting and the planner's capacity constraint).
+    pub fn bytes(&self) -> usize {
+        (self.mem.len() + self.mail.len()) * std::mem::size_of::<f32>()
+            + (self.mem_ts.len() + self.mail_ts.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Direct access to the full memory matrix (evaluation sweeps).
+    pub fn mem_matrix(&self) -> &Matrix {
+        &self.mem
+    }
+
+    /// Direct access to all memory timestamps.
+    pub fn mem_ts_all(&self) -> &[f32] {
+        &self.mem_ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_of(nodes: Vec<u32>, d_mem: usize, mail_dim: usize, fill: f32, ts: f32) -> MemoryWrite {
+        let n = nodes.len();
+        MemoryWrite {
+            nodes,
+            mem: Matrix::full(n, d_mem, fill),
+            mem_ts: vec![ts; n],
+            mail: Matrix::full(n, mail_dim, fill * 2.0),
+            mail_ts: vec![ts + 1.0; n],
+        }
+    }
+
+    #[test]
+    fn fresh_store_reads_zeros() {
+        let s = MemoryState::new(5, 3, 7);
+        let r = s.read(&[0, 4, 2]);
+        assert_eq!(r.mem.shape(), (3, 3));
+        assert_eq!(r.mail.shape(), (3, 7));
+        assert!(r.mem.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(r.mem_ts, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = MemoryState::new(5, 2, 4);
+        s.write(&write_of(vec![1, 3], 2, 4, 0.5, 10.0));
+        let r = s.read(&[3, 1, 0]);
+        assert_eq!(r.mem.row(0), &[0.5, 0.5]);
+        assert_eq!(r.mem.row(1), &[0.5, 0.5]);
+        assert_eq!(r.mem.row(2), &[0.0, 0.0]);
+        assert_eq!(r.mem_ts, vec![10.0, 10.0, 0.0]);
+        assert_eq!(r.mail_ts, vec![11.0, 11.0, 0.0]);
+    }
+
+    #[test]
+    fn duplicate_write_last_wins() {
+        let mut s = MemoryState::new(3, 1, 1);
+        let w = MemoryWrite {
+            nodes: vec![2, 2],
+            mem: Matrix::from_vec(2, 1, vec![1.0, 9.0]),
+            mem_ts: vec![1.0, 2.0],
+            mail: Matrix::from_vec(2, 1, vec![10.0, 90.0]),
+            mail_ts: vec![1.0, 2.0],
+        };
+        s.write(&w);
+        let r = s.read(&[2]);
+        assert_eq!(r.mem.get(0, 0), 9.0);
+        assert_eq!(r.mail.get(0, 0), 90.0);
+        assert_eq!(r.mem_ts[0], 2.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = MemoryState::new(4, 2, 2);
+        s.write(&write_of(vec![0, 1, 2, 3], 2, 2, 1.0, 5.0));
+        s.reset();
+        let r = s.read(&[0, 1, 2, 3]);
+        assert!(r.mem.as_slice().iter().all(|&v| v == 0.0));
+        assert!(r.mail.as_slice().iter().all(|&v| v == 0.0));
+        assert!(r.mem_ts.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bytes_scales_with_nodes() {
+        let a = MemoryState::new(100, 10, 20).bytes();
+        let b = MemoryState::new(200, 10, 20).bytes();
+        assert_eq!(b, a * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "write: d_mem")]
+    fn write_width_mismatch_panics() {
+        let mut s = MemoryState::new(3, 2, 2);
+        s.write(&write_of(vec![0], 3, 2, 1.0, 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: the memory daemon must be observationally
+//! equivalent to a sequential replay of the same serialized request
+//! order, for arbitrary write contents and (i, j) group shapes.
+
+use disttgl_mem::{MemoryDaemon, MemoryState, MemoryWrite};
+use disttgl_tensor::Matrix;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Step {
+    node: u32,
+    value: f32,
+    ts: f32,
+}
+
+fn steps(n: usize, nodes: u32) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0..nodes, -10.0f32..10.0, 0.0f32..100.0)
+            .prop_map(|(node, value, ts)| Step { node, value, ts }),
+        n..=n,
+    )
+}
+
+fn write_of(step: &Step, d_mem: usize, mail_dim: usize) -> MemoryWrite {
+    MemoryWrite {
+        nodes: vec![step.node],
+        mem: Matrix::full(1, d_mem, step.value),
+        mem_ts: vec![step.ts],
+        mail: Matrix::full(1, mail_dim, step.value * 2.0),
+        mail_ts: vec![step.ts],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-rank daemon ≡ plain MemoryState for any request stream.
+    #[test]
+    fn daemon_equals_sequential_replay(script in steps(8, 6)) {
+        let (d_mem, mail_dim, nodes) = (3usize, 4usize, 6usize);
+        let daemon = MemoryDaemon::spawn(
+            MemoryState::new(nodes, d_mem, mail_dim), 1, 1, script.len(), 1,
+        );
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(nodes, d_mem, mail_dim);
+        for step in &script {
+            let got = client.read(&[step.node]);
+            let want = reference.read(&[step.node]);
+            prop_assert_eq!(got.mem, want.mem);
+            prop_assert_eq!(got.mail_ts, want.mail_ts);
+            client.write(write_of(step, d_mem, mail_dim));
+            reference.write(&write_of(step, d_mem, mail_dim));
+        }
+        let (state, stats) = daemon.join();
+        let all: Vec<u32> = (0..nodes as u32).collect();
+        prop_assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+        prop_assert_eq!(stats.writes_served as usize, script.len());
+    }
+
+    /// j-subgroup daemon with threads ≡ sequential replay in the
+    /// serialized turn order, for arbitrary write contents.
+    #[test]
+    fn multi_subgroup_daemon_equals_turn_order_replay(script in steps(12, 8), j in 2usize..4) {
+        let (d_mem, mail_dim, nodes) = (2usize, 3usize, 8usize);
+        let turns = script.len();
+        let daemon = MemoryDaemon::spawn(
+            MemoryState::new(nodes, d_mem, mail_dim), 1, j, turns, 1,
+        );
+        // Rank r serves turns t ≡ r (mod j); thread per rank.
+        let mut handles = Vec::new();
+        for rank in 0..j {
+            let client = daemon.client(rank);
+            let mine: Vec<(usize, Step)> = script
+                .iter()
+                .cloned()
+                .enumerate()
+                .filter(|(t, _)| t % j == rank)
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                for (_, step) in mine {
+                    let _ = client.read(&[step.node]);
+                    client.write(write_of(&step, 2, 3));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (state, _) = daemon.join();
+
+        let mut reference = MemoryState::new(nodes, d_mem, mail_dim);
+        for step in &script {
+            let _ = reference.read(&[step.node]);
+            reference.write(&write_of(step, d_mem, mail_dim));
+        }
+        let all: Vec<u32> = (0..nodes as u32).collect();
+        prop_assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+        prop_assert_eq!(state.read(&all).mail, reference.read(&all).mail);
+    }
+
+    /// Reads never tear: a read returns, for every node, a (mem, mail)
+    /// pair written by one single write (here: value and 2·value).
+    #[test]
+    fn reads_are_atomic_pairs(script in steps(10, 4)) {
+        let (d_mem, mail_dim, nodes) = (2usize, 2usize, 4usize);
+        let daemon = MemoryDaemon::spawn(
+            MemoryState::new(nodes, d_mem, mail_dim), 1, 1, script.len(), 1,
+        );
+        let client = daemon.client(0);
+        for step in &script {
+            let r = client.read(&[step.node]);
+            let mem_v = r.mem.get(0, 0);
+            let mail_v = r.mail.get(0, 0);
+            prop_assert!((mail_v - 2.0 * mem_v).abs() < 1e-5,
+                "torn read: mem {} mail {}", mem_v, mail_v);
+            client.write(write_of(step, d_mem, mail_dim));
+        }
+        let _ = daemon.join();
+    }
+
+    /// Epoch resets zero the state between epochs for any script.
+    #[test]
+    fn epoch_resets_between_epochs(script in steps(4, 4)) {
+        let (d_mem, mail_dim) = (2usize, 2usize);
+        let daemon = MemoryDaemon::spawn(
+            MemoryState::new(4, d_mem, mail_dim), 1, 1, script.len(), 2,
+        );
+        let client = daemon.client(0);
+        for epoch in 0..2 {
+            for (t, step) in script.iter().enumerate() {
+                let r = client.read(&[step.node]);
+                if t == 0 || script[..t].iter().all(|s| s.node != step.node) {
+                    // First touch of the node this epoch must read zero.
+                    prop_assert_eq!(r.mem.get(0, 0), 0.0, "epoch {} step {}", epoch, t);
+                }
+                client.write(write_of(step, d_mem, mail_dim));
+            }
+        }
+        let _ = daemon.join();
+    }
+}

@@ -1,0 +1,178 @@
+//! Adam optimizer (Kingma & Ba), the optimizer used by TGN, TGL, and
+//! DistTGL. One instance per trainer replica; state is indexed in
+//! lock-step with the [`ParamSet`] registration order.
+
+use crate::param::ParamSet;
+use disttgl_tensor::Matrix;
+
+/// Adam optimizer state.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// First-moment estimates, aligned with the ParamSet.
+    m: Vec<Matrix>,
+    /// Second-moment estimates.
+    v: Vec<Matrix>,
+    /// Step counter for bias correction.
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam state shaped after `params` with standard defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8, no weight decay).
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        let m = (0..params.len())
+            .map(|i| {
+                let (r, c) = params.get(i).w.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m, v, t: 0 }
+    }
+
+    /// Sets the learning rate (the paper scales LR linearly with the
+    /// global batch size, so schedulers adjust it per configuration).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Enables decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of optimizer steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update from the gradients accumulated in
+    /// `params` and leaves the gradients untouched (callers zero them).
+    ///
+    /// # Panics
+    /// Panics if `params` was grown since construction.
+    pub fn step(&mut self, params: &mut ParamSet) {
+        assert_eq!(params.len(), self.m.len(), "Adam: param count changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let p = params.get_mut(i);
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let lr = self.lr;
+            let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+            for (((wv, &gv), mv), vv) in p
+                .w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.g.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                let g = gv + wd * *wv;
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *wv -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_tensor::seeded_rng;
+
+    /// Minimizes f(w) = (w − 3)² and checks convergence to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::zeros(1, 1));
+        let mut adam = Adam::new(&ps, 0.1);
+        for _ in 0..500 {
+            let w = ps.get(0).w.get(0, 0);
+            ps.zero_grads();
+            ps.get_mut(0).g.set(0, 0, 2.0 * (w - 3.0));
+            adam.step(&mut ps);
+        }
+        let w = ps.get(0).w.get(0, 0);
+        assert!((w - 3.0).abs() < 1e-2, "w = {}", w);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    /// First step size equals lr regardless of gradient magnitude
+    /// (Adam's scale invariance after bias correction).
+    #[test]
+    fn first_step_is_lr_sized() {
+        for scale in [1e-3, 1.0, 1e3] {
+            let mut ps = ParamSet::new();
+            ps.register("w", Matrix::zeros(1, 1));
+            let mut adam = Adam::new(&ps, 0.05);
+            ps.get_mut(0).g.set(0, 0, scale);
+            adam.step(&mut ps);
+            let w = ps.get(0).w.get(0, 0);
+            assert!((w + 0.05).abs() < 1e-4, "scale {}: w {}", scale, w);
+        }
+    }
+
+    #[test]
+    fn zero_gradient_is_noop() {
+        let mut rng = seeded_rng(3);
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::uniform(2, 2, 1.0, &mut rng));
+        let before = ps.get(0).w.clone();
+        let mut adam = Adam::new(&ps, 0.1);
+        ps.zero_grads();
+        adam.step(&mut ps);
+        // With m = v = 0 and g = 0 the update is exactly zero.
+        assert_eq!(ps.get(0).w, before);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::full(1, 1, 5.0));
+        let mut adam = Adam::new(&ps, 0.01).with_weight_decay(0.1);
+        for _ in 0..200 {
+            ps.zero_grads();
+            adam.step(&mut ps);
+        }
+        assert!(ps.get(0).w.get(0, 0) < 5.0);
+    }
+
+    #[test]
+    fn identical_replicas_stay_identical() {
+        // Two Adam instances fed identical gradients must produce
+        // identical weights — the invariant distributed training
+        // relies on after all-reduce.
+        let mut rng = seeded_rng(17);
+        let init = Matrix::uniform(3, 3, 1.0, &mut rng);
+        let grad = Matrix::uniform(3, 3, 1.0, &mut rng);
+        let mut ps1 = ParamSet::new();
+        ps1.register("w", init.clone());
+        let mut ps2 = ParamSet::new();
+        ps2.register("w", init);
+        let mut a1 = Adam::new(&ps1, 0.01);
+        let mut a2 = Adam::new(&ps2, 0.01);
+        for _ in 0..10 {
+            ps1.get_mut(0).g = grad.clone();
+            ps2.get_mut(0).g = grad.clone();
+            a1.step(&mut ps1);
+            a2.step(&mut ps2);
+        }
+        assert_eq!(ps1.get(0).w, ps2.get(0).w);
+    }
+}

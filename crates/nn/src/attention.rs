@@ -1,0 +1,346 @@
+//! Single-layer temporal graph attention — Eq. 4–7 of the paper.
+//!
+//! ```text
+//! q  = Wq·{s_v || Φ(0)} + bq                         (per root)
+//! K  = Wk·{S_w || E_vw || Φ(Δt)} + bk                (per neighbor)
+//! V  = Wv·{S_w || E_vw || Φ(Δt)} + bv
+//! h_v = softmax(q·Kᵀ / sqrt(|N_v|)) · V
+//! ```
+//!
+//! The layer is batched with a **fixed neighbor slot count** `N` per
+//! root (TGN-attn samples the 10 most recent neighbors); roots with
+//! fewer neighbors mask the empty slots (score −1e9 → weight ≈ 0) and
+//! the scale factor uses the *actual* neighbor count, matching the
+//! paper's `sqrt(|N_v|)`. Roots with zero neighbors output zeros.
+
+use crate::linear::{Linear, LinearCache};
+use crate::param::ParamSet;
+use disttgl_tensor::Matrix;
+use rand::Rng;
+
+/// Temporal attention layer. `q_dim = d_mem + d_time`,
+/// `kv_dim = d_mem + d_edge + d_time`, output width `d_head`.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalAttention {
+    w_q: Linear,
+    w_k: Linear,
+    w_v: Linear,
+    n_slots: usize,
+    d_head: usize,
+}
+
+/// Forward state for the backward pass.
+pub struct AttentionCache {
+    q_cache: LinearCache,
+    k_cache: LinearCache,
+    v_cache: LinearCache,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Post-softmax attention weights, `B × N`.
+    attn: Matrix,
+    /// Actual neighbor count per root.
+    counts: Vec<usize>,
+}
+
+impl TemporalAttention {
+    /// Registers Wq/Wk/Wv (+biases) in `params`.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        q_dim: usize,
+        kv_dim: usize,
+        d_head: usize,
+        n_slots: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_slots >= 1, "attention needs at least one neighbor slot");
+        let w_q = Linear::new(params, &format!("{name}.wq"), q_dim, d_head, rng);
+        let w_k = Linear::new(params, &format!("{name}.wk"), kv_dim, d_head, rng);
+        let w_v = Linear::new(params, &format!("{name}.wv"), kv_dim, d_head, rng);
+        Self { w_q, w_k, w_v, n_slots, d_head }
+    }
+
+    /// Neighbor slots per root.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Output width.
+    pub fn d_head(&self) -> usize {
+        self.d_head
+    }
+
+    /// Forward pass.
+    ///
+    /// * `q_feat` — `B × q_dim` root features `{s_v || Φ(0)}`;
+    /// * `kv_feat` — `(B·N) × kv_dim` neighbor features, root-major
+    ///   (root b's slots occupy rows `b·N .. (b+1)·N`);
+    /// * `counts[b]` — number of valid slots for root `b` (valid slots
+    ///   must be the *first* `counts[b]` of the block).
+    ///
+    /// Returns `B × d_head` embeddings and the backward cache.
+    pub fn forward(
+        &self,
+        params: &ParamSet,
+        q_feat: &Matrix,
+        kv_feat: &Matrix,
+        counts: &[usize],
+    ) -> (Matrix, AttentionCache) {
+        let b = q_feat.rows();
+        assert_eq!(counts.len(), b, "attention: counts length");
+        assert_eq!(kv_feat.rows(), b * self.n_slots, "attention: kv rows");
+
+        let (q, q_cache) = self.w_q.forward(params, q_feat);
+        let (k, k_cache) = self.w_k.forward(params, kv_feat);
+        let (v, v_cache) = self.w_v.forward(params, kv_feat);
+
+        // Scores with per-root scaling and masking.
+        let mut scores = Matrix::zeros(b, self.n_slots);
+        for bi in 0..b {
+            let cnt = counts[bi].min(self.n_slots);
+            let scale = if cnt > 0 { 1.0 / (cnt as f32).sqrt() } else { 0.0 };
+            let q_row = q.row(bi);
+            for s in 0..self.n_slots {
+                let val = if s < cnt {
+                    let k_row = k.row(bi * self.n_slots + s);
+                    q_row.iter().zip(k_row).map(|(a, b)| a * b).sum::<f32>() * scale
+                } else {
+                    -1e9
+                };
+                scores.set(bi, s, val);
+            }
+        }
+        let attn = scores.softmax_rows();
+
+        // h = attn · V (per root block), zeroed for isolated roots.
+        let mut h = Matrix::zeros(b, self.d_head);
+        for bi in 0..b {
+            let cnt = counts[bi].min(self.n_slots);
+            if cnt == 0 {
+                continue;
+            }
+            let out = h.row_mut(bi);
+            for s in 0..cnt {
+                let w = attn.get(bi, s);
+                let v_row = v.row(bi * self.n_slots + s);
+                for (o, &vv) in out.iter_mut().zip(v_row) {
+                    *o += w * vv;
+                }
+            }
+        }
+
+        let cache = AttentionCache {
+            q_cache,
+            k_cache,
+            v_cache,
+            q,
+            k,
+            v,
+            attn,
+            counts: counts.to_vec(),
+        };
+        (h, cache)
+    }
+
+    /// Inference-only forward.
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        q_feat: &Matrix,
+        kv_feat: &Matrix,
+        counts: &[usize],
+    ) -> Matrix {
+        self.forward(params, q_feat, kv_feat, counts).0
+    }
+
+    /// Backward pass: accumulates Wq/Wk/Wv gradients and returns
+    /// `(dq_feat, dkv_feat)`.
+    pub fn backward(
+        &self,
+        params: &mut ParamSet,
+        cache: &AttentionCache,
+        dh: &Matrix,
+    ) -> (Matrix, Matrix) {
+        let b = dh.rows();
+        let n = self.n_slots;
+        assert_eq!(dh.cols(), self.d_head, "attention backward: width");
+
+        let mut d_attn = Matrix::zeros(b, n);
+        let mut dv = Matrix::zeros(b * n, self.d_head);
+        for bi in 0..b {
+            let cnt = cache.counts[bi].min(n);
+            if cnt == 0 {
+                continue;
+            }
+            let dh_row = dh.row(bi);
+            for s in 0..cnt {
+                let v_row = cache.v.row(bi * n + s);
+                d_attn.set(bi, s, dh_row.iter().zip(v_row).map(|(a, b)| a * b).sum());
+                let w = cache.attn.get(bi, s);
+                for (d, &g) in dv.row_mut(bi * n + s).iter_mut().zip(dh_row) {
+                    *d += w * g;
+                }
+            }
+        }
+
+        // Softmax backward then undo the score scaling.
+        let d_scores = cache.attn.softmax_rows_backward(&d_attn);
+        let mut dq = Matrix::zeros(b, self.d_head);
+        let mut dk = Matrix::zeros(b * n, self.d_head);
+        for bi in 0..b {
+            let cnt = cache.counts[bi].min(n);
+            if cnt == 0 {
+                continue;
+            }
+            let scale = 1.0 / (cnt as f32).sqrt();
+            for s in 0..cnt {
+                let ds = d_scores.get(bi, s) * scale;
+                let k_row = cache.k.row(bi * n + s);
+                let q_row = cache.q.row(bi);
+                for ((dqv, &kv), (dkv, &qv)) in dq
+                    .row_mut(bi)
+                    .iter_mut()
+                    .zip(k_row)
+                    .zip(dk.row_mut(bi * n + s).iter_mut().zip(q_row))
+                {
+                    *dqv += ds * kv;
+                    *dkv += ds * qv;
+                }
+            }
+        }
+
+        let dq_feat = self.w_q.backward(params, &cache.q_cache, &dq);
+        let dk_feat = self.w_k.backward(params, &cache.k_cache, &dk);
+        let mut dkv_feat = self.w_v.backward(params, &cache.v_cache, &dv);
+        dkv_feat.add_assign(&dk_feat);
+        (dq_feat, dkv_feat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_tensor::seeded_rng;
+
+    fn setup(
+        q_dim: usize,
+        kv_dim: usize,
+        d_head: usize,
+        n: usize,
+        b: usize,
+    ) -> (ParamSet, TemporalAttention, Matrix, Matrix) {
+        let mut rng = seeded_rng(31);
+        let mut ps = ParamSet::new();
+        let att = TemporalAttention::new(&mut ps, "att", q_dim, kv_dim, d_head, n, &mut rng);
+        let qf = Matrix::uniform(b, q_dim, 1.0, &mut rng);
+        let kvf = Matrix::uniform(b * n, kv_dim, 1.0, &mut rng);
+        (ps, att, qf, kvf)
+    }
+
+    #[test]
+    fn shapes_and_isolated_roots() {
+        let (ps, att, qf, kvf) = setup(4, 6, 5, 3, 3);
+        let counts = vec![3, 0, 2];
+        let (h, _) = att.forward(&ps, &qf, &kvf, &counts);
+        assert_eq!(h.shape(), (3, 5));
+        // Isolated root -> zero embedding.
+        assert!(h.row(1).iter().all(|&v| v == 0.0));
+        assert!(h.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn attention_weights_ignore_masked_slots() {
+        let (ps, att, qf, kvf) = setup(4, 6, 5, 4, 1);
+        let (_, cache) = att.forward(&ps, &qf, &kvf, &[2]);
+        // Valid slots carry essentially all mass.
+        let valid: f32 = cache.attn.row(0)[..2].iter().sum();
+        assert!(valid > 0.999, "valid mass {}", valid);
+    }
+
+    #[test]
+    fn single_neighbor_gets_full_weight() {
+        let (ps, att, qf, kvf) = setup(3, 5, 4, 3, 1);
+        let (h, cache) = att.forward(&ps, &qf, &kvf, &[1]);
+        assert!((cache.attn.get(0, 0) - 1.0).abs() < 1e-5);
+        // Output equals V of the single neighbor.
+        for (hv, vv) in h.row(0).iter().zip(cache.v.row(0)) {
+            assert!((hv - vv).abs() < 1e-5);
+        }
+    }
+
+    /// Finite-difference check for all weights and both inputs.
+    #[test]
+    fn gradient_check_full() {
+        let (mut ps, att, qf, kvf) = setup(3, 4, 3, 2, 2);
+        let counts = vec![2, 1];
+        let (h, cache) = att.forward(&ps, &qf, &kvf, &counts);
+        let up = Matrix::from_fn(h.rows(), h.cols(), |r, c| 0.3 + 0.1 * (r + c) as f32);
+        ps.zero_grads();
+        let (dqf, dkvf) = att.backward(&mut ps, &cache, &up);
+
+        let eps = 1e-2;
+        let loss = |p: &ParamSet, q: &Matrix, kv: &Matrix| att.infer(p, q, kv, &counts).dot_flat(&up);
+
+        for idx in 0..ps.len() {
+            let (rows, cols) = ps.get(idx).w.shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = ps.get(idx).w.get(r, c);
+                    ps.get_mut(idx).w.set(r, c, orig + eps);
+                    let fp = loss(&ps, &qf, &kvf);
+                    ps.get_mut(idx).w.set(r, c, orig - eps);
+                    let fm = loss(&ps, &qf, &kvf);
+                    ps.get_mut(idx).w.set(r, c, orig);
+                    let num = (fp - fm) / (2.0 * eps);
+                    let ana = ps.get(idx).g.get(r, c);
+                    assert!(
+                        (num - ana).abs() < 3e-2 * (1.0 + ana.abs()),
+                        "param {} [{r},{c}]: {num} vs {ana}",
+                        ps.name(idx)
+                    );
+                }
+            }
+        }
+        for r in 0..qf.rows() {
+            for c in 0..qf.cols() {
+                let mut p = qf.clone();
+                p.set(r, c, qf.get(r, c) + eps);
+                let mut m = qf.clone();
+                m.set(r, c, qf.get(r, c) - eps);
+                let num = (loss(&ps, &p, &kvf) - loss(&ps, &m, &kvf)) / (2.0 * eps);
+                assert!(
+                    (num - dqf.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "dqf[{r},{c}]: {num} vs {}",
+                    dqf.get(r, c)
+                );
+            }
+        }
+        for r in 0..kvf.rows() {
+            for c in 0..kvf.cols() {
+                let mut p = kvf.clone();
+                p.set(r, c, kvf.get(r, c) + eps);
+                let mut m = kvf.clone();
+                m.set(r, c, kvf.get(r, c) - eps);
+                let num = (loss(&ps, &qf, &p) - loss(&ps, &qf, &m)) / (2.0 * eps);
+                assert!(
+                    (num - dkvf.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "dkvf[{r},{c}]: {num} vs {}",
+                    dkvf.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_slots_get_no_gradient() {
+        let (mut ps, att, qf, kvf) = setup(3, 4, 3, 3, 1);
+        let (h, cache) = att.forward(&ps, &qf, &kvf, &[1]);
+        let up = Matrix::full(h.rows(), h.cols(), 1.0);
+        let (_, dkvf) = att.backward(&mut ps, &cache, &up);
+        // Slots 1 and 2 are masked; their feature gradients must be ~0.
+        assert!(dkvf.row(1).iter().all(|v| v.abs() < 1e-6));
+        assert!(dkvf.row(2).iter().all(|v| v.abs() < 1e-6));
+        assert!(dkvf.row(0).iter().any(|v| v.abs() > 1e-6));
+    }
+}

@@ -1,0 +1,336 @@
+//! GRU cell — the `UPDT` function of Eq. 3 in the paper.
+//!
+//! `s_u = UPDT(s_u, m_u)` where the mail `m_u` is the input and the node
+//! memory `s_u` is the hidden state. Matching TGN-attn, gradients do
+//! **not** flow back through time: the backward pass returns the
+//! gradient w.r.t. the mail input and (optionally, for tests) w.r.t. the
+//! incoming hidden state, but the training loop never chains the latter
+//! into a previous step.
+//!
+//! Gate equations (PyTorch `GRUCell` convention):
+//! ```text
+//! r  = σ(x·Wirᵀ + bir + h·Whrᵀ + bhr)
+//! z  = σ(x·Wizᵀ + biz + h·Whzᵀ + bhz)
+//! n  = tanh(x·Winᵀ + bin + r ⊙ (h·Whnᵀ + bhn))
+//! h' = (1 − z) ⊙ n + z ⊙ h
+//! ```
+
+use crate::param::ParamSet;
+use disttgl_tensor::Matrix;
+use rand::Rng;
+
+/// GRU cell parameter indices within a [`ParamSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct GruCell {
+    w_ir: usize,
+    w_iz: usize,
+    w_in: usize,
+    w_hr: usize,
+    w_hz: usize,
+    w_hn: usize,
+    b_ir: usize,
+    b_iz: usize,
+    b_in: usize,
+    b_hr: usize,
+    b_hz: usize,
+    b_hn: usize,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Forward activations saved for the backward pass.
+pub struct GruCache {
+    x: Matrix,
+    h: Matrix,
+    r: Matrix,
+    z: Matrix,
+    n: Matrix,
+    /// `a = h·Whnᵀ + bhn`, the candidate's hidden-side pre-activation.
+    a: Matrix,
+}
+
+impl GruCell {
+    /// Registers all 6 weight matrices and 6 biases (PyTorch
+    /// `1/sqrt(hidden)` uniform init).
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut wi = |p: &mut ParamSet, gate: &str| {
+            p.register(
+                &format!("{name}.w_i{gate}"),
+                Matrix::gru_uniform(hidden_dim, input_dim, hidden_dim, rng),
+            )
+        };
+        let w_ir = wi(params, "r");
+        let w_iz = wi(params, "z");
+        let w_in = wi(params, "n");
+        let mut wh = |p: &mut ParamSet, gate: &str| {
+            p.register(
+                &format!("{name}.w_h{gate}"),
+                Matrix::gru_uniform(hidden_dim, hidden_dim, hidden_dim, rng),
+            )
+        };
+        let w_hr = wh(params, "r");
+        let w_hz = wh(params, "z");
+        let w_hn = wh(params, "n");
+        let b = |p: &mut ParamSet, which: &str| {
+            p.register(&format!("{name}.b_{which}"), Matrix::zeros(1, hidden_dim))
+        };
+        let b_ir = b(params, "ir");
+        let b_iz = b(params, "iz");
+        let b_in = b(params, "in");
+        let b_hr = b(params, "hr");
+        let b_hz = b(params, "hz");
+        let b_hn = b(params, "hn");
+        Self {
+            w_ir,
+            w_iz,
+            w_in,
+            w_hr,
+            w_hz,
+            w_hn,
+            b_ir,
+            b_iz,
+            b_in,
+            b_hr,
+            b_hz,
+            b_hn,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Mail (input) width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Node-memory (hidden) width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    fn gate(
+        &self,
+        params: &ParamSet,
+        x: &Matrix,
+        h: &Matrix,
+        wi: usize,
+        bi: usize,
+        wh: usize,
+        bh: usize,
+    ) -> Matrix {
+        let mut pre = x.matmul_transpose_b(&params.get(wi).w);
+        pre.add_row_broadcast(&params.get(bi).w);
+        let mut hside = h.matmul_transpose_b(&params.get(wh).w);
+        hside.add_row_broadcast(&params.get(bh).w);
+        pre.add_assign(&hside);
+        pre
+    }
+
+    /// Forward step: returns `(h', cache)`.
+    ///
+    /// # Panics
+    /// Panics on input/hidden width mismatch.
+    pub fn forward(&self, params: &ParamSet, x: &Matrix, h: &Matrix) -> (Matrix, GruCache) {
+        assert_eq!(x.cols(), self.input_dim, "GruCell: input width");
+        assert_eq!(h.cols(), self.hidden_dim, "GruCell: hidden width");
+        assert_eq!(x.rows(), h.rows(), "GruCell: batch mismatch");
+
+        let r = self
+            .gate(params, x, h, self.w_ir, self.b_ir, self.w_hr, self.b_hr)
+            .sigmoid();
+        let z = self
+            .gate(params, x, h, self.w_iz, self.b_iz, self.w_hz, self.b_hz)
+            .sigmoid();
+        let mut a = h.matmul_transpose_b(&params.get(self.w_hn).w);
+        a.add_row_broadcast(&params.get(self.b_hn).w);
+        let mut n_pre = x.matmul_transpose_b(&params.get(self.w_in).w);
+        n_pre.add_row_broadcast(&params.get(self.b_in).w);
+        n_pre.add_assign(&r.hadamard(&a));
+        let n = n_pre.tanh();
+
+        // h' = (1 − z) ⊙ n + z ⊙ h
+        let mut h_new = n.clone();
+        h_new.sub_assign(&z.hadamard(&n));
+        h_new.add_assign(&z.hadamard(h));
+
+        let cache = GruCache { x: x.clone(), h: h.clone(), r, z, n, a };
+        (h_new, cache)
+    }
+
+    /// Inference-only forward (drops the cache).
+    pub fn infer(&self, params: &ParamSet, x: &Matrix, h: &Matrix) -> Matrix {
+        self.forward(params, x, h).0
+    }
+
+    /// Backward step. Accumulates weight/bias gradients and returns
+    /// `(dx, dh)` — the training loop uses `dx` (mail path) and discards
+    /// `dh` per the no-BPTT rule of M-TGNN training.
+    pub fn backward(
+        &self,
+        params: &mut ParamSet,
+        cache: &GruCache,
+        dh_new: &Matrix,
+    ) -> (Matrix, Matrix) {
+        let GruCache { x, h, r, z, n, a } = cache;
+
+        // h' = (1 − z) ⊙ n + z ⊙ h
+        let dz = dh_new.hadamard(&h.sub(n));
+        let dn = dh_new.hadamard(&z.map(|v| 1.0 - v));
+        let mut dh = dh_new.hadamard(z);
+
+        // Through tanh: n = tanh(n_pre)
+        let dn_pre = dn.hadamard(&n.tanh_deriv_from_output());
+        // n_pre = x·Winᵀ + bin + r ⊙ a
+        let dr = dn_pre.hadamard(a);
+        let da = dn_pre.hadamard(r);
+        // Through sigmoids.
+        let dr_pre = dr.hadamard(&r.sigmoid_deriv_from_output());
+        let dz_pre = dz.hadamard(&z.sigmoid_deriv_from_output());
+
+        // Weight gradients (dW = dpreᵀ·input) and input gradients.
+        let acc = |p: &mut ParamSet, dpre: &Matrix, wi: usize, bi: usize, inp: &Matrix| {
+            let dw = dpre.matmul_transpose_a(inp);
+            p.get_mut(wi).g.add_assign(&dw);
+            let db = dpre.sum_rows();
+            p.get_mut(bi).g.add_assign(&db);
+            dpre.matmul(&p.get(wi).w)
+        };
+
+        let mut dx = acc(params, &dr_pre, self.w_ir, self.b_ir, x);
+        dx.add_assign(&acc(params, &dz_pre, self.w_iz, self.b_iz, x));
+        dx.add_assign(&acc(params, &dn_pre, self.w_in, self.b_in, x));
+
+        dh.add_assign(&acc(params, &dr_pre, self.w_hr, self.b_hr, h));
+        dh.add_assign(&acc(params, &dz_pre, self.w_hz, self.b_hz, h));
+        dh.add_assign(&acc(params, &da, self.w_hn, self.b_hn, h));
+
+        (dx, dh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_tensor::seeded_rng;
+
+    fn setup(input: usize, hidden: usize, batch: usize) -> (ParamSet, GruCell, Matrix, Matrix) {
+        let mut rng = seeded_rng(21);
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "gru", input, hidden, &mut rng);
+        let x = Matrix::uniform(batch, input, 1.0, &mut rng);
+        let h = Matrix::uniform(batch, hidden, 1.0, &mut rng);
+        (ps, cell, x, h)
+    }
+
+    #[test]
+    fn output_shape_and_range() {
+        let (ps, cell, x, h) = setup(5, 3, 4);
+        let (h2, _) = cell.forward(&ps, &x, &h);
+        assert_eq!(h2.shape(), (4, 3));
+        // h' is a convex combination of tanh output and previous h, so
+        // it is bounded by max(|h|, 1).
+        let bound = h.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs())) + 1e-5;
+        assert!(h2.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn zero_update_gate_keeps_candidate() {
+        // With z forced towards 0 (large negative bias), h' ≈ n.
+        let (mut ps, cell, x, h) = setup(4, 3, 2);
+        let biz = ps.index_of("gru.b_iz").unwrap();
+        ps.get_mut(biz).w.fill(-50.0);
+        let (h2, cache) = cell.forward(&ps, &x, &h);
+        for (hv, nv) in h2.as_slice().iter().zip(cache.n.as_slice()) {
+            assert!((hv - nv).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn full_update_gate_keeps_memory() {
+        // With z forced towards 1, h' ≈ h (memory passes through).
+        let (mut ps, cell, x, h) = setup(4, 3, 2);
+        let biz = ps.index_of("gru.b_iz").unwrap();
+        ps.get_mut(biz).w.fill(50.0);
+        let (h2, _) = cell.forward(&ps, &x, &h);
+        for (h2v, hv) in h2.as_slice().iter().zip(h.as_slice()) {
+            assert!((h2v - hv).abs() < 1e-4);
+        }
+    }
+
+    /// Finite-difference check of every weight gradient plus dx and dh.
+    #[test]
+    fn gradient_check_full() {
+        let (mut ps, cell, x, h) = setup(3, 2, 2);
+        let (y, cache) = cell.forward(&ps, &x, &h);
+        let ones = Matrix::full(y.rows(), y.cols(), 1.0);
+        ps.zero_grads();
+        let (dx, dh) = cell.backward(&mut ps, &cache, &ones);
+
+        let eps = 1e-2;
+        let loss = |p: &ParamSet, xx: &Matrix, hh: &Matrix| cell.infer(p, xx, hh).sum();
+
+        // All registered parameters.
+        for idx in 0..ps.len() {
+            let (rows, cols) = ps.get(idx).w.shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = ps.get(idx).w.get(r, c);
+                    ps.get_mut(idx).w.set(r, c, orig + eps);
+                    let fp = loss(&ps, &x, &h);
+                    ps.get_mut(idx).w.set(r, c, orig - eps);
+                    let fm = loss(&ps, &x, &h);
+                    ps.get_mut(idx).w.set(r, c, orig);
+                    let num = (fp - fm) / (2.0 * eps);
+                    let ana = ps.get(idx).g.get(r, c);
+                    assert!(
+                        (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                        "param {} [{r},{c}]: numeric {num} vs analytic {ana}",
+                        ps.name(idx)
+                    );
+                }
+            }
+        }
+        // dx
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&ps, &xp, &h) - loss(&ps, &xm, &h)) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 2e-2 * (1.0 + num.abs()),
+                    "dx[{r},{c}]"
+                );
+            }
+        }
+        // dh
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                let mut hp = h.clone();
+                hp.set(r, c, h.get(r, c) + eps);
+                let mut hm = h.clone();
+                hm.set(r, c, h.get(r, c) - eps);
+                let num = (loss(&ps, &x, &hp) - loss(&ps, &x, &hm)) / (2.0 * eps);
+                assert!(
+                    (num - dh.get(r, c)).abs() < 2e-2 * (1.0 + num.abs()),
+                    "dh[{r},{c}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ps1, cell1, x1, h1) = setup(4, 3, 2);
+        let (ps2, cell2, x2, h2) = setup(4, 3, 2);
+        assert_eq!(x1, x2);
+        assert_eq!(cell1.infer(&ps1, &x1, &h1), cell2.infer(&ps2, &x2, &h2));
+    }
+}

@@ -1,0 +1,39 @@
+//! # disttgl-nn
+//!
+//! Neural-network modules for the DistTGL reproduction, each with a
+//! **hand-written backward pass** (no autograd engine — the model is
+//! small and fixed, so explicit gradients are simpler, faster, and
+//! testable against finite differences).
+//!
+//! The module set is exactly what TGN-attn + DistTGL's enhancements
+//! need (paper §2.1, §3.1):
+//!
+//! * [`Linear`] — affine layer;
+//! * [`GruCell`] — the `UPDT` node-memory updater (Eq. 3);
+//! * [`TimeEncoding`] — Φ(Δt) = cos(ω·Δt + φ) (Xu et al. 2020);
+//! * [`TemporalAttention`] — the one-layer attention aggregator (Eq. 4–7);
+//! * [`EdgePredictor`] — MLP link-probability decoder;
+//! * [`EdgeClassifier`] — multi-label head for the GDELT-style task;
+//! * [`Adam`] — the optimizer used by TGN/TGL/DistTGL;
+//! * [`loss`] — BCE-with-logits and multi-label losses.
+//!
+//! Every parameter lives in a [`ParamSet`] so trainer threads can
+//! flatten gradients into a single vector for the simulated NCCL
+//! all-reduce in `disttgl-cluster`.
+
+mod adam;
+mod attention;
+mod gru;
+mod linear;
+pub mod loss;
+mod param;
+mod predictor;
+mod time_encoding;
+
+pub use adam::Adam;
+pub use attention::{AttentionCache, TemporalAttention};
+pub use gru::{GruCache, GruCell};
+pub use linear::{Linear, LinearCache};
+pub use param::{Param, ParamSet};
+pub use predictor::{EdgeClassifier, EdgePredictor, PredictorCache};
+pub use time_encoding::TimeEncoding;

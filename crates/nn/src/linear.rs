@@ -1,0 +1,169 @@
+//! Affine layer `Y = X·Wᵀ + b` with manual backward.
+//!
+//! Weights are stored `out × in` (PyTorch convention) so the forward
+//! uses the fused `matmul_transpose_b` kernel.
+
+use crate::param::ParamSet;
+use disttgl_tensor::Matrix;
+use rand::Rng;
+
+/// A linear (affine) layer. Parameters live in an external [`ParamSet`];
+/// the struct holds only their indices, so model structs stay `Clone`-free
+/// and cheap while the flat gradient layout stays deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    w: usize,
+    b: usize,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Saved forward activations needed by the backward pass.
+pub struct LinearCache {
+    /// The forward input `X` (batch × in_dim).
+    pub input: Matrix,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weight and zero bias,
+    /// registering both in `params` under `name.w` / `name.b`.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = params.register(&format!("{name}.w"), Matrix::xavier_uniform(out_dim, in_dim, rng));
+        let b = params.register(&format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass: returns `X·Wᵀ + b` and the cache for backward.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, params: &ParamSet, x: &Matrix) -> (Matrix, LinearCache) {
+        assert_eq!(x.cols(), self.in_dim, "Linear::forward: input width");
+        let mut y = x.matmul_transpose_b(&params.get(self.w).w);
+        y.add_row_broadcast(&params.get(self.b).w);
+        (y, LinearCache { input: x.clone() })
+    }
+
+    /// Inference-only forward (no cache clone).
+    pub fn infer(&self, params: &ParamSet, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "Linear::infer: input width");
+        let mut y = x.matmul_transpose_b(&params.get(self.w).w);
+        y.add_row_broadcast(&params.get(self.b).w);
+        y
+    }
+
+    /// Backward pass: accumulates `dW += dYᵀ·X`, `db += Σ_rows dY` and
+    /// returns `dX = dY·W`.
+    pub fn backward(&self, params: &mut ParamSet, cache: &LinearCache, dy: &Matrix) -> Matrix {
+        assert_eq!(dy.cols(), self.out_dim, "Linear::backward: grad width");
+        let dw = dy.matmul_transpose_a(&cache.input);
+        params.get_mut(self.w).g.add_assign(&dw);
+        let db = dy.sum_rows();
+        params.get_mut(self.b).g.add_assign(&db);
+        dy.matmul(&params.get(self.w).w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disttgl_tensor::seeded_rng;
+
+    /// Finite-difference gradient check of the full layer.
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = seeded_rng(11);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 3, 2, &mut rng);
+        let x = Matrix::uniform(4, 3, 1.0, &mut rng);
+        // Loss = sum of outputs (upstream gradient of ones).
+        let (y, cache) = layer.forward(&ps, &x);
+        let ones = Matrix::full(y.rows(), y.cols(), 1.0);
+        let dx = layer.backward(&mut ps, &cache, &ones);
+
+        let eps = 1e-3;
+        // Check dW numerically.
+        let widx = ps.index_of("l.w").unwrap();
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = ps.get(widx).w.get(r, c);
+                ps.get_mut(widx).w.set(r, c, orig + eps);
+                let fp = layer.infer(&ps, &x).sum();
+                ps.get_mut(widx).w.set(r, c, orig - eps);
+                let fm = layer.infer(&ps, &x).sum();
+                ps.get_mut(widx).w.set(r, c, orig);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = ps.get(widx).g.get(r, c);
+                assert!((num - ana).abs() < 1e-2, "dW[{r},{c}]: {num} vs {ana}");
+            }
+        }
+        // Check dX numerically.
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (layer.infer(&ps, &xp).sum() - layer.infer(&ps, &xm).sum()) / (2.0 * eps);
+                let ana = dx.get(r, c);
+                assert!((num - ana).abs() < 1e-2, "dX[{r},{c}]: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_row_count() {
+        let mut rng = seeded_rng(5);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 2, 2, &mut rng);
+        let x = Matrix::zeros(7, 2);
+        let (y, cache) = layer.forward(&ps, &x);
+        let ones = Matrix::full(y.rows(), y.cols(), 1.0);
+        layer.backward(&mut ps, &cache, &ones);
+        let bidx = ps.index_of("l.b").unwrap();
+        // d(sum)/db_j = batch size.
+        assert!(ps.get(bidx).g.as_slice().iter().all(|&v| (v - 7.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn forward_matches_infer() {
+        let mut rng = seeded_rng(9);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 5, 3, &mut rng);
+        let x = Matrix::uniform(2, 5, 2.0, &mut rng);
+        let (y, _) = layer.forward(&ps, &x);
+        assert_eq!(y, layer.infer(&ps, &x));
+        assert_eq!(y.shape(), (2, 3));
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut rng = seeded_rng(13);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 2, 1, &mut rng);
+        let x = Matrix::full(1, 2, 1.0);
+        let dy = Matrix::full(1, 1, 1.0);
+        let (_, cache) = layer.forward(&ps, &x);
+        layer.backward(&mut ps, &cache, &dy);
+        let g1 = ps.get(0).g.clone();
+        layer.backward(&mut ps, &cache, &dy);
+        let g2 = ps.get(0).g.clone();
+        assert_eq!(g2, g1.scaled(2.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Loss functions returning `(mean loss, dlogits)` pairs.
+//!
+//! The gradient is w.r.t. the *logits* (the numerically stable fused
+//! form), already divided by the batch size, so callers feed it
+//! straight into the decoder backward pass.
+
+use disttgl_tensor::{sigmoid_scalar, Matrix};
+
+/// Binary cross-entropy with logits.
+///
+/// `targets` entries must be 0.0 or 1.0. Returns the mean loss and the
+/// per-element gradient `(σ(x) − y) / B`.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "bce: shape mismatch");
+    let n = logits.len() as f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for ((g, &x), &y) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(logits.as_slice())
+        .zip(targets.as_slice())
+    {
+        // Stable: max(x,0) − x·y + ln(1 + e^{−|x|})
+        loss += x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        *g = (sigmoid_scalar(x) - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Link-prediction loss on 1 positive + `neg` negative logits per event:
+/// positives packed in `pos` (`B × 1`), negatives in `neg` (`B·K × 1`).
+/// Returns `(mean loss, dpos, dneg)`.
+///
+/// This mirrors TGN's self-supervised objective: every temporal edge is
+/// a positive example; sampled non-edges at the same timestamp are
+/// negatives.
+pub fn link_prediction_loss(pos: &Matrix, neg: &Matrix) -> (f32, Matrix, Matrix) {
+    let ones = Matrix::full(pos.rows(), pos.cols(), 1.0);
+    let zeros = Matrix::zeros(neg.rows(), neg.cols());
+    let (lp, mut dp) = bce_with_logits(pos, &ones);
+    let (ln, mut dn) = bce_with_logits(neg, &zeros);
+    // Weight the two halves equally regardless of the negative count
+    // (TGN averages positive and negative terms).
+    dp.scale(0.5);
+    dn.scale(0.5);
+    (0.5 * (lp + ln), dp, dn)
+}
+
+/// Multi-label BCE over `B × C` logits with 0/1 targets
+/// (the GDELT-style dynamic edge classification objective).
+pub fn multi_label_bce(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    bce_with_logits(logits, targets)
+}
+
+/// Mean Reciprocal Rank of the positive among `1 + K` candidates.
+///
+/// `pos[b]` is the positive score for event `b`; `neg[b·K .. (b+1)·K]`
+/// are its negatives. Ties count against the positive (pessimistic
+/// rank), so a constant scorer gets MRR ≈ 1/(K+1) rather than 1.
+pub fn mrr(pos: &[f32], neg: &[f32], k: usize) -> f64 {
+    assert!(k > 0, "mrr: need at least one negative");
+    assert_eq!(neg.len(), pos.len() * k, "mrr: negative count");
+    if pos.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (b, &p) in pos.iter().enumerate() {
+        let block = &neg[b * k..(b + 1) * k];
+        let rank = 1 + block.iter().filter(|&&n| n >= p).count();
+        total += 1.0 / rank as f64;
+    }
+    total / pos.len() as f64
+}
+
+/// Micro-averaged F1 for multi-label predictions: a label is predicted
+/// positive when its logit > 0 (σ > 0.5).
+pub fn f1_micro(logits: &Matrix, targets: &Matrix) -> f64 {
+    assert_eq!(logits.shape(), targets.shape(), "f1: shape mismatch");
+    let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
+    for (&x, &y) in logits.as_slice().iter().zip(targets.as_slice()) {
+        let pred = x > 0.0;
+        let actual = y > 0.5;
+        match (pred, actual) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fnn += 1,
+            _ => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fnn) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_predictions_near_zero_loss() {
+        let logits = Matrix::from_vec(2, 1, vec![20.0, -20.0]);
+        let targets = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss < 1e-6, "loss {}", loss);
+        assert!(grad.as_slice().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn bce_uncertain_is_ln2() {
+        let logits = Matrix::zeros(4, 1);
+        let targets = Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]);
+        let (loss, _) = bce_with_logits(&logits, &targets);
+        assert!((loss - 2f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_finite_difference() {
+        let logits = Matrix::from_vec(1, 3, vec![0.7, -1.2, 0.1]);
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, i, logits.get(0, i) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, i, logits.get(0, i) - eps);
+            let num = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - grad.get(0, i)).abs() < 1e-3, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn bce_extreme_logits_stay_finite() {
+        let logits = Matrix::from_vec(1, 2, vec![500.0, -500.0]);
+        let targets = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn mrr_perfect_and_worst() {
+        // Positive always highest.
+        assert_eq!(mrr(&[5.0, 5.0], &[1.0, 2.0, 1.0, 2.0], 2), 1.0);
+        // Positive always lowest among 3 candidates: rank 3.
+        let v = mrr(&[0.0], &[1.0, 2.0], 2);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_ties_are_pessimistic() {
+        let v = mrr(&[1.0], &[1.0, 1.0], 2);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_random_scorer_baseline() {
+        // With 49 negatives scored identically to the positive, MRR is 1/50.
+        let v = mrr(&[0.5], &[0.5; 49], 49);
+        assert!((v - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_micro_perfect_and_empty() {
+        let logits = Matrix::from_vec(2, 2, vec![3.0, -3.0, -3.0, 3.0]);
+        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(f1_micro(&logits, &targets), 1.0);
+        let none = Matrix::from_vec(2, 2, vec![-3.0; 4]);
+        assert_eq!(f1_micro(&none, &targets), 0.0);
+    }
+
+    #[test]
+    fn f1_micro_half_right() {
+        // Predict both labels positive; only one is.
+        let logits = Matrix::from_vec(1, 2, vec![3.0, 3.0]);
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let f1 = f1_micro(&logits, &targets);
+        // precision 0.5, recall 1.0 → F1 = 2/3.
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_loss_pushes_scores_apart() {
+        let pos = Matrix::zeros(2, 1);
+        let neg = Matrix::zeros(4, 1);
+        let (loss, dp, dn) = link_prediction_loss(&pos, &neg);
+        assert!((loss - 2f32.ln()).abs() < 1e-6);
+        // Gradient descent direction: positives up (negative grad),
+        // negatives down (positive grad).
+        assert!(dp.as_slice().iter().all(|&v| v < 0.0));
+        assert!(dn.as_slice().iter().all(|&v| v > 0.0));
+    }
+}

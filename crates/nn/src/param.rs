@@ -1,0 +1,248 @@
+//! Parameter storage shared by all modules.
+//!
+//! A [`Param`] couples a weight matrix with its gradient accumulator.
+//! A [`ParamSet`] provides flat (de)serialization of all gradients and
+//! weights into contiguous `Vec<f32>`s — the unit of exchange for the
+//! simulated NCCL all-reduce (model sync happens once per iteration in
+//! every DistTGL configuration; see paper Table 1, "Synchronization
+//! across trainers").
+
+use disttgl_tensor::Matrix;
+
+/// A learnable weight with its gradient accumulator.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current weight values.
+    pub w: Matrix,
+    /// Gradient accumulated by the module backward passes since the
+    /// last optimizer step.
+    pub g: Matrix,
+}
+
+impl Param {
+    /// Wraps an initialized weight matrix with a zeroed gradient.
+    pub fn new(w: Matrix) -> Self {
+        let g = Matrix::zeros(w.rows(), w.cols());
+        Self { w, g }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when the parameter is empty (zero-sized layer).
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.zero();
+    }
+}
+
+/// A named, ordered collection of parameters.
+///
+/// Modules register their parameters in a fixed order, which makes the
+/// flattened gradient layout identical across trainer replicas — a
+/// precondition for all-reduce.
+#[derive(Default)]
+pub struct ParamSet {
+    params: Vec<(String, Param)>,
+}
+
+impl ParamSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its index.
+    pub fn register(&mut self, name: &str, w: Matrix) -> usize {
+        self.params.push((name.to_string(), Param::new(w)));
+        self.params.len() - 1
+    }
+
+    /// Immutable access by index.
+    pub fn get(&self, idx: usize) -> &Param {
+        &self.params[idx].1
+    }
+
+    /// Mutable access by index.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Param {
+        &mut self.params[idx].1
+    }
+
+    /// Looks up a parameter index by name (test/debug convenience).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|(n, _)| n == name)
+    }
+
+    /// Name of the parameter at `idx`.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.params[idx].0
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for (_, p) in &mut self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Flattens all gradients into one contiguous vector (all-reduce
+    /// payload). Order is registration order.
+    pub fn flatten_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for (_, p) in &self.params {
+            out.extend_from_slice(p.g.as_slice());
+        }
+        out
+    }
+
+    /// Overwrites all gradients from a flat vector produced by
+    /// [`ParamSet::flatten_grads`] (after all-reduce averaging).
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` doesn't match the scalar count.
+    pub fn unflatten_grads(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_scalars(), "unflatten_grads: length mismatch");
+        let mut offset = 0;
+        for (_, p) in &mut self.params {
+            let n = p.g.len();
+            p.g.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Flattens all weights (used to broadcast the initial model so
+    /// every trainer replica starts identical).
+    pub fn flatten_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for (_, p) in &self.params {
+            out.extend_from_slice(p.w.as_slice());
+        }
+        out
+    }
+
+    /// Overwrites all weights from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` doesn't match the scalar count.
+    pub fn unflatten_weights(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_scalars(), "unflatten_weights: length mismatch");
+        let mut offset = 0;
+        for (_, p) in &mut self.params {
+            let n = p.w.len();
+            p.w.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Global gradient-norm clipping (standard TGN training detail).
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self.params.iter().map(|(_, p)| p.g.norm_sq()).sum();
+        let norm = total.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for (_, p) in &mut self.params {
+                p.g.scale(scale);
+            }
+        }
+        norm
+    }
+
+    /// True if any weight or gradient contains NaN/inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.params
+            .iter()
+            .any(|(_, p)| p.w.has_non_finite() || p.g.has_non_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_with_two() -> ParamSet {
+        let mut s = ParamSet::new();
+        s.register("a", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        s.register("b", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        s
+    }
+
+    #[test]
+    fn registration_order_is_stable() {
+        let s = set_with_two();
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.name(1), "b");
+        assert_eq!(s.num_scalars(), 4);
+    }
+
+    #[test]
+    fn flatten_roundtrip_weights() {
+        let mut s = set_with_two();
+        let flat = s.flatten_weights();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
+        let doubled: Vec<f32> = flat.iter().map(|v| v * 2.0).collect();
+        s.unflatten_weights(&doubled);
+        assert_eq!(s.get(0).w.as_slice(), &[2.0, 4.0]);
+        assert_eq!(s.get(1).w.as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip_grads() {
+        let mut s = set_with_two();
+        s.get_mut(0).g.as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        s.get_mut(1).g.as_mut_slice().copy_from_slice(&[1.5, -1.5]);
+        let flat = s.flatten_grads();
+        s.zero_grads();
+        assert!(s.flatten_grads().iter().all(|&v| v == 0.0));
+        s.unflatten_grads(&flat);
+        assert_eq!(s.get(1).g.as_slice(), &[1.5, -1.5]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut s = set_with_two();
+        s.get_mut(0).g.as_mut_slice().copy_from_slice(&[3.0, 0.0]);
+        s.get_mut(1).g.as_mut_slice().copy_from_slice(&[0.0, 4.0]);
+        let pre = s.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = s.flatten_grads().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let mut s = set_with_two();
+        s.get_mut(0).g.as_mut_slice().copy_from_slice(&[0.1, 0.0]);
+        let pre = s.clip_grad_norm(10.0);
+        assert!((pre - 0.1).abs() < 1e-6);
+        assert_eq!(s.get(0).g.as_slice(), &[0.1, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unflatten_wrong_length_panics() {
+        set_with_two().unflatten_grads(&[0.0; 3]);
+    }
+}

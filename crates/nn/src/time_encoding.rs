@@ -1,0 +1,158 @@
+//! Learnable time encoding Φ(Δt) = cos(ω·Δt + φ).
+//!
+//! From "Inductive representation learning on temporal graphs"
+//! (Xu et al., ICLR 2020), used by Eq. 1–2 and 4–6 of the DistTGL
+//! paper. Frequencies are initialized to a geometric ladder
+//! `ω_j = 1 / 10^(j·9/(d−1))` spanning ~10 decades, the TGAT/TGL
+//! default, so short and long time gaps are both resolvable.
+
+use crate::param::ParamSet;
+use disttgl_tensor::Matrix;
+
+/// Time encoder. Owns indices of `ω` (frequencies) and `φ` (phases) in
+/// the shared [`ParamSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct TimeEncoding {
+    omega: usize,
+    phi: usize,
+    dim: usize,
+    /// When false (the TGL default), the backward pass skips the
+    /// frequency/phase gradients — the encoder stays fixed.
+    learnable: bool,
+}
+
+impl TimeEncoding {
+    /// Registers ω, φ in `params` with the TGAT geometric initialization.
+    pub fn new(params: &mut ParamSet, name: &str, dim: usize, learnable: bool) -> Self {
+        assert!(dim >= 1, "TimeEncoding: dim must be >= 1");
+        let omega_init = Matrix::from_fn(1, dim, |_, j| {
+            if dim == 1 {
+                1.0
+            } else {
+                let exponent = j as f32 * 9.0 / (dim as f32 - 1.0);
+                10f32.powf(-exponent)
+            }
+        });
+        let omega = params.register(&format!("{name}.omega"), omega_init);
+        let phi = params.register(&format!("{name}.phi"), Matrix::zeros(1, dim));
+        Self { omega, phi, dim, learnable }
+    }
+
+    /// Encoding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a column of time deltas (`batch × 1`) into `batch × dim`
+    /// features: `out[i][j] = cos(ω_j · dt_i + φ_j)`.
+    pub fn forward(&self, params: &ParamSet, dt: &[f32]) -> Matrix {
+        let omega = params.get(self.omega).w.as_slice();
+        let phi = params.get(self.phi).w.as_slice();
+        let mut out = Matrix::zeros(dt.len(), self.dim);
+        for (i, &t) in dt.iter().enumerate() {
+            for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+                *o = (omega[j] * t + phi[j]).cos();
+            }
+        }
+        out
+    }
+
+    /// Backward: accumulates dω, dφ from the upstream gradient if the
+    /// encoder is learnable. Time deltas are data, so no input gradient
+    /// is produced.
+    pub fn backward(&self, params: &mut ParamSet, dt: &[f32], upstream: &Matrix) {
+        if !self.learnable {
+            return;
+        }
+        assert_eq!(upstream.rows(), dt.len(), "TimeEncoding::backward: batch");
+        assert_eq!(upstream.cols(), self.dim, "TimeEncoding::backward: width");
+        let omega = params.get(self.omega).w.clone();
+        let phi = params.get(self.phi).w.clone();
+        let mut domega = Matrix::zeros(1, self.dim);
+        let mut dphi = Matrix::zeros(1, self.dim);
+        for (i, &t) in dt.iter().enumerate() {
+            let up = upstream.row(i);
+            for j in 0..self.dim {
+                let s = -(omega.get(0, j) * t + phi.get(0, j)).sin() * up[j];
+                domega.set(0, j, domega.get(0, j) + s * t);
+                dphi.set(0, j, dphi.get(0, j) + s);
+            }
+        }
+        params.get_mut(self.omega).g.add_assign(&domega);
+        params.get_mut(self.phi).g.add_assign(&dphi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delta_encodes_to_cos_phi() {
+        let mut ps = ParamSet::new();
+        let te = TimeEncoding::new(&mut ps, "t", 4, false);
+        let enc = te.forward(&ps, &[0.0, 0.0]);
+        // φ = 0 so cos(0) = 1 everywhere.
+        assert!(enc.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn frequencies_span_decades() {
+        let mut ps = ParamSet::new();
+        let te = TimeEncoding::new(&mut ps, "t", 5, false);
+        let om = ps.get(te.omega).w.clone();
+        assert!((om.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(om.get(0, 4) < 1e-8, "last freq {}", om.get(0, 4));
+        // Strictly decreasing ladder.
+        for j in 1..5 {
+            assert!(om.get(0, j) < om.get(0, j - 1));
+        }
+    }
+
+    #[test]
+    fn encoding_is_bounded() {
+        let mut ps = ParamSet::new();
+        let te = TimeEncoding::new(&mut ps, "t", 8, false);
+        let enc = te.forward(&ps, &[0.0, 1.0, 1e3, 1e6]);
+        assert!(enc.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        assert_eq!(enc.shape(), (4, 8));
+    }
+
+    #[test]
+    fn non_learnable_backward_is_noop() {
+        let mut ps = ParamSet::new();
+        let te = TimeEncoding::new(&mut ps, "t", 3, false);
+        let up = Matrix::full(2, 3, 1.0);
+        te.backward(&mut ps, &[1.0, 2.0], &up);
+        assert!(ps.flatten_grads().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradient_check_learnable() {
+        let mut ps = ParamSet::new();
+        let te = TimeEncoding::new(&mut ps, "t", 3, true);
+        let dt = [0.5, 2.0];
+        let up = Matrix::from_vec(2, 3, vec![1.0, -0.5, 0.3, 0.2, 0.9, -1.1]);
+        ps.zero_grads();
+        te.backward(&mut ps, &dt, &up);
+
+        let eps = 1e-3;
+        for idx in [te.omega, te.phi] {
+            for j in 0..3 {
+                let orig = ps.get(idx).w.get(0, j);
+                ps.get_mut(idx).w.set(0, j, orig + eps);
+                let fp = te.forward(&ps, &dt).dot_flat(&up);
+                ps.get_mut(idx).w.set(0, j, orig - eps);
+                let fm = te.forward(&ps, &dt).dot_flat(&up);
+                ps.get_mut(idx).w.set(0, j, orig);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = ps.get(idx).g.get(0, j);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{} [{j}]: {num} vs {ana}",
+                    ps.name(idx)
+                );
+            }
+        }
+    }
+}

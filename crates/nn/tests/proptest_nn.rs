@@ -1,0 +1,151 @@
+//! Property-based tests of the NN modules: gradient correctness on
+//! random shapes/inputs (finite differences), and structural
+//! invariants of the parameter set.
+
+use disttgl_nn::{loss, GruCell, Linear, ParamSet, TemporalAttention};
+use disttgl_tensor::{seeded_rng, Matrix};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Linear backward gradient w.r.t. input matches finite differences
+    /// for random shapes and inputs.
+    #[test]
+    fn linear_input_gradient_random(
+        seed in 0u64..1000,
+        batch in 1usize..5,
+        x in mat(4, 3),
+        up in mat(4, 2),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 3, 2, &mut rng);
+        let x = x.slice_rows(0, batch);
+        let up = up.slice_rows(0, batch);
+        let (_, cache) = layer.forward(&ps, &x);
+        let dx = layer.backward(&mut ps, &cache, &up);
+        let eps = 1e-2;
+        for r in 0..batch {
+            for c in 0..3 {
+                let mut p = x.clone();
+                p.set(r, c, x.get(r, c) + eps);
+                let mut m = x.clone();
+                m.set(r, c, x.get(r, c) - eps);
+                let fp = layer.infer(&ps, &p).dot_flat(&up);
+                let fm = layer.infer(&ps, &m).dot_flat(&up);
+                let num = (fp - fm) / (2.0 * eps);
+                prop_assert!(
+                    (num - dx.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "dx[{},{}]: numeric {} analytic {}", r, c, num, dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    /// GRU output stays bounded by max(|h|, 1) for any input (convex
+    /// combination of tanh candidate and previous state).
+    #[test]
+    fn gru_output_bounded(seed in 0u64..1000, x in mat(3, 4), h in mat(3, 2)) {
+        let mut rng = seeded_rng(seed);
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "g", 4, 2, &mut rng);
+        let (out, _) = cell.forward(&ps, &x, &h);
+        let bound = h.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs())) + 1e-5;
+        prop_assert!(out.as_slice().iter().all(|v| v.abs() <= bound));
+        prop_assert!(!out.has_non_finite());
+    }
+
+    /// Attention output is a convex combination of V rows: each output
+    /// coordinate lies within the min/max of its root's valid V rows.
+    #[test]
+    fn attention_output_in_value_hull(seed in 0u64..1000, qf in mat(2, 3), kvf in mat(6, 4)) {
+        let mut rng = seeded_rng(seed);
+        let mut ps = ParamSet::new();
+        let att = TemporalAttention::new(&mut ps, "a", 3, 4, 3, 3, &mut rng);
+        let counts = vec![3usize, 2];
+        let (h, _) = att.forward(&ps, &qf, &kvf, &counts);
+        // Recompute V to bound against.
+        let wv = ps.index_of("a.wv.w").unwrap();
+        let bv = ps.index_of("a.wv.b").unwrap();
+        let mut v = kvf.matmul_transpose_b(&ps.get(wv).w);
+        v.add_row_broadcast(&ps.get(bv).w);
+        for root in 0..2 {
+            for c in 0..3 {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for s in 0..counts[root] {
+                    let val = v.get(root * 3 + s, c);
+                    lo = lo.min(val);
+                    hi = hi.max(val);
+                }
+                let out = h.get(root, c);
+                prop_assert!(
+                    out >= lo - 1e-4 && out <= hi + 1e-4,
+                    "root {} col {}: {} not in [{}, {}]", root, c, out, lo, hi
+                );
+            }
+        }
+    }
+
+    /// BCE loss is non-negative and its gradient has the sign of
+    /// (σ(x) − y).
+    #[test]
+    fn bce_loss_properties(logits in mat(3, 2), bits in proptest::collection::vec(0u8..2, 6)) {
+        let targets = Matrix::from_vec(3, 2, bits.iter().map(|&b| b as f32).collect());
+        let (l, g) = loss::bce_with_logits(&logits, &targets);
+        prop_assert!(l >= 0.0 && l.is_finite());
+        for (i, (&x, &y)) in logits.as_slice().iter().zip(targets.as_slice()).enumerate() {
+            let gi = g.as_slice()[i];
+            if y == 1.0 {
+                prop_assert!(gi <= 0.0, "positive target must push logit up");
+            } else {
+                prop_assert!(gi >= 0.0, "negative target must push logit down");
+            }
+            let _ = x;
+        }
+    }
+
+    /// MRR is monotone: raising the positive score never lowers MRR.
+    #[test]
+    fn mrr_monotone_in_positive_score(
+        pos in proptest::collection::vec(-3.0f32..3.0, 4),
+        neg in proptest::collection::vec(-3.0f32..3.0, 12),
+        bump in 0.0f32..2.0,
+    ) {
+        let before = loss::mrr(&pos, &neg, 3);
+        let bumped: Vec<f32> = pos.iter().map(|p| p + bump).collect();
+        let after = loss::mrr(&bumped, &neg, 3);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    /// Flatten/unflatten round-trips arbitrary gradient contents.
+    #[test]
+    fn paramset_flatten_roundtrip(values in proptest::collection::vec(-5.0f32..5.0, 10)) {
+        let mut ps = ParamSet::new();
+        ps.register("a", Matrix::zeros(2, 3));
+        ps.register("b", Matrix::zeros(1, 4));
+        ps.unflatten_grads(&values);
+        prop_assert_eq!(ps.flatten_grads(), values);
+    }
+
+    /// Gradient clipping never increases the norm and preserves
+    /// direction (scaled versions of the same vector).
+    #[test]
+    fn clip_grad_norm_contracts(values in proptest::collection::vec(-5.0f32..5.0, 6), max_norm in 0.1f32..10.0) {
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::zeros(2, 3));
+        ps.unflatten_grads(&values);
+        let before: f32 = values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let reported = ps.clip_grad_norm(max_norm);
+        prop_assert!((reported - before).abs() < 1e-3 * (1.0 + before));
+        let after: f32 = ps.flatten_grads().iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!(after <= max_norm + 1e-4);
+        prop_assert!(after <= before + 1e-4);
+    }
+}

@@ -1,0 +1,246 @@
+//! Elementwise arithmetic, scaling, and reduction kernels.
+//!
+//! All binary ops assert shape equality; the `_into`/`_assign` variants
+//! reuse buffers (the training loop calls these once per iteration, so
+//! avoiding reallocation matters — see the perf-book guidance on
+//! workhorse collections).
+
+use crate::Matrix;
+
+impl Matrix {
+    /// `self + other`, allocating the result.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// `self - other`, allocating the result.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Hadamard (elementwise) product, allocating the result.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| *a += b);
+    }
+
+    /// In-place `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| *a -= b);
+    }
+
+    /// In-place `self *= other` (elementwise).
+    pub fn mul_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| *a *= b);
+    }
+
+    /// In-place axpy: `self += alpha * other`. The workhorse of the
+    /// optimizer and of gradient accumulation across local batches.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        self.zip_assign(other, |a, b| *a += alpha * b);
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.as_mut_slice().iter_mut() {
+            *v *= alpha;
+        }
+    }
+
+    /// Allocating scalar multiply.
+    pub fn scaled(&self, alpha: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// Applies `f` to every element, allocating the result.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.as_slice().iter().map(|&v| f(v)).collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1 × cols` matrix. This is the bias
+    /// gradient reduction in every layer's backward pass.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for row in self.rows_iter() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Adds a `1 × cols` row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 × self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), self.cols(), "bias width mismatch");
+        let b = bias.as_slice();
+        let c = self.cols();
+        for row in self.as_mut_slice().chunks_exact_mut(c) {
+            for (v, &bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Dot product treating both matrices as flat vectors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn dot_flat(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot_flat shape mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Per-row dot products of two equal-shape matrices: returns an
+    /// `rows × 1` matrix whose entry `r` is `self.row(r) · other.row(r)`.
+    /// Used by the dot-product link decoder.
+    pub fn rowwise_dot(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "rowwise_dot shape mismatch");
+        let mut out = Matrix::zeros(self.rows(), 1);
+        for r in 0..self.rows() {
+            out.set(r, 0, self.row(r).iter().zip(other.row(r)).map(|(a, b)| a * b).sum());
+        }
+        out
+    }
+
+    fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    fn zip_assign(&mut self, other: &Matrix, f: impl Fn(&mut f32, f32)) {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            f(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[10., 20., 30., 40.]);
+        assert_eq!(a.add(&b).as_slice(), &[11., 22., 33., 44.]);
+        assert_eq!(b.sub(&a).as_slice(), &[9., 18., 27., 36.]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[10., 40., 90., 160.]);
+    }
+
+    #[test]
+    fn assign_variants_match_allocating() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[5., 6., 7., 8.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, a.add(&b));
+        let mut d = a.clone();
+        d.mul_assign(&b);
+        assert_eq!(d, a.hadamard(&b));
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = m(1, 3, &[1., 1., 1.]);
+        let g = m(1, 3, &[2., 4., 6.]);
+        a.add_scaled(&g, -0.5);
+        assert_eq!(a.as_slice(), &[0., -1., -2.]);
+    }
+
+    #[test]
+    fn sum_rows_reduces_columns() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let s = a.sum_rows();
+        assert_eq!(s.shape(), (1, 2));
+        assert_eq!(s.as_slice(), &[9., 12.]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let mut a = Matrix::zeros(2, 3);
+        let b = m(1, 3, &[1., 2., 3.]);
+        a.add_row_broadcast(&b);
+        assert_eq!(a.as_slice(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = m(1, 4, &[3., 4., 0., 0.]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let b = m(1, 4, &[1., 1., 1., 1.]);
+        assert_eq!(a.dot_flat(&b), 7.0);
+    }
+
+    #[test]
+    fn rowwise_dot_per_row() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 2, &[5., 6., 7., 8.]);
+        let d = a.rowwise_dot(&b);
+        assert_eq!(d.shape(), (2, 1));
+        assert_eq!(d.as_slice(), &[17., 53.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        m(1, 2, &[1., 2.]).add(&m(2, 1, &[1., 2.]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Row-level structural ops: gather, scatter, concatenation, slicing.
+//!
+//! These are the mini-batch assembly primitives: a training iteration
+//! gathers node-memory rows for the batch's nodes, concatenates them
+//! with time encodings and edge features column-wise, and scatters
+//! updated memory rows back.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Gathers the given rows into a new `indices.len() × cols` matrix.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let c = self.cols();
+        let mut out = Matrix::zeros(indices.len(), c);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows(), "gather_rows: index {} out of {}", src, self.rows());
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Overwrites rows `indices[r]` of `self` with row `r` of `source`.
+    ///
+    /// Later duplicates win, matching the "most recent mail" COMB
+    /// semantics when indices are in chronological order.
+    ///
+    /// # Panics
+    /// Panics on index out of bounds or column mismatch.
+    pub fn scatter_rows(&mut self, indices: &[usize], source: &Matrix) {
+        assert_eq!(indices.len(), source.rows(), "scatter_rows: count mismatch");
+        assert_eq!(self.cols(), source.cols(), "scatter_rows: width mismatch");
+        for (src, &dst) in indices.iter().enumerate() {
+            assert!(dst < self.rows(), "scatter_rows: index {} out of {}", dst, self.rows());
+            self.row_mut(dst).copy_from_slice(source.row(src));
+        }
+    }
+
+    /// Adds row `r` of `source` into row `indices[r]` of `self`
+    /// (scatter-add, used to accumulate gradients into shared
+    /// embedding tables).
+    pub fn scatter_add_rows(&mut self, indices: &[usize], source: &Matrix) {
+        assert_eq!(indices.len(), source.rows(), "scatter_add_rows: count mismatch");
+        assert_eq!(self.cols(), source.cols(), "scatter_add_rows: width mismatch");
+        for (src, &dst) in indices.iter().enumerate() {
+            for (d, &s) in self.row_mut(dst).iter_mut().zip(source.row(src)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Column-wise concatenation `{self || others…}` (the paper's
+    /// `{x || y}` notation): all inputs must have the same row count.
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hcat: empty input");
+        let rows = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), rows, "hcat: row count mismatch");
+        }
+        let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = Matrix::zeros(rows, total_cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            let out_row = out.row_mut(r);
+            for p in parts {
+                let pc = p.cols();
+                out_row[offset..offset + pc].copy_from_slice(p.row(r));
+                offset += pc;
+            }
+        }
+        out
+    }
+
+    /// Row-wise concatenation (stacking).
+    pub fn vcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vcat: empty input");
+        let cols = parts[0].cols();
+        for p in parts {
+            assert_eq!(p.cols(), cols, "vcat: column count mismatch");
+        }
+        let total_rows: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(total_rows * cols);
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Matrix::from_vec(total_rows, cols, data)
+    }
+
+    /// Copies a contiguous column range into a new matrix
+    /// (inverse of `hcat`; used to split concatenated gradients).
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols(), "slice_cols out of range");
+        let w = end - start;
+        let mut out = Matrix::zeros(self.rows(), w);
+        for r in 0..self.rows() {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Copies a contiguous row range into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows(), "slice_rows out of range");
+        let c = self.cols();
+        let data = self.as_slice()[start * c..end * c].to_vec();
+        Matrix::from_vec(end - start, c, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let src = m(4, 2, &[0., 0., 1., 1., 2., 2., 3., 3.]);
+        let g = src.gather_rows(&[3, 1]);
+        assert_eq!(g.as_slice(), &[3., 3., 1., 1.]);
+        let mut dst = Matrix::zeros(4, 2);
+        dst.scatter_rows(&[3, 1], &g);
+        assert_eq!(dst.row(3), &[3., 3.]);
+        assert_eq!(dst.row(1), &[1., 1.]);
+        assert_eq!(dst.row(0), &[0., 0.]);
+    }
+
+    #[test]
+    fn scatter_duplicate_last_wins() {
+        let mut dst = Matrix::zeros(2, 1);
+        let src = m(3, 1, &[10., 20., 30.]);
+        dst.scatter_rows(&[0, 0, 1], &src);
+        // Row 0 written twice; chronological order means the later
+        // mail (20) survives — the TGN-attn COMB semantics.
+        assert_eq!(dst.as_slice(), &[20., 30.]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let mut dst = Matrix::zeros(2, 1);
+        let src = m(3, 1, &[1., 2., 4.]);
+        dst.scatter_add_rows(&[0, 0, 1], &src);
+        assert_eq!(dst.as_slice(), &[3., 4.]);
+    }
+
+    #[test]
+    fn hcat_and_slice_cols_inverse() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 1, &[5., 6.]);
+        let c = m(2, 3, &[7., 8., 9., 10., 11., 12.]);
+        let cat = Matrix::hcat(&[&a, &b, &c]);
+        assert_eq!(cat.shape(), (2, 6));
+        assert_eq!(cat.row(0), &[1., 2., 5., 7., 8., 9.]);
+        assert_eq!(cat.slice_cols(0, 2), a);
+        assert_eq!(cat.slice_cols(2, 3), b);
+        assert_eq!(cat.slice_cols(3, 6), c);
+    }
+
+    #[test]
+    fn vcat_and_slice_rows_inverse() {
+        let a = m(1, 2, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        let cat = Matrix::vcat(&[&a, &b]);
+        assert_eq!(cat.shape(), (3, 2));
+        assert_eq!(cat.slice_rows(0, 1), a);
+        assert_eq!(cat.slice_rows(1, 3), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn gather_oob_panics() {
+        Matrix::zeros(2, 2).gather_rows(&[5]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor substrate's algebraic invariants.
+
+use disttgl_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with small finite values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in matrix(3, 5), b in matrix(3, 5)) {
+        prop_assert!(approx_eq(&a.add(&b), &b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn add_associates(a in matrix(2, 4), b in matrix(2, 4), c in matrix(2, 4)) {
+        prop_assert!(approx_eq(&a.add(&b).add(&c), &a.add(&b.add(&c)), 1e-4));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in matrix(3, 3), b in matrix(3, 3)) {
+        prop_assert!(approx_eq(&a.sub(&b).add(&b), &a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_associates(a in matrix(2, 3), b in matrix(3, 4), c in matrix(4, 2)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_fused_kernels_agree(a in matrix(3, 4), b in matrix(5, 4)) {
+        // A · Bᵀ computed fused vs. explicitly.
+        prop_assert!(approx_eq(
+            &a.matmul_transpose_b(&b),
+            &a.matmul(&b.transpose()),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn transpose_a_fused_agrees(a in matrix(4, 3), b in matrix(4, 5)) {
+        prop_assert!(approx_eq(
+            &a.matmul_transpose_a(&b),
+            &a.transpose().matmul(&b),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(4, 6)) {
+        let s = a.softmax_rows();
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn hcat_slice_roundtrip(a in matrix(3, 2), b in matrix(3, 5)) {
+        let cat = Matrix::hcat(&[&a, &b]);
+        prop_assert_eq!(cat.slice_cols(0, 2), a);
+        prop_assert_eq!(cat.slice_cols(2, 7), b);
+    }
+
+    #[test]
+    fn gather_rows_matches_manual(a in matrix(6, 3), idx in proptest::collection::vec(0usize..6, 1..10)) {
+        let g = a.gather_rows(&idx);
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(r), a.row(i));
+        }
+    }
+
+    #[test]
+    fn norm_is_scale_homogeneous(a in matrix(3, 3), alpha in -4.0f32..4.0) {
+        let scaled = a.scaled(alpha);
+        prop_assert!((scaled.norm() - alpha.abs() * a.norm()).abs() < 1e-2 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn sum_rows_matches_total(a in matrix(5, 4)) {
+        let by_col = a.sum_rows();
+        prop_assert!((by_col.sum() - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+}

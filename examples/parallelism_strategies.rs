@@ -1,0 +1,59 @@
+//! Side-by-side comparison of the three DistTGL parallel training
+//! strategies on the same dataset and GPU budget — a miniature of the
+//! paper's Figure 9 narrative:
+//!
+//! * mini-batch parallelism (`2×1×1`) relaxes intra-batch dependencies
+//!   (larger effective batch → fewer captured events);
+//! * epoch parallelism (`1×2×1`) keeps the batch size but raises
+//!   gradient variance (same positives trained twice in a row);
+//! * memory parallelism (`1×1×2`) keeps both, at 2× the host memory.
+//!
+//! ```sh
+//! cargo run --release --example parallelism_strategies
+//! ```
+
+use disttgl::cluster::ClusterSpec;
+use disttgl::core::{
+    train_distributed, train_single, ModelConfig, ParallelConfig, RunResult, TrainConfig,
+};
+use disttgl::data::generators;
+
+fn run(name: &str, parallel: ParallelConfig, dataset: &disttgl::data::Dataset) -> RunResult {
+    let model_cfg = ModelConfig::compact(dataset.edge_features.cols());
+    let mut cfg = TrainConfig::new(parallel);
+    cfg.local_batch = 150;
+    cfg.epochs = 12;
+    cfg.base_lr = 8e-3;
+    cfg.eval_negs = 49;
+    let spec = ClusterSpec::new(1, parallel.world());
+    let result = if parallel.world() == 1 {
+        train_single(dataset, &model_cfg, &cfg)
+    } else {
+        train_distributed(dataset, &model_cfg, &cfg, spec)
+    };
+    println!(
+        "{name:<22} iters {:>5}  test MRR {:.4}  {:>8.0} ev/s  grad-var {:.3e}",
+        result.loss_history.len(),
+        result.test_metric,
+        result.throughput_events_per_sec,
+        result.grad_variance,
+    );
+    result
+}
+
+fn main() {
+    let dataset = generators::wikipedia(0.02, 13);
+    println!("dataset: {:?}\n", dataset.stats());
+    println!("{:<22} {:>11} {:>14} {:>13} {:>14}", "strategy", "iterations", "test MRR", "events/s", "grad variance");
+
+    run("single GPU (1x1x1)", ParallelConfig::single(), &dataset);
+    run("mini-batch (2x1x1)", ParallelConfig::new(2, 1, 1), &dataset);
+    run("epoch      (1x2x1)", ParallelConfig::new(1, 2, 1), &dataset);
+    run("memory     (1x1x2)", ParallelConfig::new(1, 1, 2), &dataset);
+
+    println!(
+        "\nPaper shape to look for: memory parallelism holds accuracy at\n\
+         half the iterations; mini-batch parallelism trades accuracy for\n\
+         throughput; epoch parallelism raises gradient variance."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: train a memory-based TGNN on a synthetic Wikipedia-like
+//! temporal graph with a single simulated GPU, then with DistTGL's
+//! memory parallelism on 4 simulated GPUs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use disttgl::cluster::ClusterSpec;
+use disttgl::core::{train_distributed, train_single, ModelConfig, ParallelConfig, TrainConfig};
+use disttgl::data::generators;
+
+fn main() {
+    // 1. A scaled-down Wikipedia analog (see Table 2 of the paper):
+    //    bipartite user→page edit events with strong revisit structure.
+    let dataset = generators::wikipedia(0.02, 42);
+    let stats = dataset.stats();
+    println!(
+        "dataset {}: |V| = {}, |E| = {}, max(t) = {:.1e}, d_e = {}",
+        stats.name, stats.num_nodes, stats.num_events, stats.max_t, stats.d_e
+    );
+
+    // 2. Model: TGN-attn with static node memory (compact widths for
+    //    CPU; `ModelConfig::paper_default` gives the paper's 100-dim).
+    let model_cfg = ModelConfig::compact(dataset.edge_features.cols());
+
+    // 3. Single-GPU baseline.
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = 200;
+    cfg.epochs = 8;
+    cfg.base_lr = 6e-3;
+    cfg.eval_negs = 49;
+    let single = train_single(&dataset, &model_cfg, &cfg);
+    println!(
+        "single GPU   : test MRR {:.4}, {:.0} events/s, {} iterations",
+        single.test_metric,
+        single.throughput_events_per_sec,
+        single.loss_history.len()
+    );
+
+    // 4. DistTGL with memory parallelism (1×1×4): four memory replicas
+    //    sweeping staggered time segments, weights synced by
+    //    all-reduce — the configuration the paper recommends for
+    //    small-batch datasets.
+    let mut cfg = TrainConfig::new(ParallelConfig::new(1, 1, 4));
+    cfg.local_batch = 200;
+    cfg.epochs = 8;
+    cfg.base_lr = 6e-3;
+    cfg.eval_negs = 49;
+    let dist = train_distributed(&dataset, &model_cfg, &cfg, ClusterSpec::new(1, 4));
+    println!(
+        "DistTGL 1x1x4: test MRR {:.4}, {:.0} events/s, {} iterations",
+        dist.test_metric,
+        dist.throughput_events_per_sec,
+        dist.loss_history.len()
+    );
+    println!(
+        "               node-memory rows read {} / written {} (all via memory daemons)",
+        dist.daemon_rows_read, dist.daemon_rows_written
+    );
+    println!(
+        "               weight sync: {} bytes, modeled wire time {:.3} ms",
+        dist.comm_bytes,
+        dist.comm_modeled_nanos as f64 / 1e6
+    );
+}

@@ -1,0 +1,24 @@
+//! # DistTGL-rs
+//!
+//! A Rust reproduction of **DistTGL: Distributed Memory-Based Temporal
+//! Graph Neural Network Training** (SC 2023).
+//!
+//! This facade crate re-exports the workspace's sub-crates under one
+//! namespace. See the README for a quickstart and `DESIGN.md` for the
+//! full system inventory and per-experiment index.
+//!
+//! * [`tensor`] — dense f32 tensor kernels (the PyTorch replacement)
+//! * [`nn`] — NN modules with hand-written backward passes
+//! * [`graph`] — temporal graph storage + most-recent-k sampling
+//! * [`data`] — synthetic dataset generators matching the paper's Table 2
+//! * [`mem`] — node memory, mailbox, and the memory daemon (Algorithm 1)
+//! * [`cluster`] — simulated distributed GPU cluster + collectives
+//! * [`core`] — the DistTGL model, parallel schedulers, planner, trainer
+
+pub use disttgl_cluster as cluster;
+pub use disttgl_core as core;
+pub use disttgl_data as data;
+pub use disttgl_graph as graph;
+pub use disttgl_mem as mem;
+pub use disttgl_nn as nn;
+pub use disttgl_tensor as tensor;

@@ -1,0 +1,121 @@
+//! Failure-injection and robustness tests: the system must degrade
+//! loudly (panics with clear messages) or gracefully (documented
+//! fallbacks), never silently corrupt training state.
+
+use disttgl::core::{
+    train_distributed, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig, TgnModel,
+    TrainConfig,
+};
+use disttgl::cluster::ClusterSpec;
+use disttgl::data::generators;
+use disttgl::graph::TCsr;
+use disttgl::mem::{MemoryDaemon, MemoryState};
+use disttgl::tensor::{seeded_rng, Matrix};
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+/// A daemon abandoned mid-schedule must not hang on drop.
+#[test]
+fn abandoned_daemon_drops_cleanly() {
+    let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 2, 2, 100, 10);
+    let _c0 = daemon.client(0);
+    // No requests ever issued; drop triggers shutdown internally.
+    drop(daemon);
+}
+
+/// Shutdown mid-read panics the client instead of spinning forever.
+#[test]
+fn client_read_panics_on_shutdown() {
+    let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 2, 100, 1);
+    // Rank 1 is not the first turn owner, so its read stays pending.
+    let c1 = daemon.client(1);
+    let handle = std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c1.read(&[0])));
+        result.is_err()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    daemon.shutdown();
+    assert!(handle.join().unwrap(), "client should panic, not hang");
+}
+
+/// Corrupting node memory with NaN must surface in the model's
+/// non-finite checks rather than silently training on garbage.
+#[test]
+fn nan_memory_is_detectable() {
+    let d = generators::wikipedia(0.004, 201);
+    let csr = TCsr::build(&d.graph);
+    let mc = tiny_model(d.edge_features.cols());
+    let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+
+    // Poison one node's memory.
+    let mut poison = disttgl::mem::MemoryWrite {
+        nodes: vec![d.graph.events()[0].src],
+        mem: Matrix::full(1, mc.d_mem, f32::NAN),
+        mem_ts: vec![1.0],
+        mail: Matrix::full(1, mc.mail_dim(), 1.0),
+        mail_ts: vec![1.0],
+    };
+    poison.mem.set(0, 0, f32::NAN);
+    MemoryAccess::write(&mut mem, poison);
+
+    let prep = BatchPreparer::new(&d, &csr, &mc);
+    let batch = prep.prepare(0..32, &[], 1, &mut mem);
+    assert!(batch.pos.readout.mem.has_non_finite(), "poison must be visible");
+
+    let mut rng = seeded_rng(1);
+    let model = TgnModel::new(mc, &mut rng);
+    let out = model.infer_step(&batch.pos, None, None);
+    // The NaN propagates into the write-back, which is exactly what
+    // the training loop's non-finite guard catches.
+    assert!(out.write.mem.has_non_finite());
+}
+
+/// Mismatched cluster/parallel worlds must be rejected up front.
+#[test]
+#[should_panic(expected = "cluster world")]
+fn world_mismatch_is_rejected() {
+    let d = generators::mooc(0.001, 202);
+    let mc = tiny_model(0);
+    let cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2));
+    let _ = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+}
+
+/// Batch sizes larger than the training split still work (single
+/// giant batch per epoch).
+#[test]
+fn oversized_batch_degenerates_gracefully() {
+    let d = generators::mooc(0.001, 203);
+    let mc = tiny_model(0);
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = 1_000_000;
+    cfg.epochs = 1;
+    cfg.eval_negs = 5;
+    cfg.eval_every_epoch = false;
+    let res = disttgl::core::train_single(&d, &mc, &cfg);
+    assert_eq!(res.loss_history.len(), 1);
+    assert!(res.loss_history[0].is_finite());
+}
+
+/// Empty local slices (more lanes than events per batch) keep the
+/// daemon protocol alive instead of deadlocking.
+#[test]
+fn more_lanes_than_events_does_not_deadlock() {
+    let d = generators::mooc(0.001, 204);
+    let mc = tiny_model(0);
+    let mut cfg = TrainConfig::new(ParallelConfig::new(4, 1, 1));
+    cfg.local_batch = 1; // global batch of 4 over tiny event counts
+    cfg.epochs = 4;
+    cfg.eval_negs = 5;
+    cfg.eval_every_epoch = false;
+    cfg.seed = 17;
+    let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+    assert!(res.test_metric.is_finite());
+}
