@@ -12,6 +12,7 @@ fn main() {
     println!("DistTGL paper reproduction — all tables and figures");
     println!("scale profile: {scale:?}\n");
 
+    #[allow(clippy::type_complexity)]
     let experiments: &[(&str, fn(&Scale))] = &[
         ("Table 2", figures::table2),
         ("Figure 8", figures::fig08_captured_events),

@@ -73,13 +73,8 @@ fn bench_memory_daemon(c: &mut Criterion) {
     let nodes: Vec<u32> = (0..600u32).collect();
     c.bench_function("mem/daemon_read_write_600_rows", |b| {
         b.iter_custom(|iters| {
-            let daemon = MemoryDaemon::spawn(
-                MemoryState::new(2048, 32, 252),
-                1,
-                1,
-                iters as usize,
-                1,
-            );
+            let daemon =
+                MemoryDaemon::spawn(MemoryState::new(2048, 32, 252), 1, 1, iters as usize, 1);
             let client = daemon.client(0);
             let start = std::time::Instant::now();
             for _ in 0..iters {
@@ -116,7 +111,11 @@ fn bench_allreduce(c: &mut Criterion) {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).max().unwrap()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .max()
+                .unwrap()
         });
     });
 }
@@ -130,7 +129,12 @@ fn bench_train_step(c: &mut Criterion) {
     let prep = BatchPreparer::new(&d, &csr, &mc);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     let store = NegativeStore::generate(&d.graph, 600, 1, 1, 7);
-    let batch = prep.prepare(0..600.min(d.graph.num_events()), &[store.slice(0, 0..600.min(d.graph.num_events()))], 1, &mut mem);
+    let batch = prep.prepare(
+        0..600.min(d.graph.num_events()),
+        &[store.slice(0, 0..600.min(d.graph.num_events()))],
+        1,
+        &mut mem,
+    );
     c.bench_function("core/train_step_bs600", |b| {
         b.iter(|| {
             model.params.zero_grads();

@@ -1,0 +1,288 @@
+//! Sequential vs pipelined trainer throughput (events/sec), plus the
+//! kernel-level speedup of the lean compute stage.
+//!
+//! Two throughput views, following the harness's Figure-12 convention
+//! (`disttgl_bench::modeled`): host wall-clock measures *this host* —
+//! on a single-core container the prefetch worker and the trainer
+//! serialize by construction, and host-CPU matmul compute is orders
+//! slower relative to preparation than the paper's T4s, hiding the
+//! overlap. So alongside the honest host measurements the bench
+//! derives the **modeled simulated-GPU throughput**: preparation stays
+//! at measured host (CPU) speed — it is CPU work in the real system
+//! too — while the compute stage runs on a simulated GPU `GPU_FACTOR`×
+//! faster than one host thread. Calibration: the paper's per-T4
+//! throughput on these workloads is >10⁴ events/s at full model width
+//! vs ~10³ here at reduced width, an effective gap well above 100×;
+//! `GPU_FACTOR = 25` is a conservative floor (a sensitivity sweep is
+//! reported too).
+//!
+//! The pipelined executor uses **eager-write scheduling**: the batch's
+//! `MemoryWrite` is applied right after the forward pass, so the
+//! worker's phase-1 sampling *and* the exact phase-2 gather for the
+//! next batch overlap this batch's backward pass (the bulk of
+//! compute):
+//!
+//! ```text
+//! sequential = t_phase1 + t_gather + t_split + (t_fwd + t_bwd)/F
+//! pipelined  = t_fwd/F + max(t_bwd/F, t_phase1 + t_gather) + t_split
+//! ```
+//!
+//! The pipelined executor is bit-identical to the sequential trainer
+//! (tests/pipeline_equivalence.rs), so every delta is pure scheduling.
+//! Results land in `BENCH_pipeline.json`.
+//!
+//! Run: `cargo bench -p disttgl-bench --bench pipeline`
+
+use disttgl_core::{
+    train_single, train_single_pipelined, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig,
+    TgnModel, TrainConfig,
+};
+use disttgl_data::{generators, Dataset, NegativeStore};
+use disttgl_graph::{batching, TCsr};
+use disttgl_mem::MemoryState;
+use disttgl_tensor::{seeded_rng, Matrix};
+use std::io::Write;
+use std::time::Instant;
+
+/// Simulated-GPU compute speed relative to one host thread (see module
+/// docs for the calibration argument).
+const GPU_FACTOR: f64 = 25.0;
+
+struct HostRun {
+    label: &'static str,
+    events_per_sec: f64,
+    wall_secs: f64,
+}
+
+fn measure_host(
+    label: &'static str,
+    runs: usize,
+    d: &Dataset,
+    mc: &ModelConfig,
+    cfg: &TrainConfig,
+    f: fn(&Dataset, &ModelConfig, &TrainConfig) -> disttgl_core::RunResult,
+) -> HostRun {
+    let _ = f(d, mc, cfg); // warm-up
+    let mut best = f64::MIN;
+    let mut wall = 0.0;
+    for _ in 0..runs {
+        let r = f(d, mc, cfg);
+        if r.throughput_events_per_sec > best {
+            best = r.throughput_events_per_sec;
+            wall = r.wall_secs;
+        }
+    }
+    HostRun {
+        label,
+        events_per_sec: best,
+        wall_secs: wall,
+    }
+}
+
+struct Phases {
+    phase1: f64,
+    gather: f64,
+    split: f64,
+    forward: f64,
+    backward: f64,
+    batch_events: usize,
+}
+
+/// Mean per-batch stage times over one training sweep with real memory
+/// feedback, exercising the exact executor sequence. The
+/// forward/backward boundary is observed through the eager-write sink
+/// (the write exists precisely when the forward pass ends).
+fn measure_phases(d: &Dataset, mc: &ModelConfig, cfg: &TrainConfig) -> Phases {
+    let csr = TCsr::build(&d.graph);
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    let prep = BatchPreparer::new(d, &csr, mc);
+    let store = NegativeStore::generate(&d.graph, train_end, cfg.neg_groups, cfg.train_negs, 3);
+    let mut rng = seeded_rng(cfg.seed);
+    let mut model = TgnModel::new(*mc, &mut rng);
+    let mut adam = model.optimizer(cfg.scaled_lr());
+    let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    let batches = batching::chronological_batches(0..train_end, cfg.local_batch);
+
+    let (mut t1, mut tg, mut ts, mut tf, mut tb) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let mut events = 0usize;
+    for range in &batches {
+        let negs = store.slice(0, range.clone());
+        let t0 = Instant::now();
+        let sb = prep.prepare_static(range.clone(), &[negs], cfg.train_negs);
+        t1 += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let full = mem.read(sb.nodes());
+        tg += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let batch = prep.complete(sb, full);
+        ts += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        model.params.zero_grads();
+        let mut t_write = t0;
+        let _ = model.train_step_eager_write(&batch.pos, batch.negs.first(), None, |w| {
+            t_write = Instant::now();
+            MemoryAccess::write(&mut mem, w);
+        });
+        model.params.clip_grad_norm(5.0);
+        adam.step(&mut model.params);
+        tf += (t_write - t0).as_secs_f64();
+        tb += t_write.elapsed().as_secs_f64();
+        events += range.len();
+    }
+    let n = batches.len().max(1) as f64;
+    Phases {
+        phase1: t1 / n,
+        gather: tg / n,
+        split: ts / n,
+        forward: tf / n,
+        backward: tb / n,
+        batch_events: events / batches.len().max(1),
+    }
+}
+
+/// `(sequential step, pipelined step)` under the simulated-GPU model
+/// with eager-write scheduling.
+fn modeled_steps(p: &Phases, factor: f64) -> (f64, f64) {
+    let fwd = p.forward / factor;
+    let bwd = p.backward / factor;
+    let seq = p.phase1 + p.gather + p.split + fwd + bwd;
+    let pipe = fwd + bwd.max(p.phase1 + p.gather) + p.split;
+    (seq, pipe)
+}
+
+/// Laned vs serial-reduction `x·Wᵀ` on GRU-gate-shaped operands — the
+/// lean-compute-stage kernel win that pairs with the executor.
+fn kernel_speedup(rows: usize, mail_dim: usize, d_mem: usize) -> f64 {
+    let mut rng = seeded_rng(11);
+    let x = Matrix::uniform(rows, mail_dim, 1.0, &mut rng);
+    let w = Matrix::uniform(d_mem, mail_dim, 1.0, &mut rng);
+    let time = |f: &dyn Fn() -> Matrix| {
+        let _ = std::hint::black_box(f());
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let serial = time(&|| x.matmul_transpose_b_serial(&w));
+    let laned = time(&|| x.matmul_transpose_b(&w));
+    serial / laned.max(1e-12)
+}
+
+fn main() {
+    // Medium synthetic workload: ~8k-event Wikipedia analog (172-dim
+    // edge features — the feature-gather-heavy Table 2 shape), batch
+    // 600, no per-epoch evaluation (throughput counts training only).
+    let d = generators::wikipedia(0.05, 4242);
+    let mut mc = ModelConfig::compact(d.edge_features.cols());
+    mc.static_memory = false;
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = 600;
+    cfg.epochs = 3;
+    cfg.eval_every_epoch = false;
+    cfg.seed = 7;
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "pipeline bench: {} ({} events), {} epochs, batch {}, {host_cpus} host cpu(s)",
+        d.name,
+        d.graph.num_events(),
+        cfg.epochs,
+        cfg.local_batch
+    );
+
+    // Host wall-clock (truth about *this* machine).
+    let runs = 2;
+    let seq = measure_host("sequential", runs, &d, &mc, &cfg, train_single);
+    let pipe = measure_host("pipelined", runs, &d, &mc, &cfg, train_single_pipelined);
+    for m in [&seq, &pipe] {
+        println!(
+            "host  {:<12} {:>10.0} events/s  (wall {:.2}s)",
+            m.label, m.events_per_sec, m.wall_secs
+        );
+    }
+    let host_speedup = pipe.events_per_sec / seq.events_per_sec.max(1e-9);
+    println!("host  speedup: {host_speedup:.2}x (serialized on 1 cpu; needs >= 2 to overlap)");
+
+    // Phase split + modeled simulated-GPU throughput.
+    let p = measure_phases(&d, &mc, &cfg);
+    println!(
+        "per-batch stages: phase1 {:.2}ms, gather {:.2}ms, split {:.2}ms, forward {:.2}ms, backward {:.2}ms (host)",
+        p.phase1 * 1e3,
+        p.gather * 1e3,
+        p.split * 1e3,
+        p.forward * 1e3,
+        p.backward * 1e3
+    );
+    let (seq_step, pipe_step) = modeled_steps(&p, GPU_FACTOR);
+    let modeled_seq = p.batch_events as f64 / seq_step;
+    let modeled_pipe = p.batch_events as f64 / pipe_step;
+    let speedup = modeled_pipe / modeled_seq.max(1e-9);
+    println!(
+        "modeled (gpu {GPU_FACTOR:.0}x) sequential {modeled_seq:>9.0} events/s | pipelined {modeled_pipe:>9.0} events/s | speedup {speedup:.2}x (target >= 1.25x)"
+    );
+    let mut sensitivity = String::new();
+    for factor in [10.0, 25.0, 50.0, 100.0] {
+        let (s, pp) = modeled_steps(&p, factor);
+        if !sensitivity.is_empty() {
+            sensitivity.push(',');
+        }
+        sensitivity.push_str(&format!(
+            "{{\"gpu_factor\":{factor:.0},\"modeled_speedup\":{:.4}}}",
+            s / pp
+        ));
+        println!("  sensitivity gpu {factor:>4.0}x -> {:.2}x", s / pp);
+    }
+
+    // Kernel-level lean-compute win on GRU-gate shapes.
+    let rows = 2 * cfg.local_batch * (1 + mc.n_neighbors);
+    let kern = kernel_speedup(rows, mc.mail_dim(), mc.d_mem);
+    println!(
+        "kernel x·Wᵀ ({rows}×{}·{}ᵀ): laned vs serial {kern:.2}x",
+        mc.mail_dim(),
+        mc.d_mem
+    );
+
+    let record = format!(
+        "{{\"bench\":\"pipeline\",\"dataset\":\"{}\",\"events\":{},\"epochs\":{},\
+         \"local_batch\":{},\"host_cpus\":{},\
+         \"host_sequential_events_per_sec\":{:.1},\"host_pipelined_events_per_sec\":{:.1},\
+         \"host_speedup\":{:.4},\
+         \"phase1_ms\":{:.3},\"gather_ms\":{:.3},\"split_ms\":{:.3},\
+         \"forward_host_ms\":{:.3},\"backward_host_ms\":{:.3},\
+         \"gpu_factor\":{:.1},\
+         \"modeled_sequential_events_per_sec\":{:.1},\"modeled_pipelined_events_per_sec\":{:.1},\
+         \"modeled_speedup\":{:.4},\"kernel_speedup\":{:.4},\"sensitivity\":[{}]}}\n",
+        d.name,
+        d.graph.num_events(),
+        cfg.epochs,
+        cfg.local_batch,
+        host_cpus,
+        seq.events_per_sec,
+        pipe.events_per_sec,
+        host_speedup,
+        p.phase1 * 1e3,
+        p.gather * 1e3,
+        p.split * 1e3,
+        p.forward * 1e3,
+        p.backward * 1e3,
+        GPU_FACTOR,
+        modeled_seq,
+        modeled_pipe,
+        speedup,
+        kern,
+        sensitivity
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(record.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

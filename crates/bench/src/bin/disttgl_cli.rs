@@ -49,15 +49,23 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
     flags
         .get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key} value: {v}")))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad --{key} value: {v}"))
+        })
         .unwrap_or(default)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
-    let name = flags.get("dataset").map(String::as_str).unwrap_or("wikipedia");
+    let name = flags
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("wikipedia");
     let scale: f64 = get(&flags, "scale", if name == "gdelt" { 5e-5 } else { 0.02 });
     let seed: u64 = get(&flags, "seed", 42);
     // --in loads a snapshot produced by `generate --out` instead of
@@ -101,12 +109,21 @@ fn main() {
             };
             println!("\nvalidation curve:");
             for p in &res.convergence {
-                println!("  iter {:>6}  wall {:>7.1}s  metric {:.4}", p.iteration, p.wall_secs, p.metric);
+                println!(
+                    "  iter {:>6}  wall {:>7.1}s  metric {:.4}",
+                    p.iteration, p.wall_secs, p.metric
+                );
             }
             println!("\ntest metric      : {:.4}", res.test_metric);
-            println!("throughput       : {:.0} events/s", res.throughput_events_per_sec);
+            println!(
+                "throughput       : {:.0} events/s",
+                res.throughput_events_per_sec
+            );
             println!("gradient variance: {:.3e}", res.grad_variance);
-            println!("daemon rows R/W  : {} / {}", res.daemon_rows_read, res.daemon_rows_written);
+            println!(
+                "daemon rows R/W  : {} / {}",
+                res.daemon_rows_read, res.daemon_rows_written
+            );
         }
         "plan" => {
             let machines = get(&flags, "machines", 1usize);
@@ -141,7 +158,10 @@ fn main() {
             println!("\ndegree: max {max_deg}, mean {mean_deg:.1}");
         }
         "generate" => {
-            let out = flags.get("out").cloned().unwrap_or_else(|| format!("{name}.dtgl"));
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("{name}.dtgl"));
             let mut f = std::fs::File::create(&out).expect("create --out file");
             dataset.save(&mut f).expect("write dataset snapshot");
             println!("wrote snapshot to {out}");

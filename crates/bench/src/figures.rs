@@ -5,8 +5,8 @@ use crate::modeled;
 use crate::{dataset, model_for, print_table, Scale};
 use disttgl_cluster::{ClusterSpec, NetworkModel};
 use disttgl_core::{
-    baseline, replay_memory, train_distributed, train_single, ModelConfig,
-    ParallelConfig, RunResult, StaticMemory, TgnModel, TrainConfig,
+    baseline, replay_memory, train_distributed, train_single, ModelConfig, ParallelConfig,
+    RunResult, StaticMemory, TgnModel, TrainConfig,
 };
 use disttgl_data::Dataset;
 use disttgl_graph::{capture, TCsr};
@@ -71,7 +71,15 @@ pub fn table2(scale: &Scale) {
     }
     print_table(
         "Table 2: dataset statistics (ours/paper)",
-        &["dataset", "|V|", "|E|", "max(t)", "|d_e|", "bipartite", "task"],
+        &[
+            "dataset",
+            "|V|",
+            "|E|",
+            "max(t)",
+            "|d_e|",
+            "bipartite",
+            "task",
+        ],
         &rows,
     );
 }
@@ -180,8 +188,10 @@ pub fn fig02b_memsync(scale: &Scale) {
         for range in disttgl_graph::batching::chronological_batches(0..train_end, scale.local_batch)
         {
             let b = prep.prepare(range.clone(), &[], 1, &mut mem);
-            round_bytes
-                .push((b.pos.readout.mem.rows() * bytes_per_row, 2 * range.len() * bytes_per_row));
+            round_bytes.push((
+                b.pos.readout.mem.rows() * bytes_per_row,
+                2 * range.len() * bytes_per_row,
+            ));
         }
     }
     let volume: usize = round_bytes.iter().map(|(r, w)| r + w).sum();
@@ -264,7 +274,16 @@ pub fn fig05_static_vs_dynamic(scale: &Scale) {
 
     // Per-source-node MRR on validation events, dynamic vs static.
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
-    replay_memory(&model, &mc, &d, &csr, &mut mem, None, 0..train_end, scale.local_batch);
+    replay_memory(
+        &model,
+        &mc,
+        &d,
+        &csr,
+        &mut mem,
+        None,
+        0..train_end,
+        scale.local_batch,
+    );
     let mut dyn_score = vec![(0.0f64, 0u32); d.graph.num_nodes()];
     let mut stat_score = vec![(0.0f64, 0u32); d.graph.num_nodes()];
     let mut sampler = disttgl_data::EvalNegatives::new(&d.graph, 5);
@@ -345,12 +364,20 @@ pub fn fig06_static_memory(scale: &Scale) {
     for name in ["flights", "mooc"] {
         let d = dataset(scale, name);
         for static_on in [true, false] {
-            let mc = if static_on { model_for(&d) } else { model_for(&d).without_static_memory() };
+            let mc = if static_on {
+                model_for(&d)
+            } else {
+                model_for(&d).without_static_memory()
+            };
             let cfg = train_cfg(scale, ParallelConfig::single());
             let res = run(&d, &mc, &cfg);
             rows.push(vec![
                 name.into(),
-                if static_on { "with static".into() } else { "w/o static".to_string() },
+                if static_on {
+                    "with static".into()
+                } else {
+                    "w/o static".to_string()
+                },
                 format!("{:.4}", res.best_val_metric),
                 format!("{:.4}", res.test_metric),
                 format!("{}", iters_to_frac(&res, 0.9)),
@@ -376,8 +403,10 @@ pub fn fig08_captured_events(scale: &Scale) {
     let chunk = (order.len() / groups).max(1);
 
     let mut rows = Vec::new();
-    let all: Vec<Vec<u32>> =
-        batch_sizes.iter().map(|&bs| capture::captured_events(&d.graph, bs)).collect();
+    let all: Vec<Vec<u32>> = batch_sizes
+        .iter()
+        .map(|&bs| capture::captured_events(&d.graph, bs))
+        .collect();
     for (gi, group) in order.chunks(chunk).take(groups).enumerate() {
         let mut row = vec![format!("{}", gi + 1)];
         let deg_sum: u64 = group.iter().map(|&v| degrees[v] as u64).sum();
@@ -429,7 +458,14 @@ pub fn fig09a_epoch_parallel(scale: &Scale) {
     }
     print_table(
         "Figure 9(a): epoch parallelism (paper: near-linear to j=4, degrades at j=8)",
-        &["dataset", "config", "iterations", "iters to 90% best", "best val", "test MRR"],
+        &[
+            "dataset",
+            "config",
+            "iterations",
+            "iters to 90% best",
+            "best val",
+            "test MRR",
+        ],
         &rows,
     );
 }
@@ -461,7 +497,14 @@ pub fn fig09b_memory_parallel(scale: &Scale) {
     }
     print_table(
         "Figure 9(b): epoch×memory combos at fixed world (paper: larger k ⇒ better test MRR)",
-        &["dataset", "config", "iterations", "best val", "test MRR", "grad variance"],
+        &[
+            "dataset",
+            "config",
+            "iterations",
+            "best val",
+            "test MRR",
+            "grad variance",
+        ],
         &rows,
     );
 }
@@ -488,7 +531,11 @@ pub fn fig10_jk_grid(scale: &Scale) {
             let res = run(&d, &mc, &cfg);
             mrr_row.push(format!("{:.4}", res.test_metric));
             let it = iters_to_frac(&res, 0.95);
-            iter_row.push(if it == usize::MAX { "-".into() } else { format!("{it}") });
+            iter_row.push(if it == usize::MAX {
+                "-".into()
+            } else {
+                format!("{it}")
+            });
         }
         mrr_rows.push(mrr_row);
         iter_rows.push(iter_row);
@@ -546,8 +593,11 @@ pub fn fig12a_throughput(scale: &Scale) {
     for name in ["wikipedia", "reddit", "mooc", "flights", "gdelt"] {
         let d = dataset(scale, name);
         let mc = model_for(&d);
-        let local_batch =
-            if name == "gdelt" { scale.local_batch * 2 } else { scale.local_batch };
+        let local_batch = if name == "gdelt" {
+            scale.local_batch * 2
+        } else {
+            scale.local_batch
+        };
         let cal = modeled::calibrate(&d, &mc, local_batch);
         let events = d.graph.num_events() * 7 / 10;
         let mut row = vec![name.to_string()];
@@ -596,8 +646,8 @@ pub fn fig12b_per_gpu(scale: &Scale) {
     let fast_real = train_single(&d, &mc.without_static_memory(), &cfg);
     // Compare pure per-iteration training time (prep + compute), not
     // wall time — final-test evaluation would otherwise dominate both.
-    let tgn_iter =
-        (tgn_real.timing.prep_secs + tgn_real.timing.compute_secs) / tgn_real.loss_history.len().max(1) as f64;
+    let tgn_iter = (tgn_real.timing.prep_secs + tgn_real.timing.compute_secs)
+        / tgn_real.loss_history.len().max(1) as f64;
     let fast_iter = (fast_real.timing.prep_secs + fast_real.timing.compute_secs)
         / fast_real.loss_history.len().max(1) as f64;
     let naive_factor = (tgn_iter / fast_iter.max(1e-12)).max(1.0);
@@ -605,21 +655,50 @@ pub fn fig12b_per_gpu(scale: &Scale) {
     let mut rows = Vec::new();
     rows.push(vec![
         "TGN (1 GPU)".into(),
-        format!("{:.0}", modeled::tgn_throughput(&cal, naive_factor, scale.local_batch)),
+        format!(
+            "{:.0}",
+            modeled::tgn_throughput(&cal, naive_factor, scale.local_batch)
+        ),
     ]);
     for n in [1usize, 2, 4, 8] {
         let t = modeled::tgl_throughput(&cal, n, events, scale.local_batch);
-        rows.push(vec![format!("TGL-TGN ({n} GPU)"), format!("{:.0}", t / n as f64)]);
+        rows.push(vec![
+            format!("TGL-TGN ({n} GPU)"),
+            format!("{:.0}", t / n as f64),
+        ]);
     }
     for (label, parallel, spec) in [
-        ("DistTGL 1x1x1", ParallelConfig::new(1, 1, 1), ClusterSpec::new(1, 1)),
-        ("DistTGL 1x2x1", ParallelConfig::new(1, 2, 1), ClusterSpec::new(1, 2)),
-        ("DistTGL 1x1x8", ParallelConfig::new(1, 1, 8), ClusterSpec::new(1, 8)),
-        ("DistTGL 1x1x16 (2 nodes)", ParallelConfig::new(1, 1, 16), ClusterSpec::new(2, 8)),
-        ("DistTGL 1x1x32 (4 nodes)", ParallelConfig::new(1, 1, 32), ClusterSpec::new(4, 8)),
+        (
+            "DistTGL 1x1x1",
+            ParallelConfig::new(1, 1, 1),
+            ClusterSpec::new(1, 1),
+        ),
+        (
+            "DistTGL 1x2x1",
+            ParallelConfig::new(1, 2, 1),
+            ClusterSpec::new(1, 2),
+        ),
+        (
+            "DistTGL 1x1x8",
+            ParallelConfig::new(1, 1, 8),
+            ClusterSpec::new(1, 8),
+        ),
+        (
+            "DistTGL 1x1x16 (2 nodes)",
+            ParallelConfig::new(1, 1, 16),
+            ClusterSpec::new(2, 8),
+        ),
+        (
+            "DistTGL 1x1x32 (4 nodes)",
+            ParallelConfig::new(1, 1, 32),
+            ClusterSpec::new(4, 8),
+        ),
     ] {
         let t = modeled::disttgl_throughput(&cal, &spec, &parallel, events, scale.local_batch);
-        rows.push(vec![label.into(), format!("{:.0}", t / parallel.world() as f64)]);
+        rows.push(vec![
+            label.into(),
+            format!("{:.0}", t / parallel.world() as f64),
+        ]);
     }
     print_table(
         "Figure 12(b): modeled throughput per GPU, wikipedia analog (paper: DistTGL ≫ TGL ≫ TGN; per-GPU decays slowly)",
@@ -641,13 +720,15 @@ pub fn table1_properties(scale: &Scale) {
     ];
     let single_cfg = train_cfg(scale, ParallelConfig::single());
     let single = run(&d, &mc, &single_cfg);
-    let replica_bytes =
-        MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim()).bytes();
+    let replica_bytes = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim()).bytes();
 
     let mut rows = vec![vec![
         "single GPU".into(),
         "1.000".into(),
-        format!("{:.3}", single.timing.prep_secs / single.loss_history.len().max(1) as f64),
+        format!(
+            "{:.3}",
+            single.timing.prep_secs / single.loss_history.len().max(1) as f64
+        ),
         format!("{:.1}", replica_bytes as f64 / 1e6),
         "-".into(),
         format!("{:.3e}", single.grad_variance),
@@ -658,8 +739,10 @@ pub fn table1_properties(scale: &Scale) {
         // Captured dependency: events captured at the *effective* batch
         // size relative to the single-GPU local batch.
         let eff_batch = scale.local_batch * parallel.i;
-        let captured: u64 =
-            capture::captured_events(&d.graph, eff_batch).iter().map(|&c| c as u64).sum();
+        let captured: u64 = capture::captured_events(&d.graph, eff_batch)
+            .iter()
+            .map(|&c| c as u64)
+            .sum();
         let captured_single: u64 = capture::captured_events(&d.graph, scale.local_batch)
             .iter()
             .map(|&c| c as u64)
@@ -667,7 +750,10 @@ pub fn table1_properties(scale: &Scale) {
         rows.push(vec![
             name.into(),
             format!("{:.3}", captured as f64 / captured_single as f64),
-            format!("{:.3}", res.timing.prep_secs / res.loss_history.len().max(1) as f64),
+            format!(
+                "{:.3}",
+                res.timing.prep_secs / res.loss_history.len().max(1) as f64
+            ),
             format!("{:.1}", (replica_bytes * parallel.k) as f64 / 1e6),
             format!("{:.1} MB weights", res.comm_bytes as f64 / 1e6),
             format!("{:.3e}", res.grad_variance),

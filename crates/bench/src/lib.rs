@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn dataset_helper_builds_all_names() {
-        let s = Scale { small: 0.003, gdelt: 2e-5, ..Scale::quick() };
+        let s = Scale {
+            small: 0.003,
+            gdelt: 2e-5,
+            ..Scale::quick()
+        };
         for name in ["wikipedia", "reddit", "mooc", "flights", "gdelt"] {
             let d = dataset(&s, name);
             assert_eq!(d.name, name);

@@ -46,14 +46,13 @@ pub fn calibrate(dataset: &Dataset, model_cfg: &ModelConfig, local_batch: usize)
     let mut model = TgnModel::new(*model_cfg, &mut rng);
     let mut adam = model.optimizer(1e-3);
     let prep = BatchPreparer::new(dataset, &csr, model_cfg);
-    let mut mem = MemoryState::new(dataset.graph.num_nodes(), model_cfg.d_mem, model_cfg.mail_dim());
-    let store = disttgl_data::NegativeStore::generate(
-        &dataset.graph,
-        dataset.graph.num_events(),
-        1,
-        1,
-        3,
+    let mut mem = MemoryState::new(
+        dataset.graph.num_nodes(),
+        model_cfg.d_mem,
+        model_cfg.mail_dim(),
     );
+    let store =
+        disttgl_data::NegativeStore::generate(&dataset.graph, dataset.graph.num_events(), 1, 1, 3);
 
     let iters = 6.min(dataset.graph.num_events() / local_batch).max(2);
     let mut compute = Duration::ZERO;
@@ -156,7 +155,10 @@ mod tests {
 
     #[test]
     fn calibration_is_positive_and_sane() {
-        let s = Scale { small: 0.004, ..Scale::quick() };
+        let s = Scale {
+            small: 0.004,
+            ..Scale::quick()
+        };
         let d = dataset(&s, "wikipedia");
         let mc = model_for(&d);
         let cal = calibrate(&d, &mc, 64);
@@ -169,7 +171,11 @@ mod tests {
     fn disttgl_scales_near_linear_while_tgl_saturates() {
         // The Figure 12 shape, from the model alone with a synthetic
         // calibration: memory ops comparable to compute.
-        let cal = Calibration { t_iter: 1e-3, t_mem_op: 8e-4, model_bytes: 400_000 };
+        let cal = Calibration {
+            t_iter: 1e-3,
+            t_mem_op: 8e-4,
+            model_bytes: 400_000,
+        };
         let events = 100_000;
         let t1 = disttgl_throughput(
             &cal,
@@ -202,7 +208,11 @@ mod tests {
 
     #[test]
     fn multi_machine_allreduce_cost_is_visible_but_small() {
-        let cal = Calibration { t_iter: 1e-3, t_mem_op: 4e-4, model_bytes: 400_000 };
+        let cal = Calibration {
+            t_iter: 1e-3,
+            t_mem_op: 4e-4,
+            model_bytes: 400_000,
+        };
         let events = 100_000;
         let single = disttgl_throughput(
             &cal,

@@ -25,7 +25,11 @@ struct Barrier {
 
 impl Barrier {
     fn new(world: usize) -> Self {
-        Self { lock: StdMutex::new((0, 0)), cvar: Condvar::new(), world }
+        Self {
+            lock: StdMutex::new((0, 0)),
+            cvar: Condvar::new(),
+            world,
+        }
     }
 
     fn wait(&self) {
@@ -102,7 +106,10 @@ impl CommunicatorGroup {
     pub fn communicator(&self, rank: usize) -> Communicator {
         assert!(rank < self.shared.world, "rank out of range");
         self.shared.live.fetch_add(1, Ordering::Relaxed);
-        Communicator { shared: Arc::clone(&self.shared), rank }
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            rank,
+        }
     }
 
     /// Counter snapshot.
@@ -154,7 +161,11 @@ impl Communicator {
         let mut acc = vec![0.0f32; data.len()];
         for slot in &shared.slots {
             let s = slot.lock();
-            assert_eq!(s.len(), data.len(), "allreduce: length mismatch across ranks");
+            assert_eq!(
+                s.len(),
+                data.len(),
+                "allreduce: length mismatch across ranks"
+            );
             for (a, &v) in acc.iter_mut().zip(s.iter()) {
                 *a += v;
             }
@@ -167,7 +178,9 @@ impl Communicator {
         if self.rank == 0 {
             let bytes = std::mem::size_of_val(data);
             shared.allreduce_count.fetch_add(1, Ordering::Relaxed);
-            shared.allreduce_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            shared
+                .allreduce_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
             let t = shared.net.ring_allreduce(bytes, &shared.spec);
             shared
                 .modeled_comm_nanos
@@ -257,7 +270,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let results = run_group(4, |comm| {
-            let mut v = if comm.rank() == 2 { vec![9.0, 8.0] } else { vec![0.0, 0.0] };
+            let mut v = if comm.rank() == 2 {
+                vec![9.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             comm.broadcast(2, &mut v);
             v
         });

@@ -72,11 +72,14 @@ impl NetworkModel {
             return Duration::ZERO;
         }
         let p = spec.machines;
-        let bw = if p > 1 { self.inter_bytes_per_sec } else { self.intra_bytes_per_sec };
+        let bw = if p > 1 {
+            self.inter_bytes_per_sec
+        } else {
+            self.intra_bytes_per_sec
+        };
         let inter_hops = if p > 1 { p as u64 } else { 0 };
         let intra_hops = n as u64 - inter_hops;
-        let latency =
-            inter_hops * self.inter_latency_ns + intra_hops * self.intra_latency_ns;
+        let latency = inter_hops * self.inter_latency_ns + intra_hops * self.intra_latency_ns;
         let volume = 2.0 * (n - 1) as f64 / n as f64 * bytes as f64;
         Duration::from_nanos(latency) + Duration::from_secs_f64(volume / bw)
     }
@@ -101,8 +104,7 @@ impl NetworkModel {
         let local_bytes = bytes - remote_bytes as usize;
         // One RPC round per remote machine (issued in parallel; the
         // per-request overheads still serialize in the sender's stack).
-        let mut t =
-            Duration::from_nanos(self.rpc_overhead_ns * (machines as u64 - 1));
+        let mut t = Duration::from_nanos(self.rpc_overhead_ns * (machines as u64 - 1));
         t += Duration::from_secs_f64(remote_bytes / self.rpc_bytes_per_sec);
         t += self.transfer(local_bytes, false);
         t
@@ -129,7 +131,10 @@ mod tests {
     #[test]
     fn single_rank_allreduce_is_free() {
         let m = NetworkModel::t4_testbed();
-        assert_eq!(m.ring_allreduce(1 << 20, &ClusterSpec::new(1, 1)), Duration::ZERO);
+        assert_eq!(
+            m.ring_allreduce(1 << 20, &ClusterSpec::new(1, 1)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -164,6 +169,11 @@ mod tests {
         assert!(t2 > t1);
         assert!(t4 > t2);
         // Remote rounds are several times the local round.
-        assert!(t2.as_secs_f64() > 2.0 * t1.as_secs_f64(), "{:?} vs {:?}", t2, t1);
+        assert!(
+            t2.as_secs_f64() > 2.0 * t1.as_secs_f64(),
+            "{:?} vs {:?}",
+            t2,
+            t1
+        );
     }
 }

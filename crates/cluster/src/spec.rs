@@ -19,8 +19,14 @@ impl ClusterSpec {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(machines: usize, gpus_per_machine: usize) -> Self {
-        assert!(machines >= 1 && gpus_per_machine >= 1, "cluster dims must be >= 1");
-        Self { machines, gpus_per_machine }
+        assert!(
+            machines >= 1 && gpus_per_machine >= 1,
+            "cluster dims must be >= 1"
+        );
+        Self {
+            machines,
+            gpus_per_machine,
+        }
     }
 
     /// The paper's largest testbed: 4 × g4dn.metal (8 GPUs each).
@@ -35,7 +41,12 @@ impl ClusterSpec {
 
     /// Machine hosting `rank`.
     pub fn machine_of(&self, rank: usize) -> usize {
-        assert!(rank < self.world(), "rank {} out of world {}", rank, self.world());
+        assert!(
+            rank < self.world(),
+            "rank {} out of world {}",
+            rank,
+            self.world()
+        );
         rank / self.gpus_per_machine
     }
 

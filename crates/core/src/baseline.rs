@@ -156,6 +156,8 @@ fn naive_prepare(
         times: events.iter().map(|e| e.t).collect(),
         eids,
         readout: stitch(&readouts, roots.len()),
+        roots,
+        root_times: times,
         nbrs,
         labels,
     };
@@ -171,7 +173,10 @@ fn naive_prepare(
             nbrs: neg_nbrs,
         }]
     };
-    PreparedBatch { pos, negs: neg_part }
+    PreparedBatch {
+        pos,
+        negs: neg_part,
+    }
 }
 
 /// Original-TGN-style single-GPU training (see module docs).
@@ -185,7 +190,11 @@ pub fn train_tgn(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfig) 
     let static_mem: Option<StaticMemory> = None; // vanilla TGN has none
     let neg_rng_range = negative_range(&dataset.graph);
 
-    let mut memory = MemoryState::new(dataset.graph.num_nodes(), model_cfg.d_mem, model_cfg.mail_dim());
+    let mut memory = MemoryState::new(
+        dataset.graph.num_nodes(),
+        model_cfg.d_mem,
+        model_cfg.mail_dim(),
+    );
     let batches = batching::chronological_batches(0..train_end, cfg.local_batch);
     let mut result = RunResult::default();
     let start = Instant::now();
@@ -201,9 +210,19 @@ pub fn train_tgn(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfig) 
             let negs: Vec<u32> = (0..range.len() * cfg.train_negs)
                 .map(|_| neg_rng.gen_range(neg_rng_range.clone()))
                 .collect();
-            let negs_opt = if dataset.task == Task::LinkPrediction { negs } else { Vec::new() };
-            let prepared =
-                naive_prepare(dataset, &csr, model_cfg, range.clone(), &negs_opt, &mut memory);
+            let negs_opt = if dataset.task == Task::LinkPrediction {
+                negs
+            } else {
+                Vec::new()
+            };
+            let prepared = naive_prepare(
+                dataset,
+                &csr,
+                model_cfg,
+                range.clone(),
+                &negs_opt,
+                &mut memory,
+            );
             result.timing.prep_secs += t_prep.elapsed().as_secs_f64();
 
             let t_compute = Instant::now();
@@ -327,8 +346,7 @@ pub fn train_tgl(
                     // WAR hazard: all reads complete before any write.
                     barrier.wait();
                     model.params.zero_grads();
-                    let out =
-                        model.train_step(&prepared.pos, prepared.negs.first(), None);
+                    let out = model.train_step(&prepared.pos, prepared.negs.first(), None);
                     losses.push(out.loss);
                     events += local.len() as u64;
                     {

@@ -57,6 +57,11 @@ pub struct PositivePart {
     pub times: Vec<f32>,
     /// Event ids (edge-feature rows).
     pub eids: Vec<u32>,
+    /// The `2B` roots `srcs ++ dsts`, in readout row order (built once
+    /// in phase 1; the model reads it every pass instead of cloning).
+    pub roots: Vec<u32>,
+    /// Query times of `roots` (`times ++ times`).
+    pub root_times: Vec<f32>,
     /// Supporting neighbors of the `2B` roots.
     pub nbrs: NeighborBlock,
     /// Memory/mail rows for roots then slots.
@@ -116,7 +121,11 @@ pub struct BatchPreparer<'a> {
 impl<'a> BatchPreparer<'a> {
     /// Creates a preparer sampling `cfg.n_neighbors` supporting nodes.
     pub fn new(dataset: &'a Dataset, csr: &'a TCsr, cfg: &ModelConfig) -> Self {
-        Self { dataset, csr, sampler: RecentNeighborSampler::new(cfg.n_neighbors) }
+        Self {
+            dataset,
+            csr,
+            sampler: RecentNeighborSampler::new(cfg.n_neighbors),
+        }
     }
 
     /// Gathers edge features for arbitrary eids (zero-width safe).
@@ -129,17 +138,22 @@ impl<'a> BatchPreparer<'a> {
         self.dataset.edge_features.gather_rows(&idx)
     }
 
-    /// Prepares events `range` with the given negative sets
-    /// (`neg_sets[g]` is a flat `range.len() · K` destination list)
-    /// using **one** serialized memory read.
-    pub fn prepare(
+    /// **Phase 1** of batch preparation: everything that does *not*
+    /// touch node memory — neighbor sampling over the static T-CSR,
+    /// negative slicing, edge-feature and label gathers, and the node
+    /// list of the upcoming serialized memory read.
+    ///
+    /// Because nothing here depends on mutable training state, this
+    /// phase is safe to run arbitrarily far ahead of the training loop
+    /// (the pipelined executor runs it one batch ahead on a prefetch
+    /// thread).
+    pub fn prepare_static(
         &self,
         range: Range<usize>,
         neg_sets: &[&[u32]],
         negs_per_event: usize,
-        mem: &mut dyn MemoryAccess,
-    ) -> PreparedBatch {
-        let events = &self.dataset.graph.events()[range.clone()];
+    ) -> StaticBatch {
+        let events = &self.dataset.graph.events()[range];
         let b = events.len();
         let srcs: Vec<u32> = events.iter().map(|e| e.src).collect();
         let dsts: Vec<u32> = events.iter().map(|e| e.dst).collect();
@@ -155,7 +169,7 @@ impl<'a> BatchPreparer<'a> {
         let pos_nbrs = self.sampler.sample(self.csr, &pos_roots, &pos_times);
 
         // Negative roots per set.
-        let mut neg_meta = Vec::with_capacity(neg_sets.len());
+        let mut negs = Vec::with_capacity(neg_sets.len());
         for set in neg_sets {
             assert_eq!(set.len(), b * negs_per_event, "negative set length");
             let neg_times: Vec<f32> = times
@@ -163,18 +177,65 @@ impl<'a> BatchPreparer<'a> {
                 .flat_map(|&t| std::iter::repeat_n(t, negs_per_event))
                 .collect();
             let nbrs = self.sampler.sample(self.csr, set, &neg_times);
-            neg_meta.push((set.to_vec(), neg_times, nbrs));
+            negs.push(StaticNegative {
+                nbr_feats: self.edge_rows(&nbrs.eids),
+                set: set.to_vec(),
+                times: neg_times,
+                nbrs,
+            });
         }
 
-        // One read covering everything, in a fixed layout.
+        // The one serialized read's node list, in a fixed layout:
+        // positive roots, positive slots, then per-set negative roots
+        // and slots.
         let mut all_nodes = Vec::new();
         all_nodes.extend_from_slice(&pos_roots);
         all_nodes.extend_from_slice(&pos_nbrs.nbrs);
-        for (set, _, nbrs) in &neg_meta {
-            all_nodes.extend_from_slice(set);
-            all_nodes.extend_from_slice(&nbrs.nbrs);
+        for n in &negs {
+            all_nodes.extend_from_slice(&n.set);
+            all_nodes.extend_from_slice(&n.nbrs.nbrs);
         }
-        let full = mem.read(&all_nodes);
+
+        let labels = self.dataset.labels.as_ref().map(|l| {
+            let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
+            l.gather_rows(&idx)
+        });
+
+        StaticBatch {
+            event_feats: self.edge_rows(&eids),
+            pos_nbr_feats: self.edge_rows(&pos_nbrs.eids),
+            srcs,
+            dsts,
+            times,
+            eids,
+            pos_roots,
+            pos_times,
+            pos_nbrs,
+            labels,
+            negs,
+            all_nodes,
+        }
+    }
+
+    /// **Phase 2** of batch preparation: the memory-dependent gather.
+    /// Issues the single serialized read for `sb.all_nodes` and splits
+    /// the readout into positive/negative parts.
+    ///
+    /// Must run *after* the previous batch's `MemoryWrite` in the
+    /// trainer's serialized memory order (the daemon's turn protocol,
+    /// or program order on a direct [`MemoryState`]).
+    pub fn finish(&self, sb: StaticBatch, mem: &mut dyn MemoryAccess) -> PreparedBatch {
+        let full = mem.read(&sb.all_nodes);
+        self.complete(sb, full)
+    }
+
+    /// Completes a batch from an already-gathered full readout (rows
+    /// in `sb.all_nodes` order). Used by the speculative phase-2 path:
+    /// the prefetch worker gathers from a possibly one-write-stale
+    /// memory view, [`patch_readout`] repairs the written rows, then
+    /// this split produces the final batch.
+    pub fn complete(&self, sb: StaticBatch, full: MemoryReadout) -> PreparedBatch {
+        assert_eq!(full.mem.rows(), sb.all_nodes.len(), "readout rows");
 
         // Split the readout back into parts.
         let mut cursor = 0usize;
@@ -190,39 +251,154 @@ impl<'a> BatchPreparer<'a> {
             mail_ts: full.mail_ts[r].to_vec(),
         };
 
-        let pos_rows = take(pos_roots.len() + pos_nbrs.nbrs.len());
+        let pos_rows = take(2 * sb.srcs.len() + sb.pos_nbrs.nbrs.len());
         let pos_readout = slice_readout(pos_rows);
-        let labels = self.dataset.labels.as_ref().map(|l| {
-            let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
-            l.gather_rows(&idx)
-        });
         let pos = PositivePart {
-            event_feats: self.edge_rows(&eids),
-            nbr_feats: self.edge_rows(&pos_nbrs.eids),
-            srcs,
-            dsts,
-            times,
-            eids,
-            nbrs: pos_nbrs,
+            event_feats: sb.event_feats,
+            nbr_feats: sb.pos_nbr_feats,
+            srcs: sb.srcs,
+            dsts: sb.dsts,
+            times: sb.times,
+            eids: sb.eids,
+            roots: sb.pos_roots,
+            root_times: sb.pos_times,
+            nbrs: sb.pos_nbrs,
             readout: pos_readout,
-            labels,
+            labels: sb.labels,
         };
 
-        let mut negs = Vec::with_capacity(neg_meta.len());
-        for (set, neg_times, nbrs) in neg_meta {
-            let rows = take(set.len() + nbrs.nbrs.len());
+        let mut negs = Vec::with_capacity(sb.negs.len());
+        for n in sb.negs {
+            let rows = take(n.set.len() + n.nbrs.nbrs.len());
             let readout = slice_readout(rows);
             negs.push(NegativePart {
-                nbr_feats: self.edge_rows(&nbrs.eids),
-                negs: set,
-                times: neg_times,
-                nbrs,
+                nbr_feats: n.nbr_feats,
+                negs: n.set,
+                times: n.times,
+                nbrs: n.nbrs,
                 readout,
             });
         }
-        debug_assert_eq!(cursor, all_nodes.len());
+        debug_assert_eq!(cursor, sb.all_nodes.len());
         PreparedBatch { pos, negs }
     }
+
+    /// Prepares events `range` with the given negative sets
+    /// (`neg_sets[g]` is a flat `range.len() · K` destination list)
+    /// using **one** serialized memory read.
+    ///
+    /// Exactly `finish(prepare_static(..))` — the sequential
+    /// composition of the two pipeline phases, kept as the reference
+    /// path (and correctness oracle) for the pipelined executor.
+    pub fn prepare(
+        &self,
+        range: Range<usize>,
+        neg_sets: &[&[u32]],
+        negs_per_event: usize,
+        mem: &mut dyn MemoryAccess,
+    ) -> PreparedBatch {
+        self.finish(self.prepare_static(range, neg_sets, negs_per_event), mem)
+    }
+}
+
+/// One negative set's memory-independent pieces.
+#[derive(Clone, Debug)]
+struct StaticNegative {
+    set: Vec<u32>,
+    times: Vec<f32>,
+    nbrs: NeighborBlock,
+    nbr_feats: Matrix,
+}
+
+/// Output of [`BatchPreparer::prepare_static`]: a batch minus its
+/// node-memory rows. Produced on the prefetch thread, completed into a
+/// [`PreparedBatch`] by [`BatchPreparer::finish`] on the trainer's
+/// serialized memory turn.
+#[derive(Clone, Debug)]
+pub struct StaticBatch {
+    srcs: Vec<u32>,
+    dsts: Vec<u32>,
+    times: Vec<f32>,
+    eids: Vec<u32>,
+    pos_roots: Vec<u32>,
+    pos_times: Vec<f32>,
+    pos_nbrs: NeighborBlock,
+    event_feats: Matrix,
+    pos_nbr_feats: Matrix,
+    labels: Option<Matrix>,
+    negs: Vec<StaticNegative>,
+    all_nodes: Vec<u32>,
+}
+
+impl StaticBatch {
+    /// Number of events `B`.
+    pub fn len(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.srcs.is_empty()
+    }
+
+    /// Rows the serialized memory read will gather.
+    pub fn read_rows(&self) -> usize {
+        self.all_nodes.len()
+    }
+
+    /// The node of every readout row, in gather order.
+    pub fn nodes(&self) -> &[u32] {
+        &self.all_nodes
+    }
+}
+
+/// Repairs a speculatively gathered full readout: every row whose node
+/// is in `stale` (any order, duplicates allowed — e.g. a
+/// `MemoryWrite::nodes` list straight from the write) is re-read from
+/// `mem` (the post-write state). Rows of nodes outside the stale set
+/// were, by construction, untouched by the intervening write, so after
+/// patching the readout is *bit-identical* to a serialized read — this
+/// is the memory-dependency rule that lets phase 2 of batch `t + 1`
+/// overlap the compute of batch `t`. Membership is a binary search
+/// over a locally sorted copy: the stale set is one batch's root nodes
+/// (small), the row scan is long, and hashing per row would dominate
+/// the patch.
+pub fn patch_readout(
+    full: &mut MemoryReadout,
+    all_nodes: &[u32],
+    stale: &[u32],
+    mem: &MemoryState,
+) -> usize {
+    if stale.is_empty() {
+        return 0;
+    }
+    let sorted: Vec<u32> = if stale.windows(2).all(|w| w[0] < w[1]) {
+        stale.to_vec()
+    } else {
+        let mut s = stale.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let mut rows = Vec::new();
+    let mut nodes = Vec::new();
+    for (row, &n) in all_nodes.iter().enumerate() {
+        if sorted.binary_search(&n).is_ok() {
+            rows.push(row);
+            nodes.push(n);
+        }
+    }
+    if nodes.is_empty() {
+        return 0;
+    }
+    let fresh = MemoryState::read(mem, &nodes);
+    for (i, &row) in rows.iter().enumerate() {
+        full.mem.row_mut(row).copy_from_slice(fresh.mem.row(i));
+        full.mail.row_mut(row).copy_from_slice(fresh.mail.row(i));
+        full.mem_ts[row] = fresh.mem_ts[i];
+        full.mail_ts[row] = fresh.mail_ts[i];
+    }
+    rows.len()
 }
 
 #[cfg(test)]
@@ -284,7 +460,10 @@ mod tests {
             let t_query = batch.pos.times[r % b];
             for s in 0..batch.pos.nbrs.counts[r] {
                 let dt = batch.pos.nbrs.dts[batch.pos.nbrs.slot(r, s)];
-                assert!(dt >= 0.0, "negative Δt at root {r} slot {s}: {dt} (query {t_query})");
+                assert!(
+                    dt >= 0.0,
+                    "negative Δt at root {r} slot {s}: {dt} (query {t_query})"
+                );
             }
         }
     }

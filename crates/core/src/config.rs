@@ -109,7 +109,10 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// Creates a config; `1×1×1` is the single-GPU baseline.
     pub fn new(i: usize, j: usize, k: usize) -> Self {
-        assert!(i >= 1 && j >= 1 && k >= 1, "parallelism factors must be >= 1");
+        assert!(
+            i >= 1 && j >= 1 && k >= 1,
+            "parallelism factors must be >= 1"
+        );
         Self { i, j, k }
     }
 
@@ -246,6 +249,13 @@ pub struct TrainConfig {
     pub eval_max_events: usize,
     /// RNG seed for weights, negatives, and schedules.
     pub seed: u64,
+    /// Overlap phase-1 batch preparation (sampling, negative slicing,
+    /// feature gathers) with compute on a per-trainer prefetch thread
+    /// in `train_distributed`. Bit-identical results either way — the
+    /// memory-dependent gather stays in the serialized turn order —
+    /// so this is on by default; disable to measure the overlap or to
+    /// halve the thread count.
+    pub pipeline_prefetch: bool,
 }
 
 impl TrainConfig {
@@ -262,6 +272,7 @@ impl TrainConfig {
             eval_every_epoch: true,
             eval_max_events: usize::MAX,
             seed: 42,
+            pipeline_prefetch: true,
         }
     }
 

@@ -24,6 +24,7 @@ use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult, TimingBreakdown};
 use crate::model::TgnModel;
+use crate::pipeline::{BatchPrefetcher, PrefetchRequest};
 use crate::sched::{GroupSchedule, StepPlan};
 use crate::static_mem::StaticMemory;
 use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
@@ -92,7 +93,13 @@ pub fn train_distributed(
     // Static memory pre-training happens once, before the timed run
     // (the paper pre-trains separately; <30 s on its datasets).
     let static_mem = Arc::new(if model_cfg.static_memory {
-        Some(StaticMemory::pretrain(dataset, model_cfg.d_mem, train_end, 10, cfg.seed ^ 0x5747))
+        Some(StaticMemory::pretrain(
+            dataset,
+            model_cfg.d_mem,
+            train_end,
+            10,
+            cfg.seed ^ 0x5747,
+        ))
     } else {
         None
     });
@@ -121,7 +128,11 @@ pub fn train_distributed(
             .iter()
             .map(|s| {
                 MemoryDaemon::spawn_schedule(
-                    MemoryState::new(dataset.graph.num_nodes(), model_cfg.d_mem, model_cfg.mail_dim()),
+                    MemoryState::new(
+                        dataset.graph.num_nodes(),
+                        model_cfg.d_mem,
+                        model_cfg.mail_dim(),
+                    ),
                     i,
                     j,
                     s.daemon_epoch_lengths(),
@@ -188,7 +199,10 @@ pub fn train_distributed(
 
     // Throughput counts training time only (evaluation excluded, as in
     // the paper): total traversed events / (wall − rank-0 eval time).
-    let traversed: usize = schedules.iter().map(|s| s.events_traversed_per_group()).sum();
+    let traversed: usize = schedules
+        .iter()
+        .map(|s| s.events_traversed_per_group())
+        .sum();
     result.throughput_events_per_sec = traversed as f64 / (wall - eval_secs).max(1e-9);
     result.finalize_convergence();
 
@@ -273,6 +287,39 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let mut cached: Option<PreparedBatch> = None;
     let mut sweep_done = 0usize;
 
+    // Pipelined prefetch: phase 1 (sampling, negative slicing, feature
+    // gathers) of this lane's *next* non-empty Acquire runs on a
+    // worker thread while the current step computes. Phase 2 — the
+    // serialized memory read — stays exactly where it was, so the
+    // daemon turn order and training results are unchanged.
+    let acquire_plan: Vec<(usize, std::ops::Range<usize>, usize)> = (0..total_steps)
+        .filter_map(|step| match schedule.plan(jg, step) {
+            StepPlan::Acquire { batch, epoch_equiv } => {
+                let local = schedule.local_slice(&batch, ig);
+                (!local.is_empty()).then_some((step, local, epoch_equiv))
+            }
+            _ => None,
+        })
+        .collect();
+    let request_for = |idx: usize| {
+        let (_, local, epoch_equiv) = acquire_plan[idx].clone();
+        PrefetchRequest::for_epoch(
+            store.as_ref().as_ref(),
+            epoch_equiv,
+            j,
+            local,
+            cfg.train_negs,
+        )
+    };
+    let mut next_acquire = 0usize;
+    let mut prefetcher = if cfg.pipeline_prefetch && !acquire_plan.is_empty() {
+        let mut p = BatchPrefetcher::spawn(Arc::clone(&dataset), Arc::clone(&csr), model_cfg);
+        p.request(request_for(0));
+        Some(p)
+    } else {
+        None
+    };
+
     for step in 0..total_steps {
         let plan = schedule.plan(jg, step);
         model.params.zero_grads();
@@ -286,30 +333,50 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 let prepared = if local.is_empty() {
                     // Still take the serialized memory turn with an
                     // empty request to keep the daemon protocol moving.
-                    let mut timed =
-                        TimedAccess { inner: &mut client, wait_secs: &mut ret.timing.mem_wait_secs };
+                    let mut timed = TimedAccess {
+                        inner: &mut client,
+                        wait_secs: &mut ret.timing.mem_wait_secs,
+                    };
                     let _ = timed.read(&[]);
                     timed.write(empty_write(&model_cfg));
                     None
                 } else {
-                    // One read covering the positives and all j
-                    // negative sets (epoch-parallel prefetch).
-                    let mut neg_slices: Vec<&[u32]> = Vec::new();
-                    let storage;
-                    if let Some(store) = store.as_ref() {
-                        storage = (0..j)
-                            .map(|p| {
-                                let g = store.group_for_epoch(epoch_equiv + p);
-                                store.slice(g, local.clone())
-                            })
-                            .collect::<Vec<_>>();
-                        neg_slices = storage.to_vec();
-                    }
-                    let mut timed =
-                        TimedAccess { inner: &mut client, wait_secs: &mut ret.timing.mem_wait_secs };
-                    let prepared =
-                        prep.prepare(local.clone(), &neg_slices, cfg.train_negs, &mut timed);
-                    ret.timing.prep_secs += t_prep.elapsed().as_secs_f64() - 0.0;
+                    let mut timed = TimedAccess {
+                        inner: &mut client,
+                        wait_secs: &mut ret.timing.mem_wait_secs,
+                    };
+                    let prepared = match &mut prefetcher {
+                        Some(p) => {
+                            // Phase 1 was prefetched; queue the next
+                            // Acquire's phase 1, then do the one
+                            // serialized read (+ split) here.
+                            debug_assert_eq!(acquire_plan[next_acquire].0, step);
+                            let resp = p.recv();
+                            next_acquire += 1;
+                            if next_acquire < acquire_plan.len() {
+                                p.request(request_for(next_acquire));
+                            }
+                            prep.finish(resp.sb, &mut timed)
+                        }
+                        None => {
+                            // Sequential oracle: one read covering the
+                            // positives and all j negative sets
+                            // (epoch-parallel prefetch).
+                            let mut neg_slices: Vec<&[u32]> = Vec::new();
+                            let storage;
+                            if let Some(store) = store.as_ref() {
+                                storage = (0..j)
+                                    .map(|p| {
+                                        let g = store.group_for_epoch(epoch_equiv + p);
+                                        store.slice(g, local.clone())
+                                    })
+                                    .collect::<Vec<_>>();
+                                neg_slices = storage.to_vec();
+                            }
+                            prep.prepare(local.clone(), &neg_slices, cfg.train_negs, &mut timed)
+                        }
+                    };
+                    ret.timing.prep_secs += t_prep.elapsed().as_secs_f64();
 
                     let t_compute = Instant::now();
                     let out = model.train_step(
@@ -333,8 +400,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                     } else {
                         Some(&prepared.negs[pass.min(prepared.negs.len() - 1)])
                     };
-                    let out =
-                        model.train_step(&prepared.pos, neg, static_mem.as_ref().as_ref());
+                    let out = model.train_step(&prepared.pos, neg, static_mem.as_ref().as_ref());
                     ret.timing.compute_secs += t_compute.elapsed().as_secs_f64();
                     loss = out.loss;
                     did_work = true;
@@ -424,7 +490,10 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 cfg.local_batch,
             );
         }
-        let test_end = dataset.graph.num_events().min(val_end.saturating_add(cfg.eval_max_events));
+        let test_end = dataset
+            .graph
+            .num_events()
+            .min(val_end.saturating_add(cfg.eval_max_events));
         let test = evaluate(
             &model,
             &model_cfg,
@@ -462,7 +531,11 @@ fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) 
         dev_sum += r.grad_sq_dev_sum;
         probes += r.grad_probes;
     }
-    result.grad_variance = if probes > 0 { dev_sum / probes as f64 } else { 0.0 };
+    result.grad_variance = if probes > 0 {
+        dev_sum / probes as f64
+    } else {
+        0.0
+    };
 
     let rank0 = returns.into_iter().next().expect("at least one trainer");
     result.loss_history = rank0.loss_history;

@@ -75,11 +75,7 @@ pub fn evaluate(
                 let prepared = prep.prepare(batch_range, &[], 1, memory);
                 let out = model.infer_step(&prepared.pos, None, static_mem);
                 total_loss += out.loss as f64;
-                let logits = Matrix::from_vec(
-                    b,
-                    cfg.num_classes,
-                    out.pos_scores.clone(),
-                );
+                let logits = Matrix::from_vec(b, cfg.num_classes, out.pos_scores.clone());
                 f1_logits.push(logits);
                 f1_labels.push(prepared.pos.labels.clone().expect("labels"));
                 memory.write(&out.write);
@@ -102,13 +98,18 @@ pub fn evaluate(
     };
     EvalResult {
         metric,
-        loss: if batches > 0 { total_loss / batches as f64 } else { 0.0 },
+        loss: if batches > 0 {
+            total_loss / batches as f64
+        } else {
+            0.0
+        },
         events: range.len(),
     }
 }
 
 /// Replays `range` through the model (no scoring) purely to advance
 /// `memory` — used to position a fresh memory at a split boundary.
+#[allow(clippy::too_many_arguments)]
 pub fn replay_memory(
     model: &TgnModel,
     cfg: &ModelConfig,
@@ -145,7 +146,11 @@ mod tests {
         let res = evaluate(&model, &cfg, &d, &csr, &mut mem, None, 0..256, 64, 9, 5);
         // With 9 negatives, chance MRR ≈ Σ(1/r)/10 ≈ 0.29; an untrained
         // model should land in a broad band around it, far from 1.0.
-        assert!(res.metric > 0.05 && res.metric < 0.7, "metric {}", res.metric);
+        assert!(
+            res.metric > 0.05 && res.metric < 0.7,
+            "metric {}",
+            res.metric
+        );
         assert_eq!(res.events, 256);
         assert!(res.loss > 0.0);
     }

@@ -9,24 +9,55 @@
 //!
 //! Entry points:
 //! * [`TrainConfig`] / [`ParallelConfig`] / [`plan`] — configure a run;
-//! * [`train_distributed`] — the DistTGL trainer (any `i × j × k`);
+//! * [`train_distributed`] — the DistTGL trainer (any `i × j × k`),
+//!   with pipelined batch prefetch on by default
+//!   (`TrainConfig::pipeline_prefetch`);
 //! * [`train_single`] — the sequential reference trainer (exact
-//!   single-GPU semantics, also the correctness oracle for schedules);
+//!   single-GPU semantics, also the correctness oracle for schedules
+//!   and for the pipelined executor);
+//! * [`train_single_pipelined`] — the same semantics with mini-batch
+//!   preparation overlapped behind compute;
 //! * [`baseline`] — TGN- and TGL-style baselines for Figures 1 and 12;
 //! * [`evaluate`] — MRR / F1-micro evaluation.
+//!
+//! ## The pipelined batch-prefetch executor
+//!
+//! Mini-batch preparation decomposes into a **memory-independent phase
+//! 1** (neighbor sampling over the immutable T-CSR, negative slicing,
+//! edge-feature and label gathers — [`BatchPreparer::prepare_static`])
+//! and a **memory-dependent phase 2** (the single serialized
+//! node-memory row gather — [`BatchPreparer::finish`]). Phase 1 of
+//! batch *t + 1* runs on a [`BatchPrefetcher`] worker thread while the
+//! trainer computes batch *t* (double buffering: exactly one request
+//! in flight). Phase 2 must observe batch *t*'s `MemoryWrite`; the
+//! single-GPU executor satisfies that *and* still overlaps the gather
+//! through **eager-write scheduling** — the write exists right after
+//! the forward pass ([`TgnModel::train_step_eager_write`]), is applied
+//! immediately (nothing reads memory in between), and the worker then
+//! gathers batch *t + 1*'s rows during the backward pass, exactly. The
+//! distributed trainer prefetches phase 1 per lane and keeps phase 2
+//! in its serialized daemon turn. See [`pipeline`] for the full
+//! architecture notes (including the speculative gather + patch
+//! mechanism kept for the daemon writeback path) and
+//! `tests/pipeline_equivalence.rs` for the bit-identity proof against
+//! the sequential oracle.
 
-mod batch;
 pub mod baseline;
+mod batch;
 mod config;
 mod dist;
 mod eval;
 mod metrics;
 mod model;
+pub mod pipeline;
 mod sched;
 mod single;
 mod static_mem;
 
-pub use batch::{BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch};
+pub use batch::{
+    patch_readout, BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch,
+    StaticBatch,
+};
 pub use config::{
     plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,
 };
@@ -34,6 +65,9 @@ pub use dist::train_distributed;
 pub use eval::{evaluate, replay_memory, EvalResult};
 pub use metrics::{ConvergencePoint, RunResult, TimingBreakdown};
 pub use model::{StepOutput, TgnModel};
+pub use pipeline::{BatchPrefetcher, PrefetchRequest, PrefetchedBatch, SharedMemory};
 pub use sched::{GroupSchedule, StepPlan};
-pub use single::train_single;
+pub use single::{
+    train_single, train_single_pipelined, train_single_pipelined_traced, train_single_traced,
+};
 pub use static_mem::StaticMemory;

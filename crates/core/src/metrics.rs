@@ -102,12 +102,26 @@ mod tests {
 
     #[test]
     fn finalize_tracks_best_point() {
-        let mut r = RunResult::default();
-        r.convergence = vec![
-            ConvergencePoint { iteration: 10, wall_secs: 1.0, metric: 0.5 },
-            ConvergencePoint { iteration: 20, wall_secs: 2.0, metric: 0.8 },
-            ConvergencePoint { iteration: 30, wall_secs: 3.0, metric: 0.7 },
-        ];
+        let mut r = RunResult {
+            convergence: vec![
+                ConvergencePoint {
+                    iteration: 10,
+                    wall_secs: 1.0,
+                    metric: 0.5,
+                },
+                ConvergencePoint {
+                    iteration: 20,
+                    wall_secs: 2.0,
+                    metric: 0.8,
+                },
+                ConvergencePoint {
+                    iteration: 30,
+                    wall_secs: 3.0,
+                    metric: 0.7,
+                },
+            ],
+            ..RunResult::default()
+        };
         r.finalize_convergence();
         assert_eq!(r.best_val_metric, 0.8);
         assert_eq!(r.iters_to_best, 20);

@@ -51,13 +51,40 @@ pub struct TgnModel {
     attn: TemporalAttention,
     combine: Linear,
     head: Head,
+    /// Per-trainer scratch arena reused across [`TgnModel::train_step`]
+    /// calls: the GRU caches, masks, and memory-update buffers of both
+    /// root sets live here, so the largest per-step matrices are
+    /// allocated once and resized in place thereafter.
+    scratch: StepScratch,
 }
 
-/// Per-root-set forward state kept for the backward pass.
-struct EmbedCache {
-    gru_cache: GruCache,
+/// Reusable buffers for one embed pass (the memory-update stage, whose
+/// matrices — `2B(1+k) × mail_dim`-adjacent — dominate per-step
+/// allocation).
+#[derive(Default)]
+struct EmbedScratch {
+    /// Fused-GRU gate buffers (see [`GruCell::forward_into`]).
+    gru: GruCache,
+    /// `ŝ`: GRU output where a mail was pending, prior memory
+    /// elsewhere.
+    s_hat: Matrix,
     /// 1.0 where the GRU output was selected (node had a mail).
     mask: Matrix,
+    /// `ŝ + s_static` when static node memory is enabled.
+    combined: Matrix,
+}
+
+/// Scratch for a whole training step: one arena per root set, since
+/// the positive and negative embeds are both alive until backward.
+#[derive(Default)]
+struct StepScratch {
+    pos: EmbedScratch,
+    neg: EmbedScratch,
+}
+
+/// Per-root-set forward state kept for the backward pass (the parts
+/// not already held by [`EmbedScratch`]).
+struct EmbedCache {
     slot_dts: Vec<f32>,
     attn_cache: AttentionCache,
     combine_cache: LinearCache,
@@ -96,7 +123,13 @@ impl TgnModel {
             cfg.n_neighbors,
             rng,
         );
-        let combine = Linear::new(&mut params, "combine", cfg.d_mem + cfg.d_emb, cfg.d_emb, rng);
+        let combine = Linear::new(
+            &mut params,
+            "combine",
+            cfg.d_mem + cfg.d_emb,
+            cfg.d_emb,
+            rng,
+        );
         let head = if cfg.num_classes > 0 {
             Head::Class(EdgeClassifier::new(
                 &mut params,
@@ -107,9 +140,24 @@ impl TgnModel {
                 rng,
             ))
         } else {
-            Head::Link(EdgePredictor::new(&mut params, "head", cfg.d_emb, cfg.d_emb, rng))
+            Head::Link(EdgePredictor::new(
+                &mut params,
+                "head",
+                cfg.d_emb,
+                cfg.d_emb,
+                rng,
+            ))
         };
-        Self { cfg, params, time_enc, gru, attn, combine, head }
+        Self {
+            cfg,
+            params,
+            time_enc,
+            gru,
+            attn,
+            combine,
+            head,
+            scratch: StepScratch::default(),
+        }
     }
 
     /// Creates an Adam optimizer shaped for this model.
@@ -117,34 +165,40 @@ impl TgnModel {
         Adam::new(&self.params, lr)
     }
 
-    /// Updated memory `ŝ`, its selection mask, and effective update
-    /// timestamps for a readout block (Eq. 3 with the has-mail guard).
-    fn update_memory(
-        &self,
-        readout_mem: &Matrix,
-        readout_mail: &Matrix,
-        mem_ts: &[f32],
-        mail_ts: &[f32],
-    ) -> (Matrix, Matrix, Vec<f32>, GruCache) {
-        let (gru_out, cache) = self.gru.forward(&self.params, readout_mail, readout_mem);
-        let rows = readout_mem.rows();
-        let mut mask = Matrix::zeros(rows, self.cfg.d_mem);
-        let mut s_hat = readout_mem.clone();
+    /// Updated memory `ŝ` (into `scratch.s_hat`), its selection mask
+    /// (into `scratch.mask`), and effective update timestamps for a
+    /// readout block (Eq. 3 with the has-mail guard).
+    ///
+    /// The fused GRU writes straight into the scratch buffers; rows
+    /// without a pending mail are then overwritten with the prior
+    /// memory in place — no `readout.mem` clone, no per-step GRU
+    /// allocations.
+    fn update_memory(&self, readout: &MemoryReadout, scratch: &mut EmbedScratch) -> Vec<f32> {
+        self.gru.forward_into(
+            &self.params,
+            &readout.mail,
+            &readout.mem,
+            &mut scratch.gru,
+            &mut scratch.s_hat,
+        );
+        let rows = readout.mem.rows();
+        scratch.mask.resize(rows, self.cfg.d_mem);
         let mut ts = vec![0.0f32; rows];
-        for r in 0..rows {
-            if mail_ts[r] > 0.0 {
-                mask.row_mut(r).fill(1.0);
-                s_hat.row_mut(r).copy_from_slice(gru_out.row(r));
-                ts[r] = mail_ts[r];
+        for (r, t_out) in ts.iter_mut().enumerate() {
+            if readout.mail_ts[r] > 0.0 {
+                scratch.mask.row_mut(r).fill(1.0);
+                *t_out = readout.mail_ts[r];
             } else {
-                ts[r] = mem_ts[r];
+                scratch.s_hat.row_mut(r).copy_from_slice(readout.mem.row(r));
+                *t_out = readout.mem_ts[r];
             }
         }
-        (s_hat, mask, ts, cache)
+        ts
     }
 
     /// Embeds a root set. `readout` rows: `R` roots then `R·k` slots.
     /// Returns `(embeddings, ŝ_roots, root update ts, cache)`.
+    #[allow(clippy::too_many_arguments)]
     fn embed(
         &self,
         roots: &[u32],
@@ -154,6 +208,7 @@ impl TgnModel {
         readout: &MemoryReadout,
         nbr_feats: &Matrix,
         static_mem: Option<&StaticMemory>,
+        scratch: &mut EmbedScratch,
     ) -> (Matrix, Matrix, Vec<f32>, EmbedCache) {
         let r = roots.len();
         let k = self.cfg.n_neighbors;
@@ -161,19 +216,22 @@ impl TgnModel {
         debug_assert_eq!(slot_nodes.len(), r * k);
 
         // One fused GRU pass over roots + slots.
-        let (s_hat, mask, ts, gru_cache) =
-            self.update_memory(&readout.mem, &readout.mail, &readout.mem_ts, &readout.mail_ts);
+        let ts = self.update_memory(readout, scratch);
 
-        // Static combine.
-        let mut combined = s_hat.clone();
-        if let Some(sm) = static_mem {
-            if self.cfg.static_memory {
-                let mut all_nodes = Vec::with_capacity(r + r * k);
-                all_nodes.extend_from_slice(roots);
-                all_nodes.extend_from_slice(slot_nodes);
-                combined.add_assign(&sm.rows(&all_nodes));
+        // Static combine: `ŝ + s_static`, accumulated straight from the
+        // embedding table (no gathered block, no `ŝ` clone); without
+        // static memory, `ŝ` is used as-is.
+        let combined: &Matrix = match static_mem {
+            Some(sm) if self.cfg.static_memory => {
+                scratch.combined.copy_from(&scratch.s_hat);
+                scratch.combined.add_gathered_rows(0, sm.table(), roots);
+                scratch
+                    .combined
+                    .add_gathered_rows(r, sm.table(), slot_nodes);
+                &scratch.combined
             }
-        }
+            _ => &scratch.s_hat,
+        };
         let c_roots = combined.slice_rows(0, r);
         let c_slots = combined.slice_rows(r, r + r * k);
 
@@ -185,10 +243,10 @@ impl TgnModel {
         // Key/value features {c_slot || E || Φ(Δt)}, Δt against the
         // slot's memory-update time (Eq. 5).
         let mut slot_dts = vec![0.0f32; r * k];
-        for root in 0..r {
+        for (root, &t_root) in times.iter().enumerate() {
             for s in 0..k {
                 let idx = root * k + s;
-                slot_dts[idx] = (times[root] - ts[r + idx]).max(0.0);
+                slot_dts[idx] = (t_root - ts[r + idx]).max(0.0);
             }
         }
         let phi_dt = self.time_enc.forward(&self.params, &slot_dts);
@@ -201,12 +259,9 @@ impl TgnModel {
         let (z, combine_cache) = self.combine.forward(&self.params, &x);
         let emb = z.relu();
 
-        let s_hat_roots = s_hat.slice_rows(0, r);
+        let s_hat_roots = scratch.s_hat.slice_rows(0, r);
         let root_ts = ts[0..r].to_vec();
         let cache = EmbedCache {
-            gru_cache,
-            mask,
-
             slot_dts,
             attn_cache,
             combine_cache,
@@ -216,17 +271,23 @@ impl TgnModel {
     }
 
     /// Backward through one embed: accumulates all parameter gradients.
-    fn embed_backward(&mut self, cache: &EmbedCache, demb: &Matrix) {
+    /// `scratch` must be the arena the matching [`TgnModel::embed`]
+    /// call filled (GRU cache + selection mask).
+    fn embed_backward(&mut self, cache: &EmbedCache, scratch: &EmbedScratch, demb: &Matrix) {
         let d_mem = self.cfg.d_mem;
         let r = demb.rows();
         let k = self.cfg.n_neighbors;
 
         let dz = demb.hadamard(&cache.z.relu_deriv_from_input());
-        let dx = self.combine.backward(&mut self.params, &cache.combine_cache, &dz);
+        let dx = self
+            .combine
+            .backward(&mut self.params, &cache.combine_cache, &dz);
         let mut d_c_roots = dx.slice_cols(0, d_mem);
         let d_h = dx.slice_cols(d_mem, dx.cols());
 
-        let (dq_feat, dkv_feat) = self.attn.backward(&mut self.params, &cache.attn_cache, &d_h);
+        let (dq_feat, dkv_feat) = self
+            .attn
+            .backward(&mut self.params, &cache.attn_cache, &d_h);
         d_c_roots.add_assign(&dq_feat.slice_cols(0, d_mem));
         if self.cfg.learnable_time {
             let zeros = vec![0.0f32; r];
@@ -238,15 +299,18 @@ impl TgnModel {
         if self.cfg.learnable_time {
             let start = d_mem + self.cfg.d_edge;
             let dphi = dkv_feat.slice_cols(start, start + self.cfg.d_time);
-            self.time_enc.backward(&mut self.params, &cache.slot_dts, &dphi);
+            self.time_enc
+                .backward(&mut self.params, &cache.slot_dts, &dphi);
         }
 
         // d(ŝ) for roots + slots; GRU gradient only where the mail was
         // applied (the mask), per the selection in `update_memory`.
         debug_assert_eq!(d_c_slots.rows(), r * k);
         let d_s_hat = Matrix::vcat(&[&d_c_roots, &d_c_slots]);
-        let d_gru_out = d_s_hat.hadamard(&cache.mask);
-        let (_dmail, _dmem) = self.gru.backward(&mut self.params, &cache.gru_cache, &d_gru_out);
+        let d_gru_out = d_s_hat.hadamard(&scratch.mask);
+        let (_dmail, _dmem) = self
+            .gru
+            .backward(&mut self.params, &scratch.gru, &d_gru_out);
         // No BPTT: gradients stop at the fetched memory and mails.
     }
 
@@ -311,8 +375,20 @@ impl TgnModel {
             mail_ts.push(t);
         }
         match self.cfg.comb {
-            CombPolicy::MostRecent => MemoryWrite { nodes, mem, mem_ts, mail, mail_ts },
-            CombPolicy::Mean => combine_mean(MemoryWrite { nodes, mem, mem_ts, mail, mail_ts }),
+            CombPolicy::MostRecent => MemoryWrite {
+                nodes,
+                mem,
+                mem_ts,
+                mail,
+                mail_ts,
+            },
+            CombPolicy::Mean => combine_mean(MemoryWrite {
+                nodes,
+                mem,
+                mem_ts,
+                mail,
+                mail_ts,
+            }),
         }
     }
 
@@ -345,21 +421,57 @@ impl TgnModel {
         neg: Option<&NegativePart>,
         static_mem: Option<&StaticMemory>,
     ) -> StepOutput {
+        self.train_step_impl(pos, neg, static_mem, &mut |w| w)
+    }
+
+    /// [`TgnModel::train_step`] that hands the batch's `MemoryWrite` to
+    /// `sink` as soon as it exists — right after the forward pass,
+    /// before the decoder/backward (the majority of step compute).
+    /// Nothing in the remainder of the step reads node memory, so a
+    /// sink that applies the write immediately is semantically
+    /// identical to applying `StepOutput::write` afterwards — and it
+    /// opens the backward pass as an overlap window for the next
+    /// batch's memory gather (the pipelined executor's phase 2). The
+    /// returned `StepOutput.write` is empty.
+    pub fn train_step_eager_write(
+        &mut self,
+        pos: &PositivePart,
+        neg: Option<&NegativePart>,
+        static_mem: Option<&StaticMemory>,
+        sink: impl FnOnce(MemoryWrite),
+    ) -> StepOutput {
+        let mut sink = Some(sink);
+        self.train_step_impl(pos, neg, static_mem, &mut |w| {
+            (sink.take().expect("write produced once"))(w);
+            MemoryWrite::default()
+        })
+    }
+
+    fn train_step_impl(
+        &mut self,
+        pos: &PositivePart,
+        neg: Option<&NegativePart>,
+        static_mem: Option<&StaticMemory>,
+        write_sink: &mut dyn FnMut(MemoryWrite) -> MemoryWrite,
+    ) -> StepOutput {
         let b = pos.len();
+        // Detach the arena so `self` stays borrowable; returned below.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let (pos_emb, s_hat_roots, root_ts, pos_cache) = self.embed(
-            &pos_roots(pos),
-            &pos_times(pos),
+            pos_roots(pos),
+            pos_times(pos),
             &pos.nbrs.counts,
             &pos.nbrs.nbrs,
             &pos.readout,
             &pos.nbr_feats,
             static_mem,
+            &mut scratch.pos,
         );
-        let write = self.build_write(pos, &s_hat_roots, &root_ts);
+        let write = write_sink(self.build_write(pos, &s_hat_roots, &root_ts));
         let src_emb = pos_emb.slice_rows(0, b);
         let dst_emb = pos_emb.slice_rows(b, 2 * b);
 
-        match (&self.head, neg) {
+        let out = match (&self.head, neg) {
             (Head::Link(pred), Some(neg)) => {
                 let pred = *pred;
                 let kneg = neg.negs.len() / b;
@@ -371,6 +483,7 @@ impl TgnModel {
                     &neg.readout,
                     &neg.nbr_feats,
                     static_mem,
+                    &mut scratch.neg,
                 );
                 let (pos_logits, pc) = pred.forward(&self.params, &src_emb, &dst_emb);
                 let src_rep = Self::repeat_rows(&src_emb, kneg);
@@ -382,8 +495,8 @@ impl TgnModel {
                 let mut dsrc = dsrc1;
                 dsrc.add_assign(&Self::fold_rows(&dsrc_rep, kneg));
                 let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
-                self.embed_backward(&pos_cache, &dpos_emb);
-                self.embed_backward(&neg_cache, &dneg);
+                self.embed_backward(&pos_cache, &scratch.pos, &dpos_emb);
+                self.embed_backward(&neg_cache, &scratch.neg, &dneg);
 
                 StepOutput {
                     loss: l,
@@ -399,7 +512,7 @@ impl TgnModel {
                 let (l, dl) = loss::multi_label_bce(&logits, labels);
                 let (dsrc, ddst) = clf.backward(&mut self.params, &pc, &dl);
                 let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
-                self.embed_backward(&pos_cache, &dpos_emb);
+                self.embed_backward(&pos_cache, &scratch.pos, &dpos_emb);
                 StepOutput {
                     loss: l,
                     pos_scores: logits.into_vec(),
@@ -408,7 +521,9 @@ impl TgnModel {
                 }
             }
             (Head::Link(_), None) => panic!("link prediction training needs a negative part"),
-        }
+        };
+        self.scratch = scratch;
+        out
     }
 
     /// Inference-only step: scores + write-back, no gradients. Used by
@@ -421,14 +536,18 @@ impl TgnModel {
         static_mem: Option<&StaticMemory>,
     ) -> StepOutput {
         let b = pos.len();
+        // `&self` receiver → per-call scratch (evaluation is off the
+        // training hot path).
+        let mut scratch = StepScratch::default();
         let (pos_emb, s_hat_roots, root_ts, _) = self.embed(
-            &pos_roots(pos),
-            &pos_times(pos),
+            pos_roots(pos),
+            pos_times(pos),
             &pos.nbrs.counts,
             &pos.nbrs.nbrs,
             &pos.readout,
             &pos.nbr_feats,
             static_mem,
+            &mut scratch.pos,
         );
         let write = self.build_write(pos, &s_hat_roots, &root_ts);
         let src_emb = pos_emb.slice_rows(0, b);
@@ -445,6 +564,7 @@ impl TgnModel {
                     &neg.readout,
                     &neg.nbr_feats,
                     static_mem,
+                    &mut scratch.neg,
                 );
                 let pos_logits = pred.infer(&self.params, &src_emb, &dst_emb);
                 let src_rep = Self::repeat_rows(&src_emb, kneg);
@@ -477,7 +597,12 @@ impl TgnModel {
             (Head::Link(_), None) => {
                 // Memory-maintenance pass (no scoring): used when
                 // replaying a stream purely to advance node memory.
-                StepOutput { loss: 0.0, pos_scores: Vec::new(), neg_scores: Vec::new(), write }
+                StepOutput {
+                    loss: 0.0,
+                    pos_scores: Vec::new(),
+                    neg_scores: Vec::new(),
+                    write,
+                }
             }
         }
     }
@@ -531,19 +656,24 @@ fn combine_mean(w: MemoryWrite) -> MemoryWrite {
             *o = s * inv;
         }
     }
-    MemoryWrite { nodes: order, mem, mem_ts, mail, mail_ts }
+    MemoryWrite {
+        nodes: order,
+        mem,
+        mem_ts,
+        mail,
+        mail_ts,
+    }
 }
 
-fn pos_roots(pos: &PositivePart) -> Vec<u32> {
-    let mut v = pos.srcs.clone();
-    v.extend_from_slice(&pos.dsts);
-    v
+/// The positive roots `srcs ++ dsts`, materialized once at batch
+/// preparation (phase 1) instead of cloned on every training pass.
+fn pos_roots(pos: &PositivePart) -> &[u32] {
+    &pos.roots
 }
 
-fn pos_times(pos: &PositivePart) -> Vec<f32> {
-    let mut v = pos.times.clone();
-    v.extend_from_slice(&pos.times);
-    v
+/// Query times of [`pos_roots`] (`times ++ times`).
+fn pos_times(pos: &PositivePart) -> &[f32] {
+    &pos.root_times
 }
 
 #[cfg(test)]
@@ -609,7 +739,10 @@ mod tests {
                 saw_nonzero |= b1.pos.readout.mail_ts[r] > 0.0;
             }
         }
-        assert!(saw_nonzero, "batch-0 writes never surfaced in batch 1 reads");
+        assert!(
+            saw_nonzero,
+            "batch-0 writes never surfaced in batch 1 reads"
+        );
         let out1 = model.train_step(&b1.pos, Some(&b1.negs[0]), None);
         assert!(out1.loss.is_finite());
     }
@@ -687,7 +820,10 @@ mod tests {
             }
             last = out.loss;
         }
-        assert!(last < first, "classification loss: first {first}, last {last}");
+        assert!(
+            last < first,
+            "classification loss: first {first}, last {last}"
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ impl GroupSchedule {
         let sweep = own / b;
         let epoch_equiv = sweep * self.j * self.k + self.group * self.j + pass;
         if pass == 0 {
-            StepPlan::Acquire { batch: self.cyclic[own % b].clone(), epoch_equiv }
+            StepPlan::Acquire {
+                batch: self.cyclic[own % b].clone(),
+                epoch_equiv,
+            }
         } else {
             StepPlan::Continue { pass, epoch_equiv }
         }
@@ -298,8 +301,7 @@ mod tests {
             }
         }
         // Smoke: epoch_equiv values span more than one value.
-        let values: std::collections::HashSet<usize> =
-            seen.iter().map(|&(_, _, _, e)| e).collect();
+        let values: std::collections::HashSet<usize> = seen.iter().map(|&(_, _, _, e)| e).collect();
         assert!(values.len() >= 4, "epoch_equiv too uniform: {:?}", values);
     }
 

@@ -8,11 +8,13 @@ use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult};
 use crate::model::TgnModel;
+use crate::pipeline::{read_lock, write_lock, BatchPrefetcher, PrefetchRequest, SharedMemory};
 use crate::static_mem::StaticMemory;
 use disttgl_data::{Dataset, NegativeStore, Task};
 use disttgl_graph::{batching, TCsr};
 use disttgl_mem::MemoryState;
 use disttgl_tensor::seeded_rng;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// Trains on a single simulated GPU. `cfg.parallel` must be `1×1×1`.
@@ -23,8 +25,53 @@ use std::time::Instant;
 /// test with the best... the paper reports the final model; we report
 /// the final model's test metric plus the best-validation bookkeeping.
 pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfig) -> RunResult {
+    run_single(dataset, model_cfg, cfg, false).0
+}
+
+/// [`train_single`] plus the final training-time [`MemoryState`]
+/// (after the last epoch, before the validation/test replay) — the
+/// state the equivalence tests compare.
+pub fn train_single_traced(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+) -> (RunResult, MemoryState) {
+    run_single(dataset, model_cfg, cfg, false)
+}
+
+/// The pipelined single-GPU trainer: identical semantics to
+/// [`train_single`], with batch *t + 1*'s preparation overlapped with
+/// the compute of batch *t* on a prefetch thread — phase 1 (neighbor
+/// sampling, negative slicing, feature gathers) unconditionally, and
+/// the phase-2 memory gather during the backward pass via eager-write
+/// scheduling. See [`crate::pipeline`] for the phase split and the
+/// memory-dependency rule; results are bit-identical to the
+/// sequential oracle.
+pub fn train_single_pipelined(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+) -> RunResult {
+    run_single(dataset, model_cfg, cfg, true).0
+}
+
+/// [`train_single_pipelined`] plus the final training-time memory.
+pub fn train_single_pipelined_traced(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+) -> (RunResult, MemoryState) {
+    run_single(dataset, model_cfg, cfg, true)
+}
+
+fn run_single(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+    pipelined: bool,
+) -> (RunResult, MemoryState) {
     assert_eq!(cfg.parallel.world(), 1, "train_single requires 1×1×1");
-    let csr = TCsr::build(&dataset.graph);
+    let csr = Arc::new(TCsr::build(&dataset.graph));
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
 
     let mut rng = seeded_rng(cfg.seed);
@@ -32,7 +79,13 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
     let mut adam = model.optimizer(cfg.scaled_lr());
 
     let static_mem = if model_cfg.static_memory {
-        Some(StaticMemory::pretrain(dataset, model_cfg.d_mem, train_end, 10, cfg.seed ^ 0x5747))
+        Some(StaticMemory::pretrain(
+            dataset,
+            model_cfg.d_mem,
+            train_end,
+            10,
+            cfg.seed ^ 0x5747,
+        ))
     } else {
         None
     };
@@ -49,9 +102,36 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
     };
 
     let prep = BatchPreparer::new(dataset, &csr, model_cfg);
-    let mut memory = MemoryState::new(dataset.graph.num_nodes(), model_cfg.d_mem, model_cfg.mail_dim());
+    let memory: SharedMemory = Arc::new(RwLock::new(MemoryState::new(
+        dataset.graph.num_nodes(),
+        model_cfg.d_mem,
+        model_cfg.mail_dim(),
+    )));
     let batches = batching::chronological_batches(0..train_end, cfg.local_batch);
 
+    // Flat (epoch, range) execution order, the prefetch schedule.
+    let plan: Vec<(usize, std::ops::Range<usize>)> = (0..cfg.epochs)
+        .flat_map(|e| batches.iter().cloned().map(move |r| (e, r)))
+        .collect();
+    let request_for = |epoch: usize, range: std::ops::Range<usize>, gather: bool| {
+        let mut req = PrefetchRequest::for_epoch(store.as_ref(), epoch, 1, range, cfg.train_negs);
+        req.gather_memory = gather;
+        req
+    };
+    let mut prefetcher = if pipelined && !plan.is_empty() {
+        let mut p = BatchPrefetcher::spawn_with_memory(
+            Arc::new(dataset.clone()),
+            Arc::clone(&csr),
+            *model_cfg,
+            Arc::clone(&memory),
+        );
+        // The first gather would race the initial epoch reset, so the
+        // priming request is phase-1 only.
+        p.request(request_for(plan[0].0, plan[0].1.clone(), false));
+        Some(p)
+    } else {
+        None
+    };
     let mut result = RunResult::default();
     let start = Instant::now();
     let mut iteration = 0usize;
@@ -59,31 +139,77 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
     let mut eval_secs = 0.0f64;
 
     for epoch in 0..cfg.epochs {
-        memory.reset();
+        write_lock(&memory).reset();
         for range in &batches {
             let t_prep = Instant::now();
-            let prepared = match (&store, dataset.task) {
-                (Some(store), Task::LinkPrediction) => {
-                    let group = store.group_for_epoch(epoch);
-                    let negs = store.slice(group, range.clone());
-                    prep.prepare(range.clone(), &[negs], cfg.train_negs, &mut memory)
+            let out = match &mut prefetcher {
+                Some(p) => {
+                    // This batch's phase 1 — and, except after an epoch
+                    // reset, its exact phase-2 gather — ran on the
+                    // worker during the previous batch's backward pass
+                    // (eager-write scheduling: the gather was issued
+                    // only after the previous write landed, so it is
+                    // never stale).
+                    let resp = p.recv();
+                    let full = match resp.readout {
+                        Some(full) => full,
+                        None => read_lock(&memory).read(resp.sb.nodes()),
+                    };
+                    let prepared = prep.complete(resp.sb, full);
+                    result.timing.prep_secs += t_prep.elapsed().as_secs_f64();
+
+                    let t_compute = Instant::now();
+                    model.params.zero_grads();
+                    let next = (iteration + 1 < plan.len()).then(|| plan[iteration + 1].clone());
+                    let memory_ref = &memory;
+                    let request_for_ref = &request_for;
+                    let out = model.train_step_eager_write(
+                        &prepared.pos,
+                        prepared.negs.first(),
+                        static_mem.as_ref(),
+                        |w| {
+                            // The write exists right after the forward
+                            // pass; apply it now (nothing else reads
+                            // memory before the next gather) and let
+                            // the worker gather the next batch during
+                            // this batch's backward pass.
+                            write_lock(memory_ref).write(&w);
+                            if let Some((e, r)) = next {
+                                p.request(request_for_ref(e, r, e == epoch));
+                            }
+                        },
+                    );
+                    model.params.clip_grad_norm(5.0);
+                    adam.step(&mut model.params);
+                    result.timing.compute_secs += t_compute.elapsed().as_secs_f64();
+                    out
                 }
-                _ => prep.prepare(range.clone(), &[], 1, &mut memory),
+                None => {
+                    let prepared = {
+                        let mut guard = write_lock(&memory);
+                        match (&store, dataset.task) {
+                            (Some(store), Task::LinkPrediction) => {
+                                let group = store.group_for_epoch(epoch);
+                                let negs = store.slice(group, range.clone());
+                                prep.prepare(range.clone(), &[negs], cfg.train_negs, &mut *guard)
+                            }
+                            _ => prep.prepare(range.clone(), &[], 1, &mut *guard),
+                        }
+                    };
+                    result.timing.prep_secs += t_prep.elapsed().as_secs_f64();
+
+                    let t_compute = Instant::now();
+                    model.params.zero_grads();
+                    let out =
+                        model.train_step(&prepared.pos, prepared.negs.first(), static_mem.as_ref());
+                    model.params.clip_grad_norm(5.0);
+                    adam.step(&mut model.params);
+                    result.timing.compute_secs += t_compute.elapsed().as_secs_f64();
+
+                    write_lock(&memory).write(&out.write);
+                    out
+                }
             };
-            result.timing.prep_secs += t_prep.elapsed().as_secs_f64();
-
-            let t_compute = Instant::now();
-            model.params.zero_grads();
-            let out = model.train_step(
-                &prepared.pos,
-                prepared.negs.first(),
-                static_mem.as_ref(),
-            );
-            model.params.clip_grad_norm(5.0);
-            adam.step(&mut model.params);
-            result.timing.compute_secs += t_compute.elapsed().as_secs_f64();
-
-            memory.write(&out.write);
             result.loss_history.push(out.loss);
             iteration += 1;
             events_trained += range.len() as u64;
@@ -91,7 +217,7 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
 
         if cfg.eval_every_epoch && val_end > train_end {
             let t_eval = Instant::now();
-            let mut val_mem = memory.clone();
+            let mut val_mem = read_lock(&memory).clone();
             let eval_end = val_end.min(train_end.saturating_add(cfg.eval_max_events));
             let res = evaluate(
                 &model,
@@ -120,6 +246,14 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
     result.throughput_events_per_sec =
         events_trained as f64 / (result.wall_secs - eval_secs).max(1e-9);
 
+    // The prefetch worker holds a handle to the shared memory; retire
+    // it before reclaiming sole ownership.
+    drop(prefetcher);
+    let memory = Arc::try_unwrap(memory)
+        .unwrap_or_else(|arc| panic!("{} live memory handles", Arc::strong_count(&arc)))
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+
     // Final test: continue memory through validation, then test.
     let mut test_mem = memory.clone();
     if val_end > train_end {
@@ -134,7 +268,10 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
             cfg.local_batch,
         );
     }
-    let test_end = dataset.graph.num_events().min(val_end.saturating_add(cfg.eval_max_events));
+    let test_end = dataset
+        .graph
+        .num_events()
+        .min(val_end.saturating_add(cfg.eval_max_events));
     let test = evaluate(
         &model,
         model_cfg,
@@ -149,7 +286,7 @@ pub fn train_single(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfi
     );
     result.test_metric = test.metric;
     result.finalize_convergence();
-    result
+    (result, memory)
 }
 
 #[cfg(test)]
@@ -187,7 +324,11 @@ mod tests {
             trained.test_metric,
             untrained.test_metric
         );
-        assert!(trained.test_metric > 0.5, "test MRR {}", trained.test_metric);
+        assert!(
+            trained.test_metric > 0.5,
+            "test MRR {}",
+            trained.test_metric
+        );
     }
 
     /// Determinism: identical seeds → identical histories.

@@ -26,13 +26,17 @@ pub struct StaticMemory {
 impl StaticMemory {
     /// All-zero static memory (neutral element for the combine).
     pub fn zeros(num_nodes: usize, dim: usize) -> Self {
-        Self { emb: Matrix::zeros(num_nodes, dim) }
+        Self {
+            emb: Matrix::zeros(num_nodes, dim),
+        }
     }
 
     /// Random static memory (tests / ablation control).
     pub fn random(num_nodes: usize, dim: usize, seed: u64) -> Self {
         let mut rng = seeded_rng(seed);
-        Self { emb: Matrix::normal(num_nodes, dim, 0.1, &mut rng) }
+        Self {
+            emb: Matrix::normal(num_nodes, dim, 0.1, &mut rng),
+        }
     }
 
     /// Embedding width.
@@ -112,7 +116,12 @@ impl StaticMemory {
     /// negative logit) of a fresh decoder trained jointly — used by
     /// tests and the Fig 5/6 harness to confirm the embeddings carry
     /// signal.
-    pub fn holdout_margin(&self, dataset: &Dataset, range: std::ops::Range<usize>, seed: u64) -> f32 {
+    pub fn holdout_margin(
+        &self,
+        dataset: &Dataset,
+        range: std::ops::Range<usize>,
+        seed: u64,
+    ) -> f32 {
         let events = &dataset.graph.events()[range];
         if events.is_empty() {
             return 0.0;
@@ -155,7 +164,10 @@ mod tests {
         // held-out (later) events — the static structure generalizes
         // because the generator's preference sets are stable in time.
         let margin = sm.holdout_margin(&d, train_end..d.graph.num_events(), 2);
-        assert!(margin > 0.05, "static pre-training margin too small: {margin}");
+        assert!(
+            margin > 0.05,
+            "static pre-training margin too small: {margin}"
+        );
     }
 
     #[test]

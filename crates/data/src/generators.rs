@@ -110,7 +110,11 @@ fn bipartite(spec: &BipartiteSpec, seed: u64) -> Dataset {
 
     let mut events = Vec::with_capacity(spec.num_events);
     let mut edge_feat = Matrix::zeros(
-        if spec.edge_dim > 0 { spec.num_events } else { 0 },
+        if spec.edge_dim > 0 {
+            spec.num_events
+        } else {
+            0
+        },
         spec.edge_dim,
     );
     // Homogeneous-rate arrivals over [0, max_t]: draw gaps ~ Exp and
@@ -132,7 +136,12 @@ fn bipartite(spec: &BipartiteSpec, seed: u64) -> Dataset {
         } else {
             (users + item_zipf.sample(&mut rng)) as u32
         };
-        events.push(Event { src: user as u32, dst: item, t: t as f32, eid: eid as u32 });
+        events.push(Event {
+            src: user as u32,
+            dst: item,
+            t: t as f32,
+            eid: eid as u32,
+        });
         if spec.edge_dim > 0 {
             let item_row = item_sig.row(item as usize - users);
             let feat_row = edge_feat.row_mut(eid);
@@ -273,7 +282,12 @@ pub fn flights(scale: f64, seed: u64) -> Dataset {
             }
             d as u32
         };
-        events.push(Event { src: src as u32, dst, t: t as f32, eid: eid as u32 });
+        events.push(Event {
+            src: src as u32,
+            dst,
+            t: t as f32,
+            eid: eid as u32,
+        });
     }
     let graph = TemporalGraph::new(n, events);
     Dataset {
@@ -341,7 +355,12 @@ pub fn gdelt(scale: f64, seed: u64) -> Dataset {
                 break cand;
             }
         };
-        events.push(Event { src: src as u32, dst: dst as u32, t: t as f32, eid: eid as u32 });
+        events.push(Event {
+            src: src as u32,
+            dst: dst as u32,
+            t: t as f32,
+            eid: eid as u32,
+        });
 
         let pair = communities[src] * NUM_COMMUNITIES + communities[dst];
         for &class in &signatures[pair] {
@@ -426,8 +445,7 @@ mod tests {
         d.validate().unwrap();
         assert!(d.graph.bipartite_boundary().is_none());
         // Route repetition: unique (src,dst) pairs well below events.
-        let mut pairs: Vec<(u32, u32)> =
-            d.graph.events().iter().map(|e| (e.src, e.dst)).collect();
+        let mut pairs: Vec<(u32, u32)> = d.graph.events().iter().map(|e| (e.src, e.dst)).collect();
         pairs.sort_unstable();
         pairs.dedup();
         assert!(
@@ -461,7 +479,12 @@ mod tests {
         let top_sum: u64 = deg[..top_decile].iter().map(|&d| d as u64).sum();
         let total: u64 = deg.iter().map(|&d| d as u64).sum();
         // Zipf activity: top 10% of nodes carry well over 10% of events.
-        assert!(top_sum as f64 > 0.3 * total as f64, "top {} total {}", top_sum, total);
+        assert!(
+            top_sum as f64 > 0.3 * total as f64,
+            "top {} total {}",
+            top_sum,
+            total
+        );
     }
 
     #[test]

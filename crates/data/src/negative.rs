@@ -59,7 +59,11 @@ impl NegativeStore {
                     .collect()
             })
             .collect();
-        Self { groups, negatives_per_event, num_events }
+        Self {
+            groups,
+            negatives_per_event,
+            num_events,
+        }
     }
 
     /// Number of pre-sampled groups.
@@ -99,12 +103,17 @@ pub struct EvalNegatives {
 impl EvalNegatives {
     /// Creates a sampler over the graph's negative range.
     pub fn new(graph: &TemporalGraph, seed: u64) -> Self {
-        Self { range: negative_range(graph), rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            range: negative_range(graph),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Draws `k` negatives for one event.
     pub fn draw(&mut self, k: usize) -> Vec<u32> {
-        (0..k).map(|_| self.rng.gen_range(self.range.clone())).collect()
+        (0..k)
+            .map(|_| self.rng.gen_range(self.range.clone()))
+            .collect()
     }
 
     /// Draws `k` negatives excluding the true destination.
@@ -136,7 +145,12 @@ mod tests {
 
     fn bipartite_graph() -> TemporalGraph {
         let events = (0..20)
-            .map(|i| Event { src: i % 4, dst: 4 + (i % 6), t: i as f32, eid: i })
+            .map(|i| Event {
+                src: i % 4,
+                dst: 4 + (i % 6),
+                t: i as f32,
+                eid: i,
+            })
             .collect();
         TemporalGraph::new(10, events).with_bipartite_boundary(4)
     }
@@ -194,7 +208,12 @@ mod tests {
     fn non_bipartite_uses_all_nodes() {
         let g = TemporalGraph::new(
             6,
-            vec![Event { src: 0, dst: 1, t: 0.0, eid: 0 }],
+            vec![Event {
+                src: 0,
+                dst: 1,
+                t: 0.0,
+                eid: 0,
+            }],
         );
         assert_eq!(negative_range(&g), 0..6);
     }

@@ -39,13 +39,16 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
 
 fn get_matrix(buf: &mut Bytes) -> io::Result<Matrix> {
     if buf.remaining() < 16 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "matrix header"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "matrix header",
+        ));
     }
     let rows = buf.get_u64_le() as usize;
     let cols = buf.get_u64_le() as usize;
-    let n = rows.checked_mul(cols).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflow")
-    })?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflow"))?;
     if buf.remaining() < n * 4 {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "matrix body"));
     }
@@ -132,7 +135,11 @@ impl Dataset {
         if buf.remaining() < 1 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "label flag"));
         }
-        let labels = if buf.get_u8() == 1 { Some(get_matrix(&mut buf)?) } else { None };
+        let labels = if buf.get_u8() == 1 {
+            Some(get_matrix(&mut buf)?)
+        } else {
+            None
+        };
         let task = match header.task.as_str() {
             "link" => Task::LinkPrediction,
             "class" => Task::EdgeClassification,
@@ -143,8 +150,15 @@ impl Dataset {
                 ))
             }
         };
-        let d = Dataset { name: header.name, graph, edge_features, labels, task };
-        d.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let d = Dataset {
+            name: header.name,
+            graph,
+            edge_features,
+            labels,
+            task,
+        };
+        d.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(d)
     }
 }
@@ -163,7 +177,10 @@ mod tests {
         assert_eq!(loaded.name, d.name);
         assert_eq!(loaded.graph.events(), d.graph.events());
         assert_eq!(loaded.edge_features, d.edge_features);
-        assert_eq!(loaded.graph.bipartite_boundary(), d.graph.bipartite_boundary());
+        assert_eq!(
+            loaded.graph.bipartite_boundary(),
+            d.graph.bipartite_boundary()
+        );
         assert_eq!(loaded.task, d.task);
         assert!(loaded.labels.is_none());
     }

@@ -35,7 +35,10 @@ pub fn captured_events(graph: &TemporalGraph, batch_size: usize) -> Vec<u32> {
 /// Fraction of events whose mails are *lost* to `COMB` batching:
 /// `1 − Σ captured / Σ degree`, in `[0, 1)`.
 pub fn missing_information(graph: &TemporalGraph, batch_size: usize) -> f64 {
-    let captured: u64 = captured_events(graph, batch_size).iter().map(|&c| c as u64).sum();
+    let captured: u64 = captured_events(graph, batch_size)
+        .iter()
+        .map(|&c| c as u64)
+        .sum();
     let total: u64 = graph.degrees().iter().map(|&d| d as u64).sum();
     if total == 0 {
         return 0.0;
@@ -79,7 +82,10 @@ pub fn max_batch_size_for_threshold(
     threshold: f64,
     candidates: &[usize],
 ) -> usize {
-    assert!(!candidates.is_empty(), "need at least one candidate batch size");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate batch size"
+    );
     let mut sorted = candidates.to_vec();
     sorted.sort_unstable();
     let mut best = sorted[0];

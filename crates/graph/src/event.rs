@@ -47,7 +47,11 @@ impl TemporalGraph {
             );
         }
         events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("NaN timestamp"));
-        Self { num_nodes, events, bipartite_boundary: None }
+        Self {
+            num_nodes,
+            events,
+            bipartite_boundary: None,
+        }
     }
 
     /// Marks the graph bipartite with sources `0..boundary`.
@@ -118,7 +122,10 @@ mod tests {
 
     #[test]
     fn events_are_sorted_on_construction() {
-        let g = TemporalGraph::new(4, vec![ev(0, 1, 5.0, 0), ev(1, 2, 1.0, 1), ev(2, 3, 3.0, 2)]);
+        let g = TemporalGraph::new(
+            4,
+            vec![ev(0, 1, 5.0, 0), ev(1, 2, 1.0, 1), ev(2, 3, 3.0, 2)],
+        );
         let ts: Vec<f32> = g.events().iter().map(|e| e.t).collect();
         assert_eq!(ts, vec![1.0, 3.0, 5.0]);
         assert_eq!(g.max_time(), 5.0);

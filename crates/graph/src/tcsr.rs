@@ -46,13 +46,28 @@ impl TCsr {
         }
         let indptr = counts.clone();
         let mut cursor = counts;
-        let mut entries = vec![TCsrEntry { nbr: 0, t: 0.0, eid: 0 }; graph.num_events() * 2];
+        let mut entries = vec![
+            TCsrEntry {
+                nbr: 0,
+                t: 0.0,
+                eid: 0
+            };
+            graph.num_events() * 2
+        ];
         for e in graph.events() {
             let s = e.src as usize;
-            entries[cursor[s]] = TCsrEntry { nbr: e.dst, t: e.t, eid: e.eid };
+            entries[cursor[s]] = TCsrEntry {
+                nbr: e.dst,
+                t: e.t,
+                eid: e.eid,
+            };
             cursor[s] += 1;
             let d = e.dst as usize;
-            entries[cursor[d]] = TCsrEntry { nbr: e.src, t: e.t, eid: e.eid };
+            entries[cursor[d]] = TCsrEntry {
+                nbr: e.src,
+                t: e.t,
+                eid: e.eid,
+            };
             cursor[d] += 1;
         }
         Self { indptr, entries }

@@ -11,7 +11,12 @@ fn events(max_nodes: u32, max_events: usize) -> impl Strategy<Value = (u32, Vec<
         let ev = (0..n, 0..n - 1, 0.0f32..1000.0).prop_map(move |(src, dst_raw, t)| {
             // Shift dst past src to rule out self-loops.
             let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
-            Event { src, dst, t, eid: 0 }
+            Event {
+                src,
+                dst,
+                t,
+                eid: 0,
+            }
         });
         (Just(n), proptest::collection::vec(ev, 1..max_events))
     })

@@ -139,7 +139,11 @@ impl MemoryClient {
             || slot.read_status.load(Ordering::Acquire) == READY,
             &self.shared.shutdown,
         );
-        assert!(ok, "memory daemon shut down during read (rank {})", self.rank);
+        assert!(
+            ok,
+            "memory daemon shut down during read (rank {})",
+            self.rank
+        );
         let resp = std::mem::take(&mut *slot.read_resp.lock());
         slot.read_status.store(IDLE, Ordering::Release);
         resp
@@ -157,7 +161,11 @@ impl MemoryClient {
             || slot.write_status.load(Ordering::Acquire) == IDLE,
             &self.shared.shutdown,
         );
-        assert!(ok, "memory daemon shut down during write (rank {})", self.rank);
+        assert!(
+            ok,
+            "memory daemon shut down during write (rank {})",
+            self.rank
+        );
         *slot.write_req.lock() = w;
         slot.write_status.store(REQUESTED, Ordering::Release);
     }
@@ -224,13 +232,25 @@ impl MemoryDaemon {
                 state
             })
             .expect("spawn memory daemon");
-        Self { shared, handle: Some(handle), group_size }
+        Self {
+            shared,
+            handle: Some(handle),
+            group_size,
+        }
     }
 
     /// Creates the client for `rank` (call once per rank).
     pub fn client(&self, rank: usize) -> MemoryClient {
-        assert!(rank < self.group_size, "rank {} out of group {}", rank, self.group_size);
-        MemoryClient { shared: Arc::clone(&self.shared), rank }
+        assert!(
+            rank < self.group_size,
+            "rank {} out of group {}",
+            rank,
+            self.group_size
+        );
+        MemoryClient {
+            shared: Arc::clone(&self.shared),
+            rank,
+        }
     }
 
     /// Snapshot of the counters.
@@ -255,7 +275,9 @@ impl MemoryDaemon {
             rows_written: self.shared.rows_written.load(Ordering::Relaxed),
             reads_served: self.shared.reads_served.load(Ordering::Relaxed),
             writes_served: self.shared.writes_served.load(Ordering::Relaxed),
-            serve_nanos: stats.serve_nanos.max(self.shared.serve_nanos.load(Ordering::Relaxed)),
+            serve_nanos: stats
+                .serve_nanos
+                .max(self.shared.serve_nanos.load(Ordering::Relaxed)),
         };
         (state, stats)
     }
@@ -320,7 +342,9 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
                 let t0 = std::time::Instant::now();
                 let req = slot.read_req.lock();
                 let resp = state.read(&req);
-                shared.rows_read.fetch_add(req.len() as u64, Ordering::Relaxed);
+                shared
+                    .rows_read
+                    .fetch_add(req.len() as u64, Ordering::Relaxed);
                 drop(req);
                 *slot.read_resp.lock() = resp;
                 shared.reads_served.fetch_add(1, Ordering::Relaxed);
@@ -341,7 +365,9 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
                 let t0 = std::time::Instant::now();
                 let w = std::mem::take(&mut *slot.write_req.lock());
                 state.write(&w);
-                shared.rows_written.fetch_add(w.nodes.len() as u64, Ordering::Relaxed);
+                shared
+                    .rows_written
+                    .fetch_add(w.nodes.len() as u64, Ordering::Relaxed);
                 shared.writes_served.fetch_add(1, Ordering::Relaxed);
                 shared
                     .serve_nanos
@@ -387,7 +413,10 @@ mod tests {
             client.write(w);
         }
         let (final_state, stats) = daemon.join();
-        assert_eq!(final_state.read(&[0, 1, 2, 3]).mem, reference.read(&[0, 1, 2, 3]).mem);
+        assert_eq!(
+            final_state.read(&[0, 1, 2, 3]).mem,
+            reference.read(&[0, 1, 2, 3]).mem
+        );
         assert_eq!(stats.reads_served, 3);
         assert_eq!(stats.writes_served, 3);
         assert_eq!(stats.rows_read, 6);

@@ -15,8 +15,11 @@ struct Step {
 
 fn steps(n: usize, nodes: u32) -> impl Strategy<Value = Vec<Step>> {
     proptest::collection::vec(
-        (0..nodes, -10.0f32..10.0, 0.0f32..100.0)
-            .prop_map(|(node, value, ts)| Step { node, value, ts }),
+        (0..nodes, -10.0f32..10.0, 0.0f32..100.0).prop_map(|(node, value, ts)| Step {
+            node,
+            value,
+            ts,
+        }),
         n..=n,
     )
 }

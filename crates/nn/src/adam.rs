@@ -31,7 +31,16 @@ impl Adam {
             })
             .collect::<Vec<_>>();
         let v = m.clone();
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m, v, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Sets the learning rate (the paper scales LR linearly with the
@@ -72,13 +81,12 @@ impl Adam {
             let v = &mut self.v[i];
             let lr = self.lr;
             let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
-            for (((wv, &gv), mv), vv) in p
-                .w
-                .as_mut_slice()
-                .iter_mut()
-                .zip(p.g.as_slice())
-                .zip(m.as_mut_slice())
-                .zip(v.as_mut_slice())
+            for (((wv, &gv), mv), vv) in
+                p.w.as_mut_slice()
+                    .iter_mut()
+                    .zip(p.g.as_slice())
+                    .zip(m.as_mut_slice())
+                    .zip(v.as_mut_slice())
             {
                 let g = gv + wd * *wv;
                 *mv = b1 * *mv + (1.0 - b1) * g;

@@ -58,7 +58,13 @@ impl TemporalAttention {
         let w_q = Linear::new(params, &format!("{name}.wq"), q_dim, d_head, rng);
         let w_k = Linear::new(params, &format!("{name}.wk"), kv_dim, d_head, rng);
         let w_v = Linear::new(params, &format!("{name}.wv"), kv_dim, d_head, rng);
-        Self { w_q, w_k, w_v, n_slots, d_head }
+        Self {
+            w_q,
+            w_k,
+            w_v,
+            n_slots,
+            d_head,
+        }
     }
 
     /// Neighbor slots per root.
@@ -97,9 +103,13 @@ impl TemporalAttention {
 
         // Scores with per-root scaling and masking.
         let mut scores = Matrix::zeros(b, self.n_slots);
-        for bi in 0..b {
-            let cnt = counts[bi].min(self.n_slots);
-            let scale = if cnt > 0 { 1.0 / (cnt as f32).sqrt() } else { 0.0 };
+        for (bi, &count) in counts.iter().enumerate() {
+            let cnt = count.min(self.n_slots);
+            let scale = if cnt > 0 {
+                1.0 / (cnt as f32).sqrt()
+            } else {
+                0.0
+            };
             let q_row = q.row(bi);
             for s in 0..self.n_slots {
                 let val = if s < cnt {
@@ -115,8 +125,8 @@ impl TemporalAttention {
 
         // h = attn · V (per root block), zeroed for isolated roots.
         let mut h = Matrix::zeros(b, self.d_head);
-        for bi in 0..b {
-            let cnt = counts[bi].min(self.n_slots);
+        for (bi, &count) in counts.iter().enumerate() {
+            let cnt = count.min(self.n_slots);
             if cnt == 0 {
                 continue;
             }
@@ -280,7 +290,8 @@ mod tests {
         let (dqf, dkvf) = att.backward(&mut ps, &cache, &up);
 
         let eps = 1e-2;
-        let loss = |p: &ParamSet, q: &Matrix, kv: &Matrix| att.infer(p, q, kv, &counts).dot_flat(&up);
+        let loss =
+            |p: &ParamSet, q: &Matrix, kv: &Matrix| att.infer(p, q, kv, &counts).dot_flat(&up);
 
         for idx in 0..ps.len() {
             let (rows, cols) = ps.get(idx).w.shape();

@@ -39,6 +39,11 @@ pub struct GruCell {
 }
 
 /// Forward activations saved for the backward pass.
+///
+/// Reusable: [`GruCell::forward_into`] resizes every buffer in place,
+/// so a long-lived cache (the trainer's scratch arena) makes the GRU
+/// step allocation-free after warm-up.
+#[derive(Default)]
 pub struct GruCache {
     x: Matrix,
     h: Matrix,
@@ -47,6 +52,8 @@ pub struct GruCache {
     n: Matrix,
     /// `a = h·Whnᵀ + bhn`, the candidate's hidden-side pre-activation.
     a: Matrix,
+    /// Gate-assembly scratch, not read by the backward pass.
+    tmp: Matrix,
 }
 
 impl GruCell {
@@ -114,53 +121,91 @@ impl GruCell {
         self.hidden_dim
     }
 
-    fn gate(
-        &self,
-        params: &ParamSet,
-        x: &Matrix,
-        h: &Matrix,
-        wi: usize,
-        bi: usize,
-        wh: usize,
-        bh: usize,
-    ) -> Matrix {
-        let mut pre = x.matmul_transpose_b(&params.get(wi).w);
-        pre.add_row_broadcast(&params.get(bi).w);
-        let mut hside = h.matmul_transpose_b(&params.get(wh).w);
-        hside.add_row_broadcast(&params.get(bh).w);
-        pre.add_assign(&hside);
-        pre
-    }
-
     /// Forward step: returns `(h', cache)`.
     ///
     /// # Panics
     /// Panics on input/hidden width mismatch.
     pub fn forward(&self, params: &ParamSet, x: &Matrix, h: &Matrix) -> (Matrix, GruCache) {
+        let mut cache = GruCache::default();
+        let mut h_new = Matrix::default();
+        self.forward_into(params, x, h, &mut cache, &mut h_new);
+        (h_new, cache)
+    }
+
+    /// Fused forward step writing every gate into the preallocated
+    /// `cache` buffers and the output into `h_new` (all resized in
+    /// place). With a persistent cache this is allocation-free after
+    /// the first call, and it is bit-identical to [`GruCell::forward`]
+    /// — the same multiply/add/activation sequence per element, only
+    /// the storage is reused.
+    ///
+    /// # Panics
+    /// Panics on input/hidden width mismatch.
+    pub fn forward_into(
+        &self,
+        params: &ParamSet,
+        x: &Matrix,
+        h: &Matrix,
+        cache: &mut GruCache,
+        h_new: &mut Matrix,
+    ) {
         assert_eq!(x.cols(), self.input_dim, "GruCell: input width");
         assert_eq!(h.cols(), self.hidden_dim, "GruCell: hidden width");
         assert_eq!(x.rows(), h.rows(), "GruCell: batch mismatch");
 
-        let r = self
-            .gate(params, x, h, self.w_ir, self.b_ir, self.w_hr, self.b_hr)
-            .sigmoid();
-        let z = self
-            .gate(params, x, h, self.w_iz, self.b_iz, self.w_hz, self.b_hz)
-            .sigmoid();
-        let mut a = h.matmul_transpose_b(&params.get(self.w_hn).w);
-        a.add_row_broadcast(&params.get(self.b_hn).w);
-        let mut n_pre = x.matmul_transpose_b(&params.get(self.w_in).w);
-        n_pre.add_row_broadcast(&params.get(self.b_in).w);
-        n_pre.add_assign(&r.hadamard(&a));
-        let n = n_pre.tanh();
+        cache.x.copy_from(x);
+        cache.h.copy_from(h);
 
-        // h' = (1 − z) ⊙ n + z ⊙ h
-        let mut h_new = n.clone();
-        h_new.sub_assign(&z.hadamard(&n));
-        h_new.add_assign(&z.hadamard(h));
+        // r = σ(x·Wirᵀ + bir + h·Whrᵀ + bhr), gates assembled in place.
+        fn assemble_gate(
+            params: &ParamSet,
+            x: &Matrix,
+            h: &Matrix,
+            (wi, bi, wh, bh): (usize, usize, usize, usize),
+            tmp: &mut Matrix,
+            out: &mut Matrix,
+        ) {
+            x.matmul_transpose_b_into(&params.get(wi).w, out);
+            out.add_row_broadcast(&params.get(bi).w);
+            h.matmul_transpose_b_into(&params.get(wh).w, tmp);
+            tmp.add_row_broadcast(&params.get(bh).w);
+            out.add_assign(tmp);
+        }
+        let r_ids = (self.w_ir, self.b_ir, self.w_hr, self.b_hr);
+        let z_ids = (self.w_iz, self.b_iz, self.w_hz, self.b_hz);
+        assemble_gate(params, x, h, r_ids, &mut cache.tmp, &mut cache.r);
+        assemble_gate(params, x, h, z_ids, &mut cache.tmp, &mut cache.z);
+        cache.r.map_inplace(disttgl_tensor::sigmoid_scalar);
+        cache.z.map_inplace(disttgl_tensor::sigmoid_scalar);
 
-        let cache = GruCache { x: x.clone(), h: h.clone(), r, z, n, a };
-        (h_new, cache)
+        // a = h·Whnᵀ + bhn; n = tanh(x·Winᵀ + bin + r ⊙ a).
+        h.matmul_transpose_b_into(&params.get(self.w_hn).w, &mut cache.a);
+        cache.a.add_row_broadcast(&params.get(self.b_hn).w);
+        x.matmul_transpose_b_into(&params.get(self.w_in).w, &mut cache.n);
+        cache.n.add_row_broadcast(&params.get(self.b_in).w);
+        for ((nv, &rv), &av) in cache
+            .n
+            .as_mut_slice()
+            .iter_mut()
+            .zip(cache.r.as_slice())
+            .zip(cache.a.as_slice())
+        {
+            *nv += rv * av;
+        }
+        cache.n.map_inplace(f32::tanh);
+
+        // h' = (1 − z) ⊙ n + z ⊙ h, fused per element in the same
+        // operation order as the allocating path: n − z·n + z·h.
+        h_new.resize_for_overwrite(cache.n.rows(), cache.n.cols());
+        for (((ov, &zv), &nv), &hv) in h_new
+            .as_mut_slice()
+            .iter_mut()
+            .zip(cache.z.as_slice())
+            .zip(cache.n.as_slice())
+            .zip(h.as_slice())
+        {
+            *ov = (nv - zv * nv) + zv * hv;
+        }
     }
 
     /// Inference-only forward (drops the cache).
@@ -177,7 +222,9 @@ impl GruCell {
         cache: &GruCache,
         dh_new: &Matrix,
     ) -> (Matrix, Matrix) {
-        let GruCache { x, h, r, z, n, a } = cache;
+        let GruCache {
+            x, h, r, z, n, a, ..
+        } = cache;
 
         // h' = (1 − z) ⊙ n + z ⊙ h
         let dz = dh_new.hadamard(&h.sub(n));

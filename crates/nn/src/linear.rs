@@ -34,9 +34,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = params.register(&format!("{name}.w"), Matrix::xavier_uniform(out_dim, in_dim, rng));
+        let w = params.register(
+            &format!("{name}.w"),
+            Matrix::xavier_uniform(out_dim, in_dim, rng),
+        );
         let b = params.register(&format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -138,7 +146,12 @@ mod tests {
         layer.backward(&mut ps, &cache, &ones);
         let bidx = ps.index_of("l.b").unwrap();
         // d(sum)/db_j = batch size.
-        assert!(ps.get(bidx).g.as_slice().iter().all(|&v| (v - 7.0).abs() < 1e-6));
+        assert!(ps
+            .get(bidx)
+            .g
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 7.0).abs() < 1e-6));
     }
 
     #[test]

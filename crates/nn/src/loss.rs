@@ -128,8 +128,8 @@ mod tests {
             lp.set(0, i, logits.get(0, i) + eps);
             let mut lm = logits.clone();
             lm.set(0, i, logits.get(0, i) - eps);
-            let num = (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0)
-                / (2.0 * eps);
+            let num =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
             assert!((num - grad.get(0, i)).abs() < 1e-3, "i={}", i);
         }
     }

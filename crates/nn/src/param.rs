@@ -122,11 +122,16 @@ impl ParamSet {
     /// # Panics
     /// Panics if `flat.len()` doesn't match the scalar count.
     pub fn unflatten_grads(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_scalars(), "unflatten_grads: length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_scalars(),
+            "unflatten_grads: length mismatch"
+        );
         let mut offset = 0;
         for (_, p) in &mut self.params {
             let n = p.g.len();
-            p.g.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            p.g.as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }
@@ -146,11 +151,16 @@ impl ParamSet {
     /// # Panics
     /// Panics if `flat.len()` doesn't match the scalar count.
     pub fn unflatten_weights(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_scalars(), "unflatten_weights: length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_scalars(),
+            "unflatten_weights: length mismatch"
+        );
         let mut offset = 0;
         for (_, p) in &mut self.params {
             let n = p.w.len();
-            p.w.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            p.w.as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }

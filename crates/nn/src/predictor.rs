@@ -30,7 +30,13 @@ pub struct PredictorCache {
 impl EdgePredictor {
     /// `emb_dim` is the width of one node embedding; the input is the
     /// concatenation of two.
-    pub fn new(params: &mut ParamSet, name: &str, emb_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        emb_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let l1 = Linear::new(params, &format!("{name}.l1"), 2 * emb_dim, hidden, rng);
         let l2 = Linear::new(params, &format!("{name}.l2"), hidden, 1, rng);
         Self { l1, l2 }
@@ -92,7 +98,11 @@ impl EdgeClassifier {
     ) -> Self {
         let l1 = Linear::new(params, &format!("{name}.l1"), 2 * emb_dim, hidden, rng);
         let l2 = Linear::new(params, &format!("{name}.l2"), hidden, num_classes, rng);
-        Self { l1, l2, num_classes }
+        Self {
+            l1,
+            l2,
+            num_classes,
+        }
     }
 
     /// Number of output classes.
@@ -193,13 +203,19 @@ mod tests {
                 let mut sm = src.clone();
                 sm.set(r, c, src.get(r, c) - eps);
                 let num = (loss(&ps, &sp, &dst) - loss(&ps, &sm, &dst)) / (2.0 * eps);
-                assert!((num - dsrc.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()), "dsrc[{r},{c}]");
+                assert!(
+                    (num - dsrc.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "dsrc[{r},{c}]"
+                );
                 let mut dp = dst.clone();
                 dp.set(r, c, dst.get(r, c) + eps);
                 let mut dm = dst.clone();
                 dm.set(r, c, dst.get(r, c) - eps);
                 let num = (loss(&ps, &src, &dp) - loss(&ps, &src, &dm)) / (2.0 * eps);
-                assert!((num - ddst.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()), "ddst[{r},{c}]");
+                assert!(
+                    (num - ddst.get(r, c)).abs() < 3e-2 * (1.0 + num.abs()),
+                    "ddst[{r},{c}]"
+                );
             }
         }
     }

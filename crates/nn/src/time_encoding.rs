@@ -35,7 +35,12 @@ impl TimeEncoding {
         });
         let omega = params.register(&format!("{name}.omega"), omega_init);
         let phi = params.register(&format!("{name}.phi"), Matrix::zeros(1, dim));
-        Self { omega, phi, dim, learnable }
+        Self {
+            omega,
+            phi,
+            dim,
+            learnable,
+        }
     }
 
     /// Encoding width.
@@ -72,8 +77,8 @@ impl TimeEncoding {
         let mut dphi = Matrix::zeros(1, self.dim);
         for (i, &t) in dt.iter().enumerate() {
             let up = upstream.row(i);
-            for j in 0..self.dim {
-                let s = -(omega.get(0, j) * t + phi.get(0, j)).sin() * up[j];
+            for (j, &u) in up.iter().enumerate() {
+                let s = -(omega.get(0, j) * t + phi.get(0, j)).sin() * u;
                 domega.set(0, j, domega.get(0, j) + s * t);
                 dphi.set(0, j, dphi.get(0, j) + s);
             }

@@ -75,11 +75,11 @@ proptest! {
         let bv = ps.index_of("a.wv.b").unwrap();
         let mut v = kvf.matmul_transpose_b(&ps.get(wv).w);
         v.add_row_broadcast(&ps.get(bv).w);
-        for root in 0..2 {
+        for (root, &count) in counts.iter().enumerate() {
             for c in 0..3 {
                 let mut lo = f32::INFINITY;
                 let mut hi = f32::NEG_INFINITY;
-                for s in 0..counts[root] {
+                for s in 0..count {
                     let val = v.get(root * 3 + s, c);
                     lo = lo.min(val);
                     hi = hi.max(val);

@@ -3,10 +3,10 @@
 //! Three matmul variants cover everything the hand-written backward
 //! passes need without materializing transposes:
 //!
-//! * `matmul`            — `C = A · B`        (forward)
-//! * `matmul_transpose_b`— `C = A · Bᵀ`       (forward attention scores,
-//!                          backward w.r.t. inputs)
-//! * `matmul_transpose_a`— `C = Aᵀ · B`       (backward w.r.t. weights)
+//! * `matmul` — `C = A · B` (forward)
+//! * `matmul_transpose_b` — `C = A · Bᵀ` (forward attention scores,
+//!   backward w.r.t. inputs)
+//! * `matmul_transpose_a` — `C = Aᵀ · B` (backward w.r.t. weights)
 //!
 //! Each switches to a rayon-parallel loop over output rows once the
 //! multiply-add count crosses [`crate::PAR_THRESHOLD`]; mini-batch sized
@@ -15,6 +15,30 @@
 
 use crate::{Matrix, PAR_THRESHOLD};
 use rayon::prelude::*;
+
+/// Dot product with eight independent accumulator lanes.
+///
+/// A plain `zip().map().sum()` reduction is a single serial FP-add
+/// chain that LLVM must not reorder, so it runs at add-latency speed.
+/// Splitting the sum across eight fixed lanes breaks the dependency
+/// chain (and vectorizes) while staying fully deterministic — the
+/// lane structure, not the data, decides the summation order. This is
+/// the workhorse of every `x·Wᵀ` in the model, which dominates
+/// training compute.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let main = a.len() - a.len() % 8;
+    for (ca, cb) in a[..main].chunks_exact(8).zip(b[..main].chunks_exact(8)) {
+        for (l, acc_l) in acc.iter_mut().enumerate() {
+            *acc_l += ca[l] * cb[l];
+        }
+    }
+    let tail: f32 = a[main..].iter().zip(&b[main..]).map(|(x, y)| x * y).sum();
+    let lanes = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    lanes + tail
+}
 
 impl Matrix {
     /// `self · other`.
@@ -83,7 +107,7 @@ impl Matrix {
         let kernel = |row_idx: usize, out_row: &mut [f32]| {
             let a_row = &a[row_idx * k..(row_idx + 1) * k];
             for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
-                *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                *o = dot(a_row, b_row);
             }
         };
 
@@ -98,6 +122,60 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// `self · otherᵀ` with the plain serial-reduction dot product —
+    /// the pre-optimization kernel, kept as the correctness reference
+    /// for the laned [`Matrix::matmul_transpose_b`] and for
+    /// kernel-level A/B benchmarks. Results differ from the laned
+    /// kernel only by f32 summation order.
+    pub fn matmul_transpose_b_serial(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose_b_serial: inner dims {} vs {}",
+            self.cols(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for (row_idx, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+            let a_row = &a[row_idx * k..(row_idx + 1) * k];
+            for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
+                *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` written into a caller-owned buffer (resized in
+    /// place) — the fused-GRU path uses this to keep gate
+    /// pre-activations in persistent scratch instead of allocating six
+    /// fresh matrices per step. Numerically identical to
+    /// [`Matrix::matmul_transpose_b`].
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose_b_into: inner dims {} vs {}",
+            self.cols(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        out.resize_for_overwrite(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for (row_idx, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+            let a_row = &a[row_idx * k..(row_idx + 1) * k];
+            for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
+                *o = dot(a_row, b_row);
+            }
+        }
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -224,6 +302,39 @@ mod tests {
                 s
             );
         }
+    }
+
+    #[test]
+    fn laned_dot_matches_serial_sum() {
+        // Exercise every tail length around the 8-lane boundary with
+        // integer-valued data (exact in f32 regardless of order).
+        for len in 0..40 {
+            let a: Vec<f32> = (0..len).map(|i| (i % 7) as f32 - 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i % 5) as f32 - 2.0).collect();
+            let serial: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(super::dot(&a, &b), serial, "len {len}");
+        }
+    }
+
+    #[test]
+    fn laned_kernel_matches_serial_reference() {
+        // Integer-valued data: exact in f32 under any summation order.
+        let a = Matrix::from_fn(7, 37, |r, c| ((r * 13 + c * 5) % 9) as f32 - 4.0);
+        let b = Matrix::from_fn(5, 37, |r, c| ((r * 11 + c * 3) % 7) as f32 - 3.0);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul_transpose_b_serial(&b));
+    }
+
+    #[test]
+    fn transpose_b_into_matches_allocating() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &[1., 0., 1., 0., 1., 0., 2., 2., 2., 1., 1., 1.]);
+        let mut out = Matrix::full(1, 1, 9.0); // wrong shape on purpose
+        a.matmul_transpose_b_into(&b, &mut out);
+        assert_eq!(out, a.matmul_transpose_b(&b));
+        // Buffer reuse across differently shaped calls.
+        let c = m(1, 3, &[1., 1., 1.]);
+        c.matmul_transpose_b_into(&b, &mut out);
+        assert_eq!(out, c.matmul_transpose_b(&b));
     }
 
     #[test]

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -145,13 +153,48 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshapes the buffer in place to `rows × cols` and zeroes every
+    /// element, keeping the allocation when capacity suffices (the
+    /// scratch-arena idiom: hot loops `resize` a persistent buffer
+    /// instead of re-running `Matrix::zeros`).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// [`Matrix::resize`] without the zero-fill: element values are
+    /// **unspecified** (stale or zero) and the caller must overwrite
+    /// every one. For kernels that write the full output — matmuls,
+    /// gathers — this skips a redundant memset on the hot path.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with `src`'s shape and contents, reusing the
+    /// existing allocation when possible (a non-allocating `clone_from`
+    /// for scratch buffers).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Reinterprets the matrix with a new shape without copying.
     ///
     /// # Panics
     /// Panics if `rows * cols` differs from the current element count.
     pub fn reshape(self, rows: usize, cols: usize) -> Self {
         assert_eq!(self.data.len(), rows * cols, "reshape: size mismatch");
-        Self { rows, cols, data: self.data }
+        Self {
+            rows,
+            cols,
+            data: self.data,
+        }
     }
 
     /// True if any element is NaN or infinite — used by training-loop
@@ -214,6 +257,41 @@ mod tests {
         assert!(!m.has_non_finite());
         m.set(1, 1, f32::NAN);
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn resize_zeroes_and_reshapes_in_place() {
+        let mut m = Matrix::full(2, 3, 7.0);
+        let cap = m.as_slice().len();
+        m.resize(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.len(), cap);
+        m.resize(1, 1);
+        assert_eq!(m.shape(), (1, 1));
+        m.resize(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn resize_for_overwrite_sets_shape_without_clearing() {
+        let mut m = Matrix::full(2, 3, 7.0);
+        m.resize_for_overwrite(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.len(), 6);
+        // Contents are unspecified; only shape and length are promised.
+        m.resize_for_overwrite(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let mut dst = Matrix::full(1, 9, 5.0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -143,7 +143,15 @@ impl Matrix {
         assert_eq!(self.shape(), other.shape(), "rowwise_dot shape mismatch");
         let mut out = Matrix::zeros(self.rows(), 1);
         for r in 0..self.rows() {
-            out.set(r, 0, self.row(r).iter().zip(other.row(r)).map(|(a, b)| a * b).sum());
+            out.set(
+                r,
+                0,
+                self.row(r)
+                    .iter()
+                    .zip(other.row(r))
+                    .map(|(a, b)| a * b)
+                    .sum(),
+            );
         }
         out
     }

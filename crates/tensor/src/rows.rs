@@ -16,10 +16,70 @@ impl Matrix {
         let c = self.cols();
         let mut out = Matrix::zeros(indices.len(), c);
         for (dst, &src) in indices.iter().enumerate() {
-            assert!(src < self.rows(), "gather_rows: index {} out of {}", src, self.rows());
+            assert!(
+                src < self.rows(),
+                "gather_rows: index {} out of {}",
+                src,
+                self.rows()
+            );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         out
+    }
+
+    /// [`Matrix::gather_rows`] into a caller-owned buffer (resized in
+    /// place) — the batch-assembly primitive for scratch arenas: hot
+    /// loops keep one gather target alive instead of allocating a new
+    /// matrix per iteration.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        let c = self.cols();
+        out.resize_for_overwrite(indices.len(), c);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(
+                src < self.rows(),
+                "gather_rows_into: index {} out of {}",
+                src,
+                self.rows()
+            );
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+    }
+
+    /// Adds `source.row(indices[i])` into `self.row(offset + i)` for
+    /// every `i` — a fused gather + accumulate that never materializes
+    /// the gathered block (the static-memory combine of the model's
+    /// embed path).
+    ///
+    /// # Panics
+    /// Panics on width mismatch or out-of-bounds rows on either side.
+    pub fn add_gathered_rows(&mut self, offset: usize, source: &Matrix, indices: &[u32]) {
+        assert_eq!(
+            self.cols(),
+            source.cols(),
+            "add_gathered_rows: width mismatch"
+        );
+        assert!(
+            offset + indices.len() <= self.rows(),
+            "add_gathered_rows: {} rows at offset {} exceed {}",
+            indices.len(),
+            offset,
+            self.rows()
+        );
+        for (i, &src) in indices.iter().enumerate() {
+            let src = src as usize;
+            assert!(
+                src < source.rows(),
+                "add_gathered_rows: index {} out of {}",
+                src,
+                source.rows()
+            );
+            for (d, &s) in self.row_mut(offset + i).iter_mut().zip(source.row(src)) {
+                *d += s;
+            }
+        }
     }
 
     /// Overwrites rows `indices[r]` of `self` with row `r` of `source`.
@@ -33,7 +93,12 @@ impl Matrix {
         assert_eq!(indices.len(), source.rows(), "scatter_rows: count mismatch");
         assert_eq!(self.cols(), source.cols(), "scatter_rows: width mismatch");
         for (src, &dst) in indices.iter().enumerate() {
-            assert!(dst < self.rows(), "scatter_rows: index {} out of {}", dst, self.rows());
+            assert!(
+                dst < self.rows(),
+                "scatter_rows: index {} out of {}",
+                dst,
+                self.rows()
+            );
             self.row_mut(dst).copy_from_slice(source.row(src));
         }
     }
@@ -42,8 +107,16 @@ impl Matrix {
     /// (scatter-add, used to accumulate gradients into shared
     /// embedding tables).
     pub fn scatter_add_rows(&mut self, indices: &[usize], source: &Matrix) {
-        assert_eq!(indices.len(), source.rows(), "scatter_add_rows: count mismatch");
-        assert_eq!(self.cols(), source.cols(), "scatter_add_rows: width mismatch");
+        assert_eq!(
+            indices.len(),
+            source.rows(),
+            "scatter_add_rows: count mismatch"
+        );
+        assert_eq!(
+            self.cols(),
+            source.cols(),
+            "scatter_add_rows: width mismatch"
+        );
         for (src, &dst) in indices.iter().enumerate() {
             for (d, &s) in self.row_mut(dst).iter_mut().zip(source.row(src)) {
                 *d += s;
@@ -91,7 +164,10 @@ impl Matrix {
     /// Copies a contiguous column range into a new matrix
     /// (inverse of `hcat`; used to split concatenated gradients).
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols(), "slice_cols out of range");
+        assert!(
+            start <= end && end <= self.cols(),
+            "slice_cols out of range"
+        );
         let w = end - start;
         let mut out = Matrix::zeros(self.rows(), w);
         for r in 0..self.rows() {
@@ -102,7 +178,10 @@ impl Matrix {
 
     /// Copies a contiguous row range into a new matrix.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows(), "slice_rows out of range");
+        assert!(
+            start <= end && end <= self.rows(),
+            "slice_rows out of range"
+        );
         let c = self.cols();
         let data = self.as_slice()[start * c..end * c].to_vec();
         Matrix::from_vec(end - start, c, data)
@@ -174,5 +253,33 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn gather_oob_panics() {
         Matrix::zeros(2, 2).gather_rows(&[5]);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_allocating_and_reuses_buffer() {
+        let src = m(4, 2, &[0., 0., 1., 1., 2., 2., 3., 3.]);
+        let mut out = Matrix::zeros(1, 7); // wrong shape on purpose
+        src.gather_rows_into(&[3, 1, 3], &mut out);
+        assert_eq!(out, src.gather_rows(&[3, 1, 3]));
+        // Shrinking reuse keeps working.
+        src.gather_rows_into(&[0], &mut out);
+        assert_eq!(out, src.gather_rows(&[0]));
+    }
+
+    #[test]
+    fn add_gathered_rows_accumulates_at_offset() {
+        let table = m(3, 2, &[10., 10., 20., 20., 30., 30.]);
+        let mut acc = Matrix::full(4, 2, 1.0);
+        acc.add_gathered_rows(1, &table, &[2, 0]);
+        assert_eq!(acc.row(0), &[1., 1.]);
+        assert_eq!(acc.row(1), &[31., 31.]);
+        assert_eq!(acc.row(2), &[11., 11.]);
+        assert_eq!(acc.row(3), &[1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn add_gathered_rows_width_mismatch_panics() {
+        Matrix::zeros(2, 3).add_gathered_rows(0, &Matrix::zeros(2, 2), &[0]);
     }
 }

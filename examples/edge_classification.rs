@@ -43,5 +43,8 @@ fn main() {
         );
     }
     println!("\ntest F1-micro {:.4}", result.test_metric);
-    println!("throughput {:.0} events/s", result.throughput_events_per_sec);
+    println!(
+        "throughput {:.0} events/s",
+        result.throughput_events_per_sec
+    );
 }

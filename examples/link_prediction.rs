@@ -48,7 +48,10 @@ fn main() {
         );
     }
     println!("\ntest MRR {:.4}", result.test_metric);
-    println!("throughput {:.0} events/s", result.throughput_events_per_sec);
+    println!(
+        "throughput {:.0} events/s",
+        result.throughput_events_per_sec
+    );
     println!(
         "timing/trainer: prep {:.2}s, memory wait {:.2}s, compute {:.2}s, all-reduce {:.2}s",
         result.timing.prep_secs,

@@ -44,7 +44,10 @@ fn run(name: &str, parallel: ParallelConfig, dataset: &disttgl::data::Dataset) -
 fn main() {
     let dataset = generators::wikipedia(0.02, 13);
     println!("dataset: {:?}\n", dataset.stats());
-    println!("{:<22} {:>11} {:>14} {:>13} {:>14}", "strategy", "iterations", "test MRR", "events/s", "grad variance");
+    println!(
+        "{:<22} {:>11} {:>14} {:>13} {:>14}",
+        "strategy", "iterations", "test MRR", "events/s", "grad variance"
+    );
 
     run("single GPU (1x1x1)", ParallelConfig::single(), &dataset);
     run("mini-batch (2x1x1)", ParallelConfig::new(2, 1, 1), &dataset);

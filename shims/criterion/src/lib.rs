@@ -1,0 +1,268 @@
+//! Minimal offline shim for `criterion`.
+//!
+//! Times closures with plain `Instant` wall clocks and prints a
+//! criterion-style one-line report per benchmark (median of the sample
+//! means). No plots, no statistics beyond min/median/max, no baseline
+//! storage — enough to compare kernels and trainers in this workspace.
+//!
+//! Honors `--quick`-style impatience via sample/time knobs, and
+//! ignores the harness CLI args cargo passes (`--bench`, filters).
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a bare parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Passed to the benchmark closure to drive iterations.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Collected per-iteration nanosecond estimates.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(c: &Criterion) -> Self {
+        Self {
+            sample_size: c.sample_size,
+            measurement_time: c.measurement_time,
+            warm_up_time: c.warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, repeating it enough to fill the measurement budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            std::hint::black_box(f());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Split the measurement budget into sample_size batches.
+        let budget = self.measurement_time.as_secs_f64();
+        let total_iters = ((budget / per_iter.max(1e-9)) as u64).max(self.sample_size as u64);
+        let batch = (total_iters / self.sample_size as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times with caller-controlled iteration counts: `f(iters)` must
+    /// return the elapsed time of exactly `iters` iterations.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Estimate cost with a single iteration, then sample.
+        let estimate = f(1).as_secs_f64().max(1e-9);
+        let budget = self.measurement_time.as_secs_f64();
+        let total_iters = ((budget / estimate) as u64).max(self.sample_size as u64);
+        let batch = (total_iters / self.sample_size as u64).max(1);
+        for _ in 0..self.sample_size {
+            let d = f(batch);
+            self.samples.push(d.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let med = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(med),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_respects_iteration_count() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                t0.elapsed()
+            })
+        });
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

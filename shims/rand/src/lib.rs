@@ -1,0 +1,243 @@
+//! Minimal offline shim for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_bool`], [`Rng::gen_range`],
+//! [`SeedableRng::seed_from_u64`], and
+//! [`distributions::Uniform`]/[`distributions::Distribution`].
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`] by
+    /// default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// User-facing random value generation.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform draw from a range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod distributions {
+    //! The tiny distribution zoo the workspace needs.
+
+    use crate::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type (uniform over its unit
+    /// interval for floats).
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Marker + helpers for types sampleable uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample from `[low, high)`.
+        fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    low.wrapping_add((rng.next_u64() % span) as $t)
+                }
+                fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_uniform!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    macro_rules! impl_float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    low + (high - low) * u
+                }
+                fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    low + (high - low) * u
+                }
+            }
+        )*};
+    }
+    impl_float_uniform!(f32, f64);
+
+    /// Ranges usable with [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Uniform distribution over a fixed interval, reusable across
+    /// draws.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_inclusive(self.low, self.high, rng)
+            } else {
+                T::sample_half_open(self.low, self.high, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::{Rng, RngCore};
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u = Uniform::new_inclusive(-1.0f32, 1.0);
+            let s = u.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! Minimal offline shim for `rayon`.
+//!
+//! `par_chunks_mut` degrades to the sequential `chunks_mut`. This is
+//! semantically identical for the workspace's kernels (the outputs are
+//! disjoint row chunks) and — because `disttgl_tensor::PAR_THRESHOLD`
+//! keeps everyday kernels sequential anyway — performance-neutral for
+//! every test and experiment profile in the repo.
+
+pub mod prelude {
+    /// Parallel mutable slice chunking (sequential in this shim).
+    pub trait ParallelSliceMut<T> {
+        /// Splits into mutable chunks of `chunk_size` (last may be
+        /// shorter), exactly like `slice::chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut() {
+        let mut v = [1, 2, 3, 4, 5];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x += i as i32 * 10;
+            }
+        });
+        assert_eq!(v, [1, 2, 13, 14, 25]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal offline shim for `serde`.
+//!
+//! Instead of upstream's visitor architecture, (de)serialization goes
+//! through one dynamic [`Value`] tree — ample for the workspace's small
+//! JSON headers and config records, and simple enough that the
+//! `serde_derive` shim can generate code without `syn`/`quote`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Dynamically typed serialization tree (JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON null (also the encoding of a missing field).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. `u64` values above 2^53 lose precision; the
+    /// workspace never serializes such values.
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field in derive-generated code; missing keys read as
+/// [`Value::Null`] so `Option` fields tolerate omission.
+pub fn __field<'v>(entries: &'v [(String, Value)], name: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}
+
+/// Serialization into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the dynamic tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, with a human-readable error on mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| format!("expected number, got {v:?}"))
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&(-1.5f64).to_value()).unwrap(), -1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Num(3.0)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn missing_field_reads_null() {
+        let obj = vec![("a".to_string(), Value::Num(1.0))];
+        assert_eq!(__field(&obj, "a"), &Value::Num(1.0));
+        assert_eq!(__field(&obj, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn vec_type_error_reported() {
+        let err = Vec::<u32>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(err.contains("expected array"), "{err}");
+    }
+}

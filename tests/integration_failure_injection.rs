@@ -2,11 +2,11 @@
 //! loudly (panics with clear messages) or gracefully (documented
 //! fallbacks), never silently corrupt training state.
 
+use disttgl::cluster::ClusterSpec;
 use disttgl::core::{
     train_distributed, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig, TgnModel,
     TrainConfig,
 };
-use disttgl::cluster::ClusterSpec;
 use disttgl::data::generators;
 use disttgl::graph::TCsr;
 use disttgl::mem::{MemoryDaemon, MemoryState};
@@ -68,7 +68,10 @@ fn nan_memory_is_detectable() {
 
     let prep = BatchPreparer::new(&d, &csr, &mc);
     let batch = prep.prepare(0..32, &[], 1, &mut mem);
-    assert!(batch.pos.readout.mem.has_non_finite(), "poison must be visible");
+    assert!(
+        batch.pos.readout.mem.has_non_finite(),
+        "poison must be visible"
+    );
 
     let mut rng = seeded_rng(1);
     let model = TgnModel::new(mc, &mut rng);

@@ -163,8 +163,16 @@ fn trained_model_generalizes_to_future_events() {
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     disttgl::core::replay_memory(&fresh, &mc, &d, &csr, &mut mem, None, 0..val_end, 100);
     let untrained = evaluate(
-        &fresh, &mc, &d, &csr, &mut mem, None,
-        val_end..d.graph.num_events(), 100, 19, 3,
+        &fresh,
+        &mc,
+        &d,
+        &csr,
+        &mut mem,
+        None,
+        val_end..d.graph.num_events(),
+        100,
+        19,
+        3,
     );
     assert!(
         res.test_metric > untrained.metric + 0.1,
@@ -180,8 +188,7 @@ fn trained_model_generalizes_to_future_events() {
 fn planner_to_training_pipeline() {
     let d = generators::wikipedia(0.004, 107);
     let spec = ClusterSpec::new(1, 4);
-    let (parallel, max_batch) =
-        disttgl::core::plan_from_graph(&d.graph, spec, 0.5, 64, 4);
+    let (parallel, max_batch) = disttgl::core::plan_from_graph(&d.graph, spec, 0.5, 64, 4);
     assert_eq!(parallel.world(), 4);
     assert!(max_batch >= 64);
     let mc = tiny_model(d.edge_features.cols());
