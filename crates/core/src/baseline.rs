@@ -20,7 +20,9 @@
 //! system behaviour (throughput, scaling) — exactly the paper's claim
 //! decomposition.
 
-use crate::batch::{BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch};
+use crate::batch::{
+    BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch, ReadoutView,
+};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult};
@@ -155,7 +157,10 @@ fn naive_prepare(
         dsts: events.iter().map(|e| e.dst).collect(),
         times: events.iter().map(|e| e.t).collect(),
         eids,
-        readout: stitch(&readouts, roots.len()),
+        // The unoptimized baseline keeps the per-occurrence layout
+        // (no dedup, no shared block — that's the point).
+        readout: ReadoutView::whole(stitch(&readouts, roots.len())),
+        uniq: None,
         roots,
         root_times: times,
         nbrs,
@@ -169,7 +174,8 @@ fn naive_prepare(
             nbr_feats: edge_rows(&neg_nbrs.eids),
             negs: negs.to_vec(),
             times: neg_times,
-            readout: stitch(&neg_readouts, negs.len()),
+            readout: ReadoutView::whole(stitch(&neg_readouts, negs.len())),
+            uniq: None,
             nbrs: neg_nbrs,
         }]
     };
@@ -417,14 +423,22 @@ mod tests {
         let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
         let negs: Vec<u32> = (0..32).map(|i| d.graph.events()[i].dst).collect();
 
-        let fast = BatchPreparer::new(&d, &csr, &mc).prepare(64..96, &[&negs], 1, &mut mem.clone());
+        // Compare against the per-occurrence layout (the naive path
+        // emulates the pre-dedup pipeline).
+        let mc_occ = mc.without_dedup_readout();
+        let fast =
+            BatchPreparer::new(&d, &csr, &mc_occ).prepare(64..96, &[&negs], 1, &mut mem.clone());
         let slow = naive_prepare(&d, &csr, &mc, 64..96, &negs, &mut mem);
-        assert_eq!(fast.pos.readout.mem, slow.pos.readout.mem);
-        assert_eq!(fast.pos.readout.mail_ts, slow.pos.readout.mail_ts);
+        let (fast_pos, slow_pos) = (fast.pos.readout.to_readout(), slow.pos.readout.to_readout());
+        assert_eq!(fast_pos.mem, slow_pos.mem);
+        assert_eq!(fast_pos.mail_ts, slow_pos.mail_ts);
         assert_eq!(fast.pos.nbrs.nbrs, slow.pos.nbrs.nbrs);
         assert_eq!(fast.pos.nbrs.counts, slow.pos.nbrs.counts);
         assert_eq!(fast.pos.nbr_feats, slow.pos.nbr_feats);
-        assert_eq!(fast.negs[0].readout.mem, slow.negs[0].readout.mem);
+        assert_eq!(
+            fast.negs[0].readout.to_readout().mem,
+            slow.negs[0].readout.to_readout().mem
+        );
         assert_eq!(fast.negs[0].nbrs.nbrs, slow.negs[0].nbrs.nbrs);
     }
 

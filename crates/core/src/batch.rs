@@ -7,13 +7,51 @@
 //! prepares **one positive input and `j` negative inputs** in a single
 //! serialized memory read so the same batch can be retrained `j` times
 //! with different negatives without touching the memory daemon again.
+//!
+//! # The deduplicated readout path
+//!
+//! With most-recent-k sampling a part's `R·(1+k)` readout occurrences
+//! (roots + neighbor slots) cover far fewer *distinct* nodes — the
+//! same `(mem, mail)` pair would be pushed through the GRU many times.
+//! When [`ModelConfig::dedup_readout`] is on (the default),
+//! [`BatchPreparer::prepare_static`] builds a [`ReadoutIndex`] per
+//! part — the unique node list in **first-occurrence order** plus the
+//! `occurrence → unique` expansion map — and the serialized phase-2
+//! read gathers **one memory row per unique node**. The model runs the
+//! GRU over the folded block and expands `ŝ` to occurrence order only
+//! where the attention layer consumes it. Since the memory update is a
+//! pure per-row function of `(mem, mail)`, which are identical across
+//! a node's occurrences (all read at batch start), the folded forward
+//! is **bit-identical** to the per-occurrence oracle.
+//!
+//! ## Summation-order contract (backward determinism)
+//!
+//! Folding changes *gradient* summation: the backward pass must reduce
+//! occurrence gradients into per-unique-node rows before the GRU
+//! backward. The contract, relied on for run-to-run reproducibility
+//! and enforced by `Matrix::fold_rows_by_index`:
+//!
+//! 1. unique ids are assigned in **first-occurrence order** over the
+//!    part's occurrence list (`roots ++ slots`, ascending row index);
+//! 2. each unique node's gradient row accumulates its occurrences in
+//!    **ascending occurrence index** (row 0, 1, 2, … of the part);
+//! 3. the GRU backward then consumes the folded rows in unique order.
+//!
+//! Every sum is therefore formed in one fixed order, so folded runs
+//! are bit-reproducible. Relative to the per-occurrence oracle the
+//! per-unique pre-activation gradients are summed *before* the
+//! weight-gradient contractions instead of inside them — identical in
+//! exact arithmetic, equal within float tolerance in practice
+//! (`tests/dedup_equivalence.rs` pins both properties).
 
 use crate::config::ModelConfig;
 use disttgl_data::Dataset;
 use disttgl_graph::{NeighborBlock, RecentNeighborSampler, TCsr};
 use disttgl_mem::{MemoryClient, MemoryReadout, MemoryState, MemoryWrite};
 use disttgl_tensor::Matrix;
+use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Uniform interface over the two ways a trainer reaches node memory:
 /// directly (single-process baselines, evaluation) or through the
@@ -43,10 +81,148 @@ impl MemoryAccess for MemoryClient {
     }
 }
 
+/// The unique-node index of one batch part: the distinct nodes of the
+/// part's occurrence list (`roots ++ slots`) and the expansion map
+/// back to occurrence order.
+///
+/// Built in phase 1 (memory-independent, so it rides the prefetch
+/// thread); phase 2 gathers one memory row per entry of
+/// `unique_nodes`. See the module docs for the summation-order
+/// contract the index pins down.
+#[derive(Clone, Debug)]
+pub struct ReadoutIndex {
+    /// Distinct nodes in first-occurrence order; row `u` of the part's
+    /// folded readout belongs to `unique_nodes[u]`.
+    pub unique_nodes: Vec<u32>,
+    /// For every occurrence row `i` of the per-occurrence layout,
+    /// the folded row holding its node: `occ_to_unique[i] < U`.
+    pub occ_to_unique: Vec<u32>,
+}
+
+impl ReadoutIndex {
+    /// Builds the index over an occurrence list, assigning unique ids
+    /// in first-occurrence order (deterministic — no hash iteration).
+    pub fn build(occurrences: &[u32]) -> Self {
+        let mut slot_of: HashMap<u32, u32> = HashMap::with_capacity(occurrences.len());
+        let mut unique_nodes = Vec::new();
+        let mut occ_to_unique = Vec::with_capacity(occurrences.len());
+        for &node in occurrences {
+            let next = unique_nodes.len() as u32;
+            let id = *slot_of.entry(node).or_insert_with(|| {
+                unique_nodes.push(node);
+                next
+            });
+            occ_to_unique.push(id);
+        }
+        Self {
+            unique_nodes,
+            occ_to_unique,
+        }
+    }
+
+    /// Number of distinct nodes `U`.
+    pub fn num_unique(&self) -> usize {
+        self.unique_nodes.len()
+    }
+}
+
+/// A row-range view into a batch's shared gathered readout block.
+///
+/// [`BatchPreparer::complete`] gathers **one** block for the whole
+/// batch and hands every part an index-range view instead of copying
+/// per-part [`MemoryReadout`]s (the copies were ~1/3 of phase-2
+/// bytes). Rows of a part are contiguous in the block, so consumers
+/// that need a dense matrix (the GRU) copy the range straight into
+/// their scratch cache — one copy total, where the split used to add
+/// another.
+#[derive(Clone, Debug)]
+pub struct ReadoutView {
+    full: Arc<MemoryReadout>,
+    start: usize,
+    end: usize,
+}
+
+impl ReadoutView {
+    /// Views rows `range` of `full`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the block.
+    pub fn new(full: Arc<MemoryReadout>, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= full.mem.rows(),
+            "ReadoutView: rows {}..{} out of {}",
+            range.start,
+            range.end,
+            full.mem.rows()
+        );
+        Self {
+            full,
+            start: range.start,
+            end: range.end,
+        }
+    }
+
+    /// Wraps an owned readout as a whole-block view (the
+    /// baseline/naive preparation path).
+    pub fn whole(readout: MemoryReadout) -> Self {
+        let rows = readout.mem.rows();
+        Self::new(Arc::new(readout), 0..rows)
+    }
+
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The shared underlying block (all parts of the batch).
+    pub fn block(&self) -> &MemoryReadout {
+        &self.full
+    }
+
+    /// This view's row range within [`ReadoutView::block`].
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Memory row `r` of the view.
+    pub fn mem_row(&self, r: usize) -> &[f32] {
+        self.full.mem.row(self.start + r)
+    }
+
+    /// Memory timestamp of view row `r`.
+    pub fn mem_ts(&self, r: usize) -> f32 {
+        self.full.mem_ts[self.start + r]
+    }
+
+    /// Mail timestamp of view row `r` (0 when no mail arrived yet).
+    pub fn mail_ts(&self, r: usize) -> f32 {
+        self.full.mail_ts[self.start + r]
+    }
+
+    /// True if any memory element in the view is NaN/∞.
+    pub fn mem_has_non_finite(&self) -> bool {
+        (0..self.rows()).any(|r| self.mem_row(r).iter().any(|v| !v.is_finite()))
+    }
+
+    /// Materializes the view as an owned per-part readout (tests and
+    /// diagnostic paths; the hot path never copies).
+    pub fn to_readout(&self) -> MemoryReadout {
+        MemoryReadout {
+            mem: self.full.mem.slice_rows(self.start, self.end),
+            mem_ts: self.full.mem_ts[self.start..self.end].to_vec(),
+            mail: self.full.mail.slice_rows(self.start, self.end),
+            mail_ts: self.full.mail_ts[self.start..self.end].to_vec(),
+        }
+    }
+}
+
 /// The positive half of a prepared batch: `B` chronological events.
 ///
-/// Readout layout: rows `0..2B` are the roots (`srcs` then `dsts`),
-/// rows `2B..2B(1+k)` the flattened neighbor slots.
+/// Readout layout (per-occurrence oracle): rows `0..2B` are the roots
+/// (`srcs` then `dsts`), rows `2B..2B(1+k)` the flattened neighbor
+/// slots. With `dedup_readout` the view instead holds one row per
+/// entry of `uniq.unique_nodes`, and `uniq.occ_to_unique` maps the
+/// occurrence layout onto it.
 #[derive(Clone, Debug)]
 pub struct PositivePart {
     /// Event sources.
@@ -64,8 +240,13 @@ pub struct PositivePart {
     pub root_times: Vec<f32>,
     /// Supporting neighbors of the `2B` roots.
     pub nbrs: NeighborBlock,
-    /// Memory/mail rows for roots then slots.
-    pub readout: MemoryReadout,
+    /// View of this part's memory/mail rows within the batch's shared
+    /// gathered block: per-occurrence (roots then slots), or one row
+    /// per unique node when `uniq` is set.
+    pub readout: ReadoutView,
+    /// Unique-node index of the folded readout (`None` on the
+    /// per-occurrence oracle path).
+    pub uniq: Option<ReadoutIndex>,
     /// Edge features of the events, `B × d_e`.
     pub event_feats: Matrix,
     /// Edge features of the neighbor slots, `2B·k × d_e`.
@@ -96,8 +277,12 @@ pub struct NegativePart {
     pub times: Vec<f32>,
     /// Supporting neighbors of the negatives.
     pub nbrs: NeighborBlock,
-    /// Memory/mail rows for negative roots then their slots.
-    pub readout: MemoryReadout,
+    /// View of this part's memory/mail rows (negative roots then
+    /// slots, or unique rows when `uniq` is set).
+    pub readout: ReadoutView,
+    /// Unique-node index of the folded readout (`None` on the
+    /// per-occurrence oracle path).
+    pub uniq: Option<ReadoutIndex>,
     /// Edge features of the negative neighbor slots.
     pub nbr_feats: Matrix,
 }
@@ -116,15 +301,19 @@ pub struct BatchPreparer<'a> {
     dataset: &'a Dataset,
     csr: &'a TCsr,
     sampler: RecentNeighborSampler,
+    dedup: bool,
 }
 
 impl<'a> BatchPreparer<'a> {
     /// Creates a preparer sampling `cfg.n_neighbors` supporting nodes.
+    /// `cfg.dedup_readout` selects between the folded (unique-row) and
+    /// per-occurrence readout layouts.
     pub fn new(dataset: &'a Dataset, csr: &'a TCsr, cfg: &ModelConfig) -> Self {
         Self {
             dataset,
             csr,
             sampler: RecentNeighborSampler::new(cfg.n_neighbors),
+            dedup: cfg.dedup_readout,
         }
     }
 
@@ -177,23 +366,51 @@ impl<'a> BatchPreparer<'a> {
                 .flat_map(|&t| std::iter::repeat_n(t, negs_per_event))
                 .collect();
             let nbrs = self.sampler.sample(self.csr, set, &neg_times);
+            let uniq = self.dedup.then(|| {
+                let mut occ = set.to_vec();
+                occ.extend_from_slice(&nbrs.nbrs);
+                ReadoutIndex::build(&occ)
+            });
             negs.push(StaticNegative {
                 nbr_feats: self.edge_rows(&nbrs.eids),
                 set: set.to_vec(),
                 times: neg_times,
                 nbrs,
+                uniq,
             });
         }
 
+        // Unique-node index of the positive part over its occurrence
+        // list `roots ++ slots` (memory-independent, so it is built
+        // here in phase 1 and rides the prefetch thread).
+        let pos_uniq = self.dedup.then(|| {
+            let mut occ = pos_roots.clone();
+            occ.extend_from_slice(&pos_nbrs.nbrs);
+            ReadoutIndex::build(&occ)
+        });
+
         // The one serialized read's node list, in a fixed layout:
-        // positive roots, positive slots, then per-set negative roots
-        // and slots.
+        // positive part, then the negative sets in order. Per part the
+        // layout is roots-then-slots (per-occurrence), or the part's
+        // unique nodes in first-occurrence order when deduplicating —
+        // either way each part's rows are one contiguous range of the
+        // gathered block.
         let mut all_nodes = Vec::new();
-        all_nodes.extend_from_slice(&pos_roots);
-        all_nodes.extend_from_slice(&pos_nbrs.nbrs);
+        match &pos_uniq {
+            Some(u) => all_nodes.extend_from_slice(&u.unique_nodes),
+            None => {
+                all_nodes.extend_from_slice(&pos_roots);
+                all_nodes.extend_from_slice(&pos_nbrs.nbrs);
+            }
+        }
         for n in &negs {
-            all_nodes.extend_from_slice(&n.set);
-            all_nodes.extend_from_slice(&n.nbrs.nbrs);
+            match &n.uniq {
+                Some(u) => all_nodes.extend_from_slice(&u.unique_nodes),
+                None => {
+                    all_nodes.extend_from_slice(&n.set);
+                    all_nodes.extend_from_slice(&n.nbrs.nbrs);
+                }
+            }
         }
 
         let labels = self.dataset.labels.as_ref().map(|l| {
@@ -211,6 +428,7 @@ impl<'a> BatchPreparer<'a> {
             pos_roots,
             pos_times,
             pos_nbrs,
+            pos_uniq,
             labels,
             negs,
             all_nodes,
@@ -237,22 +455,20 @@ impl<'a> BatchPreparer<'a> {
     pub fn complete(&self, sb: StaticBatch, full: MemoryReadout) -> PreparedBatch {
         assert_eq!(full.mem.rows(), sb.all_nodes.len(), "readout rows");
 
-        // Split the readout back into parts.
+        // Hand each part an index-range view into the one shared block
+        // — no per-part row copies (ROADMAP's readout-split item).
+        let full = Arc::new(full);
         let mut cursor = 0usize;
         let mut take = |n: usize| {
             let r = cursor..cursor + n;
             cursor += n;
             r
         };
-        let slice_readout = |r: Range<usize>| MemoryReadout {
-            mem: full.mem.slice_rows(r.start, r.end),
-            mem_ts: full.mem_ts[r.clone()].to_vec(),
-            mail: full.mail.slice_rows(r.start, r.end),
-            mail_ts: full.mail_ts[r].to_vec(),
-        };
 
-        let pos_rows = take(2 * sb.srcs.len() + sb.pos_nbrs.nbrs.len());
-        let pos_readout = slice_readout(pos_rows);
+        let pos_rows = match &sb.pos_uniq {
+            Some(u) => take(u.num_unique()),
+            None => take(2 * sb.srcs.len() + sb.pos_nbrs.nbrs.len()),
+        };
         let pos = PositivePart {
             event_feats: sb.event_feats,
             nbr_feats: sb.pos_nbr_feats,
@@ -263,20 +479,24 @@ impl<'a> BatchPreparer<'a> {
             roots: sb.pos_roots,
             root_times: sb.pos_times,
             nbrs: sb.pos_nbrs,
-            readout: pos_readout,
+            readout: ReadoutView::new(Arc::clone(&full), pos_rows),
+            uniq: sb.pos_uniq,
             labels: sb.labels,
         };
 
         let mut negs = Vec::with_capacity(sb.negs.len());
         for n in sb.negs {
-            let rows = take(n.set.len() + n.nbrs.nbrs.len());
-            let readout = slice_readout(rows);
+            let rows = match &n.uniq {
+                Some(u) => take(u.num_unique()),
+                None => take(n.set.len() + n.nbrs.nbrs.len()),
+            };
             negs.push(NegativePart {
                 nbr_feats: n.nbr_feats,
                 negs: n.set,
                 times: n.times,
                 nbrs: n.nbrs,
-                readout,
+                readout: ReadoutView::new(Arc::clone(&full), rows),
+                uniq: n.uniq,
             });
         }
         debug_assert_eq!(cursor, sb.all_nodes.len());
@@ -308,6 +528,7 @@ struct StaticNegative {
     times: Vec<f32>,
     nbrs: NeighborBlock,
     nbr_feats: Matrix,
+    uniq: Option<ReadoutIndex>,
 }
 
 /// Output of [`BatchPreparer::prepare_static`]: a batch minus its
@@ -323,6 +544,7 @@ pub struct StaticBatch {
     pos_roots: Vec<u32>,
     pos_times: Vec<f32>,
     pos_nbrs: NeighborBlock,
+    pos_uniq: Option<ReadoutIndex>,
     event_feats: Matrix,
     pos_nbr_feats: Matrix,
     labels: Option<Matrix>,
@@ -416,6 +638,7 @@ mod tests {
     #[test]
     fn prepared_layout_is_consistent() {
         let (d, csr, cfg) = small_setup();
+        let cfg = cfg.without_dedup_readout();
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let b = 16;
@@ -425,11 +648,89 @@ mod tests {
         assert_eq!(batch.pos.len(), b);
         let k = cfg.n_neighbors;
         // Roots: 2B; slots: 2B·k.
-        assert_eq!(batch.pos.readout.mem.rows(), 2 * b + 2 * b * k);
+        assert_eq!(batch.pos.readout.rows(), 2 * b + 2 * b * k);
+        assert!(batch.pos.uniq.is_none());
         assert_eq!(batch.pos.nbr_feats.rows(), 2 * b * k);
         assert_eq!(batch.pos.event_feats.shape(), (b, 172));
         assert_eq!(batch.negs.len(), 1);
-        assert_eq!(batch.negs[0].readout.mem.rows(), b + b * k);
+        assert_eq!(batch.negs[0].readout.rows(), b + b * k);
+    }
+
+    #[test]
+    fn dedup_layout_gathers_one_row_per_unique_node() {
+        let (d, csr, cfg) = small_setup();
+        assert!(cfg.dedup_readout, "dedup is the default");
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let b = 16;
+        let negs: Vec<u32> = (0..b).map(|i| d.graph.events()[i].dst).collect();
+        let batch = prep.prepare(0..b, &[&negs], 1, &mut mem);
+
+        let k = cfg.n_neighbors;
+        let uniq = batch.pos.uniq.as_ref().expect("dedup index");
+        assert_eq!(uniq.occ_to_unique.len(), 2 * b + 2 * b * k);
+        assert_eq!(batch.pos.readout.rows(), uniq.num_unique());
+        assert!(uniq.num_unique() <= 2 * b + 2 * b * k);
+        // First-occurrence order, and every occurrence maps to its own
+        // node's unique row.
+        let mut occ_nodes = batch.pos.roots.clone();
+        occ_nodes.extend_from_slice(&batch.pos.nbrs.nbrs);
+        let mut seen = std::collections::HashSet::new();
+        let mut expect_next = 0u32;
+        for (i, &node) in occ_nodes.iter().enumerate() {
+            let u = uniq.occ_to_unique[i];
+            assert_eq!(uniq.unique_nodes[u as usize], node, "occurrence {i}");
+            if seen.insert(node) {
+                assert_eq!(u, expect_next, "first-occurrence order");
+                expect_next += 1;
+            }
+        }
+        // The gathered rows are the unique nodes' rows (zeros here, but
+        // shape/range must line up).
+        assert_eq!(
+            batch.pos.readout.block().mem.rows(),
+            uniq.num_unique() + batch.negs[0].uniq.as_ref().unwrap().num_unique()
+        );
+    }
+
+    /// Folded and per-occurrence layouts must expand to the same
+    /// per-occurrence memory rows — the gather-level equivalence the
+    /// model's bit-identical forward builds on.
+    #[test]
+    fn dedup_rows_expand_to_oracle_rows() {
+        let (d, csr, cfg) = small_setup();
+        let oracle_cfg = cfg.without_dedup_readout();
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        // Seed some rows so the comparison is non-trivial.
+        let seed: Vec<u32> = (0..12).map(|i| d.graph.events()[i].src).collect();
+        let n = seed.len();
+        MemoryAccess::write(
+            &mut mem,
+            MemoryWrite {
+                nodes: seed,
+                mem: Matrix::from_fn(n, cfg.d_mem, |r, c| (r * 7 + c) as f32),
+                mem_ts: (0..n).map(|i| i as f32 + 1.0).collect(),
+                mail: Matrix::from_fn(n, cfg.mail_dim(), |r, c| (r + c) as f32 * 0.5),
+                mail_ts: (0..n).map(|i| i as f32 + 1.5).collect(),
+            },
+        );
+        let folded = BatchPreparer::new(&d, &csr, &cfg).prepare(0..24, &[], 1, &mut mem.clone());
+        let oracle = BatchPreparer::new(&d, &csr, &oracle_cfg).prepare(0..24, &[], 1, &mut mem);
+        let uniq = folded.pos.uniq.as_ref().unwrap();
+        let occ_rows = oracle.pos.readout.rows();
+        assert_eq!(uniq.occ_to_unique.len(), occ_rows);
+        for occ in 0..occ_rows {
+            let u = uniq.occ_to_unique[occ] as usize;
+            assert_eq!(
+                folded.pos.readout.mem_row(u),
+                oracle.pos.readout.mem_row(occ)
+            );
+            assert_eq!(folded.pos.readout.mem_ts(u), oracle.pos.readout.mem_ts(occ));
+            assert_eq!(
+                folded.pos.readout.mail_ts(u),
+                oracle.pos.readout.mail_ts(occ)
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub struct ModelConfig {
     pub num_classes: usize,
     /// The batched-mail combination policy (Eq. 8).
     pub comb: CombPolicy,
+    /// Deduplicate memory-readout rows before the GRU update: phase 2
+    /// gathers one row per *unique* node of each batch part, the GRU
+    /// runs over the folded block, and `ŝ` is expanded back to
+    /// occurrence order only where the attention layer consumes it.
+    /// Forward outputs are bit-identical to the per-occurrence path
+    /// (the GRU is a pure per-row function); backward sums occurrence
+    /// gradients per unique node in ascending occurrence order before
+    /// the GRU backward, so parameter gradients match the
+    /// per-occurrence oracle up to float summation order (see
+    /// `core::batch` module docs and `tests/dedup_equivalence.rs`).
+    /// On by default; disable to run the per-occurrence correctness
+    /// oracle.
+    pub dedup_readout: bool,
 }
 
 impl ModelConfig {
@@ -56,6 +69,7 @@ impl ModelConfig {
             static_memory: true,
             num_classes: 0,
             comb: CombPolicy::default(),
+            dedup_readout: true,
         }
     }
 
@@ -72,6 +86,7 @@ impl ModelConfig {
             static_memory: true,
             num_classes: 0,
             comb: CombPolicy::default(),
+            dedup_readout: true,
         }
     }
 
@@ -84,6 +99,13 @@ impl ModelConfig {
     /// Disables static node memory (the §3.1 ablation).
     pub fn without_static_memory(mut self) -> Self {
         self.static_memory = false;
+        self
+    }
+
+    /// Disables readout deduplication — the per-occurrence correctness
+    /// oracle the folded path is tested against.
+    pub fn without_dedup_readout(mut self) -> Self {
+        self.dedup_readout = false;
         self
     }
 

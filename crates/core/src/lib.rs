@@ -56,7 +56,7 @@ mod static_mem;
 
 pub use batch::{
     patch_readout, BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch,
-    StaticBatch,
+    ReadoutIndex, ReadoutView, StaticBatch,
 };
 pub use config::{
     plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,

@@ -4,9 +4,15 @@
 //!
 //! 1. **Memory update** (Eq. 3/8): for every fetched node with a
 //!    pending mail, `ŝ = GRU(s, mail)`; nodes without mail history keep
-//!    `s` (zero until first event). Computed per *occurrence row* so
-//!    gradients reach the GRU from every usage, but never across
-//!    events (no BPTT).
+//!    `s` (zero until first event). With `dedup_readout` (default) the
+//!    GRU runs once per *unique* node of the part and `ŝ` is expanded
+//!    to occurrence order — bit-identical to the per-occurrence
+//!    computation because the update is a pure per-row function of the
+//!    `(mem, mail)` pair, which is shared by all of a node's
+//!    occurrences. Gradients still reach the GRU from every usage
+//!    (occurrence gradients are folded per unique node in ascending
+//!    occurrence order — see `core::batch`), but never across events
+//!    (no BPTT).
 //! 2. **Static combine** (§3.1): `c = ŝ + s_static` when static node
 //!    memory is enabled — the time-irrelevant information enters every
 //!    read of the node state.
@@ -23,10 +29,10 @@
 //!    occurrence — the reversed computation order that avoids the
 //!    information leak.
 
-use crate::batch::{NegativePart, PositivePart};
+use crate::batch::{NegativePart, PositivePart, ReadoutIndex, ReadoutView};
 use crate::config::{CombPolicy, ModelConfig};
 use crate::static_mem::StaticMemory;
-use disttgl_mem::{MemoryReadout, MemoryWrite};
+use disttgl_mem::MemoryWrite;
 use disttgl_nn::{
     loss, Adam, AttentionCache, EdgeClassifier, EdgePredictor, GruCache, GruCell, Linear,
     LinearCache, ParamSet, TemporalAttention, TimeEncoding,
@@ -72,6 +78,15 @@ struct EmbedScratch {
     mask: Matrix,
     /// `ŝ + s_static` when static node memory is enabled.
     combined: Matrix,
+    /// Occurrence-order root rows of `combined` (attention query
+    /// input).
+    c_roots: Matrix,
+    /// Occurrence-order slot rows of `combined` (attention key/value
+    /// input).
+    c_slots: Matrix,
+    /// Folded per-unique-node gradient accumulator (backward, dedup
+    /// path).
+    fold: Matrix,
 }
 
 /// Scratch for a whole training step: one arena per root set, since
@@ -167,36 +182,44 @@ impl TgnModel {
 
     /// Updated memory `ŝ` (into `scratch.s_hat`), its selection mask
     /// (into `scratch.mask`), and effective update timestamps for a
-    /// readout block (Eq. 3 with the has-mail guard).
+    /// readout view (Eq. 3 with the has-mail guard). Rows are whatever
+    /// the view holds — per-occurrence on the oracle path, one per
+    /// unique node on the folded path; the math per row is identical.
     ///
-    /// The fused GRU writes straight into the scratch buffers; rows
-    /// without a pending mail are then overwritten with the prior
-    /// memory in place — no `readout.mem` clone, no per-step GRU
-    /// allocations.
-    fn update_memory(&self, readout: &MemoryReadout, scratch: &mut EmbedScratch) -> Vec<f32> {
-        self.gru.forward_into(
+    /// The fused GRU reads the view's row range of the shared gathered
+    /// block straight into its cache (the only copy) and writes into
+    /// the scratch buffers; rows without a pending mail are then
+    /// overwritten with the prior memory in place — no per-part
+    /// readout clone, no per-step GRU allocations.
+    fn update_memory(&self, readout: &ReadoutView, scratch: &mut EmbedScratch) -> Vec<f32> {
+        let block = readout.block();
+        self.gru.forward_rows_into(
             &self.params,
-            &readout.mail,
-            &readout.mem,
+            &block.mail,
+            &block.mem,
+            readout.range(),
             &mut scratch.gru,
             &mut scratch.s_hat,
         );
-        let rows = readout.mem.rows();
+        let rows = readout.rows();
         scratch.mask.resize(rows, self.cfg.d_mem);
         let mut ts = vec![0.0f32; rows];
         for (r, t_out) in ts.iter_mut().enumerate() {
-            if readout.mail_ts[r] > 0.0 {
+            if readout.mail_ts(r) > 0.0 {
                 scratch.mask.row_mut(r).fill(1.0);
-                *t_out = readout.mail_ts[r];
+                *t_out = readout.mail_ts(r);
             } else {
-                scratch.s_hat.row_mut(r).copy_from_slice(readout.mem.row(r));
-                *t_out = readout.mem_ts[r];
+                scratch.s_hat.row_mut(r).copy_from_slice(readout.mem_row(r));
+                *t_out = readout.mem_ts(r);
             }
         }
         ts
     }
 
-    /// Embeds a root set. `readout` rows: `R` roots then `R·k` slots.
+    /// Embeds a root set. `readout` rows: `R` roots then `R·k` slots on
+    /// the per-occurrence path, or one per unique node with `uniq` set
+    /// (the folded path, bit-identical forward — expansion happens
+    /// here, at the attention boundary).
     /// Returns `(embeddings, ŝ_roots, root update ts, cache)`.
     #[allow(clippy::too_many_arguments)]
     fn embed(
@@ -205,40 +228,73 @@ impl TgnModel {
         times: &[f32],
         counts: &[usize],
         slot_nodes: &[u32],
-        readout: &MemoryReadout,
+        readout: &ReadoutView,
+        uniq: Option<&ReadoutIndex>,
         nbr_feats: &Matrix,
         static_mem: Option<&StaticMemory>,
         scratch: &mut EmbedScratch,
     ) -> (Matrix, Matrix, Vec<f32>, EmbedCache) {
         let r = roots.len();
         let k = self.cfg.n_neighbors;
-        debug_assert_eq!(readout.mem.rows(), r + r * k, "readout rows");
         debug_assert_eq!(slot_nodes.len(), r * k);
+        match uniq {
+            Some(u) => {
+                debug_assert_eq!(u.occ_to_unique.len(), r + r * k, "occurrence map");
+                debug_assert_eq!(readout.rows(), u.num_unique(), "folded readout rows");
+            }
+            None => debug_assert_eq!(readout.rows(), r + r * k, "readout rows"),
+        }
 
-        // One fused GRU pass over roots + slots.
+        // One fused GRU pass over the view's rows — once per unique
+        // node on the folded path, once per occurrence on the oracle.
         let ts = self.update_memory(readout, scratch);
 
         // Static combine: `ŝ + s_static`, accumulated straight from the
         // embedding table (no gathered block, no `ŝ` clone); without
-        // static memory, `ŝ` is used as-is.
-        let combined: &Matrix = match static_mem {
+        // static memory, `ŝ` is used as-is. On the folded path each
+        // unique row gets its node's static row once — expansion below
+        // replicates the identical sum to every occurrence. All
+        // destinations are arena buffers, so the occurrence-size
+        // matrices are allocated once per trainer, not per step.
+        let EmbedScratch {
+            s_hat,
+            combined,
+            c_roots,
+            c_slots,
+            ..
+        } = scratch;
+        let sel: &Matrix = match static_mem {
             Some(sm) if self.cfg.static_memory => {
-                scratch.combined.copy_from(&scratch.s_hat);
-                scratch.combined.add_gathered_rows(0, sm.table(), roots);
-                scratch
-                    .combined
-                    .add_gathered_rows(r, sm.table(), slot_nodes);
-                &scratch.combined
+                combined.copy_from(s_hat);
+                match uniq {
+                    Some(u) => {
+                        combined.add_gathered_rows(0, sm.table(), &u.unique_nodes);
+                    }
+                    None => {
+                        combined.add_gathered_rows(0, sm.table(), roots);
+                        combined.add_gathered_rows(r, sm.table(), slot_nodes);
+                    }
+                }
+                combined
             }
-            _ => &scratch.s_hat,
+            _ => s_hat,
         };
-        let c_roots = combined.slice_rows(0, r);
-        let c_slots = combined.slice_rows(r, r + r * k);
+        match uniq {
+            Some(u) => {
+                sel.expand_rows(&u.occ_to_unique[..r], c_roots);
+                sel.expand_rows(&u.occ_to_unique[r..], c_slots);
+            }
+            None => {
+                c_roots.copy_rows_from(sel, 0..r);
+                c_slots.copy_rows_from(sel, r..r + r * k);
+            }
+        }
+        let (c_roots, c_slots) = (&*c_roots, &*c_slots);
 
         // Query features {c_root || Φ(0)}.
         let zeros = vec![0.0f32; r];
         let phi0 = self.time_enc.forward(&self.params, &zeros);
-        let q_feat = Matrix::hcat(&[&c_roots, &phi0]);
+        let q_feat = Matrix::hcat(&[c_roots, &phi0]);
 
         // Key/value features {c_slot || E || Φ(Δt)}, Δt against the
         // slot's memory-update time (Eq. 5).
@@ -246,21 +302,36 @@ impl TgnModel {
         for (root, &t_root) in times.iter().enumerate() {
             for s in 0..k {
                 let idx = root * k + s;
-                slot_dts[idx] = (t_root - ts[r + idx]).max(0.0);
+                let t_upd = match uniq {
+                    Some(u) => ts[u.occ_to_unique[r + idx] as usize],
+                    None => ts[r + idx],
+                };
+                slot_dts[idx] = (t_root - t_upd).max(0.0);
             }
         }
         let phi_dt = self.time_enc.forward(&self.params, &slot_dts);
-        let kv_feat = Matrix::hcat(&[&c_slots, nbr_feats, &phi_dt]);
+        let kv_feat = Matrix::hcat(&[c_slots, nbr_feats, &phi_dt]);
 
         let (h_att, attn_cache) = self.attn.forward(&self.params, &q_feat, &kv_feat, counts);
 
         // Combine layer with ReLU.
-        let x = Matrix::hcat(&[&c_roots, &h_att]);
+        let x = Matrix::hcat(&[c_roots, &h_att]);
         let (z, combine_cache) = self.combine.forward(&self.params, &x);
         let emb = z.relu();
 
-        let s_hat_roots = scratch.s_hat.slice_rows(0, r);
-        let root_ts = ts[0..r].to_vec();
+        let (s_hat_roots, root_ts) = match uniq {
+            Some(u) => {
+                // Returned to the caller (kept alive through
+                // `build_write`), so this one is a fresh matrix — same
+                // R x d_mem allocation class as the oracle's
+                // `slice_rows`.
+                let mut sh = Matrix::default();
+                s_hat.expand_rows(&u.occ_to_unique[..r], &mut sh);
+                let rts = (0..r).map(|e| ts[u.occ_to_unique[e] as usize]).collect();
+                (sh, rts)
+            }
+            None => (s_hat.slice_rows(0, r), ts[0..r].to_vec()),
+        };
         let cache = EmbedCache {
             slot_dts,
             attn_cache,
@@ -272,8 +343,18 @@ impl TgnModel {
 
     /// Backward through one embed: accumulates all parameter gradients.
     /// `scratch` must be the arena the matching [`TgnModel::embed`]
-    /// call filled (GRU cache + selection mask).
-    fn embed_backward(&mut self, cache: &EmbedCache, scratch: &EmbedScratch, demb: &Matrix) {
+    /// call filled (GRU cache + selection mask), and `uniq` the same
+    /// index that call was given: with it, occurrence gradients are
+    /// folded per unique node — in ascending occurrence order, the
+    /// summation contract of `core::batch` — before the single GRU
+    /// backward over the folded rows.
+    fn embed_backward(
+        &mut self,
+        cache: &EmbedCache,
+        scratch: &mut EmbedScratch,
+        uniq: Option<&ReadoutIndex>,
+        demb: &Matrix,
+    ) {
         let d_mem = self.cfg.d_mem;
         let r = demb.rows();
         let k = self.cfg.n_neighbors;
@@ -303,11 +384,20 @@ impl TgnModel {
                 .backward(&mut self.params, &cache.slot_dts, &dphi);
         }
 
-        // d(ŝ) for roots + slots; GRU gradient only where the mail was
-        // applied (the mask), per the selection in `update_memory`.
+        // d(ŝ) for roots + slots; on the folded path the occurrence
+        // gradients first reduce into per-unique rows (ascending
+        // occurrence order — deterministic); GRU gradient only where
+        // the mail was applied (the mask), per the selection in
+        // `update_memory`.
         debug_assert_eq!(d_c_slots.rows(), r * k);
         let d_s_hat = Matrix::vcat(&[&d_c_roots, &d_c_slots]);
-        let d_gru_out = d_s_hat.hadamard(&scratch.mask);
+        let d_gru_out = match uniq {
+            Some(u) => {
+                d_s_hat.fold_rows_by_index(&u.occ_to_unique, u.num_unique(), &mut scratch.fold);
+                scratch.fold.hadamard(&scratch.mask)
+            }
+            None => d_s_hat.hadamard(&scratch.mask),
+        };
         let (_dmail, _dmem) = self
             .gru
             .backward(&mut self.params, &scratch.gru, &d_gru_out);
@@ -463,6 +553,7 @@ impl TgnModel {
             &pos.nbrs.counts,
             &pos.nbrs.nbrs,
             &pos.readout,
+            pos.uniq.as_ref(),
             &pos.nbr_feats,
             static_mem,
             &mut scratch.pos,
@@ -481,6 +572,7 @@ impl TgnModel {
                     &neg.nbrs.counts,
                     &neg.nbrs.nbrs,
                     &neg.readout,
+                    neg.uniq.as_ref(),
                     &neg.nbr_feats,
                     static_mem,
                     &mut scratch.neg,
@@ -495,8 +587,8 @@ impl TgnModel {
                 let mut dsrc = dsrc1;
                 dsrc.add_assign(&Self::fold_rows(&dsrc_rep, kneg));
                 let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
-                self.embed_backward(&pos_cache, &scratch.pos, &dpos_emb);
-                self.embed_backward(&neg_cache, &scratch.neg, &dneg);
+                self.embed_backward(&pos_cache, &mut scratch.pos, pos.uniq.as_ref(), &dpos_emb);
+                self.embed_backward(&neg_cache, &mut scratch.neg, neg.uniq.as_ref(), &dneg);
 
                 StepOutput {
                     loss: l,
@@ -512,7 +604,7 @@ impl TgnModel {
                 let (l, dl) = loss::multi_label_bce(&logits, labels);
                 let (dsrc, ddst) = clf.backward(&mut self.params, &pc, &dl);
                 let dpos_emb = Matrix::vcat(&[&dsrc, &ddst]);
-                self.embed_backward(&pos_cache, &scratch.pos, &dpos_emb);
+                self.embed_backward(&pos_cache, &mut scratch.pos, pos.uniq.as_ref(), &dpos_emb);
                 StepOutput {
                     loss: l,
                     pos_scores: logits.into_vec(),
@@ -545,6 +637,7 @@ impl TgnModel {
             &pos.nbrs.counts,
             &pos.nbrs.nbrs,
             &pos.readout,
+            pos.uniq.as_ref(),
             &pos.nbr_feats,
             static_mem,
             &mut scratch.pos,
@@ -562,6 +655,7 @@ impl TgnModel {
                     &neg.nbrs.counts,
                     &neg.nbrs.nbrs,
                     &neg.readout,
+                    neg.uniq.as_ref(),
                     &neg.nbr_feats,
                     static_mem,
                     &mut scratch.neg,
@@ -736,7 +830,12 @@ mod tests {
         let mut saw_nonzero = false;
         for (r, node) in roots.iter().enumerate() {
             if touched.contains(node) {
-                saw_nonzero |= b1.pos.readout.mail_ts[r] > 0.0;
+                let row = b1
+                    .pos
+                    .uniq
+                    .as_ref()
+                    .map_or(r, |u| u.occ_to_unique[r] as usize);
+                saw_nonzero |= b1.pos.readout.mail_ts(row) > 0.0;
             }
         }
         assert!(

@@ -52,8 +52,16 @@
 //!   those rows with [`patch_readout`](crate::batch::patch_readout).
 //!   Note that with most-recent-k sampling on recurrence-heavy
 //!   streams, the written nodes can dominate the next readout (~90%
-//!   measured on the Table 2 analogs), making eager-write scheduling
-//!   the profitable protocol whenever the write is available early.
+//!   of readout rows measured on the Table 2 analogs), making
+//!   eager-write scheduling the profitable protocol whenever the
+//!   write is available early. With the deduplicated readout
+//!   (`ModelConfig::dedup_readout`, default) the gathered block holds
+//!   one row per unique node per part, so `patch_readout` repairs each
+//!   stale node once per part instead of once per occurrence — the
+//!   repair *volume* shrinks by the batch's occurrence/unique row
+//!   ratio, though the stale *fraction* of rows stays high (most
+//!   unique nodes of batch `t + 1` were just written by batch `t`), so
+//!   the eager-write preference stands.
 //!
 //! Requests whose use would cross an epoch reset leave `gather_memory`
 //! off and fall back to the serialized gather.
@@ -301,11 +309,18 @@ mod tests {
         let split = prep.finish(sb, &mut mem_b);
 
         assert_eq!(one_shot.pos.srcs, split.pos.srcs);
-        assert_eq!(one_shot.pos.readout.mem, split.pos.readout.mem);
-        assert_eq!(one_shot.pos.readout.mail_ts, split.pos.readout.mail_ts);
+        let (a, b) = (
+            one_shot.pos.readout.to_readout(),
+            split.pos.readout.to_readout(),
+        );
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.mail_ts, b.mail_ts);
         assert_eq!(one_shot.pos.nbr_feats, split.pos.nbr_feats);
         assert_eq!(one_shot.negs[0].negs, split.negs[0].negs);
-        assert_eq!(one_shot.negs[0].readout.mem, split.negs[0].readout.mem);
+        assert_eq!(
+            one_shot.negs[0].readout.to_readout().mem,
+            split.negs[0].readout.to_readout().mem
+        );
     }
 
     /// The worker produces the same phase-1 output as an inline call,
@@ -340,7 +355,10 @@ mod tests {
             let a = prep.finish(resp.sb, &mut mem_a);
             let b = prep.finish(inline, &mut mem_b);
             assert_eq!(a.pos.srcs, b.pos.srcs, "range {range:?}");
-            assert_eq!(a.pos.readout.mem, b.pos.readout.mem);
+            assert_eq!(
+                a.pos.readout.to_readout().mem,
+                b.pos.readout.to_readout().mem
+            );
             assert_eq!(a.pos.event_feats, b.pos.event_feats);
         }
         assert_eq!(prefetcher.in_flight(), 0);
@@ -379,8 +397,15 @@ mod tests {
             .iter()
             .position(|&n| n == node)
             .expect("event 0's src is a root");
-        assert_eq!(batch.pos.readout.mem.get(row, 0), 0.5);
-        assert_eq!(batch.pos.readout.mail_ts[row], 1.0);
+        // Dedup is on by default: map the occurrence row to its
+        // unique readout row.
+        let vrow = batch
+            .pos
+            .uniq
+            .as_ref()
+            .map_or(row, |u| u.occ_to_unique[row] as usize);
+        assert_eq!(batch.pos.readout.mem_row(vrow)[0], 0.5);
+        assert_eq!(batch.pos.readout.mail_ts(vrow), 1.0);
     }
 
     /// Dropping with requests in flight must not deadlock or leak the

@@ -149,12 +149,53 @@ impl GruCell {
         cache: &mut GruCache,
         h_new: &mut Matrix,
     ) {
-        assert_eq!(x.cols(), self.input_dim, "GruCell: input width");
-        assert_eq!(h.cols(), self.hidden_dim, "GruCell: hidden width");
         assert_eq!(x.rows(), h.rows(), "GruCell: batch mismatch");
-
         cache.x.copy_from(x);
         cache.h.copy_from(h);
+        self.compute_from_cache(params, cache, h_new);
+    }
+
+    /// [`GruCell::forward_into`] over the contiguous row range `rows`
+    /// of larger `x`/`h` blocks — the view-based entry point: the input
+    /// copy the cache needs anyway doubles as the readout split, so a
+    /// part of a shared gathered block feeds the GRU without an
+    /// intermediate per-part readout copy. Bit-identical to slicing
+    /// first and calling [`GruCell::forward_into`].
+    ///
+    /// # Panics
+    /// Panics on width mismatch or an out-of-range row span.
+    pub fn forward_rows_into(
+        &self,
+        params: &ParamSet,
+        x: &Matrix,
+        h: &Matrix,
+        rows: std::ops::Range<usize>,
+        cache: &mut GruCache,
+        h_new: &mut Matrix,
+    ) {
+        assert_eq!(x.rows(), h.rows(), "GruCell: batch mismatch");
+        cache.x.copy_rows_from(x, rows.clone());
+        cache.h.copy_rows_from(h, rows);
+        self.compute_from_cache(params, cache, h_new);
+    }
+
+    /// Shared fused-forward body: gates from the already-filled
+    /// `cache.x`/`cache.h` copies (same values as the caller's inputs,
+    /// so the arithmetic — and therefore every output bit — matches
+    /// the pre-refactor path that read the inputs directly).
+    fn compute_from_cache(&self, params: &ParamSet, cache: &mut GruCache, h_new: &mut Matrix) {
+        let GruCache {
+            x,
+            h,
+            r,
+            z,
+            n,
+            a,
+            tmp,
+        } = cache;
+        let (x, h) = (&*x, &*h);
+        assert_eq!(x.cols(), self.input_dim, "GruCell: input width");
+        assert_eq!(h.cols(), self.hidden_dim, "GruCell: hidden width");
 
         // r = σ(x·Wirᵀ + bir + h·Whrᵀ + bhr), gates assembled in place.
         fn assemble_gate(
@@ -173,35 +214,34 @@ impl GruCell {
         }
         let r_ids = (self.w_ir, self.b_ir, self.w_hr, self.b_hr);
         let z_ids = (self.w_iz, self.b_iz, self.w_hz, self.b_hz);
-        assemble_gate(params, x, h, r_ids, &mut cache.tmp, &mut cache.r);
-        assemble_gate(params, x, h, z_ids, &mut cache.tmp, &mut cache.z);
-        cache.r.map_inplace(disttgl_tensor::sigmoid_scalar);
-        cache.z.map_inplace(disttgl_tensor::sigmoid_scalar);
+        assemble_gate(params, x, h, r_ids, tmp, r);
+        assemble_gate(params, x, h, z_ids, tmp, z);
+        r.map_inplace(disttgl_tensor::sigmoid_scalar);
+        z.map_inplace(disttgl_tensor::sigmoid_scalar);
 
         // a = h·Whnᵀ + bhn; n = tanh(x·Winᵀ + bin + r ⊙ a).
-        h.matmul_transpose_b_into(&params.get(self.w_hn).w, &mut cache.a);
-        cache.a.add_row_broadcast(&params.get(self.b_hn).w);
-        x.matmul_transpose_b_into(&params.get(self.w_in).w, &mut cache.n);
-        cache.n.add_row_broadcast(&params.get(self.b_in).w);
-        for ((nv, &rv), &av) in cache
-            .n
+        h.matmul_transpose_b_into(&params.get(self.w_hn).w, a);
+        a.add_row_broadcast(&params.get(self.b_hn).w);
+        x.matmul_transpose_b_into(&params.get(self.w_in).w, n);
+        n.add_row_broadcast(&params.get(self.b_in).w);
+        for ((nv, &rv), &av) in n
             .as_mut_slice()
             .iter_mut()
-            .zip(cache.r.as_slice())
-            .zip(cache.a.as_slice())
+            .zip(r.as_slice())
+            .zip(a.as_slice())
         {
             *nv += rv * av;
         }
-        cache.n.map_inplace(f32::tanh);
+        n.map_inplace(f32::tanh);
 
         // h' = (1 − z) ⊙ n + z ⊙ h, fused per element in the same
         // operation order as the allocating path: n − z·n + z·h.
-        h_new.resize_for_overwrite(cache.n.rows(), cache.n.cols());
+        h_new.resize_for_overwrite(n.rows(), n.cols());
         for (((ov, &zv), &nv), &hv) in h_new
             .as_mut_slice()
             .iter_mut()
-            .zip(cache.z.as_slice())
-            .zip(cache.n.as_slice())
+            .zip(z.as_slice())
+            .zip(n.as_slice())
             .zip(h.as_slice())
         {
             *ov = (nv - zv * nv) + zv * hv;
@@ -371,6 +411,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The view-based entry point must equal slicing first — same
+    /// bits, since both feed identical values through the same fused
+    /// body.
+    #[test]
+    fn forward_rows_into_matches_sliced_forward() {
+        let (ps, cell, x, h) = setup(4, 3, 6);
+        let (expect, _) = cell.forward(&ps, &x.slice_rows(1, 5), &h.slice_rows(1, 5));
+        let mut cache = GruCache::default();
+        let mut out = Matrix::default();
+        cell.forward_rows_into(&ps, &x, &h, 1..5, &mut cache, &mut out);
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -184,6 +184,30 @@ impl Matrix {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Overwrites `self` with the contiguous row range
+    /// `rows.start..rows.end` of `src`, reusing the allocation — the
+    /// view-materialization primitive for kernels that consume a
+    /// sub-block of a larger gathered matrix without an intermediate
+    /// per-part copy.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `src`'s rows.
+    pub fn copy_rows_from(&mut self, src: &Matrix, rows: std::ops::Range<usize>) {
+        assert!(
+            rows.start <= rows.end && rows.end <= src.rows,
+            "copy_rows_from: range {}..{} out of {}",
+            rows.start,
+            rows.end,
+            src.rows
+        );
+        let c = src.cols;
+        self.rows = rows.end - rows.start;
+        self.cols = c;
+        self.data.clear();
+        self.data
+            .extend_from_slice(&src.data[rows.start * c..rows.end * c]);
+    }
+
     /// Reinterprets the matrix with a new shape without copying.
     ///
     /// # Panics

@@ -106,6 +106,12 @@ impl Matrix {
     /// Adds row `r` of `source` into row `indices[r]` of `self`
     /// (scatter-add, used to accumulate gradients into shared
     /// embedding tables).
+    ///
+    /// **Determinism contract:** source rows are accumulated in
+    /// ascending source-row order, so duplicate destinations always sum
+    /// in the same order and the result is bit-reproducible across
+    /// runs. The deduplicated readout path relies on this for its
+    /// per-unique-node gradient reduction.
     pub fn scatter_add_rows(&mut self, indices: &[usize], source: &Matrix) {
         assert_eq!(
             indices.len(),
@@ -120,6 +126,63 @@ impl Matrix {
         for (src, &dst) in indices.iter().enumerate() {
             for (d, &s) in self.row_mut(dst).iter_mut().zip(source.row(src)) {
                 *d += s;
+            }
+        }
+    }
+
+    /// Expands a per-unique-row block to occurrence order:
+    /// `out.row(i) = self.row(index[i])` for every occurrence `i`.
+    ///
+    /// The inverse direction of [`Matrix::fold_rows_by_index`]: after a
+    /// kernel ran once per unique row, `expand_rows` replicates each
+    /// unique result to all of its occurrences. `out` is resized in
+    /// place (scratch-arena friendly).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn expand_rows(&self, index: &[u32], out: &mut Matrix) {
+        let c = self.cols();
+        out.resize_for_overwrite(index.len(), c);
+        for (dst, &src) in index.iter().enumerate() {
+            let src = src as usize;
+            assert!(
+                src < self.rows(),
+                "expand_rows: index {} out of {}",
+                src,
+                self.rows()
+            );
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+    }
+
+    /// Folds occurrence rows down to unique rows by summation:
+    /// `out.row(index[i]) += self.row(i)` over a zeroed
+    /// `n_unique × cols` output.
+    ///
+    /// **Determinism contract:** occurrences are accumulated in
+    /// ascending occurrence index (`i = 0, 1, …`), so every unique
+    /// row's sum is formed in one fixed order and the result is
+    /// bit-reproducible — the summation-order guarantee the
+    /// deduplicated GRU backward depends on (see `core::batch` module
+    /// docs).
+    ///
+    /// # Panics
+    /// Panics if any index is `>= n_unique`.
+    pub fn fold_rows_by_index(&self, index: &[u32], n_unique: usize, out: &mut Matrix) {
+        assert_eq!(
+            index.len(),
+            self.rows(),
+            "fold_rows_by_index: occurrence count mismatch"
+        );
+        out.resize(n_unique, self.cols());
+        for (occ, &dst) in index.iter().enumerate() {
+            let dst = dst as usize;
+            assert!(
+                dst < n_unique,
+                "fold_rows_by_index: index {dst} out of {n_unique}"
+            );
+            for (o, &s) in out.row_mut(dst).iter_mut().zip(self.row(occ)) {
+                *o += s;
             }
         }
     }
@@ -281,5 +344,54 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn add_gathered_rows_width_mismatch_panics() {
         Matrix::zeros(2, 3).add_gathered_rows(0, &Matrix::zeros(2, 2), &[0]);
+    }
+
+    #[test]
+    fn expand_rows_replicates_unique_rows() {
+        let uniq = m(3, 2, &[1., 1., 2., 2., 3., 3.]);
+        let mut out = Matrix::zeros(1, 9); // wrong shape on purpose
+        uniq.expand_rows(&[2, 0, 2, 1, 0], &mut out);
+        assert_eq!(out.shape(), (5, 2));
+        assert_eq!(out.row(0), &[3., 3.]);
+        assert_eq!(out.row(1), &[1., 1.]);
+        assert_eq!(out.row(2), &[3., 3.]);
+        assert_eq!(out.row(3), &[2., 2.]);
+        assert_eq!(out.row(4), &[1., 1.]);
+    }
+
+    #[test]
+    fn fold_rows_by_index_sums_in_occurrence_order() {
+        let occ = m(4, 1, &[1., 2., 4., 8.]);
+        let mut out = Matrix::default();
+        occ.fold_rows_by_index(&[0, 1, 0, 1], 2, &mut out);
+        assert_eq!(out.as_slice(), &[5., 10.]);
+        // Unreferenced unique rows stay zero.
+        occ.fold_rows_by_index(&[0, 0, 0, 0], 3, &mut out);
+        assert_eq!(out.as_slice(), &[15., 0., 0.]);
+    }
+
+    #[test]
+    fn fold_then_expand_roundtrips_on_permutation() {
+        let occ = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let perm = [2u32, 0, 1];
+        let mut folded = Matrix::default();
+        occ.fold_rows_by_index(&perm, 3, &mut folded);
+        let mut back = Matrix::default();
+        folded.expand_rows(&perm, &mut back);
+        assert_eq!(back, occ);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn expand_rows_oob_panics() {
+        let mut out = Matrix::default();
+        Matrix::zeros(2, 2).expand_rows(&[2], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn fold_rows_oob_panics() {
+        let mut out = Matrix::default();
+        Matrix::zeros(2, 2).fold_rows_by_index(&[0, 2], 2, &mut out);
     }
 }

@@ -104,4 +104,97 @@ proptest! {
         let by_col = a.sum_rows();
         prop_assert!((by_col.sum() - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
     }
+
+    /// `expand_rows` is a u32-indexed gather: every occurrence row is a
+    /// bit-exact copy of its unique source row.
+    #[test]
+    fn expand_rows_matches_gather(
+        uniq in matrix(5, 3),
+        idx in proptest::collection::vec(0u32..5, 1..20)
+    ) {
+        let mut out = Matrix::default();
+        uniq.expand_rows(&idx, &mut out);
+        prop_assert_eq!(out.shape(), (idx.len(), 3));
+        for (r, &u) in idx.iter().enumerate() {
+            prop_assert_eq!(out.row(r), uniq.row(u as usize));
+        }
+    }
+
+    /// Fold ∘ expand sums each unique row once per occurrence, in
+    /// ascending occurrence order — bit-equal to the naive sequential
+    /// reference (the summation-order contract of `core::batch`).
+    #[test]
+    fn expand_then_fold_matches_sequential_reference(
+        uniq in matrix(4, 3),
+        idx in proptest::collection::vec(0u32..4, 1..24)
+    ) {
+        let mut occ = Matrix::default();
+        uniq.expand_rows(&idx, &mut occ);
+        let mut folded = Matrix::default();
+        occ.fold_rows_by_index(&idx, 4, &mut folded);
+        // Reference: accumulate occurrences in ascending index, f32.
+        let mut reference = Matrix::zeros(4, 3);
+        for (r, &u) in idx.iter().enumerate() {
+            for (o, &v) in reference.row_mut(u as usize).iter_mut().zip(occ.row(r)) {
+                *o += v;
+            }
+        }
+        prop_assert_eq!(folded, reference);
+    }
+
+    /// Folding is deterministic: repeated invocations over the same
+    /// inputs produce bit-identical sums (no order dependence on the
+    /// output buffer's prior shape either).
+    #[test]
+    fn fold_rows_is_deterministic(
+        occ in matrix(8, 2),
+        idx in proptest::collection::vec(0u32..3, 8..=8)
+    ) {
+        let mut a = Matrix::default();
+        occ.fold_rows_by_index(&idx, 3, &mut a);
+        let mut b = Matrix::full(7, 7, 9.0); // stale buffer on purpose
+        occ.fold_rows_by_index(&idx, 3, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fold of a permutation index is a pure row shuffle: expanding
+    /// back recovers the original occurrences exactly.
+    #[test]
+    fn fold_expand_roundtrip_on_permutation(occ in matrix(6, 4), seed in 0u64..1000) {
+        let mut perm: Vec<u32> = (0..6).collect();
+        // Deterministic Fisher–Yates from the seed.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..6usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut folded = Matrix::default();
+        occ.fold_rows_by_index(&perm, 6, &mut folded);
+        let mut back = Matrix::default();
+        folded.expand_rows(&perm, &mut back);
+        prop_assert_eq!(back, occ);
+    }
+
+    /// `scatter_add_rows` accumulates in ascending source-row order —
+    /// deterministic and bit-equal to the naive reference, duplicates
+    /// included.
+    #[test]
+    fn scatter_add_rows_is_deterministic(
+        src in matrix(7, 3),
+        idx in proptest::collection::vec(0usize..4, 7..=7)
+    ) {
+        let mut a = Matrix::zeros(4, 3);
+        a.scatter_add_rows(&idx, &src);
+        let mut b = Matrix::zeros(4, 3);
+        b.scatter_add_rows(&idx, &src);
+        prop_assert_eq!(&a, &b);
+        let mut reference = Matrix::zeros(4, 3);
+        for (r, &dst) in idx.iter().enumerate() {
+            for (o, &v) in reference.row_mut(dst).iter_mut().zip(src.row(r)) {
+                *o += v;
+            }
+        }
+        prop_assert_eq!(a, reference);
+    }
 }

@@ -1,0 +1,249 @@
+//! Equivalence story for the deduplicated readout / folded GRU path
+//! (`ModelConfig::dedup_readout`) against the per-occurrence oracle:
+//!
+//! * **Forward is bit-identical.** The memory update is a pure
+//!   per-row function of the `(mem, mail)` pair, shared by all of a
+//!   node's occurrences, so folding is exact — scores and memory
+//!   writes must match bit for bit on both tasks.
+//! * **Backward matches within tolerance.** Folding sums occurrence
+//!   gradients per unique node *before* the GRU weight-gradient
+//!   contractions instead of inside them — identical in exact
+//!   arithmetic, equal up to float summation order in practice.
+//! * **Training converges identically.** Sequential and distributed
+//!   runs with dedup on/off must land on matching final metrics.
+//!
+//! The summation-order contract itself (ascending occurrence index per
+//! unique node) is documented in `core::batch` and property-tested in
+//! `crates/tensor`.
+
+use disttgl::cluster::ClusterSpec;
+use disttgl::core::{
+    train_distributed, train_single, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig,
+    TgnModel, TrainConfig,
+};
+use disttgl::data::{generators, Dataset, NegativeStore};
+use disttgl::graph::TCsr;
+use disttgl::mem::MemoryState;
+use disttgl::tensor::seeded_rng;
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+/// Replays `n_batches` inference steps (scoring + write-back) twice —
+/// folded and per-occurrence — and asserts scores, writes, and the
+/// evolving memory state are bit-identical.
+fn assert_forward_bit_identical(d: &Dataset, mc: ModelConfig, n_batches: usize, batch: usize) {
+    assert!(mc.dedup_readout);
+    let mc_occ = mc.without_dedup_readout();
+    let csr = TCsr::build(&d.graph);
+    let mut rng = seeded_rng(31);
+    let model = TgnModel::new(mc, &mut rng);
+    let prep_fold = BatchPreparer::new(d, &csr, &mc);
+    let prep_occ = BatchPreparer::new(d, &csr, &mc_occ);
+    let mut mem_fold = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    let mut mem_occ = mem_fold.clone();
+    let store = (mc.num_classes == 0)
+        .then(|| NegativeStore::generate(&d.graph, n_batches * batch, 2, 1, 9));
+
+    for i in 0..n_batches {
+        let range = i * batch..(i + 1) * batch;
+        let negs = store.as_ref().map(|s| s.slice(0, range.clone()));
+        let neg_slices: Vec<&[u32]> = negs.into_iter().collect();
+        let folded = prep_fold.prepare(range.clone(), &neg_slices, 1, &mut mem_fold);
+        let oracle = prep_occ.prepare(range, &neg_slices, 1, &mut mem_occ);
+
+        let out_f = model.infer_step(&folded.pos, folded.negs.first(), None);
+        let out_o = model.infer_step(&oracle.pos, oracle.negs.first(), None);
+        assert_eq!(out_f.pos_scores, out_o.pos_scores, "batch {i}: pos scores");
+        assert_eq!(out_f.neg_scores, out_o.neg_scores, "batch {i}: neg scores");
+        assert_eq!(
+            out_f.write.nodes, out_o.write.nodes,
+            "batch {i}: write nodes"
+        );
+        assert_eq!(out_f.write.mem, out_o.write.mem, "batch {i}: write mem");
+        assert_eq!(out_f.write.mail, out_o.write.mail, "batch {i}: write mail");
+        assert_eq!(out_f.write.mem_ts, out_o.write.mem_ts);
+        assert_eq!(out_f.write.mail_ts, out_o.write.mail_ts);
+        MemoryAccess::write(&mut mem_fold, out_f.write);
+        MemoryAccess::write(&mut mem_occ, out_o.write);
+    }
+    // The streams stayed bit-identical through every write.
+    let all: Vec<u32> = (0..d.graph.num_nodes() as u32).collect();
+    let (rf, ro) = (mem_fold.read(&all), mem_occ.read(&all));
+    assert_eq!(rf.mem, ro.mem, "final memory diverged");
+    assert_eq!(rf.mail, ro.mail, "final mails diverged");
+}
+
+/// (a) Link prediction: folded forward ≡ per-occurrence forward, bit
+/// for bit, including every delayed-update memory write.
+#[test]
+fn forward_bit_identical_link_prediction() {
+    let d = generators::wikipedia(0.006, 311);
+    let mc = tiny_model(d.edge_features.cols());
+    assert_forward_bit_identical(&d, mc, 6, 48);
+}
+
+/// (a) Edge classification: same bit-identity through the
+/// classification head (no negative parts).
+#[test]
+fn forward_bit_identical_edge_classification() {
+    let d = generators::gdelt(2.5e-5, 312);
+    let mc = tiny_model(d.edge_features.cols()).with_classes(d.num_classes());
+    assert_forward_bit_identical(&d, mc, 4, 48);
+}
+
+/// (a, static memory) The folded static combine adds each unique
+/// node's static row once and expands — still bit-identical.
+#[test]
+fn forward_bit_identical_with_static_memory() {
+    let d = generators::wikipedia(0.005, 313);
+    let mut mc = tiny_model(d.edge_features.cols());
+    mc.static_memory = true;
+    let mc_occ = mc.without_dedup_readout();
+    let csr = TCsr::build(&d.graph);
+    let sm = disttgl::core::StaticMemory::random(d.graph.num_nodes(), mc.d_mem, 55);
+    let mut rng = seeded_rng(32);
+    let model = TgnModel::new(mc, &mut rng);
+    let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    let folded = BatchPreparer::new(&d, &csr, &mc).prepare(0..64, &[], 1, &mut mem.clone());
+    let oracle = BatchPreparer::new(&d, &csr, &mc_occ).prepare(0..64, &[], 1, &mut mem);
+    let out_f = model.infer_step(&folded.pos, None, Some(&sm));
+    let out_o = model.infer_step(&oracle.pos, None, Some(&sm));
+    assert_eq!(out_f.write.mem, out_o.write.mem);
+    assert_eq!(out_f.write.mail, out_o.write.mail);
+}
+
+/// (b) One training step from identical weights: parameter gradients
+/// agree within float-summation-order tolerance, and the folded run
+/// is itself deterministic (the ascending-occurrence contract).
+#[test]
+fn backward_matches_oracle_within_tolerance() {
+    let d = generators::wikipedia(0.006, 314);
+    let mc = tiny_model(d.edge_features.cols());
+    let mc_occ = mc.without_dedup_readout();
+    let csr = TCsr::build(&d.graph);
+    let store = NegativeStore::generate(&d.graph, 128, 1, 1, 7);
+
+    let grads_for = |cfg: &ModelConfig| {
+        let mut rng = seeded_rng(33);
+        let mut model = TgnModel::new(*cfg, &mut rng);
+        let prep = BatchPreparer::new(&d, &csr, cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        // Two batches so the second sees non-trivial memory/mails.
+        let b0 = prep.prepare(0..64, &[store.slice(0, 0..64)], 1, &mut mem);
+        let out = model.train_step(&b0.pos, Some(&b0.negs[0]), None);
+        MemoryAccess::write(&mut mem, out.write);
+        let b1 = prep.prepare(64..128, &[store.slice(0, 64..128)], 1, &mut mem);
+        model.params.zero_grads();
+        let out = model.train_step(&b1.pos, Some(&b1.negs[0]), None);
+        (model.params.flatten_grads(), out.loss)
+    };
+
+    let (gf, lf) = grads_for(&mc);
+    let (gf2, lf2) = grads_for(&mc);
+    assert_eq!(gf, gf2, "folded backward must be deterministic");
+    assert_eq!(lf, lf2);
+
+    let (go, lo) = grads_for(&mc_occ);
+    assert_eq!(lf, lo, "forward loss is bit-identical");
+    assert_eq!(gf.len(), go.len());
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for (&a, &b) in gf.iter().zip(&go) {
+        num += ((a - b) as f64).powi(2);
+        den += (b as f64).powi(2);
+    }
+    let rel = (num / den.max(1e-30)).sqrt();
+    assert!(
+        rel < 1e-4,
+        "gradient relative L2 deviation {rel} exceeds summation-order tolerance"
+    );
+}
+
+/// (b) Optimizer-in-the-loop parity: short training runs with dedup
+/// on/off track each other closely and both learn.
+#[test]
+fn sequential_convergence_matches_oracle() {
+    let d = generators::wikipedia(0.006, 315);
+    let mc = tiny_model(d.edge_features.cols());
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = 100;
+    cfg.epochs = 4;
+    cfg.eval_negs = 9;
+    cfg.seed = 19;
+    cfg.base_lr = 1.2e-2;
+
+    let folded = train_single(&d, &mc, &cfg);
+    let oracle = train_single(&d, &mc.without_dedup_readout(), &cfg);
+
+    assert_eq!(folded.loss_history.len(), oracle.loss_history.len());
+    // Same forward at step 0 (identical weights) — losses diverge only
+    // through float summation order downstream of the optimizer.
+    assert_eq!(folded.loss_history[0], oracle.loss_history[0]);
+    let max_dev = folded
+        .loss_history
+        .iter()
+        .zip(&oracle.loss_history)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_dev < 0.05, "loss trajectories diverged: {max_dev}");
+    assert!(
+        (folded.test_metric - oracle.test_metric).abs() < 0.05,
+        "final metrics diverged: folded {} vs oracle {}",
+        folded.test_metric,
+        oracle.test_metric
+    );
+}
+
+/// (c) `train_distributed` parity with `dedup_readout` on/off across
+/// parallelism axes (i·j — the epoch-parallel Continue passes reuse
+/// the folded parts too).
+#[test]
+fn distributed_dedup_on_off_parity() {
+    let d = generators::wikipedia(0.005, 316);
+    let mc = tiny_model(d.edge_features.cols());
+    let mut cfg = TrainConfig::new(ParallelConfig::new(2, 2, 1));
+    cfg.local_batch = 50;
+    cfg.epochs = 4;
+    cfg.eval_negs = 9;
+    cfg.seed = 23;
+    cfg.base_lr = 1.2e-2;
+
+    let folded = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+    let oracle = train_distributed(
+        &d,
+        &mc.without_dedup_readout(),
+        &cfg,
+        ClusterSpec::new(1, 4),
+    );
+
+    assert!(!folded.loss_history.is_empty());
+    assert_eq!(folded.loss_history.len(), oracle.loss_history.len());
+    let max_dev = folded
+        .loss_history
+        .iter()
+        .zip(&oracle.loss_history)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_dev < 0.05, "loss trajectories diverged: {max_dev}");
+    assert!(
+        (folded.test_metric - oracle.test_metric).abs() < 0.05,
+        "final metrics diverged: folded {} vs oracle {}",
+        folded.test_metric,
+        oracle.test_metric
+    );
+    // Dedup must actually shrink the serialized daemon reads.
+    assert!(
+        folded.daemon_rows_read < oracle.daemon_rows_read,
+        "folded reads {} not below per-occurrence reads {}",
+        folded.daemon_rows_read,
+        oracle.daemon_rows_read
+    );
+    assert_eq!(folded.daemon_rows_written, oracle.daemon_rows_written);
+}

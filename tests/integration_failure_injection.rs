@@ -69,7 +69,7 @@ fn nan_memory_is_detectable() {
     let prep = BatchPreparer::new(&d, &csr, &mc);
     let batch = prep.prepare(0..32, &[], 1, &mut mem);
     assert!(
-        batch.pos.readout.mem.has_non_finite(),
+        batch.pos.readout.mem_has_non_finite(),
         "poison must be visible"
     );
 
