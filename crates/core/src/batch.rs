@@ -58,14 +58,22 @@ use std::sync::Arc;
 /// memory daemon (distributed training).
 pub trait MemoryAccess {
     /// Gathers memory/mail rows for `nodes`.
-    fn read(&mut self, nodes: &[u32]) -> MemoryReadout;
+    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
+        let mut out = MemoryReadout::default();
+        self.read_into(nodes, &mut out);
+        out
+    }
+    /// [`MemoryAccess::read`] into a caller-owned readout, reusing its
+    /// buffers (the scratch-arena pattern — hot loops keep one readout
+    /// alive instead of allocating per turn).
+    fn read_into(&mut self, nodes: &[u32], out: &mut MemoryReadout);
     /// Applies a write in serialized order.
     fn write(&mut self, w: MemoryWrite);
 }
 
 impl MemoryAccess for MemoryState {
-    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
-        MemoryState::read(self, nodes)
+    fn read_into(&mut self, nodes: &[u32], out: &mut MemoryReadout) {
+        MemoryState::read_into(self, nodes, out);
     }
     fn write(&mut self, w: MemoryWrite) {
         MemoryState::write(self, &w);
@@ -73,8 +81,8 @@ impl MemoryAccess for MemoryState {
 }
 
 impl MemoryAccess for MemoryClient {
-    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
-        MemoryClient::read(self, nodes)
+    fn read_into(&mut self, nodes: &[u32], out: &mut MemoryReadout) {
+        MemoryClient::read_into(self, nodes, out);
     }
     fn write(&mut self, w: MemoryWrite) {
         MemoryClient::write(self, w);
@@ -214,6 +222,14 @@ impl ReadoutView {
             mail_ts: self.full.mail_ts[self.start..self.end].to_vec(),
         }
     }
+
+    /// Recovers the underlying block for buffer reuse if this view
+    /// holds the last reference to it (scratch-arena recycling: the
+    /// trainer reclaims a retired batch's gathered block as the next
+    /// serialized read's target).
+    pub fn into_block(self) -> Option<MemoryReadout> {
+        Arc::try_unwrap(self.full).ok()
+    }
 }
 
 /// The positive half of a prepared batch: `B` chronological events.
@@ -294,6 +310,20 @@ pub struct PreparedBatch {
     pub pos: PositivePart,
     /// Independent negative sets (one per epoch-parallel pass).
     pub negs: Vec<NegativePart>,
+}
+
+impl PreparedBatch {
+    /// Consumes the batch and recovers its shared gathered block for
+    /// buffer reuse, if no clones of the batch (or its views) are
+    /// alive. Hot trainer loops recycle the retired batch's block as
+    /// the next turn's read scratch instead of allocating.
+    pub fn recycle_block(self) -> Option<MemoryReadout> {
+        // All parts view the same block; drop the negatives' handles
+        // first, then unwrap through the positive part's view.
+        let PreparedBatch { pos, negs } = self;
+        drop(negs);
+        pos.readout.into_block()
+    }
 }
 
 /// Builds prepared batches from a dataset + T-CSR index.
@@ -443,8 +473,21 @@ impl<'a> BatchPreparer<'a> {
     /// trainer's serialized memory order (the daemon's turn protocol,
     /// or program order on a direct [`MemoryState`]).
     pub fn finish(&self, sb: StaticBatch, mem: &mut dyn MemoryAccess) -> PreparedBatch {
-        let full = mem.read(&sb.all_nodes);
-        self.complete(sb, full)
+        self.finish_with(sb, mem, MemoryReadout::default())
+    }
+
+    /// [`BatchPreparer::finish`] gathering into `scratch` (typically a
+    /// retired batch's block recovered via
+    /// [`PreparedBatch::recycle_block`]) so steady-state turns reuse
+    /// one allocation instead of creating a readout per turn.
+    pub fn finish_with(
+        &self,
+        sb: StaticBatch,
+        mem: &mut dyn MemoryAccess,
+        mut scratch: MemoryReadout,
+    ) -> PreparedBatch {
+        mem.read_into(&sb.all_nodes, &mut scratch);
+        self.complete(sb, scratch)
     }
 
     /// Completes a batch from an already-gathered full readout (rows

@@ -278,6 +278,18 @@ pub struct TrainConfig {
     /// so this is on by default; disable to measure the overlap or to
     /// halve the thread count.
     pub pipeline_prefetch: bool,
+    /// Overlap the distributed trainer's **phase-2 memory gather**
+    /// with compute: as soon as a lane's phase-1 prefetch lands
+    /// (during its epoch-parallel continue passes), it posts a
+    /// speculative out-of-turn gather to the memory daemon; at its
+    /// Acquire turn it fetches only the delta of rows written since
+    /// (version-vector protocol, see `disttgl_mem::daemon`) and
+    /// repairs the block in place. Bit-identical to the serialized
+    /// read by the version contract (`tests/daemon_overlap_equivalence.rs`),
+    /// so on by default; requires `pipeline_prefetch` (no early node
+    /// list otherwise) and falls back to the serialized read whenever
+    /// the speculation window didn't open.
+    pub speculative_gather: bool,
 }
 
 impl TrainConfig {
@@ -295,6 +307,7 @@ impl TrainConfig {
             eval_max_events: usize::MAX,
             seed: 42,
             pipeline_prefetch: true,
+            speculative_gather: true,
         }
     }
 

@@ -24,13 +24,13 @@ use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult, TimingBreakdown};
 use crate::model::TgnModel;
-use crate::pipeline::{BatchPrefetcher, PrefetchRequest};
+use crate::pipeline::{BatchPrefetcher, PrefetchRequest, PrefetchedBatch};
 use crate::sched::{GroupSchedule, StepPlan};
 use crate::static_mem::StaticMemory;
 use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
 use disttgl_data::{Dataset, NegativeStore, Task};
 use disttgl_graph::TCsr;
-use disttgl_mem::{MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite};
+use disttgl_mem::{MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};
 use disttgl_tensor::{seeded_rng, Matrix};
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,11 +43,10 @@ struct TimedAccess<'a, M: MemoryAccess> {
 }
 
 impl<M: MemoryAccess> MemoryAccess for TimedAccess<'_, M> {
-    fn read(&mut self, nodes: &[u32]) -> MemoryReadout {
+    fn read_into(&mut self, nodes: &[u32], out: &mut MemoryReadout) {
         let t0 = Instant::now();
-        let r = self.inner.read(nodes);
+        self.inner.read_into(nodes, out);
         *self.wait_secs += t0.elapsed().as_secs_f64();
-        r
     }
     fn write(&mut self, w: MemoryWrite) {
         self.inner.write(w);
@@ -192,9 +191,6 @@ pub fn train_distributed(
     let wall = start.elapsed().as_secs_f64();
 
     let (mut result, eval_secs) = assemble_results(returns, wall);
-    for d in daemons.iter() {
-        result.absorb_daemon(&d.stats());
-    }
     result.absorb_comm(&comm_group.stats());
 
     // Throughput counts training time only (evaluation excluded, as in
@@ -206,10 +202,20 @@ pub fn train_distributed(
     result.throughput_events_per_sec = traversed as f64 / (wall - eval_secs).max(1e-9);
     result.finalize_convergence();
 
-    // Tear down daemons (their schedules are complete).
-    if let Ok(daemons) = Arc::try_unwrap(daemons) {
-        for d in daemons {
-            let _ = d.join();
+    // Tear down daemons (their schedules are complete), folding their
+    // final counters and per-replica memory digests into the record.
+    match Arc::try_unwrap(daemons) {
+        Ok(daemons) => {
+            for d in daemons {
+                let (state, stats) = d.join();
+                result.absorb_daemon(&stats);
+                result.memory_checksums.push(state.checksum());
+            }
+        }
+        Err(daemons) => {
+            for d in daemons.iter() {
+                result.absorb_daemon(&d.stats());
+            }
         }
     }
     result
@@ -289,9 +295,15 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
 
     // Pipelined prefetch: phase 1 (sampling, negative slicing, feature
     // gathers) of this lane's *next* non-empty Acquire runs on a
-    // worker thread while the current step computes. Phase 2 — the
-    // serialized memory read — stays exactly where it was, so the
-    // daemon turn order and training results are unchanged.
+    // worker thread while the current step computes. With
+    // `speculative_gather` (default) phase 2 overlaps too: the moment
+    // phase 1 lands — typically during a continue pass — the lane
+    // posts a speculative out-of-turn gather to the daemon; its
+    // serialized Acquire slot then only fetches the delta of rows
+    // written since and repairs the block in place. The daemon turn
+    // order and all training results are unchanged either way (the
+    // version contract makes the patched block bit-identical to a
+    // serialized read; see `disttgl_mem::daemon`).
     let acquire_plan: Vec<(usize, std::ops::Range<usize>, usize)> = (0..total_steps)
         .filter_map(|step| match schedule.plan(jg, step) {
             StepPlan::Acquire { batch, epoch_equiv } => {
@@ -311,14 +323,25 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             cfg.train_negs,
         )
     };
-    let mut next_acquire = 0usize;
+    let mut next_acquire = 0usize; // next acquire_plan entry to execute
+    let mut next_request = 0usize; // next entry whose phase 1 is unrequested
     let mut prefetcher = if cfg.pipeline_prefetch && !acquire_plan.is_empty() {
         let mut p = BatchPrefetcher::spawn(Arc::clone(&dataset), Arc::clone(&csr), model_cfg);
         p.request(request_for(0));
+        next_request = 1;
         Some(p)
     } else {
         None
     };
+    let use_speculation = cfg.speculative_gather && prefetcher.is_some();
+    // Phase-1 result for acquire_plan[next_acquire], grabbed early
+    // (continue/idle steps) so its speculative gather is in flight.
+    let mut staged: Option<PrefetchedBatch> = None;
+    let mut spec_posted = false;
+    // Scratch buffers cycled through the daemon: the retired batch's
+    // gathered block becomes the next read/speculation target.
+    let mut read_scratch = MemoryReadout::default();
+    let mut spec_scratch = VersionedReadout::default();
 
     for step in 0..total_steps {
         let plan = schedule.plan(jg, step);
@@ -330,6 +353,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             StepPlan::Acquire { batch, epoch_equiv } => {
                 let local = schedule.local_slice(&batch, ig);
                 let t_prep = Instant::now();
+                let mut via_speculation = false;
                 let prepared = if local.is_empty() {
                     // Still take the serialized memory turn with an
                     // empty request to keep the daemon protocol moving.
@@ -341,27 +365,72 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                     timed.write(empty_write(&model_cfg));
                     None
                 } else {
-                    let mut timed = TimedAccess {
-                        inner: &mut client,
-                        wait_secs: &mut ret.timing.mem_wait_secs,
-                    };
                     let prepared = match &mut prefetcher {
                         Some(p) => {
-                            // Phase 1 was prefetched; queue the next
-                            // Acquire's phase 1, then do the one
-                            // serialized read (+ split) here.
+                            // Phase 1 was prefetched (and usually
+                            // already staged with its speculative
+                            // gather in flight); queue the next
+                            // Acquire's phase 1, then take the one
+                            // serialized memory slot here — as a
+                            // delta request when speculating, a full
+                            // read otherwise.
                             debug_assert_eq!(acquire_plan[next_acquire].0, step);
-                            let resp = p.recv();
+                            via_speculation = spec_posted;
+                            let mut resp = match staged.take() {
+                                Some(resp) => resp,
+                                None => {
+                                    let resp = p.recv();
+                                    if next_request < acquire_plan.len() {
+                                        p.request(request_for(next_request));
+                                        next_request += 1;
+                                    }
+                                    resp
+                                }
+                            };
                             next_acquire += 1;
-                            if next_acquire < acquire_plan.len() {
-                                p.request(request_for(next_acquire));
+                            if spec_posted {
+                                // Collect the out-of-turn gather and
+                                // spend the serialized slot on the
+                                // fused delta: the daemon repairs the
+                                // rows written since directly in the
+                                // gathered block. The per-row version
+                                // check inside the delta is the exact
+                                // guard;
+                                // `GroupSchedule::intervening_writers`
+                                // names the sub-groups whose writes
+                                // such a delta can carry.
+                                spec_posted = false;
+                                let t_mem = Instant::now();
+                                let mut tagged = client.take_speculation();
+                                let _patched = client.read_delta_into(
+                                    resp.sb.nodes(),
+                                    &tagged.versions,
+                                    &mut tagged.readout,
+                                );
+                                ret.timing.mem_wait_secs += t_mem.elapsed().as_secs_f64();
+                                resp.attach_speculation(tagged);
+                                let full = resp.take_readout().expect("attached readout");
+                                prep.complete(resp.sb, full)
+                            } else {
+                                let mut timed = TimedAccess {
+                                    inner: &mut client,
+                                    wait_secs: &mut ret.timing.mem_wait_secs,
+                                };
+                                prep.finish_with(
+                                    resp.sb,
+                                    &mut timed,
+                                    std::mem::take(&mut read_scratch),
+                                )
                             }
-                            prep.finish(resp.sb, &mut timed)
                         }
                         None => {
                             // Sequential oracle: one read covering the
                             // positives and all j negative sets
                             // (epoch-parallel prefetch).
+                            let mut timed = TimedAccess {
+                                inner: &mut client,
+                                wait_secs: &mut ret.timing.mem_wait_secs,
+                            };
                             let mut neg_slices: Vec<&[u32]> = Vec::new();
                             let storage;
                             if let Some(store) = store.as_ref() {
@@ -390,6 +459,19 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                     client.write(out.write);
                     Some(prepared)
                 };
+                // Recycle the retired batch's gathered block into the
+                // scratch this turn drained (no per-turn readout
+                // allocation in steady state, whichever path served
+                // the read).
+                if let Some(old) = cached.take() {
+                    if let Some(block) = old.recycle_block() {
+                        if via_speculation {
+                            spec_scratch.readout = block;
+                        } else {
+                            read_scratch = block;
+                        }
+                    }
+                }
                 cached = prepared;
             }
             StepPlan::Continue { pass, .. } => {
@@ -408,6 +490,28 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 }
             }
             StepPlan::Idle => {}
+        }
+
+        // Open the next speculation window: the moment the next
+        // Acquire's phase 1 is done (typically during a continue
+        // pass), post its unique-node gather out of turn so the
+        // daemon fills it while this lane computes/synchronizes. Any
+        // write that lands in between is repaired by the Acquire
+        // turn's delta — bit-identically, per the version contract.
+        if let Some(p) = &mut prefetcher {
+            if staged.is_none() && next_acquire < acquire_plan.len() {
+                if let Some(resp) = p.try_recv() {
+                    if next_request < acquire_plan.len() {
+                        p.request(request_for(next_request));
+                        next_request += 1;
+                    }
+                    if use_speculation {
+                        client.speculate_read(resp.sb.nodes(), std::mem::take(&mut spec_scratch));
+                        spec_posted = true;
+                    }
+                    staged = Some(resp);
+                }
+            }
         }
 
         // Global weight synchronization (the only cross-group and

@@ -35,10 +35,14 @@
 //! the forward pass ([`TgnModel::train_step_eager_write`]), is applied
 //! immediately (nothing reads memory in between), and the worker then
 //! gathers batch *t + 1*'s rows during the backward pass, exactly. The
-//! distributed trainer prefetches phase 1 per lane and keeps phase 2
-//! in its serialized daemon turn. See [`pipeline`] for the full
-//! architecture notes (including the speculative gather + patch
-//! mechanism kept for the daemon writeback path) and
+//! distributed trainer prefetches phase 1 per lane and overlaps phase
+//! 2 through the memory daemon's **versioned service**
+//! (`TrainConfig::speculative_gather`, default on): the moment phase 1
+//! lands a lane posts a speculative out-of-turn gather, and its
+//! serialized Acquire slot only pays the fused delta repair of rows
+//! written since — bit-identical by the version contract (see
+//! `disttgl_mem::daemon` and `tests/daemon_overlap_equivalence.rs`).
+//! See [`pipeline`] for the full architecture notes and
 //! `tests/pipeline_equivalence.rs` for the bit-identity proof against
 //! the sequential oracle.
 

@@ -56,10 +56,26 @@ pub struct RunResult {
     pub comm_bytes: u64,
     /// Modeled wire nanoseconds for all collectives.
     pub comm_modeled_nanos: u64,
-    /// Memory-daemon counters summed over the k daemons.
+    /// Memory-daemon counters summed over the k daemons. `rows_read`
+    /// counts *logical* rows served at serialized read turns, so it is
+    /// invariant under the speculative protocol.
     pub daemon_rows_read: u64,
     /// Rows written through the daemons.
     pub daemon_rows_written: u64,
+    /// Speculative out-of-turn reads served by the daemons.
+    pub daemon_spec_reads: u64,
+    /// Rows gathered speculatively (off the serialized critical path).
+    pub daemon_spec_rows: u64,
+    /// Delta reads served at serialized turns.
+    pub daemon_delta_reads: u64,
+    /// Rows the deltas shipped = stale rows the trainers patched.
+    /// `daemon_delta_rows / daemon_spec_rows` is the measured stale
+    /// fraction of the unique-row speculative protocol.
+    pub daemon_delta_rows: u64,
+    /// Per-replica content digest of the final node memory (one per
+    /// daemon, group order) — lets equivalence tests pin bit-identical
+    /// final memory across executor variants without shipping states.
+    pub memory_checksums: Vec<u64>,
     /// Gradient-variance probe: mean squared deviation of per-trainer
     /// gradients from the all-reduced mean, sampled over iterations
     /// (Table 1's "gradient descent variance" row).
@@ -71,6 +87,10 @@ impl RunResult {
     pub fn absorb_daemon(&mut self, stats: &DaemonStats) {
         self.daemon_rows_read += stats.rows_read;
         self.daemon_rows_written += stats.rows_written;
+        self.daemon_spec_reads += stats.spec_reads_served;
+        self.daemon_spec_rows += stats.spec_rows_read;
+        self.daemon_delta_reads += stats.delta_reads_served;
+        self.daemon_delta_rows += stats.delta_rows_sent;
     }
 
     /// Folds communicator counters into the record.

@@ -45,11 +45,15 @@
 //!   and only then issues the gather request, so the worker reads a
 //!   fully up-to-date state during the backward pass — the bulk of
 //!   step compute — with zero staleness.
-//! * **Speculative gather + patch** (the general mechanism, kept for
-//!   extending the overlap to the distributed daemon path): a gather
-//!   issued before the pending write lands is stale by exactly that
-//!   write, whose node set is known, so the consumer repairs just
-//!   those rows with [`patch_readout`](crate::batch::patch_readout).
+//! * **Speculative gather + patch** (the general mechanism; the
+//!   distributed trainer runs it against the daemon as the
+//!   version-vector protocol — speculative `read_versioned` out of
+//!   turn, then a [`MemoryDelta`] in the serialized slot repairs the
+//!   block via [`PrefetchedBatch::repair`], see `disttgl_mem::daemon`):
+//!   a gather issued before the pending write lands is stale by
+//!   exactly that write, whose node set is known, so the consumer
+//!   repairs just those rows with
+//!   [`patch_readout`](crate::batch::patch_readout).
 //!   Note that with most-recent-k sampling on recurrence-heavy
 //!   streams, the written nodes can dominate the next readout (~90%
 //!   of readout rows measured on the Table 2 analogs), making
@@ -81,9 +85,9 @@ use crate::batch::{BatchPreparer, StaticBatch};
 use crate::config::ModelConfig;
 use disttgl_data::{Dataset, NegativeStore};
 use disttgl_graph::TCsr;
-use disttgl_mem::{MemoryReadout, MemoryState};
+use disttgl_mem::{MemoryDelta, MemoryReadout, MemoryState, VersionedReadout};
 use std::ops::Range;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
@@ -126,14 +130,57 @@ pub struct PrefetchRequest {
     pub gather_memory: bool,
 }
 
-/// A prefetched batch: phase-1 output plus, when requested, the full
-/// memory readout (exact under eager-write scheduling, possibly
-/// one-write-stale under speculation).
+/// A prefetched batch: phase-1 output plus, when requested or attached
+/// later, the full memory readout (exact under eager-write scheduling,
+/// possibly stale under speculation — then tagged with the version
+/// vector that lets a [`MemoryDelta`] repair it).
 pub struct PrefetchedBatch {
     /// The memory-independent batch parts.
     pub sb: StaticBatch,
     /// Full readout in `sb.nodes()` row order.
     pub readout: Option<MemoryReadout>,
+    /// Per-row write versions of the gather — set by
+    /// [`PrefetchedBatch::attach_speculation`] on the daemon path
+    /// (`None` for worker gathers, which are exact under eager-write
+    /// scheduling and never repaired).
+    pub versions: Option<Vec<u64>>,
+}
+
+impl PrefetchedBatch {
+    /// Attaches a speculatively gathered, version-tagged readout (the
+    /// distributed daemon path: the gather came from
+    /// `MemoryClient::take_speculation`, not the prefetch worker).
+    pub fn attach_speculation(&mut self, vr: VersionedReadout) {
+        assert_eq!(
+            vr.readout.mem.rows(),
+            self.sb.read_rows(),
+            "speculative readout rows"
+        );
+        self.versions = Some(vr.versions);
+        self.readout = Some(vr.readout);
+    }
+
+    /// Repairs the attached readout in place with the rows a
+    /// [`MemoryDelta`] reports as rewritten since the speculative
+    /// gather; afterwards the readout equals a serialized read at the
+    /// delta's point in the write order, bit for bit. Returns the
+    /// patched row count.
+    ///
+    /// # Panics
+    /// Panics if no readout is attached.
+    pub fn repair(&mut self, delta: &MemoryDelta) -> usize {
+        let readout = self
+            .readout
+            .as_mut()
+            .expect("repair: no speculative readout attached");
+        delta.apply(readout)
+    }
+
+    /// Takes the repaired (or exact) readout out of the batch.
+    pub fn take_readout(&mut self) -> Option<MemoryReadout> {
+        self.versions = None;
+        self.readout.take()
+    }
 }
 
 impl PrefetchRequest {
@@ -216,11 +263,22 @@ impl BatchPrefetcher {
                     let wants_readout = req.gather_memory;
                     let neg_refs: Vec<&[u32]> = req.negs.iter().map(Vec::as_slice).collect();
                     let sb = prep.prepare_static(req.range, &neg_refs, req.negs_per_event);
+                    // The eager-write consumer never repairs this
+                    // gather (it is exact by scheduling), so skip the
+                    // version tagging; daemon-path speculation attaches
+                    // its own tagged readout later.
                     let readout = match (&memory, wants_readout) {
                         (Some(mem), true) => Some(read_lock(mem).read(sb.nodes())),
                         _ => None,
                     };
-                    if resp_tx.send(PrefetchedBatch { sb, readout }).is_err() {
+                    if resp_tx
+                        .send(PrefetchedBatch {
+                            sb,
+                            readout,
+                            versions: None,
+                        })
+                        .is_err()
+                    {
                         // Trainer hung up; drain and exit.
                         break;
                     }
@@ -254,6 +312,28 @@ impl BatchPrefetcher {
         let resp = self.resp_rx.recv().expect("prefetch worker died");
         self.in_flight -= 1;
         resp
+    }
+
+    /// Non-blocking [`BatchPrefetcher::recv`]: returns the oldest
+    /// in-flight result if it is already finished, `None` otherwise
+    /// (or when nothing is in flight). The distributed trainer polls
+    /// this during continue/idle steps to start a speculative memory
+    /// gather the moment the next batch's node list exists.
+    ///
+    /// # Panics
+    /// Panics if the worker died.
+    pub fn try_recv(&mut self) -> Option<PrefetchedBatch> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        match self.resp_rx.try_recv() {
+            Ok(resp) => {
+                self.in_flight -= 1;
+                Some(resp)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("prefetch worker died"),
+        }
     }
 
     /// Number of requests issued but not yet received.
@@ -423,6 +503,42 @@ mod tests {
             });
         }
         drop(prefetcher);
+    }
+
+    /// The version-tagged repair path on `PrefetchedBatch`: a stale
+    /// attached gather plus the store's delta equals a serialized
+    /// read, via `attach_speculation` + `repair`.
+    #[test]
+    fn attach_and_repair_with_delta_matches_serialized() {
+        let (d, csr, cfg) = setup();
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let sb = prep.prepare_static(0..16, &[], 1);
+        let mut batch = PrefetchedBatch {
+            sb,
+            readout: None,
+            versions: None,
+        };
+        // Speculative gather, then a racing write.
+        let tagged = mem.read_versioned(batch.sb.nodes());
+        let node = d.graph.events()[0].src;
+        mem.write(&disttgl_mem::MemoryWrite {
+            nodes: vec![node],
+            mem: disttgl_tensor::Matrix::full(1, cfg.d_mem, 0.75),
+            mem_ts: vec![2.0],
+            mail: disttgl_tensor::Matrix::full(1, cfg.mail_dim(), 1.5),
+            mail_ts: vec![2.0],
+        });
+        let versions = tagged.versions.clone();
+        batch.attach_speculation(tagged);
+        let delta = mem.delta_since(batch.sb.nodes(), &versions);
+        let patched = batch.repair(&delta);
+        assert!(patched > 0, "event 0's src is in the batch");
+        let repaired = batch.take_readout().expect("attached");
+        let serialized = mem.read(batch.sb.nodes());
+        assert_eq!(repaired.mem, serialized.mem);
+        assert_eq!(repaired.mail_ts, serialized.mail_ts);
+        assert!(batch.versions.is_none(), "take_readout clears the tag");
     }
 
     /// A speculative gather raced by a write, then patched, must equal

@@ -1,7 +1,9 @@
-//! The memory daemon of Algorithm 1.
+//! The memory daemon of Algorithm 1, grown into a **versioned memory
+//! service**.
 //!
-//! One daemon thread owns the [`MemoryState`] of an `i × j` trainer
-//! group and serves all reads/writes in the serialized order
+//! One daemon thread owns the write-tracked [`MemoryState`] of an
+//! `i × j` trainer group and serves all serialized reads/writes in the
+//! order
 //!
 //! ```text
 //! (R₀…Rᵢ₋₁)(W₀…Wᵢ₋₁)(Rᵢ…R₂ᵢ₋₁)(Wᵢ…W₂ᵢ₋₁) …
@@ -15,13 +17,48 @@
 //! cross-process lock mechanism, we launch an additional memory daemon
 //! process" (§3.3).
 //!
+//! # The speculative read → delta → patch lifecycle
+//!
+//! The serialized order makes the node-memory gather the one stage a
+//! trainer cannot pipeline by itself: its Acquire-turn read must
+//! observe every write of every earlier turn. The versioned service
+//! splits that read into an early, cheap-to-repair form:
+//!
+//! 1. **Speculative read** ([`MemoryClient::speculate_read`] /
+//!    [`MemoryClient::take_speculation`]): the moment a lane knows its
+//!    next batch's unique-node list (phase-1 prefetch), it posts an
+//!    *out-of-turn* gather. The daemon serves it whenever it is
+//!    otherwise spinning for the current turn's requests, so the bulk
+//!    data movement overlaps trainer compute. The response is a
+//!    [`VersionedReadout`]: rows plus the per-node write versions they
+//!    were read at.
+//! 2. **Delta** ([`MemoryClient::read_delta`]): at its Acquire turn the
+//!    lane takes its serialized read slot with the tagged version
+//!    vector instead of a full request. The daemon answers with the
+//!    [`MemoryDelta`] — exactly the rows rewritten since the
+//!    speculative gather (writes of intervening turns, or an epoch
+//!    reset, which stamps every node).
+//! 3. **Patch** ([`MemoryDelta::apply`]): the lane overwrites the
+//!    stale rows in its gathered block. The result is bit-identical to
+//!    a full serialized read in the same slot, because rows outside
+//!    the delta were — by the version contract — not written between
+//!    the two points in the daemon's single-threaded order.
+//!
+//! The contract is exact (not heuristic): the daemon applies all
+//! mutations single-threaded, every mutation bumps the state's write
+//! sequence and stamps the touched nodes, and both the speculative
+//! gather and the delta are computed atomically with respect to that
+//! order. Speculation therefore never changes training results — only
+//! *when* the bytes move (`tests/daemon_overlap_equivalence.rs` pins
+//! this end to end).
+//!
 //! Orderings: a requester fills the buffer under its mutex, then
 //! publishes with a `Release` store; the daemon observes with an
 //! `Acquire` load before locking the buffer (and vice versa for
 //! responses), so buffer contents are always synchronized-with the
 //! status transition that announces them.
 
-use crate::state::{MemoryReadout, MemoryState, MemoryWrite};
+use crate::state::{MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -35,24 +72,82 @@ const READY: u8 = 2;
 /// Table 1 synchronization-volume measurements).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DaemonStats {
-    /// Node-memory + mail rows served to read requests.
+    /// Logical node-memory + mail rows served to *serialized* read
+    /// requests. A delta read counts its full request length here (it
+    /// logically serves the same read), so this figure is invariant
+    /// under speculation on/off; the bytes that actually moved at the
+    /// turn are `delta_rows_sent`.
     pub rows_read: u64,
     /// Rows applied from write requests.
     pub rows_written: u64,
-    /// Read requests served.
+    /// Serialized read turns served (full, versioned, or delta).
     pub reads_served: u64,
     /// Write requests served.
     pub writes_served: u64,
+    /// Out-of-turn speculative reads served.
+    pub spec_reads_served: u64,
+    /// Rows gathered by speculative reads (off the critical path).
+    pub spec_rows_read: u64,
+    /// Serialized delta reads served.
+    pub delta_reads_served: u64,
+    /// Rows actually shipped by delta reads — the stale rows the
+    /// trainers patched. `delta_rows_sent / spec_rows_read` is the
+    /// measured stale fraction of the speculative protocol.
+    pub delta_rows_sent: u64,
     /// Nanoseconds the daemon spent actively serving (excludes waiting).
     pub serve_nanos: u64,
+}
+
+/// A serialized read-slot request.
+enum ReadRequest {
+    /// Plain gather of the nodes' rows.
+    Full(Vec<u32>),
+    /// Gather plus the version vector it was read at.
+    Versioned(Vec<u32>),
+    /// Only the rows rewritten since the tagged versions.
+    Delta { nodes: Vec<u32>, versions: Vec<u64> },
+    /// Repair the parked response readout in place: overwrite the
+    /// rows rewritten since the tagged versions directly in the
+    /// requester's buffer (the fused hot path — one copy per stale
+    /// row, nothing materialized).
+    Repair { nodes: Vec<u32>, versions: Vec<u64> },
+}
+
+impl Default for ReadRequest {
+    fn default() -> Self {
+        Self::Full(Vec::new())
+    }
+}
+
+/// The matching serialized read-slot response. The `Full` variant also
+/// carries the caller's scratch buffer daemon-ward (posted before the
+/// request), so steady-state turns never allocate.
+enum ReadResponse {
+    Full(MemoryReadout),
+    Versioned(VersionedReadout),
+    Delta(MemoryDelta),
+    /// The repaired-in-place readout plus the patched row count.
+    Repaired(MemoryReadout, u64),
+}
+
+impl Default for ReadResponse {
+    fn default() -> Self {
+        Self::Full(MemoryReadout::default())
+    }
 }
 
 struct Slot {
     read_status: AtomicU8,
     write_status: AtomicU8,
-    read_req: Mutex<Vec<u32>>,
-    read_resp: Mutex<MemoryReadout>,
+    /// Out-of-turn speculative gather channel.
+    spec_status: AtomicU8,
+    read_req: Mutex<ReadRequest>,
+    read_resp: Mutex<ReadResponse>,
     write_req: Mutex<MemoryWrite>,
+    spec_req: Mutex<Vec<u32>>,
+    /// Response buffer; the requester parks its scratch here before
+    /// posting so the daemon gathers into reused allocations.
+    spec_resp: Mutex<VersionedReadout>,
 }
 
 impl Slot {
@@ -60,9 +155,12 @@ impl Slot {
         Self {
             read_status: AtomicU8::new(IDLE),
             write_status: AtomicU8::new(IDLE),
-            read_req: Mutex::new(Vec::new()),
-            read_resp: Mutex::new(MemoryReadout::default()),
+            spec_status: AtomicU8::new(IDLE),
+            read_req: Mutex::new(ReadRequest::default()),
+            read_resp: Mutex::new(ReadResponse::default()),
             write_req: Mutex::new(MemoryWrite::default()),
+            spec_req: Mutex::new(Vec::new()),
+            spec_resp: Mutex::new(VersionedReadout::default()),
         }
     }
 }
@@ -74,6 +172,10 @@ struct Shared {
     rows_written: AtomicU64,
     reads_served: AtomicU64,
     writes_served: AtomicU64,
+    spec_reads_served: AtomicU64,
+    spec_rows_read: AtomicU64,
+    delta_reads_served: AtomicU64,
+    delta_rows_sent: AtomicU64,
     serve_nanos: AtomicU64,
     /// Epoch-end snapshot of the state, refreshed before each reset.
     /// The paper evaluates "using the node memory in the first memory
@@ -118,13 +220,9 @@ impl MemoryClient {
         self.rank
     }
 
-    /// Issues a read for `nodes` and blocks until the daemon serves it
-    /// (the paper's trainers overlap this wait with static-data
-    /// prefetch; callers here do the same by issuing late).
-    ///
-    /// # Panics
-    /// Panics if the daemon shut down mid-request.
-    pub fn read(&self, nodes: &[u32]) -> MemoryReadout {
+    /// Posts a serialized read-slot request and blocks for the
+    /// response (panicking if the daemon shut down mid-request).
+    fn read_turn(&self, req: ReadRequest, resp_buffer: Option<ReadResponse>) -> ReadResponse {
         let slot = &self.shared.slots[self.rank];
         // Previous cycle must be fully consumed.
         assert_eq!(
@@ -133,7 +231,10 @@ impl MemoryClient {
             "rank {}: overlapping read requests",
             self.rank
         );
-        *slot.read_req.lock() = nodes.to_vec();
+        if let Some(buffer) = resp_buffer {
+            *slot.read_resp.lock() = buffer;
+        }
+        *slot.read_req.lock() = req;
         slot.read_status.store(REQUESTED, Ordering::Release);
         let ok = spin_until(
             || slot.read_status.load(Ordering::Acquire) == READY,
@@ -146,6 +247,152 @@ impl MemoryClient {
         );
         let resp = std::mem::take(&mut *slot.read_resp.lock());
         slot.read_status.store(IDLE, Ordering::Release);
+        resp
+    }
+
+    /// Issues a read for `nodes` and blocks until the daemon serves it
+    /// (the paper's trainers overlap this wait with static-data
+    /// prefetch; callers here do the same by issuing late).
+    ///
+    /// # Panics
+    /// Panics if the daemon shut down mid-request.
+    pub fn read(&self, nodes: &[u32]) -> MemoryReadout {
+        let mut out = MemoryReadout::default();
+        self.read_into(nodes, &mut out);
+        out
+    }
+
+    /// [`MemoryClient::read`] gathering into a caller-owned readout:
+    /// the scratch travels to the daemon with the request, the gather
+    /// lands in its (resized) buffers, and the response hands it back —
+    /// steady-state turns allocate nothing.
+    pub fn read_into(&self, nodes: &[u32], out: &mut MemoryReadout) {
+        let buffer = ReadResponse::Full(std::mem::take(out));
+        match self.read_turn(ReadRequest::Full(nodes.to_vec()), Some(buffer)) {
+            ReadResponse::Full(r) => *out = r,
+            _ => unreachable!("full read answered with non-full response"),
+        }
+    }
+
+    /// Serialized read tagged with the version vector it was served at
+    /// (see [`VersionedReadout`]).
+    ///
+    /// # Panics
+    /// Panics if the daemon shut down mid-request.
+    pub fn read_versioned(&self, nodes: &[u32]) -> VersionedReadout {
+        match self.read_turn(ReadRequest::Versioned(nodes.to_vec()), None) {
+            ReadResponse::Versioned(r) => r,
+            _ => unreachable!("versioned read answered with wrong response kind"),
+        }
+    }
+
+    /// Takes the rank's serialized read slot with a *delta* request:
+    /// returns only the rows of `nodes` rewritten since the tagged
+    /// `versions` (from an earlier [`MemoryClient::take_speculation`]).
+    /// Applying the delta onto the speculative readout reproduces the
+    /// full serialized read of this turn bit for bit.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or daemon shutdown.
+    pub fn read_delta(&self, nodes: &[u32], versions: &[u64]) -> MemoryDelta {
+        assert_eq!(nodes.len(), versions.len(), "read_delta: version vector");
+        let req = ReadRequest::Delta {
+            nodes: nodes.to_vec(),
+            versions: versions.to_vec(),
+        };
+        match self.read_turn(req, None) {
+            ReadResponse::Delta(d) => d,
+            _ => unreachable!("delta read answered with wrong response kind"),
+        }
+    }
+
+    /// The fused hot-path form of [`MemoryClient::read_delta`]: ships
+    /// the speculatively gathered `readout` back to the daemon, which
+    /// repairs the rows rewritten since the tagged `versions` **in
+    /// place** (one copy per stale row, no delta materialization) and
+    /// hands the buffer back. Returns the patched row count; the
+    /// readout then equals this turn's full serialized read bit for
+    /// bit.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or daemon shutdown.
+    pub fn read_delta_into(
+        &self,
+        nodes: &[u32],
+        versions: &[u64],
+        readout: &mut MemoryReadout,
+    ) -> usize {
+        assert_eq!(nodes.len(), versions.len(), "read_delta_into: versions");
+        let req = ReadRequest::Repair {
+            nodes: nodes.to_vec(),
+            versions: versions.to_vec(),
+        };
+        let buffer = ReadResponse::Repaired(std::mem::take(readout), 0);
+        match self.read_turn(req, Some(buffer)) {
+            ReadResponse::Repaired(r, patched) => {
+                *readout = r;
+                patched as usize
+            }
+            _ => unreachable!("repair read answered with wrong response kind"),
+        }
+    }
+
+    /// Posts an **out-of-turn** speculative gather for `nodes` and
+    /// returns immediately. The daemon serves it while spinning between
+    /// serialized turns, so the data movement overlaps trainer compute;
+    /// collect with [`MemoryClient::take_speculation`]. `scratch` is a
+    /// reusable response buffer (pass a previously returned
+    /// [`VersionedReadout`], or default).
+    ///
+    /// # Panics
+    /// Panics if a speculation is already outstanding.
+    pub fn speculate_read(&self, nodes: &[u32], scratch: VersionedReadout) {
+        let slot = &self.shared.slots[self.rank];
+        assert_eq!(
+            slot.spec_status.load(Ordering::Acquire),
+            IDLE,
+            "rank {}: overlapping speculative reads",
+            self.rank
+        );
+        *slot.spec_resp.lock() = scratch;
+        let mut req = slot.spec_req.lock();
+        req.clear();
+        req.extend_from_slice(nodes);
+        drop(req);
+        slot.spec_status.store(REQUESTED, Ordering::Release);
+    }
+
+    /// True while a speculative read is posted but not yet collected.
+    pub fn speculation_pending(&self) -> bool {
+        self.shared.slots[self.rank]
+            .spec_status
+            .load(Ordering::Acquire)
+            != IDLE
+    }
+
+    /// Blocks for the outstanding speculative read's tagged readout.
+    ///
+    /// # Panics
+    /// Panics if none is outstanding or the daemon shut down.
+    pub fn take_speculation(&self) -> VersionedReadout {
+        let slot = &self.shared.slots[self.rank];
+        assert_ne!(
+            slot.spec_status.load(Ordering::Acquire),
+            IDLE,
+            "rank {}: no speculative read outstanding",
+            self.rank
+        );
+        let ok = spin_until(
+            || slot.spec_status.load(Ordering::Acquire) == READY,
+            &self.shared.shutdown,
+        );
+        assert!(
+            ok,
+            "memory daemon shut down during speculative read (rank {})",
+            self.rank
+        );
+        let resp = std::mem::take(&mut *slot.spec_resp.lock());
+        slot.spec_status.store(IDLE, Ordering::Release);
         resp
     }
 
@@ -220,6 +467,10 @@ impl MemoryDaemon {
             rows_written: AtomicU64::new(0),
             reads_served: AtomicU64::new(0),
             writes_served: AtomicU64::new(0),
+            spec_reads_served: AtomicU64::new(0),
+            spec_rows_read: AtomicU64::new(0),
+            delta_reads_served: AtomicU64::new(0),
+            delta_rows_sent: AtomicU64::new(0),
             serve_nanos: AtomicU64::new(0),
             snapshot: Mutex::new(None),
             epochs_done: AtomicU64::new(0),
@@ -260,6 +511,10 @@ impl MemoryDaemon {
             rows_written: self.shared.rows_written.load(Ordering::Relaxed),
             reads_served: self.shared.reads_served.load(Ordering::Relaxed),
             writes_served: self.shared.writes_served.load(Ordering::Relaxed),
+            spec_reads_served: self.shared.spec_reads_served.load(Ordering::Relaxed),
+            spec_rows_read: self.shared.spec_rows_read.load(Ordering::Relaxed),
+            delta_reads_served: self.shared.delta_reads_served.load(Ordering::Relaxed),
+            delta_rows_sent: self.shared.delta_rows_sent.load(Ordering::Relaxed),
             serve_nanos: self.shared.serve_nanos.load(Ordering::Relaxed),
         }
     }
@@ -267,19 +522,9 @@ impl MemoryDaemon {
     /// Waits for the daemon to finish its schedule and returns the
     /// final state and counters.
     pub fn join(mut self) -> (MemoryState, DaemonStats) {
-        let stats = self.stats();
         let handle = self.handle.take().expect("already joined");
         let state = handle.join().expect("daemon thread panicked");
-        let stats = DaemonStats {
-            rows_read: self.shared.rows_read.load(Ordering::Relaxed),
-            rows_written: self.shared.rows_written.load(Ordering::Relaxed),
-            reads_served: self.shared.reads_served.load(Ordering::Relaxed),
-            writes_served: self.shared.writes_served.load(Ordering::Relaxed),
-            serve_nanos: stats
-                .serve_nanos
-                .max(self.shared.serve_nanos.load(Ordering::Relaxed)),
-        };
-        (state, stats)
+        (state, self.stats())
     }
 
     /// Requests early termination (failure paths / tests). Clients
@@ -321,10 +566,65 @@ impl Drop for MemoryDaemon {
     }
 }
 
+/// Serves every pending out-of-turn speculative read. Called from the
+/// daemon's spin loops, so speculations are answered while the daemon
+/// would otherwise idle-wait for the current turn's requests — the
+/// overlap that hides the gather behind trainer compute. Returns true
+/// if anything was served.
+fn serve_speculative(state: &MemoryState, shared: &Shared) -> bool {
+    let mut served = false;
+    for slot in &shared.slots {
+        if slot.spec_status.load(Ordering::Acquire) != REQUESTED {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let req = slot.spec_req.lock();
+        let mut resp = slot.spec_resp.lock();
+        state.read_versioned_into(&req, &mut resp);
+        shared
+            .spec_rows_read
+            .fetch_add(req.len() as u64, Ordering::Relaxed);
+        drop(req);
+        drop(resp);
+        shared.spec_reads_served.fetch_add(1, Ordering::Relaxed);
+        shared
+            .serve_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slot.spec_status.store(READY, Ordering::Release);
+        served = true;
+    }
+    served
+}
+
+/// Daemon-side spin: wait for `cond`, serving speculative reads in the
+/// idle gaps. Returns false if `shutdown` fires first.
+fn spin_serving(cond: impl Fn() -> bool, state: &MemoryState, shared: &Shared) -> bool {
+    let mut spins = 0u32;
+    loop {
+        if cond() {
+            return true;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        if serve_speculative(state, shared) {
+            spins = 0;
+            continue;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epochs: &[usize]) {
     let mut turn = 0usize; // global turn counter — owner is turn % j
     for &epoch_len in epochs {
-        // "reset memory and mail" (Algorithm 1).
+        // "reset memory and mail" (Algorithm 1). The reset stamps every
+        // node's version, so speculations taken across it repair fully.
         state.reset();
         for _ in 0..epoch_len {
             let g = turn % j;
@@ -333,20 +633,65 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
             // Serve the sub-group's reads.
             for r in ranks.clone() {
                 let slot = &shared.slots[r];
-                if !spin_until(
+                if !spin_serving(
                     || slot.read_status.load(Ordering::Acquire) == REQUESTED,
-                    &shared.shutdown,
+                    state,
+                    shared,
                 ) {
                     return;
                 }
                 let t0 = std::time::Instant::now();
-                let req = slot.read_req.lock();
-                let resp = state.read(&req);
-                shared
-                    .rows_read
-                    .fetch_add(req.len() as u64, Ordering::Relaxed);
-                drop(req);
-                *slot.read_resp.lock() = resp;
+                let req = std::mem::take(&mut *slot.read_req.lock());
+                let mut resp = slot.read_resp.lock();
+                match req {
+                    ReadRequest::Full(nodes) => {
+                        // Gather into the requester's parked scratch.
+                        match &mut *resp {
+                            ReadResponse::Full(buffer) => state.read_into(&nodes, buffer),
+                            other => *other = ReadResponse::Full(state.read(&nodes)),
+                        }
+                        shared
+                            .rows_read
+                            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                    }
+                    ReadRequest::Versioned(nodes) => {
+                        *resp = ReadResponse::Versioned(state.read_versioned(&nodes));
+                        shared
+                            .rows_read
+                            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                    }
+                    ReadRequest::Delta { nodes, versions } => {
+                        let d = state.delta_since(&nodes, &versions);
+                        shared
+                            .delta_rows_sent
+                            .fetch_add(d.len() as u64, Ordering::Relaxed);
+                        shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
+                        // Logical rows served — keeps the read-volume
+                        // accounting invariant under speculation.
+                        shared
+                            .rows_read
+                            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                        *resp = ReadResponse::Delta(d);
+                    }
+                    ReadRequest::Repair { nodes, versions } => {
+                        let patched = match &mut *resp {
+                            ReadResponse::Repaired(buffer, count) => {
+                                let patched = state.repair_since(&nodes, &versions, buffer);
+                                *count = patched as u64;
+                                patched
+                            }
+                            _ => unreachable!("repair request without a parked readout"),
+                        };
+                        shared
+                            .delta_rows_sent
+                            .fetch_add(patched as u64, Ordering::Relaxed);
+                        shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .rows_read
+                            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                drop(resp);
                 shared.reads_served.fetch_add(1, Ordering::Relaxed);
                 shared
                     .serve_nanos
@@ -356,9 +701,10 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
             // Serve the sub-group's writes.
             for r in ranks {
                 let slot = &shared.slots[r];
-                if !spin_until(
+                if !spin_serving(
                     || slot.write_status.load(Ordering::Acquire) == REQUESTED,
-                    &shared.shutdown,
+                    state,
+                    shared,
                 ) {
                     return;
                 }
@@ -378,6 +724,11 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
         *shared.snapshot.lock() = Some(state.clone());
         shared.epochs_done.fetch_add(1, Ordering::Release);
     }
+    // Defensive drain: answer any speculation still pending at schedule
+    // end (the trainer protocol only speculates toward turns that
+    // exist, but a protocol bug must fail loudly in the client, not
+    // hang it here).
+    serve_speculative(state, shared);
 }
 
 #[cfg(test)]
@@ -401,6 +752,7 @@ mod tests {
         let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 3), 1, 1, 3, 1);
         let client = daemon.client(0);
         let mut reference = MemoryState::new(8, 2, 3);
+        reference.reset(); // daemon resets at epoch start
 
         for step in 0..3u32 {
             let nodes = vec![step, step + 1];
@@ -421,6 +773,8 @@ mod tests {
         assert_eq!(stats.writes_served, 3);
         assert_eq!(stats.rows_read, 6);
         assert_eq!(stats.rows_written, 6);
+        assert_eq!(stats.spec_reads_served, 0);
+        assert_eq!(stats.delta_reads_served, 0);
     }
 
     #[test]
@@ -546,5 +900,163 @@ mod tests {
         let (_, stats) = daemon.join();
         assert!(stats.serve_nanos > 0);
         assert_eq!(stats.rows_read, 128);
+    }
+
+    /// The full speculative lifecycle on one rank: speculate before the
+    /// turn, collect, delta in the read slot, patch — bit-identical to
+    /// what a full serialized read would have returned, across writes
+    /// *and* an epoch reset.
+    #[test]
+    fn speculate_delta_patch_equals_serialized_read() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 1, 4, 2);
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(8, 2, 2);
+        let nodes: Vec<u32> = vec![0, 3, 5, 6];
+        let mut tagged: Option<VersionedReadout> = None;
+
+        for epoch in 0..2 {
+            reference.reset();
+            for s in 0..4u32 {
+                match tagged.take() {
+                    None => {
+                        // Cold start: plain full read.
+                        let got = client.read(&nodes);
+                        assert_eq!(got.mem, reference.read(&nodes).mem);
+                    }
+                    Some(tagged) => {
+                        // The speculation was collected before the
+                        // previous write (and possibly across the epoch
+                        // reset) — the delta must repair it to the
+                        // serialized answer.
+                        let d = client.read_delta(&nodes, &tagged.versions);
+                        let mut patched = tagged.readout;
+                        d.apply(&mut patched);
+                        let want = reference.read(&nodes);
+                        assert_eq!(patched.mem, want.mem, "epoch {epoch} step {s}");
+                        assert_eq!(patched.mem_ts, want.mem_ts);
+                        assert_eq!(patched.mail, want.mail);
+                        assert_eq!(patched.mail_ts, want.mail_ts);
+                    }
+                }
+                // Speculate for the next turn and *collect before this
+                // turn's write is posted*, pinning a maximal staleness
+                // window (the daemon serves the speculation while
+                // spinning for our write request).
+                if !(epoch == 1 && s == 3) {
+                    client.speculate_read(&nodes, VersionedReadout::default());
+                    tagged = Some(client.take_speculation());
+                }
+                let w = write_of(vec![s % 8, (s + 3) % 8], 2, 2, (s + 1) as f32, s as f32);
+                reference.write(&w);
+                client.write(w);
+            }
+        }
+        let (state, stats) = daemon.join();
+        let all: Vec<u32> = (0..8).collect();
+        assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+        assert_eq!(stats.spec_reads_served, 7);
+        assert_eq!(stats.delta_reads_served, 7);
+        // Every write hits nodes {s, s+3}, intersecting the read set,
+        // and the speculations were provably pre-write.
+        assert!(stats.delta_rows_sent > 0, "writes intersected the reads");
+        // Logical read volume: 8 turns × 4 rows.
+        assert_eq!(stats.rows_read, 32);
+    }
+
+    /// The fused in-place repair (`read_delta_into`) must reproduce a
+    /// serialized read exactly, like the delta-ship path does.
+    #[test]
+    fn read_delta_into_repairs_in_place() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 1, 4, 1);
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(8, 2, 2);
+        reference.reset();
+        let nodes = [1u32, 4, 6];
+        let mut tagged: Option<VersionedReadout> = None;
+
+        for s in 0..4u32 {
+            match tagged.take() {
+                None => {
+                    let _ = client.read(&nodes);
+                }
+                Some(mut tagged) => {
+                    let patched =
+                        client.read_delta_into(&nodes, &tagged.versions, &mut tagged.readout);
+                    let want = reference.read(&nodes);
+                    assert_eq!(tagged.readout.mem, want.mem, "step {s}");
+                    assert_eq!(tagged.readout.mail, want.mail);
+                    assert_eq!(tagged.readout.mem_ts, want.mem_ts);
+                    assert_eq!(tagged.readout.mail_ts, want.mail_ts);
+                    // Every write below hits a read-set node.
+                    assert_eq!(patched, 1, "step {s}");
+                }
+            }
+            if s < 3 {
+                // Speculate and collect *before* this turn's write —
+                // guaranteed one stale row next turn.
+                client.speculate_read(&nodes, VersionedReadout::default());
+                tagged = Some(client.take_speculation());
+            }
+            let w = write_of(
+                vec![nodes[(s % 3) as usize]],
+                2,
+                2,
+                s as f32 + 1.0,
+                s as f32,
+            );
+            reference.write(&w);
+            client.write(w);
+        }
+        let (state, stats) = daemon.join();
+        let all: Vec<u32> = (0..8).collect();
+        assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+        assert_eq!(stats.delta_reads_served, 3);
+        assert_eq!(stats.delta_rows_sent, 3);
+    }
+
+    /// A speculation left uncollected must not wedge the daemon's
+    /// shutdown path, and the client side must panic (not hang) if it
+    /// tries to collect after shutdown.
+    #[test]
+    fn uncollected_speculation_drops_cleanly() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 10, 1);
+        let client = daemon.client(0);
+        client.speculate_read(&[0, 1], VersionedReadout::default());
+        // Daemon serves it during its spin for the never-sent turn
+        // read; we drop everything without collecting.
+        daemon.shutdown();
+        let (_, stats) = daemon.join();
+        assert!(stats.spec_reads_served <= 1);
+        drop(client);
+    }
+
+    #[test]
+    fn read_into_roundtrips_scratch_buffer() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 1, 2, 1);
+        let client = daemon.client(0);
+        let mut scratch = MemoryReadout::default();
+        client.read_into(&[1, 2, 3], &mut scratch);
+        assert_eq!(scratch.mem.shape(), (3, 2));
+        client.write(write_of(vec![2], 2, 2, 5.0, 1.0));
+        client.read_into(&[2], &mut scratch);
+        assert_eq!(scratch.mem.shape(), (1, 2));
+        assert_eq!(scratch.mem.get(0, 0), 5.0);
+        client.write(write_of(vec![0], 2, 2, 1.0, 2.0));
+        let _ = daemon.join();
+    }
+
+    #[test]
+    fn versioned_read_tags_serialized_versions() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 2, 1);
+        let client = daemon.client(0);
+        let vr = client.read_versioned(&[0, 1]);
+        // Turn 1 of epoch 0: only the reset (version 1) has happened.
+        assert_eq!(vr.versions, vec![1, 1]);
+        client.write(write_of(vec![1], 1, 1, 2.0, 1.0));
+        let vr = client.read_versioned(&[0, 1]);
+        assert_eq!(vr.versions, vec![1, 2]);
+        assert_eq!(vr.readout.mem.get(1, 0), 2.0);
+        client.write(write_of(vec![0], 1, 1, 3.0, 2.0));
+        let _ = daemon.join();
     }
 }

@@ -27,9 +27,20 @@
 //! mini-batch-parallel sub-group of size `i`. We follow the access
 //! sequence (sub-groups of `i`), which is the only reading consistent
 //! with the `(R0R1)(W0W1)(R2R3)(W2W3)` example for `i×j = 2×2`.
+//!
+//! Both stores are **write-tracked**: every applied [`MemoryWrite`]
+//! (and epoch reset) stamps a monotone version onto the touched nodes,
+//! so a reader holding the version vector of an earlier gather can ask
+//! for exactly the rows rewritten since ([`MemoryState::delta_since`],
+//! [`MemoryClient::read_delta`]). The daemon uses this to serve
+//! **speculative out-of-turn reads** while it would otherwise idle —
+//! the speculative read → delta → patch lifecycle documented in the
+//! `daemon` module docs — which lets distributed trainers overlap
+//! the serialized phase-2 gather with compute without changing any
+//! training result.
 
 mod daemon;
 mod state;
 
 pub use daemon::{DaemonStats, MemoryClient, MemoryDaemon};
-pub use state::{MemoryReadout, MemoryState, MemoryWrite};
+pub use state::{MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};

@@ -1,4 +1,13 @@
-//! The plain node-memory + mailbox store.
+//! The write-tracked node-memory + mailbox store.
+//!
+//! Every mutation ([`MemoryState::write`] and the epoch
+//! [`MemoryState::reset`]) bumps a monotone **write sequence** and
+//! stamps it onto the touched nodes' per-node versions. A reader that
+//! records the version vector of its gather
+//! ([`MemoryState::read_versioned`]) can later ask for exactly the
+//! rows rewritten since ([`MemoryState::delta_since`]) — the primitive
+//! the memory daemon's speculative-read / delta-repair protocol is
+//! built on.
 
 use disttgl_tensor::Matrix;
 
@@ -14,6 +23,66 @@ pub struct MemoryReadout {
     pub mail: Matrix,
     /// Timestamp of each cached mail (0 when none has arrived yet).
     pub mail_ts: Vec<f32>,
+}
+
+/// A readout tagged with the version vector it was gathered at:
+/// `versions[r]` is the write version of row `r`'s node at gather
+/// time. Feed the vector back into [`MemoryState::delta_since`] (or
+/// `MemoryClient::read_delta` on the daemon path) to learn exactly
+/// which rows a later state has rewritten.
+#[derive(Clone, Debug, Default)]
+pub struct VersionedReadout {
+    /// The gathered rows, in query order.
+    pub readout: MemoryReadout,
+    /// Per-row write version at gather time (`len == rows`).
+    pub versions: Vec<u64>,
+}
+
+/// The rows of a tagged read that were rewritten since: row positions
+/// refer to the *original query's node list*, so applying the delta is
+/// a direct row scatter — no node lookup needed.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryDelta {
+    /// Positions within the tagged read's node list (ascending).
+    pub rows: Vec<u32>,
+    /// Fresh memory rows, `rows.len() × d_mem`.
+    pub mem: Matrix,
+    /// Fresh memory timestamps.
+    pub mem_ts: Vec<f32>,
+    /// Fresh mail rows, `rows.len() × mail_dim`.
+    pub mail: Matrix,
+    /// Fresh mail timestamps.
+    pub mail_ts: Vec<f32>,
+}
+
+impl MemoryDelta {
+    /// Number of rewritten rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was rewritten (the tagged read is exact).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Repairs a speculatively gathered readout in place: overwrites
+    /// each rewritten row with its fresh contents. After this the
+    /// readout is bit-identical to a serialized read performed at the
+    /// delta's point in the write order. Returns the patched row count.
+    ///
+    /// # Panics
+    /// Panics if a row position exceeds the readout.
+    pub fn apply(&self, readout: &mut MemoryReadout) -> usize {
+        for (i, &row) in self.rows.iter().enumerate() {
+            let row = row as usize;
+            readout.mem.row_mut(row).copy_from_slice(self.mem.row(i));
+            readout.mail.row_mut(row).copy_from_slice(self.mail.row(i));
+            readout.mem_ts[row] = self.mem_ts[i];
+            readout.mail_ts[row] = self.mail_ts[i];
+        }
+        self.rows.len()
+    }
 }
 
 /// A write request: new memory and mail rows for `nodes` (the batch's
@@ -46,6 +115,10 @@ pub struct MemoryState {
     mem_ts: Vec<f32>,
     mail: Matrix,
     mail_ts: Vec<f32>,
+    /// Monotone write sequence, bumped once per applied write/reset.
+    write_seq: u64,
+    /// Write version of each node's last mutation (0 = never written).
+    node_version: Vec<u64>,
 }
 
 impl MemoryState {
@@ -60,6 +133,8 @@ impl MemoryState {
             mem_ts: vec![0.0; num_nodes],
             mail: Matrix::zeros(num_nodes, mail_dim),
             mail_ts: vec![0.0; num_nodes],
+            write_seq: 0,
+            node_version: vec![0; num_nodes],
         }
     }
 
@@ -78,23 +153,122 @@ impl MemoryState {
         self.mail_dim
     }
 
-    /// Resets everything to zero (epoch boundary).
+    /// Resets everything to zero (epoch boundary). The reset counts as
+    /// a write of every node — a delta taken across it repairs every
+    /// requested row, so tagged reads stay exact across epochs.
     pub fn reset(&mut self) {
         self.mem.zero();
         self.mem_ts.fill(0.0);
         self.mail.zero();
         self.mail_ts.fill(0.0);
+        self.write_seq += 1;
+        self.node_version.fill(self.write_seq);
+    }
+
+    /// Current write sequence (bumped by every write and reset).
+    pub fn version(&self) -> u64 {
+        self.write_seq
     }
 
     /// Gathers rows for `nodes` in query order.
     pub fn read(&self, nodes: &[u32]) -> MemoryReadout {
+        let mut out = MemoryReadout::default();
+        self.read_into(nodes, &mut out);
+        out
+    }
+
+    /// [`MemoryState::read`] into a caller-owned readout (matrices and
+    /// timestamp vectors resized in place) — the scratch-arena variant
+    /// for hot loops that would otherwise allocate a fresh readout per
+    /// turn.
+    pub fn read_into(&self, nodes: &[u32], out: &mut MemoryReadout) {
         let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
-        MemoryReadout {
-            mem: self.mem.gather_rows(&idx),
-            mem_ts: idx.iter().map(|&i| self.mem_ts[i]).collect(),
-            mail: self.mail.gather_rows(&idx),
-            mail_ts: idx.iter().map(|&i| self.mail_ts[i]).collect(),
+        self.mem.gather_rows_into(&idx, &mut out.mem);
+        self.mail.gather_rows_into(&idx, &mut out.mail);
+        out.mem_ts.clear();
+        out.mem_ts.extend(idx.iter().map(|&i| self.mem_ts[i]));
+        out.mail_ts.clear();
+        out.mail_ts.extend(idx.iter().map(|&i| self.mail_ts[i]));
+    }
+
+    /// Gathers rows for `nodes` together with the version vector they
+    /// were read at (see [`VersionedReadout`]).
+    pub fn read_versioned(&self, nodes: &[u32]) -> VersionedReadout {
+        let mut out = VersionedReadout::default();
+        self.read_versioned_into(nodes, &mut out);
+        out
+    }
+
+    /// [`MemoryState::read_versioned`] into a caller-owned buffer.
+    pub fn read_versioned_into(&self, nodes: &[u32], out: &mut VersionedReadout) {
+        self.read_into(nodes, &mut out.readout);
+        out.versions.clear();
+        out.versions
+            .extend(nodes.iter().map(|&n| self.node_version[n as usize]));
+    }
+
+    /// Returns the rows of a tagged read that have been rewritten
+    /// since: row `r` is included iff `nodes[r]`'s current write
+    /// version exceeds `versions[r]`. Applying the result onto the
+    /// tagged readout ([`MemoryDelta::apply`]) reproduces a serialized
+    /// read of `nodes` against the current state, bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `versions.len() != nodes.len()`.
+    pub fn delta_since(&self, nodes: &[u32], versions: &[u64]) -> MemoryDelta {
+        assert_eq!(
+            nodes.len(),
+            versions.len(),
+            "delta_since: version vector length"
+        );
+        let mut rows = Vec::new();
+        let mut idx = Vec::new();
+        for (r, (&n, &v)) in nodes.iter().zip(versions).enumerate() {
+            if self.node_version[n as usize] > v {
+                rows.push(r as u32);
+                idx.push(n as usize);
+            }
         }
+        let mut d = MemoryDelta {
+            rows,
+            ..MemoryDelta::default()
+        };
+        self.mem.gather_rows_into(&idx, &mut d.mem);
+        self.mail.gather_rows_into(&idx, &mut d.mail);
+        d.mem_ts.extend(idx.iter().map(|&i| self.mem_ts[i]));
+        d.mail_ts.extend(idx.iter().map(|&i| self.mail_ts[i]));
+        d
+    }
+
+    /// Fused [`MemoryState::delta_since`] + [`MemoryDelta::apply`]:
+    /// overwrites the rows of `out` (a readout of `nodes` tagged with
+    /// `versions`) that were rewritten since, directly from the store
+    /// — one copy per stale row, no intermediate delta matrices. This
+    /// is the hot-path form the daemon serves into the trainer's
+    /// shared response buffer; returns the repaired row count.
+    ///
+    /// # Panics
+    /// Panics on length mismatches between `nodes`, `versions`, and
+    /// `out`.
+    pub fn repair_since(&self, nodes: &[u32], versions: &[u64], out: &mut MemoryReadout) -> usize {
+        assert_eq!(
+            nodes.len(),
+            versions.len(),
+            "repair_since: version vector length"
+        );
+        assert_eq!(out.mem.rows(), nodes.len(), "repair_since: readout rows");
+        let mut patched = 0usize;
+        for (r, (&n, &v)) in nodes.iter().zip(versions).enumerate() {
+            let i = n as usize;
+            if self.node_version[i] > v {
+                out.mem.row_mut(r).copy_from_slice(self.mem.row(i));
+                out.mail.row_mut(r).copy_from_slice(self.mail.row(i));
+                out.mem_ts[r] = self.mem_ts[i];
+                out.mail_ts[r] = self.mail_ts[i];
+                patched += 1;
+            }
+        }
+        patched
     }
 
     /// Applies a write. Duplicate nodes resolve to the **last**
@@ -117,13 +291,48 @@ impl MemoryState {
             self.mem_ts[i] = mts;
             self.mail_ts[i] = lts;
         }
+        self.write_seq += 1;
+        for &i in &idx {
+            self.node_version[i] = self.write_seq;
+        }
     }
 
     /// Byte size of one full replica (for the Table 1 memory-footprint
-    /// accounting and the planner's capacity constraint).
+    /// accounting and the planner's capacity constraint); includes the
+    /// per-node write-version vector.
     pub fn bytes(&self) -> usize {
         (self.mem.len() + self.mail.len()) * std::mem::size_of::<f32>()
             + (self.mem_ts.len() + self.mail_ts.len()) * std::mem::size_of::<f32>()
+            + self.node_version.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Order-sensitive FNV-1a digest of the store's *contents* (memory,
+    /// mails, timestamps — bit patterns, not float compares; versions
+    /// excluded). Two states with equal checksums trained through the
+    /// same f32 operations are bit-identical with overwhelming
+    /// probability; the equivalence tests compare these across
+    /// executor variants.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bits: u32| {
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        };
+        for &v in self.mem.as_slice() {
+            fold(v.to_bits());
+        }
+        for &v in &self.mem_ts {
+            fold(v.to_bits());
+        }
+        for &v in self.mail.as_slice() {
+            fold(v.to_bits());
+        }
+        for &v in &self.mail_ts {
+            fold(v.to_bits());
+        }
+        h
     }
 
     /// Direct access to the full memory matrix (evaluation sweeps).
@@ -214,5 +423,104 @@ mod tests {
     fn write_width_mismatch_panics() {
         let mut s = MemoryState::new(3, 2, 2);
         s.write(&write_of(vec![0], 3, 2, 1.0, 0.0));
+    }
+
+    #[test]
+    fn versions_track_writes_per_node() {
+        let mut s = MemoryState::new(4, 1, 1);
+        assert_eq!(s.version(), 0);
+        s.write(&write_of(vec![0, 2], 1, 1, 1.0, 1.0));
+        s.write(&write_of(vec![2], 1, 1, 2.0, 2.0));
+        let vr = s.read_versioned(&[0, 1, 2]);
+        assert_eq!(vr.versions, vec![1, 0, 2]);
+        assert_eq!(s.version(), 2);
+        assert_eq!(vr.readout.mem.get(2, 0), 2.0);
+    }
+
+    #[test]
+    fn delta_since_returns_exactly_rewritten_rows() {
+        let mut s = MemoryState::new(6, 2, 2);
+        s.write(&write_of(vec![0, 1, 2], 2, 2, 1.0, 1.0));
+        let nodes = [0u32, 3, 1, 5];
+        let tagged = s.read_versioned(&nodes);
+        // Rewrite node 1 and (newly) node 5.
+        s.write(&write_of(vec![1, 5], 2, 2, 9.0, 9.0));
+        let d = s.delta_since(&nodes, &tagged.versions);
+        assert_eq!(d.rows, vec![2, 3]);
+        assert_eq!(d.mem.row(0), &[9.0, 9.0]);
+        // Applying the delta reproduces a serialized read bit for bit.
+        let mut patched = tagged.readout.clone();
+        assert_eq!(d.apply(&mut patched), 2);
+        let serialized = s.read(&nodes);
+        assert_eq!(patched.mem, serialized.mem);
+        assert_eq!(patched.mail, serialized.mail);
+        assert_eq!(patched.mem_ts, serialized.mem_ts);
+        assert_eq!(patched.mail_ts, serialized.mail_ts);
+    }
+
+    #[test]
+    fn repair_since_matches_delta_apply() {
+        let mut s = MemoryState::new(6, 2, 3);
+        s.write(&write_of(vec![0, 1, 2, 4], 2, 3, 1.0, 1.0));
+        let nodes = [4u32, 0, 5, 1];
+        let tagged = s.read_versioned(&nodes);
+        s.write(&write_of(vec![1, 5, 3], 2, 3, 8.0, 8.0));
+
+        let mut via_delta = tagged.readout.clone();
+        let d = s.delta_since(&nodes, &tagged.versions);
+        let n_delta = d.apply(&mut via_delta);
+
+        let mut via_repair = tagged.readout.clone();
+        let n_repair = s.repair_since(&nodes, &tagged.versions, &mut via_repair);
+
+        assert_eq!(n_delta, n_repair);
+        assert_eq!(via_delta.mem, via_repair.mem);
+        assert_eq!(via_delta.mail, via_repair.mail);
+        assert_eq!(via_delta.mem_ts, via_repair.mem_ts);
+        assert_eq!(via_delta.mail_ts, via_repair.mail_ts);
+        assert_eq!(via_repair.mem, s.read(&nodes).mem);
+    }
+
+    #[test]
+    fn reset_invalidates_all_tagged_rows() {
+        let mut s = MemoryState::new(3, 1, 1);
+        s.write(&write_of(vec![0], 1, 1, 4.0, 1.0));
+        let nodes = [0u32, 1];
+        let tagged = s.read_versioned(&nodes);
+        s.reset();
+        let d = s.delta_since(&nodes, &tagged.versions);
+        assert_eq!(d.rows, vec![0, 1], "reset rewrites every node");
+        let mut patched = tagged.readout.clone();
+        d.apply(&mut patched);
+        assert!(patched.mem.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn read_into_reuses_buffers_and_matches_read() {
+        let mut s = MemoryState::new(8, 3, 2);
+        s.write(&write_of(vec![1, 4, 6], 3, 2, 0.25, 2.0));
+        let mut scratch = MemoryReadout::default();
+        s.read_into(&[4, 0, 6, 6], &mut scratch);
+        let fresh = s.read(&[4, 0, 6, 6]);
+        assert_eq!(scratch.mem, fresh.mem);
+        assert_eq!(scratch.mail_ts, fresh.mail_ts);
+        // Reuse with a different shape: contents must still match.
+        s.read_into(&[1], &mut scratch);
+        assert_eq!(scratch.mem, s.read(&[1]).mem);
+        assert_eq!(scratch.mem_ts.len(), 1);
+    }
+
+    #[test]
+    fn checksum_reflects_contents_not_versions() {
+        let mut a = MemoryState::new(5, 2, 2);
+        let mut b = MemoryState::new(5, 2, 2);
+        assert_eq!(a.checksum(), b.checksum());
+        a.write(&write_of(vec![1], 2, 2, 1.0, 1.0));
+        assert_ne!(a.checksum(), b.checksum());
+        // Same contents via a different write history (extra redundant
+        // write bumps versions but not contents).
+        b.write(&write_of(vec![1], 2, 2, 1.0, 1.0));
+        b.write(&write_of(vec![1], 2, 2, 1.0, 1.0));
+        assert_eq!(a.checksum(), b.checksum());
     }
 }

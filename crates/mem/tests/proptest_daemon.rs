@@ -2,7 +2,7 @@
 //! equivalent to a sequential replay of the same serialized request
 //! order, for arbitrary write contents and (i, j) group shapes.
 
-use disttgl_mem::{MemoryDaemon, MemoryState, MemoryWrite};
+use disttgl_mem::{MemoryDaemon, MemoryState, MemoryWrite, VersionedReadout};
 use disttgl_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -119,6 +119,51 @@ proptest! {
             client.write(write_of(step, d_mem, mail_dim));
         }
         let _ = daemon.join();
+    }
+
+    /// Speculative read + delta + patch ≡ the serialized read it
+    /// replaces, for arbitrary write scripts and read sets — the
+    /// version-vector contract, exercised through the daemon protocol
+    /// (speculations pinned pre-write for a maximal staleness window).
+    #[test]
+    fn speculation_plus_delta_equals_serialized_read(
+        script in steps(10, 6),
+        read_set in proptest::collection::vec(0u32..6, 1..5),
+    ) {
+        let (d_mem, mail_dim, nodes) = (2usize, 3usize, 6usize);
+        let daemon = MemoryDaemon::spawn(
+            MemoryState::new(nodes, d_mem, mail_dim), 1, 1, script.len(), 1,
+        );
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(nodes, d_mem, mail_dim);
+        reference.reset(); // mirror the daemon's epoch-start reset
+        let mut tagged: Option<VersionedReadout> = None;
+        for step in &script {
+            match tagged.take() {
+                None => { let _ = client.read(&read_set); }
+                Some(tagged) => {
+                    let d = client.read_delta(&read_set, &tagged.versions);
+                    let mut patched = tagged.readout;
+                    d.apply(&mut patched);
+                    let want = reference.read(&read_set);
+                    prop_assert_eq!(patched.mem, want.mem);
+                    prop_assert_eq!(patched.mail, want.mail);
+                    prop_assert_eq!(patched.mem_ts, want.mem_ts);
+                    prop_assert_eq!(patched.mail_ts, want.mail_ts);
+                }
+            }
+            // Speculate for the next turn, collected before this
+            // turn's write posts (guaranteed stale window).
+            client.speculate_read(&read_set, VersionedReadout::default());
+            tagged = Some(client.take_speculation());
+            client.write(write_of(step, d_mem, mail_dim));
+            reference.write(&write_of(step, d_mem, mail_dim));
+        }
+        // The final collected speculation is simply dropped unused.
+        let (state, stats) = daemon.join();
+        let all: Vec<u32> = (0..nodes as u32).collect();
+        prop_assert_eq!(state.read(&all).mem, reference.read(&all).mem);
+        prop_assert_eq!(stats.delta_reads_served as usize, script.len() - 1);
     }
 
     /// Epoch resets zero the state between epochs for any script.

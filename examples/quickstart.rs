@@ -59,6 +59,14 @@ fn main() {
         dist.daemon_rows_read, dist.daemon_rows_written
     );
     println!(
+        "               speculative overlap: {} spec reads ({} rows gathered off-turn), {} delta turns repaired {} stale rows ({:.1}% of speculated)",
+        dist.daemon_spec_reads,
+        dist.daemon_spec_rows,
+        dist.daemon_delta_reads,
+        dist.daemon_delta_rows,
+        100.0 * dist.daemon_delta_rows as f64 / dist.daemon_spec_rows.max(1) as f64
+    );
+    println!(
         "               weight sync: {} bytes, modeled wire time {:.3} ms",
         dist.comm_bytes,
         dist.comm_modeled_nanos as f64 / 1e6

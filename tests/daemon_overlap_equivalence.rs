@@ -1,0 +1,129 @@
+//! The speculative daemon-overlap protocol (`TrainConfig::
+//! speculative_gather`, default on) must be *numerically invisible*:
+//! a distributed run whose lanes gather early and repair via deltas
+//! produces the same losses, the same metrics, and the same final
+//! node memory as the serialized oracle that reads everything in its
+//! Acquire turn. The version contract makes the patched block
+//! bit-identical to a serialized read, so every comparison here is
+//! exact — any divergence is a protocol bug, not noise.
+
+use disttgl::cluster::ClusterSpec;
+use disttgl::core::{train_distributed, ModelConfig, ParallelConfig, RunResult, TrainConfig};
+use disttgl::data::generators;
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+fn cfg_for(parallel: ParallelConfig, epochs: usize, seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::new(parallel);
+    cfg.local_batch = 50;
+    cfg.epochs = epochs;
+    cfg.eval_negs = 9;
+    cfg.eval_every_epoch = true;
+    cfg.seed = seed;
+    cfg.base_lr = 1.2e-2;
+    cfg
+}
+
+fn assert_bit_identical(on: &RunResult, off: &RunResult) {
+    assert!(!on.loss_history.is_empty());
+    assert_eq!(on.loss_history, off.loss_history, "loss history diverged");
+    assert_eq!(on.test_metric, off.test_metric, "test metric diverged");
+    assert_eq!(on.convergence.len(), off.convergence.len());
+    for (a, b) in on.convergence.iter().zip(&off.convergence) {
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.metric, b.metric, "validation metric diverged");
+    }
+    // Final node memory, per replica: content digests must match bit
+    // for bit (the checksum folds raw f32 bit patterns).
+    assert_eq!(
+        on.memory_checksums, off.memory_checksums,
+        "final node memory diverged"
+    );
+    // Logical read/write volume through the daemons is invariant (a
+    // delta read accounts for its full request).
+    assert_eq!(on.daemon_rows_read, off.daemon_rows_read);
+    assert_eq!(on.daemon_rows_written, off.daemon_rows_written);
+}
+
+/// Link prediction, epoch parallelism (j = 2): the continue passes are
+/// exactly the speculation window the protocol targets.
+#[test]
+fn speculative_gather_matches_serialized_link_prediction() {
+    let d = generators::wikipedia(0.005, 311);
+    let mc = tiny_model(d.edge_features.cols());
+    let mut cfg = cfg_for(ParallelConfig::new(1, 2, 1), 4, 311);
+
+    assert!(cfg.speculative_gather, "speculation is the default");
+    let on = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    cfg.speculative_gather = false;
+    let off = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+
+    assert_bit_identical(&on, &off);
+    // The speculative run must actually have speculated (j = 2 gives
+    // every lane a full continue-pass window).
+    assert!(on.daemon_spec_reads > 0, "no speculations served");
+    assert_eq!(off.daemon_spec_reads, 0);
+    assert_eq!(off.daemon_delta_reads, 0);
+}
+
+/// Edge classification (no negative store — the empty-negatives code
+/// path), with mini-batch parallelism in the mix.
+#[test]
+fn speculative_gather_matches_serialized_edge_classification() {
+    let d = generators::gdelt(2.0e-5, 312);
+    let mc = tiny_model(d.edge_features.cols()).with_classes(d.num_classes());
+    let mut cfg = cfg_for(ParallelConfig::new(2, 2, 1), 4, 312);
+
+    let on = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+    cfg.speculative_gather = false;
+    let off = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 4));
+
+    assert_bit_identical(&on, &off);
+    assert!(on.daemon_spec_reads > 0, "no speculations served");
+}
+
+/// The speculative run must also equal the fully serialized oracle
+/// (prefetch off entirely), across all three parallelism axes at once
+/// — including multiple memory replicas, whose checksums are compared
+/// replica by replica.
+#[test]
+fn speculative_gather_matches_full_oracle_ijk() {
+    let d = generators::wikipedia(0.006, 313);
+    let mc = tiny_model(d.edge_features.cols());
+    let mut cfg = cfg_for(ParallelConfig::new(2, 2, 2), 8, 313);
+
+    let on = train_distributed(&d, &mc, &cfg, ClusterSpec::new(2, 4));
+    assert_eq!(on.memory_checksums.len(), 2, "one digest per replica");
+    cfg.pipeline_prefetch = false; // implies no speculation either
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(2, 4));
+
+    assert_bit_identical(&on, &oracle);
+}
+
+/// Deltas ship at most what speculation gathered, and the measured
+/// stale fraction is sane (the protocol's accounting invariants).
+#[test]
+fn delta_accounting_is_consistent() {
+    let d = generators::wikipedia(0.005, 314);
+    let mc = tiny_model(d.edge_features.cols());
+    let cfg = cfg_for(ParallelConfig::new(1, 2, 1), 4, 314);
+
+    let run = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(run.daemon_spec_reads > 0);
+    assert_eq!(
+        run.daemon_spec_reads, run.daemon_delta_reads,
+        "every speculation is consumed by exactly one delta"
+    );
+    assert!(run.daemon_delta_rows <= run.daemon_spec_rows);
+    // Speculative gathers happen off-turn; the serialized turns saw
+    // the same logical volume as ever.
+    assert!(run.daemon_rows_read >= run.daemon_spec_rows);
+}

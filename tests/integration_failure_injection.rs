@@ -9,7 +9,7 @@ use disttgl::core::{
 };
 use disttgl::data::generators;
 use disttgl::graph::TCsr;
-use disttgl::mem::{MemoryDaemon, MemoryState};
+use disttgl::mem::{MemoryDaemon, MemoryState, MemoryWrite, VersionedReadout};
 use disttgl::tensor::{seeded_rng, Matrix};
 
 fn tiny_model(d_edge: usize) -> ModelConfig {
@@ -44,6 +44,76 @@ fn client_read_panics_on_shutdown() {
     std::thread::sleep(std::time::Duration::from_millis(50));
     daemon.shutdown();
     assert!(handle.join().unwrap(), "client should panic, not hang");
+}
+
+/// A lane killed mid-speculation (posts a speculative gather, never
+/// collects it, never takes its serialized turns again) must not
+/// corrupt the version vector for surviving lanes: every serialized
+/// read they complete stays consistent with a sequential replay, and
+/// shutdown stays clean — a loud stop, not a hang or silent skew.
+#[test]
+fn lane_killed_mid_speculation_keeps_survivors_consistent() {
+    fn write_of(nodes: Vec<u32>, fill: f32, ts: f32) -> MemoryWrite {
+        let n = nodes.len();
+        MemoryWrite {
+            nodes,
+            mem: Matrix::full(n, 1, fill),
+            mem_ts: vec![ts; n],
+            mail: Matrix::full(n, 1, fill * 2.0),
+            mail_ts: vec![ts; n],
+        }
+    }
+
+    // i = 1, j = 2: turn order R0 W0 R1 W1 R0 W0 …
+    let daemon = MemoryDaemon::spawn(MemoryState::new(8, 1, 1), 1, 2, 6, 1);
+    let c0 = daemon.client(0);
+    let c1 = daemon.client(1);
+    let mut reference = MemoryState::new(8, 1, 1);
+    reference.reset(); // mirror the daemon's epoch-start reset
+    let nodes: Vec<u32> = vec![0, 2, 4];
+
+    // Turn 0 (rank 0): healthy speculative cycle for its next turn.
+    let vr0 = c0.read_versioned(&nodes);
+    assert_eq!(vr0.versions, reference.read_versioned(&nodes).versions);
+    c0.speculate_read(&nodes, VersionedReadout::default());
+    let tagged = c0.take_speculation();
+    c0.write(write_of(vec![0], 1.0, 1.0));
+    reference.write(&write_of(vec![0], 1.0, 1.0));
+
+    // Turn 1 (rank 1): completes one healthy turn, then "dies" after
+    // posting a speculation it will never collect.
+    let r1 = c1.read(&nodes);
+    assert_eq!(r1.mem, reference.read(&nodes).mem);
+    c1.write(write_of(vec![2], 3.0, 2.0));
+    reference.write(&write_of(vec![2], 3.0, 2.0));
+    c1.speculate_read(&nodes, VersionedReadout::default());
+    drop(c1); // the kill: speculation outstanding, no more turns
+
+    // Turn 2 (rank 0, the survivor): its delta against the tagged
+    // speculation must repair to exactly the serialized answer — the
+    // dead lane's orphaned speculation didn't disturb the versions.
+    let d = c0.read_delta(&nodes, &tagged.versions);
+    assert!(!d.is_empty(), "both intervening writes hit the read set");
+    let mut patched = tagged.readout;
+    d.apply(&mut patched);
+    let want = reference.read(&nodes);
+    assert_eq!(patched.mem, want.mem);
+    assert_eq!(patched.mem_ts, want.mem_ts);
+    assert_eq!(patched.mail, want.mail);
+    c0.write(write_of(vec![4], 5.0, 3.0));
+    reference.write(&write_of(vec![4], 5.0, 3.0));
+
+    // Turn 3 belongs to the dead rank: the daemon can only spin there.
+    // Shutdown must unblock everything without corrupting the state
+    // the survivors produced.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    daemon.shutdown();
+    let (state, stats) = daemon.join();
+    assert_eq!(state.read(&nodes).mem, reference.read(&nodes).mem);
+    assert!(stats.reads_served >= 3);
+    // The orphaned speculation was served (the daemon answers specs
+    // while spinning) or the shutdown cut it off — either way no hang.
+    assert!(stats.spec_reads_served <= 2);
 }
 
 /// Corrupting node memory with NaN must surface in the model's
