@@ -69,7 +69,7 @@ fn measure_sweep(d: &Dataset, mc: &ModelConfig, batch: usize, train_end: usize) 
     let prep = BatchPreparer::new(d, &csr, mc);
     let store = NegativeStore::generate(&d.graph, train_end, 2, 1, 3);
     let mut rng = seeded_rng(97);
-    let mut model = TgnModel::new(*mc, &mut rng);
+    let mut model = TgnModel::new(mc.clone(), &mut rng);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
 
     let mut r = SweepResult {

@@ -44,11 +44,11 @@ fn mid_stream_batches(
     warm_batches: usize,
 ) -> (PreparedBatch, PreparedBatch) {
     let csr = TCsr::build(&d.graph);
-    let mc_occ = mc.without_dedup_readout();
+    let mc_occ = mc.clone().without_dedup_readout();
     let prep_fold = BatchPreparer::new(d, &csr, mc);
     let prep_occ = BatchPreparer::new(d, &csr, &mc_occ);
     let mut rng = seeded_rng(97);
-    let model = TgnModel::new(*mc, &mut rng);
+    let model = TgnModel::new(mc.clone(), &mut rng);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     for i in 0..warm_batches {
         let b = prep_fold.prepare(i * batch..(i + 1) * batch, &[], 1, &mut mem);
@@ -161,10 +161,13 @@ fn main() {
         let negs = store.slice(0, range.clone());
         let b = prep.prepare(range, &[negs], 1, &mut mem);
         for (uniq, occ) in [
-            (&b.pos.uniq, b.pos.roots.len() + b.pos.nbrs.nbrs.len()),
+            (
+                &b.pos.uniq,
+                disttgl_core::occurrence_rows(b.pos.roots.len(), &b.pos.hops),
+            ),
             (
                 &b.negs[0].uniq,
-                b.negs[0].negs.len() + b.negs[0].nbrs.nbrs.len(),
+                disttgl_core::occurrence_rows(b.negs[0].negs.len(), &b.negs[0].hops),
             ),
         ] {
             occ_total += occ;
@@ -188,7 +191,7 @@ fn main() {
 
     // Inline forward bit-identity check on the same batch.
     let mut rng = seeded_rng(5);
-    let model = TgnModel::new(mc, &mut rng);
+    let model = TgnModel::new(mc.clone(), &mut rng);
     let out_f = model.infer_step(&folded_batch.pos, None, None);
     let out_o = model.infer_step(&oracle_batch.pos, None, None);
     let bit_identical = out_f.write.mem == out_o.write.mem && out_f.write.mail == out_o.write.mail;
@@ -216,7 +219,7 @@ fn main() {
         best.expect("at least one run")
     };
     let on = run(&mc);
-    let off = run(&mc.without_dedup_readout());
+    let off = run(&mc.clone().without_dedup_readout());
     let e2e_speedup = on.throughput_events_per_sec / off.throughput_events_per_sec.max(1e-9);
     let metric_delta = (on.test_metric - off.test_metric).abs();
     println!(

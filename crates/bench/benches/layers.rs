@@ -1,0 +1,181 @@
+//! 1- vs 2-layer embedding-stack costs on the Table-2-analog shape
+//! (Wikipedia analog, local batch 600, hop-0 fanout 10).
+//!
+//! Measurements landing in `BENCH_layers.json`:
+//!
+//! 1. **Union-frontier fold factor** — occurrence rows vs unique
+//!    gathered rows per batch, at depth 1 and depth 2. The 2-layer
+//!    frontier has `1 + k₀ + k₀·k₁` occurrences per root, but one
+//!    memory gather per batch still covers all of it (the union
+//!    contract of `core::batch`), and recurrence makes the fold factor
+//!    *grow* with depth.
+//! 2. **Per-layer stage costs** — `TimingBreakdown::embed_layer_secs`
+//!    from real training runs: how the embed stack splits between
+//!    layer 0 and layer 1.
+//! 3. **End-to-end throughput** — `train_single` events/s at 1 vs 2
+//!    layers (the price of the deeper model on this harness).
+//! 4. **2-layer distributed reproducibility** — two identical `1×1×2`
+//!    daemon runs must match bit for bit (losses, metric, per-replica
+//!    memory digests), speculation on.
+//!
+//! Run: `cargo bench -p disttgl-bench --bench layers`
+
+use disttgl_cluster::ClusterSpec;
+use disttgl_core::{
+    occurrence_rows, train_distributed, train_single, BatchPreparer, MemoryAccess, ModelConfig,
+    ParallelConfig, RunResult, TrainConfig,
+};
+use disttgl_data::{generators, Dataset, NegativeStore};
+use disttgl_graph::{batching, TCsr};
+use disttgl_mem::MemoryState;
+use std::io::Write;
+
+/// Occurrence and unique row totals of a full training sweep at the
+/// given stack config (positive parts only — the negatives fold the
+/// same way).
+fn fold_stats(d: &Dataset, mc: &ModelConfig, batch: usize) -> (usize, usize) {
+    let csr = TCsr::build(&d.graph);
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    let prep = BatchPreparer::new(d, &csr, mc);
+    let store = NegativeStore::generate(&d.graph, train_end, 2, 1, 3);
+    let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    let model = disttgl_core::TgnModel::new(mc.clone(), &mut disttgl_tensor::seeded_rng(1));
+    let (mut occ, mut uniq) = (0usize, 0usize);
+    for range in batching::chronological_batches(0..train_end, batch) {
+        let negs = store.slice(0, range.clone());
+        let b = prep.prepare(range, &[negs], 1, &mut mem);
+        occ += occurrence_rows(b.pos.roots.len(), &b.pos.hops);
+        uniq += b.pos.uniq.as_ref().expect("dedup on").num_unique();
+        // Advance memory realistically so later batches carry mails.
+        let step = model.infer_step(&b.pos, None, None);
+        MemoryAccess::write(&mut mem, step.write);
+    }
+    (occ, uniq)
+}
+
+fn train_cfg(batch: usize, epochs: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = batch;
+    cfg.epochs = epochs;
+    cfg.eval_every_epoch = false;
+    cfg.seed = 7;
+    cfg
+}
+
+/// Best-of-2 `train_single` by throughput.
+fn best_run(d: &Dataset, mc: &ModelConfig, cfg: &TrainConfig) -> RunResult {
+    let mut best: Option<RunResult> = None;
+    for _ in 0..2 {
+        let r = train_single(d, mc, cfg);
+        if best
+            .as_ref()
+            .map(|b| r.throughput_events_per_sec > b.throughput_events_per_sec)
+            .unwrap_or(true)
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn json_secs(v: &[f64]) -> String {
+    let parts: Vec<String> = v.iter().map(|s| format!("{:.4}", s * 1e3)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn main() {
+    // Table-2-analog workload at a size the 2-hop frontier tolerates
+    // on CPU: ~5k events, 172-dim edge features, local batch 600.
+    let d = generators::wikipedia(0.03, 2024);
+    let batch = 600usize;
+    let one = {
+        let mut mc = ModelConfig::compact(d.edge_features.cols());
+        mc.static_memory = false;
+        mc
+    };
+    let two = one.clone().with_fanouts(vec![10, 5]);
+    println!(
+        "layers bench: {} ({} events), batch {batch}, fanouts 1-layer [10] / 2-layer [10, 5]",
+        d.name,
+        d.graph.num_events()
+    );
+
+    // 1. Union-frontier fold factors.
+    let (occ1, uniq1) = fold_stats(&d, &one, batch);
+    let (occ2, uniq2) = fold_stats(&d, &two, batch);
+    let fold1 = occ1 as f64 / uniq1.max(1) as f64;
+    let fold2 = occ2 as f64 / uniq2.max(1) as f64;
+    println!(
+        "fold factor: 1-layer {occ1} occ -> {uniq1} unique ({fold1:.1}x) | 2-layer {occ2} occ -> {uniq2} unique ({fold2:.1}x)"
+    );
+
+    // 2 + 3. Per-layer stage costs and end-to-end throughput.
+    let cfg = train_cfg(batch, 2);
+    let r1 = best_run(&d, &one, &cfg);
+    let r2 = best_run(&d, &two, &cfg);
+    let ratio = r1.throughput_events_per_sec / r2.throughput_events_per_sec.max(1e-9);
+    println!(
+        "throughput: 1-layer {:.0} events/s | 2-layer {:.0} events/s ({ratio:.2}x cost of depth)",
+        r1.throughput_events_per_sec, r2.throughput_events_per_sec
+    );
+    println!(
+        "embed split: 1-layer {} ms | 2-layer {} ms (of {:.0} / {:.0} ms compute)",
+        json_secs(&r1.timing.embed_layer_secs),
+        json_secs(&r2.timing.embed_layer_secs),
+        r1.timing.compute_secs * 1e3,
+        r2.timing.compute_secs * 1e3
+    );
+
+    // 4. 2-layer distributed bit-reproducibility (1×1×2, speculation
+    // on by default).
+    let mut dcfg = TrainConfig::new(ParallelConfig::new(1, 1, 2));
+    dcfg.local_batch = 300;
+    dcfg.epochs = 2;
+    dcfg.eval_every_epoch = false;
+    dcfg.eval_max_events = 600;
+    dcfg.seed = 9;
+    let da = train_distributed(&d, &two, &dcfg, ClusterSpec::new(1, 2));
+    let db = train_distributed(&d, &two, &dcfg, ClusterSpec::new(1, 2));
+    let reproducible = da.loss_history == db.loss_history
+        && da.test_metric == db.test_metric
+        && da.memory_checksums == db.memory_checksums;
+    println!(
+        "2-layer distributed reruns bit-identical: {reproducible} (spec reads {})",
+        da.daemon_spec_reads
+    );
+    assert!(
+        reproducible,
+        "2-layer distributed run must be deterministic"
+    );
+
+    let record = format!(
+        "{{\"bench\":\"layers\",\"dataset\":\"{}\",\"events\":{},\"local_batch\":{},\
+         \"fanouts_1layer\":[10],\"fanouts_2layer\":[10,5],\
+         \"fold_occurrence_rows_1layer\":{occ1},\"fold_unique_rows_1layer\":{uniq1},\
+         \"fold_factor_1layer\":{fold1:.4},\
+         \"fold_occurrence_rows_2layer\":{occ2},\"fold_unique_rows_2layer\":{uniq2},\
+         \"fold_factor_2layer\":{fold2:.4},\
+         \"embed_layer_ms_1layer\":{},\"embed_layer_ms_2layer\":{},\
+         \"compute_ms_1layer\":{:.3},\"compute_ms_2layer\":{:.3},\
+         \"throughput_1layer_events_per_sec\":{:.1},\
+         \"throughput_2layer_events_per_sec\":{:.1},\
+         \"depth_cost_ratio\":{ratio:.4},\
+         \"distributed_2layer_bit_reproducible\":{reproducible},\
+         \"distributed_2layer_spec_reads\":{}}}\n",
+        d.name,
+        d.graph.num_events(),
+        batch,
+        json_secs(&r1.timing.embed_layer_secs),
+        json_secs(&r2.timing.embed_layer_secs),
+        r1.timing.compute_secs * 1e3,
+        r2.timing.compute_secs * 1e3,
+        r1.throughput_events_per_sec,
+        r2.throughput_events_per_sec,
+        da.daemon_spec_reads,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_layers.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(record.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -125,7 +125,7 @@ fn bench_train_step(c: &mut Criterion) {
     let csr = TCsr::build(&d.graph);
     let mc = ModelConfig::compact(d.edge_features.cols());
     let mut rng = seeded_rng(6);
-    let mut model = TgnModel::new(mc, &mut rng);
+    let mut model = TgnModel::new(mc.clone(), &mut rng);
     let prep = BatchPreparer::new(&d, &csr, &mc);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     let store = NegativeStore::generate(&d.graph, 600, 1, 1, 7);

@@ -98,7 +98,7 @@ fn measure_phases(d: &Dataset, mc: &ModelConfig, cfg: &TrainConfig) -> Phases {
     let prep = BatchPreparer::new(d, &csr, mc);
     let store = NegativeStore::generate(&d.graph, train_end, cfg.neg_groups, cfg.train_negs, 3);
     let mut rng = seeded_rng(cfg.seed);
-    let mut model = TgnModel::new(*mc, &mut rng);
+    let mut model = TgnModel::new(mc.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     let batches = batching::chronological_batches(0..train_end, cfg.local_batch);

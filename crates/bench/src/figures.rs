@@ -94,7 +94,7 @@ pub fn fig01_convergence(scale: &Scale) {
     // TGN baseline (1 GPU, naive pipeline, no static memory).
     let mut cfg = train_cfg(scale, ParallelConfig::single());
     cfg.epochs = scale.epochs / 2; // TGN is slow; half budget suffices for the curve
-    let tgn = baseline::train_tgn(&d, &mc.without_static_memory(), &cfg);
+    let tgn = baseline::train_tgn(&d, &mc.clone().without_static_memory(), &cfg);
     rows.push(vec![
         "TGN (1 GPU)".into(),
         format!("{}", tgn.loss_history.len()),
@@ -187,7 +187,7 @@ pub fn fig02b_memsync(scale: &Scale) {
         // that motivates the paper, so measure the per-occurrence
         // layout — the default deduplicated readout would undercount
         // the baseline's read volume ~38×.
-        let mc_occ = mc.without_dedup_readout();
+        let mc_occ = mc.clone().without_dedup_readout();
         let prep = disttgl_core::BatchPreparer::new(&d, &csr, &mc_occ);
         let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
         for range in disttgl_graph::batching::chronological_batches(0..train_end, scale.local_batch)
@@ -252,7 +252,7 @@ pub fn fig05_static_vs_dynamic(scale: &Scale) {
         c
     };
     let mut rng = seeded_rng(cfg.seed);
-    let mut model = TgnModel::new(mc, &mut rng);
+    let mut model = TgnModel::new(mc.clone(), &mut rng);
     {
         let mut adam = model.optimizer(cfg.scaled_lr());
         let prep = disttgl_core::BatchPreparer::new(&d, &csr, &mc);
@@ -647,8 +647,8 @@ pub fn fig12b_per_gpu(scale: &Scale) {
     let mut cfg = train_cfg(scale, ParallelConfig::single());
     cfg.epochs = 2;
     cfg.eval_every_epoch = false;
-    let tgn_real = baseline::train_tgn(&d, &mc.without_static_memory(), &cfg);
-    let fast_real = train_single(&d, &mc.without_static_memory(), &cfg);
+    let tgn_real = baseline::train_tgn(&d, &mc.clone().without_static_memory(), &cfg);
+    let fast_real = train_single(&d, &mc.clone().without_static_memory(), &cfg);
     // Compare pure per-iteration training time (prep + compute), not
     // wall time — final-test evaluation would otherwise dominate both.
     let tgn_iter = (tgn_real.timing.prep_secs + tgn_real.timing.compute_secs)

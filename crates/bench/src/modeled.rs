@@ -43,7 +43,7 @@ pub fn calibrate(dataset: &Dataset, model_cfg: &ModelConfig, local_batch: usize)
 
     let csr = TCsr::build(&dataset.graph);
     let mut rng = seeded_rng(7);
-    let mut model = TgnModel::new(*model_cfg, &mut rng);
+    let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(1e-3);
     let prep = BatchPreparer::new(dataset, &csr, model_cfg);
     let mut mem = MemoryState::new(

@@ -52,7 +52,11 @@ fn naive_prepare(
 ) -> PreparedBatch {
     let events = &dataset.graph.events()[range];
     let b = events.len();
-    let k = cfg.n_neighbors;
+    assert_eq!(
+        cfg.n_layers, 1,
+        "the TGN baseline emulates the original single-layer pipeline"
+    );
+    let k = cfg.fanouts()[0];
     let sampler = RecentNeighborSampler::new(k);
     let d_e = dataset.edge_features.cols();
 
@@ -69,6 +73,7 @@ fn naive_prepare(
         nbrs: vec![0; roots.len() * k],
         eids: vec![0; roots.len() * k],
         dts: vec![0.0; roots.len() * k],
+        ts: vec![0.0; roots.len() * k],
         counts: vec![0; roots.len()],
     };
     let mut readouts: Vec<MemoryReadout> = Vec::with_capacity(roots.len());
@@ -79,6 +84,7 @@ fn naive_prepare(
             nbrs.nbrs[r * k + s] = block.nbrs[s];
             nbrs.eids[r * k + s] = block.eids[s];
             nbrs.dts[r * k + s] = block.dts[s];
+            nbrs.ts[r * k + s] = block.ts[s];
         }
         // One memory access per root + its slots (vs one global read).
         let mut wanted = vec![root];
@@ -92,6 +98,7 @@ fn naive_prepare(
         nbrs: vec![0; negs.len() * k],
         eids: vec![0; negs.len() * k],
         dts: vec![0.0; negs.len() * k],
+        ts: vec![0.0; negs.len() * k],
         counts: vec![0; negs.len()],
     };
     for (r, &neg) in negs.iter().enumerate() {
@@ -102,6 +109,7 @@ fn naive_prepare(
             neg_nbrs.nbrs[r * k + s] = block.nbrs[s];
             neg_nbrs.eids[r * k + s] = block.eids[s];
             neg_nbrs.dts[r * k + s] = block.dts[s];
+            neg_nbrs.ts[r * k + s] = block.ts[s];
         }
         let mut wanted = vec![neg];
         wanted.extend_from_slice(&block.nbrs);
@@ -152,7 +160,7 @@ fn naive_prepare(
     });
     let pos = PositivePart {
         event_feats: edge_rows(&eids),
-        nbr_feats: edge_rows(&nbrs.eids),
+        nbr_feats: vec![edge_rows(&nbrs.eids)],
         srcs: events.iter().map(|e| e.src).collect(),
         dsts: events.iter().map(|e| e.dst).collect(),
         times: events.iter().map(|e| e.t).collect(),
@@ -163,7 +171,7 @@ fn naive_prepare(
         uniq: None,
         roots,
         root_times: times,
-        nbrs,
+        hops: vec![nbrs],
         labels,
     };
     let neg_part = if negs.is_empty() {
@@ -171,12 +179,12 @@ fn naive_prepare(
     } else {
         let neg_times: Vec<f32> = (0..negs.len()).map(|r| events[r % b].t).collect();
         vec![NegativePart {
-            nbr_feats: edge_rows(&neg_nbrs.eids),
+            nbr_feats: vec![edge_rows(&neg_nbrs.eids)],
             negs: negs.to_vec(),
             times: neg_times,
             readout: ReadoutView::whole(stitch(&neg_readouts, negs.len())),
             uniq: None,
-            nbrs: neg_nbrs,
+            hops: vec![neg_nbrs],
         }]
     };
     PreparedBatch {
@@ -191,7 +199,7 @@ pub fn train_tgn(dataset: &Dataset, model_cfg: &ModelConfig, cfg: &TrainConfig) 
     let csr = TCsr::build(&dataset.graph);
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
     let mut rng = seeded_rng(cfg.seed);
-    let mut model = TgnModel::new(*model_cfg, &mut rng);
+    let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
     let static_mem: Option<StaticMemory> = None; // vanilla TGN has none
     let neg_rng_range = negative_range(&dataset.graph);
@@ -324,11 +332,11 @@ pub fn train_tgl(
         let barrier = Arc::clone(&barrier);
         let comm = comm_group.communicator(rank);
         let batches = batches.clone();
-        let model_cfg = *model_cfg;
+        let model_cfg = model_cfg.clone();
         let cfg = cfg.clone();
         handles.push(std::thread::spawn(move || {
             let mut rng = seeded_rng(cfg.seed);
-            let mut model = TgnModel::new(model_cfg, &mut rng);
+            let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
             let mut adam = model.optimizer(cfg.scaled_lr());
             let prep = BatchPreparer::new(&dataset, &csr, &model_cfg);
             let mut losses = Vec::new();
@@ -425,21 +433,21 @@ mod tests {
 
         // Compare against the per-occurrence layout (the naive path
         // emulates the pre-dedup pipeline).
-        let mc_occ = mc.without_dedup_readout();
+        let mc_occ = mc.clone().without_dedup_readout();
         let fast =
             BatchPreparer::new(&d, &csr, &mc_occ).prepare(64..96, &[&negs], 1, &mut mem.clone());
         let slow = naive_prepare(&d, &csr, &mc, 64..96, &negs, &mut mem);
         let (fast_pos, slow_pos) = (fast.pos.readout.to_readout(), slow.pos.readout.to_readout());
         assert_eq!(fast_pos.mem, slow_pos.mem);
         assert_eq!(fast_pos.mail_ts, slow_pos.mail_ts);
-        assert_eq!(fast.pos.nbrs.nbrs, slow.pos.nbrs.nbrs);
-        assert_eq!(fast.pos.nbrs.counts, slow.pos.nbrs.counts);
+        assert_eq!(fast.pos.nbrs().nbrs, slow.pos.nbrs().nbrs);
+        assert_eq!(fast.pos.nbrs().counts, slow.pos.nbrs().counts);
         assert_eq!(fast.pos.nbr_feats, slow.pos.nbr_feats);
         assert_eq!(
             fast.negs[0].readout.to_readout().mem,
             slow.negs[0].readout.to_readout().mem
         );
-        assert_eq!(fast.negs[0].nbrs.nbrs, slow.negs[0].nbrs.nbrs);
+        assert_eq!(fast.negs[0].nbrs().nbrs, slow.negs[0].nbrs().nbrs);
     }
 
     #[test]

@@ -8,20 +8,34 @@
 //! serialized memory read so the same batch can be retrained `j` times
 //! with different negatives without touching the memory daemon again.
 //!
+//! # The union-frontier occurrence layout
+//!
+//! With an `L`-layer embedding stack a part's occurrence list is the
+//! concatenation of **all hop frontiers**: the `R` roots, then hop 0's
+//! `R·k₀` slots, then hop 1's `R·k₀·k₁` slots, and so on
+//! ([`occurrence_nodes`]). Every per-part row structure — the
+//! per-occurrence readout, the [`ReadoutIndex`] fold, the gathered
+//! block's part ranges — is defined over this one flat layout, so the
+//! phase-1/phase-2 split, the daemon protocol, and the speculative
+//! gather are *layer-count-agnostic*: one serialized memory read per
+//! batch covers every layer's inputs, whatever `L` is. For `L = 1` the
+//! layout degenerates to the historical `R·(1+k)` rows bit-for-bit.
+//!
 //! # The deduplicated readout path
 //!
-//! With most-recent-k sampling a part's `R·(1+k)` readout occurrences
-//! (roots + neighbor slots) cover far fewer *distinct* nodes — the
-//! same `(mem, mail)` pair would be pushed through the GRU many times.
-//! When [`ModelConfig::dedup_readout`] is on (the default),
+//! With most-recent-k sampling a part's readout occurrences
+//! (roots + all hops' neighbor slots) cover far fewer *distinct* nodes
+//! — the same `(mem, mail)` pair would be pushed through the GRU many
+//! times. When [`ModelConfig::dedup_readout`] is on (the default),
 //! [`BatchPreparer::prepare_static`] builds a [`ReadoutIndex`] per
-//! part — the unique node list in **first-occurrence order** plus the
-//! `occurrence → unique` expansion map — and the serialized phase-2
-//! read gathers **one memory row per unique node**. The model runs the
-//! GRU over the folded block and expands `ŝ` to occurrence order only
-//! where the attention layer consumes it. Since the memory update is a
-//! pure per-row function of `(mem, mail)`, which are identical across
-//! a node's occurrences (all read at batch start), the folded forward
+//! part — the unique node list in **first-occurrence order** over the
+//! union of all hop frontiers, plus the `occurrence → unique`
+//! expansion map — and the serialized phase-2 read gathers **one
+//! memory row per unique node**. The model runs the GRU over the
+//! folded block and expands `ŝ` to occurrence order only where the
+//! attention layers consume it. Since the memory update is a pure
+//! per-row function of `(mem, mail)`, which are identical across a
+//! node's occurrences (all read at batch start), the folded forward
 //! is **bit-identical** to the per-occurrence oracle.
 //!
 //! ## Summation-order contract (backward determinism)
@@ -32,7 +46,8 @@
 //! and enforced by `Matrix::fold_rows_by_index`:
 //!
 //! 1. unique ids are assigned in **first-occurrence order** over the
-//!    part's occurrence list (`roots ++ slots`, ascending row index);
+//!    part's occurrence list (`roots ++ hop₀ slots ++ hop₁ slots ++ …`,
+//!    ascending row index);
 //! 2. each unique node's gradient row accumulates its occurrences in
 //!    **ascending occurrence index** (row 0, 1, 2, … of the part);
 //! 3. the GRU backward then consumes the folded rows in unique order.
@@ -89,9 +104,39 @@ impl MemoryAccess for MemoryClient {
     }
 }
 
+/// The flat occurrence list of a part: its roots followed by every
+/// hop's padded neighbor slots, in hop order. This is the row layout
+/// of the per-occurrence readout and the domain of the
+/// [`ReadoutIndex`] fold — one list regardless of the stack depth.
+pub fn occurrence_nodes(roots: &[u32], hops: &[NeighborBlock]) -> Vec<u32> {
+    let total = roots.len() + hops.iter().map(NeighborBlock::num_slots).sum::<usize>();
+    let mut occ = Vec::with_capacity(total);
+    occ.extend_from_slice(roots);
+    for hop in hops {
+        occ.extend_from_slice(&hop.nbrs);
+    }
+    occ
+}
+
+/// Per-frontier row counts of a part's occurrence layout:
+/// `[R, R·k₀, R·k₀·k₁, …]` — `1 + hops.len()` entries (the roots are
+/// frontier 0).
+pub fn frontier_sizes(num_roots: usize, hops: &[NeighborBlock]) -> Vec<usize> {
+    let mut sizes = Vec::with_capacity(1 + hops.len());
+    sizes.push(num_roots);
+    sizes.extend(hops.iter().map(NeighborBlock::num_slots));
+    sizes
+}
+
+/// Total occurrence rows of a part (all frontiers).
+pub fn occurrence_rows(num_roots: usize, hops: &[NeighborBlock]) -> usize {
+    num_roots + hops.iter().map(NeighborBlock::num_slots).sum::<usize>()
+}
+
 /// The unique-node index of one batch part: the distinct nodes of the
-/// part's occurrence list (`roots ++ slots`) and the expansion map
-/// back to occurrence order.
+/// part's occurrence list (`roots ++ hop slots`, see
+/// [`occurrence_nodes`]) and the expansion map back to occurrence
+/// order.
 ///
 /// Built in phase 1 (memory-independent, so it rides the prefetch
 /// thread); phase 2 gathers one memory row per entry of
@@ -235,10 +280,11 @@ impl ReadoutView {
 /// The positive half of a prepared batch: `B` chronological events.
 ///
 /// Readout layout (per-occurrence oracle): rows `0..2B` are the roots
-/// (`srcs` then `dsts`), rows `2B..2B(1+k)` the flattened neighbor
-/// slots. With `dedup_readout` the view instead holds one row per
-/// entry of `uniq.unique_nodes`, and `uniq.occ_to_unique` maps the
-/// occurrence layout onto it.
+/// (`srcs` then `dsts`), followed by each hop's flattened neighbor
+/// slots in hop order — `2B(1+k)` rows total for the 1-layer stack.
+/// With `dedup_readout` the view instead holds one row per entry of
+/// `uniq.unique_nodes`, and `uniq.occ_to_unique` maps the occurrence
+/// layout onto it.
 #[derive(Clone, Debug)]
 pub struct PositivePart {
     /// Event sources.
@@ -254,19 +300,22 @@ pub struct PositivePart {
     pub roots: Vec<u32>,
     /// Query times of `roots` (`times ++ times`).
     pub root_times: Vec<f32>,
-    /// Supporting neighbors of the `2B` roots.
-    pub nbrs: NeighborBlock,
+    /// Per-hop supporting-neighbor blocks: `hops[0]` covers the `2B`
+    /// roots, `hops[d]` the slots of `hops[d − 1]` (padded slots stay
+    /// padded — see `disttgl_graph::RecentNeighborSampler::sample_hops`).
+    pub hops: Vec<NeighborBlock>,
     /// View of this part's memory/mail rows within the batch's shared
-    /// gathered block: per-occurrence (roots then slots), or one row
-    /// per unique node when `uniq` is set.
+    /// gathered block: per-occurrence (roots then hop slots), or one
+    /// row per unique node when `uniq` is set.
     pub readout: ReadoutView,
     /// Unique-node index of the folded readout (`None` on the
     /// per-occurrence oracle path).
     pub uniq: Option<ReadoutIndex>,
     /// Edge features of the events, `B × d_e`.
     pub event_feats: Matrix,
-    /// Edge features of the neighbor slots, `2B·k × d_e`.
-    pub nbr_feats: Matrix,
+    /// Per-hop edge features of the neighbor slots
+    /// (`nbr_feats[d].rows() == hops[d].num_slots()`).
+    pub nbr_feats: Vec<Matrix>,
     /// Multi-label targets for classification datasets.
     pub labels: Option<Matrix>,
 }
@@ -281,6 +330,11 @@ impl PositivePart {
     pub fn is_empty(&self) -> bool {
         self.srcs.is_empty()
     }
+
+    /// The hop-0 neighbor block (every stack has at least one hop).
+    pub fn nbrs(&self) -> &NeighborBlock {
+        &self.hops[0]
+    }
 }
 
 /// One negative set: `B·K` sampled destinations with the same
@@ -291,16 +345,23 @@ pub struct NegativePart {
     pub negs: Vec<u32>,
     /// Query times (event time repeated `K×`).
     pub times: Vec<f32>,
-    /// Supporting neighbors of the negatives.
-    pub nbrs: NeighborBlock,
-    /// View of this part's memory/mail rows (negative roots then
+    /// Per-hop supporting-neighbor blocks of the negatives.
+    pub hops: Vec<NeighborBlock>,
+    /// View of this part's memory/mail rows (negative roots then hop
     /// slots, or unique rows when `uniq` is set).
     pub readout: ReadoutView,
     /// Unique-node index of the folded readout (`None` on the
     /// per-occurrence oracle path).
     pub uniq: Option<ReadoutIndex>,
-    /// Edge features of the negative neighbor slots.
-    pub nbr_feats: Matrix,
+    /// Per-hop edge features of the negative neighbor slots.
+    pub nbr_feats: Vec<Matrix>,
+}
+
+impl NegativePart {
+    /// The hop-0 neighbor block.
+    pub fn nbrs(&self) -> &NeighborBlock {
+        &self.hops[0]
+    }
 }
 
 /// A fully prepared batch: positives plus `j ≥ 0` negative sets.
@@ -335,14 +396,16 @@ pub struct BatchPreparer<'a> {
 }
 
 impl<'a> BatchPreparer<'a> {
-    /// Creates a preparer sampling `cfg.n_neighbors` supporting nodes.
-    /// `cfg.dedup_readout` selects between the folded (unique-row) and
-    /// per-occurrence readout layouts.
+    /// Creates a preparer sampling `cfg.fanouts()` supporting nodes
+    /// per hop (`cfg.n_neighbors` at every hop unless
+    /// `cfg.neighbor_fanouts` overrides it). `cfg.dedup_readout`
+    /// selects between the folded (unique-row) and per-occurrence
+    /// readout layouts.
     pub fn new(dataset: &'a Dataset, csr: &'a TCsr, cfg: &ModelConfig) -> Self {
         Self {
             dataset,
             csr,
-            sampler: RecentNeighborSampler::new(cfg.n_neighbors),
+            sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
             dedup: cfg.dedup_readout,
         }
     }
@@ -380,12 +443,13 @@ impl<'a> BatchPreparer<'a> {
         let eids: Vec<u32> = events.iter().map(|e| e.eid).collect();
 
         // Roots of the positive part: sources then destinations, each
-        // queried at its event time.
+        // queried at its event time. The sampler expands the full
+        // multi-hop frontier (one padded block per hop).
         let mut pos_roots = srcs.clone();
         pos_roots.extend_from_slice(&dsts);
         let mut pos_times = times.clone();
         pos_times.extend_from_slice(&times);
-        let pos_nbrs = self.sampler.sample(self.csr, &pos_roots, &pos_times);
+        let pos_hops = self.sampler.sample_hops(self.csr, &pos_roots, &pos_times);
 
         // Negative roots per set.
         let mut negs = Vec::with_capacity(neg_sets.len());
@@ -395,51 +459,43 @@ impl<'a> BatchPreparer<'a> {
                 .iter()
                 .flat_map(|&t| std::iter::repeat_n(t, negs_per_event))
                 .collect();
-            let nbrs = self.sampler.sample(self.csr, set, &neg_times);
-            let uniq = self.dedup.then(|| {
-                let mut occ = set.to_vec();
-                occ.extend_from_slice(&nbrs.nbrs);
-                ReadoutIndex::build(&occ)
-            });
+            let hops = self.sampler.sample_hops(self.csr, set, &neg_times);
+            let uniq = self
+                .dedup
+                .then(|| ReadoutIndex::build(&occurrence_nodes(set, &hops)));
             negs.push(StaticNegative {
-                nbr_feats: self.edge_rows(&nbrs.eids),
+                nbr_feats: hops.iter().map(|h| self.edge_rows(&h.eids)).collect(),
                 set: set.to_vec(),
                 times: neg_times,
-                nbrs,
+                hops,
                 uniq,
             });
         }
 
         // Unique-node index of the positive part over its occurrence
-        // list `roots ++ slots` (memory-independent, so it is built
-        // here in phase 1 and rides the prefetch thread).
-        let pos_uniq = self.dedup.then(|| {
-            let mut occ = pos_roots.clone();
-            occ.extend_from_slice(&pos_nbrs.nbrs);
-            ReadoutIndex::build(&occ)
-        });
+        // list `roots ++ hop slots` — the union of every hop frontier,
+        // so one folded gather covers every layer's inputs
+        // (memory-independent, so it is built here in phase 1 and
+        // rides the prefetch thread).
+        let pos_uniq = self
+            .dedup
+            .then(|| ReadoutIndex::build(&occurrence_nodes(&pos_roots, &pos_hops)));
 
         // The one serialized read's node list, in a fixed layout:
         // positive part, then the negative sets in order. Per part the
-        // layout is roots-then-slots (per-occurrence), or the part's
-        // unique nodes in first-occurrence order when deduplicating —
-        // either way each part's rows are one contiguous range of the
-        // gathered block.
+        // layout is roots-then-hop-slots (per-occurrence), or the
+        // part's unique nodes in first-occurrence order when
+        // deduplicating — either way each part's rows are one
+        // contiguous range of the gathered block.
         let mut all_nodes = Vec::new();
         match &pos_uniq {
             Some(u) => all_nodes.extend_from_slice(&u.unique_nodes),
-            None => {
-                all_nodes.extend_from_slice(&pos_roots);
-                all_nodes.extend_from_slice(&pos_nbrs.nbrs);
-            }
+            None => all_nodes.extend(occurrence_nodes(&pos_roots, &pos_hops)),
         }
         for n in &negs {
             match &n.uniq {
                 Some(u) => all_nodes.extend_from_slice(&u.unique_nodes),
-                None => {
-                    all_nodes.extend_from_slice(&n.set);
-                    all_nodes.extend_from_slice(&n.nbrs.nbrs);
-                }
+                None => all_nodes.extend(occurrence_nodes(&n.set, &n.hops)),
             }
         }
 
@@ -450,14 +506,14 @@ impl<'a> BatchPreparer<'a> {
 
         StaticBatch {
             event_feats: self.edge_rows(&eids),
-            pos_nbr_feats: self.edge_rows(&pos_nbrs.eids),
+            pos_nbr_feats: pos_hops.iter().map(|h| self.edge_rows(&h.eids)).collect(),
             srcs,
             dsts,
             times,
             eids,
             pos_roots,
             pos_times,
-            pos_nbrs,
+            pos_hops,
             pos_uniq,
             labels,
             negs,
@@ -510,7 +566,7 @@ impl<'a> BatchPreparer<'a> {
 
         let pos_rows = match &sb.pos_uniq {
             Some(u) => take(u.num_unique()),
-            None => take(2 * sb.srcs.len() + sb.pos_nbrs.nbrs.len()),
+            None => take(occurrence_rows(sb.pos_roots.len(), &sb.pos_hops)),
         };
         let pos = PositivePart {
             event_feats: sb.event_feats,
@@ -521,7 +577,7 @@ impl<'a> BatchPreparer<'a> {
             eids: sb.eids,
             roots: sb.pos_roots,
             root_times: sb.pos_times,
-            nbrs: sb.pos_nbrs,
+            hops: sb.pos_hops,
             readout: ReadoutView::new(Arc::clone(&full), pos_rows),
             uniq: sb.pos_uniq,
             labels: sb.labels,
@@ -531,13 +587,13 @@ impl<'a> BatchPreparer<'a> {
         for n in sb.negs {
             let rows = match &n.uniq {
                 Some(u) => take(u.num_unique()),
-                None => take(n.set.len() + n.nbrs.nbrs.len()),
+                None => take(occurrence_rows(n.set.len(), &n.hops)),
             };
             negs.push(NegativePart {
                 nbr_feats: n.nbr_feats,
                 negs: n.set,
                 times: n.times,
-                nbrs: n.nbrs,
+                hops: n.hops,
                 readout: ReadoutView::new(Arc::clone(&full), rows),
                 uniq: n.uniq,
             });
@@ -569,8 +625,8 @@ impl<'a> BatchPreparer<'a> {
 struct StaticNegative {
     set: Vec<u32>,
     times: Vec<f32>,
-    nbrs: NeighborBlock,
-    nbr_feats: Matrix,
+    hops: Vec<NeighborBlock>,
+    nbr_feats: Vec<Matrix>,
     uniq: Option<ReadoutIndex>,
 }
 
@@ -586,10 +642,10 @@ pub struct StaticBatch {
     eids: Vec<u32>,
     pos_roots: Vec<u32>,
     pos_times: Vec<f32>,
-    pos_nbrs: NeighborBlock,
+    pos_hops: Vec<NeighborBlock>,
     pos_uniq: Option<ReadoutIndex>,
     event_feats: Matrix,
-    pos_nbr_feats: Matrix,
+    pos_nbr_feats: Vec<Matrix>,
     labels: Option<Matrix>,
     negs: Vec<StaticNegative>,
     all_nodes: Vec<u32>,
@@ -693,7 +749,8 @@ mod tests {
         // Roots: 2B; slots: 2B·k.
         assert_eq!(batch.pos.readout.rows(), 2 * b + 2 * b * k);
         assert!(batch.pos.uniq.is_none());
-        assert_eq!(batch.pos.nbr_feats.rows(), 2 * b * k);
+        assert_eq!(batch.pos.hops.len(), 1);
+        assert_eq!(batch.pos.nbr_feats[0].rows(), 2 * b * k);
         assert_eq!(batch.pos.event_feats.shape(), (b, 172));
         assert_eq!(batch.negs.len(), 1);
         assert_eq!(batch.negs[0].readout.rows(), b + b * k);
@@ -716,8 +773,7 @@ mod tests {
         assert!(uniq.num_unique() <= 2 * b + 2 * b * k);
         // First-occurrence order, and every occurrence maps to its own
         // node's unique row.
-        let mut occ_nodes = batch.pos.roots.clone();
-        occ_nodes.extend_from_slice(&batch.pos.nbrs.nbrs);
+        let occ_nodes = occurrence_nodes(&batch.pos.roots, &batch.pos.hops);
         let mut seen = std::collections::HashSet::new();
         let mut expect_next = 0u32;
         for (i, &node) in occ_nodes.iter().enumerate() {
@@ -742,7 +798,7 @@ mod tests {
     #[test]
     fn dedup_rows_expand_to_oracle_rows() {
         let (d, csr, cfg) = small_setup();
-        let oracle_cfg = cfg.without_dedup_readout();
+        let oracle_cfg = cfg.clone().without_dedup_readout();
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         // Seed some rows so the comparison is non-trivial.
         let seed: Vec<u32> = (0..12).map(|i| d.graph.events()[i].src).collect();
@@ -776,6 +832,50 @@ mod tests {
         }
     }
 
+    /// Two-hop preparation: per-hop blocks multiply, the occurrence
+    /// layout concatenates frontiers, and one gathered range per part
+    /// still covers everything (the union contract).
+    #[test]
+    fn two_hop_layout_and_union_fold() {
+        let (d, csr, cfg) = small_setup();
+        let cfg = cfg.with_fanouts(vec![4, 2]);
+        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
+        let b = 12;
+        let batch = prep.prepare(0..b, &[], 1, &mut mem);
+
+        assert_eq!(batch.pos.hops.len(), 2);
+        assert_eq!(batch.pos.hops[0].num_roots(), 2 * b);
+        assert_eq!(batch.pos.hops[0].num_slots(), 2 * b * 4);
+        assert_eq!(batch.pos.hops[1].num_roots(), 2 * b * 4);
+        assert_eq!(batch.pos.hops[1].num_slots(), 2 * b * 4 * 2);
+        assert_eq!(
+            frontier_sizes(2 * b, &batch.pos.hops),
+            vec![2 * b, 2 * b * 4, 2 * b * 4 * 2]
+        );
+        let occ = occurrence_nodes(&batch.pos.roots, &batch.pos.hops);
+        assert_eq!(occ.len(), occurrence_rows(2 * b, &batch.pos.hops));
+        // Per-hop features line up with each hop's slot count.
+        assert_eq!(batch.pos.nbr_feats.len(), 2);
+        assert_eq!(batch.pos.nbr_feats[0].rows(), 2 * b * 4);
+        assert_eq!(batch.pos.nbr_feats[1].rows(), 2 * b * 4 * 2);
+        // The fold covers the union: every occurrence of every hop
+        // maps to a gathered row, and the gather is strictly smaller.
+        let uniq = batch.pos.uniq.as_ref().expect("dedup default");
+        assert_eq!(uniq.occ_to_unique.len(), occ.len());
+        assert!(batch.pos.readout.rows() < occ.len());
+        for (i, &node) in occ.iter().enumerate() {
+            assert_eq!(uniq.unique_nodes[uniq.occ_to_unique[i] as usize], node);
+        }
+        // Padded hop-1 slots never expand (sentinel-node rule).
+        let (h0, h1) = (&batch.pos.hops[0], &batch.pos.hops[1]);
+        for idx in 0..h0.num_slots() {
+            if !h0.is_valid_slot(idx) {
+                assert_eq!(h1.counts[idx], 0, "padded slot {idx} expanded");
+            }
+        }
+    }
+
     #[test]
     fn multiple_negative_sets_share_one_positive() {
         let (d, csr, cfg) = small_setup();
@@ -800,10 +900,11 @@ mod tests {
         // Mid-stream batch: neighbors must all precede the event time.
         let batch = prep.prepare(100..116, &[], 1, &mut mem);
         let b = batch.pos.len();
+        let nbrs = batch.pos.nbrs();
         for r in 0..2 * b {
             let t_query = batch.pos.times[r % b];
-            for s in 0..batch.pos.nbrs.counts[r] {
-                let dt = batch.pos.nbrs.dts[batch.pos.nbrs.slot(r, s)];
+            for s in 0..nbrs.counts[r] {
+                let dt = nbrs.dts[nbrs.slot(r, s)];
                 assert!(
                     dt >= 0.0,
                     "negative Δt at root {r} slot {s}: {dt} (query {t_query})"
@@ -821,7 +922,7 @@ mod tests {
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let batch = prep.prepare(0..8, &[], 1, &mut mem);
         assert_eq!(batch.pos.event_feats.cols(), 0);
-        assert_eq!(batch.pos.nbr_feats.cols(), 0);
-        assert_eq!(batch.pos.nbr_feats.rows(), 16 * cfg.n_neighbors);
+        assert_eq!(batch.pos.nbr_feats[0].cols(), 0);
+        assert_eq!(batch.pos.nbr_feats[0].rows(), 16 * cfg.n_neighbors);
     }
 }

@@ -20,7 +20,10 @@ pub enum CombPolicy {
 
 /// TGN-attn hyper-parameters (§4.0.1 defaults, scaled down by the
 /// experiment harness where noted).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+///
+/// No longer `Copy`: `neighbor_fanouts` is a per-hop vector, so
+/// configs are `Clone`d explicitly where they used to be copied.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ModelConfig {
     /// Node-memory width `d_mem` (paper: 100).
     pub d_mem: usize,
@@ -30,8 +33,18 @@ pub struct ModelConfig {
     pub d_edge: usize,
     /// Embedding width out of the attention combine layer.
     pub d_emb: usize,
-    /// Supporting neighbors per root (paper: 10).
+    /// Supporting neighbors per root (paper: 10) — the hop-0 fanout
+    /// when `neighbor_fanouts` is empty.
     pub n_neighbors: usize,
+    /// Temporal-attention layers in the embedding stack (DistTGL fixes
+    /// this to 1; TGL-style multi-layer models use ≥ 2). Layer 1
+    /// attends over the hop-0 frontier, layer ℓ folds hop ℓ − 1 in.
+    pub n_layers: usize,
+    /// Per-hop neighbor fanouts, `neighbor_fanouts[d]` supporting
+    /// nodes per hop-`d` frontier node. Empty (the default) means
+    /// `[n_neighbors; n_layers]`. When non-empty its length must equal
+    /// `n_layers`.
+    pub neighbor_fanouts: Vec<usize>,
     /// Whether the time encoder's ω/φ are trained.
     pub learnable_time: bool,
     /// Enables the static node memory of §3.1.
@@ -65,6 +78,8 @@ impl ModelConfig {
             d_edge,
             d_emb: 100,
             n_neighbors: 10,
+            n_layers: 1,
+            neighbor_fanouts: Vec::new(),
             learnable_time: false,
             static_memory: true,
             num_classes: 0,
@@ -82,6 +97,8 @@ impl ModelConfig {
             d_edge,
             d_emb: 32,
             n_neighbors: 10,
+            n_layers: 1,
+            neighbor_fanouts: Vec::new(),
             learnable_time: false,
             static_memory: true,
             num_classes: 0,
@@ -107,6 +124,49 @@ impl ModelConfig {
     pub fn without_dedup_readout(mut self) -> Self {
         self.dedup_readout = false;
         self
+    }
+
+    /// Sets the embedding stack depth, keeping `n_neighbors` as the
+    /// fanout of every hop (the TGL-style default).
+    pub fn with_layers(mut self, n_layers: usize) -> Self {
+        assert!(n_layers >= 1, "the model needs at least one layer");
+        self.n_layers = n_layers;
+        self.neighbor_fanouts = Vec::new();
+        self
+    }
+
+    /// Sets both the stack depth and the per-hop fanouts
+    /// (`n_layers = fanouts.len()`).
+    pub fn with_fanouts(mut self, fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "the model needs at least one hop");
+        self.n_layers = fanouts.len();
+        self.neighbor_fanouts = fanouts;
+        self
+    }
+
+    /// The effective per-hop fanouts: `neighbor_fanouts` when set,
+    /// otherwise `n_neighbors` repeated for every layer.
+    ///
+    /// # Panics
+    /// Panics if `neighbor_fanouts` is non-empty with a length other
+    /// than `n_layers`, or if any entry (or `n_neighbors`) is 0.
+    pub fn fanouts(&self) -> Vec<usize> {
+        assert!(self.n_layers >= 1, "the model needs at least one layer");
+        let fanouts = if self.neighbor_fanouts.is_empty() {
+            vec![self.n_neighbors; self.n_layers]
+        } else {
+            assert_eq!(
+                self.neighbor_fanouts.len(),
+                self.n_layers,
+                "neighbor_fanouts length must equal n_layers"
+            );
+            self.neighbor_fanouts.clone()
+        };
+        assert!(
+            fanouts.iter().all(|&k| k >= 1),
+            "every hop fanout must be >= 1"
+        );
+        fanouts
     }
 
     /// Mail width: `{s_u || s_v || Φ || e_uv}` (Eq. 1).
@@ -446,5 +506,33 @@ mod tests {
     fn mail_dim_formula() {
         let mc = ModelConfig::compact(12);
         assert_eq!(mc.mail_dim(), 2 * 32 + 16 + 12);
+    }
+
+    #[test]
+    fn fanouts_default_to_n_neighbors_per_layer() {
+        let mc = ModelConfig::compact(0);
+        assert_eq!(mc.n_layers, 1);
+        assert_eq!(mc.fanouts(), vec![10]);
+        let deep = mc.clone().with_layers(3);
+        assert_eq!(deep.fanouts(), vec![10, 10, 10]);
+        let explicit = mc.with_fanouts(vec![10, 5, 2]);
+        assert_eq!(explicit.n_layers, 3);
+        assert_eq!(explicit.fanouts(), vec![10, 5, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor_fanouts length")]
+    fn mismatched_fanout_length_panics() {
+        let mut mc = ModelConfig::compact(0);
+        mc.n_layers = 2;
+        mc.neighbor_fanouts = vec![10];
+        let _ = mc.fanouts();
+    }
+
+    #[test]
+    #[should_panic(expected = "every hop fanout")]
+    fn zero_fanout_rejected_by_model_config() {
+        let mc = ModelConfig::compact(0).with_fanouts(vec![10, 0]);
+        let _ = mc.fanouts();
     }
 }

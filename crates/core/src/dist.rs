@@ -154,7 +154,7 @@ pub fn train_distributed(
         let static_mem = Arc::clone(&static_mem);
         let store = Arc::clone(&store);
         let schedule = schedules[group].clone();
-        let model_cfg = *model_cfg;
+        let model_cfg = model_cfg.clone();
         let cfg = cfg.clone();
 
         handles.push(
@@ -276,7 +276,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
 
     // Identical seeded init on every replica (equivalent to broadcast).
     let mut rng = seeded_rng(cfg.seed);
-    let mut model = TgnModel::new(model_cfg, &mut rng);
+    let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
 
     let mut ret = TrainerReturn {
@@ -326,7 +326,8 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let mut next_acquire = 0usize; // next acquire_plan entry to execute
     let mut next_request = 0usize; // next entry whose phase 1 is unrequested
     let mut prefetcher = if cfg.pipeline_prefetch && !acquire_plan.is_empty() {
-        let mut p = BatchPrefetcher::spawn(Arc::clone(&dataset), Arc::clone(&csr), model_cfg);
+        let mut p =
+            BatchPrefetcher::spawn(Arc::clone(&dataset), Arc::clone(&csr), model_cfg.clone());
         p.request(request_for(0));
         next_request = 1;
         Some(p)
@@ -575,6 +576,8 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         }
     }
     let _ = sweep_done;
+    // Per-layer share of the embed stack inside compute_secs.
+    ret.timing.absorb_layer_secs(&model.layer_embed_secs(), 1.0);
 
     // Rank 0 computes the final test metric: replay val then test from
     // the final snapshot of replica 0.
@@ -631,6 +634,9 @@ fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) 
         result.timing.prep_secs += r.timing.prep_secs / world;
         result.timing.mem_wait_secs += r.timing.mem_wait_secs / world;
         result.timing.compute_secs += r.timing.compute_secs / world;
+        result
+            .timing
+            .absorb_layer_secs(&r.timing.embed_layer_secs, 1.0 / world);
         result.timing.allreduce_secs += r.timing.allreduce_secs / world;
         dev_sum += r.grad_sq_dev_sum;
         probes += r.grad_probes;

@@ -141,7 +141,7 @@ mod tests {
         let mut cfg = ModelConfig::compact(d.edge_features.cols());
         cfg.n_neighbors = 5;
         let mut rng = seeded_rng(1);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let res = evaluate(&model, &cfg, &d, &csr, &mut mem, None, 0..256, 64, 9, 5);
         // With 9 negatives, chance MRR ≈ Σ(1/r)/10 ≈ 0.29; an untrained
@@ -162,7 +162,7 @@ mod tests {
         let mut cfg = ModelConfig::compact(0);
         cfg.n_neighbors = 5;
         let mut rng = seeded_rng(2);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
 
         let run = || {
             let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
@@ -181,7 +181,7 @@ mod tests {
         let mut cfg = ModelConfig::compact(d.edge_features.cols()).with_classes(56);
         cfg.n_neighbors = 5;
         let mut rng = seeded_rng(3);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let res = evaluate(&model, &cfg, &d, &csr, &mut mem, None, 0..128, 32, 1, 9);
         assert!((0.0..=1.0).contains(&res.metric));

@@ -59,8 +59,8 @@ mod single;
 mod static_mem;
 
 pub use batch::{
-    patch_readout, BatchPreparer, MemoryAccess, NegativePart, PositivePart, PreparedBatch,
-    ReadoutIndex, ReadoutView, StaticBatch,
+    frontier_sizes, occurrence_nodes, occurrence_rows, patch_readout, BatchPreparer, MemoryAccess,
+    NegativePart, PositivePart, PreparedBatch, ReadoutIndex, ReadoutView, StaticBatch,
 };
 pub use config::{
     plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,

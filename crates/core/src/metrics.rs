@@ -19,7 +19,7 @@ pub struct ConvergencePoint {
 
 /// Per-trainer wall-time breakdown (averaged over trainers), the basis
 /// of the throughput analysis (Figure 12) and Table 1's overhead rows.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TimingBreakdown {
     /// Mini-batch preparation (sampling + feature slicing).
     pub prep_secs: f64,
@@ -27,8 +27,27 @@ pub struct TimingBreakdown {
     pub mem_wait_secs: f64,
     /// Forward + backward compute.
     pub compute_secs: f64,
+    /// Per-attention-layer share of `compute_secs` spent in the embed
+    /// stack's forward (entry ℓ = layer ℓ across all frontier depths,
+    /// positive + negative embeds). One entry for the classic 1-layer
+    /// model; the multi-layer bench reads the split from here.
+    pub embed_layer_secs: Vec<f64>,
     /// Gradient all-reduce (includes barrier wait).
     pub allreduce_secs: f64,
+}
+
+impl TimingBreakdown {
+    /// Adds `secs[ℓ] * scale` into `embed_layer_secs[ℓ]`, growing the
+    /// vector as needed (trainers of a world average with
+    /// `scale = 1/world`, matching the other breakdown fields).
+    pub fn absorb_layer_secs(&mut self, secs: &[f64], scale: f64) {
+        if self.embed_layer_secs.len() < secs.len() {
+            self.embed_layer_secs.resize(secs.len(), 0.0);
+        }
+        for (acc, &s) in self.embed_layer_secs.iter_mut().zip(secs) {
+            *acc += s * scale;
+        }
+    }
 }
 
 /// Complete record of one training run.

@@ -15,12 +15,21 @@
 //!    (no BPTT).
 //! 2. **Static combine** (§3.1): `c = ŝ + s_static` when static node
 //!    memory is enabled — the time-irrelevant information enters every
-//!    read of the node state.
-//! 3. **Temporal attention** (Eq. 4–7) over the k most recent
-//!    neighbors with `Φ(Δt)` computed against the *memory update time*
-//!    of each neighbor.
-//! 4. **Combine layer**: `emb = ReLU(W_o·{c_root || h_att})` (the TGN
-//!    output MLP combining root state with aggregated neighborhood).
+//!    read of the node state, at every hop of the frontier.
+//! 3. **Temporal attention stack** (Eq. 4–7, generalized to `L`
+//!    layers à la TGL): layer ℓ attends from every frontier node at
+//!    depth `d < L − ℓ + 1` over its hop-`d` neighbors, with `Φ(Δt)`
+//!    computed against the *memory update time* of each neighbor and
+//!    the parent's own query time (the root's event time at depth 0,
+//!    the connecting edge's time deeper). Each layer ends in its own
+//!    combine MLP `ReLU(W_o·{h_in || h_att})`; after `L` layers only
+//!    the roots remain. DistTGL's model is the `L = 1` instance, and
+//!    that path is bit-identical to the historical single-layer code.
+//! 4. **Memory I/O is depth-independent**: whatever `L` is, the stack
+//!    consumes one readout over the *union* of all hop frontiers (see
+//!    `core::batch`), so phases 1/2, the daemon protocol, and
+//!    speculation never see the layer count — only a wider unique-node
+//!    list.
 //! 5. **Decoder**: link MLP on `{emb_src || emb_dst}` (1 positive + K
 //!    sampled negatives per event), or the multi-label classifier.
 //! 6. **Write-back** (delayed update, §2.1): the batch's root nodes
@@ -29,9 +38,10 @@
 //!    occurrence — the reversed computation order that avoids the
 //!    information leak.
 
-use crate::batch::{NegativePart, PositivePart, ReadoutIndex, ReadoutView};
+use crate::batch::{frontier_sizes, NegativePart, PositivePart, ReadoutIndex, ReadoutView};
 use crate::config::{CombPolicy, ModelConfig};
 use crate::static_mem::StaticMemory;
+use disttgl_graph::NeighborBlock;
 use disttgl_mem::MemoryWrite;
 use disttgl_nn::{
     loss, Adam, AttentionCache, EdgeClassifier, EdgePredictor, GruCache, GruCell, Linear,
@@ -39,11 +49,24 @@ use disttgl_nn::{
 };
 use disttgl_tensor::Matrix;
 use rand::Rng;
+use std::time::Instant;
 
 /// Decoder head selected by the dataset task.
 enum Head {
     Link(EdgePredictor),
     Class(EdgeClassifier),
+}
+
+/// One layer of the temporal-attention stack: attention plus its
+/// combine MLP. Layer 0 reads `d_mem`-wide memory states; deeper
+/// layers read the previous layer's `d_emb`-wide outputs. Weights are
+/// shared across the frontier depths a layer processes (standard GNN
+/// weight tying), which is why the attention slot count travels with
+/// each call instead of the module.
+#[derive(Clone, Copy)]
+struct AttnLayer {
+    attn: TemporalAttention,
+    combine: Linear,
 }
 
 /// The model: module handles plus the shared [`ParamSet`].
@@ -54,8 +77,9 @@ pub struct TgnModel {
     pub params: ParamSet,
     time_enc: TimeEncoding,
     gru: GruCell,
-    attn: TemporalAttention,
-    combine: Linear,
+    /// The `cfg.n_layers` attention layers, applied shallowest-input
+    /// first (layer 0 consumes memory states at every depth).
+    layers: Vec<AttnLayer>,
     head: Head,
     /// Per-trainer scratch arena reused across [`TgnModel::train_step`]
     /// calls: the GRU caches, masks, and memory-update buffers of both
@@ -65,8 +89,8 @@ pub struct TgnModel {
 }
 
 /// Reusable buffers for one embed pass (the memory-update stage, whose
-/// matrices — `2B(1+k) × mail_dim`-adjacent — dominate per-step
-/// allocation).
+/// matrices — union-frontier rows × mail_dim-adjacent — dominate
+/// per-step allocation).
 #[derive(Default)]
 struct EmbedScratch {
     /// Fused-GRU gate buffers (see [`GruCell::forward_into`]).
@@ -78,15 +102,18 @@ struct EmbedScratch {
     mask: Matrix,
     /// `ŝ + s_static` when static node memory is enabled.
     combined: Matrix,
-    /// Occurrence-order root rows of `combined` (attention query
-    /// input).
-    c_roots: Matrix,
-    /// Occurrence-order slot rows of `combined` (attention key/value
-    /// input).
-    c_slots: Matrix,
+    /// Per-depth occurrence-order rows of the memory-combined state —
+    /// the layer stack's `h⁰` inputs (`states[d]` holds frontier `d`,
+    /// so `states[0]`/`states[1]` are the historical
+    /// `c_roots`/`c_slots`).
+    states: Vec<Matrix>,
     /// Folded per-unique-node gradient accumulator (backward, dedup
     /// path).
     fold: Matrix,
+    /// Cumulative wall seconds per attention layer's forward (all
+    /// depths), the per-layer attribution
+    /// [`TgnModel::layer_embed_secs`] reports.
+    layer_secs: Vec<f64>,
 }
 
 /// Scratch for a whole training step: one arena per root set, since
@@ -97,14 +124,24 @@ struct StepScratch {
     neg: EmbedScratch,
 }
 
-/// Per-root-set forward state kept for the backward pass (the parts
-/// not already held by [`EmbedScratch`]).
-struct EmbedCache {
-    slot_dts: Vec<f32>,
+/// Forward state of one (layer, depth) attention+combine application.
+struct DepthCache {
     attn_cache: AttentionCache,
     combine_cache: LinearCache,
     /// Pre-ReLU combine output.
     z: Matrix,
+}
+
+/// Per-root-set forward state kept for the backward pass (the parts
+/// not already held by [`EmbedScratch`]).
+struct EmbedCache {
+    /// Per-hop Δt lists (shared by every layer attending over that
+    /// hop).
+    slot_dts: Vec<Vec<f32>>,
+    /// `caches[ℓ][d]`: layer ℓ's application at frontier depth `d`.
+    layers: Vec<Vec<DepthCache>>,
+    /// Per-frontier row counts `[R, R·k₀, …]`.
+    sizes: Vec<usize>,
 }
 
 /// Result of one training step.
@@ -123,28 +160,48 @@ pub struct StepOutput {
 
 impl TgnModel {
     /// Builds the model with seeded initialization.
+    ///
+    /// Parameter registration (and therefore RNG consumption) for
+    /// `n_layers = 1` is identical to the historical single-layer
+    /// model — `time, gru, attn, combine, head` in that order — so
+    /// 1-layer checkpoints and seeded runs stay bit-compatible;
+    /// deeper stacks append `attn1/combine1, attn2/combine2, …`
+    /// between the first combine and the head.
     pub fn new(cfg: ModelConfig, rng: &mut impl Rng) -> Self {
+        let fanouts = cfg.fanouts();
         let mut params = ParamSet::new();
         let time_enc = TimeEncoding::new(&mut params, "time", cfg.d_time, cfg.learnable_time);
         let gru = GruCell::new(&mut params, "gru", cfg.mail_dim(), cfg.d_mem, rng);
-        let q_dim = cfg.d_mem + cfg.d_time;
-        let kv_dim = cfg.d_mem + cfg.d_edge + cfg.d_time;
-        let attn = TemporalAttention::new(
-            &mut params,
-            "attn",
-            q_dim,
-            kv_dim,
-            cfg.d_emb,
-            cfg.n_neighbors,
-            rng,
-        );
-        let combine = Linear::new(
-            &mut params,
-            "combine",
-            cfg.d_mem + cfg.d_emb,
-            cfg.d_emb,
-            rng,
-        );
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for (l, &fanout) in fanouts.iter().enumerate() {
+            // Layer 0 consumes d_mem-wide memory states; deeper layers
+            // consume the previous layer's d_emb-wide outputs.
+            let in_dim = if l == 0 { cfg.d_mem } else { cfg.d_emb };
+            let q_dim = in_dim + cfg.d_time;
+            let kv_dim = in_dim + cfg.d_edge + cfg.d_time;
+            let (attn_name, combine_name) = if l == 0 {
+                ("attn".to_string(), "combine".to_string())
+            } else {
+                (format!("attn{l}"), format!("combine{l}"))
+            };
+            let attn = TemporalAttention::new(
+                &mut params,
+                &attn_name,
+                q_dim,
+                kv_dim,
+                cfg.d_emb,
+                fanout,
+                rng,
+            );
+            let combine = Linear::new(
+                &mut params,
+                &combine_name,
+                in_dim + cfg.d_emb,
+                cfg.d_emb,
+                rng,
+            );
+            layers.push(AttnLayer { attn, combine });
+        }
         let head = if cfg.num_classes > 0 {
             Head::Class(EdgeClassifier::new(
                 &mut params,
@@ -168,8 +225,7 @@ impl TgnModel {
             params,
             time_enc,
             gru,
-            attn,
-            combine,
+            layers,
             head,
             scratch: StepScratch::default(),
         }
@@ -178,6 +234,20 @@ impl TgnModel {
     /// Creates an Adam optimizer shaped for this model.
     pub fn optimizer(&self, lr: f32) -> Adam {
         Adam::new(&self.params, lr)
+    }
+
+    /// Cumulative wall seconds spent in each attention layer's forward
+    /// across every training step so far (positive + negative embeds)
+    /// — the per-layer embed attribution surfaced in
+    /// [`crate::TimingBreakdown::embed_layer_secs`]. Inference-path
+    /// embeds use throwaway scratch and are not counted.
+    pub fn layer_embed_secs(&self) -> Vec<f64> {
+        (0..self.layers.len())
+            .map(|l| {
+                self.scratch.pos.layer_secs.get(l).copied().unwrap_or(0.0)
+                    + self.scratch.neg.layer_secs.get(l).copied().unwrap_or(0.0)
+            })
+            .collect()
     }
 
     /// Updated memory `ŝ` (into `scratch.s_hat`), its selection mask
@@ -216,8 +286,10 @@ impl TgnModel {
         ts
     }
 
-    /// Embeds a root set. `readout` rows: `R` roots then `R·k` slots on
-    /// the per-occurrence path, or one per unique node with `uniq` set
+    /// Embeds a root set through the `L`-layer attention stack.
+    /// `readout` rows follow the union-frontier occurrence layout of
+    /// `core::batch` (`R` roots then each hop's slots) on the
+    /// per-occurrence path, or one per unique node with `uniq` set
     /// (the folded path, bit-identical forward — expansion happens
     /// here, at the attention boundary).
     /// Returns `(embeddings, ŝ_roots, root update ts, cache)`.
@@ -226,27 +298,37 @@ impl TgnModel {
         &self,
         roots: &[u32],
         times: &[f32],
-        counts: &[usize],
-        slot_nodes: &[u32],
+        hops: &[NeighborBlock],
         readout: &ReadoutView,
         uniq: Option<&ReadoutIndex>,
-        nbr_feats: &Matrix,
+        nbr_feats: &[Matrix],
         static_mem: Option<&StaticMemory>,
         scratch: &mut EmbedScratch,
     ) -> (Matrix, Matrix, Vec<f32>, EmbedCache) {
         let r = roots.len();
-        let k = self.cfg.n_neighbors;
-        debug_assert_eq!(slot_nodes.len(), r * k);
+        let n_layers = self.layers.len();
+        debug_assert_eq!(hops.len(), n_layers, "one hop block per layer");
+        debug_assert_eq!(nbr_feats.len(), n_layers, "one feature block per hop");
+        let sizes = frontier_sizes(r, hops);
+        let occ_rows: usize = sizes.iter().sum();
+        // offsets[d] = first occurrence row of frontier d.
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0usize;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
         match uniq {
             Some(u) => {
-                debug_assert_eq!(u.occ_to_unique.len(), r + r * k, "occurrence map");
+                debug_assert_eq!(u.occ_to_unique.len(), occ_rows, "occurrence map");
                 debug_assert_eq!(readout.rows(), u.num_unique(), "folded readout rows");
             }
-            None => debug_assert_eq!(readout.rows(), r + r * k, "readout rows"),
+            None => debug_assert_eq!(readout.rows(), occ_rows, "readout rows"),
         }
 
         // One fused GRU pass over the view's rows — once per unique
-        // node on the folded path, once per occurrence on the oracle.
+        // node on the folded path, once per occurrence on the oracle —
+        // covering every frontier of every layer in a single stage.
         let ts = self.update_memory(readout, scratch);
 
         // Static combine: `ŝ + s_static`, accumulated straight from the
@@ -259,8 +341,8 @@ impl TgnModel {
         let EmbedScratch {
             s_hat,
             combined,
-            c_roots,
-            c_slots,
+            states,
+            layer_secs,
             ..
         } = scratch;
         let sel: &Matrix = match static_mem {
@@ -272,52 +354,103 @@ impl TgnModel {
                     }
                     None => {
                         combined.add_gathered_rows(0, sm.table(), roots);
-                        combined.add_gathered_rows(r, sm.table(), slot_nodes);
+                        for (d, hop) in hops.iter().enumerate() {
+                            combined.add_gathered_rows(offsets[d + 1], sm.table(), &hop.nbrs);
+                        }
                     }
                 }
                 combined
             }
             _ => s_hat,
         };
-        match uniq {
-            Some(u) => {
-                sel.expand_rows(&u.occ_to_unique[..r], c_roots);
-                sel.expand_rows(&u.occ_to_unique[r..], c_slots);
-            }
-            None => {
-                c_roots.copy_rows_from(sel, 0..r);
-                c_slots.copy_rows_from(sel, r..r + r * k);
-            }
-        }
-        let (c_roots, c_slots) = (&*c_roots, &*c_slots);
-
-        // Query features {c_root || Φ(0)}.
-        let zeros = vec![0.0f32; r];
-        let phi0 = self.time_enc.forward(&self.params, &zeros);
-        let q_feat = Matrix::hcat(&[c_roots, &phi0]);
-
-        // Key/value features {c_slot || E || Φ(Δt)}, Δt against the
-        // slot's memory-update time (Eq. 5).
-        let mut slot_dts = vec![0.0f32; r * k];
-        for (root, &t_root) in times.iter().enumerate() {
-            for s in 0..k {
-                let idx = root * k + s;
-                let t_upd = match uniq {
-                    Some(u) => ts[u.occ_to_unique[r + idx] as usize],
-                    None => ts[r + idx],
-                };
-                slot_dts[idx] = (t_root - t_upd).max(0.0);
+        // h⁰ per depth: occurrence-order rows of the combined state
+        // (states[0] = the historical c_roots, states[1] = c_slots).
+        states.resize_with(sizes.len(), Matrix::default);
+        for d in 0..sizes.len() {
+            let range = offsets[d]..offsets[d] + sizes[d];
+            match uniq {
+                Some(u) => sel.expand_rows(&u.occ_to_unique[range], &mut states[d]),
+                None => states[d].copy_rows_from(sel, range),
             }
         }
-        let phi_dt = self.time_enc.forward(&self.params, &slot_dts);
-        let kv_feat = Matrix::hcat(&[c_slots, nbr_feats, &phi_dt]);
 
-        let (h_att, attn_cache) = self.attn.forward(&self.params, &q_feat, &kv_feat, counts);
+        // Per-hop Δt against each slot's memory-update time (Eq. 5);
+        // the parent's query time is the event time at depth 0 and the
+        // connecting edge's time deeper. Shared by every layer that
+        // attends over the hop, so Φ(Δt) is encoded once per hop.
+        let mut slot_dts: Vec<Vec<f32>> = Vec::with_capacity(n_layers);
+        for (d, hop) in hops.iter().enumerate() {
+            let k = hop.k;
+            let parent_times: &[f32] = if d == 0 { times } else { &hops[d - 1].ts };
+            debug_assert_eq!(parent_times.len(), sizes[d]);
+            let mut dts = vec![0.0f32; sizes[d + 1]];
+            for (parent, &t_query) in parent_times.iter().enumerate() {
+                for s in 0..k {
+                    let idx = parent * k + s;
+                    let occ = offsets[d + 1] + idx;
+                    let t_upd = match uniq {
+                        Some(u) => ts[u.occ_to_unique[occ] as usize],
+                        None => ts[occ],
+                    };
+                    dts[idx] = (t_query - t_upd).max(0.0);
+                }
+            }
+            slot_dts.push(dts);
+        }
+        let phi_dts: Vec<Matrix> = slot_dts
+            .iter()
+            .map(|dts| self.time_enc.forward(&self.params, dts))
+            .collect();
+        // Φ(0) per query depth (layer ℓ queries depths `0..L − ℓ`, all
+        // within `0..L`).
+        let phi0: Vec<Matrix> = (0..n_layers)
+            .map(|d| {
+                let zeros = vec![0.0f32; sizes[d]];
+                self.time_enc.forward(&self.params, &zeros)
+            })
+            .collect();
 
-        // Combine layer with ReLU.
-        let x = Matrix::hcat(&[c_roots, &h_att]);
-        let (z, combine_cache) = self.combine.forward(&self.params, &x);
-        let emb = z.relu();
+        // The layer stack: layer ℓ produces new states for depths
+        // `0..L − ℓ`, each from its own state (query) and its hop's
+        // slot states (keys/values). After L layers only depth 0 — the
+        // roots — remains.
+        layer_secs.resize(n_layers, 0.0);
+        let mut caches: Vec<Vec<DepthCache>> = Vec::with_capacity(n_layers);
+        let mut cur: Vec<Matrix> = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let t_layer = Instant::now();
+            let active = n_layers - l;
+            let mut next = Vec::with_capacity(active);
+            let mut layer_caches = Vec::with_capacity(active);
+            for d in 0..active {
+                let h_d: &Matrix = if l == 0 { &states[d] } else { &cur[d] };
+                let h_d1: &Matrix = if l == 0 { &states[d + 1] } else { &cur[d + 1] };
+                // Query features {h_d || Φ(0)}; key/value features
+                // {h_{d+1} || E || Φ(Δt)}.
+                let q_feat = Matrix::hcat(&[h_d, &phi0[d]]);
+                let kv_feat = Matrix::hcat(&[h_d1, &nbr_feats[d], &phi_dts[d]]);
+                let (h_att, attn_cache) = layer.attn.forward_slots(
+                    &self.params,
+                    &q_feat,
+                    &kv_feat,
+                    &hops[d].counts,
+                    hops[d].k,
+                );
+                // Combine layer with ReLU.
+                let x = Matrix::hcat(&[h_d, &h_att]);
+                let (z, combine_cache) = layer.combine.forward(&self.params, &x);
+                next.push(z.relu());
+                layer_caches.push(DepthCache {
+                    attn_cache,
+                    combine_cache,
+                    z,
+                });
+            }
+            caches.push(layer_caches);
+            cur = next;
+            layer_secs[l] += t_layer.elapsed().as_secs_f64();
+        }
+        let emb = cur.pop().expect("stack leaves the root embeddings");
 
         let (s_hat_roots, root_ts) = match uniq {
             Some(u) => {
@@ -334,20 +467,27 @@ impl TgnModel {
         };
         let cache = EmbedCache {
             slot_dts,
-            attn_cache,
-            combine_cache,
-            z,
+            layers: caches,
+            sizes,
         };
         (emb, s_hat_roots, root_ts, cache)
     }
 
-    /// Backward through one embed: accumulates all parameter gradients.
-    /// `scratch` must be the arena the matching [`TgnModel::embed`]
-    /// call filled (GRU cache + selection mask), and `uniq` the same
-    /// index that call was given: with it, occurrence gradients are
-    /// folded per unique node — in ascending occurrence order, the
-    /// summation contract of `core::batch` — before the single GRU
-    /// backward over the folded rows.
+    /// Backward through one embed: accumulates all parameter gradients,
+    /// unwinding the layer stack top-down. `scratch` must be the arena
+    /// the matching [`TgnModel::embed`] call filled (GRU cache +
+    /// selection mask), and `uniq` the same index that call was given:
+    /// with it, occurrence gradients are folded per unique node — in
+    /// ascending occurrence order, the summation contract of
+    /// `core::batch` — before the single GRU backward over the folded
+    /// rows.
+    ///
+    /// A depth-`d` state feeds layer ℓ twice — as depth `d`'s query /
+    /// combine input and as depth `d − 1`'s keys/values — so its
+    /// gradient merges both, in ascending-depth order (combine part,
+    /// then query part, then the kv part arriving from depth `d − 1`'s
+    /// earlier iteration): a fixed order, so stacked backward stays
+    /// bit-reproducible.
     fn embed_backward(
         &mut self,
         cache: &EmbedCache,
@@ -355,42 +495,73 @@ impl TgnModel {
         uniq: Option<&ReadoutIndex>,
         demb: &Matrix,
     ) {
-        let d_mem = self.cfg.d_mem;
-        let r = demb.rows();
-        let k = self.cfg.n_neighbors;
+        let n_layers = self.layers.len();
+        let sizes = &cache.sizes;
 
-        let dz = demb.hadamard(&cache.z.relu_deriv_from_input());
-        let dx = self
-            .combine
-            .backward(&mut self.params, &cache.combine_cache, &dz);
-        let mut d_c_roots = dx.slice_cols(0, d_mem);
-        let d_h = dx.slice_cols(d_mem, dx.cols());
+        // Gradients w.r.t. the current layer's *output* states, one
+        // matrix per still-active depth; seeded with the embedding
+        // gradient (only depth 0 survives the full stack).
+        let mut g: Vec<Matrix> = Vec::new();
+        for l in (0..n_layers).rev() {
+            let layer = self.layers[l];
+            let active = n_layers - l;
+            let in_dim = if l == 0 {
+                self.cfg.d_mem
+            } else {
+                self.cfg.d_emb
+            };
+            let mut g_prev: Vec<Option<Matrix>> = (0..=active).map(|_| None).collect();
+            for d in 0..active {
+                let gd: &Matrix = if l == n_layers - 1 { demb } else { &g[d] };
+                let dc = &cache.layers[l][d];
+                let dz = gd.hadamard(&dc.z.relu_deriv_from_input());
+                let dx = layer
+                    .combine
+                    .backward(&mut self.params, &dc.combine_cache, &dz);
+                let mut d_state = dx.slice_cols(0, in_dim);
+                let d_h = dx.slice_cols(in_dim, dx.cols());
 
-        let (dq_feat, dkv_feat) = self
-            .attn
-            .backward(&mut self.params, &cache.attn_cache, &d_h);
-        d_c_roots.add_assign(&dq_feat.slice_cols(0, d_mem));
-        if self.cfg.learnable_time {
-            let zeros = vec![0.0f32; r];
-            let dphi0 = dq_feat.slice_cols(d_mem, d_mem + self.cfg.d_time);
-            self.time_enc.backward(&mut self.params, &zeros, &dphi0);
+                let (dq_feat, dkv_feat) =
+                    layer.attn.backward(&mut self.params, &dc.attn_cache, &d_h);
+                d_state.add_assign(&dq_feat.slice_cols(0, in_dim));
+                if self.cfg.learnable_time {
+                    let zeros = vec![0.0f32; sizes[d]];
+                    let dphi0 = dq_feat.slice_cols(in_dim, in_dim + self.cfg.d_time);
+                    self.time_enc.backward(&mut self.params, &zeros, &dphi0);
+                }
+                match &mut g_prev[d] {
+                    Some(m) => m.add_assign(&d_state),
+                    None => g_prev[d] = Some(d_state),
+                }
+
+                let d_kv_state = dkv_feat.slice_cols(0, in_dim);
+                if self.cfg.learnable_time {
+                    let start = in_dim + self.cfg.d_edge;
+                    let dphi = dkv_feat.slice_cols(start, start + self.cfg.d_time);
+                    self.time_enc
+                        .backward(&mut self.params, &cache.slot_dts[d], &dphi);
+                }
+                debug_assert_eq!(d_kv_state.rows(), sizes[d + 1]);
+                match &mut g_prev[d + 1] {
+                    Some(m) => m.add_assign(&d_kv_state),
+                    None => g_prev[d + 1] = Some(d_kv_state),
+                }
+            }
+            g = g_prev
+                .into_iter()
+                .map(|m| m.expect("every active depth receives a gradient"))
+                .collect();
         }
 
-        let d_c_slots = dkv_feat.slice_cols(0, d_mem);
-        if self.cfg.learnable_time {
-            let start = d_mem + self.cfg.d_edge;
-            let dphi = dkv_feat.slice_cols(start, start + self.cfg.d_time);
-            self.time_enc
-                .backward(&mut self.params, &cache.slot_dts, &dphi);
-        }
-
-        // d(ŝ) for roots + slots; on the folded path the occurrence
-        // gradients first reduce into per-unique rows (ascending
-        // occurrence order — deterministic); GRU gradient only where
-        // the mail was applied (the mask), per the selection in
-        // `update_memory`.
-        debug_assert_eq!(d_c_slots.rows(), r * k);
-        let d_s_hat = Matrix::vcat(&[&d_c_roots, &d_c_slots]);
+        // d(ŝ) over the whole union frontier, in occurrence order
+        // (depth 0 rows first — for L = 1 this is exactly the
+        // historical `vcat(d_c_roots, d_c_slots)`); on the folded path
+        // the occurrence gradients first reduce into per-unique rows
+        // (ascending occurrence order — deterministic); GRU gradient
+        // only where the mail was applied (the mask), per the
+        // selection in `update_memory`.
+        let parts: Vec<&Matrix> = g.iter().collect();
+        let d_s_hat = Matrix::vcat(&parts);
         let d_gru_out = match uniq {
             Some(u) => {
                 d_s_hat.fold_rows_by_index(&u.occ_to_unique, u.num_unique(), &mut scratch.fold);
@@ -550,8 +721,7 @@ impl TgnModel {
         let (pos_emb, s_hat_roots, root_ts, pos_cache) = self.embed(
             pos_roots(pos),
             pos_times(pos),
-            &pos.nbrs.counts,
-            &pos.nbrs.nbrs,
+            &pos.hops,
             &pos.readout,
             pos.uniq.as_ref(),
             &pos.nbr_feats,
@@ -569,8 +739,7 @@ impl TgnModel {
                 let (neg_emb, _, _, neg_cache) = self.embed(
                     &neg.negs,
                     &neg.times,
-                    &neg.nbrs.counts,
-                    &neg.nbrs.nbrs,
+                    &neg.hops,
                     &neg.readout,
                     neg.uniq.as_ref(),
                     &neg.nbr_feats,
@@ -634,8 +803,7 @@ impl TgnModel {
         let (pos_emb, s_hat_roots, root_ts, _) = self.embed(
             pos_roots(pos),
             pos_times(pos),
-            &pos.nbrs.counts,
-            &pos.nbrs.nbrs,
+            &pos.hops,
             &pos.readout,
             pos.uniq.as_ref(),
             &pos.nbr_feats,
@@ -652,8 +820,7 @@ impl TgnModel {
                 let (neg_emb, _, _, _) = self.embed(
                     &neg.negs,
                     &neg.times,
-                    &neg.nbrs.counts,
-                    &neg.nbrs.nbrs,
+                    &neg.hops,
                     &neg.readout,
                     neg.uniq.as_ref(),
                     &neg.nbr_feats,
@@ -791,7 +958,7 @@ mod tests {
     fn train_step_produces_finite_loss_and_write() {
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(1);
-        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let store = NegativeStore::generate(&d.graph, 64, 2, 1, 3);
@@ -812,7 +979,7 @@ mod tests {
     fn memory_write_feeds_next_batch() {
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(2);
-        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let store = NegativeStore::generate(&d.graph, 128, 1, 1, 3);
@@ -852,7 +1019,7 @@ mod tests {
     fn loss_decreases_with_training() {
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(3);
-        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut model = TgnModel::new(cfg.clone(), &mut rng);
         let mut adam = model.optimizer(5e-3);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let store = NegativeStore::generate(&d.graph, 64, 1, 1, 7);
@@ -882,7 +1049,7 @@ mod tests {
     fn static_memory_changes_predictions() {
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(4);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let store = NegativeStore::generate(&d.graph, 32, 1, 1, 3);
@@ -901,7 +1068,7 @@ mod tests {
         let mut cfg = ModelConfig::compact(d.edge_features.cols()).with_classes(56);
         cfg.n_neighbors = 5;
         let mut rng = seeded_rng(5);
-        let mut model = TgnModel::new(cfg, &mut rng);
+        let mut model = TgnModel::new(cfg.clone(), &mut rng);
         let mut adam = model.optimizer(5e-3);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
 
@@ -931,7 +1098,7 @@ mod tests {
         // leave the *later* event's mail.
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(6);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let batch = prep.prepare(0..64, &[], 1, &mut mem);
@@ -955,7 +1122,7 @@ mod tests {
         let (d, csr, mut cfg) = setup();
         cfg.comb = crate::config::CombPolicy::Mean;
         let mut rng = seeded_rng(8);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let batch = prep.prepare(0..64, &[], 1, &mut mem);
@@ -981,10 +1148,10 @@ mod tests {
     #[test]
     fn mean_and_most_recent_agree_when_no_duplicates() {
         let (d, csr, cfg) = setup();
-        let mut cfg_mean = cfg;
+        let mut cfg_mean = cfg.clone();
         cfg_mean.comb = crate::config::CombPolicy::Mean;
         let mut rng = seeded_rng(9);
-        let model_a = TgnModel::new(cfg, &mut rng);
+        let model_a = TgnModel::new(cfg.clone(), &mut rng);
         let mut rng = seeded_rng(9);
         let model_b = TgnModel::new(cfg_mean, &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
@@ -1011,7 +1178,7 @@ mod tests {
     fn infer_step_has_no_gradient_side_effects() {
         let (d, csr, cfg) = setup();
         let mut rng = seeded_rng(7);
-        let model = TgnModel::new(cfg, &mut rng);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let store = NegativeStore::generate(&d.graph, 16, 1, 1, 3);

@@ -409,7 +409,7 @@ mod tests {
     fn prefetcher_is_fifo_and_exact() {
         let (d, csr, cfg) = setup();
         let prep = BatchPreparer::new(&d, &csr, &cfg);
-        let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg);
+        let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg.clone());
 
         let ranges = [0usize..16, 16..48, 48..50];
         prefetcher.request(PrefetchRequest {
@@ -450,7 +450,7 @@ mod tests {
     fn finish_sees_writes_issued_after_prefetch() {
         let (d, csr, cfg) = setup();
         let prep = BatchPreparer::new(&d, &csr, &cfg);
-        let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg);
+        let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg.clone());
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
 
         prefetcher.request(PrefetchRequest {
@@ -568,7 +568,7 @@ mod tests {
         let mut prefetcher = BatchPrefetcher::spawn_with_memory(
             Arc::clone(&d),
             Arc::clone(&csr),
-            cfg,
+            cfg.clone(),
             Arc::clone(&shared),
         );
         prefetcher.request(PrefetchRequest {

@@ -75,7 +75,7 @@ fn run_single(
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
 
     let mut rng = seeded_rng(cfg.seed);
-    let mut model = TgnModel::new(*model_cfg, &mut rng);
+    let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
 
     let static_mem = if model_cfg.static_memory {
@@ -122,7 +122,7 @@ fn run_single(
         let mut p = BatchPrefetcher::spawn_with_memory(
             Arc::new(dataset.clone()),
             Arc::clone(&csr),
-            *model_cfg,
+            model_cfg.clone(),
             Arc::clone(&memory),
         );
         // The first gather would race the initial epoch reset, so the
@@ -241,6 +241,10 @@ fn run_single(
     }
 
     result.wall_secs = start.elapsed().as_secs_f64();
+    // Per-layer share of the embed stack inside compute_secs.
+    result
+        .timing
+        .absorb_layer_secs(&model.layer_embed_secs(), 1.0);
     // Throughput counts training time only — "DistTGL only accelerates
     // training" (§4.0.1), so evaluation passes are excluded.
     result.throughput_events_per_sec =

@@ -1,0 +1,143 @@
+//! Property-based invariants of the union-frontier occurrence layout:
+//! the multi-hop [`ReadoutIndex`] fold and the `Matrix`
+//! expand/fold-by-index round-trips it drives. These are the
+//! structural guarantees the L-layer embedding stack's "one memory
+//! gather per batch" contract rests on (see `core::batch`).
+
+use disttgl_core::{occurrence_nodes, occurrence_rows, ReadoutIndex};
+use disttgl_graph::{Event, RecentNeighborSampler, TCsr, TemporalGraph};
+use disttgl_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A random small temporal graph: `n` nodes, `m` events with arbitrary
+/// endpoints and strictly increasing times.
+fn graph_strategy() -> impl Strategy<Value = TemporalGraph> {
+    (2usize..24, 1usize..80).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0u64..n as u64, 0u64..n as u64), m..=m).prop_map(move |pairs| {
+            let events: Vec<Event> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| Event {
+                    src: s as u32,
+                    dst: d as u32,
+                    t: (i + 1) as f32,
+                    eid: i as u32,
+                })
+                .collect();
+            TemporalGraph::new(n, events)
+        })
+    })
+}
+
+/// Random per-hop fanout vectors, explicitly including fanout 0 — a
+/// zero-width hop collapses every deeper frontier to nothing and the
+/// index must stay consistent through it.
+fn fanouts_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..4, 1usize..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every occurrence row at every hop maps back to exactly its own
+    /// node's unique row, unique ids are first-occurrence-ordered and
+    /// duplicate-free, and the map covers the whole union frontier.
+    #[test]
+    fn union_readout_index_maps_every_hop_occurrence(
+        g in graph_strategy(),
+        fanouts in fanouts_strategy(),
+        n_roots in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let csr = TCsr::build(&g);
+        let sampler = RecentNeighborSampler::with_fanouts(fanouts.clone());
+        let m = g.num_events();
+        let roots: Vec<u32> = (0..n_roots)
+            .map(|i| g.events()[(seed as usize + i) % m].src)
+            .collect();
+        let times: Vec<f32> = (0..n_roots)
+            .map(|i| ((seed as usize + 3 * i) % (m + 2)) as f32 + 0.5)
+            .collect();
+
+        let hops = sampler.sample_hops(&csr, &roots, &times);
+        prop_assert_eq!(hops.len(), fanouts.len());
+        // Frontier sizes multiply: |F_{d+1}| = |F_d| · k_d.
+        let mut f = n_roots;
+        for (d, hop) in hops.iter().enumerate() {
+            prop_assert_eq!(hop.num_roots(), f, "hop {} roots", d);
+            f *= fanouts[d];
+            prop_assert_eq!(hop.num_slots(), f, "hop {} slots", d);
+        }
+
+        let occ = occurrence_nodes(&roots, &hops);
+        prop_assert_eq!(occ.len(), occurrence_rows(n_roots, &hops));
+        let idx = ReadoutIndex::build(&occ);
+        prop_assert_eq!(idx.occ_to_unique.len(), occ.len());
+        prop_assert!(idx.num_unique() <= occ.len());
+
+        // Round trip: occurrence → unique row → the same node.
+        for (i, &node) in occ.iter().enumerate() {
+            let u = idx.occ_to_unique[i] as usize;
+            prop_assert!(u < idx.num_unique());
+            prop_assert_eq!(idx.unique_nodes[u], node, "occurrence {}", i);
+        }
+        // First-occurrence order, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        let mut next = 0u32;
+        for (i, &node) in occ.iter().enumerate() {
+            if seen.insert(node) {
+                prop_assert_eq!(idx.occ_to_unique[i], next, "first occurrence {}", i);
+                next += 1;
+            }
+        }
+        prop_assert_eq!(next as usize, idx.num_unique());
+    }
+
+    /// `expand_rows` then `fold_rows_by_index` over the union map is
+    /// exact multiplicity accumulation: each unique row comes back as
+    /// (occurrence count) × itself, and expansion replicates rows
+    /// bit-identically. Integer-valued rows keep the float sums exact.
+    #[test]
+    fn union_fold_expand_round_trip(
+        g in graph_strategy(),
+        fanouts in fanouts_strategy(),
+        n_roots in 1usize..10,
+        cols in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let csr = TCsr::build(&g);
+        let sampler = RecentNeighborSampler::with_fanouts(fanouts);
+        let m = g.num_events();
+        let roots: Vec<u32> = (0..n_roots)
+            .map(|i| g.events()[(seed as usize + 2 * i) % m].dst)
+            .collect();
+        let times: Vec<f32> = (0..n_roots).map(|i| (i + 1) as f32 * 1.5).collect();
+        let hops = sampler.sample_hops(&csr, &roots, &times);
+        let occ = occurrence_nodes(&roots, &hops);
+        let idx = ReadoutIndex::build(&occ);
+
+        // Unique-row matrix with distinctive integer rows.
+        let uniq_rows = Matrix::from_fn(idx.num_unique(), cols, |r, c| (r * 7 + c + 1) as f32);
+        let mut expanded = Matrix::default();
+        uniq_rows.expand_rows(&idx.occ_to_unique, &mut expanded);
+        prop_assert_eq!(expanded.rows(), occ.len());
+        for (i, &u) in idx.occ_to_unique.iter().enumerate() {
+            prop_assert_eq!(expanded.row(i), uniq_rows.row(u as usize), "occurrence {}", i);
+        }
+
+        // Fold the expansion back: multiplicity × original, exactly.
+        let mut counts = vec![0usize; idx.num_unique()];
+        for &u in &idx.occ_to_unique {
+            counts[u as usize] += 1;
+        }
+        let mut folded = Matrix::default();
+        expanded.fold_rows_by_index(&idx.occ_to_unique, idx.num_unique(), &mut folded);
+        prop_assert_eq!(folded.rows(), idx.num_unique());
+        for (u, &count) in counts.iter().enumerate() {
+            for c in 0..cols {
+                let expect = count as f32 * uniq_rows.get(u, c);
+                prop_assert_eq!(folded.get(u, c), expect, "unique {} col {}", u, c);
+            }
+        }
+    }
+}

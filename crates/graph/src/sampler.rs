@@ -1,10 +1,28 @@
-//! Batched most-recent-k neighbor sampling.
+//! Batched most-recent-k neighbor sampling, one hop or many.
 //!
 //! TGN-attn (and hence DistTGL) uses the **k most recent neighbors**
-//! as supporting nodes for the one-layer temporal attention. The
-//! sampler turns a batch of (root, timestamp) queries into a padded
-//! [`NeighborBlock`] laid out for `disttgl_nn::TemporalAttention`:
-//! root-major, `k` fixed slots per root, valid slots first.
+//! as supporting nodes for temporal attention. The sampler turns a
+//! batch of (root, timestamp) queries into a padded [`NeighborBlock`]
+//! laid out for `disttgl_nn::TemporalAttention`: root-major, `k` fixed
+//! slots per root, valid slots first.
+//!
+//! # Multi-hop frontiers
+//!
+//! An `L`-layer embedding stack needs `L` hops of supporting nodes:
+//! hop `d + 1` expands the *slots* of hop `d` into their own
+//! most-recent-`k` neighborhoods. [`RecentNeighborSampler::sample_hops`]
+//! returns one padded block per hop; hop `d`'s roots are exactly hop
+//! `d − 1`'s flattened slots (frontier sizes multiply:
+//! `R, R·k₀, R·k₀·k₁, …`). Two temporal rules keep the expansion
+//! leak-free:
+//!
+//! * a hop-`d` slot reached through an edge at time `tₑ` is expanded
+//!   at query time `tₑ` (strictly-before semantics recurse on the
+//!   *edge* time, never the root time), read back via
+//!   [`NeighborBlock::ts`];
+//! * **padded slots never expand**: a slot `s ≥ counts[b]` is not a
+//!   real node (its stored id 0 is a sentinel), so its hop-`d + 1`
+//!   row is forced to `counts = 0` without touching the T-CSR.
 
 use crate::tcsr::TCsr;
 
@@ -23,6 +41,9 @@ pub struct NeighborBlock {
     pub eids: Vec<u32>,
     /// Time deltas `t_query − t_edge` aligned with `nbrs` (≥ 0).
     pub dts: Vec<f32>,
+    /// Absolute edge times aligned with `nbrs` (0 for padded slots) —
+    /// the query times of the *next* hop's expansion.
+    pub ts: Vec<f32>,
     /// Valid slot count per root.
     pub counts: Vec<usize>,
 }
@@ -33,46 +54,94 @@ impl NeighborBlock {
         self.counts.len()
     }
 
+    /// Number of slots (`num_roots · k`) — the next hop's frontier
+    /// size, padded slots included.
+    pub fn num_slots(&self) -> usize {
+        self.nbrs.len()
+    }
+
     /// Flat slot index helper.
     #[inline]
     pub fn slot(&self, root_idx: usize, s: usize) -> usize {
         root_idx * self.k + s
     }
+
+    /// True if flat slot `idx` holds a real sampled neighbor (as
+    /// opposed to padding).
+    #[inline]
+    pub fn is_valid_slot(&self, idx: usize) -> bool {
+        self.k > 0 && idx % self.k < self.counts[idx / self.k]
+    }
 }
 
-/// Most-recent-k sampler over a [`TCsr`] index.
+/// Most-recent-k sampler over a [`TCsr`] index, one fanout per hop.
 #[derive(Clone, Debug)]
 pub struct RecentNeighborSampler {
-    k: usize,
+    fanouts: Vec<usize>,
 }
 
 impl RecentNeighborSampler {
-    /// Creates a sampler returning up to `k` supporting neighbors
-    /// (the paper uses k = 10).
+    /// Creates a one-hop sampler returning up to `k` supporting
+    /// neighbors (the paper uses k = 10).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "sampler needs k >= 1");
-        Self { k }
+        Self { fanouts: vec![k] }
     }
 
-    /// Supporting-neighbor slot count.
+    /// Creates a multi-hop sampler with one fanout per hop
+    /// (`fanouts[d]` slots per hop-`d` frontier node). A fanout of 0
+    /// yields an empty hop — legal for index round-trip tests, though
+    /// the model requires every fanout ≥ 1.
+    pub fn with_fanouts(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "sampler needs at least one hop");
+        Self { fanouts }
+    }
+
+    /// First-hop supporting-neighbor slot count.
     pub fn k(&self) -> usize {
-        self.k
+        self.fanouts[0]
     }
 
-    /// Samples supporting neighbors for each `(root, t)` query:
-    /// the k most recent incidences strictly before `t`.
-    pub fn sample(&self, csr: &TCsr, roots: &[u32], times: &[f32]) -> NeighborBlock {
+    /// Per-hop fanouts.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Number of hops sampled by [`RecentNeighborSampler::sample_hops`].
+    pub fn num_hops(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Samples one hop: for each *valid* `(root, t)` query, the `k`
+    /// most recent incidences strictly before `t`; queries with
+    /// `valid[b] == false` (padded parent slots) keep `counts = 0`.
+    fn sample_hop(
+        &self,
+        csr: &TCsr,
+        roots: &[u32],
+        times: &[f32],
+        valid: Option<&[bool]>,
+        k: usize,
+    ) -> NeighborBlock {
         assert_eq!(roots.len(), times.len(), "sampler: roots/times length");
         let b = roots.len();
-        let k = self.k;
         let mut block = NeighborBlock {
             k,
             nbrs: vec![0; b * k],
             eids: vec![0; b * k],
             dts: vec![0.0; b * k],
+            ts: vec![0.0; b * k],
             counts: vec![0; b],
         };
+        if k == 0 {
+            return block;
+        }
         for (bi, (&root, &t)) in roots.iter().zip(times).enumerate() {
+            if let Some(v) = valid {
+                if !v[bi] {
+                    continue; // padded parent slot: never touch the T-CSR
+                }
+            }
             let recent = csr.recent_before(root, t, k);
             block.counts[bi] = recent.len();
             for (s, entry) in recent.iter().enumerate() {
@@ -80,9 +149,42 @@ impl RecentNeighborSampler {
                 block.nbrs[idx] = entry.nbr;
                 block.eids[idx] = entry.eid;
                 block.dts[idx] = t - entry.t;
+                block.ts[idx] = entry.t;
             }
         }
         block
+    }
+
+    /// Samples supporting neighbors for each `(root, t)` query with
+    /// the first hop's fanout — the single-layer entry point, kept as
+    /// the hop-0 building block of [`RecentNeighborSampler::sample_hops`].
+    pub fn sample(&self, csr: &TCsr, roots: &[u32], times: &[f32]) -> NeighborBlock {
+        self.sample_hop(csr, roots, times, None, self.fanouts[0])
+    }
+
+    /// Recursively expands the full multi-hop frontier of `(root, t)`
+    /// queries: `hops[0]` holds the roots' neighbors, `hops[d]` the
+    /// neighbors of `hops[d − 1]`'s slots, queried at their edge times
+    /// ([`NeighborBlock::ts`]). Padded slots of hop `d − 1` produce
+    /// `counts = 0` rows at hop `d` (no sentinel-node sampling), so
+    /// the padding — and the attention masking it drives — composes
+    /// hop over hop.
+    pub fn sample_hops(&self, csr: &TCsr, roots: &[u32], times: &[f32]) -> Vec<NeighborBlock> {
+        let mut hops = Vec::with_capacity(self.fanouts.len());
+        for (d, &k) in self.fanouts.iter().enumerate() {
+            let block = match d {
+                0 => self.sample_hop(csr, roots, times, None, k),
+                _ => {
+                    let prev: &NeighborBlock = &hops[d - 1];
+                    let valid: Vec<bool> = (0..prev.num_slots())
+                        .map(|i| prev.is_valid_slot(i))
+                        .collect();
+                    self.sample_hop(csr, &prev.nbrs, &prev.ts, Some(&valid), k)
+                }
+            };
+            hops.push(block);
+        }
+        hops
     }
 }
 
@@ -123,6 +225,9 @@ mod tests {
         // Padding slots stay zero.
         assert_eq!(block.nbrs[block.slot(1, 1)], 0);
         assert_eq!(block.dts[block.slot(1, 2)], 0.0);
+        assert_eq!(block.ts[block.slot(1, 2)], 0.0);
+        assert!(block.is_valid_slot(block.slot(1, 0)));
+        assert!(!block.is_valid_slot(block.slot(1, 1)));
     }
 
     #[test]
@@ -134,9 +239,11 @@ mod tests {
         let block = s.sample(&csr, &[0], &[3.5]);
         let eids: Vec<u32> = (0..block.counts[0]).map(|i| block.eids[i]).collect();
         assert_eq!(eids, vec![1, 2]);
-        // Deltas are query minus event times.
+        // Deltas are query minus event times; `ts` holds the absolutes.
         assert!((block.dts[0] - 1.5).abs() < 1e-6);
         assert!((block.dts[1] - 0.5).abs() < 1e-6);
+        assert_eq!(block.ts[0], 2.0);
+        assert_eq!(block.ts[1], 3.0);
     }
 
     #[test]
@@ -162,5 +269,101 @@ mod tests {
         let s = RecentNeighborSampler::new(5);
         let block = s.sample(&csr, &[0], &[3.0]);
         assert_eq!(block.counts[0], 2); // only t = 1, 2
+    }
+
+    #[test]
+    fn two_hop_frontier_shapes_multiply() {
+        let g = graph();
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::with_fanouts(vec![3, 2]);
+        let hops = s.sample_hops(&csr, &[0, 1], &[10.0, 10.0]);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].num_roots(), 2);
+        assert_eq!(hops[0].num_slots(), 6);
+        // Hop 1's roots are hop 0's slots, padded ones included.
+        assert_eq!(hops[1].num_roots(), 6);
+        assert_eq!(hops[1].num_slots(), 12);
+    }
+
+    #[test]
+    fn hop_two_respects_edge_times() {
+        let g = graph();
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::with_fanouts(vec![2, 3]);
+        let hops = s.sample_hops(&csr, &[1], &[10.0]);
+        // Node 1's 2 most recent incidences: (0, t=1) and (2, t=5).
+        assert_eq!(hops[0].counts[0], 2);
+        assert_eq!(hops[0].ts[0], 1.0);
+        assert_eq!(hops[0].ts[1], 5.0);
+        // Hop 2 of slot 0 (node 0 at t = 1.0): nothing strictly before.
+        assert_eq!(hops[1].counts[0], 0);
+        // Hop 2 of slot 1 (node 2 at t = 5.0): events at t = 2 qualify.
+        assert_eq!(hops[1].counts[1], 1);
+        assert_eq!(hops[1].ts[hops[1].slot(1, 0)], 2.0);
+        // Every hop-2 edge strictly precedes its parent edge.
+        for i in 0..hops[1].num_roots() {
+            for s2 in 0..hops[1].counts[i] {
+                assert!(hops[1].ts[hops[1].slot(i, s2)] < hops[0].ts[i]);
+            }
+        }
+    }
+
+    /// Satellite contract: isolated roots and padded parent slots must
+    /// expand into padded (zero-count) rows — never a panic, never a
+    /// sample hanging off the node-0 sentinel.
+    #[test]
+    fn padded_slots_never_expand() {
+        let g = graph();
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::with_fanouts(vec![4, 2]);
+        // Node 4 has exactly one incidence (t = 4): 3 padded hop-1
+        // slots whose stored id is the sentinel 0 — a real, busy node.
+        let hops = s.sample_hops(&csr, &[4], &[10.0]);
+        assert_eq!(hops[0].counts[0], 1);
+        for slot in 1..4 {
+            assert_eq!(hops[0].nbrs[slot], 0, "padding uses the sentinel id");
+            assert_eq!(
+                hops[1].counts[slot], 0,
+                "padded hop-1 slot {slot} must not expand"
+            );
+            for s2 in 0..hops[1].k {
+                let idx = hops[1].slot(slot, s2);
+                assert_eq!(hops[1].nbrs[idx], 0);
+                assert_eq!(hops[1].dts[idx], 0.0);
+                assert_eq!(hops[1].ts[idx], 0.0);
+            }
+        }
+    }
+
+    /// An isolated root (no incidences at all) stays padded through
+    /// every hop.
+    #[test]
+    fn isolated_root_yields_all_padded_hops() {
+        let g = TemporalGraph::new(3, vec![ev(0, 1, 1.0, 0)]);
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::with_fanouts(vec![2, 2, 2]);
+        let hops = s.sample_hops(&csr, &[2], &[5.0]);
+        assert_eq!(hops.len(), 3);
+        for (d, hop) in hops.iter().enumerate() {
+            assert!(
+                hop.counts.iter().all(|&c| c == 0),
+                "hop {d} of an isolated root must be fully padded"
+            );
+            assert!(hop.nbrs.iter().all(|&n| n == 0));
+        }
+    }
+
+    /// Fanout 0 hops are legal and empty (index round-trip tests use
+    /// them); deeper hops then have empty frontiers.
+    #[test]
+    fn zero_fanout_hop_is_empty() {
+        let g = graph();
+        let csr = TCsr::build(&g);
+        let s = RecentNeighborSampler::with_fanouts(vec![0, 2]);
+        let hops = s.sample_hops(&csr, &[0, 1], &[10.0, 10.0]);
+        assert_eq!(hops[0].num_slots(), 0);
+        assert_eq!(hops[0].counts, vec![0, 0]);
+        assert_eq!(hops[1].num_roots(), 0);
+        assert_eq!(hops[1].num_slots(), 0);
     }
 }

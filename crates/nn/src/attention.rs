@@ -12,6 +12,13 @@
 //! fewer neighbors mask the empty slots (score −1e9 → weight ≈ 0) and
 //! the scale factor uses the *actual* neighbor count, matching the
 //! paper's `sqrt(|N_v|)`. Roots with zero neighbors output zeros.
+//!
+//! The slot count is a *shape*, not a parameter: the weights only see
+//! `q_dim`/`kv_dim` rows. [`TemporalAttention::forward_slots`] therefore
+//! accepts the slot count per call, which is what lets one layer of an
+//! L-layer embedding stack attend over every hop depth (whose fanouts
+//! differ) with shared weights; [`TemporalAttention::forward`] keeps
+//! the fixed-`n_slots` signature for single-hop callers.
 
 use crate::linear::{Linear, LinearCache};
 use crate::param::ParamSet;
@@ -41,6 +48,9 @@ pub struct AttentionCache {
     attn: Matrix,
     /// Actual neighbor count per root.
     counts: Vec<usize>,
+    /// Slot count of this forward call (may differ from the layer's
+    /// default when attending over another hop's frontier).
+    n_slots: usize,
 }
 
 impl TemporalAttention {
@@ -93,27 +103,42 @@ impl TemporalAttention {
         kv_feat: &Matrix,
         counts: &[usize],
     ) -> (Matrix, AttentionCache) {
+        self.forward_slots(params, q_feat, kv_feat, counts, self.n_slots)
+    }
+
+    /// [`TemporalAttention::forward`] with an explicit slot count —
+    /// the multi-hop entry point (`kv_feat` has `B · n_slots` rows).
+    /// Identical math; the cache remembers the slot count so
+    /// [`TemporalAttention::backward`] needs no extra argument.
+    pub fn forward_slots(
+        &self,
+        params: &ParamSet,
+        q_feat: &Matrix,
+        kv_feat: &Matrix,
+        counts: &[usize],
+        n_slots: usize,
+    ) -> (Matrix, AttentionCache) {
         let b = q_feat.rows();
         assert_eq!(counts.len(), b, "attention: counts length");
-        assert_eq!(kv_feat.rows(), b * self.n_slots, "attention: kv rows");
+        assert_eq!(kv_feat.rows(), b * n_slots, "attention: kv rows");
 
         let (q, q_cache) = self.w_q.forward(params, q_feat);
         let (k, k_cache) = self.w_k.forward(params, kv_feat);
         let (v, v_cache) = self.w_v.forward(params, kv_feat);
 
         // Scores with per-root scaling and masking.
-        let mut scores = Matrix::zeros(b, self.n_slots);
+        let mut scores = Matrix::zeros(b, n_slots);
         for (bi, &count) in counts.iter().enumerate() {
-            let cnt = count.min(self.n_slots);
+            let cnt = count.min(n_slots);
             let scale = if cnt > 0 {
                 1.0 / (cnt as f32).sqrt()
             } else {
                 0.0
             };
             let q_row = q.row(bi);
-            for s in 0..self.n_slots {
+            for s in 0..n_slots {
                 let val = if s < cnt {
-                    let k_row = k.row(bi * self.n_slots + s);
+                    let k_row = k.row(bi * n_slots + s);
                     q_row.iter().zip(k_row).map(|(a, b)| a * b).sum::<f32>() * scale
                 } else {
                     -1e9
@@ -126,14 +151,14 @@ impl TemporalAttention {
         // h = attn · V (per root block), zeroed for isolated roots.
         let mut h = Matrix::zeros(b, self.d_head);
         for (bi, &count) in counts.iter().enumerate() {
-            let cnt = count.min(self.n_slots);
+            let cnt = count.min(n_slots);
             if cnt == 0 {
                 continue;
             }
             let out = h.row_mut(bi);
             for s in 0..cnt {
                 let w = attn.get(bi, s);
-                let v_row = v.row(bi * self.n_slots + s);
+                let v_row = v.row(bi * n_slots + s);
                 for (o, &vv) in out.iter_mut().zip(v_row) {
                     *o += w * vv;
                 }
@@ -149,6 +174,7 @@ impl TemporalAttention {
             v,
             attn,
             counts: counts.to_vec(),
+            n_slots,
         };
         (h, cache)
     }
@@ -173,7 +199,7 @@ impl TemporalAttention {
         dh: &Matrix,
     ) -> (Matrix, Matrix) {
         let b = dh.rows();
-        let n = self.n_slots;
+        let n = cache.n_slots;
         assert_eq!(dh.cols(), self.d_head, "attention backward: width");
 
         let mut d_attn = Matrix::zeros(b, n);

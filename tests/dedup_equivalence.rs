@@ -41,10 +41,10 @@ fn tiny_model(d_edge: usize) -> ModelConfig {
 /// evolving memory state are bit-identical.
 fn assert_forward_bit_identical(d: &Dataset, mc: ModelConfig, n_batches: usize, batch: usize) {
     assert!(mc.dedup_readout);
-    let mc_occ = mc.without_dedup_readout();
+    let mc_occ = mc.clone().without_dedup_readout();
     let csr = TCsr::build(&d.graph);
     let mut rng = seeded_rng(31);
-    let model = TgnModel::new(mc, &mut rng);
+    let model = TgnModel::new(mc.clone(), &mut rng);
     let prep_fold = BatchPreparer::new(d, &csr, &mc);
     let prep_occ = BatchPreparer::new(d, &csr, &mc_occ);
     let mut mem_fold = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
@@ -106,11 +106,11 @@ fn forward_bit_identical_with_static_memory() {
     let d = generators::wikipedia(0.005, 313);
     let mut mc = tiny_model(d.edge_features.cols());
     mc.static_memory = true;
-    let mc_occ = mc.without_dedup_readout();
+    let mc_occ = mc.clone().without_dedup_readout();
     let csr = TCsr::build(&d.graph);
     let sm = disttgl::core::StaticMemory::random(d.graph.num_nodes(), mc.d_mem, 55);
     let mut rng = seeded_rng(32);
-    let model = TgnModel::new(mc, &mut rng);
+    let model = TgnModel::new(mc.clone(), &mut rng);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     let folded = BatchPreparer::new(&d, &csr, &mc).prepare(0..64, &[], 1, &mut mem.clone());
     let oracle = BatchPreparer::new(&d, &csr, &mc_occ).prepare(0..64, &[], 1, &mut mem);
@@ -127,13 +127,13 @@ fn forward_bit_identical_with_static_memory() {
 fn backward_matches_oracle_within_tolerance() {
     let d = generators::wikipedia(0.006, 314);
     let mc = tiny_model(d.edge_features.cols());
-    let mc_occ = mc.without_dedup_readout();
+    let mc_occ = mc.clone().without_dedup_readout();
     let csr = TCsr::build(&d.graph);
     let store = NegativeStore::generate(&d.graph, 128, 1, 1, 7);
 
     let grads_for = |cfg: &ModelConfig| {
         let mut rng = seeded_rng(33);
-        let mut model = TgnModel::new(*cfg, &mut rng);
+        let mut model = TgnModel::new(cfg.clone(), &mut rng);
         let prep = BatchPreparer::new(&d, &csr, cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         // Two batches so the second sees non-trivial memory/mails.

@@ -144,7 +144,7 @@ fn nan_memory_is_detectable() {
     );
 
     let mut rng = seeded_rng(1);
-    let model = TgnModel::new(mc, &mut rng);
+    let model = TgnModel::new(mc.clone(), &mut rng);
     let out = model.infer_step(&batch.pos, None, None);
     // The NaN propagates into the write-back, which is exactly what
     // the training loop's non-finite guard catches.

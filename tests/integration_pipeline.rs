@@ -35,7 +35,7 @@ fn daemon_path_matches_direct_path() {
 
     // Direct path.
     let mut rng = seeded_rng(9);
-    let mut model_a = TgnModel::new(mc, &mut rng);
+    let mut model_a = TgnModel::new(mc.clone(), &mut rng);
     let mut adam_a = model_a.optimizer(1e-3);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     let prep = BatchPreparer::new(&d, &csr, &mc);
@@ -53,7 +53,7 @@ fn daemon_path_matches_direct_path() {
 
     // Daemon path (i = j = 1).
     let mut rng = seeded_rng(9);
-    let mut model_b = TgnModel::new(mc, &mut rng);
+    let mut model_b = TgnModel::new(mc.clone(), &mut rng);
     let mut adam_b = model_b.optimizer(1e-3);
     let daemon = MemoryDaemon::spawn(
         MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim()),
@@ -158,7 +158,7 @@ fn trained_model_generalizes_to_future_events() {
 
     // An untrained model on the same split.
     let mut rng = seeded_rng(999);
-    let fresh = TgnModel::new(mc, &mut rng);
+    let fresh = TgnModel::new(mc.clone(), &mut rng);
     let (train_end, val_end) = d.graph.chronological_split(0.70, 0.15);
     let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
     disttgl::core::replay_memory(&fresh, &mc, &d, &csr, &mut mem, None, 0..val_end, 100);
