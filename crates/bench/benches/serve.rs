@@ -1,0 +1,220 @@
+//! Serving-plane throughput and latency on the Table-2-analog shape
+//! (Wikipedia analog, ingest slab 600 — the paper's local batch).
+//!
+//! Measurements landing in `BENCH_serve.json`:
+//!
+//! 1. **Sustained ingest throughput** — events/s streaming the train
+//!    split through `ServeSession::ingest` (adjacency append + the
+//!    engine's sampling-free folded GRU memory update), and the same
+//!    stream through `replay_memory` as the offline reference.
+//! 2. **Query throughput + latency** — link-score requests answered
+//!    per second at micro-batch sizes 1 / 16 / 64 (one frontier
+//!    expansion + one unique-node gather per call), with p50/p95/p99
+//!    per-call latency from `core::metrics::LatencyHistogram`.
+//! 3. **Inline equivalence guard** — a short serve-vs-evaluate drive
+//!    must match bit for bit before any number is published.
+//!
+//! Run: `cargo bench -p disttgl-bench --bench serve`
+
+use disttgl_core::serve::{QueryRequest, ServeSession};
+use disttgl_core::{
+    evaluate, replay_memory, LatencyHistogram, LatencySummary, ModelConfig, TgnModel,
+};
+use disttgl_data::{generators, EvalNegatives};
+use disttgl_graph::{batching, TCsr};
+use disttgl_mem::MemoryState;
+use disttgl_nn::loss;
+use std::io::Write;
+use std::time::Instant;
+
+const SLAB: usize = 600;
+
+/// One query-throughput sweep at a fixed micro-batch size: `calls`
+/// calls of `batch` link-score requests each, drawn round-robin over
+/// the ingested events at query times just past the stream head.
+fn query_sweep(
+    session: &mut ServeSession<'_>,
+    events: &[disttgl_graph::Event],
+    t_query: f32,
+    batch: usize,
+    calls: usize,
+) -> (f64, LatencySummary) {
+    let mut hist = LatencyHistogram::new();
+    let mut cursor = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        let reqs: Vec<QueryRequest> = (0..batch)
+            .map(|i| {
+                let e = &events[(cursor + i * 7) % events.len()];
+                QueryRequest::LinkScore {
+                    src: e.src,
+                    dst: e.dst,
+                    t: t_query,
+                }
+            })
+            .collect();
+        cursor += batch;
+        let t_call = Instant::now();
+        let resp = session.query(&reqs);
+        hist.record(t_call.elapsed().as_secs_f64());
+        assert_eq!(resp.len(), batch);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    ((batch * calls) as f64 / wall, hist.summary())
+}
+
+fn json_latency(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\"max_ms\":{:.4}}}",
+        s.count,
+        s.mean_secs * 1e3,
+        s.p50_secs * 1e3,
+        s.p95_secs * 1e3,
+        s.p99_secs * 1e3,
+        s.max_secs * 1e3
+    )
+}
+
+fn main() {
+    let d = generators::wikipedia(0.03, 2024);
+    let mc = {
+        let mut mc = ModelConfig::compact(d.edge_features.cols());
+        mc.static_memory = false;
+        mc
+    };
+    let model = TgnModel::new(mc.clone(), &mut disttgl_tensor::seeded_rng(3));
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    println!(
+        "serve bench: {} ({} events, {} train), ingest slab {SLAB}",
+        d.name,
+        d.graph.num_events(),
+        train_end
+    );
+
+    // 3. Equivalence guard first: a short serve drive must reproduce
+    // `evaluate` bit for bit (scores via MRR equality + memory digest).
+    {
+        let csr = TCsr::build(&d.graph);
+        let guard_start = 1200.min(train_end / 2);
+        let guard_end = (guard_start + 600).min(train_end);
+        let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+        replay_memory(&model, &mc, &d, &csr, &mut mem, None, 0..guard_start, SLAB);
+        let oracle = evaluate(
+            &model,
+            &mc,
+            &d,
+            &csr,
+            &mut mem,
+            None,
+            guard_start..guard_end,
+            SLAB,
+            9,
+            5,
+        );
+        let mut session = ServeSession::new(&model, &d, None);
+        for r in batching::chronological_batches(0..guard_start, SLAB) {
+            session.ingest(&d.graph.events()[r]);
+        }
+        let mut sampler = EvalNegatives::new(&d.graph, 5);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for r in batching::chronological_batches(guard_start..guard_end, SLAB) {
+            let events = &d.graph.events()[r];
+            let extra: Vec<QueryRequest> = events
+                .iter()
+                .flat_map(|e| {
+                    sampler
+                        .draw_excluding(9, e.dst)
+                        .into_iter()
+                        .map(|n| QueryRequest::LinkScore {
+                            src: e.src,
+                            dst: n,
+                            t: e.t,
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let out = session.ingest_scored(events, &extra);
+            pos.extend(out.event_scores.iter().map(|s| s.scores()[0]));
+            neg.extend(out.extra.iter().map(|s| s.scores()[0]));
+        }
+        let mrr = loss::mrr(&pos, &neg, 9);
+        assert_eq!(mrr, oracle.metric, "serve must match evaluate bit for bit");
+        assert_eq!(session.memory_checksum(), mem.checksum());
+        println!("equivalence guard: serve MRR {mrr:.4} == evaluate (bit-identical), memory digests equal");
+    }
+
+    // 1. Sustained ingest throughput over the train split (best of 2),
+    // with the offline replay as the reference walker.
+    let mut ingest_eps = 0f64;
+    for _ in 0..2 {
+        let mut session = ServeSession::new(&model, &d, None);
+        let t0 = Instant::now();
+        for r in batching::chronological_batches(0..train_end, SLAB) {
+            session.ingest(&d.graph.events()[r]);
+        }
+        ingest_eps = ingest_eps.max(train_end as f64 / t0.elapsed().as_secs_f64());
+    }
+    let mut replay_eps = 0f64;
+    {
+        let csr = TCsr::build(&d.graph);
+        for _ in 0..2 {
+            let mut mem = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+            let t0 = Instant::now();
+            replay_memory(&model, &mc, &d, &csr, &mut mem, None, 0..train_end, SLAB);
+            replay_eps = replay_eps.max(train_end as f64 / t0.elapsed().as_secs_f64());
+        }
+    }
+    println!(
+        "ingest: {ingest_eps:.0} events/s live (offline replay reference {replay_eps:.0} events/s)"
+    );
+
+    // 2. Query throughput/latency at three micro-batch sizes against
+    // the fully ingested train split.
+    let mut session = ServeSession::new(&model, &d, None);
+    for r in batching::chronological_batches(0..train_end, SLAB) {
+        session.ingest(&d.graph.events()[r]);
+    }
+    let events = &d.graph.events()[0..train_end];
+    let t_query = d.graph.events()[train_end - 1].t + 1.0;
+    let sweeps: Vec<(usize, f64, LatencySummary)> = [(1usize, 400usize), (16, 200), (64, 100)]
+        .into_iter()
+        .map(|(batch, calls)| {
+            let (qps, lat) = query_sweep(&mut session, events, t_query, batch, calls);
+            println!(
+                "query micro-batch {batch:>2}: {qps:>7.0} req/s | p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+                lat.p50_secs * 1e3,
+                lat.p95_secs * 1e3,
+                lat.p99_secs * 1e3
+            );
+            (batch, qps, lat)
+        })
+        .collect();
+
+    let sweep_json: Vec<String> = sweeps
+        .iter()
+        .map(|(batch, qps, lat)| {
+            format!(
+                "{{\"micro_batch\":{batch},\"requests_per_sec\":{qps:.1},\"latency\":{}}}",
+                json_latency(lat)
+            )
+        })
+        .collect();
+    let record = format!(
+        "{{\"bench\":\"serve\",\"dataset\":\"{}\",\"events\":{},\"train_events\":{},\
+         \"ingest_slab\":{SLAB},\
+         \"ingest_events_per_sec\":{ingest_eps:.1},\
+         \"offline_replay_events_per_sec\":{replay_eps:.1},\
+         \"query_sweeps\":[{}],\
+         \"serve_equivalence_bit_identical\":true}}\n",
+        d.name,
+        d.graph.num_events(),
+        train_end,
+        sweep_json.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(record.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

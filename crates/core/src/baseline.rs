@@ -338,7 +338,7 @@ pub fn train_tgl(
             let mut rng = seeded_rng(cfg.seed);
             let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
             let mut adam = model.optimizer(cfg.scaled_lr());
-            let prep = BatchPreparer::new(&dataset, &csr, &model_cfg);
+            let prep = BatchPreparer::new(&dataset, csr.as_ref(), &model_cfg);
             let mut losses = Vec::new();
             let mut events = 0u64;
 

@@ -61,7 +61,7 @@
 
 use crate::config::ModelConfig;
 use disttgl_data::Dataset;
-use disttgl_graph::{NeighborBlock, RecentNeighborSampler, TCsr};
+use disttgl_graph::{NeighborBlock, RecentNeighborSampler, TemporalAdjacency};
 use disttgl_mem::{MemoryClient, MemoryReadout, MemoryState, MemoryWrite};
 use disttgl_tensor::Matrix;
 use std::collections::HashMap;
@@ -131,6 +131,17 @@ pub fn frontier_sizes(num_roots: usize, hops: &[NeighborBlock]) -> Vec<usize> {
 /// Total occurrence rows of a part (all frontiers).
 pub fn occurrence_rows(num_roots: usize, hops: &[NeighborBlock]) -> usize {
     num_roots + hops.iter().map(NeighborBlock::num_slots).sum::<usize>()
+}
+
+/// Gathers the dataset's edge-feature rows for arbitrary eids
+/// (zero-width safe) — shared by batch preparation, the engine's
+/// replay fast path, and the serving plane.
+pub(crate) fn edge_feature_rows(dataset: &Dataset, eids: &[u32]) -> Matrix {
+    if dataset.edge_features.cols() == 0 {
+        return Matrix::zeros(eids.len(), 0);
+    }
+    let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
+    dataset.edge_features.gather_rows(&idx)
 }
 
 /// The unique-node index of one batch part: the distinct nodes of the
@@ -387,10 +398,12 @@ impl PreparedBatch {
     }
 }
 
-/// Builds prepared batches from a dataset + T-CSR index.
+/// Builds prepared batches from a dataset + a time-sorted adjacency
+/// index (the frozen `TCsr` for training/offline evaluation, or the
+/// appendable `DynamicTCsr` when preparing over an evolving graph).
 pub struct BatchPreparer<'a> {
     dataset: &'a Dataset,
-    csr: &'a TCsr,
+    adj: &'a dyn TemporalAdjacency,
     sampler: RecentNeighborSampler,
     dedup: bool,
 }
@@ -401,10 +414,10 @@ impl<'a> BatchPreparer<'a> {
     /// `cfg.neighbor_fanouts` overrides it). `cfg.dedup_readout`
     /// selects between the folded (unique-row) and per-occurrence
     /// readout layouts.
-    pub fn new(dataset: &'a Dataset, csr: &'a TCsr, cfg: &ModelConfig) -> Self {
+    pub fn new(dataset: &'a Dataset, adj: &'a dyn TemporalAdjacency, cfg: &ModelConfig) -> Self {
         Self {
             dataset,
-            csr,
+            adj,
             sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
             dedup: cfg.dedup_readout,
         }
@@ -412,12 +425,7 @@ impl<'a> BatchPreparer<'a> {
 
     /// Gathers edge features for arbitrary eids (zero-width safe).
     fn edge_rows(&self, eids: &[u32]) -> Matrix {
-        let d_e = self.dataset.edge_features.cols();
-        if d_e == 0 {
-            return Matrix::zeros(eids.len(), 0);
-        }
-        let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
-        self.dataset.edge_features.gather_rows(&idx)
+        edge_feature_rows(self.dataset, eids)
     }
 
     /// **Phase 1** of batch preparation: everything that does *not*
@@ -449,7 +457,7 @@ impl<'a> BatchPreparer<'a> {
         pos_roots.extend_from_slice(&dsts);
         let mut pos_times = times.clone();
         pos_times.extend_from_slice(&times);
-        let pos_hops = self.sampler.sample_hops(self.csr, &pos_roots, &pos_times);
+        let pos_hops = self.sampler.sample_hops(self.adj, &pos_roots, &pos_times);
 
         // Negative roots per set.
         let mut negs = Vec::with_capacity(neg_sets.len());
@@ -459,7 +467,7 @@ impl<'a> BatchPreparer<'a> {
                 .iter()
                 .flat_map(|&t| std::iter::repeat_n(t, negs_per_event))
                 .collect();
-            let hops = self.sampler.sample_hops(self.csr, set, &neg_times);
+            let hops = self.sampler.sample_hops(self.adj, set, &neg_times);
             let uniq = self
                 .dedup
                 .then(|| ReadoutIndex::build(&occurrence_nodes(set, &hops)));
@@ -726,6 +734,7 @@ pub fn patch_readout(
 mod tests {
     use super::*;
     use disttgl_data::generators;
+    use disttgl_graph::TCsr;
 
     fn small_setup() -> (Dataset, TCsr, ModelConfig) {
         let d = generators::wikipedia(0.005, 3);

@@ -272,7 +272,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let parallel = cfg.parallel;
     let (i, j) = (parallel.i, parallel.j);
     let mut client = daemons[group].client(jg * i + ig);
-    let prep = BatchPreparer::new(&dataset, &csr, &model_cfg);
+    let prep = BatchPreparer::new(&dataset, csr.as_ref(), &model_cfg);
 
     // Identical seeded init on every replica (equivalent to broadcast).
     let mut rng = seeded_rng(cfg.seed);
@@ -558,7 +558,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 &model,
                 &model_cfg,
                 &dataset,
-                &csr,
+                csr.as_ref(),
                 &mut snap,
                 static_mem.as_ref().as_ref(),
                 train_end..eval_end,
@@ -590,7 +590,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 &model,
                 &model_cfg,
                 &dataset,
-                &csr,
+                csr.as_ref(),
                 &mut mem,
                 static_mem.as_ref().as_ref(),
                 train_end..val_end,
@@ -605,7 +605,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             &model,
             &model_cfg,
             &dataset,
-            &csr,
+            csr.as_ref(),
             &mut mem,
             static_mem.as_ref().as_ref(),
             val_end..test_end,

@@ -5,13 +5,23 @@
 //! batch **before** applying its memory write-back (the same reversed
 //! order as training — predictions never see their own events), and
 //! keeps updating a private copy of the node memory as it goes.
+//!
+//! Both entry points run on one [`InferenceEngine`]:
+//! [`evaluate`] walks the range through the full scored forward
+//! (engine `infer_step`), while [`replay_memory`] advances memory on
+//! the engine's sampling-free `memory_write` fast path — the write is
+//! a pure function of the roots' memory rows, so skipping the neighbor
+//! expansion and attention stack leaves the memory trajectory
+//! bit-identical (the `core::engine` contract) at a fraction of the
+//! replay cost.
 
 use crate::batch::BatchPreparer;
 use crate::config::ModelConfig;
+use crate::engine::InferenceEngine;
 use crate::model::TgnModel;
 use crate::static_mem::StaticMemory;
 use disttgl_data::{Dataset, EvalNegatives, Task};
-use disttgl_graph::TCsr;
+use disttgl_graph::TemporalAdjacency;
 use disttgl_mem::MemoryState;
 use disttgl_nn::loss;
 use disttgl_tensor::Matrix;
@@ -36,7 +46,7 @@ pub fn evaluate(
     model: &TgnModel,
     cfg: &ModelConfig,
     dataset: &Dataset,
-    csr: &TCsr,
+    adj: &dyn TemporalAdjacency,
     memory: &mut MemoryState,
     static_mem: Option<&StaticMemory>,
     range: Range<usize>,
@@ -44,7 +54,8 @@ pub fn evaluate(
     eval_negs: usize,
     seed: u64,
 ) -> EvalResult {
-    let prep = BatchPreparer::new(dataset, csr, cfg);
+    let prep = BatchPreparer::new(dataset, adj, cfg);
+    let mut engine = InferenceEngine::new();
     let mut sampler = EvalNegatives::new(&dataset.graph, seed);
     let mut total_loss = 0.0f64;
     let mut batches = 0usize;
@@ -65,7 +76,8 @@ pub fn evaluate(
                     .flat_map(|e| sampler.draw_excluding(eval_negs, e.dst))
                     .collect();
                 let prepared = prep.prepare(batch_range, &[&negs], eval_negs, memory);
-                let out = model.infer_step(&prepared.pos, Some(&prepared.negs[0]), static_mem);
+                let out =
+                    engine.infer_step(model, &prepared.pos, Some(&prepared.negs[0]), static_mem);
                 total_loss += out.loss as f64;
                 pos_all.extend_from_slice(&out.pos_scores);
                 neg_all.extend_from_slice(&out.neg_scores);
@@ -73,7 +85,7 @@ pub fn evaluate(
             }
             Task::EdgeClassification => {
                 let prepared = prep.prepare(batch_range, &[], 1, memory);
-                let out = model.infer_step(&prepared.pos, None, static_mem);
+                let out = engine.infer_step(model, &prepared.pos, None, static_mem);
                 total_loss += out.loss as f64;
                 let logits = Matrix::from_vec(b, cfg.num_classes, out.pos_scores.clone());
                 f1_logits.push(logits);
@@ -109,22 +121,29 @@ pub fn evaluate(
 
 /// Replays `range` through the model (no scoring) purely to advance
 /// `memory` — used to position a fresh memory at a split boundary.
+///
+/// Runs the engine's sampling-free memory path: the write-back never
+/// reads the attention stack, so the produced memory trajectory is
+/// bit-identical to a full forward replay at the same batch
+/// boundaries while skipping neighbor expansion entirely (`adj` and
+/// `static_mem` are accepted for signature compatibility but never
+/// consulted).
 #[allow(clippy::too_many_arguments)]
 pub fn replay_memory(
     model: &TgnModel,
-    cfg: &ModelConfig,
+    _cfg: &ModelConfig,
     dataset: &Dataset,
-    csr: &TCsr,
+    _adj: &dyn TemporalAdjacency,
     memory: &mut MemoryState,
-    static_mem: Option<&StaticMemory>,
+    _static_mem: Option<&StaticMemory>,
     range: Range<usize>,
     batch_size: usize,
 ) {
-    let prep = BatchPreparer::new(dataset, csr, cfg);
+    let mut engine = InferenceEngine::new();
     for batch_range in disttgl_graph::batching::chronological_batches(range, batch_size) {
-        let prepared = prep.prepare(batch_range, &[], 1, memory);
-        let out = model.infer_step(&prepared.pos, None, static_mem);
-        memory.write(&out.write);
+        let events = &dataset.graph.events()[batch_range];
+        let (w, _) = engine.memory_write_events(model, dataset, events, memory);
+        memory.write(&w);
     }
 }
 
@@ -132,6 +151,7 @@ pub fn replay_memory(
 mod tests {
     use super::*;
     use disttgl_data::generators;
+    use disttgl_graph::TCsr;
     use disttgl_tensor::seeded_rng;
 
     #[test]

@@ -18,7 +18,14 @@
 //! * [`train_single_pipelined`] — the same semantics with mini-batch
 //!   preparation overlapped behind compute;
 //! * [`baseline`] — TGN- and TGL-style baselines for Figures 1 and 12;
-//! * [`evaluate`] — MRR / F1-micro evaluation.
+//! * [`evaluate`] — MRR / F1-micro evaluation;
+//! * [`InferenceEngine`] — the task-agnostic, gradient-free forward
+//!   walk (memory gather → folded GRU → L-layer attention → decoder)
+//!   shared by evaluation and serving;
+//! * [`serve`] — the streaming serving plane: a [`serve::ServeSession`]
+//!   ingests live events into an appendable adjacency + live node
+//!   memory and answers micro-batched link-score/embedding queries,
+//!   bit-identical to [`evaluate`]'s offline replay.
 //!
 //! ## The pipelined batch-prefetch executor
 //!
@@ -50,11 +57,13 @@ pub mod baseline;
 mod batch;
 mod config;
 mod dist;
+mod engine;
 mod eval;
 mod metrics;
 mod model;
 pub mod pipeline;
 mod sched;
+pub mod serve;
 mod single;
 mod static_mem;
 
@@ -66,8 +75,9 @@ pub use config::{
     plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,
 };
 pub use dist::train_distributed;
+pub use engine::{InferenceEngine, PartEmbedding, PartRef};
 pub use eval::{evaluate, replay_memory, EvalResult};
-pub use metrics::{ConvergencePoint, RunResult, TimingBreakdown};
+pub use metrics::{ConvergencePoint, LatencyHistogram, LatencySummary, RunResult, TimingBreakdown};
 pub use model::{StepOutput, TgnModel};
 pub use pipeline::{BatchPrefetcher, PrefetchRequest, PrefetchedBatch, SharedMemory};
 pub use sched::{GroupSchedule, StepPlan};

@@ -5,6 +5,92 @@ use disttgl_cluster::CommStats;
 use disttgl_mem::DaemonStats;
 use serde::{Deserialize, Serialize};
 
+/// Latency recorder for the serving plane: collects per-call wall
+/// times and reports exact (nearest-rank) percentiles — the p50/p95/p99
+/// quantities `BENCH_serve.json` publishes. Sample storage is exact
+/// rather than bucketed: a serving benchmark records thousands of
+/// calls, not billions, and exact tails beat approximation error at
+/// that scale.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<f64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call's latency in seconds.
+    pub fn record(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact nearest-rank percentile (`p` in `[0, 100]`); 0.0 on an
+    /// empty histogram. Sorts a copy per call — probe several
+    /// percentiles through [`LatencyHistogram::summary`], which sorts
+    /// once.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = sorted.len();
+        // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Summarizes into the serializable record (one sort for all
+    /// percentiles).
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = sorted.len();
+        let rank = |p: f64| sorted[(((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencySummary {
+            count: n,
+            mean_secs: sorted.iter().sum::<f64>() / n as f64,
+            p50_secs: rank(50.0),
+            p95_secs: rank(95.0),
+            p99_secs: rank(99.0),
+            max_secs: sorted[n - 1],
+        }
+    }
+}
+
+/// Serializable summary of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: usize,
+    /// Mean latency (seconds).
+    pub mean_secs: f64,
+    /// Median (nearest-rank), seconds.
+    pub p50_secs: f64,
+    /// 95th percentile, seconds.
+    pub p95_secs: f64,
+    /// 99th percentile, seconds.
+    pub p99_secs: f64,
+    /// Worst observed call, seconds.
+    pub max_secs: f64,
+}
+
 /// One point on a convergence curve (Figures 1, 6, 9, 11).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ConvergencePoint {
@@ -172,5 +258,40 @@ mod tests {
         r.finalize_convergence();
         assert_eq!(r.best_val_metric, 0.0);
         assert_eq!(r.iters_to_best, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_exact_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        // 1..=100 ms, shuffled insertion order.
+        for i in (1..=100u32).rev() {
+            h.record(i as f64 * 1e-3);
+        }
+        assert_eq!(h.len(), 100);
+        assert!((h.percentile(50.0) - 0.050).abs() < 1e-12);
+        assert!((h.percentile(95.0) - 0.095).abs() < 1e-12);
+        assert!((h.percentile(99.0) - 0.099).abs() < 1e-12);
+        assert!((h.percentile(100.0) - 0.100).abs() < 1e-12);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_secs - 0.0505).abs() < 1e-12);
+        assert!((s.p50_secs - 0.050).abs() < 1e-12);
+        assert!((s.max_secs - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_single_sample_and_empty() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.summary().count, 0);
+        h.record(0.25);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0.25);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p99_secs, 0.25);
+        assert_eq!(s.max_secs, 0.25);
     }
 }

@@ -52,7 +52,7 @@ use rand::Rng;
 use std::time::Instant;
 
 /// Decoder head selected by the dataset task.
-enum Head {
+pub(crate) enum Head {
     Link(EdgePredictor),
     Class(EdgeClassifier),
 }
@@ -92,7 +92,7 @@ pub struct TgnModel {
 /// matrices — union-frontier rows × mail_dim-adjacent — dominate
 /// per-step allocation).
 #[derive(Default)]
-struct EmbedScratch {
+pub(crate) struct EmbedScratch {
     /// Fused-GRU gate buffers (see [`GruCell::forward_into`]).
     gru: GruCache,
     /// `ŝ`: GRU output where a mail was pending, prior memory
@@ -119,9 +119,9 @@ struct EmbedScratch {
 /// Scratch for a whole training step: one arena per root set, since
 /// the positive and negative embeds are both alive until backward.
 #[derive(Default)]
-struct StepScratch {
-    pos: EmbedScratch,
-    neg: EmbedScratch,
+pub(crate) struct StepScratch {
+    pub(crate) pos: EmbedScratch,
+    pub(crate) neg: EmbedScratch,
 }
 
 /// Forward state of one (layer, depth) attention+combine application.
@@ -134,7 +134,7 @@ struct DepthCache {
 
 /// Per-root-set forward state kept for the backward pass (the parts
 /// not already held by [`EmbedScratch`]).
-struct EmbedCache {
+pub(crate) struct EmbedCache {
     /// Per-hop Δt lists (shared by every layer attending over that
     /// hop).
     slot_dts: Vec<Vec<f32>>,
@@ -294,7 +294,7 @@ impl TgnModel {
     /// here, at the attention boundary).
     /// Returns `(embeddings, ŝ_roots, root update ts, cache)`.
     #[allow(clippy::too_many_arguments)]
-    fn embed(
+    pub(crate) fn embed(
         &self,
         roots: &[u32],
         times: &[f32],
@@ -575,17 +575,55 @@ impl TgnModel {
         // No BPTT: gradients stop at the fetched memory and mails.
     }
 
-    /// Builds the delayed-update write-back for a batch's root nodes.
+    /// The decoder head (crate-internal: the inference engine scores
+    /// through it).
+    pub(crate) fn head(&self) -> &Head {
+        &self.head
+    }
+
+    /// The **memory-update half** of an embed, without the attention
+    /// stack: runs the folded GRU over `readout`'s unique rows and
+    /// expands the first `num_roots` occurrences (Eq. 3 + the has-mail
+    /// guard). Because the memory write-back reads nothing but `ŝ` of
+    /// the roots, this is bit-identical to the root rows a full
+    /// [`TgnModel::embed`] would produce — the GRU is a pure per-row
+    /// function of `(mem, mail)`, whatever else shares the gather.
+    /// Returns `(ŝ_roots, root update ts)`.
+    pub(crate) fn fold_memory_update(
+        &self,
+        readout: &ReadoutView,
+        uniq: &ReadoutIndex,
+        num_roots: usize,
+        scratch: &mut EmbedScratch,
+    ) -> (Matrix, Vec<f32>) {
+        debug_assert_eq!(readout.rows(), uniq.num_unique(), "folded readout rows");
+        let ts = self.update_memory(readout, scratch);
+        let mut s_hat_roots = Matrix::default();
+        scratch
+            .s_hat
+            .expand_rows(&uniq.occ_to_unique[..num_roots], &mut s_hat_roots);
+        let root_ts = (0..num_roots)
+            .map(|e| ts[uniq.occ_to_unique[e] as usize])
+            .collect();
+        (s_hat_roots, root_ts)
+    }
+
+    /// Builds the delayed-update write-back for a batch's root nodes
+    /// (`srcs`/`dsts`/`times`/`event_feats` are the batch's events,
+    /// `s_hat_roots`/`root_ts` the updated memory of `srcs ++ dsts`).
     ///
     /// Write order is `u₀, v₀, u₁, v₁, …` (chronological), so the
     /// last-write-wins scatter realizes the most-recent-mail `COMB`.
-    fn build_write(
+    pub(crate) fn build_write(
         &self,
-        pos: &PositivePart,
+        srcs: &[u32],
+        dsts: &[u32],
+        times: &[f32],
+        event_feats: &Matrix,
         s_hat_roots: &Matrix,
         root_ts: &[f32],
     ) -> MemoryWrite {
-        let b = pos.len();
+        let b = srcs.len();
         let d_mem = self.cfg.d_mem;
         let mail_dim = self.cfg.mail_dim();
         let mut nodes = Vec::with_capacity(2 * b);
@@ -598,16 +636,16 @@ impl TgnModel {
         // endpoints of every event.
         let mut deltas = Vec::with_capacity(2 * b);
         for e in 0..b {
-            deltas.push((pos.times[e] - root_ts[e]).max(0.0));
-            deltas.push((pos.times[e] - root_ts[b + e]).max(0.0));
+            deltas.push((times[e] - root_ts[e]).max(0.0));
+            deltas.push((times[e] - root_ts[b + e]).max(0.0));
         }
         let phi = self.time_enc.forward(&self.params, &deltas);
 
         for e in 0..b {
-            let (u, v, t) = (pos.srcs[e], pos.dsts[e], pos.times[e]);
+            let (u, v, t) = (srcs[e], dsts[e], times[e]);
             let su = s_hat_roots.row(e);
             let sv = s_hat_roots.row(b + e);
-            let feats = pos.event_feats.row(e);
+            let feats = event_feats.row(e);
 
             let row = 2 * e;
             nodes.push(u);
@@ -728,7 +766,14 @@ impl TgnModel {
             static_mem,
             &mut scratch.pos,
         );
-        let write = write_sink(self.build_write(pos, &s_hat_roots, &root_ts));
+        let write = write_sink(self.build_write(
+            &pos.srcs,
+            &pos.dsts,
+            &pos.times,
+            &pos.event_feats,
+            &s_hat_roots,
+            &root_ts,
+        ));
         let src_emb = pos_emb.slice_rows(0, b);
         let dst_emb = pos_emb.slice_rows(b, 2 * b);
 
@@ -796,76 +841,15 @@ impl TgnModel {
         neg: Option<&NegativePart>,
         static_mem: Option<&StaticMemory>,
     ) -> StepOutput {
-        let b = pos.len();
-        // `&self` receiver → per-call scratch (evaluation is off the
-        // training hot path).
-        let mut scratch = StepScratch::default();
-        let (pos_emb, s_hat_roots, root_ts, _) = self.embed(
-            pos_roots(pos),
-            pos_times(pos),
-            &pos.hops,
-            &pos.readout,
-            pos.uniq.as_ref(),
-            &pos.nbr_feats,
-            static_mem,
-            &mut scratch.pos,
-        );
-        let write = self.build_write(pos, &s_hat_roots, &root_ts);
-        let src_emb = pos_emb.slice_rows(0, b);
-        let dst_emb = pos_emb.slice_rows(b, 2 * b);
+        // `&self` receiver → per-call engine scratch (evaluation and
+        // serving hot loops hold their own long-lived
+        // [`crate::InferenceEngine`] instead).
+        crate::engine::InferenceEngine::new().infer_step(self, pos, neg, static_mem)
+    }
 
-        match (&self.head, neg) {
-            (Head::Link(pred), Some(neg)) => {
-                let kneg = neg.negs.len() / b;
-                let (neg_emb, _, _, _) = self.embed(
-                    &neg.negs,
-                    &neg.times,
-                    &neg.hops,
-                    &neg.readout,
-                    neg.uniq.as_ref(),
-                    &neg.nbr_feats,
-                    static_mem,
-                    &mut scratch.neg,
-                );
-                let pos_logits = pred.infer(&self.params, &src_emb, &dst_emb);
-                let src_rep = Self::repeat_rows(&src_emb, kneg);
-                let neg_logits = pred.infer(&self.params, &src_rep, &neg_emb);
-                let ones = Matrix::full(b, 1, 1.0);
-                let zeros = Matrix::zeros(neg_logits.rows(), 1);
-                let (lp, _) = loss::bce_with_logits(&pos_logits, &ones);
-                let (ln, _) = loss::bce_with_logits(&neg_logits, &zeros);
-                StepOutput {
-                    loss: 0.5 * (lp + ln),
-                    pos_scores: pos_logits.into_vec(),
-                    neg_scores: neg_logits.into_vec(),
-                    write,
-                }
-            }
-            (Head::Class(clf), _) => {
-                let logits = clf.infer(&self.params, &src_emb, &dst_emb);
-                let l = pos
-                    .labels
-                    .as_ref()
-                    .map(|lab| loss::multi_label_bce(&logits, lab).0)
-                    .unwrap_or(0.0);
-                StepOutput {
-                    loss: l,
-                    pos_scores: logits.into_vec(),
-                    neg_scores: Vec::new(),
-                    write,
-                }
-            }
-            (Head::Link(_), None) => {
-                // Memory-maintenance pass (no scoring): used when
-                // replaying a stream purely to advance node memory.
-                StepOutput {
-                    loss: 0.0,
-                    pos_scores: Vec::new(),
-                    neg_scores: Vec::new(),
-                    write,
-                }
-            }
-        }
+    /// `repeat_rows` for the engine (crate-internal).
+    pub(crate) fn repeat_rows_for(m: &Matrix, k: usize) -> Matrix {
+        Self::repeat_rows(m, k)
     }
 }
 
@@ -928,12 +912,12 @@ fn combine_mean(w: MemoryWrite) -> MemoryWrite {
 
 /// The positive roots `srcs ++ dsts`, materialized once at batch
 /// preparation (phase 1) instead of cloned on every training pass.
-fn pos_roots(pos: &PositivePart) -> &[u32] {
+pub(crate) fn pos_roots(pos: &PositivePart) -> &[u32] {
     &pos.roots
 }
 
 /// Query times of [`pos_roots`] (`times ++ times`).
-fn pos_times(pos: &PositivePart) -> &[f32] {
+pub(crate) fn pos_times(pos: &PositivePart) -> &[f32] {
     &pos.root_times
 }
 

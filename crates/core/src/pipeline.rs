@@ -258,7 +258,7 @@ impl BatchPrefetcher {
         let handle = std::thread::Builder::new()
             .name("disttgl-prefetch".into())
             .spawn(move || {
-                let prep = BatchPreparer::new(&dataset, &csr, &model_cfg);
+                let prep = BatchPreparer::new(&dataset, csr.as_ref(), &model_cfg);
                 while let Ok(req) = req_rx.recv() {
                     let wants_readout = req.gather_memory;
                     let neg_refs: Vec<&[u32]> = req.negs.iter().map(Vec::as_slice).collect();
@@ -376,7 +376,7 @@ mod tests {
     #[test]
     fn split_prepare_matches_one_shot() {
         let (d, csr, cfg) = setup();
-        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let prep = BatchPreparer::new(&d, csr.as_ref(), &cfg);
         let negs: Vec<u32> = (0..32).map(|i| d.graph.events()[i].dst).collect();
 
         let mut mem_a = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
@@ -408,7 +408,7 @@ mod tests {
     #[test]
     fn prefetcher_is_fifo_and_exact() {
         let (d, csr, cfg) = setup();
-        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let prep = BatchPreparer::new(&d, csr.as_ref(), &cfg);
         let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg.clone());
 
         let ranges = [0usize..16, 16..48, 48..50];
@@ -449,7 +449,7 @@ mod tests {
     #[test]
     fn finish_sees_writes_issued_after_prefetch() {
         let (d, csr, cfg) = setup();
-        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let prep = BatchPreparer::new(&d, csr.as_ref(), &cfg);
         let mut prefetcher = BatchPrefetcher::spawn(Arc::clone(&d), Arc::clone(&csr), cfg.clone());
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
 
@@ -511,7 +511,7 @@ mod tests {
     #[test]
     fn attach_and_repair_with_delta_matches_serialized() {
         let (d, csr, cfg) = setup();
-        let prep = BatchPreparer::new(&d, &csr, &cfg);
+        let prep = BatchPreparer::new(&d, csr.as_ref(), &cfg);
         let mut mem = MemoryState::new(d.graph.num_nodes(), cfg.d_mem, cfg.mail_dim());
         let sb = prep.prepare_static(0..16, &[], 1);
         let mut batch = PrefetchedBatch {

@@ -1,0 +1,516 @@
+//! The **streaming serving plane**: answer live embedding / link-score
+//! queries over an evolving temporal graph with the exact arithmetic
+//! of offline evaluation.
+//!
+//! A [`ServeSession`] owns the three pieces of live state a deployed
+//! memory-based TGNN needs — the node [`MemoryState`] + mailbox, the
+//! appendable adjacency ([`DynamicTCsr`]), and the static node memory
+//! — and exposes two entry points:
+//!
+//! * [`ServeSession::ingest`] — absorb a chronological slab of
+//!   observed events: the adjacency is extended first (an appended
+//!   event is invisible to any query at or before its own time —
+//!   strictly-before sampling — so the append is always safe to run
+//!   early), then the batched mailbox/GRU memory update runs with the
+//!   identical arithmetic of [`crate::replay_memory`] at the same
+//!   batch boundaries, on the engine's sampling-free fast path.
+//! * [`ServeSession::query`] — score link candidates or return node
+//!   embeddings at arbitrary query times. Concurrent requests
+//!   micro-batch through **one** frontier expansion and one
+//!   unique-node memory gather (the PR 2/PR 4 union-fold contract);
+//!   per-row purity of every model stage means a request's answer
+//!   never depends on what else shares the micro-batch.
+//!
+//! [`ServeSession::ingest_scored`] composes the two in the
+//! score-before-write order of evaluation (and of real traffic
+//! scoring): extend adjacency → query the slab's own events (plus any
+//! extra candidates) against **pre-slab memory** → apply the memory
+//! update.
+//!
+//! # The bit-identity contract
+//!
+//! Serving is a *re-ordering* of offline evaluation's arithmetic,
+//! never a new approximation. Concretely: seed a session with an event
+//! prefix via [`ServeSession::ingest`], then walk a range with
+//! [`ServeSession::ingest_scored`] at the oracle's batch boundaries —
+//! the produced scores, task metrics, and the final node-memory
+//! checksum are **bit-identical** to [`crate::evaluate`] replaying the
+//! same events offline over a frozen [`disttgl_graph::TCsr`]. Pinned
+//! for both tasks and 1-/2-layer stacks by
+//! `tests/serve_equivalence.rs`.
+
+use crate::batch::{edge_feature_rows, occurrence_nodes, ReadoutIndex, ReadoutView};
+use crate::engine::{InferenceEngine, PartRef};
+use crate::model::TgnModel;
+use crate::static_mem::StaticMemory;
+use disttgl_data::Dataset;
+use disttgl_graph::{DynamicTCsr, Event, RecentNeighborSampler};
+use disttgl_mem::MemoryState;
+use disttgl_tensor::Matrix;
+
+/// One serving request, timestamped by the client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryRequest {
+    /// Score the candidate link `(src, dst)` as of time `t`: the link
+    /// predictor's logit on a link-prediction model, the per-class
+    /// logits on an edge-classification model.
+    LinkScore {
+        /// Candidate source node.
+        src: u32,
+        /// Candidate destination node.
+        dst: u32,
+        /// Query time (only events strictly before `t` support it).
+        t: f32,
+    },
+    /// Return `node`'s temporal embedding as of time `t`.
+    Embed {
+        /// Node to embed.
+        node: u32,
+        /// Query time.
+        t: f32,
+    },
+}
+
+/// Answer to one [`QueryRequest`], in request order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResponse {
+    /// Decoder output of a [`QueryRequest::LinkScore`]: one logit for
+    /// link prediction, `num_classes` logits for classification.
+    Scores(Vec<f32>),
+    /// The `d_emb`-wide embedding of a [`QueryRequest::Embed`].
+    Embedding(Vec<f32>),
+}
+
+impl QueryResponse {
+    /// The scores of a [`QueryResponse::Scores`] answer.
+    ///
+    /// # Panics
+    /// Panics on an embedding response.
+    pub fn scores(&self) -> &[f32] {
+        match self {
+            QueryResponse::Scores(s) => s,
+            QueryResponse::Embedding(_) => panic!("embedding response has no scores"),
+        }
+    }
+
+    /// The vector of a [`QueryResponse::Embedding`] answer.
+    ///
+    /// # Panics
+    /// Panics on a scores response.
+    pub fn embedding(&self) -> &[f32] {
+        match self {
+            QueryResponse::Embedding(e) => e,
+            QueryResponse::Scores(_) => panic!("scores response has no embedding"),
+        }
+    }
+}
+
+/// Accounting for one [`ServeSession::ingest`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestStats {
+    /// Events absorbed.
+    pub events: usize,
+    /// Rows in the applied write request: `2 · events` under the
+    /// most-recent `COMB` (duplicate nodes resolve last-write-wins at
+    /// apply time), fewer under mean `COMB`, which pre-collapses.
+    pub rows_written: usize,
+    /// Unique memory rows gathered for the GRU update.
+    pub rows_read: usize,
+}
+
+/// Result of [`ServeSession::ingest_scored`].
+#[derive(Clone, Debug)]
+pub struct ScoredIngest {
+    /// Score of each ingested event `(src, dst, t)` in slab order —
+    /// computed against pre-slab memory, exactly as offline evaluation
+    /// scores a batch before its write-back.
+    pub event_scores: Vec<QueryResponse>,
+    /// Answers to the `extra` candidate requests, same memory point.
+    pub extra: Vec<QueryResponse>,
+    /// The slab's ingest accounting.
+    pub stats: IngestStats,
+}
+
+/// An online inference session over an evolving temporal graph (see
+/// the module docs). Borrows the trained model and the dataset's
+/// edge-feature table; owns the live memory and adjacency.
+pub struct ServeSession<'a> {
+    model: &'a TgnModel,
+    dataset: &'a Dataset,
+    static_mem: Option<&'a StaticMemory>,
+    adj: DynamicTCsr,
+    memory: MemoryState,
+    engine: InferenceEngine,
+    sampler: RecentNeighborSampler,
+    dedup: bool,
+    ingested: usize,
+}
+
+impl<'a> ServeSession<'a> {
+    /// Opens a session with an empty graph and zeroed node memory.
+    /// Feed history through [`ServeSession::ingest`] to warm-start —
+    /// at the same batch boundaries as an offline replay if
+    /// bit-identical positioning matters.
+    pub fn new(
+        model: &'a TgnModel,
+        dataset: &'a Dataset,
+        static_mem: Option<&'a StaticMemory>,
+    ) -> Self {
+        let cfg = &model.cfg;
+        Self {
+            model,
+            dataset,
+            static_mem,
+            adj: DynamicTCsr::new(dataset.graph.num_nodes()),
+            memory: MemoryState::new(dataset.graph.num_nodes(), cfg.d_mem, cfg.mail_dim()),
+            engine: InferenceEngine::new(),
+            sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
+            dedup: cfg.dedup_readout,
+            ingested: 0,
+        }
+    }
+
+    /// Events absorbed so far.
+    pub fn events_ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// The live adjacency (read access).
+    pub fn adjacency(&self) -> &DynamicTCsr {
+        &self.adj
+    }
+
+    /// The live node memory (read access).
+    pub fn memory(&self) -> &MemoryState {
+        &self.memory
+    }
+
+    /// Content digest of the live node memory — what the equivalence
+    /// suite compares against the offline replay's state.
+    pub fn memory_checksum(&self) -> u64 {
+        self.memory.checksum()
+    }
+
+    /// Absorbs a chronological slab of observed events: extends the
+    /// live adjacency, then applies the batched mailbox/GRU memory
+    /// update (one folded GRU pass over the slab's unique root rows,
+    /// one write — the identical arithmetic of [`crate::replay_memory`]
+    /// at these batch boundaries).
+    ///
+    /// # Panics
+    /// Panics if an event precedes the stream head, names a node
+    /// outside the session's range, or carries an `eid` outside the
+    /// edge-feature table.
+    pub fn ingest(&mut self, events: &[Event]) -> IngestStats {
+        self.extend_adjacency(events);
+        self.apply_memory(events)
+    }
+
+    /// Phase A of [`ServeSession::ingest`]: the adjacency append.
+    fn extend_adjacency(&mut self, events: &[Event]) {
+        let feat_rows = self.dataset.edge_features.rows();
+        if self.dataset.edge_features.cols() > 0 {
+            for e in events {
+                assert!(
+                    (e.eid as usize) < feat_rows,
+                    "ingest: eid {} outside the edge-feature table ({feat_rows} rows)",
+                    e.eid
+                );
+            }
+        }
+        self.adj.append_events(events);
+    }
+
+    /// Phase B of [`ServeSession::ingest`]: the batched memory update.
+    fn apply_memory(&mut self, events: &[Event]) -> IngestStats {
+        if events.is_empty() {
+            return IngestStats::default();
+        }
+        let (w, rows_read) =
+            self.engine
+                .memory_write_events(self.model, self.dataset, events, &mut self.memory);
+        let stats = IngestStats {
+            events: events.len(),
+            rows_written: w.nodes.len(),
+            rows_read,
+        };
+        self.memory.write(&w);
+        self.ingested += events.len();
+        stats
+    }
+
+    /// Answers a micro-batch of concurrent requests against the
+    /// current graph + memory, read-only: one multi-hop frontier
+    /// expansion over all requested roots, one unique-node memory
+    /// gather across the union of every hop frontier, one pass through
+    /// the attention stack, one decoder call over all link candidates.
+    /// Responses are in request order, and each is bit-identical to
+    /// what the request would get in a micro-batch of its own (per-row
+    /// purity — see `core::engine`).
+    pub fn query(&mut self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Flatten requests into one root list (a link candidate
+        // contributes its two endpoints back-to-back).
+        let mut roots = Vec::new();
+        let mut times = Vec::new();
+        for r in requests {
+            match *r {
+                QueryRequest::LinkScore { src, dst, t } => {
+                    roots.push(src);
+                    roots.push(dst);
+                    times.push(t);
+                    times.push(t);
+                }
+                QueryRequest::Embed { node, t } => {
+                    roots.push(node);
+                    times.push(t);
+                }
+            }
+        }
+        let n = self.dataset.graph.num_nodes() as u32;
+        for &r in &roots {
+            assert!(r < n, "query: node {r} outside the session's range");
+        }
+
+        // One frontier expansion + one folded gather for the whole
+        // micro-batch (the union contract: every hop's rows fold into
+        // one unique-node read).
+        let hops = self.sampler.sample_hops(&self.adj, &roots, &times);
+        let occ = occurrence_nodes(&roots, &hops);
+        let uniq = self.dedup.then(|| ReadoutIndex::build(&occ));
+        let nodes: &[u32] = match &uniq {
+            Some(u) => &u.unique_nodes,
+            None => &occ,
+        };
+        let readout = ReadoutView::whole(MemoryState::read(&self.memory, nodes));
+        let nbr_feats: Vec<Matrix> = hops
+            .iter()
+            .map(|h| edge_feature_rows(self.dataset, &h.eids))
+            .collect();
+        let part = PartRef {
+            roots: &roots,
+            times: &times,
+            hops: &hops,
+            readout: &readout,
+            uniq: uniq.as_ref(),
+            nbr_feats: &nbr_feats,
+        };
+        let pe = self.engine.embed_part(self.model, part, self.static_mem);
+
+        // One decoder call over every link candidate.
+        let mut src_rows = Vec::new();
+        let mut dst_rows = Vec::new();
+        let mut row = 0usize;
+        for r in requests {
+            if let QueryRequest::LinkScore { .. } = r {
+                src_rows.push(row);
+                dst_rows.push(row + 1);
+            }
+            row += match r {
+                QueryRequest::LinkScore { .. } => 2,
+                QueryRequest::Embed { .. } => 1,
+            };
+        }
+        let scores = (!src_rows.is_empty()).then(|| {
+            self.engine.score_pairs(
+                self.model,
+                &pe.emb.gather_rows(&src_rows),
+                &pe.emb.gather_rows(&dst_rows),
+            )
+        });
+
+        let mut out = Vec::with_capacity(requests.len());
+        let mut row = 0usize;
+        let mut pair = 0usize;
+        for r in requests {
+            match r {
+                QueryRequest::LinkScore { .. } => {
+                    let s = scores.as_ref().expect("scored above");
+                    out.push(QueryResponse::Scores(s.row(pair).to_vec()));
+                    pair += 1;
+                    row += 2;
+                }
+                QueryRequest::Embed { .. } => {
+                    out.push(QueryResponse::Embedding(pe.emb.row(row).to_vec()));
+                    row += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Score-then-ingest, the streaming form of evaluation's
+    /// score-before-write order: extends the adjacency with `events`,
+    /// answers one micro-batched query for the slab's own `(src, dst,
+    /// t)` candidates plus any `extra` requests — all against
+    /// **pre-slab memory** — then applies the slab's memory update.
+    /// Driving a range through this call at an offline oracle's batch
+    /// boundaries reproduces [`crate::evaluate`] bit for bit (the
+    /// module-level contract).
+    pub fn ingest_scored(&mut self, events: &[Event], extra: &[QueryRequest]) -> ScoredIngest {
+        self.extend_adjacency(events);
+        let mut requests: Vec<QueryRequest> = events
+            .iter()
+            .map(|e| QueryRequest::LinkScore {
+                src: e.src,
+                dst: e.dst,
+                t: e.t,
+            })
+            .collect();
+        requests.extend_from_slice(extra);
+        let mut event_scores = self.query(&requests);
+        let extra_resp = event_scores.split_off(events.len());
+        let stats = self.apply_memory(events);
+        ScoredIngest {
+            event_scores,
+            extra: extra_resp,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use disttgl_data::generators;
+    use disttgl_tensor::seeded_rng;
+
+    fn link_setup(n_layers: usize) -> (disttgl_data::Dataset, TgnModel) {
+        let d = generators::wikipedia(0.005, 21);
+        let mut cfg = ModelConfig::compact(d.edge_features.cols()).with_layers(n_layers);
+        cfg.n_neighbors = 5;
+        let mut rng = seeded_rng(4);
+        let model = TgnModel::new(cfg, &mut rng);
+        (d, model)
+    }
+
+    #[test]
+    fn query_is_read_only() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[0..200]);
+        let before = s.memory_checksum();
+        let reqs = vec![
+            QueryRequest::LinkScore {
+                src: d.graph.events()[10].src,
+                dst: d.graph.events()[10].dst,
+                t: 1e9,
+            },
+            QueryRequest::Embed {
+                node: d.graph.events()[0].src,
+                t: 1e9,
+            },
+        ];
+        let resp = s.query(&reqs);
+        assert_eq!(resp.len(), 2);
+        assert_eq!(resp[0].scores().len(), 1);
+        assert_eq!(resp[1].embedding().len(), model.cfg.d_emb);
+        assert_eq!(s.memory_checksum(), before, "query must not mutate memory");
+        assert_eq!(
+            s.adjacency().num_events(),
+            200,
+            "query must not mutate adjacency"
+        );
+    }
+
+    /// Micro-batching must not change any request's answer: a batch of
+    /// requests answers exactly as the same requests issued one by one
+    /// (per-row purity through the whole stack).
+    #[test]
+    fn micro_batched_queries_equal_single_queries() {
+        let (d, model) = link_setup(2);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[0..300]);
+        let ev = d.graph.events();
+        let reqs: Vec<QueryRequest> = (0..8)
+            .map(|i| QueryRequest::LinkScore {
+                src: ev[i * 7].src,
+                dst: ev[i * 11 + 3].dst,
+                t: ev[299].t + 1.0,
+            })
+            .chain([QueryRequest::Embed {
+                node: ev[5].src,
+                t: ev[299].t + 1.0,
+            }])
+            .collect();
+        let batched = s.query(&reqs);
+        for (i, r) in reqs.iter().enumerate() {
+            let single = s.query(std::slice::from_ref(r));
+            assert_eq!(single[0], batched[i], "request {i}");
+        }
+    }
+
+    #[test]
+    fn ingest_advances_stream_state() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        let stats = s.ingest(&d.graph.events()[0..64]);
+        assert_eq!(stats.events, 64);
+        assert!(stats.rows_written > 0 && stats.rows_written <= 128);
+        assert!(stats.rows_read > 0);
+        assert_eq!(s.events_ingested(), 64);
+        let more = s.ingest(&d.graph.events()[64..96]);
+        assert_eq!(more.events, 32);
+        assert_eq!(s.events_ingested(), 96);
+        assert_eq!(s.adjacency().num_events(), 96);
+    }
+
+    #[test]
+    fn classification_queries_return_class_logits() {
+        let d = generators::gdelt(2e-5, 13);
+        let mut cfg = ModelConfig::compact(d.edge_features.cols()).with_classes(56);
+        cfg.n_neighbors = 5;
+        let mut rng = seeded_rng(6);
+        let model = TgnModel::new(cfg, &mut rng);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[0..100]);
+        let e = &d.graph.events()[50];
+        let resp = s.query(&[QueryRequest::LinkScore {
+            src: e.src,
+            dst: e.dst,
+            t: 1e12,
+        }]);
+        assert_eq!(resp[0].scores().len(), 56);
+    }
+
+    #[test]
+    fn ingest_scored_scores_before_write() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[0..100]);
+        let pre = s.memory_checksum();
+        let slab: Vec<Event> = d.graph.events()[100..140].to_vec();
+        let out = s.ingest_scored(&slab, &[]);
+        assert_eq!(out.event_scores.len(), 40);
+        assert_eq!(out.stats.events, 40);
+        assert_ne!(s.memory_checksum(), pre, "ingest applied the write");
+
+        // Re-scoring the same candidates now (post-write) differs —
+        // proof the scores were taken at the pre-slab memory point.
+        let reqs: Vec<QueryRequest> = slab
+            .iter()
+            .map(|e| QueryRequest::LinkScore {
+                src: e.src,
+                dst: e.dst,
+                t: e.t,
+            })
+            .collect();
+        let post = s.query(&reqs);
+        assert_ne!(
+            out.event_scores, post,
+            "pre- and post-write scores should differ on a recurrent stream"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the stream head")]
+    fn out_of_order_ingest_panics() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[10..20]);
+        s.ingest(&d.graph.events()[0..5]);
+    }
+}

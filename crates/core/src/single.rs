@@ -101,7 +101,7 @@ fn run_single(
         Task::EdgeClassification => None,
     };
 
-    let prep = BatchPreparer::new(dataset, &csr, model_cfg);
+    let prep = BatchPreparer::new(dataset, csr.as_ref(), model_cfg);
     let memory: SharedMemory = Arc::new(RwLock::new(MemoryState::new(
         dataset.graph.num_nodes(),
         model_cfg.d_mem,
@@ -223,7 +223,7 @@ fn run_single(
                 &model,
                 model_cfg,
                 dataset,
-                &csr,
+                csr.as_ref(),
                 &mut val_mem,
                 static_mem.as_ref(),
                 train_end..eval_end,
@@ -265,7 +265,7 @@ fn run_single(
             &model,
             model_cfg,
             dataset,
-            &csr,
+            csr.as_ref(),
             &mut test_mem,
             static_mem.as_ref(),
             train_end..val_end,
@@ -280,7 +280,7 @@ fn run_single(
         &model,
         model_cfg,
         dataset,
-        &csr,
+        csr.as_ref(),
         &mut test_mem,
         static_mem.as_ref(),
         val_end..test_end,

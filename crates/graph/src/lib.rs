@@ -8,7 +8,9 @@
 //! * [`Event`] / [`TemporalGraph`] — the event log plus a **T-CSR**
 //!   index (per-node, time-sorted adjacency) for O(log d + k) queries
 //!   of the *k most recent neighbors before a timestamp*, the
-//!   supporting-node query of TGN-attn;
+//!   supporting-node query of TGN-attn; [`DynamicTCsr`] is the
+//!   appendable form for evolving graphs (online serving), and
+//!   [`TemporalAdjacency`] the query trait both forms answer;
 //! * [`RecentNeighborSampler`] — the batched most-recent-k sampler;
 //! * [`batching`] — chronological fixed-size mini-batching and the
 //!   time-segment partitioning used by memory parallelism;
@@ -23,4 +25,4 @@ mod tcsr;
 
 pub use event::{Event, TemporalGraph};
 pub use sampler::{NeighborBlock, RecentNeighborSampler};
-pub use tcsr::TCsr;
+pub use tcsr::{DynamicTCsr, TCsr, TCsrEntry, TemporalAdjacency};

@@ -24,7 +24,7 @@
 //!   real node (its stored id 0 is a sentinel), so its hop-`d + 1`
 //!   row is forced to `counts = 0` without touching the T-CSR.
 
-use crate::tcsr::TCsr;
+use crate::tcsr::TemporalAdjacency;
 
 /// Padded neighbor block for a batch of roots.
 ///
@@ -74,7 +74,9 @@ impl NeighborBlock {
     }
 }
 
-/// Most-recent-k sampler over a [`TCsr`] index, one fanout per hop.
+/// Most-recent-k sampler over any [`TemporalAdjacency`] index (the
+/// frozen [`crate::TCsr`] or the appendable [`crate::DynamicTCsr`]),
+/// one fanout per hop.
 #[derive(Clone, Debug)]
 pub struct RecentNeighborSampler {
     fanouts: Vec<usize>,
@@ -117,7 +119,7 @@ impl RecentNeighborSampler {
     /// `valid[b] == false` (padded parent slots) keep `counts = 0`.
     fn sample_hop(
         &self,
-        csr: &TCsr,
+        adj: &dyn TemporalAdjacency,
         roots: &[u32],
         times: &[f32],
         valid: Option<&[bool]>,
@@ -142,7 +144,7 @@ impl RecentNeighborSampler {
                     continue; // padded parent slot: never touch the T-CSR
                 }
             }
-            let recent = csr.recent_before(root, t, k);
+            let recent = adj.recent_before(root, t, k);
             block.counts[bi] = recent.len();
             for (s, entry) in recent.iter().enumerate() {
                 let idx = bi * k + s;
@@ -158,8 +160,13 @@ impl RecentNeighborSampler {
     /// Samples supporting neighbors for each `(root, t)` query with
     /// the first hop's fanout — the single-layer entry point, kept as
     /// the hop-0 building block of [`RecentNeighborSampler::sample_hops`].
-    pub fn sample(&self, csr: &TCsr, roots: &[u32], times: &[f32]) -> NeighborBlock {
-        self.sample_hop(csr, roots, times, None, self.fanouts[0])
+    pub fn sample(
+        &self,
+        adj: &dyn TemporalAdjacency,
+        roots: &[u32],
+        times: &[f32],
+    ) -> NeighborBlock {
+        self.sample_hop(adj, roots, times, None, self.fanouts[0])
     }
 
     /// Recursively expands the full multi-hop frontier of `(root, t)`
@@ -169,17 +176,22 @@ impl RecentNeighborSampler {
     /// `counts = 0` rows at hop `d` (no sentinel-node sampling), so
     /// the padding — and the attention masking it drives — composes
     /// hop over hop.
-    pub fn sample_hops(&self, csr: &TCsr, roots: &[u32], times: &[f32]) -> Vec<NeighborBlock> {
+    pub fn sample_hops(
+        &self,
+        adj: &dyn TemporalAdjacency,
+        roots: &[u32],
+        times: &[f32],
+    ) -> Vec<NeighborBlock> {
         let mut hops = Vec::with_capacity(self.fanouts.len());
         for (d, &k) in self.fanouts.iter().enumerate() {
             let block = match d {
-                0 => self.sample_hop(csr, roots, times, None, k),
+                0 => self.sample_hop(adj, roots, times, None, k),
                 _ => {
                     let prev: &NeighborBlock = &hops[d - 1];
                     let valid: Vec<bool> = (0..prev.num_slots())
                         .map(|i| prev.is_valid_slot(i))
                         .collect();
-                    self.sample_hop(csr, &prev.nbrs, &prev.ts, Some(&valid), k)
+                    self.sample_hop(adj, &prev.nbrs, &prev.ts, Some(&valid), k)
                 }
             };
             hops.push(block);
@@ -192,6 +204,7 @@ impl RecentNeighborSampler {
 mod tests {
     use super::*;
     use crate::event::{Event, TemporalGraph};
+    use crate::tcsr::TCsr;
 
     fn ev(src: u32, dst: u32, t: f32, eid: u32) -> Event {
         Event { src, dst, t, eid }

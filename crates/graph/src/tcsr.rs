@@ -1,15 +1,23 @@
-//! T-CSR: time-sorted compressed sparse row adjacency.
+//! T-CSR: time-sorted compressed sparse row adjacency — frozen and
+//! appendable forms.
 //!
 //! The supporting-node query of TGN-attn — "the k most recent neighbors
 //! of v strictly before time t" — needs per-node adjacency sorted by
-//! time. T-CSR stores every (undirected) incidence once per endpoint in
-//! CSR layout with each node's slice ascending in time, so the query is
-//! one binary search plus a k-element tail walk.
+//! time. [`TCsr`] stores every (undirected) incidence once per endpoint
+//! in CSR layout with each node's slice ascending in time, so the query
+//! is one binary search plus a k-element tail walk.
+//!
+//! [`DynamicTCsr`] is the **streaming** form: the same per-node
+//! time-sorted slices, but growable — new chronological events extend
+//! each endpoint's slice at the tail in O(1) amortized, which is what
+//! the online serving plane (`disttgl_core::serve`) ingests live
+//! traffic into. Both forms answer queries through the
+//! [`TemporalAdjacency`] trait, and the appendable form is pinned
+//! **rebuild-equal**: after any chronological append sequence its
+//! per-node slices (and hence every `recent_before` answer) are
+//! identical to a fresh [`TCsr::build`] over the union of the events.
 
-use crate::event::TemporalGraph;
-
-#[cfg(test)]
-use crate::event::Event;
+use crate::event::{Event, TemporalGraph};
 
 /// One adjacency entry: the opposite endpoint, the event time, and the
 /// event id (for edge features and mail lookup).
@@ -21,6 +29,35 @@ pub struct TCsrEntry {
     pub t: f32,
     /// Event id.
     pub eid: u32,
+}
+
+/// Read interface over per-node, time-ascending adjacency — the one
+/// contract the neighbor sampler (and everything above it) needs.
+/// Implemented by the frozen [`TCsr`] (training/offline evaluation)
+/// and the growable [`DynamicTCsr`] (online serving); `Send + Sync`
+/// so either form can sit behind the prefetch worker's shared handle.
+pub trait TemporalAdjacency: Send + Sync {
+    /// Number of nodes indexed.
+    fn num_nodes(&self) -> usize;
+
+    /// Full (time-ascending) adjacency slice of `node`.
+    fn neighbors(&self, node: u32) -> &[TCsrEntry];
+
+    /// Degree of `node` over the whole log.
+    fn degree(&self, node: u32) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// The most recent `k` incidences of `node` strictly before `t`,
+    /// as a time-ascending slice (the most recent entry is last).
+    /// Returns fewer than `k` if the node has fewer qualifying events.
+    fn recent_before(&self, node: u32, t: f32, k: usize) -> &[TCsrEntry] {
+        let adj = self.neighbors(node);
+        // partition_point: first index with entry.t >= t.
+        let end = adj.partition_point(|e| e.t < t);
+        let start = end.saturating_sub(k);
+        &adj[start..end]
+    }
 }
 
 /// Time-sorted CSR index over a [`TemporalGraph`].
@@ -89,14 +126,132 @@ impl TCsr {
     }
 
     /// The most recent `k` incidences of `node` strictly before `t`,
-    /// most recent first. Returns fewer than `k` if the node has fewer
-    /// qualifying events.
+    /// as a time-ascending slice (the most recent entry is last).
+    /// Returns fewer than `k` if the node has fewer qualifying events.
     pub fn recent_before(&self, node: u32, t: f32, k: usize) -> &[TCsrEntry] {
         let adj = self.neighbors(node);
         // partition_point: first index with entry.t >= t.
         let end = adj.partition_point(|e| e.t < t);
         let start = end.saturating_sub(k);
         &adj[start..end]
+    }
+}
+
+impl TemporalAdjacency for TCsr {
+    fn num_nodes(&self) -> usize {
+        TCsr::num_nodes(self)
+    }
+    fn neighbors(&self, node: u32) -> &[TCsrEntry] {
+        TCsr::neighbors(self, node)
+    }
+    fn degree(&self, node: u32) -> usize {
+        TCsr::degree(self, node)
+    }
+    fn recent_before(&self, node: u32, t: f32, k: usize) -> &[TCsrEntry] {
+        TCsr::recent_before(self, node, t, k)
+    }
+}
+
+/// Appendable time-sorted adjacency for an **evolving** graph.
+///
+/// Per-node slices are owned vectors instead of one flat CSR block, so
+/// a new chronological event extends both endpoints' slices at the
+/// tail in O(1) amortized — no rebuild, no shifting. Queries go
+/// through [`TemporalAdjacency`], same as the frozen [`TCsr`].
+///
+/// # Rebuild parity
+///
+/// Appends must arrive in the event log's chronological order
+/// (non-decreasing `t` across every call — enforced). Under that
+/// contract each per-node slice grows exactly as [`TCsr::build`]'s
+/// counting passes would lay it out, entry for entry (equal-timestamp
+/// events keep their log order at both endpoints), so every
+/// [`TemporalAdjacency::recent_before`] answer matches a fresh build
+/// over the union of all events ever appended — the property the
+/// serving plane's live sampling relies on, pinned by the append-vs-
+/// rebuild proptests in `tests/proptest_graph.rs`.
+#[derive(Clone, Debug)]
+pub struct DynamicTCsr {
+    adj: Vec<Vec<TCsrEntry>>,
+    num_events: usize,
+    last_t: f32,
+}
+
+impl DynamicTCsr {
+    /// An empty adjacency over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); num_nodes],
+            num_events: 0,
+            last_t: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Seeds the adjacency from an existing event log (the serving
+    /// session's "warm start from the training history" path).
+    pub fn from_graph(graph: &TemporalGraph) -> Self {
+        let mut d = Self::new(graph.num_nodes());
+        d.append_events(graph.events());
+        d
+    }
+
+    /// Extends every endpoint's slice with `events`, which must be
+    /// chronological: non-decreasing `t` within the slice and no
+    /// earlier than anything already appended. Returns the number of
+    /// events appended.
+    ///
+    /// # Panics
+    /// Panics if an event is out of chronological order or names an
+    /// endpoint outside the node range.
+    pub fn append_events(&mut self, events: &[Event]) -> usize {
+        let n = self.adj.len();
+        for e in events {
+            assert!(
+                (e.src as usize) < n && (e.dst as usize) < n,
+                "append_events: endpoint out of range: {:?} (num_nodes {})",
+                e,
+                n
+            );
+            assert!(
+                e.t >= self.last_t,
+                "append_events: event {:?} precedes the stream head t = {}",
+                e,
+                self.last_t
+            );
+            self.adj[e.src as usize].push(TCsrEntry {
+                nbr: e.dst,
+                t: e.t,
+                eid: e.eid,
+            });
+            self.adj[e.dst as usize].push(TCsrEntry {
+                nbr: e.src,
+                t: e.t,
+                eid: e.eid,
+            });
+            self.last_t = e.t;
+        }
+        self.num_events += events.len();
+        events.len()
+    }
+
+    /// Events appended so far.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Timestamp of the newest appended event (−∞ when empty) — the
+    /// stream head new appends must not precede.
+    pub fn stream_head(&self) -> f32 {
+        self.last_t
+    }
+}
+
+impl TemporalAdjacency for DynamicTCsr {
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+    fn neighbors(&self, node: u32) -> &[TCsrEntry] {
+        &self.adj[node as usize]
     }
 }
 
@@ -175,5 +330,82 @@ mod tests {
         assert_eq!(csr.neighbors(0)[0].nbr, 1);
         assert_eq!(csr.neighbors(1)[0].nbr, 0);
         assert_eq!(csr.neighbors(1)[0].eid, 9);
+    }
+
+    /// Appending a chronological stream in pieces must reproduce the
+    /// frozen build over the union, slice for slice.
+    #[test]
+    fn dynamic_append_matches_rebuild() {
+        let g = sample_graph();
+        let full = TCsr::build(&g);
+        let mut dyn_csr = DynamicTCsr::new(g.num_nodes());
+        dyn_csr.append_events(&g.events()[0..2]);
+        dyn_csr.append_events(&g.events()[2..3]);
+        dyn_csr.append_events(&[]);
+        dyn_csr.append_events(&g.events()[3..5]);
+        assert_eq!(dyn_csr.num_events(), 5);
+        assert_eq!(dyn_csr.stream_head(), 5.0);
+        for node in 0..4u32 {
+            assert_eq!(
+                TemporalAdjacency::neighbors(&dyn_csr, node),
+                full.neighbors(node),
+                "node {node}"
+            );
+            for (t, k) in [(0.5, 2), (2.0, 1), (4.0, 10), (9.0, 3)] {
+                assert_eq!(
+                    TemporalAdjacency::recent_before(&dyn_csr, node, t, k),
+                    full.recent_before(node, t, k),
+                    "node {node} t {t} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_from_graph_equals_build() {
+        let g = sample_graph();
+        let full = TCsr::build(&g);
+        let dyn_csr = DynamicTCsr::from_graph(&g);
+        for node in 0..4u32 {
+            assert_eq!(
+                TemporalAdjacency::neighbors(&dyn_csr, node),
+                full.neighbors(node)
+            );
+            assert_eq!(TemporalAdjacency::degree(&dyn_csr, node), full.degree(node));
+        }
+    }
+
+    /// Equal-timestamp events keep log order — the same convention the
+    /// stable sort gives the frozen build.
+    #[test]
+    fn dynamic_append_accepts_equal_timestamps() {
+        let events = vec![ev(0, 1, 2.0, 0), ev(1, 2, 2.0, 1), ev(0, 2, 2.0, 2)];
+        let g = TemporalGraph::new(3, events.clone());
+        let full = TCsr::build(&g);
+        let mut dyn_csr = DynamicTCsr::new(3);
+        for e in &events {
+            dyn_csr.append_events(std::slice::from_ref(e));
+        }
+        for node in 0..3u32 {
+            assert_eq!(
+                TemporalAdjacency::neighbors(&dyn_csr, node),
+                full.neighbors(node)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the stream head")]
+    fn dynamic_append_rejects_time_regression() {
+        let mut dyn_csr = DynamicTCsr::new(3);
+        dyn_csr.append_events(&[ev(0, 1, 5.0, 0)]);
+        dyn_csr.append_events(&[ev(1, 2, 4.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn dynamic_append_rejects_bad_endpoint() {
+        let mut dyn_csr = DynamicTCsr::new(2);
+        dyn_csr.append_events(&[ev(0, 7, 1.0, 0)]);
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based invariants of the temporal graph structures.
 
-use disttgl_graph::{batching, capture, Event, RecentNeighborSampler, TCsr, TemporalGraph};
+use disttgl_graph::{
+    batching, capture, DynamicTCsr, Event, RecentNeighborSampler, TCsr, TemporalAdjacency,
+    TemporalGraph,
+};
 use proptest::prelude::*;
 
 /// Random self-loop-free event logs over a small node universe
@@ -120,5 +123,69 @@ proptest! {
         prop_assert_eq!(locals.len(), i);
         let total: usize = locals.iter().map(|r| r.len()).sum();
         prop_assert_eq!(total, len);
+    }
+
+    /// Append-vs-rebuild parity (the serving-plane contract): feeding
+    /// the chronological stream into a `DynamicTCsr` in arbitrary
+    /// chunk sizes must reproduce a frozen `TCsr::build` over the
+    /// union — identical per-node slices, hence identical
+    /// `recent_before` answers for every query.
+    #[test]
+    fn dynamic_append_equals_rebuild(
+        (n, evs) in events(16, 80),
+        chunks in proptest::collection::vec(1usize..13, 1..20),
+        t in 0.0f32..1200.0,
+        k in 1usize..8,
+    ) {
+        let g = build(n, evs);
+        let frozen = TCsr::build(&g);
+        let mut live = DynamicTCsr::new(g.num_nodes());
+        let mut at = 0usize;
+        let mut chunk_iter = chunks.iter().cycle();
+        while at < g.num_events() {
+            let step = *chunk_iter.next().unwrap();
+            let end = (at + step).min(g.num_events());
+            live.append_events(&g.events()[at..end]);
+            at = end;
+        }
+        prop_assert_eq!(live.num_events(), g.num_events());
+        for v in 0..n {
+            prop_assert_eq!(live.neighbors(v), frozen.neighbors(v), "node {}", v);
+            prop_assert_eq!(
+                live.recent_before(v, t, k),
+                frozen.recent_before(v, t, k),
+                "query node {} t {} k {}",
+                v, t, k
+            );
+        }
+    }
+
+    /// The sampler is index-agnostic: multi-hop frontiers expanded
+    /// over the live index equal the frozen index's, block for block.
+    #[test]
+    fn sampler_agrees_across_adjacency_forms(
+        (n, evs) in events(12, 50),
+        split in 0usize..50,
+        t in 0.0f32..1200.0,
+    ) {
+        let g = build(n, evs);
+        let frozen = TCsr::build(&g);
+        let split = split.min(g.num_events());
+        let mut live = DynamicTCsr::new(g.num_nodes());
+        live.append_events(&g.events()[..split]);
+        live.append_events(&g.events()[split..]);
+        let sampler = RecentNeighborSampler::with_fanouts(vec![4, 2]);
+        let roots: Vec<u32> = (0..n).collect();
+        let times = vec![t; n as usize];
+        let a = sampler.sample_hops(&frozen, &roots, &times);
+        let b = sampler.sample_hops(&live, &roots, &times);
+        prop_assert_eq!(a.len(), b.len());
+        for (ha, hb) in a.iter().zip(&b) {
+            prop_assert_eq!(&ha.nbrs, &hb.nbrs);
+            prop_assert_eq!(&ha.eids, &hb.eids);
+            prop_assert_eq!(&ha.dts, &hb.dts);
+            prop_assert_eq!(&ha.ts, &hb.ts);
+            prop_assert_eq!(&ha.counts, &hb.counts);
+        }
     }
 }

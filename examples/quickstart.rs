@@ -7,6 +7,7 @@
 //! ```sh
 //! cargo run --release --example quickstart            # 1-layer (DistTGL)
 //! cargo run --release --example quickstart -- --layers 2
+//! cargo run --release --example quickstart -- --fanouts 10,5
 //! ```
 
 use disttgl::cluster::ClusterSpec;
@@ -21,6 +22,37 @@ fn layers_arg() -> usize {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--layers takes a positive integer"))
         .unwrap_or(1)
+}
+
+/// Parses `--fanouts a,b,…` — per-hop supporting-node counts. Sets the
+/// stack depth to the list's length, so it subsumes `--layers` (which
+/// keeps the uniform `n_neighbors` fanout at every hop).
+fn fanouts_arg() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--fanouts")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .expect("--fanouts takes comma-separated positive integers")
+                })
+                .collect()
+        })
+}
+
+/// Applies the depth/fanout knobs to a model config.
+fn with_stack(
+    cfg: disttgl::core::ModelConfig,
+    fanouts: &Option<Vec<usize>>,
+    n_layers: usize,
+) -> disttgl::core::ModelConfig {
+    match fanouts {
+        Some(f) => cfg.with_fanouts(f.clone()),
+        None => cfg.with_layers(n_layers),
+    }
 }
 
 fn print_layer_split(timing: &disttgl::core::TimingBreakdown) {
@@ -38,22 +70,34 @@ fn print_layer_split(timing: &disttgl::core::TimingBreakdown) {
 }
 
 fn main() {
-    let n_layers = layers_arg();
+    let fanouts = fanouts_arg();
+    let n_layers = fanouts.as_ref().map(Vec::len).unwrap_or_else(layers_arg);
 
     // 1. A scaled-down Wikipedia analog (see Table 2 of the paper):
     //    bipartite user→page edit events with strong revisit structure.
     let dataset = generators::wikipedia(0.02, 42);
     let stats = dataset.stats();
-    println!(
-        "dataset {}: |V| = {}, |E| = {}, max(t) = {:.1e}, d_e = {}, layers = {n_layers}",
-        stats.name, stats.num_nodes, stats.num_events, stats.max_t, stats.d_e
-    );
 
     // 2. Model: TGN-attn with static node memory (compact widths for
     //    CPU; `ModelConfig::paper_default` gives the paper's 100-dim).
     //    `--layers N` stacks N temporal-attention layers over an
-    //    N-hop frontier (one union memory gather either way).
-    let model_cfg = ModelConfig::compact(dataset.edge_features.cols()).with_layers(n_layers);
+    //    N-hop frontier with the uniform fanout; `--fanouts a,b,…`
+    //    sets per-hop fanouts (depth = list length). One union memory
+    //    gather either way.
+    let model_cfg = with_stack(
+        ModelConfig::compact(dataset.edge_features.cols()),
+        &fanouts,
+        n_layers,
+    );
+    println!(
+        "dataset {}: |V| = {}, |E| = {}, max(t) = {:.1e}, d_e = {}, layers = {n_layers}, fanouts = {:?}",
+        stats.name,
+        stats.num_nodes,
+        stats.num_events,
+        stats.max_t,
+        stats.d_e,
+        model_cfg.fanouts()
+    );
 
     // 3. Single-GPU baseline.
     let mut cfg = TrainConfig::new(ParallelConfig::single());
@@ -108,9 +152,11 @@ fn main() {
     // 5. The other task: dynamic edge classification on a GDELT-like
     //    stream, same stack depth.
     let gdelt = generators::gdelt(5e-5, 7);
-    let class_cfg = ModelConfig::compact(gdelt.edge_features.cols())
-        .with_classes(56)
-        .with_layers(n_layers);
+    let class_cfg = with_stack(
+        ModelConfig::compact(gdelt.edge_features.cols()).with_classes(56),
+        &fanouts,
+        n_layers,
+    );
     let mut cfg = TrainConfig::new(ParallelConfig::single());
     cfg.local_batch = 200;
     cfg.epochs = 4;

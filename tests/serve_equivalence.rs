@@ -1,0 +1,291 @@
+//! Serving-plane equivalence: the streaming `core::serve` session is a
+//! **re-ordering** of offline evaluation's arithmetic, never a new
+//! approximation.
+//!
+//! The contract (ISSUE 5): ingest an event prefix through
+//! `ServeSession`, then walk a range with `ingest_scored` at the
+//! offline oracle's batch boundaries — every score, the task metric,
+//! and the final node-memory digest must be **bit-identical** to
+//! `evaluate`'s offline replay over the same events on a frozen
+//! `TCsr`. Pinned here for both tasks (link prediction, edge
+//! classification), at 1- and 2-layer stacks, with the folded readout
+//! on and off.
+
+use disttgl::core::serve::{QueryRequest, ServeSession};
+use disttgl::core::{
+    evaluate, replay_memory, BatchPreparer, InferenceEngine, ModelConfig, TgnModel,
+};
+use disttgl::data::{generators, Dataset, EvalNegatives, Task};
+use disttgl::graph::{batching, TCsr};
+use disttgl::mem::MemoryState;
+use disttgl::nn::loss;
+use disttgl::tensor::seeded_rng;
+
+const BATCH: usize = 50;
+const EVAL_NEGS: usize = 9;
+const NEG_SEED: u64 = 77;
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+/// Eval window: second quarter → mid-stream, so both the replayed
+/// prefix and the scored range are non-trivial.
+fn window(d: &Dataset) -> (usize, usize) {
+    let n = d.graph.num_events();
+    assert!(n >= 200, "dataset too small for the window ({n} events)");
+    (n / 2, (n / 2 + 200).min(n))
+}
+
+/// Offline oracle scores for a link-prediction range: the exact loop
+/// `evaluate` runs (same negative draws, same batch boundaries),
+/// keeping the raw per-event scores that `EvalResult` folds away.
+#[allow(clippy::too_many_arguments)]
+fn oracle_link_scores(
+    model: &TgnModel,
+    cfg: &ModelConfig,
+    d: &Dataset,
+    csr: &TCsr,
+    mem: &mut MemoryState,
+    start: usize,
+    end: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let prep = BatchPreparer::new(d, csr, cfg);
+    let mut engine = InferenceEngine::new();
+    let mut sampler = EvalNegatives::new(&d.graph, NEG_SEED);
+    let mut pos_all = Vec::new();
+    let mut neg_all = Vec::new();
+    for batch_range in batching::chronological_batches(start..end, BATCH) {
+        let events = &d.graph.events()[batch_range.clone()];
+        let negs: Vec<u32> = events
+            .iter()
+            .flat_map(|e| sampler.draw_excluding(EVAL_NEGS, e.dst))
+            .collect();
+        let prepared = prep.prepare(batch_range, &[&negs], EVAL_NEGS, mem);
+        let out = engine.infer_step(model, &prepared.pos, Some(&prepared.negs[0]), None);
+        pos_all.extend_from_slice(&out.pos_scores);
+        neg_all.extend_from_slice(&out.neg_scores);
+        mem.write(&out.write);
+    }
+    (pos_all, neg_all)
+}
+
+/// The serve-vs-oracle drive for one link-prediction configuration.
+fn assert_link_serve_equivalence(mc: ModelConfig, model_seed: u64) {
+    let d = generators::wikipedia(0.005, 31);
+    let csr = TCsr::build(&d.graph);
+    let mut rng = seeded_rng(model_seed);
+    let model = TgnModel::new(mc.clone(), &mut rng);
+    let (start, end) = window(&d);
+
+    // Oracle: replay the prefix offline, then walk the range through
+    // the full scored forward; also the public `evaluate` for the
+    // metric (same seed → same negative draws).
+    let mut mem_o = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    replay_memory(&model, &mc, &d, &csr, &mut mem_o, None, 0..start, BATCH);
+    let prefix_checksum = mem_o.checksum();
+    let (pos_o, neg_o) = oracle_link_scores(&model, &mc, &d, &csr, &mut mem_o, start, end);
+    let mut mem_e = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    replay_memory(&model, &mc, &d, &csr, &mut mem_e, None, 0..start, BATCH);
+    let eval_res = evaluate(
+        &model,
+        &mc,
+        &d,
+        &csr,
+        &mut mem_e,
+        None,
+        start..end,
+        BATCH,
+        EVAL_NEGS,
+        NEG_SEED,
+    );
+
+    // Serve: ingest the same prefix (same batch boundaries), then
+    // score-and-ingest the range.
+    let mut session = ServeSession::new(&model, &d, None);
+    for r in batching::chronological_batches(0..start, BATCH) {
+        session.ingest(&d.graph.events()[r]);
+    }
+    assert_eq!(
+        session.memory_checksum(),
+        prefix_checksum,
+        "prefix ingest must reproduce the offline replay's memory"
+    );
+
+    let mut sampler = EvalNegatives::new(&d.graph, NEG_SEED);
+    let mut pos_s = Vec::new();
+    let mut neg_s = Vec::new();
+    for batch_range in batching::chronological_batches(start..end, BATCH) {
+        let events = &d.graph.events()[batch_range];
+        let extra: Vec<QueryRequest> = events
+            .iter()
+            .flat_map(|e| {
+                sampler
+                    .draw_excluding(EVAL_NEGS, e.dst)
+                    .into_iter()
+                    .map(|n| QueryRequest::LinkScore {
+                        src: e.src,
+                        dst: n,
+                        t: e.t,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let out = session.ingest_scored(events, &extra);
+        pos_s.extend(out.event_scores.iter().map(|r| r.scores()[0]));
+        neg_s.extend(out.extra.iter().map(|r| r.scores()[0]));
+    }
+
+    assert_eq!(pos_s, pos_o, "positive scores must match bit for bit");
+    assert_eq!(neg_s, neg_o, "negative scores must match bit for bit");
+    assert_eq!(
+        session.memory_checksum(),
+        mem_o.checksum(),
+        "final node memory must match the offline walk"
+    );
+    let mrr = loss::mrr(&pos_s, &neg_s, EVAL_NEGS);
+    assert_eq!(mrr, eval_res.metric, "metric must match evaluate exactly");
+    assert_eq!(eval_res.events, end - start);
+}
+
+#[test]
+fn link_serve_matches_evaluate_one_layer() {
+    let d_edge = 172; // wikipedia-analog edge width
+    assert_link_serve_equivalence(tiny_model(d_edge), 5);
+}
+
+#[test]
+fn link_serve_matches_evaluate_two_layer() {
+    let mc = tiny_model(172).with_fanouts(vec![5, 3]);
+    assert_link_serve_equivalence(mc, 6);
+}
+
+#[test]
+fn link_serve_matches_evaluate_without_dedup() {
+    let mc = tiny_model(172).without_dedup_readout();
+    assert_link_serve_equivalence(mc, 7);
+}
+
+/// Edge classification: the slab's own `(src, dst, t)` scores are the
+/// per-class logits; the F1-micro over the serve-side logits must
+/// equal `evaluate`'s, and the memory trajectories must agree.
+fn assert_class_serve_equivalence(n_layers: usize, model_seed: u64) {
+    let d = generators::gdelt(2e-5, 17);
+    assert_eq!(d.task, Task::EdgeClassification);
+    let csr = TCsr::build(&d.graph);
+    let mc = {
+        let mut mc = tiny_model(d.edge_features.cols()).with_classes(56);
+        if n_layers > 1 {
+            mc = mc.with_fanouts(vec![5, 3]);
+        }
+        mc
+    };
+    let mut rng = seeded_rng(model_seed);
+    let model = TgnModel::new(mc.clone(), &mut rng);
+    let (start, end) = window(&d);
+
+    // Oracle logits via the engine (the loop inside `evaluate`).
+    let mut mem_o = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    replay_memory(&model, &mc, &d, &csr, &mut mem_o, None, 0..start, BATCH);
+    let prep = BatchPreparer::new(&d, &csr, &mc);
+    let mut engine = InferenceEngine::new();
+    let mut logits_o: Vec<f32> = Vec::new();
+    for batch_range in batching::chronological_batches(start..end, BATCH) {
+        let prepared = prep.prepare(batch_range, &[], 1, &mut mem_o);
+        let out = engine.infer_step(&model, &prepared.pos, None, None);
+        logits_o.extend_from_slice(&out.pos_scores);
+        mem_o.write(&out.write);
+    }
+    let mut mem_e = MemoryState::new(d.graph.num_nodes(), mc.d_mem, mc.mail_dim());
+    replay_memory(&model, &mc, &d, &csr, &mut mem_e, None, 0..start, BATCH);
+    let eval_res = evaluate(
+        &model,
+        &mc,
+        &d,
+        &csr,
+        &mut mem_e,
+        None,
+        start..end,
+        BATCH,
+        1,
+        NEG_SEED,
+    );
+
+    // Serve.
+    let mut session = ServeSession::new(&model, &d, None);
+    for r in batching::chronological_batches(0..start, BATCH) {
+        session.ingest(&d.graph.events()[r]);
+    }
+    let mut logits_s: Vec<f32> = Vec::new();
+    for batch_range in batching::chronological_batches(start..end, BATCH) {
+        let out = session.ingest_scored(&d.graph.events()[batch_range], &[]);
+        for r in &out.event_scores {
+            logits_s.extend_from_slice(r.scores());
+        }
+    }
+    assert_eq!(logits_s, logits_o, "class logits must match bit for bit");
+    assert_eq!(session.memory_checksum(), mem_o.checksum());
+
+    // F1 over the serve-side logits equals evaluate's metric.
+    let labels = d.labels.as_ref().expect("classification labels");
+    let idx: Vec<usize> = d.graph.events()[start..end]
+        .iter()
+        .map(|e| e.eid as usize)
+        .collect();
+    let label_rows = labels.gather_rows(&idx);
+    let logit_mat =
+        disttgl::tensor::Matrix::from_vec(end - start, mc.num_classes, logits_s.clone());
+    let f1 = loss::f1_micro(&logit_mat, &label_rows);
+    assert_eq!(f1, eval_res.metric, "F1 must match evaluate exactly");
+}
+
+#[test]
+fn class_serve_matches_evaluate_one_layer() {
+    assert_class_serve_equivalence(1, 9);
+}
+
+#[test]
+fn class_serve_matches_evaluate_two_layer() {
+    assert_class_serve_equivalence(2, 10);
+}
+
+/// Ingest at *different* (finer) batch boundaries than the prefix
+/// replay changes the memory trajectory's batching but not the
+/// adjacency — `recent_before` answers over the dynamic index must
+/// still match the frozen build (rebuild parity at the system level).
+#[test]
+fn dynamic_adjacency_matches_frozen_build_after_streaming() {
+    use disttgl::graph::TemporalAdjacency;
+    let d = generators::wikipedia(0.005, 31);
+    let csr = TCsr::build(&d.graph);
+    let mc = tiny_model(172);
+    let mut rng = seeded_rng(12);
+    let model = TgnModel::new(mc, &mut rng);
+    let mut session = ServeSession::new(&model, &d, None);
+    // Uneven slabs, including single events.
+    let n = d.graph.num_events();
+    let mut at = 0usize;
+    for step in [1usize, 7, 64, 3, 200].iter().cycle() {
+        if at >= n {
+            break;
+        }
+        let end = (at + step).min(n);
+        session.ingest(&d.graph.events()[at..end]);
+        at = end;
+    }
+    let adj = session.adjacency();
+    for node in (0..d.graph.num_nodes() as u32).step_by(17) {
+        assert_eq!(adj.neighbors(node), csr.neighbors(node), "node {node}");
+        let t = d.graph.max_time() * 0.6;
+        assert_eq!(
+            adj.recent_before(node, t, 10),
+            csr.recent_before(node, t, 10)
+        );
+    }
+}
