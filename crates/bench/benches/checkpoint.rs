@@ -1,0 +1,162 @@
+//! Checkpoint-plane cost: what crash-safety actually costs at the
+//! Wikipedia-analog scale used across the bench suite.
+//!
+//! Measurements landing in `BENCH_checkpoint.json`:
+//!
+//! 1. **Train checkpoint save/load** — wall latency of
+//!    `TrainCheckpoint::save`/`load` on a state captured from a real
+//!    sequential run (weights + Adam moments + loss history + node
+//!    memory), plus the on-disk file size.
+//! 2. **Serve checkpoint save/load/restore** — `ServeSession::
+//!    checkpoint` snapshot latency, framed save/load latency, and
+//!    `ServeSession::restore` rebuild latency after ingesting the
+//!    train split, plus file size.
+//! 3. **Inline bit-identity guard** — the restored serve session must
+//!    answer a query slab bit-identically to the live one before any
+//!    number is published.
+//!
+//! Run: `cargo bench -p disttgl-bench --bench checkpoint`
+
+use disttgl_core::serve::{QueryRequest, ServeSession};
+use disttgl_core::{
+    train_single, ModelConfig, ParallelConfig, ServeCheckpoint, TgnModel, TrainCheckpoint,
+    TrainConfig,
+};
+use disttgl_data::generators;
+use disttgl_graph::batching;
+use disttgl_tensor::seeded_rng;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SLAB: usize = 600;
+const REPS: usize = 8;
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("disttgl_bench_ckpt_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench checkpoint dir");
+    dir
+}
+
+/// Best-of-`REPS` wall time for `f`, in seconds.
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let d = generators::wikipedia(0.02, 42);
+    let mc = ModelConfig::compact(d.edge_features.cols());
+    println!("dataset: {:?}", d.stats());
+    let dir = bench_dir();
+
+    // 1. Train checkpoint: run a short checkpointed sequential train so
+    // the saved state is a real one, then time the framed round-trip.
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = SLAB;
+    cfg.epochs = 2;
+    cfg.seed = 42;
+    cfg.eval_max_events = 1000;
+    let dir_s = dir.to_str().unwrap().to_string();
+    train_single(&d, &mc, &cfg.checkpoint_every(1, &dir_s));
+
+    let train_path = dir.join("ckpt_0001.bin");
+    let train_ckpt = TrainCheckpoint::load(&train_path).expect("epoch-1 checkpoint exists");
+    let train_bytes = std::fs::metadata(&train_path)
+        .expect("stat checkpoint")
+        .len();
+    let resave = dir.join("resave_train.bin");
+    let train_save_secs = best_of(|| train_ckpt.save(&resave).expect("save train checkpoint"));
+    let train_load_secs = best_of(|| {
+        TrainCheckpoint::load(&resave).expect("load train checkpoint");
+    });
+    println!(
+        "train checkpoint: {train_bytes} bytes, save {:.2} ms, load {:.2} ms",
+        train_save_secs * 1e3,
+        train_load_secs * 1e3
+    );
+
+    // 2. Serve checkpoint: ingest the train split, snapshot, round-trip
+    // through disk, restore, and guard bit-identity on a query slab.
+    let mut rng = seeded_rng(42);
+    let model = TgnModel::new(mc.clone(), &mut rng);
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    let mut session = ServeSession::new(&model, &d, None);
+    for r in batching::chronological_batches(0..train_end, SLAB) {
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
+    }
+    let snapshot_secs = best_of(|| {
+        session.checkpoint();
+    });
+    let serve_ckpt = session.checkpoint();
+    let serve_path = dir.join("serve.bin");
+    let serve_save_secs = best_of(|| serve_ckpt.save(&serve_path).expect("save serve checkpoint"));
+    let serve_load_secs = best_of(|| {
+        ServeCheckpoint::load(&serve_path).expect("load serve checkpoint");
+    });
+    let serve_bytes = std::fs::metadata(&serve_path)
+        .expect("stat serve checkpoint")
+        .len();
+    let loaded = ServeCheckpoint::load(&serve_path).expect("load serve checkpoint");
+    let t0 = Instant::now();
+    let mut restored =
+        ServeSession::restore(&model, &d, None, loaded).expect("restore serve session");
+    let restore_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "serve checkpoint: {serve_bytes} bytes, snapshot {:.2} ms, save {:.2} ms, \
+         load {:.2} ms, restore {:.2} ms",
+        snapshot_secs * 1e3,
+        serve_save_secs * 1e3,
+        serve_load_secs * 1e3,
+        restore_secs * 1e3
+    );
+
+    // 3. Inline guard: live and restored sessions must answer the same
+    // query slab bit for bit.
+    let t_query = d.graph.events()[train_end - 1].t + 1.0;
+    let requests: Vec<QueryRequest> = d.graph.events()[..64]
+        .iter()
+        .map(|e| QueryRequest::LinkScore {
+            src: e.src,
+            dst: e.dst,
+            t: t_query,
+        })
+        .collect();
+    let live = session.query(&requests).expect("valid bench queries");
+    let rest = restored.query(&requests).expect("valid bench queries");
+    assert_eq!(live, rest, "restored session diverged from live session");
+    println!(
+        "restore bit-identity guard: OK ({} queries)",
+        requests.len()
+    );
+
+    let record = format!(
+        "{{\"bench\":\"checkpoint\",\"dataset\":\"{}\",\"events\":{},\
+         \"train\":{{\"file_bytes\":{train_bytes},\"save_ms\":{:.3},\"load_ms\":{:.3}}},\
+         \"serve\":{{\"file_bytes\":{serve_bytes},\"snapshot_ms\":{:.3},\"save_ms\":{:.3},\
+         \"load_ms\":{:.3},\"restore_ms\":{:.3}}},\
+         \"restore_bit_identical\":true}}\n",
+        d.name,
+        d.graph.num_events(),
+        train_save_secs * 1e3,
+        train_load_secs * 1e3,
+        snapshot_secs * 1e3,
+        serve_save_secs * 1e3,
+        serve_load_secs * 1e3,
+        restore_secs * 1e3,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(record.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

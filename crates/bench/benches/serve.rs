@@ -55,7 +55,7 @@ fn query_sweep(
             .collect();
         cursor += batch;
         let t_call = Instant::now();
-        let resp = session.query(&reqs);
+        let resp = session.query(&reqs).expect("valid bench queries");
         hist.record(t_call.elapsed().as_secs_f64());
         assert_eq!(resp.len(), batch);
     }
@@ -113,7 +113,9 @@ fn main() {
         );
         let mut session = ServeSession::new(&model, &d, None);
         for r in batching::chronological_batches(0..guard_start, SLAB) {
-            session.ingest(&d.graph.events()[r]);
+            session
+                .ingest(&d.graph.events()[r])
+                .expect("chronological warmup slab");
         }
         let mut sampler = EvalNegatives::new(&d.graph, 5);
         let mut pos = Vec::new();
@@ -134,7 +136,9 @@ fn main() {
                         .collect::<Vec<_>>()
                 })
                 .collect();
-            let out = session.ingest_scored(events, &extra);
+            let out = session
+                .ingest_scored(events, &extra)
+                .expect("valid scored slab");
             pos.extend(out.event_scores.iter().map(|s| s.scores()[0]));
             neg.extend(out.extra.iter().map(|s| s.scores()[0]));
         }
@@ -151,7 +155,9 @@ fn main() {
         let mut session = ServeSession::new(&model, &d, None);
         let t0 = Instant::now();
         for r in batching::chronological_batches(0..train_end, SLAB) {
-            session.ingest(&d.graph.events()[r]);
+            session
+                .ingest(&d.graph.events()[r])
+                .expect("chronological warmup slab");
         }
         ingest_eps = ingest_eps.max(train_end as f64 / t0.elapsed().as_secs_f64());
     }
@@ -173,7 +179,9 @@ fn main() {
     // the fully ingested train split.
     let mut session = ServeSession::new(&model, &d, None);
     for r in batching::chronological_batches(0..train_end, SLAB) {
-        session.ingest(&d.graph.events()[r]);
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
     }
     let events = &d.graph.events()[0..train_end];
     let t_query = d.graph.events()[train_end - 1].t + 1.0;

@@ -23,6 +23,7 @@ fn usage() -> ! {
         "usage: disttgl_cli <train|plan|analyze|generate> [--dataset NAME] [--scale F] \
          [--ijk I,J,K] [--epochs N] [--batch N] [--seed N] [--machines P] [--gpus Q] \
          [--threshold F] [--saturation N] [--replicas N] [--no-static] \
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume-from FILE] \
          [--out FILE] [--in FILE]"
     );
     std::process::exit(2);
@@ -101,12 +102,29 @@ fn main() {
             cfg.seed = seed;
             cfg.base_lr = 2e-3 * 600.0 / (cfg.local_batch as f32 * parallel.i as f32);
             cfg.eval_max_events = 2000;
+            // Crash-safe runs: --checkpoint-every N units (sequential
+            // epochs / distributed sweeps) into --checkpoint-dir, and
+            // --resume-from picks a saved checkpoint back up.
+            if let Some(n) = flags.get("checkpoint-every") {
+                let n: usize = n.parse().expect("bad --checkpoint-every value");
+                let dir = flags
+                    .get("checkpoint-dir")
+                    .cloned()
+                    .unwrap_or_else(|| "checkpoints".into());
+                cfg = cfg.checkpoint_every(n, &dir);
+            }
+            if let Some(path) = flags.get("resume-from") {
+                cfg = cfg.resume_from(path);
+            }
             let spec = ClusterSpec::new(1, parallel.world());
             let res = if parallel.world() == 1 {
                 train_single(&dataset, &mc, &cfg)
             } else {
                 train_distributed(&dataset, &mc, &cfg, spec)
             };
+            if res.aborted {
+                println!("\nrun ABORTED early on a fault; histories below are truncated");
+            }
             println!("\nvalidation curve:");
             for p in &res.convergence {
                 println!(

@@ -13,10 +13,34 @@
 use crate::netsim::NetworkModel;
 use crate::spec::ClusterSpec;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-/// Reusable sense-reversing barrier.
+/// A collective failed because the group was aborted: some rank
+/// declared itself dead via [`Communicator::abort`] (a crashed lane in
+/// fault-injection runs). The abort is terminal — every in-flight and
+/// future collective on the group returns this error, so surviving
+/// ranks unwind cleanly instead of blocking forever on a barrier the
+/// dead rank will never reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The group was aborted by some rank.
+    Aborted,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Aborted => write!(f, "communicator group aborted"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Reusable sense-reversing barrier with a terminal abort: waiters
+/// blocked on a generation that will never complete wake up and return
+/// `false` once the group's abort flag is raised.
 struct Barrier {
     lock: StdMutex<(usize, u64)>, // (waiting count, generation)
     cvar: Condvar,
@@ -32,7 +56,19 @@ impl Barrier {
         }
     }
 
-    fn wait(&self) {
+    /// Returns `true` when the whole group arrived, `false` when the
+    /// group was aborted first.
+    ///
+    /// Completion wins over abort: this rank always *arrives* first,
+    /// and a generation every rank reached completes even when the
+    /// abort flag was raised concurrently by a rank that has already
+    /// moved past it. Only a rank that would otherwise block forever
+    /// observes the abort — and it withdraws its arrival on the way
+    /// out, so a stale count can never combine with a later call to
+    /// falsely complete a generation. This makes fault unwinding
+    /// deterministic: a collective either completes on every rank or
+    /// fails on every rank, never a mix decided by wake-up timing.
+    fn wait(&self, aborted: &AtomicBool) -> bool {
         let mut guard = self.lock.lock().unwrap();
         let gen = guard.1;
         guard.0 += 1;
@@ -40,11 +76,23 @@ impl Barrier {
             guard.0 = 0;
             guard.1 += 1;
             self.cvar.notify_all();
-        } else {
-            while guard.1 == gen {
-                guard = self.cvar.wait(guard).unwrap();
-            }
+            return true;
         }
+        while guard.1 == gen {
+            if aborted.load(Ordering::Acquire) {
+                guard.0 -= 1;
+                return false;
+            }
+            guard = self.cvar.wait(guard).unwrap();
+        }
+        true
+    }
+
+    /// Wakes every waiter so it can observe the abort flag. Must be
+    /// called after the flag is set.
+    fn wake_all(&self) {
+        let _guard = self.lock.lock().unwrap();
+        self.cvar.notify_all();
     }
 }
 
@@ -62,6 +110,8 @@ pub struct CommStats {
 struct Shared {
     world: usize,
     barrier: Barrier,
+    /// Terminal abort flag (fault injection / crashed lanes).
+    aborted: AtomicBool,
     /// Per-rank contribution slots for the current collective.
     slots: Vec<Mutex<Vec<f32>>>,
     allreduce_count: AtomicU64,
@@ -85,6 +135,7 @@ impl CommunicatorGroup {
         let shared = Arc::new(Shared {
             world,
             barrier: Barrier::new(world),
+            aborted: AtomicBool::new(false),
             slots: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             allreduce_count: AtomicU64::new(0),
             allreduce_bytes: AtomicU64::new(0),
@@ -139,9 +190,37 @@ impl Communicator {
         self.shared.world
     }
 
+    /// Declares this rank dead and aborts the whole group: every rank
+    /// blocked in (or later entering) a collective gets
+    /// [`CommError::Aborted`] instead of waiting forever. Terminal —
+    /// the group cannot be re-armed.
+    pub fn abort(&self) {
+        self.shared.aborted.store(true, Ordering::Release);
+        self.shared.barrier.wake_all();
+    }
+
+    /// Whether the group has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.shared.aborted.load(Ordering::Acquire)
+    }
+
     /// Blocks until every rank arrives.
+    ///
+    /// # Panics
+    /// Panics if the group is aborted while waiting; use
+    /// [`Communicator::try_barrier`] on fault-tolerant paths.
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier: {e}"));
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        if self.shared.barrier.wait(&self.shared.aborted) {
+            Ok(())
+        } else {
+            Err(CommError::Aborted)
+        }
     }
 
     /// Averages `data` across all ranks in place.
@@ -151,11 +230,23 @@ impl Communicator {
     /// Records the modeled ring-all-reduce wire time once per call.
     ///
     /// # Panics
-    /// Panics if ranks pass different lengths.
+    /// Panics if ranks pass different lengths, or if the group is
+    /// aborted mid-collective; use
+    /// [`Communicator::try_allreduce_mean`] on fault-tolerant paths.
     pub fn allreduce_mean(&self, data: &mut [f32]) {
+        self.try_allreduce_mean(data)
+            .unwrap_or_else(|e| panic!("allreduce: {e}"));
+    }
+
+    /// Fallible [`Communicator::allreduce_mean`]: returns
+    /// [`CommError::Aborted`] (leaving `data` unchanged) if the group
+    /// is aborted before the reduction completes.
+    pub fn try_allreduce_mean(&self, data: &mut [f32]) -> Result<(), CommError> {
         let shared = &self.shared;
         *shared.slots[self.rank].lock() = data.to_vec();
-        shared.barrier.wait();
+        if !shared.barrier.wait(&shared.aborted) {
+            return Err(CommError::Aborted);
+        }
         // Every rank reduces independently in rank order → identical
         // results without a broadcast round.
         let mut acc = vec![0.0f32; data.len()];
@@ -171,10 +262,15 @@ impl Communicator {
             }
         }
         let inv = 1.0 / shared.world as f32;
+        // The second barrier keeps slot reuse safe across rounds; only
+        // commit the averaged result after it succeeds so an abort
+        // leaves the caller's gradient buffer untouched.
+        if !shared.barrier.wait(&shared.aborted) {
+            return Err(CommError::Aborted);
+        }
         for (d, a) in data.iter_mut().zip(acc) {
             *d = a * inv;
         }
-        shared.barrier.wait();
         if self.rank == 0 {
             let bytes = std::mem::size_of_val(data);
             shared.allreduce_count.fetch_add(1, Ordering::Relaxed);
@@ -186,22 +282,30 @@ impl Communicator {
                 .modeled_comm_nanos
                 .fetch_add(t.as_nanos() as u64, Ordering::Relaxed);
         }
+        Ok(())
     }
 
     /// Copies `root`'s buffer into every rank's `data` (initial model
     /// replication).
+    ///
+    /// # Panics
+    /// Panics if ranks pass different lengths or the group is aborted.
     pub fn broadcast(&self, root: usize, data: &mut [f32]) {
         let shared = &self.shared;
         if self.rank == root {
             *shared.slots[root].lock() = data.to_vec();
         }
-        shared.barrier.wait();
+        if !shared.barrier.wait(&shared.aborted) {
+            panic!("broadcast: {}", CommError::Aborted);
+        }
         if self.rank != root {
             let s = shared.slots[root].lock();
             assert_eq!(s.len(), data.len(), "broadcast: length mismatch");
             data.copy_from_slice(&s);
         }
-        shared.barrier.wait();
+        if !shared.barrier.wait(&shared.aborted) {
+            panic!("broadcast: {}", CommError::Aborted);
+        }
     }
 }
 
@@ -303,6 +407,59 @@ mod tests {
         assert_eq!(stats.allreduce_count, 2);
         assert_eq!(stats.allreduce_bytes, 2 * 400);
         assert!(stats.modeled_comm_nanos > 0);
+    }
+
+    #[test]
+    fn abort_unblocks_waiting_allreduce() {
+        let group = CommunicatorGroup::single_machine(2);
+        let c0 = group.communicator(0);
+        let c1 = group.communicator(1);
+        let t = std::thread::spawn(move || {
+            let mut v = vec![1.0f32, 2.0];
+            let r = c1.try_allreduce_mean(&mut v);
+            (r, v)
+        });
+        // Rank 0 "crashes" instead of joining the collective; rank 1
+        // must unwind with Aborted and an untouched buffer.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c0.abort();
+        let (r, v) = t.join().unwrap();
+        assert_eq!(r, Err(CommError::Aborted));
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert!(c0.is_aborted());
+    }
+
+    #[test]
+    fn aborted_group_fails_fast_forever() {
+        let group = CommunicatorGroup::single_machine(2);
+        let c0 = group.communicator(0);
+        let _c1 = group.communicator(1);
+        c0.abort();
+        assert_eq!(c0.try_barrier(), Err(CommError::Aborted));
+        let mut v = vec![0.0f32];
+        assert_eq!(c0.try_allreduce_mean(&mut v), Err(CommError::Aborted));
+        assert_eq!(c0.try_allreduce_mean(&mut v), Err(CommError::Aborted));
+    }
+
+    #[test]
+    fn survivors_all_observe_abort() {
+        let group = CommunicatorGroup::single_machine(4);
+        let comms: Vec<_> = (0..4).map(|r| group.communicator(r)).collect();
+        let mut comms = comms.into_iter();
+        let crasher = comms.next().unwrap();
+        let handles: Vec<_> = comms
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut v = vec![c.rank() as f32];
+                    c.try_allreduce_mean(&mut v)
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        crasher.abort();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Err(CommError::Aborted));
+        }
     }
 
     #[test]

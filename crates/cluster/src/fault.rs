@@ -1,0 +1,234 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a declarative, seed-reproducible list of faults
+//! to inject into a training run: a trainer lane that crashes at a
+//! fixed step, a lane whose speculative-gather posting is delayed, or
+//! a memory daemon that shuts down after a fixed number of serialized
+//! turns. The plan is data, not behaviour — `core::dist` reads it and
+//! arranges each fault at the matching point in the schedule, so a
+//! given `(config, plan)` pair replays the *same* failure every run.
+//! That is what makes the failure-injection tests assertions rather
+//! than flaky observations: survivor state after a crash can be
+//! compared bit-for-bit against an oracle.
+//!
+//! Faults compose: a plan may carry several faults on distinct ranks /
+//! groups. Faults targeting ranks or groups outside the actual
+//! topology are ignored (the accessors simply never match).
+
+use serde::{Deserialize, Serialize, Value};
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Trainer `rank` crashes (aborts its communicator group and
+    /// stops) immediately before executing global step `step`.
+    LaneCrash { rank: usize, step: usize },
+    /// Trainer `rank` suppresses speculative-gather posting for its
+    /// first `steps` acquire steps, modeling a slow collection path.
+    /// Training results must be bit-identical with or without this
+    /// fault — speculation is an overlap optimization, not semantics.
+    DelaySpeculation { rank: usize, steps: usize },
+    /// Memory daemon `group` shuts itself down after serving
+    /// `after_turns` complete serialized turns, modeling a memory-node
+    /// crash mid-epoch. Trainers observe structured daemon errors.
+    DaemonShutdown { group: usize, after_turns: u64 },
+}
+
+// Hand-written (de)serialization: the workspace serde shim's derive
+// does not support data-carrying enum variants. Encoded as an
+// internally tagged object, e.g.
+// `{"kind":"lane_crash","rank":1,"step":7}`.
+impl Serialize for FaultKind {
+    fn to_value(&self) -> Value {
+        let obj = |fields: Vec<(&str, u64)>, kind: &str| {
+            let mut entries = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+            entries.extend(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::Num(v as f64))),
+            );
+            Value::Object(entries)
+        };
+        match *self {
+            FaultKind::LaneCrash { rank, step } => obj(
+                vec![("rank", rank as u64), ("step", step as u64)],
+                "lane_crash",
+            ),
+            FaultKind::DelaySpeculation { rank, steps } => obj(
+                vec![("rank", rank as u64), ("steps", steps as u64)],
+                "delay_speculation",
+            ),
+            FaultKind::DaemonShutdown { group, after_turns } => obj(
+                vec![("group", group as u64), ("after_turns", after_turns)],
+                "daemon_shutdown",
+            ),
+        }
+    }
+}
+
+impl Deserialize for FaultKind {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| format!("fault: expected object, got {v:?}"))?;
+        let kind = serde::__field(entries, "kind")
+            .as_str()
+            .ok_or("fault: missing kind tag")?;
+        let num = |name: &str| -> Result<u64, String> {
+            serde::__field(entries, name)
+                .as_f64()
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("fault: missing numeric field `{name}`"))
+        };
+        match kind {
+            "lane_crash" => Ok(FaultKind::LaneCrash {
+                rank: num("rank")? as usize,
+                step: num("step")? as usize,
+            }),
+            "delay_speculation" => Ok(FaultKind::DelaySpeculation {
+                rank: num("rank")? as usize,
+                steps: num("steps")? as usize,
+            }),
+            "daemon_shutdown" => Ok(FaultKind::DaemonShutdown {
+                group: num("group")? as usize,
+                after_turns: num("after_turns")?,
+            }),
+            other => Err(format!("fault: unknown kind `{other}`")),
+        }
+    }
+}
+
+/// A reproducible set of faults for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed recorded for provenance (plans built by
+    /// [`FaultPlan::seeded`] derive their choices from it).
+    pub seed: u64,
+    /// The faults to inject.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Plan with an explicit fault list.
+    pub fn new(faults: Vec<FaultKind>) -> Self {
+        Self { seed: 0, faults }
+    }
+
+    /// Derives a single-fault plan from `seed`: a lane crash on a
+    /// pseudo-random rank within `world` at a pseudo-random step in
+    /// `[1, total_steps)`. Uses a splitmix64 walk so the same seed
+    /// always yields the same fault — no RNG state to checkpoint.
+    pub fn seeded_lane_crash(seed: u64, world: usize, total_steps: usize) -> Self {
+        assert!(world > 0 && total_steps > 1, "degenerate topology");
+        let a = splitmix64(seed);
+        let b = splitmix64(a);
+        let rank = (a % world as u64) as usize;
+        let step = 1 + (b % (total_steps as u64 - 1)) as usize;
+        Self {
+            seed,
+            faults: vec![FaultKind::LaneCrash { rank, step }],
+        }
+    }
+
+    /// Step at which `rank` crashes, if the plan crashes it.
+    pub fn lane_crash_at(&self, rank: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultKind::LaneCrash { rank: r, step } if r == rank => Some(step),
+            _ => None,
+        })
+    }
+
+    /// Number of leading steps on which `rank` must not post
+    /// speculative gathers, if delayed by the plan.
+    pub fn speculation_delay(&self, rank: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultKind::DelaySpeculation { rank: r, steps } if r == rank => Some(steps),
+            _ => None,
+        })
+    }
+
+    /// Turn count after which daemon `group` self-terminates, if the
+    /// plan kills it.
+    pub fn daemon_fail_after(&self, group: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultKind::DaemonShutdown {
+                group: g,
+                after_turns,
+            } if g == group => Some(after_turns),
+            _ => None,
+        })
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// splitmix64 step — the standard 64-bit mix, good enough to spread a
+/// user seed over (rank, step) choices deterministically.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_only_their_target() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::LaneCrash { rank: 1, step: 7 },
+            FaultKind::DelaySpeculation { rank: 0, steps: 3 },
+            FaultKind::DaemonShutdown {
+                group: 2,
+                after_turns: 5,
+            },
+        ]);
+        assert_eq!(plan.lane_crash_at(1), Some(7));
+        assert_eq!(plan.lane_crash_at(0), None);
+        assert_eq!(plan.speculation_delay(0), Some(3));
+        assert_eq!(plan.speculation_delay(1), None);
+        assert_eq!(plan.daemon_fail_after(2), Some(5));
+        assert_eq!(plan.daemon_fail_after(0), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_in_range() {
+        let a = FaultPlan::seeded_lane_crash(42, 4, 20);
+        let b = FaultPlan::seeded_lane_crash(42, 4, 20);
+        assert_eq!(a, b);
+        match a.faults[0] {
+            FaultKind::LaneCrash { rank, step } => {
+                assert!(rank < 4);
+                assert!((1..20).contains(&step));
+            }
+            _ => panic!("expected lane crash"),
+        }
+        // Different seeds explore different faults (probabilistic but
+        // fixed here: these two seeds differ).
+        let c = FaultPlan::seeded_lane_crash(43, 4, 20);
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::new(vec![FaultKind::DaemonShutdown {
+            group: 0,
+            after_turns: 9,
+        }]);
+        let s = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(plan, back);
+    }
+}

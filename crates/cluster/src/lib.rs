@@ -23,9 +23,11 @@
 //! only the wire is simulated. See `DESIGN.md` §1.
 
 mod comm;
+mod fault;
 mod netsim;
 mod spec;
 
-pub use comm::{CommStats, Communicator, CommunicatorGroup};
+pub use comm::{CommError, CommStats, Communicator, CommunicatorGroup};
+pub use fault::{FaultKind, FaultPlan};
 pub use netsim::NetworkModel;
 pub use spec::ClusterSpec;

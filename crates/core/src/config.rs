@@ -350,6 +350,29 @@ pub struct TrainConfig {
     /// list otherwise) and falls back to the serialized read whenever
     /// the speculation window didn't open.
     pub speculative_gather: bool,
+    /// Save a training checkpoint every `n` single-GPU-equivalent
+    /// epochs (sequential) / every `n` schedule units = `j·k` epochs
+    /// (distributed). `None` disables checkpointing. Checkpoints land
+    /// at serialized-memory-epoch boundaries — the crash-consistent
+    /// points of the DistTGL schedule — so a resumed run replays
+    /// bit-identically (see `core::checkpoint`).
+    pub checkpoint_every: Option<usize>,
+    /// Directory for periodic checkpoints (`ckpt_XXXX.bin` files).
+    /// Required when `checkpoint_every` is set.
+    pub checkpoint_dir: Option<String>,
+    /// Resume training from this checkpoint file instead of starting
+    /// fresh. The checkpoint's config fingerprint must match (same
+    /// model shapes, parallel layout, seed, batch — everything that
+    /// shapes the training trajectory).
+    pub resume_from: Option<String>,
+    /// Deadline (milliseconds) for distributed trainers' memory-daemon
+    /// waits; expiry surfaces as a structured timeout error instead of
+    /// hanging the lane forever on a crashed daemon. `None` waits
+    /// until daemon shutdown.
+    pub daemon_deadline_ms: Option<u64>,
+    /// Deterministic fault-injection plan (tests / chaos runs). `None`
+    /// or an empty plan injects nothing.
+    pub faults: Option<disttgl_cluster::FaultPlan>,
 }
 
 impl TrainConfig {
@@ -368,7 +391,58 @@ impl TrainConfig {
             seed: 42,
             pipeline_prefetch: true,
             speculative_gather: true,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume_from: None,
+            daemon_deadline_ms: None,
+            faults: None,
         }
+    }
+
+    /// Enables periodic checkpoints: one every `n` epochs, written
+    /// into `dir`.
+    pub fn checkpoint_every(mut self, n: usize, dir: &str) -> Self {
+        assert!(n >= 1, "checkpoint period must be >= 1");
+        self.checkpoint_every = Some(n);
+        self.checkpoint_dir = Some(dir.to_string());
+        self
+    }
+
+    /// Resumes from a checkpoint file.
+    pub fn resume_from(mut self, path: &str) -> Self {
+        self.resume_from = Some(path.to_string());
+        self
+    }
+
+    /// Bounds memory-daemon waits (fault tolerance).
+    pub fn with_daemon_deadline_ms(mut self, ms: u64) -> Self {
+        self.daemon_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Injects a deterministic fault plan.
+    pub fn with_faults(mut self, plan: disttgl_cluster::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The configuration fingerprint recorded in checkpoints: the
+    /// config with the checkpoint/resume bookkeeping *and* the fault
+    /// plane cleared. Checkpoint placement never blocks "may this run
+    /// resume", and neither does fault scaffolding: a checkpoint only
+    /// exists when no fault fired at or before its boundary, the
+    /// trajectory up to that boundary is bit-identical with or without
+    /// later faults, and delayed speculation is bit-identical by the
+    /// version contract — so a crashed run's checkpoint legitimately
+    /// resumes under a fault-free config (the recovery story).
+    pub fn fingerprint_config(&self) -> TrainConfig {
+        let mut c = self.clone();
+        c.checkpoint_every = None;
+        c.checkpoint_dir = None;
+        c.resume_from = None;
+        c.daemon_deadline_ms = None;
+        c.faults = None;
+        c
     }
 
     /// Learning rate scaled linearly with the global batch size

@@ -20,6 +20,7 @@
 //! node memory in the first memory process" (§4.0.1).
 
 use crate::batch::{BatchPreparer, MemoryAccess, PreparedBatch};
+use crate::checkpoint::{checkpoint_path, fingerprint, TrainCheckpoint};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult, TimingBreakdown};
@@ -30,26 +31,46 @@ use crate::static_mem::StaticMemory;
 use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
 use disttgl_data::{Dataset, NegativeStore, Task};
 use disttgl_graph::TCsr;
-use disttgl_mem::{MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};
+use disttgl_mem::{
+    DaemonError, DaemonOptions, MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite,
+    VersionedReadout,
+};
 use disttgl_tensor::{seeded_rng, Matrix};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Wraps a memory access to meter read-wait time (the daemon overlap
-/// measurement in the timing breakdown).
-struct TimedAccess<'a, M: MemoryAccess> {
-    inner: &'a mut M,
+/// Wraps the daemon client to meter read-wait time (the daemon overlap
+/// measurement in the timing breakdown) and to convert wait failures —
+/// daemon shutdown, deadline expiry — into a recorded fault instead of
+/// a panic. After a failed read the readout is zero-shaped so phase-2
+/// batch assembly stays well-formed; the trainer checks the fault slot
+/// before training on it and unwinds.
+struct TimedAccess<'a> {
+    client: &'a mut disttgl_mem::MemoryClient,
     wait_secs: &'a mut f64,
+    fault: &'a mut Option<DaemonError>,
+    d_mem: usize,
+    d_mail: usize,
 }
 
-impl<M: MemoryAccess> MemoryAccess for TimedAccess<'_, M> {
+impl MemoryAccess for TimedAccess<'_> {
     fn read_into(&mut self, nodes: &[u32], out: &mut MemoryReadout) {
         let t0 = Instant::now();
-        self.inner.read_into(nodes, out);
+        if let Err(e) = self.client.try_read_into(nodes, out) {
+            *out = MemoryReadout {
+                mem: Matrix::zeros(nodes.len(), self.d_mem),
+                mem_ts: vec![0.0; nodes.len()],
+                mail: Matrix::zeros(nodes.len(), self.d_mail),
+                mail_ts: vec![0.0; nodes.len()],
+            };
+            *self.fault = Some(e);
+        }
         *self.wait_secs += t0.elapsed().as_secs_f64();
     }
     fn write(&mut self, w: MemoryWrite) {
-        self.inner.write(w);
+        if let Err(e) = self.client.try_write(w) {
+            *self.fault = Some(e);
+        }
     }
 }
 
@@ -61,6 +82,9 @@ struct TrainerReturn {
     grad_probes: u64,
     /// Rank 0's time spent evaluating (excluded from throughput).
     eval_secs: f64,
+    /// The trainer unwound early (injected crash, daemon fault, or a
+    /// peer's abort observed through the communicator).
+    aborted: bool,
 }
 
 /// How often trainers probe gradient variance (Table 1's variance row).
@@ -89,16 +113,42 @@ pub fn train_distributed(
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
     assert!(train_end > 0, "empty training split");
 
+    // Checkpoint/resume is defined at sweep boundaries, where no
+    // epoch-parallel sub-group holds an in-flight batch; that requires
+    // j == 1 (fold epochs into k instead, or use the sequential
+    // trainer, which checkpoints any shape).
+    if cfg.checkpoint_every.is_some() || cfg.resume_from.is_some() {
+        assert!(
+            j == 1,
+            "distributed checkpoint/resume requires j == 1: epoch-parallel \
+             sub-groups hold un-capturable in-flight batches at every boundary"
+        );
+    }
+    let resume: Option<Arc<TrainCheckpoint>> = cfg.resume_from.as_ref().map(|path| {
+        let ckpt = TrainCheckpoint::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        ckpt.check_fingerprint(model_cfg, cfg)
+            .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        assert_eq!(
+            ckpt.memories.len(),
+            k,
+            "checkpoint carries {} memory replicas for a k = {} run",
+            ckpt.memories.len(),
+            k
+        );
+        Arc::new(ckpt)
+    });
+
     // Static memory pre-training happens once, before the timed run
-    // (the paper pre-trains separately; <30 s on its datasets).
+    // (the paper pre-trains separately; <30 s on its datasets). A
+    // resumed run restores the table instead.
     let static_mem = Arc::new(if model_cfg.static_memory {
-        Some(StaticMemory::pretrain(
-            dataset,
-            model_cfg.d_mem,
-            train_end,
-            10,
-            cfg.seed ^ 0x5747,
-        ))
+        Some(match resume.as_ref().and_then(|c| c.static_table.clone()) {
+            Some(t) => StaticMemory::from_table(t),
+            None => {
+                StaticMemory::pretrain(dataset, model_cfg.d_mem, train_end, 10, cfg.seed ^ 0x5747)
+            }
+        })
     } else {
         None
     });
@@ -121,20 +171,35 @@ pub fn train_distributed(
         .map(|g| GroupSchedule::new(0..train_end, global_batch, &parallel, g, sweeps))
         .collect();
 
-    // Memory daemons: one per group, with wrap-aligned epoch schedules.
+    // Memory daemons: one per group, with wrap-aligned epoch
+    // schedules. A resumed run restores each replica's captured state
+    // and fast-forwards its turn counter to the checkpoint boundary; a
+    // fault plan may schedule a mid-epoch daemon death.
     let daemons: Arc<Vec<MemoryDaemon>> = Arc::new(
         schedules
             .iter()
-            .map(|s| {
-                MemoryDaemon::spawn_schedule(
-                    MemoryState::new(
-                        dataset.graph.num_nodes(),
-                        model_cfg.d_mem,
-                        model_cfg.mail_dim(),
+            .enumerate()
+            .map(|(g, s)| {
+                let (state, start_turn) = match resume.as_ref() {
+                    Some(c) => (c.memories[g].clone(), c.start_turns[g] as usize),
+                    None => (
+                        MemoryState::new(
+                            dataset.graph.num_nodes(),
+                            model_cfg.d_mem,
+                            model_cfg.mail_dim(),
+                        ),
+                        0,
                     ),
+                };
+                MemoryDaemon::spawn_with(
+                    state,
                     i,
                     j,
                     s.daemon_epoch_lengths(),
+                    DaemonOptions {
+                        start_turn,
+                        fail_after_turns: cfg.faults.as_ref().and_then(|f| f.daemon_fail_after(g)),
+                    },
                 )
             })
             .collect(),
@@ -156,6 +221,7 @@ pub fn train_distributed(
         let schedule = schedules[group].clone();
         let model_cfg = model_cfg.clone();
         let cfg = cfg.clone();
+        let resume = resume.clone();
 
         handles.push(
             std::thread::Builder::new()
@@ -178,6 +244,7 @@ pub fn train_distributed(
                         train_end,
                         val_end,
                         start,
+                        resume,
                     })
                 })
                 .expect("spawn trainer"),
@@ -192,6 +259,15 @@ pub fn train_distributed(
 
     let (mut result, eval_secs) = assemble_results(returns, wall);
     result.absorb_comm(&comm_group.stats());
+
+    // Fault unwinding: daemons of a crashed group may still be waiting
+    // for turns that will never come — release them before joining so
+    // teardown cannot hang.
+    if result.aborted {
+        for d in daemons.iter() {
+            d.shutdown();
+        }
+    }
 
     // Throughput counts training time only (evaluation excluded, as in
     // the paper): total traversed events / (wall − rank-0 eval time).
@@ -238,6 +314,7 @@ struct TrainerCtx {
     train_end: usize,
     val_end: usize,
     start: Instant,
+    resume: Option<Arc<TrainCheckpoint>>,
 }
 
 fn empty_write(model_cfg: &ModelConfig) -> MemoryWrite {
@@ -268,10 +345,24 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         train_end,
         val_end,
         start,
+        resume,
     } = ctx;
     let parallel = cfg.parallel;
     let (i, j) = (parallel.i, parallel.j);
     let mut client = daemons[group].client(jg * i + ig);
+
+    // Fault plane: an optional per-wait deadline turns a wedged daemon
+    // protocol into `DaemonError::Timeout`; any injected fault implies
+    // a default deadline so survivors can always unwind.
+    let faults = cfg.faults.clone().unwrap_or_default();
+    let deadline = cfg
+        .daemon_deadline_ms
+        .map(std::time::Duration::from_millis)
+        .or_else(|| (!faults.is_empty()).then(|| std::time::Duration::from_secs(5)));
+    client.set_deadline(deadline);
+    let my_crash = faults.lane_crash_at(rank);
+    let spec_delay = faults.speculation_delay(rank).unwrap_or(0);
+
     let prep = BatchPreparer::new(&dataset, csr.as_ref(), &model_cfg);
 
     // Identical seeded init on every replica (equivalent to broadcast).
@@ -286,12 +377,35 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         grad_sq_dev_sum: 0.0,
         grad_probes: 0,
         eval_secs: 0.0,
+        aborted: false,
     };
 
     let b = schedule.num_batches();
     let total_steps = schedule.total_steps();
+    let ownership_steps = cfg.sweeps() * b;
     let mut cached: Option<PreparedBatch> = None;
     let mut sweep_done = 0usize;
+
+    // Checkpoint resume: every rank restores the identical weights and
+    // optimizer moments (equivalent to a broadcast of the restored
+    // replica); rank 0 additionally re-seeds its histories so the
+    // assembled RunResult matches an uninterrupted run.
+    let start_step = match resume.as_deref() {
+        Some(c) => {
+            assert!(
+                c.units_done * b < total_steps,
+                "checkpoint already covers the full schedule"
+            );
+            model.params.unflatten_weights(&c.weights);
+            adam.load_state(c.adam_t, &c.adam_state);
+            if rank == 0 {
+                ret.loss_history = c.loss_history.clone();
+                ret.convergence = c.convergence.clone();
+            }
+            c.units_done * b
+        }
+        None => 0,
+    };
 
     // Pipelined prefetch: phase 1 (sampling, negative slicing, feature
     // gathers) of this lane's *next* non-empty Acquire runs on a
@@ -323,13 +437,18 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             cfg.train_negs,
         )
     };
-    let mut next_acquire = 0usize; // next acquire_plan entry to execute
-    let mut next_request = 0usize; // next entry whose phase 1 is unrequested
-    let mut prefetcher = if cfg.pipeline_prefetch && !acquire_plan.is_empty() {
+    // First plan entry at or after the resume point.
+    let resume_idx = acquire_plan
+        .iter()
+        .position(|(s, _, _)| *s >= start_step)
+        .unwrap_or(acquire_plan.len());
+    let mut next_acquire = resume_idx; // next acquire_plan entry to execute
+    let mut next_request = resume_idx; // next entry whose phase 1 is unrequested
+    let mut prefetcher = if cfg.pipeline_prefetch && resume_idx < acquire_plan.len() {
         let mut p =
             BatchPrefetcher::spawn(Arc::clone(&dataset), Arc::clone(&csr), model_cfg.clone());
-        p.request(request_for(0));
-        next_request = 1;
+        p.request(request_for(resume_idx));
+        next_request = resume_idx + 1;
         Some(p)
     } else {
         None
@@ -344,7 +463,26 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let mut read_scratch = MemoryReadout::default();
     let mut spec_scratch = VersionedReadout::default();
 
-    for step in 0..total_steps {
+    // Checkpoint cadence: a distributed unit is one sweep (= j·k
+    // epoch-equivalents); a sweep boundary is a quiescent point where
+    // every daemon has served exactly `step + 1` turns. The final
+    // boundary is never checkpointed.
+    let ckpt_every = match (cfg.checkpoint_every, &cfg.checkpoint_dir) {
+        (Some(n), Some(_)) => Some(n),
+        _ => None,
+    };
+    let mut aborted = false;
+    let mut mem_fault: Option<DaemonError> = None;
+
+    for step in start_step..total_steps {
+        if my_crash == Some(step) {
+            // Injected lane crash: tear down the collective so every
+            // survivor unwinds from its next all-reduce instead of
+            // waiting forever for this rank.
+            comm.abort();
+            aborted = true;
+            break;
+        }
         let plan = schedule.plan(jg, step);
         model.params.zero_grads();
         let mut loss = 0.0f32;
@@ -359,14 +497,17 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                     // Still take the serialized memory turn with an
                     // empty request to keep the daemon protocol moving.
                     let mut timed = TimedAccess {
-                        inner: &mut client,
+                        client: &mut client,
                         wait_secs: &mut ret.timing.mem_wait_secs,
+                        fault: &mut mem_fault,
+                        d_mem: model_cfg.d_mem,
+                        d_mail: model_cfg.mail_dim(),
                     };
                     let _ = timed.read(&[]);
                     timed.write(empty_write(&model_cfg));
                     None
                 } else {
-                    let prepared = match &mut prefetcher {
+                    let prepared_opt: Option<PreparedBatch> = match &mut prefetcher {
                         Some(p) => {
                             // Phase 1 was prefetched (and usually
                             // already staged with its speculative
@@ -402,63 +543,98 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                                 // such a delta can carry.
                                 spec_posted = false;
                                 let t_mem = Instant::now();
-                                let mut tagged = client.take_speculation();
-                                let _patched = client.read_delta_into(
-                                    resp.sb.nodes(),
-                                    &tagged.versions,
-                                    &mut tagged.readout,
-                                );
+                                let collected =
+                                    client.try_take_speculation().and_then(|mut tagged| {
+                                        client
+                                            .try_read_delta_into(
+                                                resp.sb.nodes(),
+                                                &tagged.versions,
+                                                &mut tagged.readout,
+                                            )
+                                            .map(|_patched| tagged)
+                                    });
                                 ret.timing.mem_wait_secs += t_mem.elapsed().as_secs_f64();
-                                resp.attach_speculation(tagged);
-                                let full = resp.take_readout().expect("attached readout");
-                                prep.complete(resp.sb, full)
+                                match collected {
+                                    Ok(tagged) => {
+                                        resp.attach_speculation(tagged);
+                                        let full = resp.take_readout().expect("attached readout");
+                                        Some(prep.complete(resp.sb, full))
+                                    }
+                                    Err(e) => {
+                                        mem_fault = Some(e);
+                                        None
+                                    }
+                                }
                             } else {
-                                let mut timed = TimedAccess {
-                                    inner: &mut client,
-                                    wait_secs: &mut ret.timing.mem_wait_secs,
+                                let prepared = {
+                                    let mut timed = TimedAccess {
+                                        client: &mut client,
+                                        wait_secs: &mut ret.timing.mem_wait_secs,
+                                        fault: &mut mem_fault,
+                                        d_mem: model_cfg.d_mem,
+                                        d_mail: model_cfg.mail_dim(),
+                                    };
+                                    prep.finish_with(
+                                        resp.sb,
+                                        &mut timed,
+                                        std::mem::take(&mut read_scratch),
+                                    )
                                 };
-                                prep.finish_with(
-                                    resp.sb,
-                                    &mut timed,
-                                    std::mem::take(&mut read_scratch),
-                                )
+                                if mem_fault.is_none() {
+                                    Some(prepared)
+                                } else {
+                                    None
+                                }
                             }
                         }
                         None => {
                             // Sequential oracle: one read covering the
                             // positives and all j negative sets
                             // (epoch-parallel prefetch).
-                            let mut timed = TimedAccess {
-                                inner: &mut client,
-                                wait_secs: &mut ret.timing.mem_wait_secs,
+                            let prepared = {
+                                let mut timed = TimedAccess {
+                                    client: &mut client,
+                                    wait_secs: &mut ret.timing.mem_wait_secs,
+                                    fault: &mut mem_fault,
+                                    d_mem: model_cfg.d_mem,
+                                    d_mail: model_cfg.mail_dim(),
+                                };
+                                let mut neg_slices: Vec<&[u32]> = Vec::new();
+                                let storage;
+                                if let Some(store) = store.as_ref() {
+                                    storage = (0..j)
+                                        .map(|p| {
+                                            let g = store.group_for_epoch(epoch_equiv + p);
+                                            store.slice(g, local.clone())
+                                        })
+                                        .collect::<Vec<_>>();
+                                    neg_slices = storage.to_vec();
+                                }
+                                prep.prepare(local.clone(), &neg_slices, cfg.train_negs, &mut timed)
                             };
-                            let mut neg_slices: Vec<&[u32]> = Vec::new();
-                            let storage;
-                            if let Some(store) = store.as_ref() {
-                                storage = (0..j)
-                                    .map(|p| {
-                                        let g = store.group_for_epoch(epoch_equiv + p);
-                                        store.slice(g, local.clone())
-                                    })
-                                    .collect::<Vec<_>>();
-                                neg_slices = storage.to_vec();
+                            if mem_fault.is_none() {
+                                Some(prepared)
+                            } else {
+                                None
                             }
-                            prep.prepare(local.clone(), &neg_slices, cfg.train_negs, &mut timed)
                         }
                     };
                     ret.timing.prep_secs += t_prep.elapsed().as_secs_f64();
 
-                    let t_compute = Instant::now();
-                    let out = model.train_step(
-                        &prepared.pos,
-                        prepared.negs.first(),
-                        static_mem.as_ref().as_ref(),
-                    );
-                    ret.timing.compute_secs += t_compute.elapsed().as_secs_f64();
-                    loss = out.loss;
-                    did_work = true;
-                    client.write(out.write);
-                    Some(prepared)
+                    prepared_opt.inspect(|prepared| {
+                        let t_compute = Instant::now();
+                        let out = model.train_step(
+                            &prepared.pos,
+                            prepared.negs.first(),
+                            static_mem.as_ref().as_ref(),
+                        );
+                        ret.timing.compute_secs += t_compute.elapsed().as_secs_f64();
+                        loss = out.loss;
+                        did_work = true;
+                        if let Err(e) = client.try_write(out.write) {
+                            mem_fault = Some(e);
+                        }
+                    })
                 };
                 // Recycle the retired batch's gathered block into the
                 // scratch this turn drained (no per-turn readout
@@ -493,12 +669,25 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             StepPlan::Idle => {}
         }
 
+        if mem_fault.is_some() {
+            // A daemon wait failed (injected shutdown, deadline expiry,
+            // or a peer's crash wedging the turn order): abort the
+            // collective and unwind; peers blocked in the all-reduce
+            // observe the abort instead of hanging.
+            comm.abort();
+            aborted = true;
+            break;
+        }
+
         // Open the next speculation window: the moment the next
         // Acquire's phase 1 is done (typically during a continue
         // pass), post its unique-node gather out of turn so the
         // daemon fills it while this lane computes/synchronizes. Any
         // write that lands in between is repaired by the Acquire
-        // turn's delta — bit-identically, per the version contract.
+        // turn's delta — bit-identically, per the version contract. An
+        // injected `DelaySpeculation` fault holds the first posts back
+        // (the Acquire slot then pays a full read — results unchanged,
+        // which is exactly what the fault harness asserts).
         if let Some(p) = &mut prefetcher {
             if staged.is_none() && next_acquire < acquire_plan.len() {
                 if let Some(resp) = p.try_recv() {
@@ -506,7 +695,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                         p.request(request_for(next_request));
                         next_request += 1;
                     }
-                    if use_speculation {
+                    if use_speculation && step >= start_step + spec_delay {
                         client.speculate_read(resp.sb.nodes(), std::mem::take(&mut spec_scratch));
                         spec_posted = true;
                     }
@@ -521,7 +710,12 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         let mut grads = model.params.flatten_grads();
         let probe = step % VARIANCE_PROBE_EVERY == 0 && did_work;
         let pre = if probe { Some(grads.clone()) } else { None };
-        comm.allreduce_mean(&mut grads);
+        if comm.try_allreduce_mean(&mut grads).is_err() {
+            // A peer crashed and aborted the communicator: unwind with
+            // whatever history is already banked.
+            aborted = true;
+            break;
+        }
         if let Some(pre) = pre {
             let n = grads.len().max(1);
             let dev: f64 = pre
@@ -543,7 +737,6 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         }
 
         // Sweep boundary: rank 0 evaluates from replica 0's snapshot.
-        let ownership_steps = cfg.sweeps() * b;
         if rank == 0
             && cfg.eval_every_epoch
             && val_end > train_end
@@ -552,7 +745,16 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         {
             let t_eval = Instant::now();
             let sweep_idx = (step + 1) / b - 1;
-            let mut snap = daemons[0].epoch_snapshot(sweep_idx as u64);
+            let mut snap = match daemons[0].try_epoch_snapshot(sweep_idx as u64) {
+                Ok(snap) => snap,
+                Err(_) => {
+                    // Replica 0's daemon died before finishing the
+                    // sweep (fault injection): unwind everyone.
+                    comm.abort();
+                    aborted = true;
+                    break;
+                }
+            };
             let eval_end = val_end.min(train_end.saturating_add(cfg.eval_max_events));
             let res = evaluate(
                 &model,
@@ -574,14 +776,79 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             });
             sweep_done = sweep_idx + 1;
         }
+
+        // Sweep-boundary checkpoint: rank 0 captures every replica's
+        // exact state at turn `step + 1` and persists it together with
+        // the (replica-identical) weights and optimizer moments. The
+        // trailing zero-length all-reduce is a quiescence barrier — no
+        // rank may post a turn-`step + 1` memory request until every
+        // capture is collected, which is exactly the precondition of
+        // `MemoryDaemon::capture_at`. Saving is pure observation: the
+        // training trajectory is bit-identical with or without it.
+        let units = (step + 1) / b;
+        if ckpt_every
+            .is_some_and(|n| (step + 1) % b == 0 && step + 1 < ownership_steps && units % n == 0)
+        {
+            if rank == 0 {
+                let turn = (step + 1) as u64;
+                for d in daemons.iter() {
+                    d.capture_at(turn);
+                }
+                let capture_deadline = Some(deadline.unwrap_or(std::time::Duration::from_secs(30)));
+                let mut memories = Vec::with_capacity(daemons.len());
+                for d in daemons.iter() {
+                    match d.take_capture(capture_deadline) {
+                        Ok(m) => memories.push(m),
+                        Err(_) => break,
+                    }
+                }
+                if memories.len() == daemons.len() {
+                    let dir = cfg
+                        .checkpoint_dir
+                        .as_deref()
+                        .expect("gated on checkpoint_dir");
+                    std::fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| panic!("checkpoint dir {dir}: {e}"));
+                    let start_turns = vec![turn; memories.len()];
+                    let ckpt = TrainCheckpoint {
+                        fingerprint: fingerprint(&model_cfg, &cfg),
+                        units_done: units,
+                        iteration: step + 1,
+                        events_trained: (units * train_end * j * parallel.k) as u64,
+                        weights: model.params.flatten_weights(),
+                        adam_t: adam.steps(),
+                        adam_state: adam.flatten_state(),
+                        loss_history: ret.loss_history.clone(),
+                        convergence: ret.convergence.clone(),
+                        static_table: static_mem.as_ref().as_ref().map(|s| s.table().clone()),
+                        memories,
+                        start_turns,
+                    };
+                    let path = checkpoint_path(dir, units);
+                    ckpt.save(&path)
+                        .unwrap_or_else(|e| panic!("checkpoint save {}: {e}", path.display()));
+                } else {
+                    // A capture resolved as shutdown/timeout — a
+                    // replica died at the boundary. Abort rather than
+                    // persist a partial checkpoint.
+                    comm.abort();
+                    aborted = true;
+                }
+            }
+            if aborted || comm.try_allreduce_mean(&mut [0.0f32]).is_err() {
+                aborted = true;
+                break;
+            }
+        }
     }
     let _ = sweep_done;
     // Per-layer share of the embed stack inside compute_secs.
     ret.timing.absorb_layer_secs(&model.layer_embed_secs(), 1.0);
 
     // Rank 0 computes the final test metric: replay val then test from
-    // the final snapshot of replica 0.
-    if rank == 0 {
+    // the final snapshot of replica 0. An aborted run has no final
+    // state to score — its partial histories stand as-is.
+    if rank == 0 && !aborted {
         let t_eval = Instant::now();
         let final_sweep = cfg.sweeps() as u64 - 1;
         let mut mem = daemons[0].epoch_snapshot(final_sweep);
@@ -622,12 +889,16 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             metric: test.metric,
         });
     }
+    ret.aborted = aborted;
     ret
 }
 
 fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) {
     let world = returns.len() as f64;
-    let mut result = RunResult::default();
+    let mut result = RunResult {
+        aborted: returns.iter().any(|r| r.aborted),
+        ..Default::default()
+    };
     let mut dev_sum = 0.0;
     let mut probes = 0u64;
     for r in &returns {

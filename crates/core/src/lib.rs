@@ -55,6 +55,7 @@
 
 pub mod baseline;
 mod batch;
+pub mod checkpoint;
 mod config;
 mod dist;
 mod engine;
@@ -66,6 +67,9 @@ mod sched;
 pub mod serve;
 mod single;
 mod static_mem;
+
+pub use checkpoint::{CheckpointError, ServeCheckpoint, TrainCheckpoint};
+pub use serve::{EventFault, IngestError, ServeError};
 
 pub use batch::{
     frontier_sizes, occurrence_nodes, occurrence_rows, patch_readout, BatchPreparer, MemoryAccess,

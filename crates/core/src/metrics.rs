@@ -185,6 +185,10 @@ pub struct RunResult {
     /// gradients from the all-reduced mean, sampled over iterations
     /// (Table 1's "gradient descent variance" row).
     pub grad_variance: f64,
+    /// True when the run unwound early from a fault (lane crash, daemon
+    /// shutdown, deadline expiry) instead of completing its schedule;
+    /// histories up to the abort point are retained.
+    pub aborted: bool,
 }
 
 impl RunResult {

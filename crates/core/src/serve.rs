@@ -38,15 +38,165 @@
 //! same events offline over a frozen [`disttgl_graph::TCsr`]. Pinned
 //! for both tasks and 1-/2-layer stacks by
 //! `tests/serve_equivalence.rs`.
+//!
+//! # Failure semantics
+//!
+//! The serving plane is **panic-free on external input**: malformed
+//! requests and events come back as typed errors and the session stays
+//! fully usable afterwards. The recoverable/fatal split:
+//!
+//! * **Recoverable (typed errors).** [`ServeSession::ingest`] is
+//!   *batch-partial*: each event is validated against a running stream
+//!   head, the valid chronological subsequence is applied, and the
+//!   rejects come back as `(slab index, `[`EventFault`]`)` pairs inside
+//!   [`IngestError::Rejected`] — a stale or corrupt event never
+//!   poisons the events around it. [`ServeSession::query`] and
+//!   [`ServeSession::ingest_scored`] are *atomic*: they validate
+//!   everything up front and touch no state on [`ServeError`] (scored
+//!   responses align positionally with the slab, so partial application
+//!   would mis-align them). Checkpoint restore validates framing,
+//!   digest, fingerprint, and adjacency invariants, returning
+//!   [`CheckpointError`] instead of panicking on corrupt bytes.
+//! * **Fatal (panics).** Programming errors on the session's own side:
+//!   response-accessor misuse ([`QueryResponse::scores`] on an
+//!   embedding) and internal invariant violations. These are bugs, not
+//!   inputs, and are deliberately loud.
 
 use crate::batch::{edge_feature_rows, occurrence_nodes, ReadoutIndex, ReadoutView};
+use crate::checkpoint::{CheckpointError, ServeCheckpoint};
 use crate::engine::{InferenceEngine, PartRef};
 use crate::model::TgnModel;
 use crate::static_mem::StaticMemory;
 use disttgl_data::Dataset;
-use disttgl_graph::{DynamicTCsr, Event, RecentNeighborSampler};
+use disttgl_graph::{DynamicTCsr, Event, RecentNeighborSampler, TemporalAdjacency};
 use disttgl_mem::MemoryState;
 use disttgl_tensor::Matrix;
+use std::fmt;
+
+/// Why one event or request operand was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventFault {
+    /// The timestamp precedes the stream head it would be appended at
+    /// (out-of-order delivery), or is NaN.
+    OutOfOrder {
+        /// The offending timestamp.
+        t: f32,
+        /// The stream head it failed against.
+        head: f32,
+    },
+    /// A non-finite timestamp (±∞ would wedge the stream head; NaN
+    /// out-of-order checks are vacuous).
+    NonFiniteTime {
+        /// The offending timestamp.
+        t: f32,
+    },
+    /// A node id outside the session's node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The session's node count.
+        num_nodes: u32,
+    },
+    /// An edge id with no row in the edge-feature table.
+    UnknownEdgeId {
+        /// The offending edge id.
+        eid: u32,
+        /// Rows in the edge-feature table.
+        table_rows: u32,
+    },
+}
+
+impl fmt::Display for EventFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventFault::OutOfOrder { t, head } => {
+                write!(f, "t = {t} precedes the stream head t = {head}")
+            }
+            EventFault::NonFiniteTime { t } => write!(f, "non-finite timestamp {t}"),
+            EventFault::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} outside the session's {num_nodes} nodes")
+            }
+            EventFault::UnknownEdgeId { eid, table_rows } => {
+                write!(
+                    f,
+                    "eid {eid} outside the edge-feature table ({table_rows} rows)"
+                )
+            }
+        }
+    }
+}
+
+/// [`ServeSession::ingest`] failure: batch-partial semantics — the
+/// valid events **were** applied; only the listed ones were rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IngestError {
+    /// Some events were rejected. `applied` accounts for the valid
+    /// chronological subsequence that was ingested; `rejected` pairs
+    /// each refused event's slab index with its fault. The session
+    /// remains fully usable.
+    Rejected {
+        /// Accounting for the applied subsequence.
+        applied: IngestStats,
+        /// `(slab index, fault)` for every rejected event, ascending.
+        rejected: Vec<(usize, EventFault)>,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Rejected { applied, rejected } => write!(
+                f,
+                "ingest rejected {} of {} events (first: event {}: {})",
+                rejected.len(),
+                applied.events + rejected.len(),
+                rejected[0].0,
+                rejected[0].1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// [`ServeSession::query`] / [`ServeSession::ingest_scored`] failure:
+/// atomic semantics — nothing was applied and no state changed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// A query request referenced an invalid operand; `request` indexes
+    /// the offending entry of the request slice.
+    InvalidRequest {
+        /// Index of the offending request.
+        request: usize,
+        /// What was wrong with it.
+        fault: EventFault,
+    },
+    /// An [`ServeSession::ingest_scored`] slab contained invalid
+    /// events; nothing was appended, scored, or written.
+    InvalidSlab {
+        /// `(slab index, fault)` for every invalid event, ascending.
+        rejected: Vec<(usize, EventFault)>,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidRequest { request, fault } => {
+                write!(f, "request {request}: {fault}")
+            }
+            ServeError::InvalidSlab { rejected } => write!(
+                f,
+                "scored slab has {} invalid events (first: event {}: {})",
+                rejected.len(),
+                rejected[0].0,
+                rejected[0].1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// One serving request, timestamped by the client.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -106,7 +256,7 @@ impl QueryResponse {
 }
 
 /// Accounting for one [`ServeSession::ingest`] call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IngestStats {
     /// Events absorbed.
     pub events: usize,
@@ -197,16 +347,84 @@ impl<'a> ServeSession<'a> {
     /// one write — the identical arithmetic of [`crate::replay_memory`]
     /// at these batch boundaries).
     ///
-    /// # Panics
-    /// Panics if an event precedes the stream head, names a node
-    /// outside the session's range, or carries an `eid` outside the
-    /// edge-feature table.
-    pub fn ingest(&mut self, events: &[Event]) -> IngestStats {
-        self.extend_adjacency(events);
-        self.apply_memory(events)
+    /// **Batch-partial**: each event is validated against a running
+    /// stream head (time order, finite timestamp, node range, edge-id
+    /// range); the valid chronological subsequence is applied even when
+    /// some events are refused. On `Err`, [`IngestError::Rejected`]
+    /// carries both the accounting for what *was* applied and the
+    /// `(slab index, fault)` of every reject — the session stays fully
+    /// usable either way.
+    pub fn ingest(&mut self, events: &[Event]) -> Result<IngestStats, IngestError> {
+        let mut head = self.adj.stream_head();
+        let mut accepted: Vec<Event> = Vec::with_capacity(events.len());
+        let mut rejected: Vec<(usize, EventFault)> = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            match self.validate_event(e, head) {
+                Some(fault) => rejected.push((i, fault)),
+                None => {
+                    head = e.t;
+                    accepted.push(*e);
+                }
+            }
+        }
+        self.extend_adjacency(&accepted);
+        let applied = self.apply_memory(&accepted);
+        if rejected.is_empty() {
+            Ok(applied)
+        } else {
+            Err(IngestError::Rejected { applied, rejected })
+        }
+    }
+
+    /// Checks one event against the session's invariants at stream
+    /// head `head`. `None` means acceptable; the checks mirror exactly
+    /// the panics [`DynamicTCsr::append_events`] and the edge-feature
+    /// gather would otherwise hit, making those panics unreachable from
+    /// external input.
+    fn validate_event(&self, e: &Event, head: f32) -> Option<EventFault> {
+        if !e.t.is_finite() {
+            return Some(EventFault::NonFiniteTime { t: e.t });
+        }
+        let n = self.dataset.graph.num_nodes() as u32;
+        for node in [e.src, e.dst] {
+            if node >= n {
+                return Some(EventFault::NodeOutOfRange { node, num_nodes: n });
+            }
+        }
+        let table_rows = self.dataset.edge_features.rows();
+        if self.dataset.edge_features.cols() > 0 && e.eid as usize >= table_rows {
+            return Some(EventFault::UnknownEdgeId {
+                eid: e.eid,
+                table_rows: table_rows as u32,
+            });
+        }
+        if e.t < head {
+            return Some(EventFault::OutOfOrder { t: e.t, head });
+        }
+        None
+    }
+
+    /// Checks one query request's operands (same faults as
+    /// [`ServeSession::validate_event`], minus stream ordering — a
+    /// query may name any time).
+    fn validate_request(&self, r: &QueryRequest) -> Option<EventFault> {
+        let n = self.dataset.graph.num_nodes() as u32;
+        let (nodes, t) = match *r {
+            QueryRequest::LinkScore { src, dst, t } => ([src, dst], t),
+            QueryRequest::Embed { node, t } => ([node, node], t),
+        };
+        if !t.is_finite() {
+            return Some(EventFault::NonFiniteTime { t });
+        }
+        nodes
+            .into_iter()
+            .find(|&node| node >= n)
+            .map(|node| EventFault::NodeOutOfRange { node, num_nodes: n })
     }
 
     /// Phase A of [`ServeSession::ingest`]: the adjacency append.
+    /// Callers have already validated `events`; the asserts below are
+    /// internal-invariant backstops, not input checks.
     fn extend_adjacency(&mut self, events: &[Event]) {
         let feat_rows = self.dataset.edge_features.rows();
         if self.dataset.edge_features.cols() > 0 {
@@ -247,9 +465,19 @@ impl<'a> ServeSession<'a> {
     /// Responses are in request order, and each is bit-identical to
     /// what the request would get in a micro-batch of its own (per-row
     /// purity — see `core::engine`).
-    pub fn query(&mut self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+    ///
+    /// **Atomic**: every request is validated before any work; on
+    /// [`ServeError::InvalidRequest`] nothing was sampled, gathered, or
+    /// scored, and the session is untouched (queries are read-only
+    /// regardless).
+    pub fn query(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ServeError> {
         if requests.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(fault) = self.validate_request(r) {
+                return Err(ServeError::InvalidRequest { request: i, fault });
+            }
         }
         // Flatten requests into one root list (a link candidate
         // contributes its two endpoints back-to-back).
@@ -268,10 +496,6 @@ impl<'a> ServeSession<'a> {
                     times.push(t);
                 }
             }
-        }
-        let n = self.dataset.graph.num_nodes() as u32;
-        for &r in &roots {
-            assert!(r < n, "query: node {r} outside the session's range");
         }
 
         // One frontier expansion + one folded gather for the whole
@@ -338,7 +562,7 @@ impl<'a> ServeSession<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Score-then-ingest, the streaming form of evaluation's
@@ -349,7 +573,33 @@ impl<'a> ServeSession<'a> {
     /// Driving a range through this call at an offline oracle's batch
     /// boundaries reproduces [`crate::evaluate`] bit for bit (the
     /// module-level contract).
-    pub fn ingest_scored(&mut self, events: &[Event], extra: &[QueryRequest]) -> ScoredIngest {
+    ///
+    /// **Atomic**, unlike [`ServeSession::ingest`]: the scores align
+    /// positionally with the slab, so applying a partial subsequence
+    /// would mis-align them. The whole slab plus every `extra` request
+    /// is validated up front; on `Err` nothing was appended, scored, or
+    /// written.
+    pub fn ingest_scored(
+        &mut self,
+        events: &[Event],
+        extra: &[QueryRequest],
+    ) -> Result<ScoredIngest, ServeError> {
+        let mut head = self.adj.stream_head();
+        let mut rejected: Vec<(usize, EventFault)> = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            match self.validate_event(e, head) {
+                Some(fault) => rejected.push((i, fault)),
+                None => head = e.t,
+            }
+        }
+        if !rejected.is_empty() {
+            return Err(ServeError::InvalidSlab { rejected });
+        }
+        for (i, r) in extra.iter().enumerate() {
+            if let Some(fault) = self.validate_request(r) {
+                return Err(ServeError::InvalidRequest { request: i, fault });
+            }
+        }
         self.extend_adjacency(events);
         let mut requests: Vec<QueryRequest> = events
             .iter()
@@ -360,15 +610,88 @@ impl<'a> ServeSession<'a> {
             })
             .collect();
         requests.extend_from_slice(extra);
-        let mut event_scores = self.query(&requests);
+        let mut event_scores = self.query(&requests).expect("requests validated above");
         let extra_resp = event_scores.split_off(events.len());
         let stats = self.apply_memory(events);
-        ScoredIngest {
+        Ok(ScoredIngest {
             event_scores,
             extra: extra_resp,
             stats,
+        })
+    }
+
+    /// Captures the session's full live state — node memory, dynamic
+    /// adjacency, stream head, ingest counter — as a
+    /// [`ServeCheckpoint`]. Pure observation: the session is untouched
+    /// and a session restored from the capture answers every query
+    /// bit-identically to this one.
+    pub fn checkpoint(&self) -> ServeCheckpoint {
+        let n = self.dataset.graph.num_nodes();
+        ServeCheckpoint {
+            fingerprint: serve_fingerprint(self.model, self.dataset),
+            memory: self.memory.clone(),
+            adj: (0..n as u32)
+                .map(|v| self.adj.neighbors(v).to_vec())
+                .collect(),
+            num_events: self.adj.num_events(),
+            stream_head: self.adj.stream_head(),
+            ingested: self.ingested as u64,
         }
     }
+
+    /// Reopens a session from a [`ServeCheckpoint`] against the same
+    /// trained model and dataset. Refuses a capture taken under a
+    /// different model configuration or node count
+    /// ([`CheckpointError::Mismatch`]) and one whose adjacency violates
+    /// the dynamic T-CSR's invariants ([`CheckpointError::Corrupt`]) —
+    /// restore never panics on a hostile file.
+    pub fn restore(
+        model: &'a TgnModel,
+        dataset: &'a Dataset,
+        static_mem: Option<&'a StaticMemory>,
+        ckpt: ServeCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        let live = serve_fingerprint(model, dataset);
+        if ckpt.fingerprint != live {
+            return Err(CheckpointError::Mismatch(format!(
+                "serve checkpoint was taken under a different configuration\n  saved: {}\n  live:  {}",
+                ckpt.fingerprint.replace('\n', " | "),
+                live.replace('\n', " | ")
+            )));
+        }
+        if ckpt.memory.num_nodes() != dataset.graph.num_nodes() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} memory nodes vs {} dataset nodes",
+                ckpt.memory.num_nodes(),
+                dataset.graph.num_nodes()
+            )));
+        }
+        let adj = DynamicTCsr::from_parts(ckpt.adj, ckpt.num_events, ckpt.stream_head)
+            .map_err(CheckpointError::Corrupt)?;
+        let cfg = &model.cfg;
+        Ok(Self {
+            model,
+            dataset,
+            static_mem,
+            adj,
+            memory: ckpt.memory,
+            engine: InferenceEngine::new(),
+            sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
+            dedup: cfg.dedup_readout,
+            ingested: ckpt.ingested as usize,
+        })
+    }
+}
+
+/// Serving-plane fingerprint: the model configuration plus the
+/// dataset's node count — everything a restored session must agree on
+/// before its answers can be meaningful.
+fn serve_fingerprint(model: &TgnModel, dataset: &Dataset) -> String {
+    format!(
+        "{}\nnodes={}",
+        serde_json::to_string(&model.cfg).expect("model config serializes"),
+        dataset.graph.num_nodes()
+    )
 }
 
 #[cfg(test)]
@@ -391,7 +714,7 @@ mod tests {
     fn query_is_read_only() {
         let (d, model) = link_setup(1);
         let mut s = ServeSession::new(&model, &d, None);
-        s.ingest(&d.graph.events()[0..200]);
+        s.ingest(&d.graph.events()[0..200]).unwrap();
         let before = s.memory_checksum();
         let reqs = vec![
             QueryRequest::LinkScore {
@@ -404,7 +727,7 @@ mod tests {
                 t: 1e9,
             },
         ];
-        let resp = s.query(&reqs);
+        let resp = s.query(&reqs).unwrap();
         assert_eq!(resp.len(), 2);
         assert_eq!(resp[0].scores().len(), 1);
         assert_eq!(resp[1].embedding().len(), model.cfg.d_emb);
@@ -423,7 +746,7 @@ mod tests {
     fn micro_batched_queries_equal_single_queries() {
         let (d, model) = link_setup(2);
         let mut s = ServeSession::new(&model, &d, None);
-        s.ingest(&d.graph.events()[0..300]);
+        s.ingest(&d.graph.events()[0..300]).unwrap();
         let ev = d.graph.events();
         let reqs: Vec<QueryRequest> = (0..8)
             .map(|i| QueryRequest::LinkScore {
@@ -436,9 +759,9 @@ mod tests {
                 t: ev[299].t + 1.0,
             }])
             .collect();
-        let batched = s.query(&reqs);
+        let batched = s.query(&reqs).unwrap();
         for (i, r) in reqs.iter().enumerate() {
-            let single = s.query(std::slice::from_ref(r));
+            let single = s.query(std::slice::from_ref(r)).unwrap();
             assert_eq!(single[0], batched[i], "request {i}");
         }
     }
@@ -447,12 +770,12 @@ mod tests {
     fn ingest_advances_stream_state() {
         let (d, model) = link_setup(1);
         let mut s = ServeSession::new(&model, &d, None);
-        let stats = s.ingest(&d.graph.events()[0..64]);
+        let stats = s.ingest(&d.graph.events()[0..64]).unwrap();
         assert_eq!(stats.events, 64);
         assert!(stats.rows_written > 0 && stats.rows_written <= 128);
         assert!(stats.rows_read > 0);
         assert_eq!(s.events_ingested(), 64);
-        let more = s.ingest(&d.graph.events()[64..96]);
+        let more = s.ingest(&d.graph.events()[64..96]).unwrap();
         assert_eq!(more.events, 32);
         assert_eq!(s.events_ingested(), 96);
         assert_eq!(s.adjacency().num_events(), 96);
@@ -466,13 +789,15 @@ mod tests {
         let mut rng = seeded_rng(6);
         let model = TgnModel::new(cfg, &mut rng);
         let mut s = ServeSession::new(&model, &d, None);
-        s.ingest(&d.graph.events()[0..100]);
+        s.ingest(&d.graph.events()[0..100]).unwrap();
         let e = &d.graph.events()[50];
-        let resp = s.query(&[QueryRequest::LinkScore {
-            src: e.src,
-            dst: e.dst,
-            t: 1e12,
-        }]);
+        let resp = s
+            .query(&[QueryRequest::LinkScore {
+                src: e.src,
+                dst: e.dst,
+                t: 1e12,
+            }])
+            .unwrap();
         assert_eq!(resp[0].scores().len(), 56);
     }
 
@@ -480,10 +805,10 @@ mod tests {
     fn ingest_scored_scores_before_write() {
         let (d, model) = link_setup(1);
         let mut s = ServeSession::new(&model, &d, None);
-        s.ingest(&d.graph.events()[0..100]);
+        s.ingest(&d.graph.events()[0..100]).unwrap();
         let pre = s.memory_checksum();
         let slab: Vec<Event> = d.graph.events()[100..140].to_vec();
-        let out = s.ingest_scored(&slab, &[]);
+        let out = s.ingest_scored(&slab, &[]).unwrap();
         assert_eq!(out.event_scores.len(), 40);
         assert_eq!(out.stats.events, 40);
         assert_ne!(s.memory_checksum(), pre, "ingest applied the write");
@@ -498,19 +823,232 @@ mod tests {
                 t: e.t,
             })
             .collect();
-        let post = s.query(&reqs);
+        let post = s.query(&reqs).unwrap();
         assert_ne!(
             out.event_scores, post,
             "pre- and post-write scores should differ on a recurrent stream"
         );
     }
 
+    /// Out-of-order delivery is a structured, recoverable error, not a
+    /// panic: the stale events come back as indexed rejects and the
+    /// session keeps serving.
     #[test]
-    #[should_panic(expected = "precedes the stream head")]
-    fn out_of_order_ingest_panics() {
+    fn out_of_order_ingest_rejects_and_stays_usable() {
         let (d, model) = link_setup(1);
         let mut s = ServeSession::new(&model, &d, None);
-        s.ingest(&d.graph.events()[10..20]);
-        s.ingest(&d.graph.events()[0..5]);
+        let ev = d.graph.events();
+        s.ingest(&ev[10..20]).unwrap();
+        let head = s.adjacency().stream_head();
+
+        let err = s.ingest(&ev[0..5]).unwrap_err();
+        let IngestError::Rejected { applied, rejected } = err;
+        assert!(!rejected.is_empty());
+        assert_eq!(applied.events + rejected.len(), 5);
+        for &(i, fault) in &rejected {
+            assert!(i < 5);
+            assert!(
+                matches!(fault, EventFault::OutOfOrder { t, head: h }
+                    if t == ev[i].t && h == head),
+                "event {i}: unexpected fault {fault}"
+            );
+        }
+
+        // The session is fully usable afterwards: fresh events land and
+        // queries answer.
+        s.ingest(&ev[20..30]).unwrap();
+        assert_eq!(s.adjacency().stream_head(), ev[29].t);
+        s.query(&[QueryRequest::Embed {
+            node: ev[25].src,
+            t: ev[29].t + 1.0,
+        }])
+        .unwrap();
+    }
+
+    /// Batch-partial contract: a slab mixing valid and invalid events
+    /// applies exactly the valid chronological subsequence and indexes
+    /// each reject with its fault.
+    #[test]
+    fn mixed_slab_applies_valid_subsequence() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        let ev = d.graph.events();
+        s.ingest(&ev[0..50]).unwrap();
+        let n = d.graph.num_nodes() as u32;
+        let head = s.adjacency().stream_head();
+
+        let good_a = ev[50];
+        let bad_node = Event { src: n, ..ev[51] };
+        let bad_time = Event {
+            t: head - 1.0,
+            ..ev[52]
+        };
+        let bad_nan = Event {
+            t: f32::NAN,
+            ..ev[53]
+        };
+        let good_b = ev[54];
+        let slab = [good_a, bad_node, bad_time, bad_nan, good_b];
+
+        let err = s.ingest(&slab).unwrap_err();
+        let IngestError::Rejected { applied, rejected } = err;
+        assert_eq!(applied.events, 2, "both valid events applied");
+        assert_eq!(rejected.len(), 3);
+        assert!(matches!(
+            rejected[0],
+            (1, EventFault::NodeOutOfRange { node, num_nodes })
+                if node == n && num_nodes == n
+        ));
+        assert!(matches!(rejected[1], (2, EventFault::OutOfOrder { .. })));
+        assert!(matches!(rejected[2], (3, EventFault::NonFiniteTime { t }) if t.is_nan()));
+        assert_eq!(s.adjacency().num_events(), 52);
+        assert_eq!(s.events_ingested(), 52);
+        assert_eq!(s.adjacency().stream_head(), good_b.t);
+
+        // The applied subsequence is bit-identical to ingesting only
+        // the valid events on a parallel session.
+        let mut oracle = ServeSession::new(&model, &d, None);
+        oracle.ingest(&ev[0..50]).unwrap();
+        oracle.ingest(&[good_a, good_b]).unwrap();
+        assert_eq!(s.memory_checksum(), oracle.memory_checksum());
+    }
+
+    /// Queries are atomic: an invalid operand reports a typed error,
+    /// no state changes, and the session keeps answering.
+    #[test]
+    fn invalid_query_is_typed_and_atomic() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        let ev = d.graph.events();
+        s.ingest(&ev[0..100]).unwrap();
+        let before = s.memory_checksum();
+        let n = d.graph.num_nodes() as u32;
+
+        let err = s
+            .query(&[
+                QueryRequest::Embed {
+                    node: ev[0].src,
+                    t: 1e9,
+                },
+                QueryRequest::LinkScore {
+                    src: ev[1].src,
+                    dst: n + 7,
+                    t: 1e9,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidRequest {
+                request: 1,
+                fault: EventFault::NodeOutOfRange {
+                    node: n + 7,
+                    num_nodes: n
+                }
+            }
+        );
+        let err = s
+            .query(&[QueryRequest::Embed {
+                node: ev[0].src,
+                t: f32::INFINITY,
+            }])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidRequest {
+                request: 0,
+                fault: EventFault::NonFiniteTime { .. }
+            }
+        ));
+        assert_eq!(s.memory_checksum(), before);
+        s.query(&[QueryRequest::Embed {
+            node: ev[0].src,
+            t: 1e9,
+        }])
+        .unwrap();
+    }
+
+    /// `ingest_scored` is all-or-nothing: one bad event anywhere in the
+    /// slab and nothing is appended, scored, or written.
+    #[test]
+    fn invalid_scored_slab_applies_nothing() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        let ev = d.graph.events();
+        s.ingest(&ev[0..100]).unwrap();
+        let before = s.memory_checksum();
+        let n = d.graph.num_nodes() as u32;
+
+        let mut slab: Vec<Event> = ev[100..110].to_vec();
+        slab[7].dst = n + 1;
+        let err = s.ingest_scored(&slab, &[]).unwrap_err();
+        assert!(matches!(
+            &err,
+            ServeError::InvalidSlab { rejected }
+                if rejected.len() == 1 && rejected[0].0 == 7
+        ));
+        assert_eq!(s.adjacency().num_events(), 100, "nothing appended");
+        assert_eq!(s.memory_checksum(), before, "nothing written");
+
+        // The untouched slab then scores bit-identically to a session
+        // that never saw the bad event.
+        let good: Vec<Event> = ev[100..110].to_vec();
+        let out = s.ingest_scored(&good, &[]).unwrap();
+        assert_eq!(out.stats.events, 10);
+    }
+
+    /// Checkpoint → restore answers queries bit-identically and keeps
+    /// absorbing the stream exactly where the captured session left
+    /// off.
+    #[test]
+    fn checkpoint_restore_roundtrips_bit_identically() {
+        let (d, model) = link_setup(2);
+        let ev = d.graph.events();
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&ev[0..200]).unwrap();
+
+        // Through the on-disk format, not just the in-memory struct.
+        let dir = std::env::temp_dir().join("disttgl_serve_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.bin");
+        s.checkpoint().save(&path).unwrap();
+        let loaded = ServeCheckpoint::load(&path).unwrap();
+        let mut r = ServeSession::restore(&model, &d, None, loaded).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(r.memory_checksum(), s.memory_checksum());
+        assert_eq!(r.events_ingested(), s.events_ingested());
+        assert_eq!(r.adjacency().num_events(), s.adjacency().num_events());
+        assert_eq!(r.adjacency().stream_head(), s.adjacency().stream_head());
+
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::LinkScore {
+                src: ev[i * 13].src,
+                dst: ev[i * 17 + 1].dst,
+                t: ev[199].t + 1.0,
+            })
+            .collect();
+        assert_eq!(s.query(&reqs).unwrap(), r.query(&reqs).unwrap());
+
+        // Continued ingest tracks the original bit for bit.
+        s.ingest(&ev[200..260]).unwrap();
+        r.ingest(&ev[200..260]).unwrap();
+        assert_eq!(s.memory_checksum(), r.memory_checksum());
+        assert_eq!(s.query(&reqs).unwrap(), r.query(&reqs).unwrap());
+    }
+
+    /// Restore refuses a capture from a different model configuration.
+    #[test]
+    fn restore_refuses_mismatched_model() {
+        let (d, model) = link_setup(1);
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&d.graph.events()[0..50]).unwrap();
+        let ckpt = s.checkpoint();
+
+        let (_, other) = link_setup(2);
+        assert!(matches!(
+            ServeSession::restore(&other, &d, None, ckpt),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 }

@@ -4,6 +4,7 @@
 //! schedules are tested against.
 
 use crate::batch::BatchPreparer;
+use crate::checkpoint::{checkpoint_path, fingerprint, TrainCheckpoint};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult};
@@ -74,18 +75,34 @@ fn run_single(
     let csr = Arc::new(TCsr::build(&dataset.graph));
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
 
+    // Resume: load + validate before touching anything expensive. A
+    // bad checkpoint (corrupt file, different config) fails loudly
+    // here — silently diverging from the oracle would be worse.
+    let resume = cfg.resume_from.as_ref().map(|path| {
+        let ckpt = TrainCheckpoint::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        ckpt.check_fingerprint(model_cfg, cfg)
+            .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        ckpt
+    });
+
     let mut rng = seeded_rng(cfg.seed);
     let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
 
     let static_mem = if model_cfg.static_memory {
-        Some(StaticMemory::pretrain(
-            dataset,
-            model_cfg.d_mem,
-            train_end,
-            10,
-            cfg.seed ^ 0x5747,
-        ))
+        // The saved table is bit-identical to re-running the pretrain
+        // (both derive from cfg.seed); reusing it just skips the pass.
+        match resume.as_ref().and_then(|c| c.static_table.clone()) {
+            Some(t) => Some(StaticMemory::from_table(t)),
+            None => Some(StaticMemory::pretrain(
+                dataset,
+                model_cfg.d_mem,
+                train_end,
+                10,
+                cfg.seed ^ 0x5747,
+            )),
+        }
     } else {
         None
     };
@@ -109,8 +126,18 @@ fn run_single(
     )));
     let batches = batching::chronological_batches(0..train_end, cfg.local_batch);
 
-    // Flat (epoch, range) execution order, the prefetch schedule.
-    let plan: Vec<(usize, std::ops::Range<usize>)> = (0..cfg.epochs)
+    // Resume restarts at the checkpoint's epoch boundary; the
+    // epoch-start memory reset means nothing mid-epoch needs replay.
+    let start_epoch = resume.as_ref().map(|c| c.units_done).unwrap_or(0);
+    assert!(
+        start_epoch < cfg.epochs.max(1),
+        "checkpoint already covers all {} epochs",
+        cfg.epochs
+    );
+
+    // Flat (epoch, range) execution order, the prefetch schedule —
+    // only the epochs this (possibly resumed) process will run.
+    let plan: Vec<(usize, std::ops::Range<usize>)> = (start_epoch..cfg.epochs)
         .flat_map(|e| batches.iter().cloned().map(move |r| (e, r)))
         .collect();
     let request_for = |epoch: usize, range: std::ops::Range<usize>, gather: bool| {
@@ -134,11 +161,24 @@ fn run_single(
     };
     let mut result = RunResult::default();
     let start = Instant::now();
+    // Absolute iteration count (includes checkpointed work) vs. index
+    // into this process's `plan` (remaining work only) — distinct on
+    // a resumed run.
     let mut iteration = 0usize;
+    let mut plan_idx = 0usize;
     let mut events_trained = 0u64;
     let mut eval_secs = 0.0f64;
 
-    for epoch in 0..cfg.epochs {
+    if let Some(c) = &resume {
+        model.params.unflatten_weights(&c.weights);
+        adam.load_state(c.adam_t, &c.adam_state);
+        result.loss_history = c.loss_history.clone();
+        result.convergence = c.convergence.clone();
+        iteration = c.iteration;
+        events_trained = c.events_trained;
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         write_lock(&memory).reset();
         for range in &batches {
             let t_prep = Instant::now();
@@ -160,7 +200,7 @@ fn run_single(
 
                     let t_compute = Instant::now();
                     model.params.zero_grads();
-                    let next = (iteration + 1 < plan.len()).then(|| plan[iteration + 1].clone());
+                    let next = (plan_idx + 1 < plan.len()).then(|| plan[plan_idx + 1].clone());
                     let memory_ref = &memory;
                     let request_for_ref = &request_for;
                     let out = model.train_step_eager_write(
@@ -212,6 +252,7 @@ fn run_single(
             };
             result.loss_history.push(out.loss);
             iteration += 1;
+            plan_idx += 1;
             events_trained += range.len() as u64;
         }
 
@@ -237,6 +278,38 @@ fn run_single(
                 wall_secs: start.elapsed().as_secs_f64(),
                 metric: res.metric,
             });
+        }
+
+        // Periodic checkpoint at the epoch boundary — the sequential
+        // trainer's crash-consistent point. Saving is pure
+        // observation (no training state is touched), so checkpointed
+        // and plain runs stay bit-identical. The memory itself is not
+        // saved: the next epoch starts with a reset, so resume
+        // re-derives it. Boundaries at the final epoch are skipped —
+        // there is nothing left to resume into.
+        if let (Some(n), Some(dir)) = (cfg.checkpoint_every, cfg.checkpoint_dir.as_ref()) {
+            let units = epoch + 1;
+            if units % n == 0 && units < cfg.epochs {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("checkpoint dir {dir}: {e}"));
+                let ckpt = TrainCheckpoint {
+                    fingerprint: fingerprint(model_cfg, cfg),
+                    units_done: units,
+                    iteration,
+                    events_trained,
+                    weights: model.params.flatten_weights(),
+                    adam_t: adam.steps(),
+                    adam_state: adam.flatten_state(),
+                    loss_history: result.loss_history.clone(),
+                    convergence: result.convergence.clone(),
+                    static_table: static_mem.as_ref().map(|s| s.table().clone()),
+                    memories: Vec::new(),
+                    start_turns: Vec::new(),
+                };
+                let path = checkpoint_path(dir, units);
+                ckpt.save(&path)
+                    .unwrap_or_else(|e| panic!("checkpoint save {}: {e}", path.display()));
+            }
         }
     }
 

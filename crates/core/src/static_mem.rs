@@ -39,6 +39,12 @@ impl StaticMemory {
         }
     }
 
+    /// Wraps a pre-built table (checkpoint restore): resuming reuses
+    /// the saved embeddings instead of re-running the pretrain pass.
+    pub fn from_table(table: Matrix) -> Self {
+        Self { emb: table }
+    }
+
     /// Embedding width.
     pub fn dim(&self) -> usize {
         self.emb.cols()

@@ -1,0 +1,187 @@
+//! Property-based checkpoint tests: the framed binary format must
+//! round-trip arbitrary training/serving state exactly — node-memory
+//! contents, checksums, and version vectors survive save → load bit
+//! for bit — and the dynamic T-CSR rebuilt from checkpointed parts is
+//! indistinguishable from the stream that produced it, for any event
+//! stream and any slab chunking.
+
+use disttgl_core::{ServeCheckpoint, TrainCheckpoint};
+use disttgl_graph::{DynamicTCsr, Event, TemporalAdjacency};
+use disttgl_mem::{MemoryState, MemoryWrite};
+use disttgl_tensor::Matrix;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_path(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "disttgl_proptest_{tag}_{}_{n}.bin",
+        std::process::id()
+    ))
+}
+
+#[derive(Clone, Debug)]
+struct Step {
+    node: u32,
+    value: f32,
+    ts: f32,
+}
+
+fn steps(max: usize, nodes: u32) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0..nodes, -10.0f32..10.0, 0.0f32..100.0).prop_map(|(node, value, ts)| Step {
+            node,
+            value,
+            ts,
+        }),
+        1..=max,
+    )
+}
+
+fn memory_of(script: &[Step], nodes: usize, d_mem: usize, mail_dim: usize) -> MemoryState {
+    let mut m = MemoryState::new(nodes, d_mem, mail_dim);
+    for s in script {
+        m.write(&MemoryWrite {
+            nodes: vec![s.node],
+            mem: Matrix::full(1, d_mem, s.value),
+            mem_ts: vec![s.ts],
+            mail: Matrix::full(1, mail_dim, s.value * 0.5),
+            mail_ts: vec![s.ts],
+        });
+    }
+    m
+}
+
+/// A chronological event stream over `nodes` nodes: sorted timestamps,
+/// arbitrary endpoints and eids.
+fn event_stream(max: usize, nodes: u32) -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0..nodes, 0..nodes, 0.0f32..1000.0), 0..=max).prop_map(|raw| {
+        let mut ts: Vec<f32> = raw.iter().map(|&(_, _, t)| t).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        raw.iter()
+            .zip(ts)
+            .enumerate()
+            .map(|(i, (&(src, dst, _), t))| Event {
+                src,
+                dst,
+                t,
+                eid: i as u32,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TrainCheckpoint save → load preserves every captured memory
+    /// replica exactly: content checksum AND per-node version vector
+    /// (the speculative protocol's correctness hinges on versions).
+    #[test]
+    fn train_checkpoint_roundtrip_preserves_memory_and_versions(
+        script_a in steps(24, 8),
+        script_b in steps(24, 8),
+        weights in proptest::collection::vec(-1.0f32..1.0, 1..32),
+    ) {
+        let (nodes, d_mem, mail_dim) = (8usize, 3usize, 2usize);
+        let memories = vec![
+            memory_of(&script_a, nodes, d_mem, mail_dim),
+            memory_of(&script_b, nodes, d_mem, mail_dim),
+        ];
+        let ckpt = TrainCheckpoint {
+            fingerprint: "proptest".into(),
+            units_done: script_a.len(),
+            iteration: script_a.len() * 3,
+            events_trained: script_b.len() as u64,
+            weights: weights.clone(),
+            adam_t: 7,
+            adam_state: weights.iter().map(|w| w * 2.0).collect(),
+            loss_history: weights.clone(),
+            convergence: Vec::new(),
+            static_table: None,
+            memories,
+            start_turns: vec![script_a.len() as u64; 2],
+        };
+        let path = case_path("train");
+        ckpt.save(&path).unwrap();
+        let loaded = TrainCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&loaded.fingerprint, &ckpt.fingerprint);
+        prop_assert_eq!(&loaded.weights, &ckpt.weights);
+        prop_assert_eq!(&loaded.adam_state, &ckpt.adam_state);
+        prop_assert_eq!(&loaded.start_turns, &ckpt.start_turns);
+        prop_assert_eq!(loaded.memories.len(), ckpt.memories.len());
+        let all: Vec<u32> = (0..nodes as u32).collect();
+        for (l, o) in loaded.memories.iter().zip(&ckpt.memories) {
+            prop_assert_eq!(l.checksum(), o.checksum(), "content digest diverged");
+            let lv = l.read_versioned(&all);
+            let ov = o.read_versioned(&all);
+            prop_assert_eq!(lv.versions, ov.versions, "version vector diverged");
+            prop_assert_eq!(lv.readout.mem, ov.readout.mem);
+            prop_assert_eq!(lv.readout.mail_ts, ov.readout.mail_ts);
+        }
+    }
+
+    /// ServeCheckpoint save → load → `DynamicTCsr::from_parts` rebuilds
+    /// an adjacency indistinguishable from the live stream that
+    /// produced it, for any chronological event stream and any slab
+    /// chunking (the chunk boundaries must leave no trace).
+    #[test]
+    fn serve_checkpoint_rebuilds_adjacency_exactly(
+        events in event_stream(40, 6),
+        chunk in 1usize..9,
+        script in steps(12, 6),
+    ) {
+        let nodes = 6usize;
+        let mut adj = DynamicTCsr::new(nodes);
+        for slab in events.chunks(chunk) {
+            adj.append_events(slab);
+        }
+        let memory = memory_of(&script, nodes, 2, 3);
+        let ckpt = ServeCheckpoint {
+            fingerprint: "proptest".into(),
+            memory,
+            adj: (0..nodes as u32).map(|v| adj.neighbors(v).to_vec()).collect(),
+            num_events: adj.num_events(),
+            stream_head: adj.stream_head(),
+            ingested: events.len() as u64,
+        };
+        let path = case_path("serve");
+        ckpt.save(&path).unwrap();
+        let loaded = ServeCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.memory.checksum(), ckpt.memory.checksum());
+        let rebuilt = DynamicTCsr::from_parts(
+            loaded.adj, loaded.num_events, loaded.stream_head,
+        ).unwrap();
+        prop_assert_eq!(rebuilt.num_events(), adj.num_events());
+        prop_assert_eq!(rebuilt.stream_head(), adj.stream_head());
+        for v in 0..nodes as u32 {
+            prop_assert_eq!(rebuilt.neighbors(v), adj.neighbors(v), "node {}", v);
+        }
+    }
+
+    /// `from_parts` validation: lying about the event count is caught
+    /// (every entry is accounted, so restore can't silently drop or
+    /// invent graph structure).
+    #[test]
+    fn from_parts_rejects_inconsistent_event_count(
+        events in event_stream(20, 5),
+        lie in 1usize..5,
+    ) {
+        if events.is_empty() {
+            return Ok(()); // the lie needs at least one real entry
+        }
+        let nodes = 5usize;
+        let mut adj = DynamicTCsr::new(nodes);
+        adj.append_events(&events);
+        let parts: Vec<_> = (0..nodes as u32).map(|v| adj.neighbors(v).to_vec()).collect();
+        let wrong = adj.num_events() + lie;
+        prop_assert!(DynamicTCsr::from_parts(parts, wrong, adj.stream_head()).is_err());
+    }
+}

@@ -20,7 +20,7 @@
 mod dataset;
 pub mod generators;
 mod negative;
-mod persist;
+pub mod persist;
 
 pub use dataset::{Dataset, DatasetStats, Task};
 pub use negative::{negative_range, EvalNegatives, NegativeStore};

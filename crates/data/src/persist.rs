@@ -29,7 +29,11 @@ struct Header {
     task: String,
 }
 
-fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+/// Frames a matrix as `rows:u64 cols:u64 data:[f32]` (little-endian).
+///
+/// Shared with `core::checkpoint`, which reuses this snapshot plumbing
+/// for model/memory sections of the checkpoint format.
+pub fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     buf.put_u64_le(m.rows() as u64);
     buf.put_u64_le(m.cols() as u64);
     for &v in m.as_slice() {
@@ -37,12 +41,10 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     }
 }
 
-fn get_matrix(buf: &mut Bytes) -> io::Result<Matrix> {
+/// Reads back a [`put_matrix`] frame, with context on truncation.
+pub fn get_matrix(buf: &mut Bytes) -> io::Result<Matrix> {
     if buf.remaining() < 16 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "matrix header",
-        ));
+        return Err(truncated("matrix header"));
     }
     let rows = buf.get_u64_le() as usize;
     let cols = buf.get_u64_le() as usize;
@@ -50,13 +52,85 @@ fn get_matrix(buf: &mut Bytes) -> io::Result<Matrix> {
         .checked_mul(cols)
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflow"))?;
     if buf.remaining() < n * 4 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "matrix body"));
+        return Err(truncated("matrix body"));
     }
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
         data.push(buf.get_f32_le());
     }
     Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Frames a slice of `f32` as `len:u64 data:[f32]`.
+pub fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Reads back a [`put_f32s`] frame.
+pub fn get_f32s(buf: &mut Bytes, what: &str) -> io::Result<Vec<f32>> {
+    let n = get_len(buf, what)?;
+    if buf.remaining() < n * 4 {
+        return Err(truncated(what));
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Frames a slice of `u64` as `len:u64 data:[u64]`.
+pub fn put_u64s(buf: &mut BytesMut, vals: &[u64]) {
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_u64_le(v);
+    }
+}
+
+/// Reads back a [`put_u64s`] frame.
+pub fn get_u64s(buf: &mut Bytes, what: &str) -> io::Result<Vec<u64>> {
+    let n = get_len(buf, what)?;
+    if buf.remaining() < n * 8 {
+        return Err(truncated(what));
+    }
+    Ok((0..n).map(|_| buf.get_u64_le()).collect())
+}
+
+/// Frames a slice of `u32` as `len:u64 data:[u32]`.
+pub fn put_u32s(buf: &mut BytesMut, vals: &[u32]) {
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_u32_le(v);
+    }
+}
+
+/// Reads back a [`put_u32s`] frame.
+pub fn get_u32s(buf: &mut Bytes, what: &str) -> io::Result<Vec<u32>> {
+    let n = get_len(buf, what)?;
+    if buf.remaining() < n * 4 {
+        return Err(truncated(what));
+    }
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Reads one length prefix, guarding against truncation and absurd
+/// lengths that would make the follow-up allocation unbounded.
+fn get_len(buf: &mut Bytes, what: &str) -> io::Result<usize> {
+    if buf.remaining() < 8 {
+        return Err(truncated(what));
+    }
+    let n = buf.get_u64_le();
+    usize::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what}: length overflow"),
+        )
+    })
+}
+
+/// `UnexpectedEof` with section context — every decode path names the
+/// section it was reading so corruption reports are actionable.
+pub fn truncated(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string())
 }
 
 impl Dataset {
@@ -169,11 +243,11 @@ mod tests {
     use crate::generators;
 
     #[test]
-    fn roundtrip_link_dataset() {
+    fn roundtrip_link_dataset() -> io::Result<()> {
         let d = generators::wikipedia(0.005, 33);
         let mut buf = Vec::new();
-        d.save(&mut buf).unwrap();
-        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        d.save(&mut buf)?;
+        let loaded = Dataset::load(&mut buf.as_slice())?;
         assert_eq!(loaded.name, d.name);
         assert_eq!(loaded.graph.events(), d.graph.events());
         assert_eq!(loaded.edge_features, d.edge_features);
@@ -183,36 +257,62 @@ mod tests {
         );
         assert_eq!(loaded.task, d.task);
         assert!(loaded.labels.is_none());
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_classification_dataset() {
+    fn roundtrip_classification_dataset() -> io::Result<()> {
         let d = generators::gdelt(2e-5, 34);
         let mut buf = Vec::new();
-        d.save(&mut buf).unwrap();
-        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        d.save(&mut buf)?;
+        let loaded = Dataset::load(&mut buf.as_slice())?;
         assert_eq!(loaded.labels, d.labels);
         assert_eq!(loaded.task, Task::EdgeClassification);
-        loaded.validate().unwrap();
+        loaded
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_zero_edge_dim() {
+    fn roundtrip_zero_edge_dim() -> io::Result<()> {
         let d = generators::mooc(0.002, 35);
         let mut buf = Vec::new();
-        d.save(&mut buf).unwrap();
-        let loaded = Dataset::load(&mut buf.as_slice()).unwrap();
+        d.save(&mut buf)?;
+        let loaded = Dataset::load(&mut buf.as_slice())?;
         assert_eq!(loaded.edge_features.cols(), 0);
         assert_eq!(loaded.graph.num_events(), d.graph.num_events());
+        Ok(())
     }
 
     #[test]
-    fn truncated_input_is_rejected() {
+    fn truncated_input_is_rejected() -> io::Result<()> {
         let d = generators::mooc(0.002, 36);
         let mut buf = Vec::new();
-        d.save(&mut buf).unwrap();
+        d.save(&mut buf)?;
         let truncated = &buf[..buf.len() / 2];
         assert!(Dataset::load(&mut &truncated[..]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn scalar_frames_roundtrip_and_reject_truncation() -> io::Result<()> {
+        let mut buf = BytesMut::new();
+        put_f32s(&mut buf, &[1.5, -2.0]);
+        put_u64s(&mut buf, &[7, u64::MAX]);
+        put_u32s(&mut buf, &[3, 4, 5]);
+        let full: Vec<u8> = buf.to_vec();
+        let mut b = Bytes::from(full.clone());
+        assert_eq!(get_f32s(&mut b, "f")?, vec![1.5, -2.0]);
+        assert_eq!(get_u64s(&mut b, "u")?, vec![7, u64::MAX]);
+        assert_eq!(get_u32s(&mut b, "v")?, vec![3, 4, 5]);
+        assert_eq!(b.remaining(), 0);
+        let mut cut = Bytes::from(full[..full.len() - 1].to_vec());
+        assert!(get_f32s(&mut cut, "f")
+            .and_then(|_| get_u64s(&mut cut, "u"))
+            .and_then(|_| get_u32s(&mut cut, "v"))
+            .is_err());
+        Ok(())
     }
 
     #[test]

@@ -244,6 +244,54 @@ impl DynamicTCsr {
     pub fn stream_head(&self) -> f32 {
         self.last_t
     }
+
+    /// Reassembles an adjacency from snapshotted parts — per-node
+    /// entry slices (as [`TemporalAdjacency::neighbors`] returns them),
+    /// the event count, and the stream head. Used by checkpoint
+    /// restore; validates the invariants the append path enforces
+    /// incrementally, so a corrupted snapshot is rejected instead of
+    /// poisoning later appends.
+    pub fn from_parts(
+        adj: Vec<Vec<TCsrEntry>>,
+        num_events: usize,
+        stream_head: f32,
+    ) -> Result<Self, String> {
+        let mut total = 0usize;
+        for (node, slice) in adj.iter().enumerate() {
+            total += slice.len();
+            for w in slice.windows(2) {
+                if w[0].t > w[1].t {
+                    return Err(format!("node {node}: adjacency slice not time-sorted"));
+                }
+            }
+            if let Some(last) = slice.last() {
+                if last.t > stream_head {
+                    return Err(format!(
+                        "node {node}: entry at t = {} beyond the stream head t = {}",
+                        last.t, stream_head
+                    ));
+                }
+            }
+            for e in slice {
+                if (e.nbr as usize) >= adj.len() {
+                    return Err(format!("node {node}: neighbor {} out of range", e.nbr));
+                }
+            }
+        }
+        if total != 2 * num_events {
+            return Err(format!(
+                "entry count {total} inconsistent with {num_events} events"
+            ));
+        }
+        if num_events == 0 && stream_head != f32::NEG_INFINITY {
+            return Err("empty adjacency with a finite stream head".into());
+        }
+        Ok(Self {
+            adj,
+            num_events,
+            last_t: stream_head,
+        })
+    }
 }
 
 impl TemporalAdjacency for DynamicTCsr {
@@ -392,6 +440,101 @@ mod tests {
                 full.neighbors(node)
             );
         }
+    }
+
+    /// Snapshot → from_parts round trip preserves every query and
+    /// keeps accepting appends at the stream head.
+    #[test]
+    fn dynamic_from_parts_roundtrips() {
+        let g = sample_graph();
+        let orig = DynamicTCsr::from_graph(&g);
+        let parts: Vec<Vec<TCsrEntry>> = (0..g.num_nodes() as u32)
+            .map(|n| TemporalAdjacency::neighbors(&orig, n).to_vec())
+            .collect();
+        let mut restored =
+            DynamicTCsr::from_parts(parts, orig.num_events(), orig.stream_head()).unwrap();
+        assert_eq!(restored.num_events(), orig.num_events());
+        assert_eq!(restored.stream_head(), orig.stream_head());
+        for node in 0..g.num_nodes() as u32 {
+            assert_eq!(
+                TemporalAdjacency::neighbors(&restored, node),
+                TemporalAdjacency::neighbors(&orig, node)
+            );
+        }
+        restored.append_events(&[ev(1, 3, 6.0, 5)]);
+        assert_eq!(restored.num_events(), 6);
+    }
+
+    #[test]
+    fn dynamic_from_parts_rejects_corruption() {
+        // Unsorted slice.
+        let bad = vec![
+            vec![
+                TCsrEntry {
+                    nbr: 1,
+                    t: 2.0,
+                    eid: 0,
+                },
+                TCsrEntry {
+                    nbr: 1,
+                    t: 1.0,
+                    eid: 1,
+                },
+            ],
+            vec![
+                TCsrEntry {
+                    nbr: 0,
+                    t: 1.0,
+                    eid: 1,
+                },
+                TCsrEntry {
+                    nbr: 0,
+                    t: 2.0,
+                    eid: 0,
+                },
+            ],
+        ];
+        assert!(DynamicTCsr::from_parts(bad, 2, 2.0).is_err());
+        // Entry count inconsistent with the event count.
+        let lop = vec![
+            vec![TCsrEntry {
+                nbr: 1,
+                t: 1.0,
+                eid: 0,
+            }],
+            vec![],
+        ];
+        assert!(DynamicTCsr::from_parts(lop, 1, 1.0).is_err());
+        // Entry beyond the claimed stream head.
+        let ahead = vec![
+            vec![TCsrEntry {
+                nbr: 1,
+                t: 5.0,
+                eid: 0,
+            }],
+            vec![TCsrEntry {
+                nbr: 0,
+                t: 5.0,
+                eid: 0,
+            }],
+        ];
+        assert!(DynamicTCsr::from_parts(ahead, 1, 4.0).is_err());
+        // Neighbor id out of range.
+        let oob = vec![
+            vec![TCsrEntry {
+                nbr: 7,
+                t: 1.0,
+                eid: 0,
+            }],
+            vec![TCsrEntry {
+                nbr: 0,
+                t: 1.0,
+                eid: 0,
+            }],
+        ];
+        assert!(DynamicTCsr::from_parts(oob, 1, 1.0).is_err());
+        // Empty adjacency must carry the −∞ head.
+        assert!(DynamicTCsr::from_parts(vec![vec![], vec![]], 0, 0.0).is_err());
     }
 
     #[test]

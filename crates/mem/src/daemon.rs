@@ -68,6 +68,33 @@ const IDLE: u8 = 0;
 const REQUESTED: u8 = 1;
 const READY: u8 = 2;
 
+/// Typed failure of a daemon request — the structured form of what
+/// used to be a client-side panic. `Shutdown` means the daemon
+/// terminated (or was told to) before the request completed; `Timeout`
+/// means the client's configured deadline elapsed first (a wedged
+/// schedule — some other rank stopped taking its turns). Both poison
+/// the issuing client: the request may still be parked in the shared
+/// slot, so every later request on that client fails fast with the
+/// same error instead of racing the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DaemonError {
+    /// The daemon shut down before answering.
+    Shutdown,
+    /// The client's deadline elapsed before the daemon answered.
+    Timeout,
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Shutdown => write!(f, "shut down"),
+            DaemonError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
 /// Aggregate daemon counters (Fig 2(b)-style accounting and the
 /// Table 1 synchronization-volume measurements).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -183,18 +210,40 @@ struct Shared {
     /// copy instead of injecting reads into the serialized schedule.
     snapshot: Mutex<Option<MemoryState>>,
     epochs_done: AtomicU64,
+    /// On-demand mid-epoch capture (checkpointing): the requester
+    /// parks a target turn count and flips `capture_status` to
+    /// REQUESTED; once the daemon has fully served that many turns it
+    /// publishes a clone of its live state and flips to READY. Because
+    /// the daemon applies every mutation single-threaded in turn
+    /// order, the capture is exact — it reflects all writes of all
+    /// turns before the target and nothing after. The single status
+    /// word (IDLE → REQUESTED → READY → IDLE) sequences both sides.
+    capture_status: AtomicU8,
+    capture_at_turn: AtomicU64,
+    capture: Mutex<Option<MemoryState>>,
 }
 
-/// Spin-wait until `cond` is true; returns false if `shutdown` fires
-/// first.
-fn spin_until(cond: impl Fn() -> bool, shutdown: &AtomicBool) -> bool {
+/// Spin-wait until `cond` is true; fails with [`DaemonError::Shutdown`]
+/// if `shutdown` fires first, or [`DaemonError::Timeout`] if `deadline`
+/// elapses first (no deadline = wait indefinitely).
+fn spin_wait(
+    cond: impl Fn() -> bool,
+    shutdown: &AtomicBool,
+    deadline: Option<std::time::Duration>,
+) -> Result<(), DaemonError> {
+    let start = deadline.map(|_| std::time::Instant::now());
     let mut spins = 0u32;
     loop {
         if cond() {
-            return true;
+            return Ok(());
         }
         if shutdown.load(Ordering::Acquire) {
-            return false;
+            return Err(DaemonError::Shutdown);
+        }
+        if let (Some(limit), Some(t0)) = (deadline, start) {
+            if t0.elapsed() >= limit {
+                return Err(DaemonError::Timeout);
+            }
         }
         spins += 1;
         if spins < 64 {
@@ -209,10 +258,27 @@ fn spin_until(cond: impl Fn() -> bool, shutdown: &AtomicBool) -> bool {
 ///
 /// Clone-free by design: exactly one client per rank, matching the
 /// paper's one-buffer-per-trainer layout.
+///
+/// Every blocking method has a `try_` form returning
+/// `Result<_, DaemonError>`; the plain forms panic on failure with the
+/// historical messages (internal trainers treat a dead daemon as
+/// fatal, the fault-injection harness and the serving plane use the
+/// `try_` forms). An optional per-client **deadline**
+/// ([`MemoryClient::set_deadline`]) bounds every wait, turning a
+/// wedged schedule into [`DaemonError::Timeout`] instead of an
+/// indefinite spin.
 pub struct MemoryClient {
     shared: Arc<Shared>,
     rank: usize,
+    deadline: Option<std::time::Duration>,
+    /// Once a request fails, the slot may still hold it — fail every
+    /// later request fast instead of racing the protocol state.
+    poisoned: std::sync::atomic::AtomicU8,
 }
+
+const POISON_NONE: u8 = 0;
+const POISON_SHUTDOWN: u8 = 1;
+const POISON_TIMEOUT: u8 = 2;
 
 impl MemoryClient {
     /// This client's trainer rank within the group.
@@ -220,9 +286,42 @@ impl MemoryClient {
         self.rank
     }
 
+    /// Bounds every subsequent wait; `None` (the default) waits
+    /// indefinitely. On expiry the pending request stays parked and
+    /// the client is poisoned — all later requests fail fast.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.deadline = deadline;
+    }
+
+    fn check_poison(&self) -> Result<(), DaemonError> {
+        match self.poisoned.load(Ordering::Acquire) {
+            POISON_SHUTDOWN => Err(DaemonError::Shutdown),
+            POISON_TIMEOUT => Err(DaemonError::Timeout),
+            _ => Ok(()),
+        }
+    }
+
+    fn poison(&self, e: DaemonError) -> DaemonError {
+        let code = match e {
+            DaemonError::Shutdown => POISON_SHUTDOWN,
+            DaemonError::Timeout => POISON_TIMEOUT,
+        };
+        self.poisoned.store(code, Ordering::Release);
+        e
+    }
+
+    fn wait(&self, cond: impl Fn() -> bool) -> Result<(), DaemonError> {
+        spin_wait(cond, &self.shared.shutdown, self.deadline).map_err(|e| self.poison(e))
+    }
+
     /// Posts a serialized read-slot request and blocks for the
-    /// response (panicking if the daemon shut down mid-request).
-    fn read_turn(&self, req: ReadRequest, resp_buffer: Option<ReadResponse>) -> ReadResponse {
+    /// response.
+    fn try_read_turn(
+        &self,
+        req: ReadRequest,
+        resp_buffer: Option<ReadResponse>,
+    ) -> Result<ReadResponse, DaemonError> {
+        self.check_poison()?;
         let slot = &self.shared.slots[self.rank];
         // Previous cycle must be fully consumed.
         assert_eq!(
@@ -236,18 +335,10 @@ impl MemoryClient {
         }
         *slot.read_req.lock() = req;
         slot.read_status.store(REQUESTED, Ordering::Release);
-        let ok = spin_until(
-            || slot.read_status.load(Ordering::Acquire) == READY,
-            &self.shared.shutdown,
-        );
-        assert!(
-            ok,
-            "memory daemon shut down during read (rank {})",
-            self.rank
-        );
+        self.wait(|| slot.read_status.load(Ordering::Acquire) == READY)?;
         let resp = std::mem::take(&mut *slot.read_resp.lock());
         slot.read_status.store(IDLE, Ordering::Release);
-        resp
+        Ok(resp)
     }
 
     /// Issues a read for `nodes` and blocks until the daemon serves it
@@ -262,14 +353,30 @@ impl MemoryClient {
         out
     }
 
+    /// Fallible form of [`MemoryClient::read`].
+    pub fn try_read(&self, nodes: &[u32]) -> Result<MemoryReadout, DaemonError> {
+        let mut out = MemoryReadout::default();
+        self.try_read_into(nodes, &mut out)?;
+        Ok(out)
+    }
+
     /// [`MemoryClient::read`] gathering into a caller-owned readout:
     /// the scratch travels to the daemon with the request, the gather
     /// lands in its (resized) buffers, and the response hands it back —
     /// steady-state turns allocate nothing.
     pub fn read_into(&self, nodes: &[u32], out: &mut MemoryReadout) {
+        self.try_read_into(nodes, out)
+            .unwrap_or_else(|e| panic!("memory daemon {e} during read (rank {})", self.rank));
+    }
+
+    /// Fallible form of [`MemoryClient::read_into`].
+    pub fn try_read_into(&self, nodes: &[u32], out: &mut MemoryReadout) -> Result<(), DaemonError> {
         let buffer = ReadResponse::Full(std::mem::take(out));
-        match self.read_turn(ReadRequest::Full(nodes.to_vec()), Some(buffer)) {
-            ReadResponse::Full(r) => *out = r,
+        match self.try_read_turn(ReadRequest::Full(nodes.to_vec()), Some(buffer))? {
+            ReadResponse::Full(r) => {
+                *out = r;
+                Ok(())
+            }
             _ => unreachable!("full read answered with non-full response"),
         }
     }
@@ -280,8 +387,14 @@ impl MemoryClient {
     /// # Panics
     /// Panics if the daemon shut down mid-request.
     pub fn read_versioned(&self, nodes: &[u32]) -> VersionedReadout {
-        match self.read_turn(ReadRequest::Versioned(nodes.to_vec()), None) {
-            ReadResponse::Versioned(r) => r,
+        self.try_read_versioned(nodes)
+            .unwrap_or_else(|e| panic!("memory daemon {e} during read (rank {})", self.rank))
+    }
+
+    /// Fallible form of [`MemoryClient::read_versioned`].
+    pub fn try_read_versioned(&self, nodes: &[u32]) -> Result<VersionedReadout, DaemonError> {
+        match self.try_read_turn(ReadRequest::Versioned(nodes.to_vec()), None)? {
+            ReadResponse::Versioned(r) => Ok(r),
             _ => unreachable!("versioned read answered with wrong response kind"),
         }
     }
@@ -295,13 +408,23 @@ impl MemoryClient {
     /// # Panics
     /// Panics on length mismatch or daemon shutdown.
     pub fn read_delta(&self, nodes: &[u32], versions: &[u64]) -> MemoryDelta {
+        self.try_read_delta(nodes, versions)
+            .unwrap_or_else(|e| panic!("memory daemon {e} during read (rank {})", self.rank))
+    }
+
+    /// Fallible form of [`MemoryClient::read_delta`].
+    pub fn try_read_delta(
+        &self,
+        nodes: &[u32],
+        versions: &[u64],
+    ) -> Result<MemoryDelta, DaemonError> {
         assert_eq!(nodes.len(), versions.len(), "read_delta: version vector");
         let req = ReadRequest::Delta {
             nodes: nodes.to_vec(),
             versions: versions.to_vec(),
         };
-        match self.read_turn(req, None) {
-            ReadResponse::Delta(d) => d,
+        match self.try_read_turn(req, None)? {
+            ReadResponse::Delta(d) => Ok(d),
             _ => unreachable!("delta read answered with wrong response kind"),
         }
     }
@@ -322,16 +445,27 @@ impl MemoryClient {
         versions: &[u64],
         readout: &mut MemoryReadout,
     ) -> usize {
+        self.try_read_delta_into(nodes, versions, readout)
+            .unwrap_or_else(|e| panic!("memory daemon {e} during read (rank {})", self.rank))
+    }
+
+    /// Fallible form of [`MemoryClient::read_delta_into`].
+    pub fn try_read_delta_into(
+        &self,
+        nodes: &[u32],
+        versions: &[u64],
+        readout: &mut MemoryReadout,
+    ) -> Result<usize, DaemonError> {
         assert_eq!(nodes.len(), versions.len(), "read_delta_into: versions");
         let req = ReadRequest::Repair {
             nodes: nodes.to_vec(),
             versions: versions.to_vec(),
         };
         let buffer = ReadResponse::Repaired(std::mem::take(readout), 0);
-        match self.read_turn(req, Some(buffer)) {
+        match self.try_read_turn(req, Some(buffer))? {
             ReadResponse::Repaired(r, patched) => {
                 *readout = r;
-                patched as usize
+                Ok(patched as usize)
             }
             _ => unreachable!("repair read answered with wrong response kind"),
         }
@@ -375,6 +509,21 @@ impl MemoryClient {
     /// # Panics
     /// Panics if none is outstanding or the daemon shut down.
     pub fn take_speculation(&self) -> VersionedReadout {
+        self.try_take_speculation().unwrap_or_else(|e| {
+            panic!(
+                "memory daemon {e} during speculative read (rank {})",
+                self.rank
+            )
+        })
+    }
+
+    /// Fallible form of [`MemoryClient::take_speculation`].
+    ///
+    /// # Panics
+    /// Still panics if no speculation is outstanding — that is caller
+    /// protocol misuse, not a runtime fault.
+    pub fn try_take_speculation(&self) -> Result<VersionedReadout, DaemonError> {
+        self.check_poison()?;
         let slot = &self.shared.slots[self.rank];
         assert_ne!(
             slot.spec_status.load(Ordering::Acquire),
@@ -382,18 +531,10 @@ impl MemoryClient {
             "rank {}: no speculative read outstanding",
             self.rank
         );
-        let ok = spin_until(
-            || slot.spec_status.load(Ordering::Acquire) == READY,
-            &self.shared.shutdown,
-        );
-        assert!(
-            ok,
-            "memory daemon shut down during speculative read (rank {})",
-            self.rank
-        );
+        self.wait(|| slot.spec_status.load(Ordering::Acquire) == READY)?;
         let resp = std::mem::take(&mut *slot.spec_resp.lock());
         slot.spec_status.store(IDLE, Ordering::Release);
-        resp
+        Ok(resp)
     }
 
     /// Posts a write and returns once the daemon has accepted the
@@ -403,19 +544,39 @@ impl MemoryClient {
     /// # Panics
     /// Panics if the daemon shut down mid-request.
     pub fn write(&self, w: MemoryWrite) {
+        self.try_write(w)
+            .unwrap_or_else(|e| panic!("memory daemon {e} during write (rank {})", self.rank))
+    }
+
+    /// Fallible form of [`MemoryClient::write`].
+    pub fn try_write(&self, w: MemoryWrite) -> Result<(), DaemonError> {
+        self.check_poison()?;
         let slot = &self.shared.slots[self.rank];
-        let ok = spin_until(
-            || slot.write_status.load(Ordering::Acquire) == IDLE,
-            &self.shared.shutdown,
-        );
-        assert!(
-            ok,
-            "memory daemon shut down during write (rank {})",
-            self.rank
-        );
+        self.wait(|| slot.write_status.load(Ordering::Acquire) == IDLE)?;
         *slot.write_req.lock() = w;
         slot.write_status.store(REQUESTED, Ordering::Release);
+        Ok(())
     }
+}
+
+/// Spawn-time options beyond the basic `i × j × epoch_lengths`
+/// schedule: mid-schedule resume (checkpoint restore) and a
+/// deterministic daemon-failure injection point.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonOptions {
+    /// Number of serialized turns already served before the spawned
+    /// daemon takes over (checkpoint resume). The daemon skips the
+    /// completed prefix of the epoch schedule — *without* resetting at
+    /// the start of a partially completed epoch, since the restored
+    /// state is already mid-epoch — and continues the global turn
+    /// counter (sub-group ownership) from there.
+    pub start_turn: usize,
+    /// Fault injection: after fully serving this many turns (counted
+    /// from the schedule start, including any skipped prefix), the
+    /// daemon flags shutdown and exits, exactly as
+    /// [`MemoryDaemon::shutdown`] mid-epoch would. Clients observe
+    /// [`DaemonError::Shutdown`].
+    pub fail_after_turns: Option<u64>,
 }
 
 /// The daemon: owns the state, serves an `i × j` group for a fixed
@@ -453,13 +614,40 @@ impl MemoryDaemon {
     /// `epoch_lengths` encodes that. The sub-group turn owner is the
     /// **global** turn counter mod `j`, continuous across epochs.
     pub fn spawn_schedule(
-        mut state: MemoryState,
+        state: MemoryState,
         i: usize,
         j: usize,
         epoch_lengths: Vec<usize>,
     ) -> Self {
+        Self::spawn_with(state, i, j, epoch_lengths, DaemonOptions::default())
+    }
+
+    /// [`MemoryDaemon::spawn_schedule`] with resume/fault options.
+    pub fn spawn_with(
+        mut state: MemoryState,
+        i: usize,
+        j: usize,
+        epoch_lengths: Vec<usize>,
+        opts: DaemonOptions,
+    ) -> Self {
         assert!(i >= 1 && j >= 1, "daemon: need i, j >= 1");
+        assert!(
+            opts.start_turn <= epoch_lengths.iter().sum::<usize>(),
+            "daemon: start_turn beyond the schedule"
+        );
         let group_size = i * j;
+        // Epochs fully served before the resume point count as done so
+        // `epoch_snapshot` indexing stays continuous across a restore.
+        let mut completed_epochs = 0u64;
+        let mut remaining = opts.start_turn;
+        for &len in &epoch_lengths {
+            if remaining >= len {
+                remaining -= len;
+                completed_epochs += 1;
+            } else {
+                break;
+            }
+        }
         let shared = Arc::new(Shared {
             slots: (0..group_size).map(|_| Slot::new()).collect(),
             shutdown: AtomicBool::new(false),
@@ -473,13 +661,16 @@ impl MemoryDaemon {
             delta_rows_sent: AtomicU64::new(0),
             serve_nanos: AtomicU64::new(0),
             snapshot: Mutex::new(None),
-            epochs_done: AtomicU64::new(0),
+            epochs_done: AtomicU64::new(completed_epochs),
+            capture_status: AtomicU8::new(IDLE),
+            capture_at_turn: AtomicU64::new(0),
+            capture: Mutex::new(None),
         });
         let shared2 = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("disttgl-mem-daemon".into())
             .spawn(move || {
-                daemon_loop(&mut state, &shared2, i, j, &epoch_lengths);
+                daemon_loop(&mut state, &shared2, i, j, &epoch_lengths, &opts);
                 state
             })
             .expect("spawn memory daemon");
@@ -501,6 +692,8 @@ impl MemoryDaemon {
         MemoryClient {
             shared: Arc::clone(&self.shared),
             rank,
+            deadline: None,
+            poisoned: std::sync::atomic::AtomicU8::new(POISON_NONE),
         }
     }
 
@@ -539,21 +732,81 @@ impl MemoryDaemon {
     /// memory schedule while waiting — take the snapshot from a rank
     /// whose group turn is over.
     pub fn epoch_snapshot(&self, epoch: u64) -> MemoryState {
-        let ok = spin_until(
+        self.try_epoch_snapshot(epoch)
+            .unwrap_or_else(|e| panic!("daemon {e} before epoch {epoch} snapshot"))
+    }
+
+    /// Fallible form of [`MemoryDaemon::epoch_snapshot`]; `deadline`
+    /// bounds the wait (`None` waits until shutdown).
+    pub fn try_epoch_snapshot(&self, epoch: u64) -> Result<MemoryState, DaemonError> {
+        spin_wait(
             || self.shared.epochs_done.load(Ordering::Acquire) > epoch,
             &self.shared.shutdown,
-        );
-        assert!(ok, "daemon shut down before epoch {epoch} snapshot");
-        self.shared
+            None,
+        )?;
+        Ok(self
+            .shared
             .snapshot
             .lock()
             .clone()
-            .expect("snapshot present after epoch end")
+            .expect("snapshot present after epoch end"))
     }
 
     /// Number of completed epochs.
     pub fn epochs_done(&self) -> u64 {
         self.shared.epochs_done.load(Ordering::Acquire)
+    }
+
+    /// Requests an exact state capture once the daemon has fully
+    /// served `turn` serialized turns (checkpointing). The requester
+    /// must guarantee the daemon *will* reach `turn` and that no turn
+    /// beyond it is in flight while waiting — in training that holds
+    /// at a step barrier: every rank has completed its turns up to the
+    /// boundary and nobody posts the next read until released.
+    /// Collect with [`MemoryDaemon::take_capture`]. One capture may be
+    /// outstanding at a time.
+    ///
+    /// Capture semantics: the returned state is "after `turn` complete
+    /// turns, *including* any epoch-start reset that immediately
+    /// follows" — captures are served only while the daemon idles
+    /// ahead of the next read, which for an epoch-boundary `turn` is
+    /// already past the reset. This is exactly what resume wants: a
+    /// daemon restored from the capture with `start_turn = turn`
+    /// re-applies the reset (content-idempotent) and continues
+    /// identically. Consequently `turn` must be strictly less than the
+    /// schedule's total turns — after the final turn the daemon exits
+    /// and the capture would only resolve as a shutdown error.
+    pub fn capture_at(&self, turn: u64) {
+        assert_eq!(
+            self.shared.capture_status.load(Ordering::Acquire),
+            IDLE,
+            "capture already outstanding"
+        );
+        self.shared.capture_at_turn.store(turn, Ordering::Relaxed);
+        self.shared
+            .capture_status
+            .store(REQUESTED, Ordering::Release);
+    }
+
+    /// Blocks for the capture requested by [`MemoryDaemon::capture_at`]
+    /// (`deadline` bounds the wait; `None` waits until shutdown).
+    pub fn take_capture(
+        &self,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<MemoryState, DaemonError> {
+        spin_wait(
+            || self.shared.capture_status.load(Ordering::Acquire) == READY,
+            &self.shared.shutdown,
+            deadline,
+        )?;
+        let state = self
+            .shared
+            .capture
+            .lock()
+            .take()
+            .expect("capture present after ready status");
+        self.shared.capture_status.store(IDLE, Ordering::Release);
+        Ok(state)
     }
 }
 
@@ -596,9 +849,30 @@ fn serve_speculative(state: &MemoryState, shared: &Shared) -> bool {
     served
 }
 
+/// Publishes the pending capture if the daemon has fully served the
+/// requested number of turns. Must only be called at points where the
+/// state holds exactly `served` complete turns — between turns, or
+/// while waiting for the next turn's *reads* (never mid-write-batch,
+/// when the state would contain a partially applied turn).
+fn serve_capture(state: &MemoryState, shared: &Shared, served: u64) {
+    if shared.capture_status.load(Ordering::Acquire) == REQUESTED
+        && shared.capture_at_turn.load(Ordering::Relaxed) <= served
+    {
+        *shared.capture.lock() = Some(state.clone());
+        shared.capture_status.store(READY, Ordering::Release);
+    }
+}
+
 /// Daemon-side spin: wait for `cond`, serving speculative reads in the
-/// idle gaps. Returns false if `shutdown` fires first.
-fn spin_serving(cond: impl Fn() -> bool, state: &MemoryState, shared: &Shared) -> bool {
+/// idle gaps (and, when `capture_served` names a consistent turn
+/// count, checkpoint captures). Returns false if `shutdown` fires
+/// first.
+fn spin_serving(
+    cond: impl Fn() -> bool,
+    state: &MemoryState,
+    shared: &Shared,
+    capture_served: Option<u64>,
+) -> bool {
     let mut spins = 0u32;
     loop {
         if cond() {
@@ -611,6 +885,9 @@ fn spin_serving(cond: impl Fn() -> bool, state: &MemoryState, shared: &Shared) -
             spins = 0;
             continue;
         }
+        if let Some(served) = capture_served {
+            serve_capture(state, shared, served);
+        }
         spins += 1;
         if spins < 64 {
             std::hint::spin_loop();
@@ -620,13 +897,34 @@ fn spin_serving(cond: impl Fn() -> bool, state: &MemoryState, shared: &Shared) -
     }
 }
 
-fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epochs: &[usize]) {
+fn daemon_loop(
+    state: &mut MemoryState,
+    shared: &Shared,
+    i: usize,
+    j: usize,
+    epochs: &[usize],
+    opts: &DaemonOptions,
+) {
     let mut turn = 0usize; // global turn counter — owner is turn % j
+    let mut skip = opts.start_turn; // resume: already-served prefix
     for &epoch_len in epochs {
-        // "reset memory and mail" (Algorithm 1). The reset stamps every
-        // node's version, so speculations taken across it repair fully.
-        state.reset();
-        for _ in 0..epoch_len {
+        if skip >= epoch_len {
+            // Epoch fully served before the resume point.
+            skip -= epoch_len;
+            turn += epoch_len;
+            continue;
+        }
+        if skip == 0 {
+            // "reset memory and mail" (Algorithm 1). The reset stamps
+            // every node's version, so speculations taken across it
+            // repair fully. A *partially* resumed epoch skips this —
+            // the restored state is already mid-epoch.
+            state.reset();
+        }
+        let todo = epoch_len - skip;
+        turn += skip;
+        skip = 0;
+        for _ in 0..todo {
             let g = turn % j;
             turn += 1;
             let ranks = g * i..(g + 1) * i;
@@ -637,6 +935,7 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
                     || slot.read_status.load(Ordering::Acquire) == REQUESTED,
                     state,
                     shared,
+                    Some(turn as u64 - 1),
                 ) {
                     return;
                 }
@@ -705,6 +1004,9 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
                     || slot.write_status.load(Ordering::Acquire) == REQUESTED,
                     state,
                     shared,
+                    // Mid-write-batch the state holds a partial turn —
+                    // captures must wait for the turn boundary below.
+                    None,
                 ) {
                     return;
                 }
@@ -719,6 +1021,23 @@ fn daemon_loop(state: &mut MemoryState, shared: &Shared, i: usize, j: usize, epo
                     .serve_nanos
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 slot.write_status.store(IDLE, Ordering::Release);
+            }
+            // NOTE: captures are deliberately NOT served here, even
+            // though the state holds exactly `turn` complete turns.
+            // Serving at the turn boundary would race the epoch-start
+            // reset when `turn` is also an epoch boundary (offset-0
+            // groups): the capture content would depend on whether the
+            // request arrived before or after the reset. Restricting
+            // service to the read-wait spins above makes the semantics
+            // deterministic — see [`MemoryDaemon::capture_at`].
+            if let Some(n) = opts.fail_after_turns {
+                if turn as u64 >= n {
+                    // Injected fault: die mid-schedule like a crashed
+                    // daemon process. Announce shutdown so clients get
+                    // DaemonError::Shutdown instead of hanging.
+                    shared.shutdown.store(true, Ordering::Release);
+                    return;
+                }
             }
         }
         *shared.snapshot.lock() = Some(state.clone());
@@ -1058,5 +1377,233 @@ mod tests {
         assert_eq!(vr.readout.mem.get(1, 0), 2.0);
         client.write(write_of(vec![0], 1, 1, 3.0, 2.0));
         let _ = daemon.join();
+    }
+
+    /// Shutdown surfaces as a structured error on the fallible client
+    /// paths — no panic, no hang — and stays sticky.
+    #[test]
+    fn try_read_after_shutdown_returns_error() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 10, 1);
+        let client = daemon.client(0);
+        daemon.shutdown();
+        assert!(matches!(client.try_read(&[0]), Err(DaemonError::Shutdown)));
+        assert_eq!(
+            client.try_write(write_of(vec![0], 1, 1, 1.0, 1.0)),
+            Err(DaemonError::Shutdown)
+        );
+        let _ = daemon.join();
+    }
+
+    /// A deadline on a turn that never comes yields `Timeout`, and the
+    /// client is poisoned: later requests fail fast with the same
+    /// error instead of racing the still-parked protocol slot.
+    #[test]
+    fn deadline_expiry_times_out_and_poisons_client() {
+        // j = 2: rank 1's turn is gated on rank 0, which never acts.
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 2, 2, 1);
+        let mut c1 = daemon.client(1);
+        c1.set_deadline(Some(std::time::Duration::from_millis(20)));
+        assert!(matches!(c1.try_read(&[0]), Err(DaemonError::Timeout)));
+        // Poisoned: instant failure, even with no deadline set.
+        c1.set_deadline(None);
+        assert!(matches!(c1.try_read(&[0]), Err(DaemonError::Timeout)));
+        assert_eq!(
+            c1.try_write(write_of(vec![0], 1, 1, 1.0, 1.0)),
+            Err(DaemonError::Timeout)
+        );
+        daemon.shutdown();
+        let _ = daemon.join();
+    }
+
+    /// `capture_at`/`take_capture` returns the exact serialized state
+    /// after the requested number of turns, while the daemon keeps
+    /// running — and the live schedule is unaffected.
+    #[test]
+    fn capture_mid_epoch_matches_reference() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 1, 4, 1);
+        let client = daemon.client(0);
+        let mut reference = MemoryState::new(8, 2, 2);
+        reference.reset();
+        for s in 0..2u32 {
+            let _ = client.read(&[s]);
+            let w = write_of(vec![s], 2, 2, s as f32 + 1.0, s as f32);
+            reference.write(&w);
+            client.write(w);
+        }
+        // No turn-2 read is in flight — the capture condition holds.
+        daemon.capture_at(2);
+        let cap = daemon
+            .take_capture(Some(std::time::Duration::from_secs(5)))
+            .expect("capture served");
+        assert_eq!(cap.checksum(), reference.checksum());
+        assert_eq!(cap.node_versions(), reference.node_versions());
+        // Schedule continues untouched.
+        for s in 2..4u32 {
+            let _ = client.read(&[s]);
+            let w = write_of(vec![s], 2, 2, s as f32 + 1.0, s as f32);
+            reference.write(&w);
+            client.write(w);
+        }
+        let (state, _) = daemon.join();
+        assert_eq!(state.checksum(), reference.checksum());
+    }
+
+    /// `take_capture` on a shut-down daemon errors instead of hanging.
+    #[test]
+    fn take_capture_after_shutdown_errors() {
+        let daemon = MemoryDaemon::spawn(MemoryState::new(4, 1, 1), 1, 1, 4, 1);
+        daemon.capture_at(3);
+        daemon.shutdown();
+        assert!(matches!(
+            daemon.take_capture(None),
+            Err(DaemonError::Shutdown)
+        ));
+        let _ = daemon.join();
+    }
+
+    /// Crash/restore round-trip: capture mid-schedule, spawn a fresh
+    /// daemon from the captured state with `start_turn`, replay the
+    /// remaining turns — final state bit-identical to the
+    /// uninterrupted run, including across the skipped partial epoch's
+    /// missing reset.
+    #[test]
+    fn resume_from_start_turn_matches_uninterrupted_run() {
+        let lengths = vec![2usize, 3usize];
+        let turn_write =
+            |s: u32| write_of(vec![s % 4, (s + 1) % 4], 1, 1, s as f32 + 1.0, s as f32);
+
+        // Oracle run, capturing at global turn 3 (mid epoch 1).
+        let daemon = MemoryDaemon::spawn_schedule(MemoryState::new(4, 1, 1), 1, 1, lengths.clone());
+        let client = daemon.client(0);
+        for s in 0..3u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        daemon.capture_at(3);
+        let cap = daemon
+            .take_capture(Some(std::time::Duration::from_secs(5)))
+            .expect("capture served");
+        for s in 3..5u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        let (oracle, _) = daemon.join();
+
+        // Resumed run: skip the served prefix, no reset mid-epoch.
+        let resumed = MemoryDaemon::spawn_with(
+            cap,
+            1,
+            1,
+            lengths,
+            DaemonOptions {
+                start_turn: 3,
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(resumed.epochs_done(), 1, "epoch 0 counts as done");
+        let client = resumed.client(0);
+        for s in 3..5u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        // Epoch indexing stays continuous: the resumed daemon's first
+        // finished epoch is epoch 1.
+        let snap = resumed.epoch_snapshot(1);
+        let (state, _) = resumed.join();
+        assert_eq!(state.checksum(), oracle.checksum());
+        assert_eq!(state.node_versions(), oracle.node_versions());
+        assert_eq!(snap.checksum(), oracle.checksum());
+    }
+
+    /// Capture at an *epoch boundary* is deterministic: the served
+    /// state includes the next epoch's reset (captures resolve only in
+    /// read-wait idle spins, which sit past the reset), so the capture
+    /// content does not depend on request arrival timing relative to
+    /// the boundary. Resume re-applies the reset, which is
+    /// content-idempotent — final contents match the oracle. Version
+    /// *values* drift by the extra reset stamp, which is fine: only
+    /// intra-daemon version consistency matters for the delta
+    /// protocol, so we assert content (checksum) here, not versions.
+    #[test]
+    fn capture_at_epoch_boundary_resumes_identically() {
+        let lengths = vec![2usize, 2usize];
+        let turn_write = |s: u32| write_of(vec![s % 4], 1, 1, s as f32 + 1.0, s as f32);
+
+        let daemon = MemoryDaemon::spawn_schedule(MemoryState::new(4, 1, 1), 1, 1, lengths.clone());
+        let client = daemon.client(0);
+        for s in 0..2u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        // Global turn 2 == end of epoch 0 == start of epoch 1: the
+        // capture is served post-reset, deterministically.
+        daemon.capture_at(2);
+        let cap = daemon
+            .take_capture(Some(std::time::Duration::from_secs(5)))
+            .expect("capture served");
+        let mut reset_reference = MemoryState::new(4, 1, 1);
+        reset_reference.reset();
+        assert_eq!(
+            cap.checksum(),
+            reset_reference.checksum(),
+            "epoch-boundary capture holds the post-reset state"
+        );
+        for s in 2..4u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        let (oracle, _) = daemon.join();
+
+        let resumed = MemoryDaemon::spawn_with(
+            cap,
+            1,
+            1,
+            lengths,
+            DaemonOptions {
+                start_turn: 2,
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(resumed.epochs_done(), 1);
+        let client = resumed.client(0);
+        for s in 2..4u32 {
+            let _ = client.read(&[s % 4]);
+            client.write(turn_write(s));
+        }
+        let (state, _) = resumed.join();
+        assert_eq!(state.checksum(), oracle.checksum());
+    }
+
+    /// `fail_after_turns` kills the daemon mid-schedule like a crashed
+    /// process: later client calls see `Shutdown`, and the turns that
+    /// completed before the fault were applied.
+    #[test]
+    fn fail_after_turns_crashes_daemon_cleanly() {
+        let daemon = MemoryDaemon::spawn_with(
+            MemoryState::new(4, 1, 1),
+            1,
+            1,
+            vec![6],
+            DaemonOptions {
+                fail_after_turns: Some(2),
+                ..DaemonOptions::default()
+            },
+        );
+        let client = daemon.client(0);
+        for s in 0..2u32 {
+            let _ = client.try_read(&[s]).expect("pre-fault turn");
+            client
+                .try_write(write_of(vec![s], 1, 1, 9.0, s as f32))
+                .expect("pre-fault write");
+        }
+        // The daemon announces shutdown after turn 2; the next request
+        // fails structurally rather than hanging or panicking.
+        let mut c = client;
+        c.set_deadline(Some(std::time::Duration::from_secs(5)));
+        assert!(matches!(c.try_read(&[0]), Err(DaemonError::Shutdown)));
+        let (state, stats) = daemon.join();
+        assert_eq!(stats.writes_served, 2);
+        assert_eq!(state.read(&[0, 1]).mem.get(0, 0), 9.0);
+        assert_eq!(state.read(&[0, 1]).mem.get(1, 0), 9.0);
     }
 }

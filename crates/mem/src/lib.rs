@@ -42,5 +42,5 @@
 mod daemon;
 mod state;
 
-pub use daemon::{DaemonStats, MemoryClient, MemoryDaemon};
+pub use daemon::{DaemonError, DaemonOptions, DaemonStats, MemoryClient, MemoryDaemon};
 pub use state::{MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};

@@ -344,6 +344,64 @@ impl MemoryState {
     pub fn mem_ts_all(&self) -> &[f32] {
         &self.mem_ts
     }
+
+    /// Direct access to the full mail matrix (checkpointing).
+    pub fn mail_matrix(&self) -> &Matrix {
+        &self.mail
+    }
+
+    /// Direct access to all mail timestamps (checkpointing).
+    pub fn mail_ts_all(&self) -> &[f32] {
+        &self.mail_ts
+    }
+
+    /// Per-node write versions (checkpointing; `0` = never written).
+    pub fn node_versions(&self) -> &[u64] {
+        &self.node_version
+    }
+
+    /// Reassembles a state from the exact parts a snapshot captured —
+    /// the inverse of reading `mem_matrix`/`mail_matrix`/the timestamp
+    /// slices/`node_versions`/`version`. Restored states answer every
+    /// read (plain, versioned, delta) bit-identically to the original,
+    /// which is what makes checkpoint restore transparent to the
+    /// daemon's speculative-read protocol.
+    ///
+    /// # Panics
+    /// Panics if the part shapes disagree with each other (callers
+    /// deserializing external data validate shapes first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        mem: Matrix,
+        mem_ts: Vec<f32>,
+        mail: Matrix,
+        mail_ts: Vec<f32>,
+        write_seq: u64,
+        node_version: Vec<u64>,
+    ) -> Self {
+        let num_nodes = mem.rows();
+        assert_eq!(mail.rows(), num_nodes, "from_parts: mail rows");
+        assert_eq!(mem_ts.len(), num_nodes, "from_parts: mem_ts len");
+        assert_eq!(mail_ts.len(), num_nodes, "from_parts: mail_ts len");
+        assert_eq!(
+            node_version.len(),
+            num_nodes,
+            "from_parts: node_version len"
+        );
+        let d_mem = mem.cols();
+        let mail_dim = mail.cols();
+        Self {
+            num_nodes,
+            d_mem,
+            mail_dim,
+            mem,
+            mem_ts,
+            mail,
+            mail_ts,
+            write_seq,
+            node_version,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -508,6 +566,31 @@ mod tests {
         s.read_into(&[1], &mut scratch);
         assert_eq!(scratch.mem, s.read(&[1]).mem);
         assert_eq!(scratch.mem_ts.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_reads_and_versions() {
+        let mut s = MemoryState::new(6, 2, 3);
+        s.reset();
+        s.write(&write_of(vec![0, 2, 5], 2, 3, 1.5, 3.0));
+        s.write(&write_of(vec![2], 2, 3, -2.0, 4.0));
+        let r = MemoryState::from_parts(
+            s.mem_matrix().clone(),
+            s.mem_ts_all().to_vec(),
+            s.mail_matrix().clone(),
+            s.mail_ts_all().to_vec(),
+            s.version(),
+            s.node_versions().to_vec(),
+        );
+        assert_eq!(r.checksum(), s.checksum());
+        assert_eq!(r.version(), s.version());
+        assert_eq!(r.node_versions(), s.node_versions());
+        let nodes = [5u32, 2, 1];
+        let a = s.read_versioned(&nodes);
+        let b = r.read_versioned(&nodes);
+        assert_eq!(a.versions, b.versions);
+        assert_eq!(a.readout.mem, b.readout.mem);
+        assert_eq!(a.readout.mail_ts, b.readout.mail_ts);
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn main() {
     // Stand up the serving plane and stream the entire history in.
     let mut session = ServeSession::new(&model, &d, None);
     for r in batching::chronological_batches(0..val_end, BATCH) {
-        session.ingest(&d.graph.events()[r]);
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
     }
     println!(
         "session warm: {} events ingested, stream head t = {:.0}",
@@ -93,7 +95,9 @@ fn main() {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let out = session.ingest_scored(events, &extra);
+        let out = session
+            .ingest_scored(events, &extra)
+            .expect("valid scored slab");
         pos.extend(out.event_scores.iter().map(|s| s.scores()[0]));
         neg.extend(out.extra.iter().map(|s| s.scores()[0]));
     }
@@ -126,17 +130,19 @@ fn main() {
     // links and a node embedding.
     let t_future = d.graph.max_time() + 10.0;
     let e0 = &d.graph.events()[0];
-    let resp = session.query(&[
-        QueryRequest::LinkScore {
-            src: e0.src,
-            dst: e0.dst,
-            t: t_future,
-        },
-        QueryRequest::Embed {
-            node: e0.src,
-            t: t_future,
-        },
-    ]);
+    let resp = session
+        .query(&[
+            QueryRequest::LinkScore {
+                src: e0.src,
+                dst: e0.dst,
+                t: t_future,
+            },
+            QueryRequest::Embed {
+                node: e0.src,
+                t: t_future,
+            },
+        ])
+        .expect("valid ad-hoc queries");
     println!(
         "ad-hoc: P(link {}→{} at t+10) logit = {:.3}; embed({}) = [{:.3}, {:.3}, …] ({} dims)\n",
         e0.src,
@@ -161,11 +167,15 @@ fn main() {
 
     let mut gsession = ServeSession::new(&gmodel, &g, None);
     for r in batching::chronological_batches(0..gval, BATCH) {
-        gsession.ingest(&g.graph.events()[r]);
+        gsession
+            .ingest(&g.graph.events()[r])
+            .expect("chronological warmup slab");
     }
     let mut logits: Vec<f32> = Vec::new();
     for r in batching::chronological_batches(gval..gn, BATCH) {
-        let out = gsession.ingest_scored(&g.graph.events()[r], &[]);
+        let out = gsession
+            .ingest_scored(&g.graph.events()[r], &[])
+            .expect("valid scored slab");
         for s in &out.event_scores {
             logits.extend_from_slice(s.scores());
         }

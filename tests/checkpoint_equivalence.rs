@@ -1,0 +1,146 @@
+//! Checkpoint/restore bit-identity: a run that checkpoints is
+//! bit-identical to one that doesn't (saving is pure observation), and
+//! a run resumed from a mid-training checkpoint finishes on exactly
+//! the uninterrupted oracle's trajectory — losses, convergence
+//! metrics, final test metric, and node-memory digests — for the
+//! sequential trainer and the 1×1×2 distributed trainer, on both
+//! tasks (link prediction and edge classification).
+
+use disttgl::cluster::ClusterSpec;
+use disttgl::core::{
+    train_distributed, train_single_traced, ModelConfig, ParallelConfig, RunResult, TrainConfig,
+};
+use disttgl::data::generators;
+use std::path::PathBuf;
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+fn seq_cfg(seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ParallelConfig::single());
+    cfg.local_batch = 64;
+    cfg.epochs = 4;
+    cfg.eval_negs = 9;
+    cfg.eval_every_epoch = true;
+    cfg.seed = seed;
+    cfg
+}
+
+fn dist_cfg(seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2));
+    cfg.local_batch = 64;
+    cfg.epochs = 4; // 2 sweeps at k = 2
+    cfg.eval_negs = 9;
+    cfg.eval_every_epoch = true;
+    cfg.seed = seed;
+    cfg.base_lr = 2e-2;
+    cfg
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Everything in a [`RunResult`] that defines the training trajectory
+/// (wall-clock fields excluded) must match bit for bit.
+fn assert_trajectory_identical(a: &RunResult, b: &RunResult) {
+    assert!(!a.loss_history.is_empty());
+    assert_eq!(a.loss_history, b.loss_history, "loss history diverged");
+    assert_eq!(a.test_metric, b.test_metric, "test metric diverged");
+    assert_eq!(a.best_val_metric, b.best_val_metric);
+    assert_eq!(a.iters_to_best, b.iters_to_best);
+    assert_eq!(
+        a.memory_checksums, b.memory_checksums,
+        "memory digests diverged"
+    );
+    assert_eq!(a.convergence.len(), b.convergence.len());
+    for (x, y) in a.convergence.iter().zip(&b.convergence) {
+        assert_eq!(x.iteration, y.iteration);
+        assert_eq!(x.metric, y.metric, "validation metric diverged");
+    }
+    assert!(!a.aborted && !b.aborted);
+}
+
+fn sequential_matrix(d: &disttgl::data::Dataset, mc: &ModelConfig, seed: u64, dir_name: &str) {
+    let cfg = seq_cfg(seed);
+    let (oracle, oracle_mem) = train_single_traced(d, mc, &cfg);
+
+    let dir = fresh_dir(dir_name);
+    let dir_s = dir.to_str().unwrap().to_string();
+    let cfg_ckpt = cfg.clone().checkpoint_every(2, &dir_s);
+    let (with_ckpt, ckpt_mem) = train_single_traced(d, mc, &cfg_ckpt);
+    assert_trajectory_identical(&oracle, &with_ckpt);
+    assert_eq!(
+        oracle_mem.checksum(),
+        ckpt_mem.checksum(),
+        "checkpointing must be pure observation"
+    );
+
+    let ckpt = dir.join("ckpt_0002.bin");
+    assert!(ckpt.exists(), "epoch-2 checkpoint must exist");
+    let cfg_resume = cfg.clone().resume_from(ckpt.to_str().unwrap());
+    let (resumed, resumed_mem) = train_single_traced(d, mc, &cfg_resume);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_trajectory_identical(&oracle, &resumed);
+    assert_eq!(
+        oracle_mem.checksum(),
+        resumed_mem.checksum(),
+        "resumed run's final memory diverged"
+    );
+}
+
+fn distributed_matrix(d: &disttgl::data::Dataset, mc: &ModelConfig, seed: u64, dir_name: &str) {
+    let cfg = dist_cfg(seed);
+    let spec = ClusterSpec::new(1, 2);
+    let oracle = train_distributed(d, mc, &cfg, spec);
+
+    let dir = fresh_dir(dir_name);
+    let dir_s = dir.to_str().unwrap().to_string();
+    let cfg_ckpt = cfg.clone().checkpoint_every(1, &dir_s);
+    let with_ckpt = train_distributed(d, mc, &cfg_ckpt, spec);
+    assert_trajectory_identical(&oracle, &with_ckpt);
+
+    let ckpt = dir.join("ckpt_0001.bin");
+    assert!(ckpt.exists(), "sweep-1 checkpoint must exist");
+    let cfg_resume = cfg.clone().resume_from(ckpt.to_str().unwrap());
+    let resumed = train_distributed(d, mc, &cfg_resume, spec);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_trajectory_identical(&oracle, &resumed);
+}
+
+#[test]
+fn sequential_link_prediction_resume_is_bit_identical() {
+    let d = generators::mooc(0.0015, 301);
+    let mc = tiny_model(0);
+    sequential_matrix(&d, &mc, 5, "disttgl_ckpt_eq_seq_link");
+}
+
+#[test]
+fn sequential_edge_classification_resume_is_bit_identical() {
+    let d = generators::gdelt(2.5e-5, 302);
+    let mc = tiny_model(d.edge_features.cols()).with_classes(d.num_classes());
+    sequential_matrix(&d, &mc, 6, "disttgl_ckpt_eq_seq_cls");
+}
+
+#[test]
+fn distributed_1x1x2_link_prediction_resume_is_bit_identical() {
+    let d = generators::mooc(0.0015, 303);
+    let mc = tiny_model(0);
+    distributed_matrix(&d, &mc, 7, "disttgl_ckpt_eq_dist_link");
+}
+
+#[test]
+fn distributed_1x1x2_edge_classification_resume_is_bit_identical() {
+    let d = generators::gdelt(2.5e-5, 304);
+    let mc = tiny_model(d.edge_features.cols()).with_classes(d.num_classes());
+    distributed_matrix(&d, &mc, 8, "disttgl_ckpt_eq_dist_cls");
+}

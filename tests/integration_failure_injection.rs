@@ -1,16 +1,24 @@
 //! Failure-injection and robustness tests: the system must degrade
-//! loudly (panics with clear messages) or gracefully (documented
-//! fallbacks), never silently corrupt training state.
+//! **structurally** (typed errors, `RunResult::aborted`, truncated but
+//! valid histories) or loudly (panics on internal invariants), never
+//! silently corrupt training state. The deterministic fault plane
+//! (`disttgl::cluster::FaultPlan`) injects lane crashes, delayed
+//! speculation, and daemon shutdowns at seeded, reproducible points;
+//! the tests here prove survivor consistency — everything a survivor
+//! records up to an abort is bit-identical to a fault-free run — and
+//! recovery: a crashed run's checkpoint resumes to the uninterrupted
+//! oracle's exact trajectory.
 
-use disttgl::cluster::ClusterSpec;
+use disttgl::cluster::{ClusterSpec, FaultKind, FaultPlan};
 use disttgl::core::{
     train_distributed, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig, TgnModel,
     TrainConfig,
 };
 use disttgl::data::generators;
 use disttgl::graph::TCsr;
-use disttgl::mem::{MemoryDaemon, MemoryState, MemoryWrite, VersionedReadout};
+use disttgl::mem::{DaemonError, MemoryDaemon, MemoryState, MemoryWrite, VersionedReadout};
 use disttgl::tensor::{seeded_rng, Matrix};
+use std::time::{Duration, Instant};
 
 fn tiny_model(d_edge: usize) -> ModelConfig {
     let mut mc = ModelConfig::compact(d_edge);
@@ -22,6 +30,19 @@ fn tiny_model(d_edge: usize) -> ModelConfig {
     mc
 }
 
+/// A small 1×1×2 layout (2 sweeps) — the fault harness's standard
+/// topology.
+fn dist_cfg(epochs: usize, seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2));
+    cfg.local_batch = 64;
+    cfg.epochs = epochs;
+    cfg.eval_negs = 9;
+    cfg.eval_every_epoch = true;
+    cfg.seed = seed;
+    cfg.base_lr = 2e-2;
+    cfg
+}
+
 /// A daemon abandoned mid-schedule must not hang on drop.
 #[test]
 fn abandoned_daemon_drops_cleanly() {
@@ -31,19 +52,197 @@ fn abandoned_daemon_drops_cleanly() {
     drop(daemon);
 }
 
-/// Shutdown mid-read panics the client instead of spinning forever.
+/// Shutdown mid-read surfaces a structured [`DaemonError::Shutdown`]
+/// instead of spinning forever, and the poisoned client fails fast on
+/// every call after the first error.
 #[test]
-fn client_read_panics_on_shutdown() {
+fn client_read_errors_on_shutdown() {
     let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 2, 100, 1);
     // Rank 1 is not the first turn owner, so its read stays pending.
     let c1 = daemon.client(1);
     let handle = std::thread::spawn(move || {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c1.read(&[0])));
-        result.is_err()
+        let first = c1.try_read(&[0]).map(|_| ());
+        let t0 = Instant::now();
+        let second = c1.try_read(&[0]).map(|_| ());
+        (first, second, t0.elapsed())
     });
-    std::thread::sleep(std::time::Duration::from_millis(50));
+    std::thread::sleep(Duration::from_millis(50));
     daemon.shutdown();
-    assert!(handle.join().unwrap(), "client should panic, not hang");
+    let (first, second, fast) = handle.join().unwrap();
+    assert_eq!(first.unwrap_err(), DaemonError::Shutdown);
+    assert_eq!(second.unwrap_err(), DaemonError::Shutdown);
+    assert!(
+        fast < Duration::from_millis(20),
+        "poisoned client must fail fast"
+    );
+}
+
+/// A client deadline turns an unserved wait into a structured
+/// [`DaemonError::Timeout`] instead of a hang.
+#[test]
+fn client_deadline_expires_to_timeout() {
+    let daemon = MemoryDaemon::spawn(MemoryState::new(8, 2, 2), 1, 2, 100, 1);
+    // Rank 1 never gets its turn (rank 0 issues nothing).
+    let mut c1 = daemon.client(1);
+    c1.set_deadline(Some(Duration::from_millis(25)));
+    let t0 = Instant::now();
+    assert_eq!(c1.try_read(&[0]).unwrap_err(), DaemonError::Timeout);
+    assert!(t0.elapsed() >= Duration::from_millis(25));
+    // Poisoned: the retry fails without re-waiting the full deadline.
+    let t1 = Instant::now();
+    assert_eq!(c1.try_read(&[0]).unwrap_err(), DaemonError::Timeout);
+    assert!(t1.elapsed() < Duration::from_millis(25));
+    daemon.shutdown();
+}
+
+/// An injected lane crash aborts the whole world structurally: the
+/// run returns (`aborted == true`, no panic, no hang) and everything
+/// the surviving rank recorded before the abort is bit-identical to
+/// the fault-free run — a crash truncates history, never corrupts it.
+#[test]
+fn lane_crash_aborts_world_with_consistent_survivor_history() {
+    let d = generators::mooc(0.0015, 210);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 7);
+    let clean = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!clean.aborted, "fault-free run completes");
+    let total_steps = clean.loss_history.len();
+    assert!(total_steps >= 4, "need room to crash mid-run");
+
+    let crash_step = total_steps / 2;
+    let cfg_f = cfg
+        .clone()
+        .with_faults(FaultPlan::new(vec![FaultKind::LaneCrash {
+            rank: 1,
+            step: crash_step,
+        }]));
+    let res = train_distributed(&d, &mc, &cfg_f, ClusterSpec::new(1, 2));
+    assert!(res.aborted, "crash must be reported");
+    assert!(
+        res.loss_history.len() <= crash_step + 1,
+        "history stops at the crash ({} recorded, crash at {crash_step})",
+        res.loss_history.len()
+    );
+    assert!(
+        !res.loss_history.is_empty(),
+        "work before the crash is retained"
+    );
+    assert_eq!(
+        res.loss_history[..],
+        clean.loss_history[..res.loss_history.len()],
+        "survivor's record must be a bit-identical prefix of the fault-free run"
+    );
+}
+
+/// The seeded crash planner is deterministic: the same seed plans the
+/// same fault, and the whole aborted run replays bit-identically.
+#[test]
+fn seeded_lane_crash_is_reproducible() {
+    let d = generators::mooc(0.0015, 211);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 8);
+    let clean = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    let total_steps = clean.loss_history.len();
+
+    let plan = FaultPlan::seeded_lane_crash(42, 2, total_steps);
+    assert_eq!(
+        plan.faults,
+        FaultPlan::seeded_lane_crash(42, 2, total_steps).faults
+    );
+    let cfg_f = cfg.clone().with_faults(plan);
+    let a = train_distributed(&d, &mc, &cfg_f, ClusterSpec::new(1, 2));
+    let b = train_distributed(&d, &mc, &cfg_f, ClusterSpec::new(1, 2));
+    assert!(a.aborted && b.aborted);
+    assert_eq!(a.loss_history, b.loss_history);
+    assert_eq!(a.memory_checksums, b.memory_checksums);
+}
+
+/// A memory daemon dying mid-epoch surfaces as a structured abort:
+/// its trainers observe `DaemonError` (under the fault plane's default
+/// deadline), propagate the abort through the collective, and the
+/// whole world unwinds cleanly instead of hanging on the dead daemon.
+#[test]
+fn daemon_shutdown_mid_epoch_aborts_structurally() {
+    let d = generators::mooc(0.0015, 212);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 9).with_faults(FaultPlan::new(vec![FaultKind::DaemonShutdown {
+        group: 0,
+        after_turns: 3,
+    }]));
+    let res = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(res.aborted, "daemon death must be reported");
+    assert!(res.loss_history.iter().all(|l| l.is_finite()));
+}
+
+/// Delayed speculation is a pure overlap perturbation: a lane whose
+/// speculative gathers are suppressed for its first steps pays full
+/// serialized reads instead, and the results are bit-identical — the
+/// version contract holds under scheduling faults.
+#[test]
+fn delayed_speculation_is_bit_identical() {
+    let d = generators::mooc(0.0015, 213);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 10);
+    let base = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    let cfg_f = cfg.clone().with_faults(FaultPlan::new(vec![
+        FaultKind::DelaySpeculation { rank: 0, steps: 3 },
+        FaultKind::DelaySpeculation { rank: 1, steps: 5 },
+    ]));
+    let delayed = train_distributed(&d, &mc, &cfg_f, ClusterSpec::new(1, 2));
+    assert!(!delayed.aborted);
+    assert_eq!(base.loss_history, delayed.loss_history);
+    assert_eq!(base.memory_checksums, delayed.memory_checksums);
+    assert_eq!(base.test_metric, delayed.test_metric);
+}
+
+/// The full recovery story: a run checkpoints at a sweep boundary,
+/// crashes mid-sweep afterwards, and a resume from that checkpoint —
+/// written by the *crashed* run — lands exactly on the uninterrupted
+/// oracle's trajectory: losses, convergence points, final metric, and
+/// memory digests all bit-identical.
+#[test]
+fn crash_recovery_resumes_to_oracle_trajectory() {
+    let d = generators::mooc(0.0015, 214);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 11);
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!oracle.aborted);
+    let steps_per_sweep = oracle.loss_history.len() / 2; // 2 sweeps
+    assert!(steps_per_sweep >= 3);
+
+    let dir = std::env::temp_dir().join("disttgl_crash_recovery_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().unwrap();
+
+    // Checkpoint every sweep; crash in the second sweep, after the
+    // sweep-1 checkpoint landed.
+    let cfg_crash = cfg
+        .clone()
+        .checkpoint_every(1, dir_s)
+        .with_faults(FaultPlan::new(vec![FaultKind::LaneCrash {
+            rank: 1,
+            step: steps_per_sweep + 2,
+        }]));
+    let crashed = train_distributed(&d, &mc, &cfg_crash, ClusterSpec::new(1, 2));
+    assert!(crashed.aborted);
+    let ckpt = dir.join("ckpt_0001.bin");
+    assert!(
+        ckpt.exists(),
+        "sweep-1 checkpoint must have landed before the crash"
+    );
+
+    let cfg_resume = cfg.clone().resume_from(ckpt.to_str().unwrap());
+    let resumed = train_distributed(&d, &mc, &cfg_resume, ClusterSpec::new(1, 2));
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!resumed.aborted);
+    assert_eq!(resumed.loss_history, oracle.loss_history);
+    assert_eq!(resumed.test_metric, oracle.test_metric);
+    assert_eq!(resumed.memory_checksums, oracle.memory_checksums);
+    assert_eq!(resumed.convergence.len(), oracle.convergence.len());
+    for (r, o) in resumed.convergence.iter().zip(&oracle.convergence) {
+        assert_eq!(r.iteration, o.iteration);
+        assert_eq!(r.metric, o.metric);
+    }
 }
 
 /// A lane killed mid-speculation (posts a speculative gather, never

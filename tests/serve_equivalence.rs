@@ -110,7 +110,9 @@ fn assert_link_serve_equivalence(mc: ModelConfig, model_seed: u64) {
     // score-and-ingest the range.
     let mut session = ServeSession::new(&model, &d, None);
     for r in batching::chronological_batches(0..start, BATCH) {
-        session.ingest(&d.graph.events()[r]);
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
     }
     assert_eq!(
         session.memory_checksum(),
@@ -137,7 +139,9 @@ fn assert_link_serve_equivalence(mc: ModelConfig, model_seed: u64) {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let out = session.ingest_scored(events, &extra);
+        let out = session
+            .ingest_scored(events, &extra)
+            .expect("valid scored slab");
         pos_s.extend(out.event_scores.iter().map(|r| r.scores()[0]));
         neg_s.extend(out.extra.iter().map(|r| r.scores()[0]));
     }
@@ -220,11 +224,15 @@ fn assert_class_serve_equivalence(n_layers: usize, model_seed: u64) {
     // Serve.
     let mut session = ServeSession::new(&model, &d, None);
     for r in batching::chronological_batches(0..start, BATCH) {
-        session.ingest(&d.graph.events()[r]);
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
     }
     let mut logits_s: Vec<f32> = Vec::new();
     for batch_range in batching::chronological_batches(start..end, BATCH) {
-        let out = session.ingest_scored(&d.graph.events()[batch_range], &[]);
+        let out = session
+            .ingest_scored(&d.graph.events()[batch_range], &[])
+            .expect("valid scored slab");
         for r in &out.event_scores {
             logits_s.extend_from_slice(r.scores());
         }
@@ -276,7 +284,9 @@ fn dynamic_adjacency_matches_frozen_build_after_streaming() {
             break;
         }
         let end = (at + step).min(n);
-        session.ingest(&d.graph.events()[at..end]);
+        session
+            .ingest(&d.graph.events()[at..end])
+            .expect("chronological slab");
         at = end;
     }
     let adj = session.adjacency();
