@@ -1,0 +1,154 @@
+//! Recovery-plane cost: what self-healing actually costs when a fault
+//! fires mid-run.
+//!
+//! Measurements landing in `BENCH_recover.json`:
+//!
+//! 1. **Recovery latency** — the supervisor's detect → rollback →
+//!    resume bookkeeping per incident (store scan, checkpoint
+//!    validation, fault stripping), separate from the replay itself.
+//! 2. **Steps lost vs checkpoint cadence** — the replay cost of one
+//!    mid-sweep crash when checkpointing every sweep vs every other
+//!    sweep vs never (fresh-start restart). The cadence bounds the
+//!    loss; the numbers show the actual trade.
+//! 3. **Supervised vs oracle wall time** — the end-to-end price of a
+//!    crash + recovery against the uninterrupted run.
+//! 4. **Inline bit-identity guard** — every supervised run must
+//!    reproduce the fault-free oracle bit for bit before any number
+//!    is published.
+//!
+//! Run: `cargo bench -p disttgl-bench --bench recover`
+
+use disttgl_cluster::{ClusterSpec, FaultKind, FaultPlan};
+use disttgl_core::{
+    train_distributed, train_supervised, ModelConfig, ParallelConfig, RetryPolicy, RunResult,
+    SupervisedRun, TrainConfig,
+};
+use disttgl_data::generators;
+use std::io::Write;
+use std::time::Instant;
+
+fn tiny_model() -> ModelConfig {
+    let mut mc = ModelConfig::compact(0);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+fn base_cfg(epochs: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2));
+    cfg.local_batch = 64;
+    cfg.epochs = epochs;
+    cfg.eval_negs = 9;
+    cfg.eval_every_epoch = true;
+    cfg.seed = 23;
+    cfg.base_lr = 2e-2;
+    cfg
+}
+
+fn assert_oracle_equal(run: &RunResult, oracle: &RunResult) {
+    assert!(!run.aborted);
+    assert_eq!(run.loss_history, oracle.loss_history, "loss divergence");
+    assert_eq!(run.test_metric, oracle.test_metric, "metric divergence");
+    assert_eq!(
+        run.memory_checksums, oracle.memory_checksums,
+        "memory divergence"
+    );
+}
+
+/// One supervised crash run at the given checkpoint cadence (`None`
+/// disables checkpointing → fresh-start recovery). Returns the run,
+/// its wall time, and the bench dir used.
+fn supervised_crash(
+    d: &disttgl_data::Dataset,
+    mc: &ModelConfig,
+    cfg: &TrainConfig,
+    cadence: Option<usize>,
+    crash_step: usize,
+    tag: &str,
+) -> (SupervisedRun, f64) {
+    let dir = std::env::temp_dir().join(format!(
+        "disttgl_bench_recover_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = cfg
+        .clone()
+        .with_faults(FaultPlan::new(vec![FaultKind::LaneCrash {
+            rank: 1,
+            step: crash_step,
+        }]));
+    if let Some(n) = cadence {
+        cfg = cfg.checkpoint_every(n, dir.to_str().unwrap());
+    }
+    let t0 = Instant::now();
+    let run = train_supervised(d, mc, &cfg, ClusterSpec::new(1, 2), &RetryPolicy::default())
+        .expect("supervisor completes within budget");
+    let wall = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+    (run, wall)
+}
+
+fn main() {
+    let d = generators::mooc(0.0015, 23);
+    let mc = tiny_model();
+    println!("dataset: {:?}", d.stats());
+
+    // Oracle: 4 sweeps, no faults.
+    let cfg = base_cfg(8);
+    let t0 = Instant::now();
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    let oracle_wall = t0.elapsed().as_secs_f64();
+    assert!(!oracle.aborted);
+    let sps = oracle.loss_history.len() / 4;
+    let crash_step = 3 * sps + sps / 2; // mid fourth sweep
+    println!(
+        "oracle: {} steps ({sps}/sweep), wall {oracle_wall:.2}s; crash at step {crash_step}",
+        oracle.loss_history.len()
+    );
+
+    // Steps lost vs cadence: every sweep, every other sweep, never.
+    let mut cadence_records = Vec::new();
+    for (cadence, tag) in [(Some(1), "c1"), (Some(2), "c2"), (None, "c0")] {
+        let (run, wall) = supervised_crash(&d, &mc, &cfg, cadence, crash_step, tag);
+        assert_oracle_equal(&run.result, &oracle);
+        assert_eq!(run.incidents.len(), 1);
+        let inc = &run.incidents[0];
+        println!(
+            "cadence {:>5}: rolled back to {:?}, lost {} steps, rollback {:.3} ms, wall {wall:.2}s",
+            cadence.map_or("never".into(), |n| n.to_string()),
+            inc.resumed_from_unit,
+            inc.steps_lost,
+            inc.rollback_secs * 1e3,
+        );
+        cadence_records.push(format!(
+            "{{\"checkpoint_every\":{},\"resumed_from_unit\":{},\"steps_lost\":{},\
+             \"rollback_ms\":{:.3},\"supervised_wall_s\":{:.3},\"restarts\":{},\
+             \"bit_identical\":true}}",
+            cadence.map_or("null".into(), |n| n.to_string()),
+            inc.resumed_from_unit
+                .map_or("null".into(), |u| u.to_string()),
+            inc.steps_lost,
+            inc.rollback_secs * 1e3,
+            wall,
+            run.incidents.len(),
+        ));
+    }
+
+    let record = format!(
+        "{{\"bench\":\"recover\",\"dataset\":\"{}\",\"events\":{},\
+         \"total_steps\":{},\"steps_per_sweep\":{sps},\"crash_step\":{crash_step},\
+         \"oracle_wall_s\":{oracle_wall:.3},\"runs\":[{}]}}\n",
+        d.name,
+        d.graph.num_events(),
+        oracle.loss_history.len(),
+        cadence_records.join(","),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recover.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(record.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

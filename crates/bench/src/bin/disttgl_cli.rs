@@ -10,9 +10,10 @@
 //!     --dataset wikipedia --scale 0.02
 //! ```
 
-use disttgl_cluster::ClusterSpec;
+use disttgl_cluster::{ClusterSpec, FaultPlan};
 use disttgl_core::{
-    plan_from_graph, train_distributed, train_single, ModelConfig, ParallelConfig, TrainConfig,
+    plan_from_graph, train_distributed, train_single, train_supervised, ModelConfig,
+    ParallelConfig, RetryPolicy, TrainConfig,
 };
 use disttgl_data::generators;
 use disttgl_graph::capture;
@@ -23,8 +24,20 @@ fn usage() -> ! {
         "usage: disttgl_cli <train|plan|analyze|generate> [--dataset NAME] [--scale F] \
          [--ijk I,J,K] [--epochs N] [--batch N] [--seed N] [--machines P] [--gpus Q] \
          [--threshold F] [--saturation N] [--replicas N] [--no-static] \
-         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume-from FILE] \
-         [--out FILE] [--in FILE]"
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume-from FILE] [--retain K] \
+         [--faults JSON] [--max-restarts N] [--retry-backoff-ms MS] \
+         [--out FILE] [--in FILE]
+
+  --faults JSON        seeded fault plan, e.g.
+                       '{{\"seed\":7,\"faults\":[{{\"kind\":\"lane_crash\",\"rank\":1,\"step\":40}}]}}'
+  --max-restarts N     run under the recovery supervisor: on a fault,
+                       roll back to the newest good checkpoint and
+                       resume, at most N times (requires distributed
+                       --checkpoint-every/--checkpoint-dir to make
+                       progress across restarts)
+  --retry-backoff-ms   pause between rollback and resume (default 0)
+  --retain K           keep only the newest K checkpoints (the newest
+                       *valid* one is never deleted)"
     );
     std::process::exit(2);
 }
@@ -116,8 +129,58 @@ fn main() {
             if let Some(path) = flags.get("resume-from") {
                 cfg = cfg.resume_from(path);
             }
+            if flags.contains_key("retain") {
+                cfg = cfg.retain_checkpoints(get(&flags, "retain", 3usize));
+            }
+            // Fault injection (--faults) and the recovery supervisor
+            // (--max-restarts): a supervised run rolls back to the
+            // newest good checkpoint and resumes on its own — no
+            // manual --resume-from needed.
+            if let Some(json) = flags.get("faults") {
+                let plan: FaultPlan =
+                    serde_json::from_str(json).expect("bad --faults JSON (see usage)");
+                cfg.faults = Some(plan);
+            }
             let spec = ClusterSpec::new(1, parallel.world());
-            let res = if parallel.world() == 1 {
+            let res = if flags.contains_key("max-restarts") {
+                assert!(
+                    parallel.world() > 1,
+                    "--max-restarts supervises the distributed trainer; use --ijk with world > 1"
+                );
+                let policy = RetryPolicy {
+                    max_restarts: get(&flags, "max-restarts", 3usize),
+                    backoff: std::time::Duration::from_millis(get(
+                        &flags,
+                        "retry-backoff-ms",
+                        0u64,
+                    )),
+                };
+                match train_supervised(&dataset, &mc, &cfg, spec, &policy) {
+                    Ok(run) => {
+                        for r in &run.incidents {
+                            println!(
+                                "incident {}: {:?} on rank {} -> rolled back to {} (lost {} steps, {:.3}s)",
+                                r.restart,
+                                r.cause,
+                                r.rank.map_or("?".into(), |k| k.to_string()),
+                                r.resumed_from_unit
+                                    .map_or("fresh start".into(), |u| format!("unit {u}")),
+                                r.steps_lost,
+                                r.rollback_secs
+                            );
+                        }
+                        println!(
+                            "supervised run COMPLETED after {} recovery incident(s)",
+                            run.incidents.len()
+                        );
+                        run.result
+                    }
+                    Err(e) => {
+                        eprintln!("supervised run FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else if parallel.world() == 1 {
                 train_single(&dataset, &mc, &cfg)
             } else {
                 train_distributed(&dataset, &mc, &cfg, spec)

@@ -14,7 +14,7 @@ use crate::netsim::NetworkModel;
 use crate::spec::ClusterSpec;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
 /// A collective failed because the group was aborted: some rank
 /// declared itself dead via [`Communicator::abort`] (a crashed lane in
@@ -69,7 +69,22 @@ impl Barrier {
     /// deterministic: a collective either completes on every rank or
     /// fails on every rank, never a mix decided by wake-up timing.
     fn wait(&self, aborted: &AtomicBool) -> bool {
-        let mut guard = self.lock.lock().unwrap();
+        let mut guard = match self.lock.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                // A lane panicked while holding the barrier lock, so
+                // the (count, generation) pair may be mid-update.
+                // Converting the poison into a group abort keeps the
+                // failure contract: survivors get `CommError::Aborted`
+                // instead of a cascading poison panic. This rank never
+                // arrives, so the stale counter cannot complete a
+                // generation.
+                aborted.store(true, Ordering::Release);
+                drop(poisoned.into_inner());
+                self.cvar.notify_all();
+                return false;
+            }
+        };
         let gen = guard.1;
         guard.0 += 1;
         if guard.0 == self.world {
@@ -83,15 +98,28 @@ impl Barrier {
                 guard.0 -= 1;
                 return false;
             }
-            guard = self.cvar.wait(guard).unwrap();
+            guard = match self.cvar.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    // Same contract as above, but this waiter already
+                    // arrived — withdraw the arrival on the way out.
+                    aborted.store(true, Ordering::Release);
+                    let mut g = poisoned.into_inner();
+                    g.0 = g.0.saturating_sub(1);
+                    drop(g);
+                    self.cvar.notify_all();
+                    return false;
+                }
+            };
         }
         true
     }
 
     /// Wakes every waiter so it can observe the abort flag. Must be
-    /// called after the flag is set.
+    /// called after the flag is set. Tolerates a poisoned lock — abort
+    /// delivery is exactly what a poisoned group needs.
     fn wake_all(&self) {
-        let _guard = self.lock.lock().unwrap();
+        let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
         self.cvar.notify_all();
     }
 }
@@ -460,6 +488,50 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), Err(CommError::Aborted));
         }
+    }
+
+    #[test]
+    fn poisoned_barrier_converts_to_abort_not_panic() {
+        let group = CommunicatorGroup::single_machine(2);
+        let c0 = group.communicator(0);
+        let c1 = group.communicator(1);
+        // Poison the barrier lock the way a crashing lane would: a
+        // thread panics while holding the guard.
+        let shared = Arc::clone(&c0.shared);
+        std::thread::spawn(move || {
+            let _guard = shared.barrier.lock.lock().unwrap();
+            panic!("injected panic while holding the barrier lock");
+        })
+        .join()
+        .unwrap_err();
+        // Survivors observe the contractual abort, not a poison panic.
+        assert_eq!(c0.try_barrier(), Err(CommError::Aborted));
+        assert!(c0.is_aborted());
+        let mut v = vec![1.0f32, 2.0];
+        assert_eq!(c1.try_allreduce_mean(&mut v), Err(CommError::Aborted));
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn poisoned_barrier_unblocks_in_flight_waiter() {
+        let group = CommunicatorGroup::single_machine(2);
+        let c0 = group.communicator(0);
+        let c1 = group.communicator(1);
+        let waiter = std::thread::spawn(move || c1.try_barrier());
+        // Let rank 1 park inside the condvar wait, then poison.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let shared = Arc::clone(&c0.shared);
+        std::thread::spawn(move || {
+            let _guard = shared.barrier.lock.lock().unwrap();
+            panic!("injected panic while holding the barrier lock");
+        })
+        .join()
+        .unwrap_err();
+        // Rank 0's next collective observes the poison, raises the
+        // abort, and wakes rank 1 out of its condvar wait — both get
+        // the contractual error.
+        assert_eq!(c0.try_barrier(), Err(CommError::Aborted));
+        assert_eq!(waiter.join().unwrap(), Err(CommError::Aborted));
     }
 
     #[test]

@@ -31,7 +31,16 @@ pub enum FaultKind {
     /// Memory daemon `group` shuts itself down after serving
     /// `after_turns` complete serialized turns, modeling a memory-node
     /// crash mid-epoch. Trainers observe structured daemon errors.
+    /// `after_turns` counts absolute turns from the start of the full
+    /// schedule, so a resumed run must strip fired instances or the
+    /// daemon dies again immediately.
     DaemonShutdown { group: usize, after_turns: u64 },
+    /// The checkpoint written at unit boundary `at` is torn: rank 0
+    /// persists only a truncated prefix of the frame (modeling a crash
+    /// mid-write on a filesystem without atomic rename) and the run
+    /// aborts. Recovery must detect the bad digest and fall back past
+    /// the torn file to the newest good checkpoint.
+    TornCheckpoint { at: usize },
 }
 
 // Hand-written (de)serialization: the workspace serde shim's derive
@@ -62,6 +71,7 @@ impl Serialize for FaultKind {
                 vec![("group", group as u64), ("after_turns", after_turns)],
                 "daemon_shutdown",
             ),
+            FaultKind::TornCheckpoint { at } => obj(vec![("at", at as u64)], "torn_checkpoint"),
         }
     }
 }
@@ -92,6 +102,9 @@ impl Deserialize for FaultKind {
             "daemon_shutdown" => Ok(FaultKind::DaemonShutdown {
                 group: num("group")? as usize,
                 after_turns: num("after_turns")?,
+            }),
+            "torn_checkpoint" => Ok(FaultKind::TornCheckpoint {
+                at: num("at")? as usize,
             }),
             other => Err(format!("fault: unknown kind `{other}`")),
         }
@@ -135,12 +148,48 @@ impl FaultPlan {
         }
     }
 
-    /// Step at which `rank` crashes, if the plan crashes it.
+    /// Derives a multi-crash plan from `seed`: `count` lane crashes on
+    /// pseudo-random ranks within `world` at `count` *distinct*
+    /// pseudo-random steps in `[1, total_steps)`. Distinct steps mean
+    /// each supervised attempt fires exactly one crash, so a recovery
+    /// driver strips them one incident at a time. Deterministic in
+    /// `seed`, like [`FaultPlan::seeded_lane_crash`].
+    pub fn seeded_crashes(seed: u64, world: usize, total_steps: usize, count: usize) -> Self {
+        assert!(
+            world > 0 && total_steps > count,
+            "degenerate topology: need more steps than crashes"
+        );
+        let mut z = seed;
+        let mut steps = std::collections::BTreeSet::new();
+        while steps.len() < count {
+            z = splitmix64(z);
+            steps.insert(1 + (z % (total_steps as u64 - 1)) as usize);
+        }
+        let faults = steps
+            .into_iter()
+            .map(|step| {
+                z = splitmix64(z);
+                FaultKind::LaneCrash {
+                    rank: (z % world as u64) as usize,
+                    step,
+                }
+            })
+            .collect();
+        Self { seed, faults }
+    }
+
+    /// Earliest step at which `rank` crashes, if the plan crashes it.
+    /// Multi-crash plans fire earliest-first; later crashes on the
+    /// same rank stay latent until earlier ones are stripped by a
+    /// recovery driver.
     pub fn lane_crash_at(&self, rank: usize) -> Option<usize> {
-        self.faults.iter().find_map(|f| match *f {
-            FaultKind::LaneCrash { rank: r, step } if r == rank => Some(step),
-            _ => None,
-        })
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultKind::LaneCrash { rank: r, step } if r == rank => Some(step),
+                _ => None,
+            })
+            .min()
     }
 
     /// Number of leading steps on which `rank` must not post
@@ -152,16 +201,27 @@ impl FaultPlan {
         })
     }
 
-    /// Turn count after which daemon `group` self-terminates, if the
-    /// plan kills it.
+    /// Earliest turn count after which daemon `group` self-terminates,
+    /// if the plan kills it.
     pub fn daemon_fail_after(&self, group: usize) -> Option<u64> {
-        self.faults.iter().find_map(|f| match *f {
-            FaultKind::DaemonShutdown {
-                group: g,
-                after_turns,
-            } if g == group => Some(after_turns),
-            _ => None,
-        })
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultKind::DaemonShutdown {
+                    group: g,
+                    after_turns,
+                } if g == group => Some(after_turns),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether the checkpoint written at unit boundary `unit` must be
+    /// torn (truncated mid-write).
+    pub fn torn_checkpoint_at(&self, unit: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(*f, FaultKind::TornCheckpoint { at } if at == unit))
     }
 
     /// Whether the plan injects any fault at all.
@@ -230,5 +290,71 @@ mod tests {
         let s = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&s).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn every_fault_kind_roundtrips_through_json() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::LaneCrash { rank: 1, step: 7 },
+            FaultKind::DelaySpeculation { rank: 0, steps: 3 },
+            FaultKind::DaemonShutdown {
+                group: 2,
+                after_turns: 5,
+            },
+            FaultKind::TornCheckpoint { at: 2 },
+            FaultKind::LaneCrash { rank: 1, step: 11 },
+        ]);
+        let s = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn torn_checkpoint_parses_from_hand_written_json() {
+        let plan: FaultPlan =
+            serde_json::from_str(r#"{"seed":0,"faults":[{"kind":"torn_checkpoint","at":3}]}"#)
+                .unwrap();
+        assert_eq!(plan.faults, vec![FaultKind::TornCheckpoint { at: 3 }]);
+        assert!(plan.torn_checkpoint_at(3));
+        assert!(!plan.torn_checkpoint_at(2));
+    }
+
+    #[test]
+    fn unknown_fault_kind_is_an_error_not_a_panic() {
+        let r: Result<FaultPlan, _> =
+            serde_json::from_str(r#"{"seed":0,"faults":[{"kind":"meteor_strike"}]}"#);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multi_crash_fires_earliest_first() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::LaneCrash { rank: 1, step: 11 },
+            FaultKind::LaneCrash { rank: 1, step: 7 },
+        ]);
+        assert_eq!(plan.lane_crash_at(1), Some(7));
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_with_distinct_steps() {
+        let a = FaultPlan::seeded_crashes(9, 4, 30, 3);
+        let b = FaultPlan::seeded_crashes(9, 4, 30, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 3);
+        let steps: Vec<usize> = a
+            .faults
+            .iter()
+            .map(|f| match *f {
+                FaultKind::LaneCrash { rank, step } => {
+                    assert!(rank < 4);
+                    assert!((1..30).contains(&step));
+                    step
+                }
+                _ => panic!("expected lane crash"),
+            })
+            .collect();
+        let mut sorted = steps.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "steps must be distinct");
     }
 }

@@ -258,6 +258,17 @@ impl TrainCheckpoint {
     /// Serializes into the framed format and writes via `.tmp` +
     /// rename so a crash mid-save never corrupts an existing file.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_framed(path, KIND_TRAIN, &self.payload())
+    }
+
+    /// The exact framed bytes [`TrainCheckpoint::save`] persists.
+    /// Fault injection uses this to model a torn write: a truncated
+    /// prefix of these bytes fails the digest check on load.
+    pub fn to_framed_bytes(&self) -> Vec<u8> {
+        frame(KIND_TRAIN, &self.payload())
+    }
+
+    fn payload(&self) -> BytesMut {
         let mut payload = BytesMut::new();
         put_string(&mut payload, &self.fingerprint);
         payload.put_u64_le(self.units_done as u64);
@@ -285,7 +296,7 @@ impl TrainCheckpoint {
             put_memory(&mut payload, m);
         }
         put_u64s(&mut payload, &self.start_turns);
-        write_framed(path, KIND_TRAIN, &payload)
+        payload
     }
 
     /// Loads and validates a [`TrainCheckpoint::save`] file.
@@ -481,7 +492,7 @@ impl ServeCheckpoint {
 // ---------------------------------------------------------------------
 // Framing.
 
-fn write_framed(path: &Path, kind: u8, payload: &BytesMut) -> Result<(), CheckpointError> {
+fn frame(kind: u8, payload: &BytesMut) -> Vec<u8> {
     let mut out = Vec::with_capacity(29 + payload.len());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -489,6 +500,11 @@ fn write_framed(path: &Path, kind: u8, payload: &BytesMut) -> Result<(), Checkpo
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a(payload).to_le_bytes());
     out.extend_from_slice(payload);
+    out
+}
+
+fn write_framed(path: &Path, kind: u8, payload: &BytesMut) -> Result<(), CheckpointError> {
+    let out = frame(kind, payload);
     // Atomic publish: write the sibling .tmp, then rename over the
     // target. A crash at any point leaves either the old file or
     // nothing — never a torn checkpoint under the real name.
@@ -502,7 +518,9 @@ fn write_framed(path: &Path, kind: u8, payload: &BytesMut) -> Result<(), Checkpo
     Ok(())
 }
 
-fn read_framed(path: &Path, want_kind: u8) -> Result<Bytes, CheckpointError> {
+/// Parses the frame header and verifies the payload digest, returning
+/// `(kind, payload)`.
+fn read_any(path: &Path) -> Result<(u8, Bytes), CheckpointError> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
     if raw.len() < 29 {
@@ -521,11 +539,6 @@ fn read_framed(path: &Path, want_kind: u8) -> Result<Bytes, CheckpointError> {
         )));
     }
     let kind = raw[12];
-    if kind != want_kind {
-        return Err(CheckpointError::Corrupt(format!(
-            "wrong checkpoint kind {kind} (wanted {want_kind})"
-        )));
-    }
     let len = u64::from_le_bytes(raw[13..21].try_into().unwrap()) as usize;
     let digest = u64::from_le_bytes(raw[21..29].try_into().unwrap());
     let payload = &raw[29..];
@@ -541,7 +554,26 @@ fn read_framed(path: &Path, want_kind: u8) -> Result<Bytes, CheckpointError> {
             "payload digest mismatch (torn write or bit rot)".into(),
         ));
     }
-    Ok(Bytes::from(payload.to_vec()))
+    Ok((kind, Bytes::from(payload.to_vec())))
+}
+
+/// Structural validation without decoding the payload: magic, version,
+/// length, and digest must all check out. Returns the kind byte
+/// (1 = training, 2 = serving). `core::recover::CheckpointStore` uses
+/// this to skip torn/corrupt files cheaply during its newest-first
+/// scan and retention GC.
+pub fn validate_file(path: &Path) -> Result<u8, CheckpointError> {
+    read_any(path).map(|(kind, _)| kind)
+}
+
+fn read_framed(path: &Path, want_kind: u8) -> Result<Bytes, CheckpointError> {
+    let (kind, payload) = read_any(path)?;
+    if kind != want_kind {
+        return Err(CheckpointError::Corrupt(format!(
+            "wrong checkpoint kind {kind} (wanted {want_kind})"
+        )));
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]

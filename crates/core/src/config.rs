@@ -360,6 +360,11 @@ pub struct TrainConfig {
     /// Directory for periodic checkpoints (`ckpt_XXXX.bin` files).
     /// Required when `checkpoint_every` is set.
     pub checkpoint_dir: Option<String>,
+    /// Keep at most this many checkpoint files in `checkpoint_dir`
+    /// (last-k retention, GC'd by `core::recover::CheckpointStore`
+    /// after every save — though never past the newest *valid* file).
+    /// `None` keeps every checkpoint.
+    pub checkpoint_retain: Option<usize>,
     /// Resume training from this checkpoint file instead of starting
     /// fresh. The checkpoint's config fingerprint must match (same
     /// model shapes, parallel layout, seed, batch — everything that
@@ -393,6 +398,7 @@ impl TrainConfig {
             speculative_gather: true,
             checkpoint_every: None,
             checkpoint_dir: None,
+            checkpoint_retain: None,
             resume_from: None,
             daemon_deadline_ms: None,
             faults: None,
@@ -405,6 +411,14 @@ impl TrainConfig {
         assert!(n >= 1, "checkpoint period must be >= 1");
         self.checkpoint_every = Some(n);
         self.checkpoint_dir = Some(dir.to_string());
+        self
+    }
+
+    /// Bounds the checkpoint directory to the newest `k` files
+    /// (retention GC; see `core::recover::CheckpointStore`).
+    pub fn retain_checkpoints(mut self, k: usize) -> Self {
+        assert!(k >= 1, "retention must keep at least one checkpoint");
+        self.checkpoint_retain = Some(k);
         self
     }
 
@@ -439,6 +453,7 @@ impl TrainConfig {
         let mut c = self.clone();
         c.checkpoint_every = None;
         c.checkpoint_dir = None;
+        c.checkpoint_retain = None;
         c.resume_from = None;
         c.daemon_deadline_ms = None;
         c.faults = None;

@@ -20,12 +20,13 @@
 //! node memory in the first memory process" (§4.0.1).
 
 use crate::batch::{BatchPreparer, MemoryAccess, PreparedBatch};
-use crate::checkpoint::{checkpoint_path, fingerprint, TrainCheckpoint};
+use crate::checkpoint::{fingerprint, TrainCheckpoint};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
-use crate::metrics::{ConvergencePoint, RunResult, TimingBreakdown};
+use crate::metrics::{AbortCause, AbortReport, ConvergencePoint, RunResult, TimingBreakdown};
 use crate::model::TgnModel;
 use crate::pipeline::{BatchPrefetcher, PrefetchRequest, PrefetchedBatch};
+use crate::recover::CheckpointStore;
 use crate::sched::{GroupSchedule, StepPlan};
 use crate::static_mem::StaticMemory;
 use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
@@ -85,6 +86,11 @@ struct TrainerReturn {
     /// The trainer unwound early (injected crash, daemon fault, or a
     /// peer's abort observed through the communicator).
     aborted: bool,
+    /// Why this rank unwound, when it did. [`AbortCause::PeerAbort`]
+    /// marks a bystander; any other value is a root cause. Collected
+    /// into `RunResult::abort_reports` so supervisors can classify
+    /// incidents without string-matching.
+    cause: Option<AbortCause>,
 }
 
 /// How often trainers probe gradient variance (Table 1's variance row).
@@ -378,6 +384,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         grad_probes: 0,
         eval_secs: 0.0,
         aborted: false,
+        cause: None,
     };
 
     let b = schedule.num_batches();
@@ -472,6 +479,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         _ => None,
     };
     let mut aborted = false;
+    let mut cause: Option<AbortCause> = None;
     let mut mem_fault: Option<DaemonError> = None;
 
     for step in start_step..total_steps {
@@ -481,6 +489,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             // waiting forever for this rank.
             comm.abort();
             aborted = true;
+            cause = Some(AbortCause::InjectedCrash);
             break;
         }
         let plan = schedule.plan(jg, step);
@@ -669,11 +678,15 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             StepPlan::Idle => {}
         }
 
-        if mem_fault.is_some() {
+        if let Some(fault) = &mem_fault {
             // A daemon wait failed (injected shutdown, deadline expiry,
             // or a peer's crash wedging the turn order): abort the
             // collective and unwind; peers blocked in the all-reduce
             // observe the abort instead of hanging.
+            cause = Some(match fault {
+                DaemonError::Shutdown => AbortCause::DaemonShutdown,
+                DaemonError::Timeout => AbortCause::DaemonTimeout,
+            });
             comm.abort();
             aborted = true;
             break;
@@ -714,6 +727,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             // A peer crashed and aborted the communicator: unwind with
             // whatever history is already banked.
             aborted = true;
+            cause = Some(AbortCause::PeerAbort);
             break;
         }
         if let Some(pre) = pre {
@@ -747,9 +761,13 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             let sweep_idx = (step + 1) / b - 1;
             let mut snap = match daemons[0].try_epoch_snapshot(sweep_idx as u64) {
                 Ok(snap) => snap,
-                Err(_) => {
+                Err(e) => {
                     // Replica 0's daemon died before finishing the
                     // sweep (fault injection): unwind everyone.
+                    cause = Some(match e {
+                        DaemonError::Shutdown => AbortCause::DaemonShutdown,
+                        DaemonError::Timeout => AbortCause::DaemonTimeout,
+                    });
                     comm.abort();
                     aborted = true;
                     break;
@@ -796,10 +814,14 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 }
                 let capture_deadline = Some(deadline.unwrap_or(std::time::Duration::from_secs(30)));
                 let mut memories = Vec::with_capacity(daemons.len());
+                let mut capture_err: Option<DaemonError> = None;
                 for d in daemons.iter() {
                     match d.take_capture(capture_deadline) {
                         Ok(m) => memories.push(m),
-                        Err(_) => break,
+                        Err(e) => {
+                            capture_err = Some(e);
+                            break;
+                        }
                     }
                 }
                 if memories.len() == daemons.len() {
@@ -807,7 +829,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                         .checkpoint_dir
                         .as_deref()
                         .expect("gated on checkpoint_dir");
-                    std::fs::create_dir_all(dir)
+                    let ckpt_store = CheckpointStore::open(dir, cfg.checkpoint_retain)
                         .unwrap_or_else(|e| panic!("checkpoint dir {dir}: {e}"));
                     let start_turns = vec![turn; memories.len()];
                     let ckpt = TrainCheckpoint {
@@ -824,19 +846,43 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                         memories,
                         start_turns,
                     };
-                    let path = checkpoint_path(dir, units);
-                    ckpt.save(&path)
-                        .unwrap_or_else(|e| panic!("checkpoint save {}: {e}", path.display()));
+                    if faults.torn_checkpoint_at(units) {
+                        // Injected torn write: persist a truncated
+                        // prefix of the frame at the *final* path
+                        // (modeling a crash mid-write without the
+                        // atomic-rename shield) and bring the run
+                        // down. Recovery must see the bad digest and
+                        // fall back to the previous good checkpoint.
+                        let bytes = ckpt.to_framed_bytes();
+                        let path = ckpt_store.train_path(units);
+                        std::fs::write(&path, &bytes[..bytes.len() / 2])
+                            .unwrap_or_else(|e| panic!("torn write {}: {e}", path.display()));
+                        comm.abort();
+                        aborted = true;
+                        cause = Some(AbortCause::TornCheckpoint);
+                    } else {
+                        ckpt_store
+                            .save_train(&ckpt)
+                            .unwrap_or_else(|e| panic!("checkpoint save unit {units}: {e}"));
+                    }
                 } else {
                     // A capture resolved as shutdown/timeout — a
                     // replica died at the boundary. Abort rather than
                     // persist a partial checkpoint.
+                    cause = Some(match capture_err {
+                        Some(DaemonError::Timeout) => AbortCause::DaemonTimeout,
+                        _ => AbortCause::DaemonShutdown,
+                    });
                     comm.abort();
                     aborted = true;
                 }
             }
-            if aborted || comm.try_allreduce_mean(&mut [0.0f32]).is_err() {
+            if aborted {
+                break;
+            }
+            if comm.try_allreduce_mean(&mut [0.0f32]).is_err() {
                 aborted = true;
+                cause = Some(AbortCause::PeerAbort);
                 break;
             }
         }
@@ -890,6 +936,9 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
         });
     }
     ret.aborted = aborted;
+    // Every aborted rank reports a cause; a rank that unwound without
+    // observing its own failure is a bystander.
+    ret.cause = aborted.then(|| cause.unwrap_or(AbortCause::PeerAbort));
     ret
 }
 
@@ -897,6 +946,11 @@ fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) 
     let world = returns.len() as f64;
     let mut result = RunResult {
         aborted: returns.iter().any(|r| r.aborted),
+        abort_reports: returns
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.cause.map(|cause| AbortReport { rank, cause }))
+            .collect(),
         ..Default::default()
     };
     let mut dev_sum = 0.0;

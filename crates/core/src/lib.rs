@@ -63,6 +63,7 @@ mod eval;
 mod metrics;
 mod model;
 pub mod pipeline;
+pub mod recover;
 mod sched;
 pub mod serve;
 mod single;
@@ -81,9 +82,15 @@ pub use config::{
 pub use dist::train_distributed;
 pub use engine::{InferenceEngine, PartEmbedding, PartRef};
 pub use eval::{evaluate, replay_memory, EvalResult};
-pub use metrics::{ConvergencePoint, LatencyHistogram, LatencySummary, RunResult, TimingBreakdown};
+pub use metrics::{
+    AbortCause, AbortReport, ConvergencePoint, LatencyHistogram, LatencySummary, RunResult,
+    TimingBreakdown,
+};
 pub use model::{StepOutput, TgnModel};
 pub use pipeline::{BatchPrefetcher, PrefetchRequest, PrefetchedBatch, SharedMemory};
+pub use recover::{
+    train_supervised, CheckpointStore, RecoveryReport, RetryPolicy, SuperviseError, SupervisedRun,
+};
 pub use sched::{GroupSchedule, StepPlan};
 pub use single::{
     train_single, train_single_pipelined, train_single_pipelined_traced, train_single_traced,

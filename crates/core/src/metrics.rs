@@ -136,6 +136,34 @@ impl TimingBreakdown {
     }
 }
 
+/// Why a trainer lane unwound early. Carried per rank in
+/// [`RunResult::abort_reports`] so a recovery driver (see
+/// `core::recover`) classifies failures from data instead of guessing
+/// from which rank went quiet first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortCause {
+    /// The fault plan crashed this lane at its scheduled step.
+    InjectedCrash,
+    /// This lane's memory daemon shut down mid-schedule.
+    DaemonShutdown,
+    /// This lane's memory-daemon wait exceeded the configured deadline.
+    DaemonTimeout,
+    /// A collective failed because some *other* rank aborted the group;
+    /// this lane is a healthy bystander.
+    PeerAbort,
+    /// The fault plan tore this rank's checkpoint write mid-save.
+    TornCheckpoint,
+}
+
+/// One rank's abort record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortReport {
+    /// Global trainer rank.
+    pub rank: usize,
+    /// Why that rank unwound.
+    pub cause: AbortCause,
+}
+
 /// Complete record of one training run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RunResult {
@@ -189,6 +217,10 @@ pub struct RunResult {
     /// shutdown, deadline expiry) instead of completing its schedule;
     /// histories up to the abort point are retained.
     pub aborted: bool,
+    /// Per-rank abort causes when `aborted` (empty otherwise). Ranks
+    /// that observed only the group abort report [`AbortCause::PeerAbort`];
+    /// the root cause is any non-peer entry.
+    pub abort_reports: Vec<AbortReport>,
 }
 
 impl RunResult {

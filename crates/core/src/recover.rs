@@ -1,0 +1,668 @@
+//! Self-healing training: the durable checkpoint store and the
+//! supervised rollback-and-resume driver.
+//!
+//! PR 6 made failure *visible* — seeded fault plans, completion-wins
+//! barriers, typed daemon errors, bit-identical checkpoint/resume.
+//! This module makes the system *act* on failure, in two layers.
+//!
+//! # [`CheckpointStore`]: durability + fallback
+//!
+//! A directory of framed checkpoint files (`ckpt_XXXX.bin` training,
+//! `serve_XXXXXXXX.bin` serving) with three guarantees:
+//!
+//! * **Atomic writes** — every save goes through the `.tmp` +
+//!   rename dance of `core::checkpoint`, so a crash mid-save never
+//!   clobbers an existing file.
+//! * **Validated fallback** — [`CheckpointStore::load_latest`] scans
+//!   newest-first and checksum-validates each candidate (header magic,
+//!   version, length, FNV-1a payload digest), skipping torn or
+//!   bit-rotted files until it finds the newest *good* checkpoint.
+//!   A directory full of garbage yields `Ok(None)` — fresh start —
+//!   never a panic.
+//! * **Safe retention** — [`CheckpointStore::gc`] keeps the newest
+//!   `retain` files, but **never deletes the newest file that
+//!   validates**: if every file inside the retention window is
+//!   corrupt, the newest good one outside it survives the sweep
+//!   (`crates/core/tests/proptest_recover.rs` pins both properties
+//!   under arbitrary truncation).
+//!
+//! # [`train_supervised`]: detect → classify → roll back → resume
+//!
+//! A driver loop around [`train_distributed`]. When an attempt aborts
+//! (lane crash via `CommError::Aborted`, daemon shutdown/timeout via
+//! `DaemonError`, or a torn checkpoint write), the supervisor:
+//!
+//! 1. **classifies** the failure from the run's per-rank
+//!    [`AbortReport`]s — injected crash, daemon death, torn write —
+//!    all transient (the simulated lanes and daemons are
+//!    re-formable); store-level I/O or fingerprint failures are fatal;
+//! 2. **rolls back** to the store's newest good checkpoint (or a
+//!    fresh start when none exists yet);
+//! 3. **strips fired faults** from the plan: an aborted attempt died
+//!    at the *earliest* remaining trigger (completion-wins barriers
+//!    make the abort point deterministic), so exactly the faults at
+//!    or before that trigger are spent — later ones stay live for
+//!    later attempts (multi-crash plans recover one incident at a
+//!    time);
+//! 4. **re-forms the group and resumes**: a fresh communicator group,
+//!    fresh daemons restored from the checkpoint's captured replicas,
+//!    every rank's weights/optimizer rolled back together.
+//!
+//! The loop runs until completion or until the
+//! [`RetryPolicy::max_restarts`] budget is spent, recording one
+//! [`RecoveryReport`] per incident. Exhaustion returns the typed
+//! [`SuperviseError::RestartBudgetExhausted`] — never a panic.
+//!
+//! **The recovery contract**: because checkpoints land only at
+//! crash-consistent schedule boundaries and every random stream is
+//! re-derived from the seed, recovery is pure replay. A supervised run
+//! under any seeded fault plan that completes is **bit-identical to
+//! the fault-free oracle** — same losses, same metrics, same final
+//! memory digests (`tests/integration_failure_injection.rs`).
+
+use crate::checkpoint::{validate_file, CheckpointError, ServeCheckpoint, TrainCheckpoint};
+use crate::config::{ModelConfig, TrainConfig};
+use crate::dist::train_distributed;
+use crate::metrics::{AbortCause, AbortReport, RunResult};
+use crate::sched::GroupSchedule;
+use disttgl_cluster::{ClusterSpec, FaultKind, FaultPlan};
+use disttgl_data::Dataset;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const TRAIN_PREFIX: &str = "ckpt_";
+const SERVE_PREFIX: &str = "serve_";
+
+/// A durable directory of checkpoints: atomic saves, last-k retention
+/// that never deletes the last good file, and a checksum-validating
+/// newest-first load scan. See the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: Option<usize>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store at `dir`. `retain` bounds
+    /// the file count per kind (`None` keeps everything).
+    pub fn open(dir: impl Into<PathBuf>, retain: Option<usize>) -> Result<Self, CheckpointError> {
+        if let Some(k) = retain {
+            assert!(k >= 1, "retention must keep at least one checkpoint");
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, retain })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the training checkpoint for `units` completed units
+    /// (same naming as `checkpoint::checkpoint_path`).
+    pub fn train_path(&self, units: usize) -> PathBuf {
+        self.dir.join(format!("{TRAIN_PREFIX}{units:04}.bin"))
+    }
+
+    /// Path of the serving checkpoint at ingest sequence `seq`.
+    pub fn serve_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{SERVE_PREFIX}{seq:08}.bin"))
+    }
+
+    /// Training checkpoint files present, oldest → newest by unit.
+    pub fn list_train(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        self.list_with(TRAIN_PREFIX)
+    }
+
+    /// Serving checkpoint files present, oldest → newest by sequence.
+    pub fn list_serve(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        self.list_with(SERVE_PREFIX)
+    }
+
+    fn list_with(&self, prefix: &str) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix(prefix)
+                .and_then(|rest| rest.strip_suffix(".bin"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((seq, entry.path()));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Saves a training checkpoint atomically under its unit-derived
+    /// name, then runs retention GC. Returns the published path.
+    pub fn save_train(&self, ckpt: &TrainCheckpoint) -> Result<PathBuf, CheckpointError> {
+        let path = self.train_path(ckpt.units_done);
+        ckpt.save(&path)?;
+        self.gc()?;
+        Ok(path)
+    }
+
+    /// Saves a serving checkpoint atomically under its ingest-sequence
+    /// name, then runs retention GC. Returns the published path.
+    pub fn save_serve(&self, ckpt: &ServeCheckpoint) -> Result<PathBuf, CheckpointError> {
+        let path = self.serve_path(ckpt.ingested);
+        ckpt.save(&path)?;
+        self.gc()?;
+        Ok(path)
+    }
+
+    /// The newest training checkpoint that fully validates, scanning
+    /// newest-first past torn/corrupt/unreadable files. `Ok(None)`
+    /// when no good checkpoint exists (fresh start).
+    pub fn load_latest(&self) -> Result<Option<(TrainCheckpoint, PathBuf)>, CheckpointError> {
+        for (_, path) in self.list_train()?.into_iter().rev() {
+            if let Ok(ckpt) = TrainCheckpoint::load(&path) {
+                return Ok(Some((ckpt, path)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The newest serving checkpoint that fully validates (same scan
+    /// semantics as [`CheckpointStore::load_latest`]).
+    pub fn load_latest_serve(&self) -> Result<Option<(ServeCheckpoint, PathBuf)>, CheckpointError> {
+        for (_, path) in self.list_serve()?.into_iter().rev() {
+            if let Ok(ckpt) = ServeCheckpoint::load(&path) {
+                return Ok(Some((ckpt, path)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Retention GC over both kinds: deletes files beyond the newest
+    /// `retain` of each prefix — except the newest file that
+    /// *validates*, which always survives (deleting the last good
+    /// checkpoint to honor a retention count would be self-defeating).
+    /// No-op when retention is unbounded. Returns the number of files
+    /// deleted.
+    pub fn gc(&self) -> Result<usize, CheckpointError> {
+        let Some(keep) = self.retain else {
+            return Ok(0);
+        };
+        let mut deleted = 0;
+        for prefix in [TRAIN_PREFIX, SERVE_PREFIX] {
+            let files = self.list_with(prefix)?;
+            if files.len() <= keep {
+                continue;
+            }
+            let newest_first: Vec<&PathBuf> = files.iter().rev().map(|(_, p)| p).collect();
+            let newest_valid = newest_first.iter().position(|p| validate_file(p).is_ok());
+            for (idx, path) in newest_first.iter().enumerate() {
+                if idx < keep || Some(idx) == newest_valid {
+                    continue;
+                }
+                std::fs::remove_file(path)?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+/// Restart budget and pacing for [`train_supervised`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum restarts after the initial attempt; the supervisor
+    /// makes at most `max_restarts + 1` attempts total.
+    pub max_restarts: usize,
+    /// Sleep between detecting an abort and launching the resumed
+    /// attempt (rate-limits tight crash loops; zero in tests).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// One recovery incident: what failed, where the supervisor rolled
+/// back to, and what the crash cost.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// 1-based incident index (equals the restart count so far).
+    pub restart: usize,
+    /// Root-cause classification from the aborted run's reports.
+    pub cause: AbortCause,
+    /// Rank the root cause surfaced on, when known.
+    pub rank: Option<usize>,
+    /// Checkpoint unit rolled back to; `None` means fresh start (no
+    /// good checkpoint existed yet).
+    pub resumed_from_unit: Option<usize>,
+    /// Steps the aborted attempt had completed beyond the rollback
+    /// point — the replay cost of this incident, bounded by the
+    /// checkpoint cadence.
+    pub steps_lost: usize,
+    /// Supervisor bookkeeping time for this incident: abort detection
+    /// → store scan → plan stripping → resumed attempt launched.
+    pub rollback_secs: f64,
+}
+
+/// A completed supervised run: the (oracle-bit-identical) result plus
+/// every recovery incident survived along the way.
+#[derive(Clone, Debug)]
+pub struct SupervisedRun {
+    /// The final run result, bit-identical to a fault-free run.
+    pub result: RunResult,
+    /// One report per restart, in incident order (empty when the first
+    /// attempt completed).
+    pub incidents: Vec<RecoveryReport>,
+}
+
+/// Why [`train_supervised`] gave up. Structured — the supervisor never
+/// panics on failures it is supposed to manage.
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// Every restart in the budget was spent and the run still
+    /// aborted. Carries the incident history and the last attempt's
+    /// partial result.
+    RestartBudgetExhausted {
+        /// Incidents recovered from before the budget ran out.
+        incidents: Vec<RecoveryReport>,
+        /// The final aborted attempt's partial result.
+        last: Box<RunResult>,
+    },
+    /// A non-transient failure: the checkpoint store is unusable
+    /// (directory I/O) or its newest good checkpoint belongs to a
+    /// different configuration. Retrying cannot help.
+    Fatal {
+        /// Incidents recovered from before the fatal failure.
+        incidents: Vec<RecoveryReport>,
+        /// The underlying store/fingerprint error.
+        error: CheckpointError,
+    },
+}
+
+impl fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperviseError::RestartBudgetExhausted { incidents, .. } => write!(
+                f,
+                "restart budget exhausted after {} recovery attempt(s)",
+                incidents.len()
+            ),
+            SuperviseError::Fatal { error, .. } => {
+                write!(f, "fatal (non-transient) recovery failure: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuperviseError::Fatal { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Picks the root cause out of a run's abort reports: any non-peer
+/// cause beats the bystander [`AbortCause::PeerAbort`] entries.
+fn classify(reports: &[AbortReport]) -> (AbortCause, Option<usize>) {
+    reports
+        .iter()
+        .find(|r| r.cause != AbortCause::PeerAbort)
+        .or_else(|| reports.first())
+        .map(|r| (r.cause, Some(r.rank)))
+        .unwrap_or((AbortCause::PeerAbort, None))
+}
+
+/// Global step at which a fault deterministically aborts a run, on a
+/// scale where step `s`'s boundary events sit between `s - 1` and `s`:
+/// a daemon with `fail_after_turns = t` dies before any step-`t`
+/// memory request is served (`t - 0.5`), a torn checkpoint at unit `u`
+/// fires at the boundary after step `u·b - 1` but still before a
+/// daemon death scheduled for the same boundary (`u·b - 0.25`), and a
+/// lane crash at step `s` fires at the top of step `s` (`s`).
+/// `DelaySpeculation` never aborts (`None`).
+fn abort_trigger(fault: &FaultKind, steps_per_unit: usize) -> Option<f64> {
+    match *fault {
+        FaultKind::LaneCrash { step, .. } => Some(step as f64),
+        FaultKind::DaemonShutdown { after_turns, .. } => Some(after_turns as f64 - 0.5),
+        FaultKind::TornCheckpoint { at } => Some((at * steps_per_unit) as f64 - 0.25),
+        FaultKind::DelaySpeculation { .. } => None,
+    }
+}
+
+/// Removes the faults that fired in an aborted attempt: the abort
+/// happened at the earliest remaining trigger (completion-wins
+/// barriers make the abort point deterministic), so every fault at or
+/// before that trigger is spent. Later faults stay live for later
+/// attempts.
+fn strip_fired(plan: &mut FaultPlan, steps_per_unit: usize) {
+    let t_min = plan
+        .faults
+        .iter()
+        .filter_map(|f| abort_trigger(f, steps_per_unit))
+        .fold(f64::INFINITY, f64::min);
+    if t_min.is_finite() {
+        plan.faults
+            .retain(|f| abort_trigger(f, steps_per_unit).is_none_or(|t| t > t_min));
+    }
+}
+
+/// Runs [`train_distributed`] under supervision: on abort, classify,
+/// roll back to the newest good checkpoint, strip fired faults, and
+/// resume — until completion or restart-budget exhaustion. See the
+/// module docs for the full recovery contract.
+///
+/// Requirements mirror [`train_distributed`]'s: `spec.world()` must
+/// equal `cfg.parallel.world()`, and rollback needs
+/// `cfg.checkpoint_every`/`checkpoint_dir` set (without them every
+/// restart replays from scratch — still correct, just expensive).
+/// `cfg.resume_from` seeds the *first* attempt and is superseded by
+/// the store's newest good checkpoint on every restart.
+pub fn train_supervised(
+    dataset: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &TrainConfig,
+    spec: ClusterSpec,
+    policy: &RetryPolicy,
+) -> Result<SupervisedRun, SuperviseError> {
+    let mut incidents: Vec<RecoveryReport> = Vec::new();
+    let store = match &cfg.checkpoint_dir {
+        Some(dir) => match CheckpointStore::open(dir, cfg.checkpoint_retain) {
+            Ok(s) => Some(s),
+            Err(error) => {
+                return Err(SuperviseError::Fatal { incidents, error });
+            }
+        },
+        None => None,
+    };
+
+    // Steps per schedule unit (= one sweep), for torn-checkpoint
+    // triggers and steps-lost accounting — derived exactly as the
+    // trainer derives it.
+    let (train_end, _) = dataset.graph.chronological_split(0.70, 0.15);
+    let steps_per_unit = GroupSchedule::new(
+        0..train_end,
+        cfg.local_batch * cfg.parallel.i,
+        &cfg.parallel,
+        0,
+        cfg.sweeps(),
+    )
+    .num_batches();
+
+    let mut plan = cfg.faults.clone().unwrap_or_default();
+    let mut attempt_cfg = cfg.clone();
+    loop {
+        attempt_cfg.faults = (!plan.is_empty()).then(|| plan.clone());
+        let result = train_distributed(dataset, model_cfg, &attempt_cfg, spec);
+        if !result.aborted {
+            return Ok(SupervisedRun { result, incidents });
+        }
+        if incidents.len() >= policy.max_restarts {
+            return Err(SuperviseError::RestartBudgetExhausted {
+                incidents,
+                last: Box::new(result),
+            });
+        }
+
+        // Detect → classify → roll back → strip → resume.
+        let t0 = Instant::now();
+        let (cause, rank) = classify(&result.abort_reports);
+        let resume = match &store {
+            Some(s) => match s.load_latest() {
+                Ok(r) => r,
+                Err(error) => return Err(SuperviseError::Fatal { incidents, error }),
+            },
+            None => None,
+        };
+        if let Some((ckpt, _)) = &resume {
+            // A checkpoint that validates but fingerprints differently
+            // is foreign to this run — resuming would silently diverge.
+            if let Err(error) = ckpt.check_fingerprint(model_cfg, cfg) {
+                return Err(SuperviseError::Fatal { incidents, error });
+            }
+        }
+        let resume_step = resume
+            .as_ref()
+            .map_or(0, |(c, _)| c.units_done * steps_per_unit);
+        let steps_lost = result.loss_history.len().saturating_sub(resume_step);
+        strip_fired(&mut plan, steps_per_unit);
+        attempt_cfg.resume_from = resume
+            .as_ref()
+            .map(|(_, path)| path.to_string_lossy().into_owned());
+        incidents.push(RecoveryReport {
+            restart: incidents.len() + 1,
+            cause,
+            rank,
+            resumed_from_unit: resume.as_ref().map(|(c, _)| c.units_done),
+            steps_lost,
+            rollback_secs: t0.elapsed().as_secs_f64(),
+        });
+        if !policy.backoff.is_zero() {
+            std::thread::sleep(policy.backoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::fingerprint;
+    use crate::config::ParallelConfig;
+    use crate::metrics::ConvergencePoint;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("disttgl_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn tiny_ckpt(units: usize) -> TrainCheckpoint {
+        TrainCheckpoint {
+            fingerprint: "model\ntrain".into(),
+            units_done: units,
+            iteration: units * 4,
+            events_trained: units as u64 * 100,
+            weights: vec![units as f32; 3],
+            adam_t: units as u64,
+            adam_state: vec![0.5; 6],
+            loss_history: vec![0.1; units],
+            convergence: vec![ConvergencePoint {
+                iteration: units,
+                wall_secs: 0.5,
+                metric: 0.7,
+            }],
+            static_table: None,
+            memories: Vec::new(),
+            start_turns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn load_latest_returns_newest_and_none_when_empty() {
+        let dir = tmpdir("latest");
+        let store = CheckpointStore::open(&dir, None).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        for u in [1, 3, 2] {
+            store.save_train(&tiny_ckpt(u)).unwrap();
+        }
+        let (ckpt, path) = store.load_latest().unwrap().unwrap();
+        assert_eq!(ckpt.units_done, 3);
+        assert_eq!(path, store.train_path(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_skips_torn_files() {
+        let dir = tmpdir("torn");
+        let store = CheckpointStore::open(&dir, None).unwrap();
+        for u in 1..=3 {
+            store.save_train(&tiny_ckpt(u)).unwrap();
+        }
+        // Tear the newest file mid-write.
+        let bytes = std::fs::read(store.train_path(3)).unwrap();
+        std::fs::write(store.train_path(3), &bytes[..bytes.len() / 2]).unwrap();
+        let (ckpt, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(ckpt.units_done, 2, "falls back past the torn newest");
+        // Tear everything → fresh start, not an error.
+        for u in 1..=2 {
+            let b = std::fs::read(store.train_path(u)).unwrap();
+            std::fs::write(store.train_path(u), &b[..10]).unwrap();
+        }
+        assert!(store.load_latest().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_keeps_newest_k_but_never_the_last_good() {
+        let dir = tmpdir("gc");
+        let store = CheckpointStore::open(&dir, Some(2)).unwrap();
+        for u in 1..=5 {
+            store.save_train(&tiny_ckpt(u)).unwrap();
+        }
+        // save_train GC'd along the way: only the newest 2 remain.
+        let files = store.list_train().unwrap();
+        assert_eq!(
+            files.iter().map(|(u, _)| *u).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // Corrupt both retained files; an older good one must survive
+        // the next sweep.
+        let keeper = CheckpointStore::open(&dir, None).unwrap();
+        keeper.save_train(&tiny_ckpt(6)).unwrap();
+        for u in [5, 6] {
+            let b = std::fs::read(store.train_path(u)).unwrap();
+            std::fs::write(store.train_path(u), &b[..b.len() / 3]).unwrap();
+        }
+        store.gc().unwrap();
+        let remaining: Vec<u64> = store
+            .list_train()
+            .unwrap()
+            .iter()
+            .map(|(u, _)| *u)
+            .collect();
+        assert!(
+            remaining.contains(&4),
+            "last good checkpoint survived: {remaining:?}"
+        );
+        let (ckpt, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(ckpt.units_done, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_ignored_by_the_scan() {
+        let dir = tmpdir("foreign");
+        let store = CheckpointStore::open(&dir, Some(1)).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"not a checkpoint").unwrap();
+        std::fs::write(dir.join("ckpt_abcd.bin"), b"unparsable unit").unwrap();
+        store.save_train(&tiny_ckpt(1)).unwrap();
+        let (ckpt, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(ckpt.units_done, 1);
+        assert!(
+            dir.join("notes.txt").exists(),
+            "GC only touches its own files"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strip_fired_removes_exactly_the_spent_faults() {
+        let mut plan = FaultPlan::new(vec![
+            FaultKind::LaneCrash { rank: 0, step: 6 },
+            FaultKind::LaneCrash { rank: 1, step: 10 },
+            FaultKind::DelaySpeculation { rank: 1, steps: 2 },
+        ]);
+        strip_fired(&mut plan, 4);
+        assert_eq!(
+            plan.faults,
+            vec![
+                FaultKind::LaneCrash { rank: 1, step: 10 },
+                FaultKind::DelaySpeculation { rank: 1, steps: 2 },
+            ]
+        );
+        strip_fired(&mut plan, 4);
+        assert_eq!(
+            plan.faults,
+            vec![FaultKind::DelaySpeculation { rank: 1, steps: 2 }],
+            "non-aborting faults are never stripped"
+        );
+        strip_fired(&mut plan, 4);
+        assert_eq!(plan.faults.len(), 1);
+    }
+
+    #[test]
+    fn strip_order_daemon_then_torn_then_crash_at_one_boundary() {
+        // All three sit at the step-8 boundary of a 4-step unit; the
+        // daemon death pre-empts the torn write, which pre-empts the
+        // step-8 crash, so each attempt spends exactly one.
+        let mut plan = FaultPlan::new(vec![
+            FaultKind::LaneCrash { rank: 0, step: 8 },
+            FaultKind::TornCheckpoint { at: 2 },
+            FaultKind::DaemonShutdown {
+                group: 0,
+                after_turns: 8,
+            },
+        ]);
+        strip_fired(&mut plan, 4);
+        assert_eq!(plan.faults.len(), 2, "daemon death stripped first");
+        strip_fired(&mut plan, 4);
+        assert_eq!(
+            plan.faults,
+            vec![FaultKind::LaneCrash { rank: 0, step: 8 }],
+            "torn checkpoint stripped second"
+        );
+    }
+
+    #[test]
+    fn classify_prefers_root_cause_over_bystanders() {
+        let reports = vec![
+            AbortReport {
+                rank: 0,
+                cause: AbortCause::PeerAbort,
+            },
+            AbortReport {
+                rank: 1,
+                cause: AbortCause::InjectedCrash,
+            },
+        ];
+        assert_eq!(classify(&reports), (AbortCause::InjectedCrash, Some(1)));
+        assert_eq!(classify(&[]), (AbortCause::PeerAbort, None));
+        assert_eq!(
+            classify(&reports[..1]),
+            (AbortCause::PeerAbort, Some(0)),
+            "all-bystander reports fall back to the first entry"
+        );
+    }
+
+    #[test]
+    fn fatal_on_foreign_fingerprint() {
+        // A store whose newest good checkpoint belongs to some other
+        // run must fail fatally, not resume into divergence.
+        let dir = tmpdir("fatal_fp");
+        let store = CheckpointStore::open(&dir, None).unwrap();
+        let mc = ModelConfig::compact(0);
+        let cfg = TrainConfig::new(ParallelConfig::single());
+        let mut foreign = tiny_ckpt(1);
+        foreign.fingerprint = "someone\nelse".into();
+        store.save_train(&foreign).unwrap();
+        let live = fingerprint(&mc, &cfg);
+        let (ckpt, _) = store.load_latest().unwrap().unwrap();
+        assert_ne!(ckpt.fingerprint, live);
+        assert!(matches!(
+            ckpt.check_fingerprint(&mc, &cfg),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

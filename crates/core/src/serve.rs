@@ -681,6 +681,31 @@ impl<'a> ServeSession<'a> {
             ingested: ckpt.ingested as usize,
         })
     }
+
+    /// Captures and persists into a [`CheckpointStore`] (atomic write,
+    /// ingest-sequence naming, retention GC). Returns the published
+    /// path.
+    pub fn checkpoint_to(
+        &self,
+        store: &crate::recover::CheckpointStore,
+    ) -> Result<std::path::PathBuf, CheckpointError> {
+        store.save_serve(&self.checkpoint())
+    }
+
+    /// Reopens from the store's newest serving checkpoint that fully
+    /// validates, scanning past torn/corrupt files. `Ok(None)` when
+    /// the store holds no good serving checkpoint.
+    pub fn restore_latest(
+        model: &'a TgnModel,
+        dataset: &'a Dataset,
+        static_mem: Option<&'a StaticMemory>,
+        store: &crate::recover::CheckpointStore,
+    ) -> Result<Option<Self>, CheckpointError> {
+        match store.load_latest_serve()? {
+            Some((ckpt, _)) => Self::restore(model, dataset, static_mem, ckpt).map(Some),
+            None => Ok(None),
+        }
+    }
 }
 
 /// Serving-plane fingerprint: the model configuration plus the
@@ -1050,5 +1075,43 @@ mod tests {
             ServeSession::restore(&other, &d, None, ckpt),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    /// Store-routed serving checkpoints: `restore_latest` reopens the
+    /// newest capture, falls back past a torn newest file, and
+    /// retention GC trims older captures.
+    #[test]
+    fn store_restore_latest_falls_back_past_torn_capture() {
+        let (d, model) = link_setup(1);
+        let ev = d.graph.events();
+        let dir =
+            std::env::temp_dir().join(format!("disttgl_serve_store_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::recover::CheckpointStore::open(&dir, Some(3)).unwrap();
+
+        let mut s = ServeSession::new(&model, &d, None);
+        s.ingest(&ev[0..100]).unwrap();
+        s.checkpoint_to(&store).unwrap();
+        let good_checksum = s.memory_checksum();
+        s.ingest(&ev[100..160]).unwrap();
+        let newest = s.checkpoint_to(&store).unwrap();
+
+        // Tear the newest capture: restore falls back to the 100-event
+        // one instead of failing.
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let r = ServeSession::restore_latest(&model, &d, None, &store)
+            .unwrap()
+            .expect("older good capture exists");
+        assert_eq!(r.events_ingested(), 100);
+        assert_eq!(r.memory_checksum(), good_checksum);
+
+        // Empty store → Ok(None), not an error.
+        std::fs::remove_dir_all(&dir).ok();
+        let empty = crate::recover::CheckpointStore::open(&dir, None).unwrap();
+        assert!(ServeSession::restore_latest(&model, &d, None, &empty)
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,7 +4,7 @@
 //! schedules are tested against.
 
 use crate::batch::BatchPreparer;
-use crate::checkpoint::{checkpoint_path, fingerprint, TrainCheckpoint};
+use crate::checkpoint::{fingerprint, TrainCheckpoint};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::eval::evaluate;
 use crate::metrics::{ConvergencePoint, RunResult};
@@ -290,7 +290,7 @@ fn run_single(
         if let (Some(n), Some(dir)) = (cfg.checkpoint_every, cfg.checkpoint_dir.as_ref()) {
             let units = epoch + 1;
             if units % n == 0 && units < cfg.epochs {
-                std::fs::create_dir_all(dir)
+                let store = crate::recover::CheckpointStore::open(dir, cfg.checkpoint_retain)
                     .unwrap_or_else(|e| panic!("checkpoint dir {dir}: {e}"));
                 let ckpt = TrainCheckpoint {
                     fingerprint: fingerprint(model_cfg, cfg),
@@ -306,9 +306,9 @@ fn run_single(
                     memories: Vec::new(),
                     start_turns: Vec::new(),
                 };
-                let path = checkpoint_path(dir, units);
-                ckpt.save(&path)
-                    .unwrap_or_else(|e| panic!("checkpoint save {}: {e}", path.display()));
+                store
+                    .save_train(&ckpt)
+                    .unwrap_or_else(|e| panic!("checkpoint save unit {units}: {e}"));
             }
         }
     }

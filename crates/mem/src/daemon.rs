@@ -726,6 +726,15 @@ impl MemoryDaemon {
         self.shared.shutdown.store(true, Ordering::Release);
     }
 
+    /// Whether the shutdown flag has fired — explicitly via
+    /// [`MemoryDaemon::shutdown`] or through an injected
+    /// `fail_after_turns` fault. Supervisors use this to tell a dead
+    /// replica (must be respawned from a checkpoint capture) from an
+    /// idle one.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
     /// Blocks until the daemon has finished at least `epoch + 1`
     /// epochs, then returns the state snapshot taken at that epoch's
     /// end (before the reset). Callers must not hold up their own
@@ -1605,5 +1614,78 @@ mod tests {
         assert_eq!(stats.writes_served, 2);
         assert_eq!(state.read(&[0, 1]).mem.get(0, 0), 9.0);
         assert_eq!(state.read(&[0, 1]).mem.get(1, 0), 9.0);
+    }
+
+    /// The supervised-recovery contract at the daemon level: a replica
+    /// killed by an injected fault is respawned from its last capture
+    /// (with the fired fault stripped) and finishes the schedule
+    /// bit-identically to an unfaulted oracle. `is_shutdown` is the
+    /// liveness probe supervisors key the respawn on.
+    #[test]
+    fn restart_after_injected_shutdown_matches_oracle() {
+        let lengths = vec![3usize, 3usize];
+        let turn_write =
+            |s: u32| write_of(vec![s % 4, (s + 1) % 4], 1, 1, s as f32 + 1.0, s as f32);
+
+        // Fault-free oracle over all 6 turns.
+        let oracle_d =
+            MemoryDaemon::spawn_schedule(MemoryState::new(4, 1, 1), 1, 1, lengths.clone());
+        let oc = oracle_d.client(0);
+        for s in 0..6u32 {
+            let _ = oc.read(&[s % 4]);
+            oc.write(turn_write(s));
+        }
+        let (oracle, _) = oracle_d.join();
+
+        // Faulted run: capture at turn 2, die after turn 4.
+        let daemon = MemoryDaemon::spawn_with(
+            MemoryState::new(4, 1, 1),
+            1,
+            1,
+            lengths.clone(),
+            DaemonOptions {
+                fail_after_turns: Some(4),
+                ..DaemonOptions::default()
+            },
+        );
+        assert!(!daemon.is_shutdown(), "alive until the fault fires");
+        let mut client = daemon.client(0);
+        client.set_deadline(Some(std::time::Duration::from_secs(5)));
+        for s in 0..2u32 {
+            let _ = client.try_read(&[s % 4]).expect("pre-capture turn");
+            client.try_write(turn_write(s)).expect("pre-capture write");
+        }
+        daemon.capture_at(2);
+        let cap = daemon
+            .take_capture(Some(std::time::Duration::from_secs(5)))
+            .expect("capture served");
+        for s in 2..4u32 {
+            let _ = client.try_read(&[s % 4]).expect("pre-fault turn");
+            client.try_write(turn_write(s)).expect("pre-fault write");
+        }
+        assert!(matches!(client.try_read(&[0]), Err(DaemonError::Shutdown)));
+        assert!(daemon.is_shutdown(), "fault announces itself");
+        drop(daemon);
+
+        // Respawn from the capture with the fired fault stripped; the
+        // lost turns 2..4 are replayed, then the tail runs to the end.
+        let resumed = MemoryDaemon::spawn_with(
+            cap,
+            1,
+            1,
+            lengths,
+            DaemonOptions {
+                start_turn: 2,
+                ..DaemonOptions::default()
+            },
+        );
+        let rc = resumed.client(0);
+        for s in 2..6u32 {
+            let _ = rc.read(&[s % 4]);
+            rc.write(turn_write(s));
+        }
+        let (state, _) = resumed.join();
+        assert_eq!(state.checksum(), oracle.checksum());
+        assert_eq!(state.node_versions(), oracle.node_versions());
     }
 }

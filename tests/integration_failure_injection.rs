@@ -11,8 +11,8 @@
 
 use disttgl::cluster::{ClusterSpec, FaultKind, FaultPlan};
 use disttgl::core::{
-    train_distributed, BatchPreparer, MemoryAccess, ModelConfig, ParallelConfig, TgnModel,
-    TrainConfig,
+    train_distributed, train_supervised, AbortCause, BatchPreparer, MemoryAccess, ModelConfig,
+    ParallelConfig, RetryPolicy, SuperviseError, TgnModel, TrainConfig,
 };
 use disttgl::data::generators;
 use disttgl::graph::TCsr;
@@ -374,6 +374,242 @@ fn oversized_batch_degenerates_gracefully() {
     let res = disttgl::core::train_single(&d, &mc, &cfg);
     assert_eq!(res.loss_history.len(), 1);
     assert!(res.loss_history[0].is_finite());
+}
+
+/// Asserts a supervised run reproduced the fault-free oracle bit for
+/// bit: losses, convergence curve, test metric, and final memory
+/// checksums all equal.
+fn assert_bit_identical(run: &disttgl::core::RunResult, oracle: &disttgl::core::RunResult) {
+    assert!(!run.aborted);
+    assert_eq!(run.loss_history, oracle.loss_history);
+    assert_eq!(run.test_metric, oracle.test_metric);
+    assert_eq!(run.memory_checksums, oracle.memory_checksums);
+    assert_eq!(run.convergence.len(), oracle.convergence.len());
+    for (r, o) in run.convergence.iter().zip(&oracle.convergence) {
+        assert_eq!(r.iteration, o.iteration);
+        assert_eq!(r.metric, o.metric);
+    }
+}
+
+fn supervise_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("disttgl_supervised_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The supervisor handles a single lane crash with no operator in the
+/// loop: no manual `--resume-from`, just the fault plan and a restart
+/// budget — and the completed run is bit-identical to the oracle.
+#[test]
+fn supervised_single_crash_recovers_bit_identically() {
+    let d = generators::mooc(0.0015, 220);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 23);
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!oracle.aborted);
+    let sps = oracle.loss_history.len() / 2; // 2 sweeps
+    assert!(sps >= 3);
+
+    let dir = supervise_dir("single");
+    let cfg_faulty = cfg
+        .clone()
+        .checkpoint_every(1, dir.to_str().unwrap())
+        .with_faults(FaultPlan::new(vec![FaultKind::LaneCrash {
+            rank: 1,
+            step: sps + 2,
+        }]));
+    let run = train_supervised(
+        &d,
+        &mc,
+        &cfg_faulty,
+        ClusterSpec::new(1, 2),
+        &RetryPolicy::default(),
+    )
+    .expect("supervisor completes within budget");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(run.incidents.len(), 1, "one crash, one incident");
+    let inc = &run.incidents[0];
+    assert_eq!(inc.cause, AbortCause::InjectedCrash);
+    assert_eq!(inc.rank, Some(1));
+    assert_eq!(inc.resumed_from_unit, Some(1), "rolled back to sweep 1");
+    assert!(inc.steps_lost > 0 && inc.steps_lost <= sps + 2);
+    assert_bit_identical(&run.result, &oracle);
+}
+
+/// A torn checkpoint write (crash mid-write at the final path) aborts
+/// the run; the supervisor detects the bad digest, falls back to the
+/// previous good checkpoint, and still finishes bit-identically.
+#[test]
+fn supervised_recovery_falls_back_past_torn_checkpoint() {
+    let d = generators::mooc(0.0015, 221);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(6, 29); // 3 sweeps → checkpoint units 1 and 2
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!oracle.aborted);
+
+    let dir = supervise_dir("torn");
+    let cfg_faulty = cfg
+        .clone()
+        .checkpoint_every(1, dir.to_str().unwrap())
+        .with_faults(FaultPlan::new(vec![FaultKind::TornCheckpoint { at: 2 }]));
+    let run = train_supervised(
+        &d,
+        &mc,
+        &cfg_faulty,
+        ClusterSpec::new(1, 2),
+        &RetryPolicy::default(),
+    )
+    .expect("supervisor completes within budget");
+
+    assert_eq!(run.incidents.len(), 1);
+    assert_eq!(run.incidents[0].cause, AbortCause::TornCheckpoint);
+    assert_eq!(
+        run.incidents[0].resumed_from_unit,
+        Some(1),
+        "fell back past the torn unit-2 file to the good unit-1 one"
+    );
+    // The retried attempt replaced the torn file with a good one.
+    assert!(
+        disttgl::core::TrainCheckpoint::load(&dir.join("ckpt_0002.bin")).is_ok(),
+        "unit-2 checkpoint rewritten cleanly on the resumed attempt"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    assert_bit_identical(&run.result, &oracle);
+}
+
+/// Two crashes on distinct ranks in one plan: the supervisor recovers
+/// one incident at a time (earliest trigger first) and completes.
+#[test]
+fn supervised_two_crashes_on_distinct_ranks() {
+    let d = generators::mooc(0.0015, 222);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(6, 31); // 3 sweeps
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!oracle.aborted);
+    let sps = oracle.loss_history.len() / 3;
+    assert!(sps >= 3);
+
+    let dir = supervise_dir("two");
+    let cfg_faulty = cfg
+        .clone()
+        .checkpoint_every(1, dir.to_str().unwrap())
+        .with_faults(FaultPlan::new(vec![
+            FaultKind::LaneCrash {
+                rank: 0,
+                step: sps + 1,
+            },
+            FaultKind::LaneCrash {
+                rank: 1,
+                step: 2 * sps + 1,
+            },
+        ]));
+    let run = train_supervised(
+        &d,
+        &mc,
+        &cfg_faulty,
+        ClusterSpec::new(1, 2),
+        &RetryPolicy::default(),
+    )
+    .expect("supervisor completes within budget");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(run.incidents.len(), 2);
+    assert_eq!(run.incidents[0].cause, AbortCause::InjectedCrash);
+    assert_eq!(run.incidents[0].rank, Some(0));
+    assert_eq!(run.incidents[1].cause, AbortCause::InjectedCrash);
+    assert_eq!(run.incidents[1].rank, Some(1));
+    assert!(
+        run.incidents[1].resumed_from_unit >= run.incidents[0].resumed_from_unit,
+        "recovery points advance with the run"
+    );
+    assert_bit_identical(&run.result, &oracle);
+}
+
+/// More crashes than the restart budget covers: the supervisor gives
+/// up with the typed `RestartBudgetExhausted` — incident history and
+/// the last partial result attached — never a panic.
+#[test]
+fn restart_budget_exhaustion_is_a_typed_error() {
+    let d = generators::mooc(0.0015, 223);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(4, 37).with_faults(FaultPlan::new(vec![
+        FaultKind::LaneCrash { rank: 0, step: 2 },
+        FaultKind::LaneCrash { rank: 1, step: 4 },
+        FaultKind::LaneCrash { rank: 0, step: 6 },
+    ]));
+    // No checkpoint store configured: every restart is a fresh start —
+    // still legal, just maximally expensive.
+    let err = train_supervised(
+        &d,
+        &mc,
+        &cfg,
+        ClusterSpec::new(1, 2),
+        &RetryPolicy {
+            max_restarts: 1,
+            backoff: Duration::ZERO,
+        },
+    )
+    .expect_err("three crashes cannot fit one restart");
+    match err {
+        SuperviseError::RestartBudgetExhausted { incidents, last } => {
+            assert_eq!(incidents.len(), 1, "budget allowed exactly one recovery");
+            assert_eq!(incidents[0].cause, AbortCause::InjectedCrash);
+            assert_eq!(
+                incidents[0].resumed_from_unit, None,
+                "no store, fresh start"
+            );
+            assert!(last.aborted, "the final attempt's partial result is kept");
+        }
+        other => panic!("expected RestartBudgetExhausted, got: {other}"),
+    }
+}
+
+/// Headline: a seeded multi-crash plan PLUS a torn-checkpoint fault,
+/// all recovered unsupervised, and the completed run is bit-identical
+/// to the fault-free oracle.
+#[test]
+fn supervised_seeded_multi_crash_with_torn_checkpoint_matches_oracle() {
+    let d = generators::mooc(0.0015, 224);
+    let mc = tiny_model(0);
+    let cfg = dist_cfg(6, 41); // 3 sweeps
+    let oracle = train_distributed(&d, &mc, &cfg, ClusterSpec::new(1, 2));
+    assert!(!oracle.aborted);
+    let total_steps = oracle.loss_history.len();
+
+    let mut plan = FaultPlan::seeded_crashes(0xD157, 2, total_steps, 2);
+    plan.faults.push(FaultKind::TornCheckpoint { at: 1 });
+    let n_faults = plan.faults.len();
+
+    let dir = supervise_dir("headline");
+    let cfg_faulty = cfg
+        .clone()
+        .checkpoint_every(1, dir.to_str().unwrap())
+        .with_faults(plan);
+    let run = train_supervised(
+        &d,
+        &mc,
+        &cfg_faulty,
+        ClusterSpec::new(1, 2),
+        &RetryPolicy {
+            max_restarts: 5,
+            backoff: Duration::ZERO,
+        },
+    )
+    .expect("supervisor completes within budget");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        !run.incidents.is_empty() && run.incidents.len() <= n_faults,
+        "each incident strips at least one fault: {} incidents for {} faults",
+        run.incidents.len(),
+        n_faults
+    );
+    assert!(run
+        .incidents
+        .iter()
+        .any(|i| i.cause == AbortCause::TornCheckpoint));
+    assert_bit_identical(&run.result, &oracle);
 }
 
 /// Empty local slices (more lanes than events per batch) keep the
