@@ -179,9 +179,9 @@ fn get_u64(buf: &mut Bytes, what: &str) -> io::Result<u64> {
 /// Serializes one [`MemoryState`] replica: matrices, timestamp
 /// vectors, write sequence, per-node versions.
 fn put_memory(buf: &mut BytesMut, state: &MemoryState) {
-    put_matrix(buf, state.mem_matrix());
+    put_matrix(buf, &state.mem_matrix());
     put_f32s(buf, state.mem_ts_all());
-    put_matrix(buf, state.mail_matrix());
+    put_matrix(buf, &state.mail_matrix());
     put_f32s(buf, state.mail_ts_all());
     buf.put_u64_le(state.version());
     put_u64s(buf, state.node_versions());

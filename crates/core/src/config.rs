@@ -66,6 +66,15 @@ pub struct ModelConfig {
     /// On by default; disable to run the per-occurrence correctness
     /// oracle.
     pub dedup_readout: bool,
+    /// Store node memory and mails as bf16 instead of f32: halves the
+    /// resident store and the daemon's read/write payload bytes at a
+    /// bounded ≤2⁻⁸ relative precision cost per element (see
+    /// `disttgl_mem::state` and `disttgl_tensor::bf16`). **Recoverable,
+    /// not exact**: training curves and eval metrics shift slightly
+    /// (BENCH_kernels.json measures the MRR/F1 deltas vs the f32
+    /// oracle across seeds); the f32 default stays bit-exact against
+    /// every equivalence suite. Off by default.
+    pub quantized_memory: bool,
 }
 
 impl ModelConfig {
@@ -85,6 +94,7 @@ impl ModelConfig {
             num_classes: 0,
             comb: CombPolicy::default(),
             dedup_readout: true,
+            quantized_memory: false,
         }
     }
 
@@ -104,6 +114,7 @@ impl ModelConfig {
             num_classes: 0,
             comb: CombPolicy::default(),
             dedup_readout: true,
+            quantized_memory: false,
         }
     }
 
@@ -167,6 +178,25 @@ impl ModelConfig {
             "every hop fanout must be >= 1"
         );
         fanouts
+    }
+
+    /// Enables the bf16 memory/mail representation (halved store and
+    /// daemon payload bytes; recoverable-precision trade-off).
+    pub fn with_quantized_memory(mut self) -> Self {
+        self.quantized_memory = true;
+        self
+    }
+
+    /// Builds the node-memory state in the representation this config
+    /// selects — the single construction point every trainer, server,
+    /// and evaluator routes through so `quantized_memory` takes effect
+    /// everywhere at once.
+    pub fn new_memory(&self, num_nodes: usize) -> disttgl_mem::MemoryState {
+        if self.quantized_memory {
+            disttgl_mem::MemoryState::new_quantized(num_nodes, self.d_mem, self.mail_dim())
+        } else {
+            disttgl_mem::MemoryState::new(num_nodes, self.d_mem, self.mail_dim())
+        }
     }
 
     /// Mail width: `{s_u || s_v || Φ || e_uv}` (Eq. 1).

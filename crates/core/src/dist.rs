@@ -33,8 +33,7 @@ use disttgl_cluster::{ClusterSpec, CommunicatorGroup, NetworkModel};
 use disttgl_data::{Dataset, NegativeStore, Task};
 use disttgl_graph::TCsr;
 use disttgl_mem::{
-    DaemonError, DaemonOptions, MemoryDaemon, MemoryReadout, MemoryState, MemoryWrite,
-    VersionedReadout,
+    DaemonError, DaemonOptions, MemoryDaemon, MemoryReadout, MemoryWrite, VersionedReadout,
 };
 use disttgl_tensor::{seeded_rng, Matrix};
 use std::sync::Arc;
@@ -187,15 +186,17 @@ pub fn train_distributed(
             .enumerate()
             .map(|(g, s)| {
                 let (state, start_turn) = match resume.as_ref() {
-                    Some(c) => (c.memories[g].clone(), c.start_turns[g] as usize),
-                    None => (
-                        MemoryState::new(
-                            dataset.graph.num_nodes(),
-                            model_cfg.d_mem,
-                            model_cfg.mail_dim(),
-                        ),
-                        0,
-                    ),
+                    // Checkpoints decode to f32 (see `core::checkpoint`);
+                    // re-quantizing bf16-grid contents is lossless, so a
+                    // resumed quantized run continues bit-identically.
+                    Some(c) => {
+                        let mut state = c.memories[g].clone();
+                        if model_cfg.quantized_memory {
+                            state = state.into_quantized();
+                        }
+                        (state, c.start_turns[g] as usize)
+                    }
+                    None => (model_cfg.new_memory(dataset.graph.num_nodes()), 0),
                 };
                 MemoryDaemon::spawn_with(
                     state,
@@ -376,6 +377,12 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let mut model = TgnModel::new(model_cfg.clone(), &mut rng);
     let mut adam = model.optimizer(cfg.scaled_lr());
 
+    // Kernel-share attribution for this lane: thread-local cumulative
+    // timers, differenced at the end of the schedule (mid-run eval
+    // kernel time is subtracted so the shares describe training
+    // compute, matching the sequential trainer).
+    let kernels0 = disttgl_tensor::timing::snapshot();
+    let mut eval_kernels = disttgl_tensor::timing::KernelTimings::default();
     let mut ret = TrainerReturn {
         timing: TimingBreakdown::default(),
         loss_history: Vec::new(),
@@ -758,6 +765,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
             && (step + 1) % b == 0
         {
             let t_eval = Instant::now();
+            let k_eval = disttgl_tensor::timing::snapshot();
             let sweep_idx = (step + 1) / b - 1;
             let mut snap = match daemons[0].try_epoch_snapshot(sweep_idx as u64) {
                 Ok(snap) => snap,
@@ -787,6 +795,7 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                 cfg.seed ^ sweep_idx as u64,
             );
             ret.eval_secs += t_eval.elapsed().as_secs_f64();
+            eval_kernels = eval_kernels + (disttgl_tensor::timing::snapshot() - k_eval);
             ret.convergence.push(ConvergencePoint {
                 iteration: step + 1,
                 wall_secs: start.elapsed().as_secs_f64(),
@@ -890,6 +899,10 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
     let _ = sweep_done;
     // Per-layer share of the embed stack inside compute_secs.
     ret.timing.absorb_layer_secs(&model.layer_embed_secs(), 1.0);
+    ret.timing.absorb_kernels(
+        &(disttgl_tensor::timing::snapshot() - kernels0 - eval_kernels),
+        1.0,
+    );
 
     // Rank 0 computes the final test metric: replay val then test from
     // the final snapshot of replica 0. An aborted run has no final
@@ -963,6 +976,10 @@ fn assemble_results(returns: Vec<TrainerReturn>, wall: f64) -> (RunResult, f64) 
             .timing
             .absorb_layer_secs(&r.timing.embed_layer_secs, 1.0 / world);
         result.timing.allreduce_secs += r.timing.allreduce_secs / world;
+        result.timing.matmul_secs += r.timing.matmul_secs / world;
+        result.timing.gru_secs += r.timing.gru_secs / world;
+        result.timing.softmax_secs += r.timing.softmax_secs / world;
+        result.timing.gather_secs += r.timing.gather_secs / world;
         dev_sum += r.grad_sq_dev_sum;
         probes += r.grad_probes;
     }

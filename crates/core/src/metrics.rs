@@ -120,6 +120,22 @@ pub struct TimingBreakdown {
     pub embed_layer_secs: Vec<f64>,
     /// Gradient all-reduce (includes barrier wait).
     pub allreduce_secs: f64,
+    /// Matmul-family kernel time inside `compute_secs` (all
+    /// `disttgl_tensor::linalg` entry points plus the attention
+    /// score/context loops). Measured by the thread-local
+    /// `disttgl_tensor::timing` scopes; outermost-scope-only, so
+    /// nested matmul calls are not double counted.
+    pub matmul_secs: f64,
+    /// GRU memory-update time (`GruCell` forward/backward). Overlaps
+    /// `matmul_secs` — the GRU's gate matmuls count in both — so the
+    /// kernel fields are an attribution, not a partition of
+    /// `compute_secs`.
+    pub gru_secs: f64,
+    /// Softmax kernel time (attention probability rows).
+    pub softmax_secs: f64,
+    /// Row gather/scatter-add kernel time (embedding table reads,
+    /// gradient row accumulation) — the memcpy-bound share.
+    pub gather_secs: f64,
 }
 
 impl TimingBreakdown {
@@ -133,6 +149,16 @@ impl TimingBreakdown {
         for (acc, &s) in self.embed_layer_secs.iter_mut().zip(secs) {
             *acc += s * scale;
         }
+    }
+
+    /// Folds one thread's kernel-timing delta (see
+    /// `disttgl_tensor::timing::KernelTimings`) into the breakdown,
+    /// scaled like every other field (`1/world` when averaging).
+    pub fn absorb_kernels(&mut self, k: &disttgl_tensor::timing::KernelTimings, scale: f64) {
+        self.matmul_secs += k.matmul_secs * scale;
+        self.gru_secs += k.gru_secs * scale;
+        self.softmax_secs += k.softmax_secs * scale;
+        self.gather_secs += k.gather_secs * scale;
     }
 }
 
@@ -205,6 +231,11 @@ pub struct RunResult {
     /// `daemon_delta_rows / daemon_spec_rows` is the measured stale
     /// fraction of the unique-row speculative protocol.
     pub daemon_delta_rows: u64,
+    /// Modeled wire bytes of the row payloads that actually moved
+    /// through the daemons, at the store's element width — the figure
+    /// `ModelConfig::quantized_memory` halves (2 bytes/elem bf16 vs 4
+    /// exact).
+    pub daemon_payload_bytes: u64,
     /// Per-replica content digest of the final node memory (one per
     /// daemon, group order) — lets equivalence tests pin bit-identical
     /// final memory across executor variants without shipping states.
@@ -232,6 +263,7 @@ impl RunResult {
         self.daemon_spec_rows += stats.spec_rows_read;
         self.daemon_delta_reads += stats.delta_reads_served;
         self.daemon_delta_rows += stats.delta_rows_sent;
+        self.daemon_payload_bytes += stats.payload_bytes;
     }
 
     /// Folds communicator counters into the record.

@@ -312,7 +312,7 @@ impl<'a> ServeSession<'a> {
             dataset,
             static_mem,
             adj: DynamicTCsr::new(dataset.graph.num_nodes()),
-            memory: MemoryState::new(dataset.graph.num_nodes(), cfg.d_mem, cfg.mail_dim()),
+            memory: cfg.new_memory(dataset.graph.num_nodes()),
             engine: InferenceEngine::new(),
             sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
             dedup: cfg.dedup_readout,

@@ -119,11 +119,8 @@ fn run_single(
     };
 
     let prep = BatchPreparer::new(dataset, csr.as_ref(), model_cfg);
-    let memory: SharedMemory = Arc::new(RwLock::new(MemoryState::new(
-        dataset.graph.num_nodes(),
-        model_cfg.d_mem,
-        model_cfg.mail_dim(),
-    )));
+    let memory: SharedMemory =
+        Arc::new(RwLock::new(model_cfg.new_memory(dataset.graph.num_nodes())));
     let batches = batching::chronological_batches(0..train_end, cfg.local_batch);
 
     // Resume restarts at the checkpoint's epoch boundary; the
@@ -161,6 +158,11 @@ fn run_single(
     };
     let mut result = RunResult::default();
     let start = Instant::now();
+    // Kernel-share attribution: the trainer thread's cumulative kernel
+    // timers, differenced at the end of the run. Prefetch-worker
+    // gathers land on the worker thread and are deliberately excluded —
+    // they are off the critical path by construction.
+    let kernels0 = disttgl_tensor::timing::snapshot();
     // Absolute iteration count (includes checkpointed work) vs. index
     // into this process's `plan` (remaining work only) — distinct on
     // a resumed run.
@@ -168,6 +170,7 @@ fn run_single(
     let mut plan_idx = 0usize;
     let mut events_trained = 0u64;
     let mut eval_secs = 0.0f64;
+    let mut eval_kernels = disttgl_tensor::timing::KernelTimings::default();
 
     if let Some(c) = &resume {
         model.params.unflatten_weights(&c.weights);
@@ -258,6 +261,7 @@ fn run_single(
 
         if cfg.eval_every_epoch && val_end > train_end {
             let t_eval = Instant::now();
+            let k_eval = disttgl_tensor::timing::snapshot();
             let mut val_mem = read_lock(&memory).clone();
             let eval_end = val_end.min(train_end.saturating_add(cfg.eval_max_events));
             let res = evaluate(
@@ -273,6 +277,7 @@ fn run_single(
                 cfg.seed ^ epoch as u64,
             );
             eval_secs += t_eval.elapsed().as_secs_f64();
+            eval_kernels = eval_kernels + (disttgl_tensor::timing::snapshot() - k_eval);
             result.convergence.push(ConvergencePoint {
                 iteration,
                 wall_secs: start.elapsed().as_secs_f64(),
@@ -318,6 +323,10 @@ fn run_single(
     result
         .timing
         .absorb_layer_secs(&model.layer_embed_secs(), 1.0);
+    result.timing.absorb_kernels(
+        &(disttgl_tensor::timing::snapshot() - kernels0 - eval_kernels),
+        1.0,
+    );
     // Throughput counts training time only — "DistTGL only accelerates
     // training" (§4.0.1), so evaluation passes are excluded.
     result.throughput_events_per_sec =

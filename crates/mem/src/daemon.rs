@@ -123,6 +123,13 @@ pub struct DaemonStats {
     pub delta_rows_sent: u64,
     /// Nanoseconds the daemon spent actively serving (excludes waiting).
     pub serve_nanos: u64,
+    /// Modeled wire bytes of the row payloads that actually moved —
+    /// rows shipped by full/versioned/speculative reads, rows patched
+    /// by delta/repair turns, and rows applied from writes, each at
+    /// the store's element width (2 bytes/elem quantized, 4 exact)
+    /// plus the per-row timestamp pair. This is the Table 1 traffic
+    /// figure the `quantized_memory` flag halves.
+    pub payload_bytes: u64,
 }
 
 /// A serialized read-slot request.
@@ -204,6 +211,7 @@ struct Shared {
     delta_reads_served: AtomicU64,
     delta_rows_sent: AtomicU64,
     serve_nanos: AtomicU64,
+    payload_bytes: AtomicU64,
     /// Epoch-end snapshot of the state, refreshed before each reset.
     /// The paper evaluates "using the node memory in the first memory
     /// process" after every epoch; the evaluating trainer takes this
@@ -660,6 +668,7 @@ impl MemoryDaemon {
             delta_reads_served: AtomicU64::new(0),
             delta_rows_sent: AtomicU64::new(0),
             serve_nanos: AtomicU64::new(0),
+            payload_bytes: AtomicU64::new(0),
             snapshot: Mutex::new(None),
             epochs_done: AtomicU64::new(completed_epochs),
             capture_status: AtomicU8::new(IDLE),
@@ -709,6 +718,7 @@ impl MemoryDaemon {
             delta_reads_served: self.shared.delta_reads_served.load(Ordering::Relaxed),
             delta_rows_sent: self.shared.delta_rows_sent.load(Ordering::Relaxed),
             serve_nanos: self.shared.serve_nanos.load(Ordering::Relaxed),
+            payload_bytes: self.shared.payload_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -828,6 +838,18 @@ impl Drop for MemoryDaemon {
     }
 }
 
+/// Charges `rows` row payloads to the wire-byte counter at the live
+/// store's element width. Delta/repair turns charge only the rows
+/// they actually shipped, so this figure (unlike `rows_read`) shrinks
+/// under both speculation and quantization.
+#[inline]
+fn add_payload(shared: &Shared, state: &MemoryState, rows: usize) {
+    shared.payload_bytes.fetch_add(
+        rows as u64 * state.row_payload_bytes() as u64,
+        Ordering::Relaxed,
+    );
+}
+
 /// Serves every pending out-of-turn speculative read. Called from the
 /// daemon's spin loops, so speculations are answered while the daemon
 /// would otherwise idle-wait for the current turn's requests — the
@@ -846,6 +868,7 @@ fn serve_speculative(state: &MemoryState, shared: &Shared) -> bool {
         shared
             .spec_rows_read
             .fetch_add(req.len() as u64, Ordering::Relaxed);
+        add_payload(shared, state, req.len());
         drop(req);
         drop(resp);
         shared.spec_reads_served.fetch_add(1, Ordering::Relaxed);
@@ -961,18 +984,21 @@ fn daemon_loop(
                         shared
                             .rows_read
                             .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                        add_payload(shared, state, nodes.len());
                     }
                     ReadRequest::Versioned(nodes) => {
                         *resp = ReadResponse::Versioned(state.read_versioned(&nodes));
                         shared
                             .rows_read
                             .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                        add_payload(shared, state, nodes.len());
                     }
                     ReadRequest::Delta { nodes, versions } => {
                         let d = state.delta_since(&nodes, &versions);
                         shared
                             .delta_rows_sent
                             .fetch_add(d.len() as u64, Ordering::Relaxed);
+                        add_payload(shared, state, d.len());
                         shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
                         // Logical rows served — keeps the read-volume
                         // accounting invariant under speculation.
@@ -993,6 +1019,7 @@ fn daemon_loop(
                         shared
                             .delta_rows_sent
                             .fetch_add(patched as u64, Ordering::Relaxed);
+                        add_payload(shared, state, patched);
                         shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
                         shared
                             .rows_read
@@ -1025,6 +1052,7 @@ fn daemon_loop(
                 shared
                     .rows_written
                     .fetch_add(w.nodes.len() as u64, Ordering::Relaxed);
+                add_payload(shared, state, w.nodes.len());
                 shared.writes_served.fetch_add(1, Ordering::Relaxed);
                 shared
                     .serve_nanos

@@ -8,8 +8,21 @@
 //! rows rewritten since ([`MemoryState::delta_since`]) — the primitive
 //! the memory daemon's speculative-read / delta-repair protocol is
 //! built on.
+//!
+//! The store has two row representations: exact **f32** (the default,
+//! part of the bit-reproducibility contract) and opt-in **bf16**
+//! ([`MemoryState::new_quantized`]), which halves the resident bytes
+//! of memory + mailbox rows and therefore every gather/daemon payload
+//! sourced from them. Quantization is applied at *write* time
+//! (round-to-nearest-even, ≤ 2⁻⁸ relative error); reads always decode
+//! to f32, so all compute stays full-precision and a quantized store
+//! consistently presents values on the bf16 grid — re-quantizing them
+//! (e.g. on checkpoint restore via [`MemoryState::into_quantized`])
+//! is lossless. Timestamps and versions are never quantized.
 
+use disttgl_tensor::bf16::{bf16_decode, bf16_encode};
 use disttgl_tensor::Matrix;
+use std::borrow::Cow;
 
 /// A read result for a batch of nodes: gathered memory rows, mail rows,
 /// and their timestamps, in query order.
@@ -101,6 +114,163 @@ pub struct MemoryWrite {
     pub mail_ts: Vec<f32>,
 }
 
+/// Row storage for one table (memory or mailbox): exact f32 rows or
+/// the bf16-quantized representation at half the bytes. All public
+/// traffic is f32 — `Bf16` decodes on read and encodes (RNE) on
+/// write, so the representation is invisible to callers except
+/// through [`MemoryState::bytes`] and the bounded rounding of stored
+/// values.
+#[derive(Clone, Debug)]
+enum RowStore {
+    F32(Matrix),
+    Bf16 {
+        data: Vec<u16>,
+        rows: usize,
+        cols: usize,
+    },
+}
+
+impl RowStore {
+    fn zeros(rows: usize, cols: usize, quantized: bool) -> Self {
+        if quantized {
+            // bf16 zero is the zero bit pattern.
+            RowStore::Bf16 {
+                data: vec![0u16; rows * cols],
+                rows,
+                cols,
+            }
+        } else {
+            RowStore::F32(Matrix::zeros(rows, cols))
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        matches!(self, RowStore::Bf16 { .. })
+    }
+
+    /// Bytes of one stored element (4 exact, 2 quantized).
+    fn elem_bytes(&self) -> usize {
+        match self {
+            RowStore::F32(_) => std::mem::size_of::<f32>(),
+            RowStore::Bf16 { .. } => std::mem::size_of::<u16>(),
+        }
+    }
+
+    fn byte_len(&self) -> usize {
+        match self {
+            RowStore::F32(m) => m.len() * std::mem::size_of::<f32>(),
+            RowStore::Bf16 { data, .. } => data.len() * std::mem::size_of::<u16>(),
+        }
+    }
+
+    fn zero(&mut self) {
+        match self {
+            RowStore::F32(m) => m.zero(),
+            RowStore::Bf16 { data, .. } => data.fill(0),
+        }
+    }
+
+    /// Gathers `idx` rows into an f32 matrix (resized in place),
+    /// decoding when quantized.
+    fn gather_into(&self, idx: &[usize], out: &mut Matrix) {
+        match self {
+            RowStore::F32(m) => m.gather_rows_into(idx, out),
+            RowStore::Bf16 { data, rows, cols } => {
+                out.resize_for_overwrite(idx.len(), *cols);
+                for (dst, &src) in idx.iter().enumerate() {
+                    assert!(src < *rows, "gather: index {} out of {}", src, rows);
+                    let enc = &data[src * cols..(src + 1) * cols];
+                    for (o, &e) in out.row_mut(dst).iter_mut().zip(enc) {
+                        *o = bf16_decode(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes row `i` into `out`.
+    fn copy_row_into(&self, i: usize, out: &mut [f32]) {
+        match self {
+            RowStore::F32(m) => out.copy_from_slice(m.row(i)),
+            RowStore::Bf16 { data, cols, .. } => {
+                let enc = &data[i * cols..(i + 1) * cols];
+                for (o, &e) in out.iter_mut().zip(enc) {
+                    *o = bf16_decode(e);
+                }
+            }
+        }
+    }
+
+    /// Overwrites rows `idx[r]` with row `r` of `src` (later
+    /// duplicates win), encoding when quantized — the single lossy
+    /// step of the quantized store.
+    fn scatter_from(&mut self, idx: &[usize], src: &Matrix) {
+        match self {
+            RowStore::F32(m) => m.scatter_rows(idx, src),
+            RowStore::Bf16 { data, rows, cols } => {
+                assert_eq!(idx.len(), src.rows(), "scatter: count mismatch");
+                assert_eq!(*cols, src.cols(), "scatter: width mismatch");
+                for (r, &dst) in idx.iter().enumerate() {
+                    assert!(dst < *rows, "scatter: index {} out of {}", dst, rows);
+                    let enc = &mut data[dst * *cols..(dst + 1) * *cols];
+                    for (e, &v) in enc.iter_mut().zip(src.row(r)) {
+                        *e = bf16_encode(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds the *presented* (decoded) bit patterns into a digest
+    /// callback, so checksums compare what readers observe regardless
+    /// of representation.
+    fn fold_bits(&self, fold: &mut impl FnMut(u32)) {
+        match self {
+            RowStore::F32(m) => {
+                for &v in m.as_slice() {
+                    fold(v.to_bits());
+                }
+            }
+            RowStore::Bf16 { data, .. } => {
+                for &e in data {
+                    fold(bf16_decode(e).to_bits());
+                }
+            }
+        }
+    }
+
+    /// The full table as an f32 matrix: borrowed for the exact store,
+    /// decoded into a fresh matrix for the quantized one.
+    fn to_matrix(&self) -> Cow<'_, Matrix> {
+        match self {
+            RowStore::F32(m) => Cow::Borrowed(m),
+            RowStore::Bf16 { data, rows, cols } => {
+                let mut m = Matrix::zeros(*rows, *cols);
+                for (o, &e) in m.as_mut_slice().iter_mut().zip(data) {
+                    *o = bf16_decode(e);
+                }
+                Cow::Owned(m)
+            }
+        }
+    }
+
+    /// Converts to the bf16 representation (no-op if already there).
+    /// Lossless exactly when every value is already on the bf16 grid
+    /// — true for any matrix previously decoded from bf16, which is
+    /// what makes checkpointing through the exact f32 format
+    /// round-trip-faithful for quantized stores.
+    fn into_quantized(self) -> Self {
+        match self {
+            RowStore::F32(m) => {
+                let (rows, cols) = m.shape();
+                let data = m.as_slice().iter().map(|&v| bf16_encode(v)).collect();
+                RowStore::Bf16 { data, rows, cols }
+            }
+            q @ RowStore::Bf16 { .. } => q,
+        }
+    }
+}
+
 /// Dense node-memory + mailbox store for one memory replica.
 ///
 /// Memory-parallel training (`k > 1`) instantiates `k` of these; the
@@ -111,9 +281,9 @@ pub struct MemoryState {
     num_nodes: usize,
     d_mem: usize,
     mail_dim: usize,
-    mem: Matrix,
+    mem: RowStore,
     mem_ts: Vec<f32>,
-    mail: Matrix,
+    mail: RowStore,
     mail_ts: Vec<f32>,
     /// Monotone write sequence, bumped once per applied write/reset.
     write_seq: u64,
@@ -123,19 +293,64 @@ pub struct MemoryState {
 
 impl MemoryState {
     /// Allocates a zeroed store (`s_v` initialized to zero vectors,
-    /// §2.1).
+    /// §2.1) in the exact f32 representation.
     pub fn new(num_nodes: usize, d_mem: usize, mail_dim: usize) -> Self {
+        Self::with_representation(num_nodes, d_mem, mail_dim, false)
+    }
+
+    /// Allocates a zeroed store with bf16-quantized memory and mailbox
+    /// rows — half the resident bytes, writes rounded to nearest-even
+    /// (≤ 2⁻⁸ relative). The `ModelConfig::quantized_memory` backing.
+    pub fn new_quantized(num_nodes: usize, d_mem: usize, mail_dim: usize) -> Self {
+        Self::with_representation(num_nodes, d_mem, mail_dim, true)
+    }
+
+    fn with_representation(
+        num_nodes: usize,
+        d_mem: usize,
+        mail_dim: usize,
+        quantized: bool,
+    ) -> Self {
         Self {
             num_nodes,
             d_mem,
             mail_dim,
-            mem: Matrix::zeros(num_nodes, d_mem),
+            mem: RowStore::zeros(num_nodes, d_mem, quantized),
             mem_ts: vec![0.0; num_nodes],
-            mail: Matrix::zeros(num_nodes, mail_dim),
+            mail: RowStore::zeros(num_nodes, mail_dim, quantized),
             mail_ts: vec![0.0; num_nodes],
             write_seq: 0,
             node_version: vec![0; num_nodes],
         }
+    }
+
+    /// Converts the store to the bf16 representation in place
+    /// (identity if already quantized). Values already on the bf16
+    /// grid — in particular anything restored from a checkpoint of a
+    /// quantized store — convert losslessly.
+    pub fn into_quantized(mut self) -> Self {
+        self.mem = self.mem.into_quantized();
+        self.mail = self.mail.into_quantized();
+        self
+    }
+
+    /// Whether rows are stored as bf16.
+    pub fn quantized(&self) -> bool {
+        self.mem.is_quantized()
+    }
+
+    /// Bytes of one stored row element (4 exact, 2 quantized) — the
+    /// factor behind gather/daemon payload accounting.
+    pub fn elem_bytes(&self) -> usize {
+        self.mem.elem_bytes()
+    }
+
+    /// Modeled wire bytes of one full row payload as stored: memory +
+    /// mail elements at the store's width plus the two f32 timestamps.
+    /// The daemon multiplies this by rows served to report its
+    /// payload traffic.
+    pub fn row_payload_bytes(&self) -> usize {
+        (self.d_mem + self.mail_dim) * self.elem_bytes() + 2 * std::mem::size_of::<f32>()
     }
 
     /// Node count.
@@ -183,8 +398,8 @@ impl MemoryState {
     /// turn.
     pub fn read_into(&self, nodes: &[u32], out: &mut MemoryReadout) {
         let idx: Vec<usize> = nodes.iter().map(|&n| n as usize).collect();
-        self.mem.gather_rows_into(&idx, &mut out.mem);
-        self.mail.gather_rows_into(&idx, &mut out.mail);
+        self.mem.gather_into(&idx, &mut out.mem);
+        self.mail.gather_into(&idx, &mut out.mail);
         out.mem_ts.clear();
         out.mem_ts.extend(idx.iter().map(|&i| self.mem_ts[i]));
         out.mail_ts.clear();
@@ -233,8 +448,8 @@ impl MemoryState {
             rows,
             ..MemoryDelta::default()
         };
-        self.mem.gather_rows_into(&idx, &mut d.mem);
-        self.mail.gather_rows_into(&idx, &mut d.mail);
+        self.mem.gather_into(&idx, &mut d.mem);
+        self.mail.gather_into(&idx, &mut d.mail);
         d.mem_ts.extend(idx.iter().map(|&i| self.mem_ts[i]));
         d.mail_ts.extend(idx.iter().map(|&i| self.mail_ts[i]));
         d
@@ -261,8 +476,8 @@ impl MemoryState {
         for (r, (&n, &v)) in nodes.iter().zip(versions).enumerate() {
             let i = n as usize;
             if self.node_version[i] > v {
-                out.mem.row_mut(r).copy_from_slice(self.mem.row(i));
-                out.mail.row_mut(r).copy_from_slice(self.mail.row(i));
+                self.mem.copy_row_into(i, out.mem.row_mut(r));
+                self.mail.copy_row_into(i, out.mail.row_mut(r));
                 out.mem_ts[r] = self.mem_ts[i];
                 out.mail_ts[r] = self.mail_ts[i];
                 patched += 1;
@@ -285,8 +500,8 @@ impl MemoryState {
         assert_eq!(w.mem.cols(), self.d_mem, "write: d_mem");
         assert_eq!(w.mail.cols(), self.mail_dim, "write: mail_dim");
         let idx: Vec<usize> = w.nodes.iter().map(|&n| n as usize).collect();
-        self.mem.scatter_rows(&idx, &w.mem);
-        self.mail.scatter_rows(&idx, &w.mail);
+        self.mem.scatter_from(&idx, &w.mem);
+        self.mail.scatter_from(&idx, &w.mail);
         for (&i, (&mts, &lts)) in idx.iter().zip(w.mem_ts.iter().zip(&w.mail_ts)) {
             self.mem_ts[i] = mts;
             self.mail_ts[i] = lts;
@@ -299,9 +514,11 @@ impl MemoryState {
 
     /// Byte size of one full replica (for the Table 1 memory-footprint
     /// accounting and the planner's capacity constraint); includes the
-    /// per-node write-version vector.
+    /// per-node write-version vector. Reflects the row representation:
+    /// a quantized store reports half the row bytes.
     pub fn bytes(&self) -> usize {
-        (self.mem.len() + self.mail.len()) * std::mem::size_of::<f32>()
+        self.mem.byte_len()
+            + self.mail.byte_len()
             + (self.mem_ts.len() + self.mail_ts.len()) * std::mem::size_of::<f32>()
             + self.node_version.len() * std::mem::size_of::<u64>()
     }
@@ -320,24 +537,22 @@ impl MemoryState {
                 h = h.wrapping_mul(0x0100_0000_01b3);
             }
         };
-        for &v in self.mem.as_slice() {
-            fold(v.to_bits());
-        }
+        self.mem.fold_bits(&mut fold);
         for &v in &self.mem_ts {
             fold(v.to_bits());
         }
-        for &v in self.mail.as_slice() {
-            fold(v.to_bits());
-        }
+        self.mail.fold_bits(&mut fold);
         for &v in &self.mail_ts {
             fold(v.to_bits());
         }
         h
     }
 
-    /// Direct access to the full memory matrix (evaluation sweeps).
-    pub fn mem_matrix(&self) -> &Matrix {
-        &self.mem
+    /// The full memory matrix as f32 (evaluation sweeps,
+    /// checkpointing): borrowed from the exact store, decoded for the
+    /// quantized one.
+    pub fn mem_matrix(&self) -> Cow<'_, Matrix> {
+        self.mem.to_matrix()
     }
 
     /// Direct access to all memory timestamps.
@@ -345,9 +560,10 @@ impl MemoryState {
         &self.mem_ts
     }
 
-    /// Direct access to the full mail matrix (checkpointing).
-    pub fn mail_matrix(&self) -> &Matrix {
-        &self.mail
+    /// The full mail matrix as f32 (checkpointing); see
+    /// [`MemoryState::mem_matrix`].
+    pub fn mail_matrix(&self) -> Cow<'_, Matrix> {
+        self.mail.to_matrix()
     }
 
     /// Direct access to all mail timestamps (checkpointing).
@@ -365,7 +581,10 @@ impl MemoryState {
     /// slices/`node_versions`/`version`. Restored states answer every
     /// read (plain, versioned, delta) bit-identically to the original,
     /// which is what makes checkpoint restore transparent to the
-    /// daemon's speculative-read protocol.
+    /// daemon's speculative-read protocol. Always restores the exact
+    /// f32 representation; a quantized trainer chains
+    /// [`MemoryState::into_quantized`], which is lossless on the
+    /// bf16-grid values a quantized store checkpoints.
     ///
     /// # Panics
     /// Panics if the part shapes disagree with each other (callers
@@ -394,9 +613,9 @@ impl MemoryState {
             num_nodes,
             d_mem,
             mail_dim,
-            mem,
+            mem: RowStore::F32(mem),
             mem_ts,
-            mail,
+            mail: RowStore::F32(mail),
             mail_ts,
             write_seq,
             node_version,
@@ -575,9 +794,9 @@ mod tests {
         s.write(&write_of(vec![0, 2, 5], 2, 3, 1.5, 3.0));
         s.write(&write_of(vec![2], 2, 3, -2.0, 4.0));
         let r = MemoryState::from_parts(
-            s.mem_matrix().clone(),
+            s.mem_matrix().into_owned(),
             s.mem_ts_all().to_vec(),
-            s.mail_matrix().clone(),
+            s.mail_matrix().into_owned(),
             s.mail_ts_all().to_vec(),
             s.version(),
             s.node_versions().to_vec(),
@@ -591,6 +810,105 @@ mod tests {
         assert_eq!(a.versions, b.versions);
         assert_eq!(a.readout.mem, b.readout.mem);
         assert_eq!(a.readout.mail_ts, b.readout.mail_ts);
+    }
+
+    #[test]
+    fn quantized_store_halves_row_bytes() {
+        let exact = MemoryState::new(128, 100, 212);
+        let quant = MemoryState::new_quantized(128, 100, 212);
+        assert!(!exact.quantized());
+        assert!(quant.quantized());
+        let fixed = 128 * (2 * 4 + 8); // timestamps + versions
+        let exact_rows = exact.bytes() - fixed;
+        let quant_rows = quant.bytes() - fixed;
+        assert_eq!(exact_rows, 2 * quant_rows);
+        assert_eq!(quant.elem_bytes(), 2);
+        assert_eq!(quant.row_payload_bytes(), (100 + 212) * 2 + 8);
+        assert_eq!(exact.row_payload_bytes(), (100 + 212) * 4 + 8);
+    }
+
+    #[test]
+    fn quantized_write_read_roundtrip_is_bounded() {
+        let mut s = MemoryState::new_quantized(4, 3, 2);
+        let w = MemoryWrite {
+            nodes: vec![1, 3],
+            mem: Matrix::from_vec(2, 3, vec![0.1017, -2.338, 7.77, 1.0, 0.5, -0.25]),
+            mem_ts: vec![3.0, 4.0],
+            mail: Matrix::from_vec(2, 2, vec![0.333, -0.777, 123.456, -9.87]),
+            mail_ts: vec![3.5, 4.5],
+        };
+        s.write(&w);
+        let r = s.read(&[1, 3]);
+        for (got, want) in r.mem.as_slice().iter().zip(w.mem.as_slice()) {
+            let rel = ((got - want) / want).abs();
+            assert!(rel <= 2.0f32.powi(-8), "{want} -> {got}");
+        }
+        // Exactly representable values survive unchanged; timestamps
+        // are never quantized.
+        assert_eq!(r.mem.row(1), &[1.0, 0.5, -0.25]);
+        assert_eq!(r.mem_ts, vec![3.0, 4.0]);
+        assert_eq!(r.mail_ts, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn quantized_delta_and_repair_stay_consistent() {
+        // The speculative-read → delta → repair protocol must hold
+        // bit-for-bit on a quantized store too: reads present decoded
+        // values, so a repaired readout equals a serialized read.
+        let mut s = MemoryState::new_quantized(6, 2, 3);
+        s.write(&MemoryWrite {
+            nodes: vec![0, 1, 2, 4],
+            mem: Matrix::from_fn(4, 2, |r, c| 0.317 * (r * 2 + c) as f32 - 0.5),
+            mem_ts: vec![1.0; 4],
+            mail: Matrix::from_fn(4, 3, |r, c| -0.123 * (r * 3 + c) as f32 + 0.25),
+            mail_ts: vec![1.5; 4],
+        });
+        let nodes = [4u32, 0, 5, 1];
+        let tagged = s.read_versioned(&nodes);
+        s.write(&write_of(vec![1, 5, 3], 2, 3, 8.125, 8.0));
+
+        let mut via_delta = tagged.readout.clone();
+        let d = s.delta_since(&nodes, &tagged.versions);
+        d.apply(&mut via_delta);
+        let mut via_repair = tagged.readout.clone();
+        s.repair_since(&nodes, &tagged.versions, &mut via_repair);
+
+        let serialized = s.read(&nodes);
+        assert_eq!(via_delta.mem, serialized.mem);
+        assert_eq!(via_repair.mem, serialized.mem);
+        assert_eq!(via_delta.mail, serialized.mail);
+        assert_eq!(via_repair.mail, serialized.mail);
+    }
+
+    #[test]
+    fn quantized_checkpoint_roundtrip_is_lossless() {
+        // Quantized store -> f32 parts (decoded) -> from_parts ->
+        // into_quantized must reproduce the store bit for bit: every
+        // decoded value is on the bf16 grid, so re-encoding is exact.
+        let mut s = MemoryState::new_quantized(5, 3, 2);
+        s.write(&MemoryWrite {
+            nodes: vec![0, 2, 4],
+            mem: Matrix::from_fn(3, 3, |r, c| 0.7131 * (r + c) as f32 - 1.1),
+            mem_ts: vec![2.0; 3],
+            mail: Matrix::from_fn(3, 2, |r, c| 3.33 * (r as f32) - 0.01 * c as f32),
+            mail_ts: vec![2.5; 3],
+        });
+        let restored = MemoryState::from_parts(
+            s.mem_matrix().into_owned(),
+            s.mem_ts_all().to_vec(),
+            s.mail_matrix().into_owned(),
+            s.mail_ts_all().to_vec(),
+            s.version(),
+            s.node_versions().to_vec(),
+        )
+        .into_quantized();
+        assert!(restored.quantized());
+        assert_eq!(restored.checksum(), s.checksum());
+        assert_eq!(restored.bytes(), s.bytes());
+        let a = s.read(&[0, 1, 2, 3, 4]);
+        let b = restored.read(&[0, 1, 2, 3, 4]);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.mail, b.mail);
     }
 
     #[test]

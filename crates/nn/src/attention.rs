@@ -22,7 +22,8 @@
 
 use crate::linear::{Linear, LinearCache};
 use crate::param::ParamSet;
-use disttgl_tensor::Matrix;
+use disttgl_tensor::timing::{scope, Kernel};
+use disttgl_tensor::{kernels, Matrix};
 use rand::Rng;
 
 /// Temporal attention layer. `q_dim = d_mem + d_time`,
@@ -126,41 +127,44 @@ impl TemporalAttention {
         let (k, k_cache) = self.w_k.forward(params, kv_feat);
         let (v, v_cache) = self.w_v.forward(params, kv_feat);
 
-        // Scores with per-root scaling and masking.
+        // Scores with per-root scaling and masking: each score is a
+        // laned q·k dot (the masked-slot structure makes this a
+        // block-sparse `q · Kᵀ`, attributed to matmul time).
         let mut scores = Matrix::zeros(b, n_slots);
-        for (bi, &count) in counts.iter().enumerate() {
-            let cnt = count.min(n_slots);
-            let scale = if cnt > 0 {
-                1.0 / (cnt as f32).sqrt()
-            } else {
-                0.0
-            };
-            let q_row = q.row(bi);
-            for s in 0..n_slots {
-                let val = if s < cnt {
-                    let k_row = k.row(bi * n_slots + s);
-                    q_row.iter().zip(k_row).map(|(a, b)| a * b).sum::<f32>() * scale
+        {
+            let _t = scope(Kernel::Matmul);
+            for (bi, &count) in counts.iter().enumerate() {
+                let cnt = count.min(n_slots);
+                let scale = if cnt > 0 {
+                    1.0 / (cnt as f32).sqrt()
                 } else {
-                    -1e9
+                    0.0
                 };
-                scores.set(bi, s, val);
+                let q_row = q.row(bi);
+                for s in 0..n_slots {
+                    let val = if s < cnt {
+                        kernels::dot(q_row, k.row(bi * n_slots + s)) * scale
+                    } else {
+                        -1e9
+                    };
+                    scores.set(bi, s, val);
+                }
             }
         }
         let attn = scores.softmax_rows();
 
         // h = attn · V (per root block), zeroed for isolated roots.
         let mut h = Matrix::zeros(b, self.d_head);
-        for (bi, &count) in counts.iter().enumerate() {
-            let cnt = count.min(n_slots);
-            if cnt == 0 {
-                continue;
-            }
-            let out = h.row_mut(bi);
-            for s in 0..cnt {
-                let w = attn.get(bi, s);
-                let v_row = v.row(bi * n_slots + s);
-                for (o, &vv) in out.iter_mut().zip(v_row) {
-                    *o += w * vv;
+        {
+            let _t = scope(Kernel::Matmul);
+            for (bi, &count) in counts.iter().enumerate() {
+                let cnt = count.min(n_slots);
+                if cnt == 0 {
+                    continue;
+                }
+                let out = h.row_mut(bi);
+                for s in 0..cnt {
+                    kernels::axpy(out, attn.get(bi, s), v.row(bi * n_slots + s));
                 }
             }
         }
@@ -211,12 +215,9 @@ impl TemporalAttention {
             }
             let dh_row = dh.row(bi);
             for s in 0..cnt {
-                let v_row = cache.v.row(bi * n + s);
-                d_attn.set(bi, s, dh_row.iter().zip(v_row).map(|(a, b)| a * b).sum());
+                d_attn.set(bi, s, kernels::dot(dh_row, cache.v.row(bi * n + s)));
                 let w = cache.attn.get(bi, s);
-                for (d, &g) in dv.row_mut(bi * n + s).iter_mut().zip(dh_row) {
-                    *d += w * g;
-                }
+                kernels::axpy(dv.row_mut(bi * n + s), w, dh_row);
             }
         }
 
@@ -232,17 +233,8 @@ impl TemporalAttention {
             let scale = 1.0 / (cnt as f32).sqrt();
             for s in 0..cnt {
                 let ds = d_scores.get(bi, s) * scale;
-                let k_row = cache.k.row(bi * n + s);
-                let q_row = cache.q.row(bi);
-                for ((dqv, &kv), (dkv, &qv)) in dq
-                    .row_mut(bi)
-                    .iter_mut()
-                    .zip(k_row)
-                    .zip(dk.row_mut(bi * n + s).iter_mut().zip(q_row))
-                {
-                    *dqv += ds * kv;
-                    *dkv += ds * qv;
-                }
+                kernels::axpy(dq.row_mut(bi), ds, cache.k.row(bi * n + s));
+                kernels::axpy(dk.row_mut(bi * n + s), ds, cache.q.row(bi));
             }
         }
 

@@ -16,7 +16,8 @@
 //! ```
 
 use crate::param::ParamSet;
-use disttgl_tensor::Matrix;
+use disttgl_tensor::timing::{scope, Kernel};
+use disttgl_tensor::{kernels, Matrix};
 use rand::Rng;
 
 /// GRU cell parameter indices within a [`ParamSet`].
@@ -184,6 +185,10 @@ impl GruCell {
     /// so the arithmetic — and therefore every output bit — matches
     /// the pre-refactor path that read the inputs directly).
     fn compute_from_cache(&self, params: &ParamSet, cache: &mut GruCache, h_new: &mut Matrix) {
+        // The GRU scope wraps the whole cell, gate matmuls included,
+        // so `gru_secs` is the full memory-update cost (it overlaps
+        // `matmul_secs`; the kinds are attributions, not a partition).
+        let _t = scope(Kernel::Gru);
         let GruCache {
             x,
             h,
@@ -224,28 +229,18 @@ impl GruCell {
         a.add_row_broadcast(&params.get(self.b_hn).w);
         x.matmul_transpose_b_into(&params.get(self.w_in).w, n);
         n.add_row_broadcast(&params.get(self.b_in).w);
-        for ((nv, &rv), &av) in n
-            .as_mut_slice()
-            .iter_mut()
-            .zip(r.as_slice())
-            .zip(a.as_slice())
-        {
-            *nv += rv * av;
-        }
+        kernels::gru_candidate(n.as_mut_slice(), r.as_slice(), a.as_slice());
         n.map_inplace(f32::tanh);
 
         // h' = (1 − z) ⊙ n + z ⊙ h, fused per element in the same
         // operation order as the allocating path: n − z·n + z·h.
         h_new.resize_for_overwrite(n.rows(), n.cols());
-        for (((ov, &zv), &nv), &hv) in h_new
-            .as_mut_slice()
-            .iter_mut()
-            .zip(z.as_slice())
-            .zip(n.as_slice())
-            .zip(h.as_slice())
-        {
-            *ov = (nv - zv * nv) + zv * hv;
-        }
+        kernels::gru_combine(
+            h_new.as_mut_slice(),
+            n.as_slice(),
+            z.as_slice(),
+            h.as_slice(),
+        );
     }
 
     /// Inference-only forward (drops the cache).

@@ -4,7 +4,8 @@
 //! usual trick: σ' = σ(1−σ), tanh' = 1−tanh²) so backward passes can
 //! reuse the forward buffers.
 
-use crate::Matrix;
+use crate::timing::{scope, Kernel};
+use crate::{kernels, Matrix};
 
 /// Numerically-safe logistic sigmoid.
 #[inline]
@@ -59,22 +60,39 @@ impl Matrix {
     }
 
     /// In-place row-wise softmax.
+    ///
+    /// Per row: a laned max reduction ([`kernels::row_max`]; the
+    /// `±0.0` lane ambiguity is output-safe since `x − (+0.0)` and
+    /// `x − (−0.0)` are bit-equal), a scalar exp pass accumulating
+    /// the normalizer in the fixed 8-lane structure, then a
+    /// vectorized scale. The exp stays scalar in every build — there
+    /// is no bit-exact vector exp — so SIMD-on and SIMD-off outputs
+    /// are identical.
     pub fn softmax_rows_inplace(&mut self) {
         let c = self.cols();
         if c == 0 {
             return;
         }
+        let _t = scope(Kernel::Softmax);
         for row in self.as_mut_slice().chunks_exact_mut(c) {
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
+            let max = kernels::row_max(row);
+            let mut acc = [0.0f32; 8];
+            let main = c - c % 8;
+            for chunk in row[..main].chunks_exact_mut(8) {
+                for (l, v) in chunk.iter_mut().enumerate() {
+                    *v = (*v - max).exp();
+                    acc[l] += *v;
+                }
+            }
+            let mut tail = 0.0;
+            for v in row[main..].iter_mut() {
                 *v = (*v - max).exp();
-                sum += *v;
+                tail += *v;
             }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            let lanes =
+                ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+            let inv = 1.0 / (lanes + tail);
+            kernels::scale(row, inv);
         }
     }
 

@@ -1,0 +1,139 @@
+//! bfloat16 codec for the quantized memory/mailbox representation.
+//!
+//! bf16 is the top 16 bits of an f32 (1 sign, 8 exponent, 7 mantissa):
+//! decoding is a lossless shift, encoding rounds the mantissa to
+//! nearest-even. The format keeps f32's full exponent range, so node
+//! memory never overflows under quantization — only precision drops,
+//! bounded by **2⁻⁸ relative error** for normal values (half a bf16
+//! ULP). Crucially, `encode(decode(b)) == b` for every non-NaN `b`:
+//! values already on the bf16 grid survive arbitrarily many
+//! round-trips, which is what makes checkpointing a quantized store
+//! through the exact f32 format bit-faithful.
+
+/// Encodes an `f32` to bf16 bits with round-to-nearest-even.
+///
+/// NaNs are quieted (mantissa forced non-zero) so they can never
+/// round to infinity; ±inf and ±0 are exact.
+#[inline]
+pub fn bf16_encode(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve sign + quiet-NaN payload top bits; force non-zero
+        // mantissa so the result stays a NaN.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round-to-nearest-even on the truncated 16 bits: add 0x7fff plus
+    // the lowest kept bit, then shift.
+    let round_bit = (bits >> 16) & 1;
+    (bits.wrapping_add(0x7fff + round_bit) >> 16) as u16
+}
+
+/// Decodes bf16 bits to `f32` (exact: a left shift).
+#[inline]
+pub fn bf16_decode(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Encodes a slice of f32s into bf16 words, appending to `out`.
+#[inline]
+pub fn bf16_encode_slice(src: &[f32], out: &mut [u16]) {
+    debug_assert_eq!(src.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = bf16_encode(v);
+    }
+}
+
+/// Decodes a slice of bf16 words into f32s.
+#[inline]
+pub fn bf16_decode_slice(src: &[u16], out: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = bf16_decode(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &v in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            1.7014118e38, // 2^127
+        ] {
+            let rt = bf16_decode(bf16_encode(v));
+            assert_eq!(rt.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_by_2_pow_neg_8() {
+        // Dense deterministic sweep over magnitudes and mantissas.
+        for i in 0..10_000u32 {
+            let m = 1.0 + (i as f32) / 10_000.0; // mantissa in [1, 2)
+            for e in [-20i32, -5, -1, 0, 1, 7, 19] {
+                for s in [1.0f32, -1.0] {
+                    let v = s * m * (e as f32).exp2();
+                    let rt = bf16_decode(bf16_encode(v));
+                    let rel = ((rt - v) / v).abs();
+                    assert!(rel <= 2.0f32.powi(-8), "{v} -> {rt} rel {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_round_trip_is_stable() {
+        // bf16 -> f32 -> bf16 is the identity: re-quantizing a
+        // quantized value never drifts.
+        for b in 0..=u16::MAX {
+            let v = bf16_decode(b);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(bf16_encode(v), b, "bits {b:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // representable value 1.0078125; RNE must pick the even
+        // mantissa (1.0).
+        let halfway = f32::from_bits(0x3f80_8000);
+        assert_eq!(bf16_decode(bf16_encode(halfway)), 1.0);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(bf16_decode(bf16_encode(above)), 1.0078125);
+        // Odd-mantissa halfway rounds up to even.
+        let halfway_odd = f32::from_bits(0x3f81_8000);
+        assert_eq!(bf16_decode(bf16_encode(halfway_odd)), 1.015625);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(bf16_decode(bf16_encode(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let src: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * 0.317).collect();
+        let mut enc = vec![0u16; src.len()];
+        bf16_encode_slice(&src, &mut enc);
+        let mut dec = vec![0f32; src.len()];
+        bf16_decode_slice(&enc, &mut dec);
+        for (i, (&e, &d)) in enc.iter().zip(&dec).enumerate() {
+            assert_eq!(e, bf16_encode(src[i]));
+            assert_eq!(d.to_bits(), bf16_decode(e).to_bits());
+        }
+    }
+}

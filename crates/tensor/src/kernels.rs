@@ -1,0 +1,608 @@
+//! Hardware-width inner kernels with a fixed-reduction-order contract.
+//!
+//! Every function here has two implementations: a **laned scalar**
+//! path (the always-available fallback, and the definition of the
+//! numerics) and an **AVX2** path compiled behind the `simd` cargo
+//! feature and selected at runtime via CPU-feature detection. The two
+//! paths are **bit-identical by construction**:
+//!
+//! * reductions use eight fixed accumulator lanes — lane `l` of the
+//!   AVX2 `__m256` accumulator holds exactly the partial sum the
+//!   scalar path keeps in `acc[l]`, chunks are consumed in the same
+//!   order, the remainder tail is the same serial loop, and the final
+//!   lane fold is the same fixed tree
+//!   `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`;
+//! * the AVX2 path multiplies then adds (`vmulps` + `vaddps`), never
+//!   `vfmaddps` — a fused multiply-add rounds once where the scalar
+//!   path rounds twice, which would break bit-identity;
+//! * elementwise kernels (`axpy`, `add`, `scale`, the fused GRU maps)
+//!   have no cross-element data flow, so any vector width gives the
+//!   same bits per element.
+//!
+//! Because of this, flipping SIMD on or off (feature flag, missing
+//! CPU support, [`force_scalar`], or `DISTTGL_SIMD=0`) never changes
+//! a training trajectory — the equivalence suites that compare
+//! executors bit-for-bit hold under every dispatch outcome.
+
+/// Runtime override: when `true`, every kernel takes the scalar path
+/// even if AVX2 is compiled in and supported. Used by benchmarks and
+/// the bit-identity proptests to A/B the two paths in one process.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+static FORCE_SCALAR: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Forces (or un-forces) the scalar kernel path at runtime.
+///
+/// A no-op when the `simd` feature is off or the target is not
+/// x86-64 (the scalar path is all there is). Takes effect for kernel
+/// calls that start after this call returns; intended for A/B
+/// benchmarking and tests, not for concurrent toggling mid-kernel.
+pub fn force_scalar(on: bool) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    FORCE_SCALAR.store(on, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = on;
+}
+
+/// Whether the next kernel call will take the AVX2 path.
+///
+/// Requires all of: the `simd` cargo feature, an x86-64 target, a CPU
+/// with AVX2 (detected once at first use), `DISTTGL_SIMD` not set to
+/// `0`/`off`/`false` (read once), and no [`force_scalar`] override.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::sync::atomic::Ordering;
+        static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let compiled = *ENABLED.get_or_init(|| {
+            let env_off = std::env::var("DISTTGL_SIMD")
+                .map(|v| matches!(v.trim(), "0" | "off" | "false"))
+                .unwrap_or(false);
+            !env_off && std::arch::is_x86_feature_detected!("avx2")
+        });
+        compiled && !FORCE_SCALAR.load(Ordering::Relaxed)
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction kernels (fixed 8-lane order)
+// ---------------------------------------------------------------------------
+
+/// Dot product with eight independent accumulator lanes.
+///
+/// A plain `zip().map().sum()` reduction is a single serial FP-add
+/// chain that LLVM must not reorder, so it runs at add-latency speed.
+/// Splitting the sum across eight fixed lanes breaks the dependency
+/// chain (and maps 1:1 onto a `__m256` register) while staying fully
+/// deterministic — the lane structure, not the data, decides the
+/// summation order. This is the workhorse of every `x·Wᵀ` in the
+/// model, which dominates training compute.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// The laned scalar dot — public so benchmarks and equivalence tests
+/// can pin the reference path regardless of dispatch state.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let main = a.len() - a.len() % 8;
+    for (ca, cb) in a[..main].chunks_exact(8).zip(b[..main].chunks_exact(8)) {
+        for (l, acc_l) in acc.iter_mut().enumerate() {
+            *acc_l += ca[l] * cb[l];
+        }
+    }
+    fold8(acc) + dot_serial(&a[main..], &b[main..])
+}
+
+/// Four simultaneous dot products of one shared `a` against four `b`
+/// rows — the register-blocked inner kernel of `A · Bᵀ`. Each output
+/// is bit-identical to [`dot`] of the same pair: the blocking shares
+/// *loads* of `a`, not accumulators. A single-accumulator dot is
+/// latency-bound on the FP add chain; four independent chains saturate
+/// the FMA ports and quadruple throughput at identical numerics.
+#[inline]
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        return unsafe { avx2::dot4(a, b0, b1, b2, b3) };
+    }
+    [
+        dot_scalar(a, b0),
+        dot_scalar(a, b1),
+        dot_scalar(a, b2),
+        dot_scalar(a, b3),
+    ]
+}
+
+/// Plain serial-reduction dot — the pre-optimization numerics, kept
+/// as the correctness reference for kernel A/B tests and for the
+/// scalar remainder tails (both paths share this exact loop).
+#[inline]
+pub fn dot_serial(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum with the same fixed 8-lane structure as [`dot`].
+#[inline]
+pub fn laned_sum(a: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        return unsafe { avx2::laned_sum(a) };
+    }
+    laned_sum_scalar(a)
+}
+
+/// Scalar reference for [`laned_sum`].
+#[inline]
+pub fn laned_sum_scalar(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let main = a.len() - a.len() % 8;
+    for ca in a[..main].chunks_exact(8) {
+        for (l, acc_l) in acc.iter_mut().enumerate() {
+            *acc_l += ca[l];
+        }
+    }
+    let tail: f32 = a[main..].iter().sum();
+    fold8(acc) + tail
+}
+
+/// Maximum element, 8-lane structure (`f32::max` per lane, serial
+/// tail, fixed lane fold). Returns `f32::NEG_INFINITY` for an empty
+/// slice.
+///
+/// The lane structure can pick a different *sign of zero* than a
+/// serial fold when a row mixes `+0.0`/`-0.0`, and `vmaxps` differs
+/// from `f32::max` on those too — both are output-safe in softmax,
+/// the only caller: `x - (+0.0)` and `x - (-0.0)` are bit-equal for
+/// every finite `x`, so the subtracted row (and thus the softmax
+/// output) is unchanged. NaN inputs are unsupported (callers mask
+/// with large negative finite values, never NaN).
+#[inline]
+pub fn row_max(a: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        return unsafe { avx2::row_max(a) };
+    }
+    row_max_scalar(a)
+}
+
+/// Scalar reference for [`row_max`].
+#[inline]
+pub fn row_max_scalar(a: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; 8];
+    let main = a.len() - a.len() % 8;
+    for ca in a[..main].chunks_exact(8) {
+        for (l, acc_l) in acc.iter_mut().enumerate() {
+            *acc_l = acc_l.max(ca[l]);
+        }
+    }
+    let lanes = ((acc[0].max(acc[4])).max(acc[1].max(acc[5])))
+        .max((acc[2].max(acc[6])).max(acc[3].max(acc[7])));
+    a[main..].iter().fold(lanes, |m, &v| m.max(v))
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (bit-identical at any vector width)
+// ---------------------------------------------------------------------------
+
+/// `out[i] += alpha * x[i]` — the axpy inner kernel shared by the
+/// blocked `matmul` / `matmul_transpose_a` bodies and the optimizer.
+#[inline]
+pub fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        unsafe { avx2::axpy(out, alpha, x) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// `out[i] += x[i]`.
+#[inline]
+pub fn add(out: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        unsafe { avx2::add(out, x) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += v;
+    }
+}
+
+/// `out[i] *= alpha`.
+#[inline]
+pub fn scale(out: &mut [f32], alpha: f32) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        unsafe { avx2::scale(out, alpha) };
+        return;
+    }
+    for o in out.iter_mut() {
+        *o *= alpha;
+    }
+}
+
+/// Fused GRU candidate pre-activation: `n[i] += r[i] * a[i]`
+/// (reset gate ⊙ recurrent contribution).
+#[inline]
+pub fn gru_candidate(n: &mut [f32], r: &[f32], a: &[f32]) {
+    debug_assert_eq!(n.len(), r.len());
+    debug_assert_eq!(n.len(), a.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        unsafe { avx2::gru_candidate(n, r, a) };
+        return;
+    }
+    for ((nv, &rv), &av) in n.iter_mut().zip(r).zip(a) {
+        *nv += rv * av;
+    }
+}
+
+/// Fused GRU output combine: `o[i] = (n[i] - z[i]*n[i]) + z[i]*h[i]`.
+/// The operation order matches the scalar expression exactly so both
+/// paths round identically.
+#[inline]
+pub fn gru_combine(o: &mut [f32], n: &[f32], z: &[f32], h: &[f32]) {
+    debug_assert_eq!(o.len(), n.len());
+    debug_assert_eq!(o.len(), z.len());
+    debug_assert_eq!(o.len(), h.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active()` verified AVX2 support at runtime.
+        unsafe { avx2::gru_combine(o, n, z, h) };
+        return;
+    }
+    for (((ov, &nv), &zv), &hv) in o.iter_mut().zip(n).zip(z).zip(h) {
+        *ov = (nv - zv * nv) + zv * hv;
+    }
+}
+
+/// The fixed lane-fold tree shared by every 8-lane reduction:
+/// `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`. This exact shape is what
+/// the AVX2 horizontal reduction reproduces with one 128-bit add and
+/// two shuffles.
+#[inline]
+fn fold8(acc: [f32; 8]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 path
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! AVX2 twins of the scalar kernels. Each function mirrors its
+    //! scalar reference lane-for-lane; see the module docs for the
+    //! bit-identity argument. All functions require AVX2 (checked by
+    //! the dispatchers before calling).
+
+    use std::arch::x86_64::*;
+
+    /// Folds a `__m256` of 8 lanes with the exact scalar tree
+    /// `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold8_avx(acc: __m256) -> f32 {
+        // s = [l0+l4, l1+l5, l2+l6, l3+l7]
+        let s = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+        // t = [s0+s1, _, s2+s3, _]
+        let t = _mm_add_ps(s, _mm_movehdup_ps(s));
+        // (s0+s1) + (s2+s3)
+        _mm_cvtss_f32(_mm_add_ss(t, _mm_movehl_ps(t, t)))
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let main = a.len() - a.len() % 8;
+        let mut acc = _mm256_setzero_ps();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
+            // mul + add, NOT fmadd: fused rounding would diverge from
+            // the scalar lanes.
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            i += 8;
+        }
+        fold8_avx(acc) + super::dot_serial(&a[main..], &b[main..])
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let main = a.len() - a.len() % 8;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let va = _mm256_loadu_ps(pa.add(i));
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(p0.add(i))));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(p1.add(i))));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(p2.add(i))));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(p3.add(i))));
+            i += 8;
+        }
+        let ta = &a[main..];
+        [
+            fold8_avx(acc0) + super::dot_serial(ta, &b0[main..]),
+            fold8_avx(acc1) + super::dot_serial(ta, &b1[main..]),
+            fold8_avx(acc2) + super::dot_serial(ta, &b2[main..]),
+            fold8_avx(acc3) + super::dot_serial(ta, &b3[main..]),
+        ]
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn laned_sum(a: &[f32]) -> f32 {
+        let main = a.len() - a.len() % 8;
+        let mut acc = _mm256_setzero_ps();
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < main {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(pa.add(i)));
+            i += 8;
+        }
+        let tail: f32 = a[main..].iter().sum();
+        fold8_avx(acc) + tail
+    }
+
+    /// # Safety
+    /// Requires AVX2. See [`super::row_max`] for the ±0.0 argument.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_max(a: &[f32]) -> f32 {
+        let main = a.len() - a.len() % 8;
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < main {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(pa.add(i)));
+            i += 8;
+        }
+        let s = _mm_max_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+        let t = _mm_max_ps(s, _mm_movehdup_ps(s));
+        let lanes = _mm_cvtss_f32(_mm_max_ss(t, _mm_movehl_ps(t, t)));
+        a[main..].iter().fold(lanes, |m, &v| m.max(v))
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
+        let main = out.len() - out.len() % 8;
+        let va = _mm256_set1_ps(alpha);
+        let (po, px) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let vo = _mm256_loadu_ps(po.add(i));
+            let vx = _mm256_loadu_ps(px.add(i));
+            _mm256_storeu_ps(po.add(i), _mm256_add_ps(vo, _mm256_mul_ps(va, vx)));
+            i += 8;
+        }
+        for (o, &v) in out[main..].iter_mut().zip(&x[main..]) {
+            *o += alpha * v;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add(out: &mut [f32], x: &[f32]) {
+        let main = out.len() - out.len() % 8;
+        let (po, px) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let vo = _mm256_loadu_ps(po.add(i));
+            let vx = _mm256_loadu_ps(px.add(i));
+            _mm256_storeu_ps(po.add(i), _mm256_add_ps(vo, vx));
+            i += 8;
+        }
+        for (o, &v) in out[main..].iter_mut().zip(&x[main..]) {
+            *o += v;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(out: &mut [f32], alpha: f32) {
+        let main = out.len() - out.len() % 8;
+        let va = _mm256_set1_ps(alpha);
+        let po = out.as_mut_ptr();
+        let mut i = 0;
+        while i < main {
+            _mm256_storeu_ps(po.add(i), _mm256_mul_ps(_mm256_loadu_ps(po.add(i)), va));
+            i += 8;
+        }
+        for o in out[main..].iter_mut() {
+            *o *= alpha;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gru_candidate(n: &mut [f32], r: &[f32], a: &[f32]) {
+        let main = n.len() - n.len() % 8;
+        let (pn, pr, pa) = (n.as_mut_ptr(), r.as_ptr(), a.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let vn = _mm256_loadu_ps(pn.add(i));
+            let vr = _mm256_loadu_ps(pr.add(i));
+            let va = _mm256_loadu_ps(pa.add(i));
+            _mm256_storeu_ps(pn.add(i), _mm256_add_ps(vn, _mm256_mul_ps(vr, va)));
+            i += 8;
+        }
+        for ((nv, &rv), &av) in n[main..].iter_mut().zip(&r[main..]).zip(&a[main..]) {
+            *nv += rv * av;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gru_combine(o: &mut [f32], n: &[f32], z: &[f32], h: &[f32]) {
+        let main = o.len() - o.len() % 8;
+        let (po, pn, pz, ph) = (o.as_mut_ptr(), n.as_ptr(), z.as_ptr(), h.as_ptr());
+        let mut i = 0;
+        while i < main {
+            let vn = _mm256_loadu_ps(pn.add(i));
+            let vz = _mm256_loadu_ps(pz.add(i));
+            let vh = _mm256_loadu_ps(ph.add(i));
+            // (n - z*n) + z*h, same association as the scalar map.
+            let v = _mm256_add_ps(
+                _mm256_sub_ps(vn, _mm256_mul_ps(vz, vn)),
+                _mm256_mul_ps(vz, vh),
+            );
+            _mm256_storeu_ps(po.add(i), v);
+            i += 8;
+        }
+        for (((ov, &nv), &zv), &hv) in o[main..]
+            .iter_mut()
+            .zip(&n[main..])
+            .zip(&z[main..])
+            .zip(&h[main..])
+        {
+            *ov = (nv - zv * nv) + zv * hv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(len: usize, salt: u32) -> Vec<f32> {
+        // Deterministic non-integer data with varied magnitudes.
+        (0..len)
+            .map(|i| {
+                let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(salt) >> 8) as f32;
+                (x / 65536.0 - 128.0) * 1.001
+            })
+            .collect()
+    }
+
+    /// Runs `f` with SIMD forced off, then (if available) on, and
+    /// checks both results agree bit-for-bit.
+    fn both_paths<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+        force_scalar(true);
+        let scalar = f();
+        force_scalar(false);
+        let dispatched = f();
+        assert_eq!(scalar, dispatched, "scalar vs dispatched mismatch");
+    }
+
+    #[test]
+    fn dot_bit_identical_across_paths_and_tails() {
+        for len in [0, 1, 5, 7, 8, 9, 15, 16, 17, 48, 60, 200, 211, 212] {
+            let a = vals(len, 1);
+            let b = vals(len, 2);
+            both_paths(|| dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot4_columns_match_dot() {
+        for len in [3, 8, 13, 48, 61, 212] {
+            let a = vals(len, 3);
+            let bs: Vec<Vec<f32>> = (0..4).map(|s| vals(len, 10 + s)).collect();
+            force_scalar(false);
+            let quad = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (c, b) in bs.iter().enumerate() {
+                assert_eq!(quad[c].to_bits(), dot(&a, b).to_bits(), "len {len} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_paths() {
+        for len in [0, 1, 7, 8, 9, 31, 100] {
+            let a = vals(len, 5);
+            both_paths(|| laned_sum(&a).to_bits());
+            if len > 0 {
+                both_paths(|| row_max(&a).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_bit_identical_across_paths() {
+        for len in [0, 1, 7, 8, 9, 31, 100] {
+            let x = vals(len, 6);
+            let y = vals(len, 7);
+            let z = vals(len, 8);
+            both_paths(|| {
+                let mut o = vals(len, 9);
+                axpy(&mut o, 0.37, &x);
+                add(&mut o, &y);
+                scale(&mut o, 1.25);
+                gru_candidate(&mut o, &x, &y);
+                let mut c = vec![0.0f32; len];
+                // Sigmoid-squash one operand so z is in gate range.
+                let zg: Vec<f32> = z.iter().map(|&v| crate::sigmoid_scalar(v)).collect();
+                gru_combine(&mut c, &o, &zg, &x);
+                (
+                    o.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn row_max_finds_maximum() {
+        let mut a = vals(37, 11);
+        a[19] = 1.0e9;
+        force_scalar(false);
+        assert_eq!(row_max(&a), 1.0e9);
+        assert_eq!(row_max_scalar(&a), 1.0e9);
+        assert_eq!(row_max(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn laned_sum_matches_integer_serial() {
+        for len in 0..40 {
+            let a: Vec<f32> = (0..len).map(|i| (i % 9) as f32 - 4.0).collect();
+            let serial: f32 = a.iter().sum();
+            force_scalar(false);
+            assert_eq!(laned_sum(&a), serial, "len {len}");
+        }
+    }
+}

@@ -17,13 +17,42 @@
 //!   `disttgl-cluster` (each trainer thread drives its own ops);
 //! * all random initialization is seeded (`rand_chacha`) so every
 //!   experiment in the paper-reproduction harness is deterministic.
+//!
+//! ## The fixed-reduction-order determinism contract
+//!
+//! Every floating-point reduction in this crate sums in an order
+//! decided by the *kernel structure*, never by the data, thread
+//! schedule, or instruction set: dots and sums use eight fixed
+//! accumulator lanes with a fixed fold tree and a serial remainder
+//! tail; matmul variants accumulate each output element in ascending
+//! inner-index order regardless of cache blocking. The AVX2 tier in
+//! [`kernels`] maps those lanes 1:1 onto `__m256` registers (multiply
+//! then add, never fused), so **SIMD-on and SIMD-off runs are
+//! bit-identical** — toggling the `simd` feature, running on a CPU
+//! without AVX2, or setting `DISTTGL_SIMD=0` reproduces the exact
+//! same training trajectory. The cross-executor equivalence suites in
+//! `disttgl-core` rely on this contract.
+//!
+//! ## Quantized memory: recoverable, not exact
+//!
+//! The [`bf16`] module backs the opt-in `quantized_memory` mode of
+//! the model config: node-memory and mailbox rows are *stored* as
+//! bfloat16 (half the bytes, ≤ 2⁻⁸ relative rounding per write) while
+//! all compute stays f32. This trades bounded, measured accuracy
+//! deltas for ~2× less gather/daemon traffic — a *recoverable*
+//! approximation in the same spirit as the paper's staleness
+//! tolerance, unlike the f32 default which is part of the bit-exact
+//! determinism contract above.
 
 mod activations;
+pub mod bf16;
 mod init;
+pub mod kernels;
 mod linalg;
 mod matrix;
 mod ops;
 mod rows;
+pub mod timing;
 
 pub use activations::sigmoid_scalar;
 pub use init::seeded_rng;

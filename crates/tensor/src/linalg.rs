@@ -8,36 +8,80 @@
 //!   backward w.r.t. inputs)
 //! * `matmul_transpose_a` — `C = Aᵀ · B` (backward w.r.t. weights)
 //!
-//! Each switches to a rayon-parallel loop over output rows once the
-//! multiply-add count crosses [`crate::PAR_THRESHOLD`]; mini-batch sized
-//! calls stay sequential so trainer *threads* (the outer parallelism of
-//! the simulated cluster) don't fight over the rayon pool.
+//! There are exactly **two inner kernels**, both living in
+//! [`crate::kernels`] with scalar + AVX2 twins: the laned dot
+//! (register-blocked four-wide as `dot4`) drives the `Bᵀ` family, and
+//! the axpy row-update drives `matmul`/`matmul_transpose_a`. The
+//! cache-tiled sequential `matmul` and its rayon-parallel row loop
+//! accumulate every output element in ascending inner-index order, so
+//! blocking and dispatch never change a bit of the result (see the
+//! crate-level determinism contract).
+//!
+//! Each variant switches to a rayon-parallel loop over output rows
+//! once the multiply-add count crosses [`crate::PAR_THRESHOLD`];
+//! mini-batch sized calls stay sequential so trainer *threads* (the
+//! outer parallelism of the simulated cluster) don't fight over the
+//! rayon pool.
 
-use crate::{Matrix, PAR_THRESHOLD};
+use crate::timing::{scope, Kernel};
+use crate::{kernels, Matrix, PAR_THRESHOLD};
 use rayon::prelude::*;
 
-/// Dot product with eight independent accumulator lanes.
+/// k-block of the cache-tiled `matmul`: a `KC × JC` panel of B
+/// (64 × 512 f32 = 128 KiB) is re-streamed from L2 across all output
+/// rows instead of re-reading the whole of B from DRAM per row.
+const KC: usize = 64;
+/// j-panel width: the output row slice touched inside a k-block
+/// (512 f32 = 2 KiB) stays resident in L1.
+const JC: usize = 512;
+
+/// One row-panel of `A · Bᵀ`: `out_row[j] = a_row · b.row(j)`.
 ///
-/// A plain `zip().map().sum()` reduction is a single serial FP-add
-/// chain that LLVM must not reorder, so it runs at add-latency speed.
-/// Splitting the sum across eight fixed lanes breaks the dependency
-/// chain (and vectorizes) while staying fully deterministic — the
-/// lane structure, not the data, decides the summation order. This is
-/// the workhorse of every `x·Wᵀ` in the model, which dominates
-/// training compute.
+/// `SERIAL` selects the plain serial-reduction dot (the
+/// pre-optimization reference numerics); the default path uses the
+/// laned [`kernels::dot4`] four columns at a time (shared `a_row`
+/// loads, independent accumulator chains) with [`kernels::dot`] for
+/// the remainder columns — every column bit-identical to a lone
+/// `dot`.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let main = a.len() - a.len() % 8;
-    for (ca, cb) in a[..main].chunks_exact(8).zip(b[..main].chunks_exact(8)) {
-        for (l, acc_l) in acc.iter_mut().enumerate() {
-            *acc_l += ca[l] * cb[l];
+fn tb_row<const SERIAL: bool>(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
+    if SERIAL {
+        for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
+            *o = kernels::dot_serial(a_row, b_row);
+        }
+        return;
+    }
+    let n = out_row.len();
+    let quads = n - n % 4;
+    let mut j = 0;
+    while j < quads {
+        let q = kernels::dot4(
+            a_row,
+            &b[j * k..(j + 1) * k],
+            &b[(j + 1) * k..(j + 2) * k],
+            &b[(j + 2) * k..(j + 3) * k],
+            &b[(j + 3) * k..(j + 4) * k],
+        );
+        out_row[j..j + 4].copy_from_slice(&q);
+        j += 4;
+    }
+    for jj in j..n {
+        out_row[jj] = kernels::dot(a_row, &b[jj * k..(jj + 1) * k]);
+    }
+}
+
+/// One output row of `A · B` as ascending-k axpy updates
+/// (zero-skipped) — the row body shared by the parallel path and, in
+/// k-block slices, by the cache-tiled sequential path. Per output
+/// element both walk k in the same ascending order, so they are
+/// bit-identical.
+#[inline]
+fn mm_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (kk, &av) in a_row.iter().enumerate() {
+        if av != 0.0 {
+            kernels::axpy(out_row, av, &b[kk * n..(kk + 1) * n]);
         }
     }
-    let tail: f32 = a[main..].iter().zip(&b[main..]).map(|(x, y)| x * y).sum();
-    let lanes = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
-    lanes + tail
 }
 
 impl Matrix {
@@ -55,32 +99,36 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        let _t = scope(Kernel::Matmul);
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(m, n);
         let work = m * k * n;
         let a = self.as_slice();
         let b = other.as_slice();
 
-        let kernel = |row_idx: usize, out_row: &mut [f32]| {
-            let a_row = &a[row_idx * k..(row_idx + 1) * k];
-            // ikj loop order: streams through b rows, vectorizes the inner axpy.
-            for (ai, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
-                if *ai != 0.0 {
-                    for (o, bv) in out_row.iter_mut().zip(b_row) {
-                        *o += ai * bv;
-                    }
-                }
-            }
-        };
-
         if work >= PAR_THRESHOLD {
             out.as_mut_slice()
                 .par_chunks_mut(n)
                 .enumerate()
-                .for_each(|(r, out_row)| kernel(r, out_row));
+                .for_each(|(r, out_row)| mm_row(&a[r * k..(r + 1) * k], b, n, out_row));
         } else {
-            for (r, out_row) in out.as_mut_slice().chunks_exact_mut(n).enumerate() {
-                kernel(r, out_row);
+            // Cache-tiled: fix a KC×JC panel of B, sweep all rows.
+            let o = out.as_mut_slice();
+            for jb in (0..n).step_by(JC) {
+                let jw = JC.min(n - jb);
+                for kb in (0..k).step_by(KC) {
+                    let kw = KC.min(k - kb);
+                    for i in 0..m {
+                        let a_blk = &a[i * k + kb..i * k + kb + kw];
+                        let out_row = &mut o[i * n + jb..i * n + jb + jw];
+                        for (kk, &av) in a_blk.iter().enumerate() {
+                            if av != 0.0 {
+                                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + jw];
+                                kernels::axpy(out_row, av, b_row);
+                            }
+                        }
+                    }
+                }
             }
         }
         out
@@ -98,27 +146,21 @@ impl Matrix {
             self.cols(),
             other.cols()
         );
+        let _t = scope(Kernel::Matmul);
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         let mut out = Matrix::zeros(m, n);
         let work = m * k * n;
         let a = self.as_slice();
         let b = other.as_slice();
 
-        let kernel = |row_idx: usize, out_row: &mut [f32]| {
-            let a_row = &a[row_idx * k..(row_idx + 1) * k];
-            for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
-                *o = dot(a_row, b_row);
-            }
-        };
-
         if work >= PAR_THRESHOLD {
             out.as_mut_slice()
                 .par_chunks_mut(n)
                 .enumerate()
-                .for_each(|(r, out_row)| kernel(r, out_row));
+                .for_each(|(r, out_row)| tb_row::<false>(&a[r * k..(r + 1) * k], b, k, out_row));
         } else {
-            for (r, out_row) in out.as_mut_slice().chunks_exact_mut(n).enumerate() {
-                kernel(r, out_row);
+            for (r, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+                tb_row::<false>(&a[r * k..(r + 1) * k], b, k, out_row);
             }
         }
         out
@@ -127,8 +169,9 @@ impl Matrix {
     /// `self · otherᵀ` with the plain serial-reduction dot product —
     /// the pre-optimization kernel, kept as the correctness reference
     /// for the laned [`Matrix::matmul_transpose_b`] and for
-    /// kernel-level A/B benchmarks. Results differ from the laned
-    /// kernel only by f32 summation order.
+    /// kernel-level A/B benchmarks. Shares the row-panel body with the
+    /// fast variant (only the reduction differs); results differ from
+    /// the laned kernel only by f32 summation order.
     pub fn matmul_transpose_b_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
@@ -141,11 +184,8 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
-        for (row_idx, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
-            let a_row = &a[row_idx * k..(row_idx + 1) * k];
-            for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
-                *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-            }
+        for (r, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+            tb_row::<true>(&a[r * k..(r + 1) * k], b, k, out_row);
         }
         out
     }
@@ -166,15 +206,13 @@ impl Matrix {
             self.cols(),
             other.cols()
         );
+        let _t = scope(Kernel::Matmul);
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         out.resize_for_overwrite(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
-        for (row_idx, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
-            let a_row = &a[row_idx * k..(row_idx + 1) * k];
-            for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
-                *o = dot(a_row, b_row);
-            }
+        for (r, out_row) in out.as_mut_slice().chunks_exact_mut(n.max(1)).enumerate() {
+            tb_row::<false>(&a[r * k..(r + 1) * k], b, k, out_row);
         }
     }
 
@@ -190,10 +228,14 @@ impl Matrix {
             self.rows(),
             other.rows()
         );
+        let _t = scope(Kernel::Matmul);
         let (k, m, n) = (self.rows(), self.cols(), other.cols());
-        // Accumulate outer products sequentially; the output is weight-shaped
-        // (small), so contention-free accumulation beats parallelizing here
-        // unless the batch is very large.
+        // Accumulate outer products sequentially; the output is
+        // weight-shaped (small — it stays cache-resident across the
+        // whole ki sweep), so contention-free accumulation beats
+        // parallelizing here unless the batch is very large. Both
+        // paths walk ki ascending per output element via the shared
+        // axpy kernel.
         let mut out = Matrix::zeros(m, n);
         let a = self.as_slice();
         let b = other.as_slice();
@@ -203,23 +245,18 @@ impl Matrix {
                 for ki in 0..k {
                     let av = a[ki * m + mi];
                     if av != 0.0 {
-                        let b_row = &b[ki * n..(ki + 1) * n];
-                        for (ov, bv) in out_row.iter_mut().zip(b_row) {
-                            *ov += av * bv;
-                        }
+                        kernels::axpy(out_row, av, &b[ki * n..(ki + 1) * n]);
                     }
                 }
             });
         } else {
+            let o = out.as_mut_slice();
             for ki in 0..k {
                 let a_row = &a[ki * m..(ki + 1) * m];
                 let b_row = &b[ki * n..(ki + 1) * n];
                 for (mi, &av) in a_row.iter().enumerate() {
                     if av != 0.0 {
-                        let out_row = &mut out.as_mut_slice()[mi * n..(mi + 1) * n];
-                        for (ov, &bv) in out_row.iter_mut().zip(b_row) {
-                            *ov += av * bv;
-                        }
+                        kernels::axpy(&mut o[mi * n..(mi + 1) * n], av, b_row);
                     }
                 }
             }
@@ -281,6 +318,33 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matmul_bit_matches_ascending_k_reference() {
+        // Shapes that straddle the KC/JC tile boundaries with
+        // non-integer data: cache tiling and SIMD dispatch must not
+        // move a single bit relative to the plain ascending-k loop.
+        for (mm, kk, nn) in [(3, 5, 7), (17, 70, 130), (9, 64, 512), (33, 129, 520)] {
+            let a = Matrix::from_fn(mm, kk, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.731 - 4.4);
+            let b = Matrix::from_fn(kk, nn, |r, c| ((r * 17 + c * 5) % 11) as f32 * 0.573 - 2.9);
+            let fast = a.matmul(&b);
+            let mut reference = Matrix::zeros(mm, nn);
+            for i in 0..mm {
+                for k2 in 0..kk {
+                    let av = a.get(i, k2);
+                    if av != 0.0 {
+                        for j in 0..nn {
+                            let cur = reference.get(i, j);
+                            reference.set(i, j, cur + av * b.get(k2, j));
+                        }
+                    }
+                }
+            }
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{mm}x{kk}x{nn}");
+            }
+        }
+    }
+
+    #[test]
     fn large_matmul_parallel_path_matches_sequential() {
         // 1024 × 512 · 512 × 600 = 314M mult-adds — crosses
         // PAR_THRESHOLD, so this exercises the rayon path; sparse
@@ -312,7 +376,7 @@ mod tests {
             let a: Vec<f32> = (0..len).map(|i| (i % 7) as f32 - 3.0).collect();
             let b: Vec<f32> = (0..len).map(|i| (i % 5) as f32 - 2.0).collect();
             let serial: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-            assert_eq!(super::dot(&a, &b), serial, "len {len}");
+            assert_eq!(kernels::dot(&a, &b), serial, "len {len}");
         }
     }
 

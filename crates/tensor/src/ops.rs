@@ -5,7 +5,7 @@
 //! avoiding reallocation matters — see the perf-book guidance on
 //! workhorse collections).
 
-use crate::Matrix;
+use crate::{kernels, Matrix};
 
 impl Matrix {
     /// `self + other`, allocating the result.
@@ -25,7 +25,8 @@ impl Matrix {
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
-        self.zip_assign(other, |a, b| *a += b);
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        kernels::add(self.as_mut_slice(), other.as_slice());
     }
 
     /// In-place `self -= other`.
@@ -41,14 +42,13 @@ impl Matrix {
     /// In-place axpy: `self += alpha * other`. The workhorse of the
     /// optimizer and of gradient accumulation across local batches.
     pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
-        self.zip_assign(other, |a, b| *a += alpha * b);
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        kernels::axpy(self.as_mut_slice(), alpha, other.as_slice());
     }
 
     /// In-place scalar multiply.
     pub fn scale(&mut self, alpha: f32) {
-        for v in &mut self.as_mut_slice().iter_mut() {
-            *v *= alpha;
-        }
+        kernels::scale(self.as_mut_slice(), alpha);
     }
 
     /// Allocating scalar multiply.
@@ -107,9 +107,7 @@ impl Matrix {
         let b = bias.as_slice();
         let c = self.cols();
         for row in self.as_mut_slice().chunks_exact_mut(c) {
-            for (v, &bv) in row.iter_mut().zip(b) {
-                *v += bv;
-            }
+            kernels::add(row, b);
         }
     }
 

@@ -5,7 +5,8 @@
 //! with time encodings and edge features column-wise, and scatters
 //! updated memory rows back.
 
-use crate::Matrix;
+use crate::timing::{scope, Kernel};
+use crate::{kernels, Matrix};
 
 impl Matrix {
     /// Gathers the given rows into a new `indices.len() × cols` matrix.
@@ -34,7 +35,12 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if any index is out of bounds.
+    ///
+    /// Row copies are `memcpy`-bound (no arithmetic to vectorize);
+    /// the kernel tier's contribution here is the timing attribution
+    /// and — under `quantized_memory` — the halved source bytes.
     pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        let _t = scope(Kernel::Gather);
         let c = self.cols();
         out.resize_for_overwrite(indices.len(), c);
         for (dst, &src) in indices.iter().enumerate() {
@@ -68,6 +74,7 @@ impl Matrix {
             offset,
             self.rows()
         );
+        let _t = scope(Kernel::Gather);
         for (i, &src) in indices.iter().enumerate() {
             let src = src as usize;
             assert!(
@@ -76,9 +83,7 @@ impl Matrix {
                 src,
                 source.rows()
             );
-            for (d, &s) in self.row_mut(offset + i).iter_mut().zip(source.row(src)) {
-                *d += s;
-            }
+            kernels::add(self.row_mut(offset + i), source.row(src));
         }
     }
 

@@ -1,0 +1,177 @@
+//! Per-kernel timing attribution (thread-local, zero contention).
+//!
+//! Every trainer "GPU" in this workspace is a thread, so kernel time
+//! is accounted in thread-local counters: a trainer thread reads back
+//! exactly the kernel time *it* spent, with no atomics on the hot
+//! path. Callers snapshot the counters before and after a region
+//! (`snapshot()` is cumulative per thread) and record the delta —
+//! the same pattern the embed stack uses for its per-layer timers.
+//!
+//! Scopes may nest across *kinds*: the GRU scope wraps the whole cell
+//! including its gate matmuls, so `gru` time includes the matmul time
+//! spent inside it and the kinds do not sum to wall-clock. Same-kind
+//! nesting is guarded — only the outermost scope of a kind counts.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// The instrumented kernel families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense matmul variants + attention score/value contractions.
+    Matmul,
+    /// The fused GRU memory-update cell (includes its gate matmuls).
+    Gru,
+    /// Row-wise softmax forward.
+    Softmax,
+    /// Row gather / gathered-accumulate batch assembly.
+    Gather,
+}
+
+const N_KERNELS: usize = 4;
+
+thread_local! {
+    static NANOS: [Cell<u64>; N_KERNELS] =
+        const { [const { Cell::new(0) }; N_KERNELS] };
+    static DEPTH: [Cell<u32>; N_KERNELS] =
+        const { [const { Cell::new(0) }; N_KERNELS] };
+}
+
+/// Cumulative per-thread kernel seconds. Subtract two snapshots to
+/// attribute a region; `Sub` is implemented for exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelTimings {
+    pub matmul_secs: f64,
+    pub gru_secs: f64,
+    pub softmax_secs: f64,
+    pub gather_secs: f64,
+}
+
+impl std::ops::Add for KernelTimings {
+    type Output = KernelTimings;
+    fn add(self, rhs: KernelTimings) -> KernelTimings {
+        KernelTimings {
+            matmul_secs: self.matmul_secs + rhs.matmul_secs,
+            gru_secs: self.gru_secs + rhs.gru_secs,
+            softmax_secs: self.softmax_secs + rhs.softmax_secs,
+            gather_secs: self.gather_secs + rhs.gather_secs,
+        }
+    }
+}
+
+impl std::ops::Sub for KernelTimings {
+    type Output = KernelTimings;
+    fn sub(self, rhs: KernelTimings) -> KernelTimings {
+        KernelTimings {
+            matmul_secs: self.matmul_secs - rhs.matmul_secs,
+            gru_secs: self.gru_secs - rhs.gru_secs,
+            softmax_secs: self.softmax_secs - rhs.softmax_secs,
+            gather_secs: self.gather_secs - rhs.gather_secs,
+        }
+    }
+}
+
+/// Reads this thread's cumulative kernel timers.
+pub fn snapshot() -> KernelTimings {
+    NANOS.with(|n| KernelTimings {
+        matmul_secs: n[Kernel::Matmul as usize].get() as f64 * 1e-9,
+        gru_secs: n[Kernel::Gru as usize].get() as f64 * 1e-9,
+        softmax_secs: n[Kernel::Softmax as usize].get() as f64 * 1e-9,
+        gather_secs: n[Kernel::Gather as usize].get() as f64 * 1e-9,
+    })
+}
+
+/// RAII guard: charges the enclosed span to `kernel` on this thread.
+/// Returned by [`scope`]; keep it alive for the duration of the
+/// kernel body.
+pub struct Scope {
+    kernel: Kernel,
+    start: Option<Instant>,
+}
+
+/// Opens a timing scope for `kernel`. Nested scopes of the *same*
+/// kind are no-ops (only the outermost counts), so helpers built on
+/// instrumented primitives don't double-charge.
+#[inline]
+pub fn scope(kernel: Kernel) -> Scope {
+    let outermost = DEPTH.with(|d| {
+        let cell = &d[kernel as usize];
+        let depth = cell.get();
+        cell.set(depth + 1);
+        depth == 0
+    });
+    Scope {
+        kernel,
+        start: outermost.then(Instant::now),
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        DEPTH.with(|d| {
+            let cell = &d[self.kernel as usize];
+            cell.set(cell.get() - 1);
+        });
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            NANOS.with(|n| {
+                let cell = &n[self.kernel as usize];
+                cell.set(cell.get() + elapsed);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_per_kind() {
+        let before = snapshot();
+        {
+            let _s = scope(Kernel::Softmax);
+            std::hint::black_box((0..10_000).sum::<u64>());
+        }
+        let after = snapshot();
+        let d = after - before;
+        assert!(d.softmax_secs > 0.0);
+        assert_eq!(d.matmul_secs, 0.0);
+        assert_eq!(d.gru_secs, 0.0);
+        assert_eq!(d.gather_secs, 0.0);
+    }
+
+    #[test]
+    fn same_kind_nesting_counts_once() {
+        let before = snapshot();
+        {
+            let _outer = scope(Kernel::Gather);
+            let inner_elapsed = {
+                let _inner = scope(Kernel::Gather);
+                let t = Instant::now();
+                std::hint::black_box((0..100_000).sum::<u64>());
+                t.elapsed().as_secs_f64()
+            };
+            // Inner scope must not have charged anything yet (it is
+            // swallowed by the outer one).
+            let mid = snapshot() - before;
+            assert_eq!(mid.gather_secs, 0.0);
+            assert!(inner_elapsed >= 0.0);
+        }
+        let d = snapshot() - before;
+        assert!(d.gather_secs > 0.0);
+    }
+
+    #[test]
+    fn cross_kind_nesting_charges_both() {
+        let before = snapshot();
+        {
+            let _g = scope(Kernel::Gru);
+            let _m = scope(Kernel::Matmul);
+            std::hint::black_box((0..10_000).sum::<u64>());
+        }
+        let d = snapshot() - before;
+        assert!(d.gru_secs > 0.0);
+        assert!(d.matmul_secs > 0.0);
+    }
+}

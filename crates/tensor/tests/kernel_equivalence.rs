@@ -1,0 +1,202 @@
+//! Property-based bit-identity suite for the hardware-width kernels.
+//!
+//! The `simd` dispatchers promise bit-identical results to their laned
+//! scalar references for *any* input — including remainder lanes
+//! (lengths not divisible by 8). These tests compare the dispatched
+//! path (AVX2 when compiled + detected, scalar otherwise) against the
+//! always-scalar reference directly, so they are meaningful in every
+//! build configuration: with `--no-default-features` both sides take
+//! the same path and the suite degenerates to a tautology, with SIMD
+//! on it is the real cross-path check.
+//!
+//! The references for the elementwise kernels are written out as plain
+//! loops here (not calls back into the crate) so a reordering bug in
+//! the shared scalar body cannot hide itself.
+
+use disttgl_tensor::bf16::{bf16_decode, bf16_encode};
+use disttgl_tensor::{kernels, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a vector whose length lands on interesting lane
+/// boundaries — empty, sub-lane, exact multiples, and remainders.
+fn lanes_vec() -> impl Strategy<Value = Vec<f32>> {
+    (0usize..70).prop_flat_map(|len| proptest::collection::vec(-100.0f32..100.0, len))
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dispatched dot ≡ laned scalar dot, bit for bit, any length.
+    #[test]
+    fn dot_matches_scalar_reference(a in lanes_vec()) {
+        let b: Vec<f32> = a.iter().map(|&x| x * 0.731 - 2.0).collect();
+        prop_assert_eq!(
+            kernels::dot(&a, &b).to_bits(),
+            kernels::dot_scalar(&a, &b).to_bits()
+        );
+    }
+
+    /// Each register-blocked dot4 column ≡ the lone dot of that pair.
+    #[test]
+    fn dot4_columns_match_scalar_dot(a in lanes_vec()) {
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|s| a.iter().map(|&x| x * (0.3 + s as f32) - 1.0).collect())
+            .collect();
+        let quad = kernels::dot4(&a, &rows[0], &rows[1], &rows[2], &rows[3]);
+        for (c, row) in rows.iter().enumerate() {
+            prop_assert_eq!(
+                quad[c].to_bits(),
+                kernels::dot_scalar(&a, row).to_bits(),
+                "column {}", c
+            );
+        }
+    }
+
+    /// Laned sum and row max match their scalar references.
+    #[test]
+    fn reductions_match_scalar_reference(a in lanes_vec()) {
+        prop_assert_eq!(
+            kernels::laned_sum(&a).to_bits(),
+            kernels::laned_sum_scalar(&a).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::row_max(&a).to_bits(),
+            kernels::row_max_scalar(&a).to_bits()
+        );
+    }
+
+    /// Elementwise kernels ≡ plain per-element loops (no cross-element
+    /// data flow ⇒ bit-identical at any vector width).
+    #[test]
+    fn elementwise_match_plain_loops(x in lanes_vec(), alpha in -4.0f32..4.0) {
+        let y: Vec<f32> = x.iter().map(|&v| v * 0.517 + 1.0).collect();
+
+        let mut out = y.clone();
+        kernels::axpy(&mut out, alpha, &x);
+        let mut reference = y.clone();
+        for (o, &v) in reference.iter_mut().zip(&x) {
+            *o += alpha * v;
+        }
+        prop_assert_eq!(bits(&out), bits(&reference), "axpy");
+
+        let mut out = y.clone();
+        kernels::add(&mut out, &x);
+        let mut reference = y.clone();
+        for (o, &v) in reference.iter_mut().zip(&x) {
+            *o += v;
+        }
+        prop_assert_eq!(bits(&out), bits(&reference), "add");
+
+        let mut out = y.clone();
+        kernels::scale(&mut out, alpha);
+        let mut reference = y.clone();
+        for o in reference.iter_mut() {
+            *o *= alpha;
+        }
+        prop_assert_eq!(bits(&out), bits(&reference), "scale");
+
+        let mut out = y.clone();
+        kernels::gru_candidate(&mut out, &x, &y);
+        let mut reference = y.clone();
+        for ((n, &r), &a) in reference.iter_mut().zip(&x).zip(&y) {
+            *n += r * a;
+        }
+        prop_assert_eq!(bits(&out), bits(&reference), "gru_candidate");
+
+        let z: Vec<f32> = x.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        let mut out = vec![0.0f32; x.len()];
+        kernels::gru_combine(&mut out, &y, &z, &x);
+        let mut reference = vec![0.0f32; x.len()];
+        for (((o, &n), &zv), &h) in reference.iter_mut().zip(&y).zip(&z).zip(&x) {
+            *o = (n - zv * n) + zv * h;
+        }
+        prop_assert_eq!(bits(&out), bits(&reference), "gru_combine");
+    }
+
+    /// The blocked/tiled matmul is bit-equal to the naive ascending-k
+    /// triple loop for arbitrary (m, k, n) — the tiling only reorders
+    /// *which rows* are computed when, never the per-element
+    /// accumulation order.
+    #[test]
+    fn blocked_matmul_matches_ascending_k(
+        m in 1usize..6, k in 1usize..80, n in 1usize..70, seed in 0u32..1000
+    ) {
+        let gen = |r: usize, c: usize, salt: u32| {
+            let v: Vec<f32> = (0..r * c)
+                .map(|i| {
+                    let h = (i as u32)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(seed ^ salt);
+                    ((h >> 8) as f32 / 8388608.0) - 1.0
+                })
+                .collect();
+            Matrix::from_vec(r, c, v)
+        };
+        let a = gen(m, k, 0xa);
+        let b = gen(k, n, 0xb);
+        let fast = a.matmul(&b);
+        let mut reference = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.get(i, kk);
+                if av != 0.0 {
+                    for j in 0..n {
+                        let cur = reference.get(i, j);
+                        reference.set(i, j, cur + av * b.get(kk, j));
+                    }
+                }
+            }
+        }
+        for i in 0..m {
+            prop_assert_eq!(bits(fast.row(i)), bits(reference.row(i)), "row {}", i);
+        }
+    }
+
+    /// `A · Bᵀ` (register-blocked dot4 path) ≡ scalar dot per element.
+    #[test]
+    fn matmul_transpose_b_matches_scalar_dots(
+        m in 1usize..6, k in 1usize..80, n in 1usize..10
+    ) {
+        let gen = |r: usize, c: usize, salt: f32| {
+            let v: Vec<f32> = (0..r * c).map(|i| ((i as f32) * salt).sin()).collect();
+            Matrix::from_vec(r, c, v)
+        };
+        let a = gen(m, k, 0.37);
+        let b = gen(n, k, 0.71);
+        let fast = a.matmul_transpose_b(&b);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(
+                    fast.get(i, j).to_bits(),
+                    kernels::dot_scalar(a.row(i), b.row(j)).to_bits(),
+                    "({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// bf16 round-trip keeps every normal value within 2⁻⁸ relative
+    /// error (half a bf16 ULP with round-to-nearest-even).
+    #[test]
+    fn bf16_round_trip_error_bounded(v in -1.0e30f32..1.0e30) {
+        let rt = bf16_decode(bf16_encode(v));
+        if v != 0.0 && v.is_normal() {
+            let rel = ((rt - v) / v).abs();
+            prop_assert!(rel <= 2.0f32.powi(-8), "{} -> {} rel {}", v, rt, rel);
+        }
+    }
+
+    /// Re-quantizing a quantized value is the identity (the property
+    /// that makes f32 checkpoints of bf16 stores lossless).
+    #[test]
+    fn bf16_double_round_trip_stable(b in 0u16..=u16::MAX) {
+        let v = bf16_decode(b);
+        if !v.is_nan() {
+            prop_assert_eq!(bf16_encode(v), b);
+        }
+    }
+}

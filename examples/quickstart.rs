@@ -67,6 +67,20 @@ fn print_layer_split(timing: &disttgl::core::TimingBreakdown) {
         per_layer.join(", "),
         timing.compute_secs * 1e3
     );
+    // Kernel attribution (GRU overlaps its gate matmuls, so the shares
+    // do not sum to 100%).
+    let pct = |s: f64| 100.0 * s / timing.compute_secs.max(1e-12);
+    println!(
+        "               kernels: matmul {:.0}ms ({:.0}%), GRU {:.0}ms ({:.0}%), softmax {:.0}ms ({:.0}%), gather {:.0}ms ({:.0}%)",
+        timing.matmul_secs * 1e3,
+        pct(timing.matmul_secs),
+        timing.gru_secs * 1e3,
+        pct(timing.gru_secs),
+        timing.softmax_secs * 1e3,
+        pct(timing.softmax_secs),
+        timing.gather_secs * 1e3,
+        pct(timing.gather_secs),
+    );
 }
 
 fn main() {
@@ -131,8 +145,10 @@ fn main() {
         dist.loss_history.len()
     );
     println!(
-        "               node-memory rows read {} / written {} (all via memory daemons)",
-        dist.daemon_rows_read, dist.daemon_rows_written
+        "               node-memory rows read {} / written {} (all via memory daemons), {:.1} MiB payload moved",
+        dist.daemon_rows_read,
+        dist.daemon_rows_written,
+        dist.daemon_payload_bytes as f64 / (1024.0 * 1024.0)
     );
     println!(
         "               speculative overlap: {} spec reads ({} rows gathered off-turn), {} delta turns repaired {} stale rows ({:.1}% of speculated)",
