@@ -13,7 +13,7 @@
 use disttgl_cluster::{ClusterSpec, FaultPlan};
 use disttgl_core::{
     plan_from_graph, train_distributed, train_single, train_supervised, ModelConfig,
-    ParallelConfig, RetryPolicy, TrainConfig,
+    ParallelConfig, RetryPolicy, StalenessCompensation, TrainConfig,
 };
 use disttgl_data::generators;
 use disttgl_graph::capture;
@@ -26,6 +26,7 @@ fn usage() -> ! {
          [--threshold F] [--saturation N] [--replicas N] [--no-static] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume-from FILE] [--retain K] \
          [--faults JSON] [--max-restarts N] [--retry-backoff-ms MS] \
+         [--staleness-bound K] [--staleness-compensation none|blend] \
          [--out FILE] [--in FILE]
 
   --faults JSON        seeded fault plan, e.g.
@@ -37,7 +38,15 @@ fn usage() -> ! {
                        progress across restarts)
   --retry-backoff-ms   pause between rollback and resume (default 0)
   --retain K           keep only the newest K checkpoints (the newest
-                       *valid* one is never deleted)"
+                       *valid* one is never deleted)
+  --staleness-bound K  bounded-staleness training: skip the Acquire-slot
+                       delta repair for rows within K pending writes
+                       (K=0 stays bit-identical to the exact oracle;
+                       requires speculation, i.e. a distributed run)
+  --staleness-compensation none|blend
+                       mitigation for admitted-stale rows (blend =
+                       MSPipe-style similarity blend toward the row's
+                       own mailbox snapshot)"
     );
     std::process::exit(2);
 }
@@ -141,6 +150,27 @@ fn main() {
                     serde_json::from_str(json).expect("bad --faults JSON (see usage)");
                 cfg.faults = Some(plan);
             }
+            // Bounded-staleness mode (--staleness-bound K): the typed
+            // ConfigError from validate() rejects it when speculation
+            // is off rather than silently training exactly.
+            if let Some(k) = flags.get("staleness-bound") {
+                let k: u64 = k.parse().expect("bad --staleness-bound value");
+                cfg = cfg.staleness_bound(k);
+            }
+            if let Some(c) = flags.get("staleness-compensation") {
+                cfg = cfg.with_staleness_compensation(match c.as_str() {
+                    "none" => StalenessCompensation::None,
+                    "blend" => StalenessCompensation::SimilarityBlend,
+                    other => {
+                        eprintln!("bad --staleness-compensation value: {other} (want none|blend)");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            if let Err(e) = cfg.validate() {
+                eprintln!("invalid configuration: {e}");
+                std::process::exit(2);
+            }
             let spec = ClusterSpec::new(1, parallel.world());
             let res = if flags.contains_key("max-restarts") {
                 assert!(
@@ -180,9 +210,12 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
-            } else if parallel.world() == 1 {
+            } else if parallel.world() == 1 && cfg.staleness_bound.is_none() {
                 train_single(&dataset, &mc, &cfg)
             } else {
+                // Staleness needs the speculative protocol, which only
+                // the distributed trainer runs — a 1×1×1 layout still
+                // speculates against its single daemon.
                 train_distributed(&dataset, &mc, &cfg, spec)
             };
             if res.aborted {
@@ -205,6 +238,17 @@ fn main() {
                 "daemon rows R/W  : {} / {}",
                 res.daemon_rows_read, res.daemon_rows_written
             );
+            if cfg.staleness_bound.is_some() {
+                let mean_lag = res.daemon_stale_lag_sum as f64
+                    / (res.daemon_stale_rows_admitted.max(1)) as f64;
+                println!(
+                    "staleness        : {} repairs skipped / {} paid, mean lag {:.2}, max lag {}",
+                    res.daemon_stale_rows_admitted,
+                    res.daemon_delta_rows,
+                    mean_lag,
+                    res.daemon_stale_lag_max
+                );
+            }
         }
         "plan" => {
             let machines = get(&flags, "machines", 1usize);

@@ -408,7 +408,72 @@ pub struct TrainConfig {
     /// Deterministic fault-injection plan (tests / chaos runs). `None`
     /// or an empty plan injects nothing.
     pub faults: Option<disttgl_cluster::FaultPlan>,
+    /// **Bounded-staleness training** (MSPipe-style, the repo's first
+    /// intentional exactness/speed trade — opt-in, `None` = exact):
+    /// when a lane's speculative readout comes back at its Acquire
+    /// turn, rows whose version lag is within `k` pending writes keep
+    /// their stale value instead of paying the fused delta repair;
+    /// rows beyond `k` (or tagged before an epoch reset) still repair
+    /// exactly, so staleness is bounded by construction. `Some(0)`
+    /// runs the bounded machinery but admits nothing — bit-identical
+    /// to the exact oracle (pinned by `tests/staleness_equivalence.rs`).
+    /// Requires `speculative_gather` (validated by
+    /// [`TrainConfig::validate`]). Admission at `k > 0` depends on
+    /// daemon service timing and is **not** run-deterministic; the
+    /// contract is per-row: every admitted value is within `k` writes
+    /// of the serialized read.
+    pub staleness_bound: Option<u64>,
+    /// Mitigation applied to rows admitted stale (only meaningful with
+    /// `staleness_bound > 0`).
+    pub staleness_compensation: StalenessCompensation,
 }
+
+/// Staleness-aware mitigation for rows admitted under
+/// [`TrainConfig::staleness_bound`] (MSPipe §"staleness mitigation").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StalenessCompensation {
+    /// Use the stale row as-is.
+    #[default]
+    None,
+    /// Blend the stale memory vector toward the node's own freshest
+    /// mailbox snapshot (the first `d_mem` chunk of its mail row —
+    /// the ŝ captured at its last event): `s ← (s + ŝ_mail) / 2`.
+    /// Zero extra daemon traffic; timestamps untouched.
+    SimilarityBlend,
+}
+
+/// Typed rejection of an invalid [`TrainConfig`] (surfaced by the CLI
+/// and asserted by the trainers before any thread spawns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `staleness_bound` set while `speculative_gather` (or its
+    /// prerequisite `pipeline_prefetch`) is off — there is no
+    /// speculative readout to admit stale rows from.
+    StalenessRequiresSpeculation,
+    /// A compensation variant other than `None` set without a
+    /// `staleness_bound` — there are no admitted-stale rows to
+    /// compensate.
+    CompensationRequiresStalenessBound,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::StalenessRequiresSpeculation => write!(
+                f,
+                "staleness_bound requires speculative_gather (and pipeline_prefetch): \
+                 bounded staleness admits rows from the speculative readout"
+            ),
+            ConfigError::CompensationRequiresStalenessBound => write!(
+                f,
+                "staleness_compensation requires staleness_bound: \
+                 there are no admitted-stale rows to compensate without a bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl TrainConfig {
     /// Paper-like defaults for a given parallel layout.
@@ -432,7 +497,40 @@ impl TrainConfig {
             resume_from: None,
             daemon_deadline_ms: None,
             faults: None,
+            staleness_bound: None,
+            staleness_compensation: StalenessCompensation::None,
         }
+    }
+
+    /// Opts into bounded-staleness training: skip the Acquire-slot
+    /// delta repair for rows within `k` pending writes. `k = 0` keeps
+    /// the run bit-identical to the exact oracle (see the
+    /// `staleness_bound` field docs for the contract).
+    pub fn staleness_bound(mut self, k: u64) -> Self {
+        self.staleness_bound = Some(k);
+        self
+    }
+
+    /// Selects the mitigation for admitted-stale rows; requires
+    /// [`TrainConfig::staleness_bound`].
+    pub fn with_staleness_compensation(mut self, c: StalenessCompensation) -> Self {
+        self.staleness_compensation = c;
+        self
+    }
+
+    /// Validates cross-field constraints, returning the typed
+    /// [`ConfigError`] the CLI surfaces. The trainers call this before
+    /// spawning anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.staleness_bound.is_some() && !(self.speculative_gather && self.pipeline_prefetch) {
+            return Err(ConfigError::StalenessRequiresSpeculation);
+        }
+        if self.staleness_compensation != StalenessCompensation::None
+            && self.staleness_bound.is_none()
+        {
+            return Err(ConfigError::CompensationRequiresStalenessBound);
+        }
+        Ok(())
     }
 
     /// Enables periodic checkpoints: one every `n` epochs, written
@@ -509,6 +607,50 @@ impl TrainConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_staleness_requires_speculation() {
+        let mut cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2)).staleness_bound(2);
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.speculative_gather = false;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::StalenessRequiresSpeculation)
+        );
+        cfg.speculative_gather = true;
+        cfg.pipeline_prefetch = false;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::StalenessRequiresSpeculation)
+        );
+    }
+
+    #[test]
+    fn validate_compensation_requires_bound() {
+        let cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2))
+            .with_staleness_compensation(StalenessCompensation::SimilarityBlend);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::CompensationRequiresStalenessBound)
+        );
+        let cfg = cfg.staleness_bound(1);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fingerprint_keeps_staleness_fields() {
+        // Staleness shapes the training trajectory, so unlike fault
+        // scaffolding it must stay in the checkpoint fingerprint.
+        let cfg = TrainConfig::new(ParallelConfig::new(1, 1, 2))
+            .staleness_bound(3)
+            .with_staleness_compensation(StalenessCompensation::SimilarityBlend);
+        let fp = cfg.fingerprint_config();
+        assert_eq!(fp.staleness_bound, Some(3));
+        assert_eq!(
+            fp.staleness_compensation,
+            StalenessCompensation::SimilarityBlend
+        );
+    }
 
     #[test]
     fn paper_worked_example() {

@@ -18,6 +18,34 @@
 //! Rank 0 additionally evaluates the validation split at each sweep
 //! boundary from the epoch snapshot of memory replica 0 — "using the
 //! node memory in the first memory process" (§4.0.1).
+//!
+//! # Exact, recoverable, and bounded-stale: the relaxation taxonomy
+//!
+//! Every mode of this trainer sits in one of three rigor classes:
+//!
+//! * **Exact** (the default): the serialized memory order is observed
+//!   bit for bit. Speculation (`speculative_gather`) stays in this
+//!   class — its Acquire-slot delta repair reproduces the serialized
+//!   read exactly, per the version contract — as do pipelining,
+//!   checkpoint/resume, and fault recovery (pure replay).
+//! * **Recoverable**: a fault (lane crash, daemon shutdown, deadline
+//!   expiry) unwinds the run with typed `AbortReport`s; a supervisor
+//!   resumes from a checkpoint onto the *same* exact trajectory. The
+//!   relaxation is in availability, never in arithmetic.
+//! * **Bounded-stale** (`TrainConfig::staleness_bound(k)`, opt-in):
+//!   the first *intentional* arithmetic relaxation. A speculative row
+//!   within `k` pending writes of the serialized read may keep its
+//!   stale value — the Acquire-slot repair is skipped for it — so the
+//!   result is no longer bit-identical to the exact oracle at `k > 0`.
+//!   The guarantees that remain are structural, not empirical: every
+//!   admitted row is within `k` writes of the serialized value (the
+//!   proptested per-row bound), rows tagged before an epoch reset
+//!   always repair, and `k = 0` degenerates to the exact class bit
+//!   for bit (`tests/staleness_equivalence.rs`). *Which* rows are
+//!   admitted at `k > 0` depends on daemon service timing, so runs
+//!   are not replay-deterministic — accuracy is reported as measured
+//!   MRR/F1 deltas across seeds (`BENCH_staleness.json`), never
+//!   assumed.
 
 use crate::batch::{BatchPreparer, MemoryAccess, PreparedBatch};
 use crate::checkpoint::{fingerprint, TrainCheckpoint};
@@ -74,6 +102,22 @@ impl MemoryAccess for TimedAccess<'_> {
     }
 }
 
+/// MSPipe-style similarity blend for rows admitted stale under the
+/// staleness bound: pull each admitted memory vector halfway toward the
+/// node's own freshest mailbox snapshot — the first `d_mem` chunk of
+/// its mail row, the ŝ captured at the node's last event (see
+/// `TgnModel::build_write`'s mail layout). Trainer-side and
+/// allocation-free; mail content and timestamps are untouched.
+fn blend_admitted_rows(readout: &mut MemoryReadout, rows: &[u32], d_mem: usize) {
+    for &r in rows {
+        let r = r as usize;
+        let snapshot = &readout.mail.row(r)[..d_mem];
+        for (m, &s) in readout.mem.row_mut(r).iter_mut().zip(snapshot) {
+            *m = 0.5 * (*m + s);
+        }
+    }
+}
+
 struct TrainerReturn {
     timing: TimingBreakdown,
     loss_history: Vec<f32>,
@@ -113,6 +157,8 @@ pub fn train_distributed(
     );
     let (i, j, k) = (parallel.i, parallel.j, parallel.k);
     let world = parallel.world();
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid TrainConfig: {e}"));
 
     let csr = Arc::new(TCsr::build(&dataset.graph));
     let (train_end, val_end) = dataset.graph.chronological_split(0.70, 0.15);
@@ -561,13 +607,39 @@ fn trainer_main(ctx: TrainerCtx) -> TrainerReturn {
                                 let t_mem = Instant::now();
                                 let collected =
                                     client.try_take_speculation().and_then(|mut tagged| {
-                                        client
-                                            .try_read_delta_into(
-                                                resp.sb.nodes(),
-                                                &tagged.versions,
-                                                &mut tagged.readout,
-                                            )
-                                            .map(|_patched| tagged)
+                                        match cfg.staleness_bound {
+                                            // Bounded-staleness mode:
+                                            // rows within the bound
+                                            // keep their speculative
+                                            // value (repair skipped);
+                                            // the rest repair exactly.
+                                            Some(bound) => client
+                                                .try_read_delta_bounded_into(
+                                                    resp.sb.nodes(),
+                                                    &tagged.versions,
+                                                    &mut tagged.readout,
+                                                    bound,
+                                                )
+                                                .map(|outcome| {
+                                                    if cfg.staleness_compensation
+                                                        == crate::config::StalenessCompensation::SimilarityBlend
+                                                    {
+                                                        blend_admitted_rows(
+                                                            &mut tagged.readout,
+                                                            &outcome.admitted_rows,
+                                                            model_cfg.d_mem,
+                                                        );
+                                                    }
+                                                    tagged
+                                                }),
+                                            None => client
+                                                .try_read_delta_into(
+                                                    resp.sb.nodes(),
+                                                    &tagged.versions,
+                                                    &mut tagged.readout,
+                                                )
+                                                .map(|_patched| tagged),
+                                        }
                                     });
                                 ret.timing.mem_wait_secs += t_mem.elapsed().as_secs_f64();
                                 match collected {

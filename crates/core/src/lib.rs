@@ -77,7 +77,8 @@ pub use batch::{
     NegativePart, PositivePart, PreparedBatch, ReadoutIndex, ReadoutView, StaticBatch,
 };
 pub use config::{
-    plan, plan_from_graph, CombPolicy, ModelConfig, ParallelConfig, PlannerInput, TrainConfig,
+    plan, plan_from_graph, CombPolicy, ConfigError, ModelConfig, ParallelConfig, PlannerInput,
+    StalenessCompensation, TrainConfig,
 };
 pub use dist::train_distributed;
 pub use engine::{InferenceEngine, PartEmbedding, PartRef};

@@ -236,6 +236,19 @@ pub struct RunResult {
     /// `ModelConfig::quantized_memory` halves (2 bytes/elem bf16 vs 4
     /// exact).
     pub daemon_payload_bytes: u64,
+    /// Bounded-staleness repair turns served (0 unless
+    /// `TrainConfig::staleness_bound` is set; each also counts in
+    /// `daemon_delta_reads`).
+    pub daemon_bounded_reads: u64,
+    /// Stale rows admitted within the staleness bound — repairs
+    /// *skipped*; `daemon_delta_rows` remains the repairs *paid*.
+    pub daemon_stale_rows_admitted: u64,
+    /// Sum of version lags over admitted rows (mean lag = sum /
+    /// admitted).
+    pub daemon_stale_lag_sum: u64,
+    /// Largest version lag admitted anywhere in the run — the realized
+    /// staleness, always ≤ the configured bound.
+    pub daemon_stale_lag_max: u64,
     /// Per-replica content digest of the final node memory (one per
     /// daemon, group order) — lets equivalence tests pin bit-identical
     /// final memory across executor variants without shipping states.
@@ -264,6 +277,10 @@ impl RunResult {
         self.daemon_delta_reads += stats.delta_reads_served;
         self.daemon_delta_rows += stats.delta_rows_sent;
         self.daemon_payload_bytes += stats.payload_bytes;
+        self.daemon_bounded_reads += stats.bounded_reads_served;
+        self.daemon_stale_rows_admitted += stats.stale_rows_admitted;
+        self.daemon_stale_lag_sum += stats.stale_lag_sum;
+        self.daemon_stale_lag_max = self.daemon_stale_lag_max.max(stats.stale_lag_max);
     }
 
     /// Folds communicator counters into the record.

@@ -58,7 +58,9 @@
 //! responses), so buffer contents are always synchronized-with the
 //! status transition that announces them.
 
-use crate::state::{MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};
+use crate::state::{
+    MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, RepairOutcome, VersionedReadout,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -100,10 +102,11 @@ impl std::error::Error for DaemonError {}
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DaemonStats {
     /// Logical node-memory + mail rows served to *serialized* read
-    /// requests. A delta read counts its full request length here (it
-    /// logically serves the same read), so this figure is invariant
-    /// under speculation on/off; the bytes that actually moved at the
-    /// turn are `delta_rows_sent`.
+    /// requests. A delta or bounded-staleness read counts its full
+    /// request length here (it logically serves the same read), so
+    /// this figure is invariant under speculation on/off *and* under
+    /// the staleness bound; the bytes that actually moved at the turn
+    /// are `delta_rows_sent`.
     pub rows_read: u64,
     /// Rows applied from write requests.
     pub rows_written: u64,
@@ -123,6 +126,19 @@ pub struct DaemonStats {
     pub delta_rows_sent: u64,
     /// Nanoseconds the daemon spent actively serving (excludes waiting).
     pub serve_nanos: u64,
+    /// Bounded-staleness repair turns served (the relaxed-mode
+    /// counterpart of `delta_reads_served`; every bounded turn also
+    /// counts there, since it serves the same serialized read slot).
+    pub bounded_reads_served: u64,
+    /// Stale rows *admitted* within the staleness bound — repairs
+    /// skipped. `delta_rows_sent` remains the repairs actually paid.
+    pub stale_rows_admitted: u64,
+    /// Sum of version lags over admitted rows (mean lag =
+    /// `stale_lag_sum / stale_rows_admitted`).
+    pub stale_lag_sum: u64,
+    /// Largest version lag ever admitted — the run's realized
+    /// staleness, always ≤ the configured bound.
+    pub stale_lag_max: u64,
     /// Modeled wire bytes of the row payloads that actually moved —
     /// rows shipped by full/versioned/speculative reads, rows patched
     /// by delta/repair turns, and rows applied from writes, each at
@@ -145,6 +161,15 @@ enum ReadRequest {
     /// requester's buffer (the fused hot path — one copy per stale
     /// row, nothing materialized).
     Repair { nodes: Vec<u32>, versions: Vec<u64> },
+    /// Bounded-staleness form of `Repair`: stale rows within `bound`
+    /// pending writes keep their tagged value (repair skipped); rows
+    /// beyond the bound, or tagged before the last reset, repair
+    /// exactly. `bound = 0` is behaviorally identical to `Repair`.
+    RepairBounded {
+        nodes: Vec<u32>,
+        versions: Vec<u64>,
+        bound: u64,
+    },
 }
 
 impl Default for ReadRequest {
@@ -162,6 +187,8 @@ enum ReadResponse {
     Delta(MemoryDelta),
     /// The repaired-in-place readout plus the patched row count.
     Repaired(MemoryReadout, u64),
+    /// The bounded-repaired readout plus the admission accounting.
+    RepairedBounded(MemoryReadout, RepairOutcome),
 }
 
 impl Default for ReadResponse {
@@ -210,6 +237,10 @@ struct Shared {
     spec_rows_read: AtomicU64,
     delta_reads_served: AtomicU64,
     delta_rows_sent: AtomicU64,
+    bounded_reads_served: AtomicU64,
+    stale_rows_admitted: AtomicU64,
+    stale_lag_sum: AtomicU64,
+    stale_lag_max: AtomicU64,
     serve_nanos: AtomicU64,
     payload_bytes: AtomicU64,
     /// Epoch-end snapshot of the state, refreshed before each reset.
@@ -479,6 +510,39 @@ impl MemoryClient {
         }
     }
 
+    /// Bounded-staleness form of [`MemoryClient::try_read_delta_into`]
+    /// (the `TrainConfig::staleness_bound` hot path): stale rows whose
+    /// version lag is within `bound` **keep their speculative value**
+    /// — the repair copy is skipped — while rows beyond the bound, or
+    /// tagged before an epoch reset, are repaired exactly. The
+    /// returned [`RepairOutcome`] names the admitted rows (for
+    /// trainer-side staleness compensation) and their lag histogram.
+    /// With `bound = 0` no row is ever admitted and the readout is
+    /// bit-identical to [`MemoryClient::try_read_delta_into`]'s.
+    pub fn try_read_delta_bounded_into(
+        &self,
+        nodes: &[u32],
+        versions: &[u64],
+        readout: &mut MemoryReadout,
+        bound: u64,
+    ) -> Result<RepairOutcome, DaemonError> {
+        assert_eq!(nodes.len(), versions.len(), "read_delta_bounded: versions");
+        let req = ReadRequest::RepairBounded {
+            nodes: nodes.to_vec(),
+            versions: versions.to_vec(),
+            bound,
+        };
+        let buffer =
+            ReadResponse::RepairedBounded(std::mem::take(readout), RepairOutcome::default());
+        match self.try_read_turn(req, Some(buffer))? {
+            ReadResponse::RepairedBounded(r, outcome) => {
+                *readout = r;
+                Ok(outcome)
+            }
+            _ => unreachable!("bounded repair answered with wrong response kind"),
+        }
+    }
+
     /// Posts an **out-of-turn** speculative gather for `nodes` and
     /// returns immediately. The daemon serves it while spinning between
     /// serialized turns, so the data movement overlaps trainer compute;
@@ -667,6 +731,10 @@ impl MemoryDaemon {
             spec_rows_read: AtomicU64::new(0),
             delta_reads_served: AtomicU64::new(0),
             delta_rows_sent: AtomicU64::new(0),
+            bounded_reads_served: AtomicU64::new(0),
+            stale_rows_admitted: AtomicU64::new(0),
+            stale_lag_sum: AtomicU64::new(0),
+            stale_lag_max: AtomicU64::new(0),
             serve_nanos: AtomicU64::new(0),
             payload_bytes: AtomicU64::new(0),
             snapshot: Mutex::new(None),
@@ -717,6 +785,10 @@ impl MemoryDaemon {
             spec_rows_read: self.shared.spec_rows_read.load(Ordering::Relaxed),
             delta_reads_served: self.shared.delta_reads_served.load(Ordering::Relaxed),
             delta_rows_sent: self.shared.delta_rows_sent.load(Ordering::Relaxed),
+            bounded_reads_served: self.shared.bounded_reads_served.load(Ordering::Relaxed),
+            stale_rows_admitted: self.shared.stale_rows_admitted.load(Ordering::Relaxed),
+            stale_lag_sum: self.shared.stale_lag_sum.load(Ordering::Relaxed),
+            stale_lag_max: self.shared.stale_lag_max.load(Ordering::Relaxed),
             serve_nanos: self.shared.serve_nanos.load(Ordering::Relaxed),
             payload_bytes: self.shared.payload_bytes.load(Ordering::Relaxed),
         }
@@ -1021,6 +1093,42 @@ fn daemon_loop(
                             .fetch_add(patched as u64, Ordering::Relaxed);
                         add_payload(shared, state, patched);
                         shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .rows_read
+                            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+                    }
+                    ReadRequest::RepairBounded {
+                        nodes,
+                        versions,
+                        bound,
+                    } => {
+                        let (repaired, admitted, lag_sum, max_lag) = match &mut *resp {
+                            ReadResponse::RepairedBounded(buffer, parked) => {
+                                *parked = state.repair_lagged(&nodes, &versions, buffer, bound);
+                                (
+                                    parked.repaired,
+                                    parked.admitted_stale,
+                                    parked.lag_sum,
+                                    parked.max_lag,
+                                )
+                            }
+                            _ => unreachable!("bounded repair without a parked readout"),
+                        };
+                        // Paid repairs move bytes exactly like Repair;
+                        // admitted rows move nothing.
+                        shared
+                            .delta_rows_sent
+                            .fetch_add(repaired as u64, Ordering::Relaxed);
+                        add_payload(shared, state, repaired);
+                        shared.delta_reads_served.fetch_add(1, Ordering::Relaxed);
+                        shared.bounded_reads_served.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stale_rows_admitted
+                            .fetch_add(admitted as u64, Ordering::Relaxed);
+                        shared.stale_lag_sum.fetch_add(lag_sum, Ordering::Relaxed);
+                        shared.stale_lag_max.fetch_max(max_lag, Ordering::Relaxed);
+                        // Logical rows served — the speculation/bound
+                        // invariance of `rows_read`.
                         shared
                             .rows_read
                             .fetch_add(nodes.len() as u64, Ordering::Relaxed);

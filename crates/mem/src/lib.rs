@@ -43,4 +43,6 @@ mod daemon;
 mod state;
 
 pub use daemon::{DaemonError, DaemonOptions, DaemonStats, MemoryClient, MemoryDaemon};
-pub use state::{MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, VersionedReadout};
+pub use state::{
+    MemoryDelta, MemoryReadout, MemoryState, MemoryWrite, RepairOutcome, VersionedReadout,
+};

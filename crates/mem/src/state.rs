@@ -271,6 +271,27 @@ impl RowStore {
     }
 }
 
+/// Accounting from a bounded-staleness repair
+/// ([`MemoryState::repair_lagged`]): how many rows were repaired
+/// exactly vs admitted stale, the lag distribution of the admitted
+/// rows, and which readout rows they are (for trainer-side staleness
+/// compensation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Rows beyond the bound (or tagged pre-reset) that were repaired
+    /// exactly — "repairs paid".
+    pub repaired: usize,
+    /// Stale rows within the bound that kept their tagged value —
+    /// "repairs skipped".
+    pub admitted_stale: usize,
+    /// Largest version lag among admitted rows (0 when none admitted).
+    pub max_lag: u64,
+    /// Sum of version lags over admitted rows (mean = sum / admitted).
+    pub lag_sum: u64,
+    /// Readout row indices (not node ids) of the admitted-stale rows.
+    pub admitted_rows: Vec<u32>,
+}
+
 /// Dense node-memory + mailbox store for one memory replica.
 ///
 /// Memory-parallel training (`k > 1`) instantiates `k` of these; the
@@ -289,6 +310,11 @@ pub struct MemoryState {
     write_seq: u64,
     /// Write version of each node's last mutation (0 = never written).
     node_version: Vec<u64>,
+    /// Write sequence of the most recent [`MemoryState::reset`] (0 =
+    /// never reset). Bounded-staleness admission refuses any row whose
+    /// tagged version predates this: a reset rewrites *semantics* (a
+    /// new epoch), not just values, so pre-reset rows always repair.
+    last_reset_seq: u64,
 }
 
 impl MemoryState {
@@ -321,6 +347,7 @@ impl MemoryState {
             mail_ts: vec![0.0; num_nodes],
             write_seq: 0,
             node_version: vec![0; num_nodes],
+            last_reset_seq: 0,
         }
     }
 
@@ -378,6 +405,7 @@ impl MemoryState {
         self.mail_ts.fill(0.0);
         self.write_seq += 1;
         self.node_version.fill(self.write_seq);
+        self.last_reset_seq = self.write_seq;
     }
 
     /// Current write sequence (bumped by every write and reset).
@@ -484,6 +512,57 @@ impl MemoryState {
             }
         }
         patched
+    }
+
+    /// Bounded-staleness variant of [`MemoryState::repair_since`]: a
+    /// stale row whose version lag (`node_version − tagged version`) is
+    /// at most `bound` is **admitted** — left at its tagged (stale)
+    /// value and recorded in the outcome — while rows beyond the bound
+    /// repair exactly as `repair_since` does. `bound = 0` admits
+    /// nothing (a stale row has lag ≥ 1), so it is `repair_since` with
+    /// extra bookkeeping — the k=0 ≡ exact bit-identity anchor.
+    ///
+    /// Rows tagged before the last [`MemoryState::reset`] are never
+    /// admitted regardless of lag: a reset starts a new epoch, and
+    /// pre-reset values are semantically unrelated, not merely stale.
+    ///
+    /// # Panics
+    /// Panics on length mismatches between `nodes`, `versions`, and
+    /// `out`.
+    pub fn repair_lagged(
+        &self,
+        nodes: &[u32],
+        versions: &[u64],
+        out: &mut MemoryReadout,
+        bound: u64,
+    ) -> RepairOutcome {
+        assert_eq!(
+            nodes.len(),
+            versions.len(),
+            "repair_lagged: version vector length"
+        );
+        assert_eq!(out.mem.rows(), nodes.len(), "repair_lagged: readout rows");
+        let mut outcome = RepairOutcome::default();
+        for (r, (&n, &v)) in nodes.iter().zip(versions).enumerate() {
+            let i = n as usize;
+            let cur = self.node_version[i];
+            if cur > v {
+                let lag = cur - v;
+                if lag <= bound && v >= self.last_reset_seq {
+                    outcome.admitted_stale += 1;
+                    outcome.lag_sum += lag;
+                    outcome.max_lag = outcome.max_lag.max(lag);
+                    outcome.admitted_rows.push(r as u32);
+                } else {
+                    self.mem.copy_row_into(i, out.mem.row_mut(r));
+                    self.mail.copy_row_into(i, out.mail.row_mut(r));
+                    out.mem_ts[r] = self.mem_ts[i];
+                    out.mail_ts[r] = self.mail_ts[i];
+                    outcome.repaired += 1;
+                }
+            }
+        }
+        outcome
     }
 
     /// Applies a write. Duplicate nodes resolve to the **last**
@@ -619,6 +698,11 @@ impl MemoryState {
             mail_ts,
             write_seq,
             node_version,
+            // Restored conservatively as "never reset". Safe: no
+            // speculation spans a checkpoint restore, and the first
+            // post-restore reset re-stamps it before any bounded
+            // admission could consult it.
+            last_reset_seq: 0,
         }
     }
 }
@@ -756,6 +840,78 @@ mod tests {
         assert_eq!(via_delta.mem_ts, via_repair.mem_ts);
         assert_eq!(via_delta.mail_ts, via_repair.mail_ts);
         assert_eq!(via_repair.mem, s.read(&nodes).mem);
+    }
+
+    #[test]
+    fn repair_lagged_bound_zero_is_repair_since() {
+        let mut s = MemoryState::new(6, 2, 3);
+        s.write(&write_of(vec![0, 1, 2, 4], 2, 3, 1.0, 1.0));
+        let nodes = [4u32, 0, 5, 1];
+        let tagged = s.read_versioned(&nodes);
+        s.write(&write_of(vec![1, 5, 3], 2, 3, 8.0, 8.0));
+
+        let mut via_repair = tagged.readout.clone();
+        let n_repair = s.repair_since(&nodes, &tagged.versions, &mut via_repair);
+
+        let mut via_bounded = tagged.readout.clone();
+        let outcome = s.repair_lagged(&nodes, &tagged.versions, &mut via_bounded, 0);
+
+        assert_eq!(outcome.repaired, n_repair);
+        assert_eq!(outcome.admitted_stale, 0);
+        assert_eq!(outcome.max_lag, 0);
+        assert!(outcome.admitted_rows.is_empty());
+        assert_eq!(via_bounded.mem, via_repair.mem);
+        assert_eq!(via_bounded.mail, via_repair.mail);
+        assert_eq!(via_bounded.mem_ts, via_repair.mem_ts);
+        assert_eq!(via_bounded.mail_ts, via_repair.mail_ts);
+    }
+
+    #[test]
+    fn repair_lagged_admits_within_bound_repairs_beyond() {
+        let mut s = MemoryState::new(6, 1, 1);
+        s.write(&write_of(vec![0, 1, 2], 1, 1, 1.0, 1.0));
+        let nodes = [0u32, 1, 2, 3];
+        let tagged = s.read_versioned(&nodes);
+        // Node 1 lags by 1 write, node 2 by 2, node 3 by 4 (tagged at
+        // version 0, last written at sequence 4).
+        s.write(&write_of(vec![1, 2], 1, 1, 5.0, 5.0));
+        s.write(&write_of(vec![2, 3], 1, 1, 7.0, 7.0));
+        s.write(&write_of(vec![3], 1, 1, 9.0, 9.0));
+
+        let mut out = tagged.readout.clone();
+        let outcome = s.repair_lagged(&nodes, &tagged.versions, &mut out, 2);
+        // Rows 1 (lag 1) and 2 (lag 2) admitted; row 3 (lag 4)
+        // exceeds the bound and repairs; row 0 is fresh.
+        assert_eq!(outcome.admitted_rows, vec![1, 2]);
+        assert_eq!(outcome.admitted_stale, 2);
+        assert_eq!(outcome.repaired, 1);
+        assert_eq!(outcome.max_lag, 2);
+        assert_eq!(outcome.lag_sum, 3);
+        // Admitted rows keep the stale tagged values...
+        assert_eq!(out.mem.get(1, 0), 1.0);
+        assert_eq!(out.mem.get(2, 0), 1.0);
+        // ...while the out-of-bound row matches the serialized read.
+        assert_eq!(out.mem.get(3, 0), 9.0);
+        let serialized = s.read(&nodes);
+        assert_eq!(out.mem.get(0, 0), serialized.mem.get(0, 0));
+        assert_eq!(out.mem.get(3, 0), serialized.mem.get(3, 0));
+    }
+
+    #[test]
+    fn repair_lagged_never_admits_across_reset() {
+        let mut s = MemoryState::new(3, 1, 1);
+        s.write(&write_of(vec![0, 1], 1, 1, 4.0, 1.0));
+        let nodes = [0u32, 1];
+        let tagged = s.read_versioned(&nodes);
+        s.reset();
+        // Post-reset lag is 1 for both rows — within any bound ≥ 1 —
+        // but the reset barrier forces an exact repair anyway.
+        let mut out = tagged.readout.clone();
+        let outcome = s.repair_lagged(&nodes, &tagged.versions, &mut out, u64::MAX);
+        assert_eq!(outcome.admitted_stale, 0);
+        assert_eq!(outcome.repaired, 2);
+        assert_eq!(out.mem.get(0, 0), 0.0);
+        assert_eq!(out.mem.get(1, 0), 0.0);
     }
 
     #[test]

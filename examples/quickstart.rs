@@ -163,6 +163,28 @@ fn main() {
         dist.comm_bytes,
         dist.comm_modeled_nanos as f64 / 1e6
     );
+    // Bounded-staleness mode (opt-in, ROADMAP's MSPipe item): rows
+    // within k pending writes skip the Acquire-slot repair; k=0 would
+    // be bit-identical. Demonstrated at 1×2×1 — memory parallelism is
+    // the topology where speculation windows actually see intervening
+    // writers, so the skipped/paid split is non-trivial.
+    let mut stale_cfg = TrainConfig::new(ParallelConfig::new(1, 2, 1));
+    stale_cfg.local_batch = 200;
+    stale_cfg.epochs = 8;
+    stale_cfg.base_lr = 6e-3;
+    stale_cfg.eval_negs = 49;
+    let exact = train_distributed(&dataset, &model_cfg, &stale_cfg, ClusterSpec::new(1, 2));
+    let stale_cfg = stale_cfg.staleness_bound(4);
+    let stale = train_distributed(&dataset, &model_cfg, &stale_cfg, ClusterSpec::new(1, 2));
+    println!(
+        "               bounded staleness (1x2x1, k=4): test MRR {:.4} (exact {:.4}), {} repairs skipped / {} paid, mean version lag {:.2}, max {}",
+        stale.test_metric,
+        exact.test_metric,
+        stale.daemon_stale_rows_admitted,
+        stale.daemon_delta_rows,
+        stale.daemon_stale_lag_sum as f64 / stale.daemon_stale_rows_admitted.max(1) as f64,
+        stale.daemon_stale_lag_max
+    );
     print_layer_split(&dist.timing);
 
     // 5. The other task: dynamic edge classification on a GDELT-like
