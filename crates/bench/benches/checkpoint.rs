@@ -138,8 +138,9 @@ fn main() {
         requests.len()
     );
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"checkpoint\",\"dataset\":\"{}\",\"events\":{},\
+        "{{\"bench\":\"checkpoint\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\
          \"train\":{{\"file_bytes\":{train_bytes},\"save_ms\":{:.3},\"load_ms\":{:.3}}},\
          \"serve\":{{\"file_bytes\":{serve_bytes},\"snapshot_ms\":{:.3},\"save_ms\":{:.3},\
          \"load_ms\":{:.3},\"restore_ms\":{:.3}}},\

@@ -1,0 +1,577 @@
+//! Concurrent serving under load: reader-thread scaling, open-loop
+//! mixed ingest/query traffic, and backpressure engagement for
+//! `core::serve::ConcurrentServe` (the MVCC snapshot-read plane).
+//!
+//! Measurements landing in `BENCH_concurrent_serve.json`:
+//!
+//! 1. **Inline equivalence guard** — a mixed concurrent run (writer
+//!    draining the bounded queue while a reader pool answers) must be
+//!    bit-identical to a serialized `ServeSession` replay of the same
+//!    admitted order, at every answer's reported watermark, before any
+//!    number is published.
+//! 2. **Closed-loop query scaling** — quiescent-plane query throughput
+//!    at 1/2/4 reader threads (sweep gated on
+//!    `std::thread::available_parallelism`; `host_cores` is stamped in
+//!    the artifact so a 1-core container's flat curve reads as what it
+//!    is).
+//! 3. **Open-loop mixed load** — a producer enqueues ingest slabs and
+//!    readers fire queries on fixed arrival schedules; latency is
+//!    measured from *scheduled* arrival (coordinated-omission-free),
+//!    reported as p50/p99/p999 per class (query vs slab apply), plus
+//!    achieved events/s and drift-class counts.
+//! 4. **Backpressure engagement** — a flat-out producer against a tiny
+//!    queue must shed with typed `Overloaded` errors, and everything
+//!    admitted must still land exactly once.
+//! 5. **Steady-state allocation** — after warmup, the per-query
+//!    allocation count of the read path must be flat across
+//!    consecutive windows (the reader scratch arena stops growing).
+//!
+//! Run: `cargo bench -p disttgl-bench --bench concurrent_serve`
+
+use disttgl_core::serve::{QueryRequest, ServeSession};
+use disttgl_core::{
+    ConcurrentOptions, ConcurrentServe, LatencyHistogram, LatencySummary, ModelConfig,
+    ReaderContext, TgnModel,
+};
+use disttgl_data::generators;
+use disttgl_graph::{batching, Event};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Allocation-counting wrapper around the system allocator, for the
+/// steady-state assertion (phase 5). Counts allocation *events*, not
+/// bytes — a growing scratch arena shows up as extra `alloc`/`realloc`
+/// calls per query.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARM_SLAB: usize = 600;
+const LOAD_SLAB: usize = 100;
+
+fn warm_session<'a>(
+    model: &'a TgnModel,
+    d: &'a disttgl_data::Dataset,
+    upto: usize,
+) -> ServeSession<'a> {
+    let mut session = ServeSession::new(model, d, None);
+    for r in batching::chronological_batches(0..upto, WARM_SLAB) {
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
+    }
+    session
+}
+
+fn query_jobs(events: &[Event], t: f32, n_jobs: usize, batch: usize) -> Vec<Vec<QueryRequest>> {
+    (0..n_jobs)
+        .map(|j| {
+            (0..batch)
+                .map(|i| {
+                    let e = &events[(j * 13 + i * 7) % events.len()];
+                    QueryRequest::LinkScore {
+                        src: e.src,
+                        dst: events[(j * 5 + i * 11 + 3) % events.len()].dst,
+                        t,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn json_latency(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\"max_ms\":{:.4}}}",
+        s.count,
+        s.mean_secs * 1e3,
+        s.p50_secs * 1e3,
+        s.p99_secs * 1e3,
+        s.p999_secs * 1e3,
+        s.max_secs * 1e3
+    )
+}
+
+/// Phase 1: concurrent answers replayed against a serialized session,
+/// watermark by watermark, plus the final memory digest.
+fn equivalence_guard(model: &TgnModel, d: &disttgl_data::Dataset, warm_end: usize, readers: usize) {
+    let train_events = d.graph.events();
+    let slabs: Vec<Vec<Event>> = train_events[warm_end..(warm_end + 480).min(train_events.len())]
+        .chunks(60)
+        .map(|c| c.to_vec())
+        .collect();
+    let t_query = train_events.last().expect("events").t + 1.0;
+    let jobs = query_jobs(&train_events[0..warm_end], t_query, 16, 3);
+
+    let serve = ConcurrentServe::from_session(
+        warm_session(model, d, warm_end),
+        ConcurrentOptions::default(),
+    );
+    let stop = AtomicBool::new(false);
+    let answers = std::thread::scope(|s| {
+        s.spawn(|| serve.run_writer(&stop));
+        let producer = s.spawn(|| {
+            for slab in &slabs {
+                while serve.enqueue_ingest(slab.clone()).is_err() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        let answers = serve.answer_all(&jobs, readers);
+        // Producer first: a stopped writer no longer frees capacity.
+        producer.join().expect("producer");
+        stop.store(true, Ordering::Release);
+        answers
+    });
+    assert_eq!(serve.watermark(), slabs.len() as u64, "writer drained all");
+
+    // Serialized replay of the same admitted order: answer each job at
+    // its reported watermark, then compare bit for bit.
+    let mut oracle = warm_session(model, d, warm_end);
+    for w in 0..=slabs.len() as u64 {
+        for (job, ans) in jobs.iter().zip(&answers) {
+            let ans = ans.as_ref().expect("valid bench query");
+            if ans.watermark == w {
+                assert_eq!(
+                    ans.responses,
+                    oracle.query(job).expect("valid bench query"),
+                    "concurrent answer at watermark {w} must equal serialized replay"
+                );
+            }
+        }
+        if (w as usize) < slabs.len() {
+            oracle.ingest(&slabs[w as usize]).expect("admitted slab");
+        }
+    }
+    assert_eq!(
+        serve.memory_checksum(),
+        oracle.memory_checksum(),
+        "final memory digest must match serialized replay"
+    );
+    let st = serve.stats();
+    println!(
+        "equivalence guard: {} answers bit-identical to serialized replay \
+         (clean {}, repaired {}, resampled {}), memory digests equal",
+        jobs.len(),
+        st.clean_queries,
+        st.repaired_queries,
+        st.resampled_queries
+    );
+}
+
+/// Phase 2: quiescent closed-loop query throughput per reader count.
+fn closed_loop_qps(serve: &ConcurrentServe<'_>, jobs: &[Vec<QueryRequest>], readers: usize) -> f64 {
+    // Untimed pass to fault scratch arenas in.
+    let _ = serve.answer_all(&jobs[0..readers.min(jobs.len())], readers);
+    let t0 = Instant::now();
+    let answers = serve.answer_all(jobs, readers);
+    let wall = t0.elapsed().as_secs_f64();
+    let n: usize = answers
+        .iter()
+        .map(|a| a.as_ref().expect("valid bench query").responses.len())
+        .sum();
+    n as f64 / wall
+}
+
+struct SweepResult {
+    readers: usize,
+    offered_query_hz: f64,
+    achieved_queries_per_sec: f64,
+    achieved_ingest_events_per_sec: f64,
+    shed_events: usize,
+    query_latency: LatencySummary,
+    slab_apply_latency: LatencySummary,
+    clean: u64,
+    repaired: u64,
+    resampled: u64,
+    backpressure_rejections: u64,
+    max_queue_depth: u64,
+}
+
+/// Phase 3: open-loop mixed load at fixed arrival schedules. Query
+/// latency is measured from the scheduled arrival instant, so a reader
+/// that falls behind pays its backlog in the tail instead of silently
+/// thinning the schedule (no coordinated omission).
+#[allow(clippy::too_many_arguments)]
+fn open_loop_sweep(
+    serve: &ConcurrentServe<'_>,
+    jobs: &[Vec<QueryRequest>],
+    slabs: &[Vec<Event>],
+    readers: usize,
+    query_interval: Duration,
+    slab_interval: Duration,
+) -> SweepResult {
+    let before = serve.stats();
+    let stop_writer = AtomicBool::new(false);
+    let stop_readers = AtomicBool::new(false);
+    let (q_hist, slab_hist, answered, shed, wall) = std::thread::scope(|s| {
+        // Writer: drain loop, charging each drained slab its share of
+        // the drain call.
+        let writer = s.spawn(|| {
+            let mut hist = LatencyHistogram::new();
+            loop {
+                let t0 = Instant::now();
+                let n = serve.drain_queue();
+                if n > 0 {
+                    let per = t0.elapsed().as_secs_f64() / n as f64;
+                    for _ in 0..n {
+                        hist.record(per);
+                    }
+                } else if stop_writer.load(Ordering::Acquire) {
+                    return hist;
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        });
+        // Producer: open-loop slab arrivals; overload sheds the slab.
+        let producer = s.spawn(|| {
+            let start = Instant::now();
+            let mut shed = 0usize;
+            for (i, slab) in slabs.iter().enumerate() {
+                let due = slab_interval.mul_f64(i as f64);
+                while start.elapsed() < due {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                if serve.enqueue_ingest(slab.clone()).is_err() {
+                    shed += slab.len();
+                }
+            }
+            (shed, start.elapsed())
+        });
+        // Readers: open-loop query arrivals, striped over the job pool.
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let stop_readers = &stop_readers;
+                s.spawn(move || {
+                    let mut cx = ReaderContext::new();
+                    let mut hist = LatencyHistogram::new();
+                    let start = Instant::now();
+                    let mut i = 0usize;
+                    while !stop_readers.load(Ordering::Acquire) {
+                        let due = query_interval.mul_f64(i as f64);
+                        while start.elapsed() < due {
+                            if stop_readers.load(Ordering::Acquire) {
+                                return hist;
+                            }
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        let job = &jobs[(r + i * readers) % jobs.len()];
+                        serve.query(job, &mut cx).expect("valid bench query");
+                        hist.record((start.elapsed() - due).as_secs_f64());
+                        i += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let (shed, wall) = producer.join().expect("producer");
+        stop_readers.store(true, Ordering::Release);
+        let mut q_hist = LatencyHistogram::new();
+        let mut answered = 0u64;
+        for h in reader_handles {
+            let h = h.join().expect("reader");
+            answered += h.len() as u64;
+            q_hist = merge_hist(q_hist, h);
+        }
+        stop_writer.store(true, Ordering::Release);
+        let slab_hist = writer.join().expect("writer");
+        (q_hist, slab_hist, answered, shed, wall)
+    });
+    let after = serve.stats();
+    let mut q_hist = q_hist;
+    let mut slab_hist = slab_hist;
+    SweepResult {
+        readers,
+        offered_query_hz: readers as f64 / query_interval.as_secs_f64(),
+        achieved_queries_per_sec: answered as f64 / wall.as_secs_f64(),
+        achieved_ingest_events_per_sec: (after.events_applied - before.events_applied) as f64
+            / wall.as_secs_f64(),
+        shed_events: shed,
+        query_latency: q_hist.summary(),
+        slab_apply_latency: slab_hist.summary(),
+        clean: after.clean_queries - before.clean_queries,
+        repaired: after.repaired_queries - before.repaired_queries,
+        resampled: after.resampled_queries - before.resampled_queries,
+        backpressure_rejections: after.backpressure_rejections - before.backpressure_rejections,
+        max_queue_depth: after.max_queue_depth,
+    }
+}
+
+fn merge_hist(mut into: LatencyHistogram, mut from: LatencyHistogram) -> LatencyHistogram {
+    // Exact merge through nearest-rank extraction: percentile
+    // 100·i/n is precisely the i-th sorted sample, so every sample
+    // transfers bit-for-bit.
+    let n = from.len();
+    for i in 1..=n {
+        into.record(from.percentile(100.0 * i as f64 / n as f64));
+    }
+    into
+}
+
+fn main() {
+    let host_cores = disttgl_bench::host_cores();
+    let d = generators::wikipedia(0.05, 2024);
+    let mc = {
+        let mut mc = ModelConfig::compact(d.edge_features.cols());
+        mc.static_memory = false;
+        mc
+    };
+    let model = TgnModel::new(mc.clone(), &mut disttgl_tensor::seeded_rng(3));
+    let (train_end, _) = d.graph.chronological_split(0.70, 0.15);
+    let warm_end = train_end / 2;
+    println!(
+        "concurrent serve bench: {} ({} events, warm {warm_end}, load window {}), {host_cores} host core(s)",
+        d.name,
+        d.graph.num_events(),
+        train_end - warm_end
+    );
+
+    // 1. Equivalence guard gates everything.
+    equivalence_guard(&model, &d, warm_end, if host_cores >= 2 { 2 } else { 1 });
+
+    let events = d.graph.events();
+    let t_query = events[train_end - 1].t + 1.0;
+
+    // 5. Steady-state allocation: after warmup, a quiescent query's
+    // allocation count must be identical across consecutive windows —
+    // the reader scratch arena has stopped growing. (Run before any
+    // other thread is live so the global counter is ours alone.)
+    let (allocs_per_query, alloc_growth) = {
+        let serve = ConcurrentServe::from_session(
+            warm_session(&model, &d, train_end),
+            ConcurrentOptions::default(),
+        );
+        let jobs = query_jobs(&events[0..train_end], t_query, 8, 8);
+        let mut cx = ReaderContext::new();
+        for job in &jobs {
+            serve.query(job, &mut cx).expect("valid bench query");
+        }
+        let window = |cx: &mut ReaderContext| {
+            let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
+            for job in &jobs {
+                let ans = serve.query(job, cx).expect("valid bench query");
+                std::hint::black_box(&ans);
+            }
+            ALLOC_CALLS.load(Ordering::Relaxed) - a0
+        };
+        let w1 = window(&mut cx);
+        let w2 = window(&mut cx);
+        assert_eq!(
+            w2, w1,
+            "steady-state allocation must be flat: the reader scratch arena is still growing"
+        );
+        println!(
+            "steady-state allocations: {:.1}/query across {} queries, growth 0",
+            w2 as f64 / jobs.len() as f64,
+            jobs.len()
+        );
+        (w2 as f64 / jobs.len() as f64, w1 as i64 - w2 as i64)
+    };
+
+    // 2. Closed-loop reader scaling on a quiescent plane.
+    let reader_sweep: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&r| r == 1 || r <= host_cores)
+        .collect();
+    let closed: Vec<(usize, f64)> = {
+        let serve = ConcurrentServe::from_session(
+            warm_session(&model, &d, train_end),
+            ConcurrentOptions::default(),
+        );
+        let jobs = query_jobs(&events[0..train_end], t_query, 160, 8);
+        reader_sweep
+            .iter()
+            .map(|&r| {
+                let qps = closed_loop_qps(&serve, &jobs, r);
+                println!("closed-loop {r} reader(s): {qps:>8.0} queries/s");
+                (r, qps)
+            })
+            .collect()
+    };
+    let scaling_1_to_2 = match (closed.first(), closed.iter().find(|(r, _)| *r == 2)) {
+        (Some((1, q1)), Some((_, q2))) if *q1 > 0.0 => Some(q2 / q1),
+        _ => None,
+    };
+    if let Some(s) = scaling_1_to_2 {
+        println!("query scaling 1→2 readers: {s:.2}×");
+        if host_cores >= 2 {
+            assert!(s >= 1.3, "multi-core host should scale reads (got {s:.2}×)");
+        }
+    }
+
+    // 3. Open-loop mixed load per reader count: fresh plane per sweep
+    // (each consumes its own chronological chunk of the load window).
+    let mut open: Vec<SweepResult> = Vec::new();
+    {
+        let load_events = &events[warm_end..train_end];
+        let chunk = load_events.len() / reader_sweep.len().max(1);
+        for (si, &r) in reader_sweep.iter().enumerate() {
+            let serve = ConcurrentServe::from_session(
+                warm_session(&model, &d, warm_end + si * chunk),
+                ConcurrentOptions::default(),
+            );
+            let chunk_events = &load_events[si * chunk..(si + 1) * chunk];
+            let slabs: Vec<Vec<Event>> =
+                chunk_events.chunks(LOAD_SLAB).map(|c| c.to_vec()).collect();
+            let jobs = query_jobs(&events[0..warm_end + si * chunk], t_query, 64, 4);
+            let res = open_loop_sweep(
+                &serve,
+                &jobs,
+                &slabs,
+                r,
+                Duration::from_millis(8),
+                Duration::from_millis(30),
+            );
+            println!(
+                "open-loop {r} reader(s): {:>6.0} q/s (offered {:>5.0}), ingest {:>6.0} ev/s, \
+                 q p50 {:.2} ms p99 {:.2} ms | drift clean {} repaired {} resampled {}",
+                res.achieved_queries_per_sec,
+                res.offered_query_hz,
+                res.achieved_ingest_events_per_sec,
+                res.query_latency.p50_secs * 1e3,
+                res.query_latency.p99_secs * 1e3,
+                res.clean,
+                res.repaired,
+                res.resampled
+            );
+            open.push(res);
+        }
+    }
+
+    // 4. Backpressure engagement: flat-out producer against a tiny
+    // queue must shed typed errors, and everything admitted lands.
+    let (bp_rejections, bp_admitted_events, bp_applied_events) = {
+        let serve = ConcurrentServe::from_session(
+            warm_session(&model, &d, warm_end),
+            ConcurrentOptions {
+                ingest_queue_capacity: 2 * LOAD_SLAB,
+            },
+        );
+        let slabs: Vec<Vec<Event>> = events[warm_end..(warm_end + 12 * LOAD_SLAB).min(train_end)]
+            .chunks(LOAD_SLAB)
+            .map(|c| c.to_vec())
+            .collect();
+        let mut admitted = 0usize;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Slow-start the writer so the producer genuinely races it.
+            let writer = s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                serve.run_writer(&stop)
+            });
+            for slab in &slabs {
+                let n = slab.len();
+                if serve.enqueue_ingest(slab.clone()).is_ok() {
+                    admitted += n;
+                }
+            }
+            stop.store(true, Ordering::Release);
+            writer.join().expect("writer");
+        });
+        let st = serve.stats();
+        assert!(
+            st.backpressure_rejections > 0,
+            "flat-out producer against a 2-slab queue must engage backpressure"
+        );
+        assert_eq!(
+            st.events_applied as usize, admitted,
+            "every admitted event lands exactly once"
+        );
+        println!(
+            "backpressure: {} rejections, {}/{} events admitted and applied",
+            st.backpressure_rejections,
+            admitted,
+            slabs.iter().map(Vec::len).sum::<usize>()
+        );
+        (st.backpressure_rejections, admitted, st.events_applied)
+    };
+
+    let closed_json: Vec<String> = closed
+        .iter()
+        .map(|(r, qps)| format!("{{\"readers\":{r},\"queries_per_sec\":{qps:.1}}}"))
+        .collect();
+    let open_json: Vec<String> = open
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"readers\":{},\"offered_query_hz\":{:.1},\"achieved_queries_per_sec\":{:.1},\
+                 \"achieved_ingest_events_per_sec\":{:.1},\"shed_events\":{},\
+                 \"query_latency\":{},\"slab_apply_latency\":{},\
+                 \"drift\":{{\"clean\":{},\"repaired\":{},\"resampled\":{}}},\
+                 \"backpressure_rejections\":{},\"max_queue_depth\":{}}}",
+                r.readers,
+                r.offered_query_hz,
+                r.achieved_queries_per_sec,
+                r.achieved_ingest_events_per_sec,
+                r.shed_events,
+                json_latency(&r.query_latency),
+                json_latency(&r.slab_apply_latency),
+                r.clean,
+                r.repaired,
+                r.resampled,
+                r.backpressure_rejections,
+                r.max_queue_depth
+            )
+        })
+        .collect();
+    let record = format!(
+        "{{\"bench\":\"concurrent_serve\",\"host_cores\":{host_cores},\
+         \"dataset\":\"{}\",\"events\":{},\"warm_events\":{warm_end},\
+         \"reader_sweep\":[{}],\
+         \"equivalence_bit_identical\":true,\
+         \"steady_state_allocs_per_query\":{allocs_per_query:.1},\
+         \"steady_state_alloc_growth\":{alloc_growth},\
+         \"closed_loop\":[{}],\
+         \"scaling_1_to_2\":{},\
+         \"open_loop\":[{}],\
+         \"backpressure\":{{\"rejections\":{bp_rejections},\"admitted_events\":{bp_admitted_events},\
+         \"applied_events\":{bp_applied_events}}}}}\n",
+        d.name,
+        d.graph.num_events(),
+        reader_sweep
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        closed_json.join(","),
+        scaling_1_to_2
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".into()),
+        open_json.join(","),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_concurrent_serve.json"
+    );
+    match std::fs::File::create(path).and_then(|mut f| {
+        use std::io::Write;
+        f.write_all(record.as_bytes())
+    }) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -298,8 +298,9 @@ fn main() {
     );
     println!("bit-identical on/off: {bit_identical}");
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"daemon_overlap\",\"dataset\":\"{}\",\"events\":{},\
+        "{{\"bench\":\"daemon_overlap\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\
          \"local_batch\":{},\"n_neighbors\":{},\
          \"unique_rows\":{},\"stale_rows\":{},\"stale_fraction_unique\":{:.4},\
          \"protocol_spec_rows\":{},\"protocol_delta_rows\":{},\

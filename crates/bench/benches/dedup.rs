@@ -231,8 +231,9 @@ fn main() {
         on.test_metric, off.test_metric
     );
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"dedup\",\"dataset\":\"{}\",\"events\":{},\"local_batch\":{},\
+        "{{\"bench\":\"dedup\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\"local_batch\":{},\
          \"n_neighbors\":{},\
          \"occurrence_rows\":{},\"unique_rows\":{},\"fold_ratio\":{:.4},\
          \"gru_stage_unfolded_ms\":{:.3},\"gru_stage_folded_ms\":{:.3},\

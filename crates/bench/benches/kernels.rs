@@ -259,8 +259,9 @@ fn main() {
         class_exact.test_metric, class_q.test_metric
     );
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"kernels\",\"simd_active\":{simd_available},\
+        "{{\"bench\":\"kernels\",\"host_cores\":{host_cores},\"simd_active\":{simd_available},\
          \"matmul_transpose_b\":[{}],\
          \"gru_scalar_ms\":{:.4},\"gru_simd_ms\":{:.4},\
          \"softmax_scalar_ms\":{:.4},\"softmax_simd_ms\":{:.4},\

@@ -148,8 +148,9 @@ fn main() {
         "2-layer distributed run must be deterministic"
     );
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"layers\",\"dataset\":\"{}\",\"events\":{},\"local_batch\":{},\
+        "{{\"bench\":\"layers\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\"local_batch\":{},\
          \"fanouts_1layer\":[10],\"fanouts_2layer\":[10,5],\
          \"fold_occurrence_rows_1layer\":{occ1},\"fold_unique_rows_1layer\":{uniq1},\
          \"fold_factor_1layer\":{fold1:.4},\

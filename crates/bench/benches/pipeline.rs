@@ -250,8 +250,9 @@ fn main() {
         mc.d_mem
     );
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"pipeline\",\"dataset\":\"{}\",\"events\":{},\"epochs\":{},\
+        "{{\"bench\":\"pipeline\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\"epochs\":{},\
          \"local_batch\":{},\"host_cpus\":{},\
          \"host_sequential_events_per_sec\":{:.1},\"host_pipelined_events_per_sec\":{:.1},\
          \"host_speedup\":{:.4},\

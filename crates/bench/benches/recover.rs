@@ -137,8 +137,9 @@ fn main() {
         ));
     }
 
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"recover\",\"dataset\":\"{}\",\"events\":{},\
+        "{{\"bench\":\"recover\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\
          \"total_steps\":{},\"steps_per_sweep\":{sps},\"crash_step\":{crash_step},\
          \"oracle_wall_s\":{oracle_wall:.3},\"runs\":[{}]}}\n",
         d.name,

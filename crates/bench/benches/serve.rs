@@ -65,12 +65,13 @@ fn query_sweep(
 
 fn json_latency(s: &LatencySummary) -> String {
     format!(
-        "{{\"count\":{},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\"max_ms\":{:.4}}}",
+        "{{\"count\":{},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\"max_ms\":{:.4}}}",
         s.count,
         s.mean_secs * 1e3,
         s.p50_secs * 1e3,
         s.p95_secs * 1e3,
         s.p99_secs * 1e3,
+        s.p999_secs * 1e3,
         s.max_secs * 1e3
     )
 }
@@ -209,12 +210,13 @@ fn main() {
         })
         .collect();
     let record = format!(
-        "{{\"bench\":\"serve\",\"dataset\":\"{}\",\"events\":{},\"train_events\":{},\
+        "{{\"bench\":\"serve\",\"host_cores\":{},\"dataset\":\"{}\",\"events\":{},\"train_events\":{},\
          \"ingest_slab\":{SLAB},\
          \"ingest_events_per_sec\":{ingest_eps:.1},\
          \"offline_replay_events_per_sec\":{replay_eps:.1},\
          \"query_sweeps\":[{}],\
          \"serve_equivalence_bit_identical\":true}}\n",
+        disttgl_bench::host_cores(),
         d.name,
         d.graph.num_events(),
         train_end,

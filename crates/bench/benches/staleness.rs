@@ -309,8 +309,9 @@ fn main() {
             p.max_lag
         ));
     }
+    let host_cores = disttgl_bench::host_cores();
     let record = format!(
-        "{{\"bench\":\"staleness\",\"dataset\":\"{}\",\"events\":{},\
+        "{{\"bench\":\"staleness\",\"host_cores\":{host_cores},\"dataset\":\"{}\",\"events\":{},\
          \"local_batch\":{},\"k_sweep\":[0,1,2,4,8],\
          \"bit_identical_k0\":{},\
          \"exact_events_per_sec\":{:.1},\

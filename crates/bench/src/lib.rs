@@ -108,6 +108,17 @@ pub fn model_for(d: &Dataset) -> ModelConfig {
     }
 }
 
+/// Cores available to this process — stamped as `"host_cores"` into
+/// every `BENCH_*.json` artifact so a reader can tell a genuine
+/// scaling regression from a 1-core container (where thread sweeps
+/// legitimately report ~1.0×), and used to gate multi-threaded sweep
+/// widths honestly instead of oversubscribing.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Prints a fixed-width table (markdown-ish) to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -109,13 +109,21 @@ impl MemoryAccess for MemoryClient {
 /// of the per-occurrence readout and the domain of the
 /// [`ReadoutIndex`] fold — one list regardless of the stack depth.
 pub fn occurrence_nodes(roots: &[u32], hops: &[NeighborBlock]) -> Vec<u32> {
+    let mut occ = Vec::new();
+    occurrence_nodes_into(roots, hops, &mut occ);
+    occ
+}
+
+/// [`occurrence_nodes`] into a caller-owned buffer (cleared and
+/// refilled in place — the serving plane's per-reader scratch path).
+pub fn occurrence_nodes_into(roots: &[u32], hops: &[NeighborBlock], occ: &mut Vec<u32>) {
     let total = roots.len() + hops.iter().map(NeighborBlock::num_slots).sum::<usize>();
-    let mut occ = Vec::with_capacity(total);
+    occ.clear();
+    occ.reserve(total);
     occ.extend_from_slice(roots);
     for hop in hops {
         occ.extend_from_slice(&hop.nbrs);
     }
-    occ
 }
 
 /// Per-frontier row counts of a part's occurrence layout:
@@ -137,11 +145,28 @@ pub fn occurrence_rows(num_roots: usize, hops: &[NeighborBlock]) -> usize {
 /// (zero-width safe) — shared by batch preparation, the engine's
 /// replay fast path, and the serving plane.
 pub(crate) fn edge_feature_rows(dataset: &Dataset, eids: &[u32]) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    let mut idx = Vec::new();
+    edge_feature_rows_into(dataset, eids, &mut out, &mut idx);
+    out
+}
+
+/// [`edge_feature_rows`] into a caller-owned matrix, reusing its
+/// buffer (and an index scratch) — the serving plane's per-reader
+/// scratch path.
+pub(crate) fn edge_feature_rows_into(
+    dataset: &Dataset,
+    eids: &[u32],
+    out: &mut Matrix,
+    idx: &mut Vec<usize>,
+) {
     if dataset.edge_features.cols() == 0 {
-        return Matrix::zeros(eids.len(), 0);
+        out.resize_for_overwrite(eids.len(), 0);
+        return;
     }
-    let idx: Vec<usize> = eids.iter().map(|&e| e as usize).collect();
-    dataset.edge_features.gather_rows(&idx)
+    idx.clear();
+    idx.extend(eids.iter().map(|&e| e as usize));
+    dataset.edge_features.gather_rows_into(idx, out);
 }
 
 /// The unique-node index of one batch part: the distinct nodes of the
@@ -153,7 +178,7 @@ pub(crate) fn edge_feature_rows(dataset: &Dataset, eids: &[u32]) -> Matrix {
 /// thread); phase 2 gathers one memory row per entry of
 /// `unique_nodes`. See the module docs for the summation-order
 /// contract the index pins down.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ReadoutIndex {
     /// Distinct nodes in first-occurrence order; row `u` of the part's
     /// folded readout belongs to `unique_nodes[u]`.
@@ -187,6 +212,26 @@ impl ReadoutIndex {
     /// Number of distinct nodes `U`.
     pub fn num_unique(&self) -> usize {
         self.unique_nodes.len()
+    }
+
+    /// Rebuilds the index in place over a new occurrence list, reusing
+    /// this index's vectors and a caller-owned hash-map scratch (the
+    /// serving plane's per-reader scratch path). Bit-identical to
+    /// [`ReadoutIndex::build`]: unique ids still assign in
+    /// first-occurrence order.
+    pub fn rebuild(&mut self, occurrences: &[u32], slot_of: &mut HashMap<u32, u32>) {
+        slot_of.clear();
+        self.unique_nodes.clear();
+        self.occ_to_unique.clear();
+        self.occ_to_unique.reserve(occurrences.len());
+        for &node in occurrences {
+            let next = self.unique_nodes.len() as u32;
+            let id = *slot_of.entry(node).or_insert_with(|| {
+                self.unique_nodes.push(node);
+                next
+            });
+            self.occ_to_unique.push(id);
+        }
     }
 }
 

@@ -70,7 +70,10 @@ mod single;
 mod static_mem;
 
 pub use checkpoint::{CheckpointError, ServeCheckpoint, TrainCheckpoint};
-pub use serve::{EventFault, IngestError, ServeError};
+pub use serve::{
+    ConcurrentOptions, ConcurrentServe, ConcurrentStats, EventFault, IngestError, ReaderContext,
+    ServeError, SnapshotAnswer, SnapshotDrift,
+};
 
 pub use batch::{
     frontier_sizes, occurrence_nodes, occurrence_rows, patch_readout, BatchPreparer, MemoryAccess,

@@ -14,6 +14,13 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Default)]
 pub struct LatencyHistogram {
     samples: Vec<f64>,
+    /// Running sum (mean without a pass over the samples).
+    sum: f64,
+    /// Prefix of `samples` already in sorted order; the suffix beyond
+    /// it is unsorted new arrivals. Sorting is paid once per
+    /// record-then-probe cycle, in place, not per percentile probe —
+    /// `summary()` between records is O(1) after the first call.
+    sorted_len: usize,
 }
 
 impl LatencyHistogram {
@@ -25,6 +32,7 @@ impl LatencyHistogram {
     /// Records one call's latency in seconds.
     pub fn record(&mut self, secs: f64) {
         self.samples.push(secs);
+        self.sum += secs;
     }
 
     /// Number of recorded samples.
@@ -37,41 +45,56 @@ impl LatencyHistogram {
         self.samples.is_empty()
     }
 
+    /// Sorts in place if records arrived since the last probe (pattern
+    /// defeat: an already-sorted prefix makes the re-sort near-linear,
+    /// and a fully probed histogram costs nothing to probe again).
+    fn ensure_sorted(&mut self) {
+        if self.sorted_len < self.samples.len() {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            self.sorted_len = self.samples.len();
+        }
+    }
+
     /// Exact nearest-rank percentile (`p` in `[0, 100]`); 0.0 on an
-    /// empty histogram. Sorts a copy per call — probe several
-    /// percentiles through [`LatencyHistogram::summary`], which sorts
-    /// once.
-    pub fn percentile(&self, p: f64) -> f64 {
+    /// empty histogram.
+    pub fn percentile(&mut self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let n = sorted.len();
-        // Nearest-rank: ceil(p/100 · n), clamped to [1, n].
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        sorted[rank.clamp(1, n) - 1]
+        self.ensure_sorted();
+        self.samples[nearest_rank_index(self.samples.len(), p)]
     }
 
-    /// Summarizes into the serializable record (one sort for all
-    /// percentiles).
-    pub fn summary(&self) -> LatencySummary {
+    /// Summarizes into the serializable record. Cheap to call under
+    /// load: one in-place sort amortized over everything recorded
+    /// since the previous call, no allocation, running-sum mean.
+    pub fn summary(&mut self) -> LatencySummary {
         if self.samples.is_empty() {
             return LatencySummary::default();
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let n = sorted.len();
-        let rank = |p: f64| sorted[(((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1];
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = |p: f64| self.samples[nearest_rank_index(n, p)];
         LatencySummary {
             count: n,
-            mean_secs: sorted.iter().sum::<f64>() / n as f64,
+            mean_secs: self.sum / n as f64,
             p50_secs: rank(50.0),
             p95_secs: rank(95.0),
             p99_secs: rank(99.0),
-            max_secs: sorted[n - 1],
+            p999_secs: rank(99.9),
+            max_secs: self.samples[n - 1],
         }
     }
+}
+
+/// Zero-based index of the nearest-rank percentile sample: clamp(⌈p/100
+/// · n⌉, 1, n) − 1. The epsilon keeps an exact-integer rank (e.g. p99.9
+/// of 1000 samples = rank 999) from ceiling up a float ulp to the next
+/// sample.
+fn nearest_rank_index(n: usize, p: f64) -> usize {
+    let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+    rank.clamp(1, n) - 1
 }
 
 /// Serializable summary of a [`LatencyHistogram`].
@@ -87,6 +110,9 @@ pub struct LatencySummary {
     pub p95_secs: f64,
     /// 99th percentile, seconds.
     pub p99_secs: f64,
+    /// 99.9th percentile (nearest-rank — equals `max_secs` until the
+    /// histogram holds ≥1000 samples), seconds.
+    pub p999_secs: f64,
     /// Worst observed call, seconds.
     pub max_secs: f64,
 }
@@ -361,7 +387,38 @@ mod tests {
         assert_eq!(s.count, 100);
         assert!((s.mean_secs - 0.0505).abs() < 1e-12);
         assert!((s.p50_secs - 0.050).abs() < 1e-12);
+        // 100 samples: nearest-rank p99.9 = ceil(99.9) = sample 100.
+        assert!((s.p999_secs - 0.100).abs() < 1e-12);
         assert!((s.max_secs - 0.100).abs() < 1e-12);
+    }
+
+    /// Interleaving records and probes never desynchronizes the sorted
+    /// prefix: every probe sees exactly the samples recorded so far.
+    #[test]
+    fn latency_probe_record_interleaving_stays_exact() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u32 {
+            h.record((1001 - i) as f64 * 1e-3);
+            if i % 97 == 0 {
+                let s = h.summary();
+                assert_eq!(s.count, i as usize);
+                assert!((s.max_secs - 1.000).abs() < 1e-12, "max after {i}");
+            }
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean_secs - 0.5005).abs() < 1e-9);
+        assert!((s.p999_secs - 0.999).abs() < 1e-12);
+        assert!((h.percentile(99.9) - 0.999).abs() < 1e-12);
+        // Identical to a from-scratch histogram over the same samples.
+        let mut fresh = LatencyHistogram::new();
+        for i in 1..=1000u32 {
+            fresh.record(i as f64 * 1e-3);
+        }
+        let f = fresh.summary();
+        assert_eq!(s.p50_secs, f.p50_secs);
+        assert_eq!(s.p99_secs, f.p99_secs);
+        assert_eq!(s.p999_secs, f.p999_secs);
     }
 
     #[test]

@@ -61,17 +61,47 @@
 //!   response-accessor misuse ([`QueryResponse::scores`] on an
 //!   embedding) and internal invariant violations. These are bugs, not
 //!   inputs, and are deliberately loud.
+//!
+//! # The snapshot-read contract (concurrent serving)
+//!
+//! [`concurrent::ConcurrentServe`] scales this plane across threads: a
+//! single writer owns ingest while N reader threads answer queries
+//! against MVCC snapshots of the live state, validating their gathered
+//! rows through the PR 3 version vector
+//! ([`MemoryState::delta_since`] / `repair_since`) before responding.
+//!
+//! **Guaranteed**: every answer is *linearizable per request* — bit
+//! identical to what a serialized [`ServeSession`] replaying the same
+//! admitted slabs would answer at the watermark the response reports
+//! (`tests/concurrent_serve_equivalence.rs` pins this for both tasks
+//! at 1- and 2-layer depth). Ingest slabs apply atomically: a reader
+//! never observes an adjacency/memory state between slab boundaries.
+//!
+//! **Not guaranteed**: inter-request ordering under load — two
+//! in-flight queries may serialize in either order relative to each
+//! other and to concurrently admitted slabs, so answers across
+//! requests need not reflect one global request order. Admission
+//! control is typed, not silent: a full ingest queue refuses with
+//! [`ServeError::Overloaded`] and nothing is queued.
 
-use crate::batch::{edge_feature_rows, occurrence_nodes, ReadoutIndex, ReadoutView};
+use crate::batch::{edge_feature_rows_into, occurrence_nodes_into, ReadoutIndex, ReadoutView};
 use crate::checkpoint::{CheckpointError, ServeCheckpoint};
 use crate::engine::{InferenceEngine, PartRef};
 use crate::model::TgnModel;
 use crate::static_mem::StaticMemory;
 use disttgl_data::Dataset;
-use disttgl_graph::{DynamicTCsr, Event, RecentNeighborSampler, TemporalAdjacency};
-use disttgl_mem::MemoryState;
+use disttgl_graph::{DynamicTCsr, Event, NeighborBlock, RecentNeighborSampler, TemporalAdjacency};
+use disttgl_mem::{MemoryState, VersionedReadout};
 use disttgl_tensor::Matrix;
+use std::collections::HashMap;
 use std::fmt;
+
+#[path = "serve_concurrent.rs"]
+pub mod concurrent;
+pub use concurrent::{
+    ConcurrentOptions, ConcurrentServe, ConcurrentStats, ReaderContext, SnapshotAnswer,
+    SnapshotDrift,
+};
 
 /// Why one event or request operand was rejected.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -177,6 +207,17 @@ pub enum ServeError {
         /// `(slab index, fault)` for every invalid event, ascending.
         rejected: Vec<(usize, EventFault)>,
     },
+    /// Admission control refused the submission: the concurrent
+    /// serving plane's bounded ingest queue is full
+    /// ([`ConcurrentServe::enqueue_ingest`]). Typed backpressure —
+    /// nothing was queued; retry after the writer drains or shed the
+    /// slab.
+    Overloaded {
+        /// Events already waiting in the ingest queue.
+        queued_events: usize,
+        /// The queue's capacity, in events.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -191,6 +232,13 @@ impl fmt::Display for ServeError {
                 rejected.len(),
                 rejected[0].0,
                 rejected[0].1
+            ),
+            ServeError::Overloaded {
+                queued_events,
+                capacity,
+            } => write!(
+                f,
+                "ingest queue full ({queued_events} events queued, capacity {capacity})"
             ),
         }
     }
@@ -281,6 +329,231 @@ pub struct ScoredIngest {
     pub stats: IngestStats,
 }
 
+/// Reusable buffers for the micro-batched query read path — the
+/// serving plane's `StepScratch` analog. A session (or a concurrent
+/// reader) keeps one arena alive for its whole lifetime; every stage
+/// of the pipeline clears and refills these vectors in place, so a
+/// steady-state query loop stops growing them after the first few
+/// calls.
+#[derive(Default)]
+pub(crate) struct QueryScratch {
+    /// Flattened request roots (a link candidate contributes both
+    /// endpoints back-to-back).
+    pub(crate) roots: Vec<u32>,
+    /// Query time of each root.
+    pub(crate) times: Vec<f32>,
+    /// Multi-hop frontier blocks, one per layer.
+    pub(crate) hops: Vec<NeighborBlock>,
+    /// The flat occurrence list (`roots ++ hop slots`).
+    pub(crate) occ: Vec<u32>,
+    /// Unique-node fold of `occ` (when `dedup_readout` is on).
+    pub(crate) uniq: ReadoutIndex,
+    /// Hash scratch for [`ReadoutIndex::rebuild`].
+    pub(crate) uniq_map: HashMap<u32, u32>,
+    /// Gathered memory rows + the version vector they were read at —
+    /// the MVCC tag the concurrent plane validates against.
+    pub(crate) readout: VersionedReadout,
+    /// Per-hop edge-feature gathers.
+    pub(crate) nbr_feats: Vec<Matrix>,
+    /// Index scratch for the edge-feature gathers.
+    pub(crate) eid_idx: Vec<usize>,
+    /// Embedding-row indices of link-candidate sources.
+    pub(crate) src_rows: Vec<usize>,
+    /// Embedding-row indices of link-candidate destinations.
+    pub(crate) dst_rows: Vec<usize>,
+    /// Gathered source embeddings for the decoder call.
+    pub(crate) src_emb: Matrix,
+    /// Gathered destination embeddings for the decoder call.
+    pub(crate) dst_emb: Matrix,
+}
+
+/// Checks one event against the serving invariants at stream head
+/// `head`. `None` means acceptable; the checks mirror exactly the
+/// panics [`DynamicTCsr::append_events`] and the edge-feature gather
+/// would otherwise hit, making those panics unreachable from external
+/// input.
+pub(crate) fn validate_event(dataset: &Dataset, e: &Event, head: f32) -> Option<EventFault> {
+    if !e.t.is_finite() {
+        return Some(EventFault::NonFiniteTime { t: e.t });
+    }
+    let n = dataset.graph.num_nodes() as u32;
+    for node in [e.src, e.dst] {
+        if node >= n {
+            return Some(EventFault::NodeOutOfRange { node, num_nodes: n });
+        }
+    }
+    let table_rows = dataset.edge_features.rows();
+    if dataset.edge_features.cols() > 0 && e.eid as usize >= table_rows {
+        return Some(EventFault::UnknownEdgeId {
+            eid: e.eid,
+            table_rows: table_rows as u32,
+        });
+    }
+    if e.t < head {
+        return Some(EventFault::OutOfOrder { t: e.t, head });
+    }
+    None
+}
+
+/// Checks one query request's operands (same faults as
+/// [`validate_event`], minus stream ordering — a query may name any
+/// time).
+pub(crate) fn validate_request(dataset: &Dataset, r: &QueryRequest) -> Option<EventFault> {
+    let n = dataset.graph.num_nodes() as u32;
+    let (nodes, t) = match *r {
+        QueryRequest::LinkScore { src, dst, t } => ([src, dst], t),
+        QueryRequest::Embed { node, t } => ([node, node], t),
+    };
+    if !t.is_finite() {
+        return Some(EventFault::NonFiniteTime { t });
+    }
+    nodes
+        .into_iter()
+        .find(|&node| node >= n)
+        .map(|node| EventFault::NodeOutOfRange { node, num_nodes: n })
+}
+
+/// Stage 1 of the shared query pipeline: flatten validated requests
+/// into one root list (a link candidate contributes its two endpoints
+/// back-to-back).
+pub(crate) fn flatten_requests(requests: &[QueryRequest], scratch: &mut QueryScratch) {
+    scratch.roots.clear();
+    scratch.times.clear();
+    for r in requests {
+        match *r {
+            QueryRequest::LinkScore { src, dst, t } => {
+                scratch.roots.push(src);
+                scratch.roots.push(dst);
+                scratch.times.push(t);
+                scratch.times.push(t);
+            }
+            QueryRequest::Embed { node, t } => {
+                scratch.roots.push(node);
+                scratch.times.push(t);
+            }
+        }
+    }
+}
+
+/// Stage 2 of the shared query pipeline: the **snapshot gather** — one
+/// multi-hop frontier expansion plus one folded, version-tagged memory
+/// read. Everything the compute stage needs from mutable state lands
+/// in the scratch, so a concurrent reader can release its read lock
+/// the moment this returns.
+pub(crate) fn gather_snapshot(
+    sampler: &RecentNeighborSampler,
+    dedup: bool,
+    adj: &DynamicTCsr,
+    memory: &MemoryState,
+    scratch: &mut QueryScratch,
+) {
+    sampler.sample_hops_into(adj, &scratch.roots, &scratch.times, &mut scratch.hops);
+    fold_and_read(dedup, memory, scratch);
+}
+
+/// The tail of [`gather_snapshot`] after `scratch.hops` is in place:
+/// occurrence fold + version-tagged unique-row gather. Split out so
+/// the concurrent plane's revalidation path can resample into a check
+/// buffer first and only redo the fold when the frontier truly
+/// drifted.
+pub(crate) fn fold_and_read(dedup: bool, memory: &MemoryState, scratch: &mut QueryScratch) {
+    occurrence_nodes_into(&scratch.roots, &scratch.hops, &mut scratch.occ);
+    if dedup {
+        scratch.uniq.rebuild(&scratch.occ, &mut scratch.uniq_map);
+    }
+    let nodes: &[u32] = if dedup {
+        &scratch.uniq.unique_nodes
+    } else {
+        &scratch.occ
+    };
+    memory.read_versioned_into(nodes, &mut scratch.readout);
+}
+
+/// Stage 3 of the shared query pipeline: the **lock-free compute** —
+/// edge-feature gathers from the immutable dataset table, the
+/// attention stack, one decoder call over all link candidates, and
+/// response assembly in request order. Reads only the snapshot in
+/// `scratch` (plus immutable model/dataset state), so a concurrent
+/// reader runs it with no lock held. Bit-identical to the historical
+/// single-threaded query path: same gathers, same folded readout, same
+/// engine calls.
+pub(crate) fn compute_responses(
+    model: &TgnModel,
+    dataset: &Dataset,
+    static_mem: Option<&StaticMemory>,
+    engine: &mut InferenceEngine,
+    dedup: bool,
+    requests: &[QueryRequest],
+    scratch: &mut QueryScratch,
+) -> Vec<QueryResponse> {
+    scratch.nbr_feats.truncate(scratch.hops.len());
+    while scratch.nbr_feats.len() < scratch.hops.len() {
+        scratch.nbr_feats.push(Matrix::zeros(0, 0));
+    }
+    for (h, feats) in scratch.hops.iter().zip(scratch.nbr_feats.iter_mut()) {
+        edge_feature_rows_into(dataset, &h.eids, feats, &mut scratch.eid_idx);
+    }
+
+    // Move the gathered rows into a shareable view for the embed, then
+    // recycle the buffer (the trainer's recycle_block pattern).
+    let view = ReadoutView::whole(std::mem::take(&mut scratch.readout.readout));
+    let pe = {
+        let part = PartRef {
+            roots: &scratch.roots,
+            times: &scratch.times,
+            hops: &scratch.hops,
+            readout: &view,
+            uniq: dedup.then_some(&scratch.uniq),
+            nbr_feats: &scratch.nbr_feats,
+        };
+        engine.embed_part(model, part, static_mem)
+    };
+    scratch.readout.readout = view
+        .into_block()
+        .expect("query view is the gathered block's only reference");
+
+    // One decoder call over every link candidate.
+    scratch.src_rows.clear();
+    scratch.dst_rows.clear();
+    let mut row = 0usize;
+    for r in requests {
+        if let QueryRequest::LinkScore { .. } = r {
+            scratch.src_rows.push(row);
+            scratch.dst_rows.push(row + 1);
+        }
+        row += match r {
+            QueryRequest::LinkScore { .. } => 2,
+            QueryRequest::Embed { .. } => 1,
+        };
+    }
+    let scores = (!scratch.src_rows.is_empty()).then(|| {
+        pe.emb
+            .gather_rows_into(&scratch.src_rows, &mut scratch.src_emb);
+        pe.emb
+            .gather_rows_into(&scratch.dst_rows, &mut scratch.dst_emb);
+        engine.score_pairs(model, &scratch.src_emb, &scratch.dst_emb)
+    });
+
+    let mut out = Vec::with_capacity(requests.len());
+    let mut row = 0usize;
+    let mut pair = 0usize;
+    for r in requests {
+        match r {
+            QueryRequest::LinkScore { .. } => {
+                let s = scores.as_ref().expect("scored above");
+                out.push(QueryResponse::Scores(s.row(pair).to_vec()));
+                pair += 1;
+                row += 2;
+            }
+            QueryRequest::Embed { .. } => {
+                out.push(QueryResponse::Embedding(pe.emb.row(row).to_vec()));
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
 /// An online inference session over an evolving temporal graph (see
 /// the module docs). Borrows the trained model and the dataset's
 /// edge-feature table; owns the live memory and adjacency.
@@ -294,6 +567,7 @@ pub struct ServeSession<'a> {
     sampler: RecentNeighborSampler,
     dedup: bool,
     ingested: usize,
+    scratch: QueryScratch,
 }
 
 impl<'a> ServeSession<'a> {
@@ -317,6 +591,7 @@ impl<'a> ServeSession<'a> {
             sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
             dedup: cfg.dedup_readout,
             ingested: 0,
+            scratch: QueryScratch::default(),
         }
     }
 
@@ -377,49 +652,15 @@ impl<'a> ServeSession<'a> {
     }
 
     /// Checks one event against the session's invariants at stream
-    /// head `head`. `None` means acceptable; the checks mirror exactly
-    /// the panics [`DynamicTCsr::append_events`] and the edge-feature
-    /// gather would otherwise hit, making those panics unreachable from
-    /// external input.
+    /// head `head` (see the module-level [`validate_event`]).
     fn validate_event(&self, e: &Event, head: f32) -> Option<EventFault> {
-        if !e.t.is_finite() {
-            return Some(EventFault::NonFiniteTime { t: e.t });
-        }
-        let n = self.dataset.graph.num_nodes() as u32;
-        for node in [e.src, e.dst] {
-            if node >= n {
-                return Some(EventFault::NodeOutOfRange { node, num_nodes: n });
-            }
-        }
-        let table_rows = self.dataset.edge_features.rows();
-        if self.dataset.edge_features.cols() > 0 && e.eid as usize >= table_rows {
-            return Some(EventFault::UnknownEdgeId {
-                eid: e.eid,
-                table_rows: table_rows as u32,
-            });
-        }
-        if e.t < head {
-            return Some(EventFault::OutOfOrder { t: e.t, head });
-        }
-        None
+        validate_event(self.dataset, e, head)
     }
 
-    /// Checks one query request's operands (same faults as
-    /// [`ServeSession::validate_event`], minus stream ordering — a
-    /// query may name any time).
+    /// Checks one query request's operands (see the module-level
+    /// [`validate_request`]).
     fn validate_request(&self, r: &QueryRequest) -> Option<EventFault> {
-        let n = self.dataset.graph.num_nodes() as u32;
-        let (nodes, t) = match *r {
-            QueryRequest::LinkScore { src, dst, t } => ([src, dst], t),
-            QueryRequest::Embed { node, t } => ([node, node], t),
-        };
-        if !t.is_finite() {
-            return Some(EventFault::NonFiniteTime { t });
-        }
-        nodes
-            .into_iter()
-            .find(|&node| node >= n)
-            .map(|node| EventFault::NodeOutOfRange { node, num_nodes: n })
+        validate_request(self.dataset, r)
     }
 
     /// Phase A of [`ServeSession::ingest`]: the adjacency append.
@@ -479,90 +720,29 @@ impl<'a> ServeSession<'a> {
                 return Err(ServeError::InvalidRequest { request: i, fault });
             }
         }
-        // Flatten requests into one root list (a link candidate
-        // contributes its two endpoints back-to-back).
-        let mut roots = Vec::new();
-        let mut times = Vec::new();
-        for r in requests {
-            match *r {
-                QueryRequest::LinkScore { src, dst, t } => {
-                    roots.push(src);
-                    roots.push(dst);
-                    times.push(t);
-                    times.push(t);
-                }
-                QueryRequest::Embed { node, t } => {
-                    roots.push(node);
-                    times.push(t);
-                }
-            }
-        }
-
-        // One frontier expansion + one folded gather for the whole
-        // micro-batch (the union contract: every hop's rows fold into
-        // one unique-node read).
-        let hops = self.sampler.sample_hops(&self.adj, &roots, &times);
-        let occ = occurrence_nodes(&roots, &hops);
-        let uniq = self.dedup.then(|| ReadoutIndex::build(&occ));
-        let nodes: &[u32] = match &uniq {
-            Some(u) => &u.unique_nodes,
-            None => &occ,
-        };
-        let readout = ReadoutView::whole(MemoryState::read(&self.memory, nodes));
-        let nbr_feats: Vec<Matrix> = hops
-            .iter()
-            .map(|h| edge_feature_rows(self.dataset, &h.eids))
-            .collect();
-        let part = PartRef {
-            roots: &roots,
-            times: &times,
-            hops: &hops,
-            readout: &readout,
-            uniq: uniq.as_ref(),
-            nbr_feats: &nbr_feats,
-        };
-        let pe = self.engine.embed_part(self.model, part, self.static_mem);
-
-        // One decoder call over every link candidate.
-        let mut src_rows = Vec::new();
-        let mut dst_rows = Vec::new();
-        let mut row = 0usize;
-        for r in requests {
-            if let QueryRequest::LinkScore { .. } = r {
-                src_rows.push(row);
-                dst_rows.push(row + 1);
-            }
-            row += match r {
-                QueryRequest::LinkScore { .. } => 2,
-                QueryRequest::Embed { .. } => 1,
-            };
-        }
-        let scores = (!src_rows.is_empty()).then(|| {
-            self.engine.score_pairs(
-                self.model,
-                &pe.emb.gather_rows(&src_rows),
-                &pe.emb.gather_rows(&dst_rows),
-            )
-        });
-
-        let mut out = Vec::with_capacity(requests.len());
-        let mut row = 0usize;
-        let mut pair = 0usize;
-        for r in requests {
-            match r {
-                QueryRequest::LinkScore { .. } => {
-                    let s = scores.as_ref().expect("scored above");
-                    out.push(QueryResponse::Scores(s.row(pair).to_vec()));
-                    pair += 1;
-                    row += 2;
-                }
-                QueryRequest::Embed { .. } => {
-                    out.push(QueryResponse::Embedding(pe.emb.row(row).to_vec()));
-                    row += 1;
-                }
-            }
-        }
-        Ok(out)
+        // The shared three-stage pipeline over the session's own scratch
+        // arena: flatten → snapshot gather (one frontier expansion + one
+        // folded gather — the union contract) → lock-free compute. The
+        // concurrent plane runs the same stages against a locked
+        // snapshot; both are bit-identical to the historical
+        // allocate-per-call path.
+        flatten_requests(requests, &mut self.scratch);
+        gather_snapshot(
+            &self.sampler,
+            self.dedup,
+            &self.adj,
+            &self.memory,
+            &mut self.scratch,
+        );
+        Ok(compute_responses(
+            self.model,
+            self.dataset,
+            self.static_mem,
+            &mut self.engine,
+            self.dedup,
+            requests,
+            &mut self.scratch,
+        ))
     }
 
     /// Score-then-ingest, the streaming form of evaluation's
@@ -679,6 +859,7 @@ impl<'a> ServeSession<'a> {
             sampler: RecentNeighborSampler::with_fanouts(cfg.fanouts()),
             dedup: cfg.dedup_readout,
             ingested: ckpt.ingested as usize,
+            scratch: QueryScratch::default(),
         })
     }
 

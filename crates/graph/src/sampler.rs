@@ -114,33 +114,41 @@ impl RecentNeighborSampler {
         self.fanouts.len()
     }
 
-    /// Samples one hop: for each *valid* `(root, t)` query, the `k`
-    /// most recent incidences strictly before `t`; queries with
-    /// `valid[b] == false` (padded parent slots) keep `counts = 0`.
-    fn sample_hop(
+    /// Samples one hop into a caller-owned block, reusing its buffers
+    /// (clear + resize keeps capacity — the serving plane's per-reader
+    /// scratch path). For each *valid* `(root, t)` query, the `k` most
+    /// recent incidences strictly before `t`; queries whose `parent`
+    /// slot is padding keep `counts = 0` — validity is read straight
+    /// off the parent block, so no per-hop validity vector is
+    /// materialized.
+    fn sample_hop_into(
         &self,
         adj: &dyn TemporalAdjacency,
         roots: &[u32],
         times: &[f32],
-        valid: Option<&[bool]>,
+        parent: Option<&NeighborBlock>,
         k: usize,
-    ) -> NeighborBlock {
+        block: &mut NeighborBlock,
+    ) {
         assert_eq!(roots.len(), times.len(), "sampler: roots/times length");
         let b = roots.len();
-        let mut block = NeighborBlock {
-            k,
-            nbrs: vec![0; b * k],
-            eids: vec![0; b * k],
-            dts: vec![0.0; b * k],
-            ts: vec![0.0; b * k],
-            counts: vec![0; b],
-        };
+        block.k = k;
+        block.nbrs.clear();
+        block.nbrs.resize(b * k, 0);
+        block.eids.clear();
+        block.eids.resize(b * k, 0);
+        block.dts.clear();
+        block.dts.resize(b * k, 0.0);
+        block.ts.clear();
+        block.ts.resize(b * k, 0.0);
+        block.counts.clear();
+        block.counts.resize(b, 0);
         if k == 0 {
-            return block;
+            return;
         }
         for (bi, (&root, &t)) in roots.iter().zip(times).enumerate() {
-            if let Some(v) = valid {
-                if !v[bi] {
+            if let Some(p) = parent {
+                if !p.is_valid_slot(bi) {
                     continue; // padded parent slot: never touch the T-CSR
                 }
             }
@@ -154,7 +162,6 @@ impl RecentNeighborSampler {
                 block.ts[idx] = entry.t;
             }
         }
-        block
     }
 
     /// Samples supporting neighbors for each `(root, t)` query with
@@ -166,7 +173,9 @@ impl RecentNeighborSampler {
         roots: &[u32],
         times: &[f32],
     ) -> NeighborBlock {
-        self.sample_hop(adj, roots, times, None, self.fanouts[0])
+        let mut block = NeighborBlock::default();
+        self.sample_hop_into(adj, roots, times, None, self.fanouts[0], &mut block);
+        block
     }
 
     /// Recursively expands the full multi-hop frontier of `(root, t)`
@@ -183,20 +192,33 @@ impl RecentNeighborSampler {
         times: &[f32],
     ) -> Vec<NeighborBlock> {
         let mut hops = Vec::with_capacity(self.fanouts.len());
-        for (d, &k) in self.fanouts.iter().enumerate() {
-            let block = match d {
-                0 => self.sample_hop(adj, roots, times, None, k),
-                _ => {
-                    let prev: &NeighborBlock = &hops[d - 1];
-                    let valid: Vec<bool> = (0..prev.num_slots())
-                        .map(|i| prev.is_valid_slot(i))
-                        .collect();
-                    self.sample_hop(adj, &prev.nbrs, &prev.ts, Some(&valid), k)
-                }
-            };
-            hops.push(block);
-        }
+        self.sample_hops_into(adj, roots, times, &mut hops);
         hops
+    }
+
+    /// [`RecentNeighborSampler::sample_hops`] into caller-owned
+    /// blocks: each hop's vectors are cleared and refilled in place,
+    /// so a hot loop that keeps one `Vec<NeighborBlock>` alive reaches
+    /// steady state with zero sampling allocations.
+    pub fn sample_hops_into(
+        &self,
+        adj: &dyn TemporalAdjacency,
+        roots: &[u32],
+        times: &[f32],
+        hops: &mut Vec<NeighborBlock>,
+    ) {
+        hops.truncate(self.fanouts.len());
+        hops.resize_with(self.fanouts.len(), NeighborBlock::default);
+        for (d, &k) in self.fanouts.iter().enumerate() {
+            let (prev, rest) = hops.split_at_mut(d);
+            let block = &mut rest[0];
+            match prev.last() {
+                None => self.sample_hop_into(adj, roots, times, None, k, block),
+                Some(parent) => {
+                    self.sample_hop_into(adj, &parent.nbrs, &parent.ts, Some(parent), k, block)
+                }
+            }
+        }
     }
 }
 

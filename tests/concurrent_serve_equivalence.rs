@@ -1,0 +1,385 @@
+//! Concurrent-serving equivalence: the multi-threaded MVCC plane
+//! (`core::serve::ConcurrentServe`) is a **scheduling** of the
+//! serialized session's arithmetic, never a new approximation.
+//!
+//! The contract (ISSUE 10): under seeded mixed ingest/query load with
+//! a live writer and a reader pool, every query's responses must be
+//! bit-identical to a serialized `ServeSession` replay of the same
+//! admitted slab order at the answer's reported watermark, and the
+//! final node-memory digest must match exactly. Pinned here for both
+//! tasks (link prediction on the Wikipedia analog, edge classification
+//! on the GDELT analog), at 1- and 2-layer stacks, plus the
+//! atomicity/backpressure error paths under contention.
+
+use disttgl::core::serve::{QueryRequest, ServeSession};
+use disttgl::core::{
+    ConcurrentOptions, ConcurrentServe, IngestError, ModelConfig, ServeError, TgnModel,
+};
+use disttgl::data::{generators, Dataset};
+use disttgl::graph::{batching, Event};
+use disttgl::tensor::seeded_rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const BATCH: usize = 50;
+
+fn tiny_model(d_edge: usize) -> ModelConfig {
+    let mut mc = ModelConfig::compact(d_edge);
+    mc.d_mem = 16;
+    mc.d_time = 8;
+    mc.d_emb = 16;
+    mc.n_neighbors = 5;
+    mc.static_memory = false;
+    mc
+}
+
+/// 2 reader threads when the host has the cores, 1 otherwise — the
+/// same honest gate the CI smoke job applies.
+fn reader_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(2)
+}
+
+fn warm_session<'a>(model: &'a TgnModel, d: &'a Dataset, upto: usize) -> ServeSession<'a> {
+    let mut session = ServeSession::new(model, d, None);
+    for r in batching::chronological_batches(0..upto, BATCH) {
+        session
+            .ingest(&d.graph.events()[r])
+            .expect("chronological warmup slab");
+    }
+    session
+}
+
+/// Seeded mixed job pool: link scores and embeds over the warm prefix,
+/// queried just past the stream's end so frontiers keep growing under
+/// the concurrent writer.
+fn query_jobs(events: &[Event], t: f32, n_jobs: usize) -> Vec<Vec<QueryRequest>> {
+    (0..n_jobs)
+        .map(|j| {
+            vec![
+                QueryRequest::LinkScore {
+                    src: events[(j * 13) % events.len()].src,
+                    dst: events[(j * 7 + 5) % events.len()].dst,
+                    t,
+                },
+                QueryRequest::LinkScore {
+                    src: events[(j * 3 + 11) % events.len()].src,
+                    dst: events[(j * 17 + 2) % events.len()].dst,
+                    t,
+                },
+                QueryRequest::Embed {
+                    node: events[(j * 5 + 1) % events.len()].src,
+                    t,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// The stress drive: a writer thread drains the bounded queue, a
+/// producer enqueues the load slabs (retrying on backpressure so
+/// nothing is shed and the admitted order stays known), and a reader
+/// pool answers the job list concurrently. Then the whole run is
+/// replayed serially and compared bit for bit, watermark by watermark.
+fn assert_concurrent_matches_serialized(d: &Dataset, mc: ModelConfig, model_seed: u64) {
+    let mut rng = seeded_rng(model_seed);
+    let model = TgnModel::new(mc, &mut rng);
+    let events = d.graph.events();
+    let n = events.len();
+    assert!(n >= 400, "dataset too small for the stress window ({n})");
+    let warm = n / 2;
+    let load_end = (warm + 400).min(n);
+    let slabs: Vec<Vec<Event>> = events[warm..load_end]
+        .chunks(BATCH)
+        .map(|c| c.to_vec())
+        .collect();
+    let t_query = d.graph.max_time() + 1.0;
+    let jobs = query_jobs(&events[0..warm], t_query, 14);
+    let readers = reader_count();
+
+    let serve = ConcurrentServe::from_session(
+        warm_session(&model, d, warm),
+        ConcurrentOptions {
+            ingest_queue_capacity: 2 * BATCH,
+        },
+    );
+    let stop = AtomicBool::new(false);
+    let answers = std::thread::scope(|s| {
+        s.spawn(|| serve.run_writer(&stop));
+        let producer = s.spawn(|| {
+            for slab in &slabs {
+                // Retry on backpressure: the admitted order must stay
+                // exactly the enqueue order for the replay below.
+                while serve.enqueue_ingest(slab.clone()).is_err() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        let answers = serve.answer_all(&jobs, readers);
+        // The producer must finish before the writer is told to stop —
+        // a stopped writer no longer frees queue capacity.
+        producer.join().expect("producer");
+        stop.store(true, Ordering::Release);
+        answers
+    });
+    assert_eq!(
+        serve.watermark(),
+        slabs.len() as u64,
+        "clean shutdown applies every admitted slab"
+    );
+    let st = serve.stats();
+    assert_eq!(st.queries_answered as usize, jobs.len());
+    assert_eq!(
+        st.clean_queries + st.repaired_queries + st.resampled_queries,
+        st.queries_answered
+    );
+
+    // Serialized replay of the admitted order: each answer must equal
+    // the serialized session's answer at its reported watermark.
+    let mut oracle = warm_session(&model, d, warm);
+    let mut oracle_events = warm;
+    for w in 0..=slabs.len() as u64 {
+        for (job, ans) in jobs.iter().zip(&answers) {
+            let ans = ans.as_ref().expect("valid stress query");
+            if ans.watermark == w {
+                assert_eq!(
+                    ans.events_seen, oracle_events,
+                    "events_seen must match the serialized state at watermark {w}"
+                );
+                assert_eq!(
+                    ans.responses,
+                    oracle.query(job).expect("valid stress query"),
+                    "answer at watermark {w} must equal serialized replay"
+                );
+            }
+        }
+        if (w as usize) < slabs.len() {
+            let slab = &slabs[w as usize];
+            oracle.ingest(slab).expect("admitted slab");
+            oracle_events += slab.len();
+        }
+    }
+    assert_eq!(
+        serve.memory_checksum(),
+        oracle.memory_checksum(),
+        "final memory digest must equal the serialized replay"
+    );
+    assert_eq!(serve.events_ingested(), oracle.events_ingested());
+}
+
+#[test]
+fn stress_link_one_layer_matches_serialized_replay() {
+    let d = generators::wikipedia(0.005, 31);
+    assert_concurrent_matches_serialized(&d, tiny_model(172), 5);
+}
+
+#[test]
+fn stress_link_two_layer_matches_serialized_replay() {
+    let d = generators::wikipedia(0.005, 31);
+    assert_concurrent_matches_serialized(&d, tiny_model(172).with_fanouts(vec![5, 3]), 6);
+}
+
+#[test]
+fn stress_class_one_layer_matches_serialized_replay() {
+    let d = generators::gdelt(2e-5, 17);
+    assert_concurrent_matches_serialized(
+        &d,
+        tiny_model(d.edge_features.cols()).with_classes(56),
+        9,
+    );
+}
+
+#[test]
+fn stress_class_two_layer_matches_serialized_replay() {
+    let d = generators::gdelt(2e-5, 17);
+    let mc = tiny_model(d.edge_features.cols())
+        .with_classes(56)
+        .with_fanouts(vec![5, 3]);
+    assert_concurrent_matches_serialized(&d, mc, 10);
+}
+
+/// Mid-slab atomicity: a prober hammering `(watermark, num_events,
+/// memory_checksum)` under single read-lock holds while the writer
+/// applies slabs must only ever observe exact slab-boundary states —
+/// the triple at watermark w must equal the serialized replay's state
+/// after w slabs, never a half-applied one (adjacency appended but
+/// memory not yet written, or vice versa).
+#[test]
+fn probe_observes_only_slab_boundaries() {
+    let d = generators::wikipedia(0.005, 31);
+    let model = TgnModel::new(tiny_model(172), &mut seeded_rng(12));
+    let events = d.graph.events();
+    let warm = events.len() / 2;
+    let load_end = (warm + 300).min(events.len());
+    let slabs: Vec<Vec<Event>> = events[warm..load_end]
+        .chunks(30)
+        .map(|c| c.to_vec())
+        .collect();
+
+    // Serialized boundary states, indexed by watermark.
+    let mut oracle = warm_session(&model, &d, warm);
+    let mut boundaries = vec![(warm, oracle.memory_checksum())];
+    for slab in &slabs {
+        oracle.ingest(slab).expect("admitted slab");
+        boundaries.push((oracle.events_ingested(), oracle.memory_checksum()));
+    }
+
+    let serve =
+        ConcurrentServe::from_session(warm_session(&model, &d, warm), ConcurrentOptions::default());
+    let stop = AtomicBool::new(false);
+    let probes = std::thread::scope(|s| {
+        let prober = s.spawn(|| {
+            // Probe before checking the stop flag so at least one
+            // sample lands even when this thread is starved until the
+            // writer finishes (1-core hosts) — the final boundary is
+            // still a boundary.
+            let mut seen = Vec::new();
+            loop {
+                seen.push(serve.consistency_probe());
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            seen
+        });
+        for slab in &slabs {
+            serve.ingest(slab).expect("admitted slab");
+        }
+        stop.store(true, Ordering::Release);
+        prober.join().expect("prober")
+    });
+    assert!(!probes.is_empty());
+    for (w, ev, ck) in probes {
+        let (exp_ev, exp_ck) = boundaries[w as usize];
+        assert_eq!(ev, exp_ev, "mid-slab adjacency visible at watermark {w}");
+        assert_eq!(ck, exp_ck, "mid-slab memory visible at watermark {w}");
+    }
+}
+
+/// `IngestError::Rejected` stats from a concurrent caller: while a
+/// producer streams valid chronological slabs, a second caller ingests
+/// a mixed slab whose first event is stale (always rejected) and whose
+/// second is beyond the whole stream (always accepted). Whatever the
+/// interleaving, the error's partial-apply stats are exact, the global
+/// accounting balances, and the final state equals a serialized replay
+/// of the reconstructed admitted order.
+#[test]
+fn rejected_stats_are_exact_from_a_concurrent_caller() {
+    let d = generators::wikipedia(0.005, 31);
+    let model = TgnModel::new(tiny_model(172), &mut seeded_rng(13));
+    let events = d.graph.events();
+    let warm = events.len() / 2;
+    let load_end = (warm + 300).min(events.len());
+    let slabs: Vec<Vec<Event>> = events[warm..load_end]
+        .chunks(30)
+        .map(|c| c.to_vec())
+        .collect();
+    let mixed = {
+        let stale = events[10]; // t far below the warm head: always rejected
+        let mut future = events[load_end - 1];
+        future.t = d.graph.max_time() + 5.0; // beyond everything: always accepted
+        vec![stale, future]
+    };
+
+    let serve =
+        ConcurrentServe::from_session(warm_session(&model, &d, warm), ConcurrentOptions::default());
+    let (slab_results, mixed_err) = std::thread::scope(|s| {
+        let intruder = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            serve.ingest(&mixed).expect_err("stale event must reject")
+        });
+        let results: Vec<bool> = slabs
+            .iter()
+            .map(|slab| serve.ingest(slab).is_ok())
+            .collect();
+        (results, intruder.join().expect("intruder"))
+    });
+
+    // The intruder's partial-apply stats are exact regardless of when
+    // it interleaved.
+    let IngestError::Rejected { applied, rejected } = mixed_err;
+    assert_eq!(applied.events, 1, "the future event always lands");
+    assert_eq!(rejected.len(), 1);
+    assert_eq!(rejected[0].0, 0, "the stale event is index 0");
+
+    // Once the intruder's far-future event lands, every later producer
+    // slab is wholly stale — the Ok pattern must be a clean prefix.
+    let ok_prefix = slab_results.iter().take_while(|ok| **ok).count();
+    assert!(
+        slab_results[ok_prefix..].iter().all(|ok| !ok),
+        "producer results must be Ok-prefix then all-rejected, got {slab_results:?}"
+    );
+
+    // Global accounting balances…
+    let st = serve.stats();
+    let ok_events: usize = slabs[..ok_prefix].iter().map(Vec::len).sum();
+    let rejected_events: usize = slabs[ok_prefix..].iter().map(Vec::len).sum();
+    assert_eq!(st.events_applied as usize, ok_events + 1);
+    assert_eq!(st.events_rejected as usize, rejected_events + 1);
+
+    // …and the reconstructed admitted order replays to the same state:
+    // the producer's Ok prefix, then the intruder's accepted event.
+    let mut oracle = warm_session(&model, &d, warm);
+    for slab in &slabs[..ok_prefix] {
+        oracle.ingest(slab).expect("admitted slab");
+    }
+    let _ = oracle.ingest(&mixed); // same partial apply: future event only
+    assert_eq!(serve.memory_checksum(), oracle.memory_checksum());
+    assert_eq!(serve.events_ingested(), oracle.events_ingested());
+}
+
+/// Backpressure loses nothing and duplicates nothing: a producer
+/// hammering a two-slab queue sees typed `Overloaded` refusals, yet
+/// with retries every slab is admitted exactly once and the final
+/// state equals the serialized replay.
+#[test]
+fn backpressure_admits_exactly_once_under_retry() {
+    let d = generators::wikipedia(0.005, 31);
+    let model = TgnModel::new(tiny_model(172), &mut seeded_rng(14));
+    let events = d.graph.events();
+    let warm = events.len() / 2;
+    let load_end = (warm + 300).min(events.len());
+    let slabs: Vec<Vec<Event>> = events[warm..load_end]
+        .chunks(25)
+        .map(|c| c.to_vec())
+        .collect();
+
+    let serve = ConcurrentServe::from_session(
+        warm_session(&model, &d, warm),
+        ConcurrentOptions {
+            ingest_queue_capacity: 50,
+        },
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| serve.run_writer(&stop));
+        for slab in &slabs {
+            loop {
+                match serve.enqueue_ingest(slab.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::Overloaded {
+                        queued_events,
+                        capacity,
+                    }) => {
+                        assert!(queued_events + slab.len() > capacity);
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Err(e) => panic!("unexpected enqueue error: {e}"),
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+    assert_eq!(serve.watermark(), slabs.len() as u64);
+    assert_eq!(serve.queued_events(), 0);
+
+    let mut oracle = warm_session(&model, &d, warm);
+    for slab in &slabs {
+        oracle.ingest(slab).expect("admitted slab");
+    }
+    assert_eq!(serve.memory_checksum(), oracle.memory_checksum());
+    assert_eq!(serve.events_ingested(), oracle.events_ingested());
+}
